@@ -1,0 +1,76 @@
+//! **Table 1**: NVIDIA data-center GPUs across generations, plus the §2.1
+//! ingest model `B_node ≈ G · r · s` evaluated for representative training
+//! configurations — the motivation for RDMA-first storage.
+
+use ros2_bench::print_table;
+use ros2_hw::{IngestModel, LlmPhase, TABLE1};
+
+fn main() {
+    let header: Vec<String> = [
+        "GPU", "Architecture", "Memory (GB)", "Mem BW", "NVLink (gen / BW)", "FP16", "FP8", "FP4",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = TABLE1
+        .iter()
+        .map(|g| {
+            let fmt_tf = |v: Option<f64>| match v {
+                Some(t) if t >= 1000.0 => format!("{:.0} PFLOPS", t / 1000.0),
+                Some(t) => format!("{t:.1} TFLOPS"),
+                None => "N/A".to_string(),
+            };
+            vec![
+                g.name.to_string(),
+                g.architecture.to_string(),
+                format!("{} {}", g.memory_gb, g.memory_kind),
+                if g.mem_bw_gbs >= 1000.0 {
+                    format!("{:.2} TB/s", g.mem_bw_gbs / 1000.0)
+                } else {
+                    format!("{:.0} GB/s", g.mem_bw_gbs)
+                },
+                format!("NVLink {} / up to {:.0} GB/s", g.nvlink_gen, g.nvlink_gbs),
+                fmt_tf(Some(g.fp16_tflops)),
+                fmt_tf(g.fp8_tflops),
+                fmt_tf(g.fp4_tflops),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: NVIDIA data center GPUs across generations",
+        &header,
+        &rows,
+    );
+
+    // The ingest model.
+    println!("\n### §2.1 ingest model: B_node = G * r * s");
+    let configs = [
+        ("conservative 8-GPU node", IngestModel {
+            gpus_per_node: 8,
+            samples_per_gpu_per_sec: 500.0,
+            bytes_per_sample: 128 * 1024,
+        }),
+        ("LLM pretraining node", IngestModel::llm_pretraining_node()),
+        ("multimodal node", IngestModel {
+            gpus_per_node: 8,
+            samples_per_gpu_per_sec: 1_000.0,
+            bytes_per_sample: 1 << 20,
+        }),
+    ];
+    for (label, m) in configs {
+        println!(
+            "  {:26} G={} r={:>6.0}/s s={:>8}B  =>  B_node = {:.2} GiB/s, {:.0} random IOPS",
+            label,
+            m.gpus_per_node,
+            m.samples_per_gpu_per_sec,
+            m.bytes_per_sample,
+            m.required_gib_per_sec(),
+            m.required_iops(),
+        );
+    }
+
+    println!("\n### Fig. 1: storage requirements across the LLM lifecycle");
+    for phase in LlmPhase::ALL {
+        println!("  {:?}: {}", phase, phase.requirements().join(", "));
+    }
+}

@@ -1,0 +1,518 @@
+//! The assembled ROS2 system: testbed construction, control-plane
+//! handshake, and a POSIX-flavoured file API over the offloaded data plane.
+//!
+//! [`Ros2System::launch`] builds the paper's architecture end to end:
+//!
+//! 1. the fabric (client host *or* BlueField-3 ↔ 100 Gbps switch ↔ storage
+//!    server) on the selected transport;
+//! 2. the unmodified DAOS engine on the storage server;
+//! 3. the DPU agent with the tenant's PD, QoS and rkey-scope policy;
+//! 4. the gRPC control handshake — Hello, PoolConnect, ContOpen, DfsMount,
+//!    GetCapability — over the control channel (no payload bytes here);
+//! 5. the DAOS client and DFS mount on the chosen placement.
+//!
+//! Every file operation advances the system's virtual clock and reports its
+//! latency, so applications (the examples) can reason about delivered
+//! performance without running the FIO harness.
+
+use bytes::Bytes;
+use ros2_hw::{
+    gbps, ClientPlacement, CoreClass, CpuComplement, DpuTcpRxModel, NicModel, Transport,
+};
+use ros2_nvme::{DataMode, NvmeArray};
+use ros2_sim::{SimDuration, SimTime};
+use ros2_ctl::{ControlError, ControlRequest, ControlResponse};
+use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
+use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
+use ros2_dpu::{default_control, DpuAgent, InlineService, QosLimits, TenantManager};
+use ros2_fabric::{Fabric, NodeSpec};
+use ros2_spdk::BdevLayer;
+use ros2_verbs::{MemoryDomain, NodeId};
+
+/// Deployment configuration (the knobs the paper sweeps, plus extensions).
+#[derive(Clone, Debug)]
+pub struct Ros2Config {
+    /// Data-plane transport (§3.4).
+    pub transport: Transport,
+    /// Where the DAOS client runs.
+    pub placement: ClientPlacement,
+    /// NVMe drives on the storage server (the paper uses 1 or 4).
+    pub ssds: usize,
+    /// Client jobs (connections/EQs).
+    pub jobs: usize,
+    /// DFS chunk size.
+    pub chunk_size: u64,
+    /// Device backing mode (Stored for correctness, Null for sweeps).
+    pub data_mode: DataMode,
+    /// Tenant identity.
+    pub tenant: String,
+    /// Inline service on the DPU byte path.
+    pub inline_service: InlineService,
+    /// Where client staging buffers live. `DpuDram` is the prototype
+    /// (§3.2: "all payloads currently terminate in DPU DRAM");
+    /// `GpuHbm` enables the §3.5 GPUDirect extension.
+    pub buffer_domain: MemoryDomain,
+    /// Per-job staging-buffer size.
+    pub buffer_len: u64,
+    /// Tenant QoS.
+    pub qos: QosLimits,
+    /// Scenario seed.
+    pub seed: u64,
+}
+
+impl Default for Ros2Config {
+    fn default() -> Self {
+        Ros2Config {
+            transport: Transport::Rdma,
+            placement: ClientPlacement::Dpu,
+            ssds: 1,
+            jobs: 4,
+            chunk_size: 1 << 20,
+            data_mode: DataMode::Stored,
+            tenant: "default".into(),
+            inline_service: InlineService::None,
+            buffer_domain: MemoryDomain::DpuDram,
+            buffer_len: 4 << 20,
+            qos: QosLimits::unlimited(),
+            seed: 0x40552,
+        }
+    }
+}
+
+/// Launch/runtime failures.
+#[derive(Debug)]
+pub enum Ros2Error {
+    /// Control-plane failure during handshake.
+    Control(ControlError),
+    /// Data-plane / storage failure.
+    Dfs(DfsError),
+    /// Configuration rejected (e.g. GPU buffers without peermem support).
+    Config(String),
+}
+
+impl From<DfsError> for Ros2Error {
+    fn from(e: DfsError) -> Self {
+        Ros2Error::Dfs(e)
+    }
+}
+
+/// The node ids used by every ROS2 deployment.
+pub const CLIENT_NODE: NodeId = NodeId(0);
+/// See [`CLIENT_NODE`].
+pub const STORAGE_NODE: NodeId = NodeId(1);
+
+/// A running ROS2 deployment.
+pub struct Ros2System {
+    /// The configuration it was launched with.
+    pub config: Ros2Config,
+    /// The data-plane fabric.
+    pub fabric: Fabric,
+    /// The unmodified storage-server engine.
+    pub engine: DaosEngine,
+    /// The (possibly DPU-resident) DAOS client.
+    pub client: DaosClient,
+    /// The mounted POSIX namespace.
+    pub dfs: Dfs,
+    /// The DPU agent (control termination, DRAM pool, inline services).
+    pub agent: DpuAgent,
+    /// Tenant isolation manager on the client NIC.
+    pub tenants: TenantManager,
+    session: u64,
+    clock: SimTime,
+}
+
+impl Ros2System {
+    /// Builds and boots the full deployment.
+    pub fn launch(config: Ros2Config) -> Result<Self, Ros2Error> {
+        let client_spec = match config.placement {
+            ClientPlacement::Host => NodeSpec {
+                name: "host-client".into(),
+                cpu: CpuComplement {
+                    class: CoreClass::HostX86,
+                    cores: 48,
+                },
+                nic: NicModel::connectx6(),
+                port_rate: gbps(100),
+                mem_budget: 64 << 30,
+                dpu_tcp_rx: None,
+            },
+            ClientPlacement::Dpu => NodeSpec {
+                name: "bluefield3".into(),
+                cpu: CpuComplement {
+                    class: CoreClass::DpuArm,
+                    cores: 16,
+                },
+                nic: NicModel::connectx7(),
+                port_rate: gbps(100),
+                mem_budget: 30 << 30,
+                dpu_tcp_rx: Some(DpuTcpRxModel::bluefield3()),
+            },
+        };
+        let storage_spec = NodeSpec {
+            name: "storage".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: 64,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 64 << 30,
+            dpu_tcp_rx: None,
+        };
+        let mut fabric = Fabric::new(
+            config.transport,
+            vec![client_spec, storage_spec],
+            config.seed,
+        );
+        fabric.set_flow_hint(CLIENT_NODE, config.jobs);
+        fabric.set_flow_hint(STORAGE_NODE, config.jobs);
+
+        // The GPUDirect extension needs peermem on the client NIC (§3.5).
+        if config.buffer_domain == MemoryDomain::GpuHbm {
+            fabric.rdma_mut(CLIENT_NODE).enable_peermem();
+            if config.transport != Transport::Rdma {
+                return Err(Ros2Error::Config(
+                    "GPUDirect placement requires the RDMA transport".into(),
+                ));
+            }
+        }
+
+        // Storage server: bdevs + engine + container.
+        let bdevs = BdevLayer::new(NvmeArray::new(
+            ros2_hw::NvmeModel::enterprise_1600(),
+            config.ssds,
+            config.data_mode,
+        ));
+        let mut engine = DaosEngine::new(
+            "pool0",
+            bdevs,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        engine
+            .cont_create("posix")
+            .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+
+        // DPU agent + tenant registration.
+        let mut control = default_control(config.seed ^ 0xc71);
+        let digest = Bytes::from(config.tenant.as_bytes().to_vec());
+        control.add_tenant(config.tenant.clone(), digest.clone());
+        let mut agent = DpuAgent::new(CLIENT_NODE, 30 << 30, control);
+        agent.set_inline_service(config.inline_service);
+        let mut tenants = TenantManager::new(CLIENT_NODE);
+        tenants.register(
+            &mut fabric,
+            config.tenant.clone(),
+            config.qos,
+            SimDuration::from_secs(30),
+        );
+
+        // Control handshake: Hello -> PoolConnect -> ContOpen -> DfsMount.
+        let mut clock = SimTime::ZERO;
+        let hello = ControlRequest::Hello {
+            tenant: config.tenant.clone(),
+            auth: digest,
+        };
+        let (t, res) = agent.host_call(clock, None, hello, |_, _| ControlResponse::Ok);
+        let (session, _) = res.map_err(Ros2Error::Control)?;
+        clock = t;
+        for req in [
+            ControlRequest::PoolConnect {
+                pool: "pool0".into(),
+            },
+            ControlRequest::ContOpen {
+                container: "posix".into(),
+            },
+            ControlRequest::DfsMount,
+        ] {
+            let (t, res) = agent.host_call(clock, Some(session), req, |_, r| match r {
+                ControlRequest::PoolConnect { .. } | ControlRequest::ContOpen { .. } => {
+                    ControlResponse::Handle { handle: 1 }
+                }
+                _ => ControlResponse::Ok,
+            });
+            res.map_err(Ros2Error::Control)?;
+            clock = t;
+        }
+
+        // Data plane: client connect (capability exchange happens inside —
+        // the staging MRs registered here are what GetCapability conveys).
+        let mut client = DaosClient::connect(
+            &mut fabric,
+            CLIENT_NODE,
+            STORAGE_NODE,
+            &config.tenant,
+            "posix",
+            config.jobs,
+            config.buffer_len,
+            match (config.placement, config.buffer_domain) {
+                (_, MemoryDomain::GpuHbm) => MemoryDomain::GpuHbm,
+                (ClientPlacement::Host, _) => MemoryDomain::HostDram,
+                (ClientPlacement::Dpu, _) => MemoryDomain::DpuDram,
+            },
+            DaosCostModel::default_model(),
+        )
+        .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+        agent
+            .reserve_dram(config.jobs as u64 * config.buffer_len)
+            .map_err(|free| Ros2Error::Config(format!("DPU DRAM exhausted, {free} B free")))?;
+
+        // Mount DFS.
+        let (dfs, t) = {
+            let mut s = DfsSession {
+                fabric: &mut fabric,
+                engine: &mut engine,
+                client: &mut client,
+            };
+            Dfs::format(&mut s, clock, config.chunk_size)?
+        };
+        clock = t;
+
+        Ok(Ros2System {
+            config,
+            fabric,
+            engine,
+            client,
+            dfs,
+            agent,
+            tenants,
+            session,
+            clock,
+        })
+    }
+
+    /// The current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// The control-plane session token.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    fn tick(&mut self, t: SimTime) {
+        self.clock = self.clock.max(t);
+    }
+
+    /// Creates a directory at absolute `path` (parent must exist).
+    pub fn mkdir(&mut self, path: &str) -> Result<Timed<DfsObj>, Ros2Error> {
+        let now = self.clock;
+        let (parent_path, name) = split_path(path)?;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
+        let (obj, t2) = self.dfs.mkdir(&mut s, t1, &parent, name, 0o755)?;
+        drop(s);
+        self.tick(t2);
+        Ok(Timed {
+            value: obj,
+            latency: t2.saturating_since(now),
+        })
+    }
+
+    /// Creates a regular file at absolute `path`.
+    pub fn create(&mut self, path: &str) -> Result<Timed<DfsObj>, Ros2Error> {
+        let now = self.clock;
+        let (parent_path, name) = split_path(path)?;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
+        let (obj, t2) = self.dfs.create(&mut s, t1, &parent, name, 0o644)?;
+        drop(s);
+        self.tick(t2);
+        Ok(Timed {
+            value: obj,
+            latency: t2.saturating_since(now),
+        })
+    }
+
+    /// Opens an existing file or directory at absolute `path`.
+    pub fn open(&mut self, path: &str) -> Result<Timed<DfsObj>, Ros2Error> {
+        let now = self.clock;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (obj, t) = self.dfs.lookup(&mut s, now, path)?;
+        drop(s);
+        self.tick(t);
+        Ok(Timed {
+            value: obj,
+            latency: t.saturating_since(now),
+        })
+    }
+
+    /// Writes `data` at `offset` in an open file, through the tenant's QoS
+    /// admission and the DPU's inline service.
+    pub fn write(
+        &mut self,
+        file: &mut DfsObj,
+        offset: u64,
+        data: Bytes,
+    ) -> Result<Timed<()>, Ros2Error> {
+        let now = self.clock;
+        let bytes = data.len() as u64;
+        let tenant = self.config.tenant.clone();
+        let admitted = self
+            .tenants
+            .admit(now, &tenant, bytes)
+            .ok_or_else(|| Ros2Error::Config(format!("unknown tenant {tenant}")))?;
+        let start = admitted + self.agent.inline_cost(bytes);
+        let job = (file.oid.lo % self.config.jobs as u64) as usize;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let t = self.dfs.write(&mut s, start, job, file, offset, data)?;
+        drop(s);
+        self.tick(t);
+        Ok(Timed {
+            value: (),
+            latency: t.saturating_since(now),
+        })
+    }
+
+    /// Reads `len` bytes at `offset` from an open file (QoS-admitted,
+    /// decrypted inline when the crypto service is active).
+    pub fn read(
+        &mut self,
+        file: &DfsObj,
+        offset: u64,
+        len: u64,
+    ) -> Result<Timed<Bytes>, Ros2Error> {
+        let now = self.clock;
+        let tenant = self.config.tenant.clone();
+        let admitted = self
+            .tenants
+            .admit(now, &tenant, len)
+            .ok_or_else(|| Ros2Error::Config(format!("unknown tenant {tenant}")))?;
+        let job = (file.oid.lo % self.config.jobs as u64) as usize;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (data, t) = self.dfs.read(&mut s, admitted, job, file, offset, len)?;
+        drop(s);
+        let t = t + self.agent.inline_cost(data.len() as u64);
+        self.tick(t);
+        Ok(Timed {
+            value: data,
+            latency: t.saturating_since(now),
+        })
+    }
+
+    /// Lists names in the directory at `path`.
+    pub fn readdir(&mut self, path: &str) -> Result<Timed<Vec<String>>, Ros2Error> {
+        let now = self.clock;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (dir, t) = self.dfs.lookup(&mut s, now, path)?;
+        let names = self.dfs.readdir(&mut s, t, &dir)?;
+        drop(s);
+        self.tick(t);
+        Ok(Timed {
+            value: names,
+            latency: t.saturating_since(now),
+        })
+    }
+
+    /// Stats the entry at absolute `path`.
+    pub fn stat(&mut self, path: &str) -> Result<Timed<FileStat>, Ros2Error> {
+        let now = self.clock;
+        let (parent_path, name) = split_path(path)?;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
+        let (st, t2) = self.dfs.stat(&mut s, t1, &parent, name)?;
+        drop(s);
+        self.tick(t2);
+        Ok(Timed {
+            value: st,
+            latency: t2.saturating_since(now),
+        })
+    }
+
+    /// Removes the file or empty directory at absolute `path`.
+    pub fn unlink(&mut self, path: &str) -> Result<Timed<()>, Ros2Error> {
+        let now = self.clock;
+        let (parent_path, name) = split_path(path)?;
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
+        let t2 = self.dfs.unlink(&mut s, t1, &parent, name)?;
+        drop(s);
+        self.tick(t2);
+        Ok(Timed {
+            value: (),
+            latency: t2.saturating_since(now),
+        })
+    }
+
+    /// Gathers activity counters from every layer.
+    pub fn metrics(&self) -> SystemMetrics {
+        SystemMetrics {
+            client_ops: self.client.ops(),
+            engine_rpcs: self.engine.rpcs(),
+            dfs_ops: (self.dfs.meta_ops, self.dfs.data_ops),
+            control_calls: self.agent.control_calls.get(),
+            inline_bytes: self.agent.serviced_bytes.get(),
+            violations: self.fabric.node(CLIENT_NODE).rdma.violations().total(),
+        }
+    }
+}
+
+/// Splits "/a/b/c" into ("/a/b", "c").
+fn split_path(path: &str) -> Result<(&str, &str), Ros2Error> {
+    let trimmed = path.trim_end_matches('/');
+    let idx = trimmed
+        .rfind('/')
+        .ok_or_else(|| Ros2Error::Config(format!("bad path {path}")))?;
+    let (dir, name) = trimmed.split_at(idx);
+    Ok((if dir.is_empty() { "/" } else { dir }, &name[1..]))
+}
+
+/// A file-operation result with its virtual latency.
+#[derive(Debug)]
+pub struct Timed<T> {
+    /// The operation result.
+    pub value: T,
+    /// Virtual latency of the operation.
+    pub latency: SimDuration,
+}
+
+/// Summary of a deployment's activity.
+#[derive(Clone, Debug)]
+pub struct SystemMetrics {
+    /// Data-plane operations issued by the client.
+    pub client_ops: u64,
+    /// RPCs processed by the engine.
+    pub engine_rpcs: u64,
+    /// DFS namespace / data operation counts.
+    pub dfs_ops: (u64, u64),
+    /// Control calls carried host↔DPU.
+    pub control_calls: u64,
+    /// Bytes passed through the inline service.
+    pub inline_bytes: u64,
+    /// Security violations observed at the client NIC.
+    pub violations: u64,
+}

@@ -1,0 +1,283 @@
+//! The control channel: session authentication and gRPC-class call timing.
+//!
+//! Control traffic is "few and latency-insensitive relative to bulk I/O"
+//! (§3.2); it crosses a management path (HTTP/2 over kernel TCP), so each
+//! call pays a fixed round-trip latency plus a per-byte serialization cost.
+//! The channel also owns session state: Hello must precede anything else,
+//! and tenant identity sticks to the session (the DPU enforces per-tenant
+//! policy with it).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use ros2_sim::{SimDuration, SimRng, SimTime};
+
+use crate::messages::{ControlRequest, ControlResponse};
+
+/// Timing model for one control call.
+#[derive(Copy, Clone, Debug)]
+pub struct ControlModel {
+    /// Fixed round-trip latency (HTTP/2 + TCP + scheduling).
+    pub rtt: SimDuration,
+    /// Serialization cost per payload byte (ps/B), both directions.
+    pub ps_per_byte: u64,
+}
+
+impl ControlModel {
+    /// Default gRPC-over-management-network calibration (~150 µs RTT).
+    pub fn grpc_default() -> Self {
+        ControlModel {
+            rtt: SimDuration::from_micros(150),
+            ps_per_byte: 900,
+        }
+    }
+}
+
+/// Errors the channel itself can produce (before the application handler).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlError {
+    /// A non-Hello call arrived on an unauthenticated session.
+    NotAuthenticated,
+    /// Authentication failed.
+    AuthFailed,
+    /// The session was closed.
+    SessionClosed,
+}
+
+/// One live session's state.
+#[derive(Clone, Debug)]
+pub struct Session {
+    /// Opaque token the client presents (issued at Welcome).
+    pub token: u64,
+    /// Authenticated tenant identity.
+    pub tenant: String,
+    /// Whether Goodbye was processed.
+    pub closed: bool,
+    /// Completed calls on this session.
+    pub calls: u64,
+}
+
+/// The control channel endpoint (server side).
+#[derive(Debug)]
+pub struct ControlChannel {
+    model: ControlModel,
+    sessions: HashMap<u64, Session>,
+    rng: SimRng,
+    /// A registry of acceptable tenant credentials (tenant → digest).
+    credentials: HashMap<String, Bytes>,
+    calls_total: u64,
+}
+
+impl ControlChannel {
+    /// Creates a channel with the given timing model.
+    pub fn new(model: ControlModel, rng: SimRng) -> Self {
+        ControlChannel {
+            model,
+            sessions: HashMap::new(),
+            rng,
+            credentials: HashMap::new(),
+            calls_total: 0,
+        }
+    }
+
+    /// Registers a tenant credential (provisioning).
+    pub fn add_tenant(&mut self, tenant: impl Into<String>, digest: Bytes) {
+        self.credentials.insert(tenant.into(), digest);
+    }
+
+    /// The instant a call issued at `now` with `req_len`/`resp_len` payload
+    /// completes.
+    pub fn call_done_at(&self, now: SimTime, req_len: usize, resp_len: usize) -> SimTime {
+        let bytes = (req_len + resp_len) as u64;
+        now + self.model.rtt
+            + SimDuration::from_nanos(bytes * self.model.ps_per_byte / 1000)
+    }
+
+    /// Processes the session-layer part of a call. `session` is `None` for
+    /// the initial Hello. Returns the (possibly new) session token, or a
+    /// session-layer error. Application-layer requests (namespace, caps)
+    /// are passed through for the caller to service.
+    pub fn admit(
+        &mut self,
+        session: Option<u64>,
+        req: &ControlRequest,
+    ) -> Result<u64, ControlError> {
+        self.calls_total += 1;
+        match req {
+            ControlRequest::Hello { tenant, auth } => {
+                let expected = self.credentials.get(tenant);
+                if expected != Some(auth) {
+                    return Err(ControlError::AuthFailed);
+                }
+                let token = self.rng.next_u64();
+                self.sessions.insert(
+                    token,
+                    Session {
+                        token,
+                        tenant: tenant.clone(),
+                        closed: false,
+                        calls: 1,
+                    },
+                );
+                Ok(token)
+            }
+            _ => {
+                let token = session.ok_or(ControlError::NotAuthenticated)?;
+                let s = self
+                    .sessions
+                    .get_mut(&token)
+                    .ok_or(ControlError::NotAuthenticated)?;
+                if s.closed {
+                    return Err(ControlError::SessionClosed);
+                }
+                s.calls += 1;
+                if matches!(req, ControlRequest::Goodbye) {
+                    s.closed = true;
+                }
+                Ok(token)
+            }
+        }
+    }
+
+    /// The session behind a token.
+    pub fn session(&self, token: u64) -> Option<&Session> {
+        self.sessions.get(&token)
+    }
+
+    /// Total calls admitted (including failed ones).
+    pub fn calls_total(&self) -> u64 {
+        self.calls_total
+    }
+
+    /// A convenience wrapper: admit + encode/decode + timing, returning the
+    /// response produced by `handler` along with its completion time.
+    pub fn call<F>(
+        &mut self,
+        now: SimTime,
+        session: Option<u64>,
+        req: ControlRequest,
+        handler: F,
+    ) -> (SimTime, Result<(u64, ControlResponse), ControlError>)
+    where
+        F: FnOnce(&str, &ControlRequest) -> ControlResponse,
+    {
+        let encoded = req.encode();
+        match self.admit(session, &req) {
+            Err(e) => {
+                let resp = ControlResponse::Error {
+                    reason: format!("{e:?}"),
+                };
+                let done = self.call_done_at(now, encoded.len(), resp.encode().len());
+                (done, Err(e))
+            }
+            Ok(token) => {
+                let tenant = self.sessions[&token].tenant.clone();
+                let resp = match &req {
+                    ControlRequest::Hello { .. } => ControlResponse::Welcome { session: token },
+                    _ => handler(&tenant, &req),
+                };
+                let done = self.call_done_at(now, encoded.len(), resp.encode().len());
+                (done, Ok((token, resp)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channel() -> ControlChannel {
+        let mut c = ControlChannel::new(ControlModel::grpc_default(), SimRng::new(3));
+        c.add_tenant("llm", Bytes::from_static(b"digest"));
+        c
+    }
+
+    fn hello() -> ControlRequest {
+        ControlRequest::Hello {
+            tenant: "llm".into(),
+            auth: Bytes::from_static(b"digest"),
+        }
+    }
+
+    #[test]
+    fn hello_then_call_works() {
+        let mut c = channel();
+        let (_, res) = c.call(SimTime::ZERO, None, hello(), |_, _| ControlResponse::Ok);
+        let (token, resp) = res.unwrap();
+        assert!(matches!(resp, ControlResponse::Welcome { .. }));
+        let (_, res2) = c.call(
+            SimTime::ZERO,
+            Some(token),
+            ControlRequest::DfsMount,
+            |tenant, _| {
+                assert_eq!(tenant, "llm");
+                ControlResponse::Handle { handle: 5 }
+            },
+        );
+        assert_eq!(res2.unwrap().1, ControlResponse::Handle { handle: 5 });
+        assert_eq!(c.session(token).unwrap().calls, 2);
+    }
+
+    #[test]
+    fn unauthenticated_calls_rejected() {
+        let mut c = channel();
+        let (_, res) = c.call(
+            SimTime::ZERO,
+            None,
+            ControlRequest::DfsMount,
+            |_, _| ControlResponse::Ok,
+        );
+        assert_eq!(res.unwrap_err(), ControlError::NotAuthenticated);
+        // Bogus token as well.
+        let (_, res) = c.call(
+            SimTime::ZERO,
+            Some(42),
+            ControlRequest::DfsMount,
+            |_, _| ControlResponse::Ok,
+        );
+        assert_eq!(res.unwrap_err(), ControlError::NotAuthenticated);
+    }
+
+    #[test]
+    fn wrong_credentials_rejected() {
+        let mut c = channel();
+        let bad = ControlRequest::Hello {
+            tenant: "llm".into(),
+            auth: Bytes::from_static(b"wrong"),
+        };
+        let (_, res) = c.call(SimTime::ZERO, None, bad, |_, _| ControlResponse::Ok);
+        assert_eq!(res.unwrap_err(), ControlError::AuthFailed);
+        // Unknown tenant too.
+        let unknown = ControlRequest::Hello {
+            tenant: "nobody".into(),
+            auth: Bytes::from_static(b"digest"),
+        };
+        let (_, res) = c.call(SimTime::ZERO, None, unknown, |_, _| ControlResponse::Ok);
+        assert_eq!(res.unwrap_err(), ControlError::AuthFailed);
+    }
+
+    #[test]
+    fn goodbye_closes_session() {
+        let mut c = channel();
+        let (_, res) = c.call(SimTime::ZERO, None, hello(), |_, _| ControlResponse::Ok);
+        let token = res.unwrap().0;
+        let (_, res) = c.call(SimTime::ZERO, Some(token), ControlRequest::Goodbye, |_, _| {
+            ControlResponse::Ok
+        });
+        assert!(res.is_ok());
+        let (_, res) = c.call(SimTime::ZERO, Some(token), ControlRequest::DfsMount, |_, _| {
+            ControlResponse::Ok
+        });
+        assert_eq!(res.unwrap_err(), ControlError::SessionClosed);
+    }
+
+    #[test]
+    fn call_timing_includes_rtt_and_bytes() {
+        let c = channel();
+        let small = c.call_done_at(SimTime::ZERO, 10, 10);
+        let big = c.call_done_at(SimTime::ZERO, 10, 100_000);
+        assert!(small >= SimTime::ZERO + ControlModel::grpc_default().rtt);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,306 @@
+//! The control-plane message schema: session setup, namespace operations,
+//! and capability exchange (§3.2: "mount/open/close, directory ops, and
+//! capability exchange (e.g., memory registration handles, QoS tokens)").
+
+use bytes::Bytes;
+
+use crate::wire::{WireError, WireReader, WireWriter};
+
+/// A capability describing a registered memory window a peer may target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryCapability {
+    /// Remote key value (transported verbatim; only the issuing NIC can
+    /// validate it).
+    pub rkey: u64,
+    /// Base address of the window.
+    pub addr: u64,
+    /// Window length in bytes.
+    pub len: u64,
+    /// Expiry in nanoseconds of simulation time (`u64::MAX` = never).
+    pub expires_ns: u64,
+}
+
+/// A QoS token granting a tenant a rate allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QosToken {
+    /// Tenant label.
+    pub tenant: String,
+    /// Granted operations per second.
+    pub ops_per_sec: u64,
+    /// Granted bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+/// Control-plane requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// Session establishment with tenant credentials.
+    Hello {
+        /// Tenant identity.
+        tenant: String,
+        /// Shared-secret digest (simulated auth).
+        auth: Bytes,
+    },
+    /// Connect to a DAOS pool.
+    PoolConnect {
+        /// Pool label.
+        pool: String,
+    },
+    /// Open a container within the connected pool.
+    ContOpen {
+        /// Container label.
+        container: String,
+    },
+    /// Mount the DFS namespace of an open container.
+    DfsMount,
+    /// Namespace operation relayed to DFS (path-based; the data plane never
+    /// sees these).
+    DfsNamespace {
+        /// Encoded DFS namespace op (opaque to the control plane).
+        op: Bytes,
+    },
+    /// Ask the peer to register a window and return its capability.
+    GetCapability {
+        /// Required window size.
+        len: u64,
+        /// Requested validity in nanoseconds.
+        scope_ns: u64,
+    },
+    /// Request a QoS grant.
+    QosRequest {
+        /// Requested operations per second.
+        ops_per_sec: u64,
+        /// Requested bytes per second.
+        bytes_per_sec: u64,
+    },
+    /// Tear down the session.
+    Goodbye,
+}
+
+/// Control-plane responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlResponse {
+    /// Session established; carries the session token.
+    Welcome {
+        /// Opaque session token.
+        session: u64,
+    },
+    /// Generic success.
+    Ok,
+    /// Pool/container handle.
+    Handle {
+        /// Opaque handle value.
+        handle: u64,
+    },
+    /// Namespace operation result (opaque payload).
+    NamespaceResult {
+        /// Encoded result.
+        result: Bytes,
+    },
+    /// A memory capability.
+    Capability(MemoryCapability),
+    /// A QoS token.
+    Qos(QosToken),
+    /// Failure with an error string.
+    Error {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl ControlRequest {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            ControlRequest::Hello { tenant, auth } => {
+                w.u8(0).string(tenant).blob(auth);
+            }
+            ControlRequest::PoolConnect { pool } => {
+                w.u8(1).string(pool);
+            }
+            ControlRequest::ContOpen { container } => {
+                w.u8(2).string(container);
+            }
+            ControlRequest::DfsMount => {
+                w.u8(3);
+            }
+            ControlRequest::DfsNamespace { op } => {
+                w.u8(4).blob(op);
+            }
+            ControlRequest::GetCapability { len, scope_ns } => {
+                w.u8(5).u64(*len).u64(*scope_ns);
+            }
+            ControlRequest::QosRequest {
+                ops_per_sec,
+                bytes_per_sec,
+            } => {
+                w.u8(6).u64(*ops_per_sec).u64(*bytes_per_sec);
+            }
+            ControlRequest::Goodbye => {
+                w.u8(7);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(buf: Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        Ok(match r.u8()? {
+            0 => ControlRequest::Hello {
+                tenant: r.string()?,
+                auth: r.blob()?,
+            },
+            1 => ControlRequest::PoolConnect { pool: r.string()? },
+            2 => ControlRequest::ContOpen {
+                container: r.string()?,
+            },
+            3 => ControlRequest::DfsMount,
+            4 => ControlRequest::DfsNamespace { op: r.blob()? },
+            5 => ControlRequest::GetCapability {
+                len: r.u64()?,
+                scope_ns: r.u64()?,
+            },
+            6 => ControlRequest::QosRequest {
+                ops_per_sec: r.u64()?,
+                bytes_per_sec: r.u64()?,
+            },
+            7 => ControlRequest::Goodbye,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+impl ControlResponse {
+    /// Encodes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        match self {
+            ControlResponse::Welcome { session } => {
+                w.u8(0).u64(*session);
+            }
+            ControlResponse::Ok => {
+                w.u8(1);
+            }
+            ControlResponse::Handle { handle } => {
+                w.u8(2).u64(*handle);
+            }
+            ControlResponse::NamespaceResult { result } => {
+                w.u8(3).blob(result);
+            }
+            ControlResponse::Capability(c) => {
+                w.u8(4).u64(c.rkey).u64(c.addr).u64(c.len).u64(c.expires_ns);
+            }
+            ControlResponse::Qos(q) => {
+                w.u8(5).string(&q.tenant).u64(q.ops_per_sec).u64(q.bytes_per_sec);
+            }
+            ControlResponse::Error { reason } => {
+                w.u8(6).string(reason);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes from wire bytes.
+    pub fn decode(buf: Bytes) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        Ok(match r.u8()? {
+            0 => ControlResponse::Welcome { session: r.u64()? },
+            1 => ControlResponse::Ok,
+            2 => ControlResponse::Handle { handle: r.u64()? },
+            3 => ControlResponse::NamespaceResult { result: r.blob()? },
+            4 => ControlResponse::Capability(MemoryCapability {
+                rkey: r.u64()?,
+                addr: r.u64()?,
+                len: r.u64()?,
+                expires_ns: r.u64()?,
+            }),
+            5 => ControlResponse::Qos(QosToken {
+                tenant: r.string()?,
+                ops_per_sec: r.u64()?,
+                bytes_per_sec: r.u64()?,
+            }),
+            6 => ControlResponse::Error {
+                reason: r.string()?,
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_req(req: ControlRequest) {
+        let encoded = req.encode();
+        assert_eq!(ControlRequest::decode(encoded).unwrap(), req);
+    }
+
+    fn round_trip_resp(resp: ControlResponse) {
+        let encoded = resp.encode();
+        assert_eq!(ControlResponse::decode(encoded).unwrap(), resp);
+    }
+
+    #[test]
+    fn all_requests_round_trip() {
+        round_trip_req(ControlRequest::Hello {
+            tenant: "llm-train".into(),
+            auth: Bytes::from_static(b"secret-digest"),
+        });
+        round_trip_req(ControlRequest::PoolConnect {
+            pool: "pool0".into(),
+        });
+        round_trip_req(ControlRequest::ContOpen {
+            container: "posix-cont".into(),
+        });
+        round_trip_req(ControlRequest::DfsMount);
+        round_trip_req(ControlRequest::DfsNamespace {
+            op: Bytes::from_static(b"\x01mkdir /data"),
+        });
+        round_trip_req(ControlRequest::GetCapability {
+            len: 1 << 20,
+            scope_ns: 5_000_000_000,
+        });
+        round_trip_req(ControlRequest::QosRequest {
+            ops_per_sec: 100_000,
+            bytes_per_sec: 1 << 30,
+        });
+        round_trip_req(ControlRequest::Goodbye);
+    }
+
+    #[test]
+    fn all_responses_round_trip() {
+        round_trip_resp(ControlResponse::Welcome { session: 99 });
+        round_trip_resp(ControlResponse::Ok);
+        round_trip_resp(ControlResponse::Handle { handle: 0xF00D });
+        round_trip_resp(ControlResponse::NamespaceResult {
+            result: Bytes::from_static(b"dirents"),
+        });
+        round_trip_resp(ControlResponse::Capability(MemoryCapability {
+            rkey: 0xA11CE,
+            addr: 4096,
+            len: 1 << 20,
+            expires_ns: u64::MAX,
+        }));
+        round_trip_resp(ControlResponse::Qos(QosToken {
+            tenant: "tenant-b".into(),
+            ops_per_sec: 50_000,
+            bytes_per_sec: 500 << 20,
+        }));
+        round_trip_resp(ControlResponse::Error {
+            reason: "no such pool".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(200);
+        assert_eq!(
+            ControlRequest::decode(w.finish()).unwrap_err(),
+            WireError::BadTag(200)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Length-prefixed binary framing for control-plane messages.
+//!
+//! A deliberately small, dependency-free encoding (the role protobuf plays
+//! under gRPC): little-endian fixed-width integers, length-prefixed strings
+//! and byte blobs, and a one-byte tag per message variant.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Encoding buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+    /// Appends a bool as one byte.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.buf.put_u8(v as u8);
+        self
+    }
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v.as_bytes());
+        self
+    }
+    /// Appends a length-prefixed byte blob.
+    pub fn blob(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+    /// Finalizes into immutable bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Decoding failures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-field.
+    Truncated,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// An unknown message tag.
+    BadTag(u8),
+}
+
+/// Decoding cursor.
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wraps `buf` for reading.
+    pub fn new(buf: Bytes) -> Self {
+        WireReader { buf }
+    }
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+    /// Reads a bool.
+    pub fn boolean(&mut self) -> Result<bool, WireError> {
+        Ok(self.u8()? != 0)
+    }
+    /// Reads a length-prefixed string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let raw = self.buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+    /// Reads a length-prefixed blob.
+    pub fn blob(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        Ok(self.buf.copy_to_bytes(len))
+    }
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = WireWriter::new();
+        w.u8(7).u32(1234).u64(0xDEAD_BEEF_CAFE).boolean(true);
+        w.string("hello").blob(b"blobby");
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 1234);
+        assert_eq!(r.u64().unwrap(), 0xDEAD_BEEF_CAFE);
+        assert!(r.boolean().unwrap());
+        assert_eq!(r.string().unwrap(), "hello");
+        assert_eq!(&r.blob().unwrap()[..], b"blobby");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = WireWriter::new();
+        w.u64(42);
+        let bytes = w.finish();
+        let mut r = WireReader::new(bytes.slice(0..5));
+        assert_eq!(r.u64().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn bad_utf8_detected() {
+        let mut w = WireWriter::new();
+        w.blob(&[0xFF, 0xFE]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.string().unwrap_err(), WireError::BadUtf8);
+    }
+
+    #[test]
+    fn empty_string_and_blob() {
+        let mut w = WireWriter::new();
+        w.string("").blob(b"");
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.string().unwrap(), "");
+        assert_eq!(r.blob().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,549 @@
+//! The DAOS client (libdaos analogue) — the component ROS2 relocates from
+//! the host CPU to the BlueField-3 (§3.2).
+//!
+//! The client is placement-agnostic: it runs on whichever fabric node it is
+//! constructed for, and every CPU cost it pays is scaled to that node's
+//! core class. Each job (FIO thread) owns a connection, a serialized client
+//! core, and a registered staging buffer:
+//!
+//! * **RDMA**: updates announce staged data and the *server* pulls with
+//!   RDMA READ; fetches are *pushed* by the server with RDMA WRITE into the
+//!   job's buffer. The client CPU never touches payload bytes.
+//! * **TCP**: payloads travel inline in the RPC messages, paying per-byte
+//!   CPU on both ends (and the DPU receive-path penalty when the client is
+//!   the SmartNIC).
+
+use bytes::{Bytes, BytesMut};
+use ros2_hw::{CoreClass, Transport};
+use ros2_sim::{ServerPool, SimTime};
+use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, NodeId, PdId, RKey};
+use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
+
+use crate::engine::{DaosEngine, ValueKind};
+use crate::types::{AKey, DKey, DaosCostModel, DaosError, Epoch, ObjectId};
+
+/// RPC descriptor size on the wire (OBJ_UPDATE/OBJ_FETCH header).
+const RPC_DESC: usize = 128;
+/// Completion message size.
+const RPC_DONE: usize = 16;
+
+fn map_fabric(e: FabricError) -> DaosError {
+    DaosError::Transport(format!("{e:?}"))
+}
+
+struct ClientJob {
+    conn: ConnId,
+    core: ServerPool,
+    buf: MemAddr,
+    buf_len: u64,
+    rkey: Option<RKey>,
+}
+
+/// A connected DAOS client bound to one container.
+pub struct DaosClient {
+    node: NodeId,
+    server: NodeId,
+    cont: String,
+    pd: PdId,
+    jobs: Vec<ClientJob>,
+    model: DaosCostModel,
+    class: CoreClass,
+    transport: Transport,
+    ops: u64,
+}
+
+impl DaosClient {
+    /// Connects `jobs` client jobs from `node` to the engine on `server`,
+    /// staging through `buf_len`-byte buffers in `domain` (DPU DRAM for the
+    /// prototype; [`MemoryDomain::GpuHbm`] for the GPUDirect extension).
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect(
+        fabric: &mut Fabric,
+        node: NodeId,
+        server: NodeId,
+        tenant: &str,
+        cont: impl Into<String>,
+        jobs: usize,
+        buf_len: u64,
+        domain: MemoryDomain,
+        model: DaosCostModel,
+    ) -> Result<Self, DaosError> {
+        let class = fabric.node(node).class();
+        let transport = fabric.transport();
+        let pd = fabric.rdma_mut(node).alloc_pd(tenant);
+        let server_pd = fabric.rdma_mut(server).alloc_pd(format!("daos-engine:{tenant}"));
+        let mut out_jobs = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let conn = fabric.connect(node, server, pd, server_pd).map_err(map_fabric)?;
+            let buf = fabric
+                .rdma_mut(node)
+                .alloc_buffer(buf_len, domain)
+                .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+            let rkey = match transport {
+                Transport::Rdma => {
+                    let (_, rkey, _) = fabric
+                        .rdma_mut(node)
+                        .reg_mr(pd, buf, buf_len, AccessFlags::remote_rw(), Expiry::Never)
+                        .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+                    Some(rkey)
+                }
+                Transport::Tcp => None,
+            };
+            out_jobs.push(ClientJob {
+                conn,
+                core: ServerPool::new(1),
+                buf,
+                buf_len,
+                rkey,
+            });
+        }
+        Ok(DaosClient {
+            node,
+            server,
+            cont: cont.into(),
+            pd,
+            jobs: out_jobs,
+            model,
+            class,
+            transport,
+            ops: 0,
+        })
+    }
+
+    /// The node this client runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The storage-server node this client targets.
+    pub fn server(&self) -> NodeId {
+        self.server
+    }
+
+    /// The client's protection domain (its tenant boundary).
+    pub fn pd(&self) -> PdId {
+        self.pd
+    }
+
+    /// Number of jobs.
+    pub fn jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Operations issued.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The container this client is bound to.
+    pub fn container(&self) -> &str {
+        &self.cont
+    }
+
+    /// Resets per-job core timing to t=0.
+    pub fn reset_timing(&mut self) {
+        for j in &mut self.jobs {
+            j.core.reset_timing();
+        }
+    }
+
+    fn client_cpu(&mut self, now: SimTime, job: usize) -> SimTime {
+        let mut cost = self.class.scale(self.model.client_per_op);
+        if self.class == CoreClass::DpuArm {
+            cost = cost.mul_f64(self.model.dpu_client_overhead);
+        }
+        self.jobs[job].core.submit(now, cost).finish
+    }
+
+    /// Issues an OBJ_UPDATE from `job`. Returns the commit instant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        self.ops += 1;
+        let len = data.len() as u64;
+        if len > self.jobs[job].buf_len {
+            return Err(DaosError::Transport("staging buffer too small".into()));
+        }
+        let epoch = engine.next_epoch(&self.cont)?;
+        let t_cpu = self.client_cpu(now, job);
+        let conn = self.jobs[job].conn;
+
+        let (data_at_server, payload) = match self.transport {
+            Transport::Rdma => {
+                // Stage locally; descriptor announces it; server pulls.
+                fabric
+                    .rdma_mut(self.node)
+                    .write_local(self.jobs[job].buf, &data)
+                    .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+                let desc = fabric
+                    .send(t_cpu, conn, Dir::AtoB, Bytes::from(vec![0u8; RPC_DESC]))
+                    .map_err(map_fabric)?;
+                let pull = fabric
+                    .rdma_read(
+                        desc.at,
+                        conn,
+                        Dir::BtoA,
+                        self.jobs[job].rkey.expect("rdma job has rkey"),
+                        self.jobs[job].buf,
+                        len,
+                    )
+                    .map_err(map_fabric)?;
+                (pull.at, pull.data.expect("pull returns data"))
+            }
+            Transport::Tcp => {
+                // Descriptor + inline payload in one stream write.
+                let mut msg = BytesMut::with_capacity(RPC_DESC + data.len());
+                msg.extend_from_slice(&[0u8; RPC_DESC]);
+                msg.extend_from_slice(&data);
+                let d = fabric
+                    .send(t_cpu, conn, Dir::AtoB, msg.freeze())
+                    .map_err(map_fabric)?;
+                (d.at, d.data.expect("tcp carries data").slice(RPC_DESC..))
+            }
+        };
+
+        let persisted = engine.update(
+            data_at_server,
+            &self.cont,
+            oid,
+            dkey,
+            akey,
+            kind,
+            epoch,
+            payload,
+        )?;
+        let done = fabric
+            .send(persisted, conn, Dir::BtoA, Bytes::from(vec![0u8; RPC_DONE]))
+            .map_err(map_fabric)?;
+        Ok(done.at)
+    }
+
+    /// Issues an OBJ_FETCH from `job` reading `len` bytes at `epoch`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        self.ops += 1;
+        if len > self.jobs[job].buf_len {
+            return Err(DaosError::Transport("staging buffer too small".into()));
+        }
+        let t_cpu = self.client_cpu(now, job);
+        let conn = self.jobs[job].conn;
+        let req = fabric
+            .send(t_cpu, conn, Dir::AtoB, Bytes::from(vec![0u8; RPC_DESC]))
+            .map_err(map_fabric)?;
+
+        let (data, ready) = engine.fetch(req.at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
+
+        match self.transport {
+            Transport::Rdma => {
+                // Server pushes into the job's registered buffer, then a
+                // small completion SEND.
+                let push = fabric
+                    .rdma_write(
+                        ready,
+                        conn,
+                        Dir::BtoA,
+                        self.jobs[job].rkey.expect("rdma job has rkey"),
+                        self.jobs[job].buf,
+                        data,
+                    )
+                    .map_err(map_fabric)?;
+                let done = fabric
+                    .send(push.at, conn, Dir::BtoA, Bytes::from(vec![0u8; RPC_DONE]))
+                    .map_err(map_fabric)?;
+                let landed = fabric
+                    .node(self.node)
+                    .rdma
+                    .read_local(self.jobs[job].buf, len as usize)
+                    .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+                Ok((landed, done.at))
+            }
+            Transport::Tcp => {
+                let d = fabric.send(ready, conn, Dir::BtoA, data).map_err(map_fabric)?;
+                Ok((d.data.expect("tcp carries data"), d.at))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ObjClass;
+    use ros2_hw::{gbps, CpuComplement, DpuTcpRxModel, NicModel, NvmeModel};
+    use ros2_nvme::{DataMode, NvmeArray};
+    use ros2_spdk::BdevLayer;
+    use ros2_fabric::NodeSpec;
+
+    fn world(transport: Transport, client_is_dpu: bool) -> (Fabric, DaosEngine, DaosClient) {
+        let client_spec = if client_is_dpu {
+            NodeSpec {
+                name: "dpu".into(),
+                cpu: CpuComplement {
+                    class: CoreClass::DpuArm,
+                    cores: 16,
+                },
+                nic: NicModel::connectx7(),
+                port_rate: gbps(100),
+                mem_budget: 30 << 30,
+                dpu_tcp_rx: Some(DpuTcpRxModel::bluefield3()),
+            }
+        } else {
+            NodeSpec {
+                name: "host".into(),
+                cpu: CpuComplement {
+                    class: CoreClass::HostX86,
+                    cores: 48,
+                },
+                nic: NicModel::connectx6(),
+                port_rate: gbps(100),
+                mem_budget: 64 << 30,
+                dpu_tcp_rx: None,
+            }
+        };
+        let server_spec = NodeSpec {
+            name: "storage".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: 64,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 64 << 30,
+            dpu_tcp_rx: None,
+        };
+        let mut fabric = Fabric::new(transport, vec![client_spec, server_spec], 5);
+        let bdevs = BdevLayer::new(NvmeArray::new(
+            NvmeModel::enterprise_1600(),
+            1,
+            DataMode::Stored,
+        ));
+        let mut engine = DaosEngine::new(
+            "pool0",
+            bdevs,
+            256 << 20,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        engine.cont_create("cont0").unwrap();
+        let client = DaosClient::connect(
+            &mut fabric,
+            NodeId(0),
+            NodeId(1),
+            "tenant",
+            "cont0",
+            2,
+            4 << 20,
+            MemoryDomain::HostDram,
+            DaosCostModel::default_model(),
+        )
+        .unwrap();
+        (fabric, engine, client)
+    }
+
+    fn do_round_trip(transport: Transport) {
+        let (mut fabric, mut engine, mut client) = world(transport, false);
+        let oid = ObjectId::new(ObjClass::Sx, 1);
+        let data = Bytes::from(vec![0x3C; 1 << 20]);
+        let done = client
+            .update(
+                &mut fabric,
+                &mut engine,
+                SimTime::ZERO,
+                0,
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                data.clone(),
+            )
+            .unwrap();
+        let (back, _) = client
+            .fetch(
+                &mut fabric,
+                &mut engine,
+                done,
+                1,
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                Epoch::LATEST,
+                1 << 20,
+            )
+            .unwrap();
+        assert_eq!(back, data);
+        assert_eq!(client.ops(), 2);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        do_round_trip(Transport::Tcp);
+    }
+
+    #[test]
+    fn rdma_round_trip() {
+        do_round_trip(Transport::Rdma);
+    }
+
+    #[test]
+    fn rdma_fetch_is_faster_from_dpu_than_tcp_fetch() {
+        // The headline §4.4 comparison at the op level.
+        let run = |transport| {
+            let (mut fabric, mut engine, mut client) = world(transport, true);
+            let oid = ObjectId::new(ObjClass::Sx, 1);
+            let data = Bytes::from(vec![1u8; 1 << 20]);
+            let done = client
+                .update(
+                    &mut fabric,
+                    &mut engine,
+                    SimTime::ZERO,
+                    0,
+                    oid,
+                    DKey::from_u64(0),
+                    AKey::from_str("data"),
+                    ValueKind::Array { offset: 0 },
+                    data,
+                )
+                .unwrap();
+            let start = done;
+            let (_, at) = client
+                .fetch(
+                    &mut fabric,
+                    &mut engine,
+                    start,
+                    0,
+                    oid,
+                    DKey::from_u64(0),
+                    AKey::from_str("data"),
+                    ValueKind::Array { offset: 0 },
+                    Epoch::LATEST,
+                    1 << 20,
+                )
+                .unwrap();
+            at.saturating_since(start)
+        };
+        let tcp = run(Transport::Tcp);
+        let rdma = run(Transport::Rdma);
+        assert!(rdma < tcp, "DPU rdma {rdma} !< DPU tcp {tcp}");
+    }
+
+    #[test]
+    fn dpu_client_cpu_is_slower_but_functional() {
+        let (mut fabric, mut engine, mut client) = world(Transport::Rdma, true);
+        assert_eq!(client.jobs(), 2);
+        let oid = ObjectId::new(ObjClass::S1, 3);
+        let done = client
+            .update(
+                &mut fabric,
+                &mut engine,
+                SimTime::ZERO,
+                0,
+                oid,
+                DKey::from_str("k"),
+                AKey::from_str("v"),
+                ValueKind::Single,
+                Bytes::from_static(b"metadata"),
+            )
+            .unwrap();
+        let (back, _) = client
+            .fetch(
+                &mut fabric,
+                &mut engine,
+                done,
+                0,
+                oid,
+                DKey::from_str("k"),
+                AKey::from_str("v"),
+                ValueKind::Single,
+                Epoch::LATEST,
+                8,
+            )
+            .unwrap();
+        assert_eq!(&back[..], b"metadata");
+    }
+
+    #[test]
+    fn oversized_io_rejected_before_wire() {
+        let (mut fabric, mut engine, mut client) = world(Transport::Rdma, false);
+        let oid = ObjectId::new(ObjClass::S1, 3);
+        let err = client
+            .update(
+                &mut fabric,
+                &mut engine,
+                SimTime::ZERO,
+                0,
+                oid,
+                DKey::from_str("k"),
+                AKey::from_str("v"),
+                ValueKind::Single,
+                Bytes::from(vec![0u8; 8 << 20]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, DaosError::Transport(_)));
+    }
+
+    #[test]
+    fn checksum_error_propagates_to_client() {
+        let (mut fabric, mut engine, mut client) = world(Transport::Rdma, false);
+        let oid = ObjectId::new(ObjClass::Sx, 1);
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        let done = client
+            .update(
+                &mut fabric,
+                &mut engine,
+                SimTime::ZERO,
+                0,
+                oid,
+                d.clone(),
+                a.clone(),
+                ValueKind::Array { offset: 0 },
+                Bytes::from(vec![5u8; 64 << 10]),
+            )
+            .unwrap();
+        let t = engine.target_of(oid, Some(&d));
+        let mut bd = std::mem::replace(
+            engine.bdevs_mut(),
+            BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, DataMode::Pattern)),
+        );
+        assert!(engine.target_mut(t).corrupt_newest_extent(&mut bd, oid, &d, &a));
+        *engine.bdevs_mut() = bd;
+        let err = client
+            .fetch(
+                &mut fabric,
+                &mut engine,
+                done,
+                0,
+                oid,
+                d,
+                a,
+                ValueKind::Array { offset: 0 },
+                Epoch::LATEST,
+                64 << 10,
+            )
+            .unwrap_err();
+        assert_eq!(err, DaosError::ChecksumMismatch);
+    }
+}

@@ -1,0 +1,465 @@
+//! The DAOS I/O engine — the server-side process the paper leaves
+//! *unmodified* on the storage node (§3.1) while the client moves to the
+//! DPU.
+//!
+//! One engine serves a pool of targets (one per NVMe SSD, as DAOS binds
+//! targets to devices), each with its own VOS, SCM slice and xstream set.
+//! RPC handling, VOS indexing and checksum computation all charge CPU on
+//! the target's xstreams; media time comes from the bdev/pmem models.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use ros2_hw::{checksum_cost, CoreClass, LBA_SIZE};
+use ros2_sim::{ServerPool, SimTime};
+use ros2_spdk::BdevLayer;
+
+use crate::types::{placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId};
+use crate::vos::{VosStats, VosTarget};
+
+/// Update/fetch value kind.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ValueKind {
+    /// Whole-value single record.
+    Single,
+    /// Array extent at a byte offset.
+    Array {
+        /// Byte offset within the array value.
+        offset: u64,
+    },
+}
+
+/// A container's server-side state.
+#[derive(Clone, Debug, Default)]
+pub struct ContainerMeta {
+    /// Monotonic epoch counter (committed epochs).
+    pub epoch_counter: u64,
+    /// Snapshots taken (epoch values).
+    pub snapshots: Vec<u64>,
+}
+
+/// The storage-server engine.
+pub struct DaosEngine {
+    model: DaosCostModel,
+    class: CoreClass,
+    /// The pool label.
+    pub pool_label: String,
+    bdevs: BdevLayer,
+    targets: Vec<VosTarget>,
+    xstreams: Vec<ServerPool>,
+    containers: HashMap<String, ContainerMeta>,
+    rpcs: u64,
+}
+
+impl DaosEngine {
+    /// Creates an engine over `bdevs`, one target per device, with
+    /// `scm_bytes_per_target` of SCM each.
+    pub fn new(
+        pool_label: impl Into<String>,
+        bdevs: BdevLayer,
+        scm_bytes_per_target: u64,
+        model: DaosCostModel,
+        class: CoreClass,
+    ) -> Self {
+        let n = bdevs.count();
+        let lba_span = bdevs.array().lba_count_per_device();
+        let targets = (0..n)
+            .map(|dev| VosTarget::new(dev, 0, lba_span, scm_bytes_per_target, model.scm_threshold))
+            .collect();
+        let xstreams = (0..n)
+            .map(|_| ServerPool::new(model.xstreams_per_target))
+            .collect();
+        DaosEngine {
+            model,
+            class,
+            pool_label: pool_label.into(),
+            bdevs,
+            targets,
+            xstreams,
+            containers: HashMap::new(),
+            rpcs: 0,
+        }
+    }
+
+    /// Number of targets (== SSDs).
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Creates a container.
+    pub fn cont_create(&mut self, label: impl Into<String>) -> Result<(), DaosError> {
+        self.containers.insert(label.into(), ContainerMeta::default());
+        Ok(())
+    }
+
+    /// Whether a container exists (open handle check).
+    pub fn cont_exists(&self, label: &str) -> bool {
+        self.containers.contains_key(label)
+    }
+
+    /// Allocates the next commit epoch for a container.
+    pub fn next_epoch(&mut self, cont: &str) -> Result<Epoch, DaosError> {
+        let meta = self.containers.get_mut(cont).ok_or(DaosError::NoSuchEntity)?;
+        meta.epoch_counter += 1;
+        Ok(Epoch(meta.epoch_counter))
+    }
+
+    /// Records a snapshot at the container's current epoch and returns it.
+    pub fn snapshot(&mut self, cont: &str) -> Result<Epoch, DaosError> {
+        let meta = self.containers.get_mut(cont).ok_or(DaosError::NoSuchEntity)?;
+        meta.snapshots.push(meta.epoch_counter);
+        Ok(Epoch(meta.epoch_counter))
+    }
+
+    /// The target index serving `(oid, dkey)` under the object's class.
+    pub fn target_of(&self, oid: ObjectId, dkey: Option<&DKey>) -> usize {
+        let n = self.targets.len() as u64;
+        let h = match oid.class() {
+            ObjClass::S1 => placement_hash(&oid, None),
+            ObjClass::Sx => placement_hash(&oid, dkey),
+        };
+        (h % n) as usize
+    }
+
+    /// Total RPCs processed.
+    pub fn rpcs(&self) -> u64 {
+        self.rpcs
+    }
+
+    /// Merged VOS stats across targets.
+    pub fn vos_stats(&self) -> VosStats {
+        let mut out = VosStats::default();
+        for t in &self.targets {
+            let s = t.stats();
+            out.sv_updates += s.sv_updates;
+            out.array_updates += s.array_updates;
+            out.fetches += s.fetches;
+            out.scm_records += s.scm_records;
+            out.nvme_records += s.nvme_records;
+            out.checksum_failures += s.checksum_failures;
+            out.aggregated_extents += s.aggregated_extents;
+        }
+        out
+    }
+
+    fn xstream_grant(&mut self, now: SimTime, target: usize, bytes: u64) -> SimTime {
+        let cpu = self.model.server_per_rpc + self.model.vos_per_op + checksum_cost(bytes);
+        let cost = self.class.scale(cpu);
+        self.xstreams[target].submit(now, cost).finish
+    }
+
+    /// Services an OBJ_UPDATE RPC arriving at `now` (data already present
+    /// server-side). Returns the persisted-at instant.
+    pub fn update(
+        &mut self,
+        now: SimTime,
+        cont: &str,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        if !self.containers.contains_key(cont) {
+            return Err(DaosError::NoSuchEntity);
+        }
+        self.rpcs += 1;
+        let target = self.target_of(oid, Some(&dkey));
+        let picked = self.xstream_grant(now, target, data.len() as u64);
+        match kind {
+            ValueKind::Single => self.targets[target].update_single(
+                picked,
+                &mut self.bdevs,
+                oid,
+                dkey,
+                akey,
+                epoch,
+                data,
+            ),
+            ValueKind::Array { offset } => self.targets[target].update_array(
+                picked,
+                &mut self.bdevs,
+                oid,
+                dkey,
+                akey,
+                epoch,
+                offset,
+                data,
+            ),
+        }
+    }
+
+    /// Services an OBJ_FETCH RPC arriving at `now`. Returns the data and
+    /// the instant it is ready to leave the server.
+    pub fn fetch(
+        &mut self,
+        now: SimTime,
+        cont: &str,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        if !self.containers.contains_key(cont) {
+            return Err(DaosError::NoSuchEntity);
+        }
+        self.rpcs += 1;
+        let target = self.target_of(oid, Some(dkey));
+        let picked = self.xstream_grant(now, target, len);
+        match kind {
+            ValueKind::Single => {
+                self.targets[target].fetch_single(picked, &mut self.bdevs, oid, dkey, akey, epoch)
+            }
+            ValueKind::Array { offset } => self.targets[target].fetch_array(
+                picked,
+                &mut self.bdevs,
+                oid,
+                dkey,
+                akey,
+                epoch,
+                offset,
+                len,
+            ),
+        }
+    }
+
+    /// Lists dkeys of an object (enumerations go to the object's S1 target
+    /// or all targets for striped objects).
+    pub fn list_dkeys(&mut self, oid: ObjectId) -> Vec<DKey> {
+        self.rpcs += 1;
+        let mut keys = Vec::new();
+        for t in &self.targets {
+            keys.extend(t.list_dkeys(oid));
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Punches a `(dkey, akey)`.
+    pub fn punch(&mut self, oid: ObjectId, dkey: &DKey, akey: &AKey) -> Result<(), DaosError> {
+        self.rpcs += 1;
+        let target = self.target_of(oid, Some(dkey));
+        self.targets[target].punch(oid, dkey, akey)
+    }
+
+    /// Punches an entire object across targets.
+    pub fn punch_object(&mut self, oid: ObjectId) {
+        self.rpcs += 1;
+        for t in &mut self.targets {
+            t.punch_object(oid);
+        }
+    }
+
+    /// Runs epoch aggregation on every target.
+    pub fn aggregate(&mut self, boundary: Epoch) {
+        for t in &mut self.targets {
+            t.aggregate(boundary);
+        }
+    }
+
+    /// Direct bdev access (tests, corruption injection).
+    pub fn bdevs_mut(&mut self) -> &mut BdevLayer {
+        &mut self.bdevs
+    }
+
+    /// Direct target access (tests).
+    pub fn target_mut(&mut self, t: usize) -> &mut VosTarget {
+        &mut self.targets[t]
+    }
+
+    /// Resets xstream and device timing to t=0; contents are untouched.
+    pub fn reset_timing(&mut self) {
+        for x in &mut self.xstreams {
+            x.reset_timing();
+        }
+        self.bdevs.array_mut().reset_timing();
+    }
+
+    /// Total bytes of NVMe capacity in the pool.
+    pub fn pool_capacity(&self) -> u64 {
+        self.bdevs.array().capacity() / LBA_SIZE * LBA_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros2_hw::NvmeModel;
+    use ros2_nvme::{DataMode, NvmeArray};
+
+    fn engine(ssds: usize) -> DaosEngine {
+        let bdevs = BdevLayer::new(NvmeArray::new(
+            NvmeModel::enterprise_1600(),
+            ssds,
+            DataMode::Stored,
+        ));
+        let mut e = DaosEngine::new(
+            "pool0",
+            bdevs,
+            256 << 20,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        e.cont_create("cont0").unwrap();
+        e
+    }
+
+    #[test]
+    fn update_fetch_round_trip() {
+        let mut e = engine(1);
+        let oid = ObjectId::new(ObjClass::S1, 1);
+        let epoch = e.next_epoch("cont0").unwrap();
+        let data = Bytes::from(vec![0xAA; 128 << 10]);
+        let done = e
+            .update(
+                SimTime::ZERO,
+                "cont0",
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                epoch,
+                data.clone(),
+            )
+            .unwrap();
+        let (back, at) = e
+            .fetch(
+                done,
+                "cont0",
+                oid,
+                &DKey::from_u64(0),
+                &AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                Epoch::LATEST,
+                128 << 10,
+            )
+            .unwrap();
+        assert_eq!(back, data);
+        assert!(at > done);
+        assert_eq!(e.rpcs(), 2);
+    }
+
+    #[test]
+    fn striped_objects_engage_all_targets() {
+        let mut e = engine(4);
+        let oid = ObjectId::new(ObjClass::Sx, 9);
+        let mut hit = [false; 4];
+        for chunk in 0..64u64 {
+            hit[e.target_of(oid, Some(&DKey::from_u64(chunk)))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "chunks must stripe: {hit:?}");
+        // Single-target objects stay on one target regardless of dkey.
+        let s1 = ObjectId::new(ObjClass::S1, 9);
+        let t0 = e.target_of(s1, Some(&DKey::from_u64(0)));
+        assert!((0..64u64).all(|c| e.target_of(s1, Some(&DKey::from_u64(c))) == t0));
+    }
+
+    #[test]
+    fn unknown_container_rejected() {
+        let mut e = engine(1);
+        let oid = ObjectId::new(ObjClass::S1, 1);
+        let err = e
+            .update(
+                SimTime::ZERO,
+                "nope",
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("a"),
+                ValueKind::Single,
+                Epoch(1),
+                Bytes::new(),
+            )
+            .unwrap_err();
+        assert_eq!(err, DaosError::NoSuchEntity);
+    }
+
+    #[test]
+    fn epochs_are_monotonic_per_container() {
+        let mut e = engine(1);
+        e.cont_create("other").unwrap();
+        let a = e.next_epoch("cont0").unwrap();
+        let b = e.next_epoch("cont0").unwrap();
+        let c = e.next_epoch("other").unwrap();
+        assert!(b > a);
+        assert_eq!(c, Epoch(1), "containers have independent epochs");
+    }
+
+    #[test]
+    fn snapshot_records_current_epoch() {
+        let mut e = engine(1);
+        e.next_epoch("cont0").unwrap();
+        e.next_epoch("cont0").unwrap();
+        let snap = e.snapshot("cont0").unwrap();
+        assert_eq!(snap, Epoch(2));
+    }
+
+    #[test]
+    fn xstreams_serialize_per_target() {
+        let mut e = engine(1);
+        let oid = ObjectId::new(ObjClass::S1, 1);
+        let epoch = e.next_epoch("cont0").unwrap();
+        // Submit more concurrent updates than xstreams; completions spread.
+        let mut times: Vec<SimTime> = (0..8u64)
+            .map(|i| {
+                e.update(
+                    SimTime::ZERO,
+                    "cont0",
+                    oid,
+                    DKey::from_u64(i),
+                    AKey::from_str("a"),
+                    ValueKind::Single,
+                    epoch,
+                    Bytes::from_static(b"tiny"),
+                )
+                .unwrap()
+            })
+            .collect();
+        times.sort();
+        assert!(times.last().unwrap() > times.first().unwrap());
+    }
+
+    #[test]
+    fn corruption_detected_through_engine() {
+        let mut e = engine(1);
+        let oid = ObjectId::new(ObjClass::S1, 7);
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        let epoch = e.next_epoch("cont0").unwrap();
+        e.update(
+            SimTime::ZERO,
+            "cont0",
+            oid,
+            d.clone(),
+            a.clone(),
+            ValueKind::Array { offset: 0 },
+            epoch,
+            Bytes::from(vec![1u8; 64 << 10]),
+        )
+        .unwrap();
+        let t = e.target_of(oid, Some(&d));
+        // Split borrows: temporarily take the bdevs out.
+        let mut bd = std::mem::replace(
+            &mut e.bdevs,
+            BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, DataMode::Pattern)),
+        );
+        assert!(e.targets[t].corrupt_newest_extent(&mut bd, oid, &d, &a));
+        e.bdevs = bd;
+        let err = e
+            .fetch(
+                SimTime::from_secs(1),
+                "cont0",
+                oid,
+                &d,
+                &a,
+                ValueKind::Array { offset: 0 },
+                Epoch::LATEST,
+                64 << 10,
+            )
+            .unwrap_err();
+        assert_eq!(err, DaosError::ChecksumMismatch);
+    }
+}

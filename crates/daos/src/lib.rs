@@ -1,0 +1,28 @@
+//! # ros2-daos — the DAOS-like object storage engine and client
+//!
+//! A functional reproduction of the DAOS stack the paper builds on (§2.4,
+//! §3.3): a transactional, epoch-versioned object model with a dkey/akey
+//! key–array layout, end-to-end CRC32C checksums, SCM + NVMe media tiering
+//! (PMDK- and SPDK-style, both in user space), per-target xstreams, and a
+//! placement layer that stripes file-data objects across all targets.
+//!
+//! The [`DaosClient`] is the piece ROS2 offloads to the BlueField-3: it is
+//! placement-agnostic and pays its CPU costs on whichever fabric node hosts
+//! it, while the [`DaosEngine`] stays unmodified on the storage server —
+//! exactly the paper's architecture.
+
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod client;
+pub mod engine;
+pub mod types;
+pub mod vos;
+
+pub use checksum::{crc32c, crc32c_append, Checksum};
+pub use client::DaosClient;
+pub use engine::{ContainerMeta, DaosEngine, ValueKind};
+pub use types::{
+    placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId,
+};
+pub use vos::{Location, VosStats, VosTarget};

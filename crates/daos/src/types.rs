@@ -1,0 +1,220 @@
+//! DAOS object-model types: object identifiers and classes, distribution
+//! and attribute keys, epochs, and the engine cost model.
+
+use bytes::Bytes;
+use ros2_sim::SimDuration;
+
+/// A 128-bit DAOS object identifier. The high word carries the object
+/// class; the low word is caller-assigned (DFS stores inode numbers there).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId {
+    /// Class and metadata bits.
+    pub hi: u64,
+    /// Caller-assigned identity.
+    pub lo: u64,
+}
+
+impl ObjectId {
+    /// Builds an id with the given class over a caller value.
+    pub fn new(class: ObjClass, lo: u64) -> Self {
+        let class_bits: u64 = match class {
+            ObjClass::S1 => 1 << 56,
+            ObjClass::Sx => 2 << 56,
+        };
+        ObjectId {
+            hi: class_bits,
+            lo,
+        }
+    }
+
+    /// The object class encoded in `hi`.
+    pub fn class(&self) -> ObjClass {
+        match self.hi >> 56 {
+            2 => ObjClass::Sx,
+            _ => ObjClass::S1,
+        }
+    }
+}
+
+/// Object placement classes (the subset DFS uses).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ObjClass {
+    /// Single target: all dkeys on one target (metadata objects).
+    S1,
+    /// Striped across all targets by dkey (file-data objects) — this is
+    /// what lets one file's chunks engage all four SSDs in Fig. 5.
+    Sx,
+}
+
+/// A distribution key. Records under different dkeys may land on different
+/// targets (for striped classes).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DKey(pub Bytes);
+
+impl DKey {
+    /// A dkey from a string.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Self {
+        DKey(Bytes::copy_from_slice(s.as_bytes()))
+    }
+    /// A dkey from a u64 (DFS chunk indices).
+    pub fn from_u64(v: u64) -> Self {
+        DKey(Bytes::copy_from_slice(&v.to_le_bytes()))
+    }
+}
+
+/// An attribute key within a dkey.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AKey(pub Bytes);
+
+impl AKey {
+    /// An akey from a string.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Self {
+        AKey(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+/// A transactional epoch. Updates are tagged; fetches read the latest state
+/// at or below their epoch (DAOS's versioned object model, §2.4).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The maximum epoch: reads see everything committed.
+    pub const LATEST: Epoch = Epoch(u64::MAX);
+}
+
+/// FNV-1a over bytes — the placement hash (stable and documented; the real
+/// system uses jump consistent hashing over the pool map).
+pub fn placement_hash(oid: &ObjectId, dkey: Option<&DKey>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in oid.hi.to_le_bytes() {
+        eat(b);
+    }
+    for b in oid.lo.to_le_bytes() {
+        eat(b);
+    }
+    if let Some(dk) = dkey {
+        for &b in dk.0.iter() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// The DAOS engine/client cost model (host-core calibrated; scaled by the
+/// executing node's core class).
+#[derive(Copy, Clone, Debug)]
+pub struct DaosCostModel {
+    /// Server-side RPC handling per I/O (CaRT/Mercury decode, dispatch).
+    pub server_per_rpc: SimDuration,
+    /// VOS index lookup/insert per I/O.
+    pub vos_per_op: SimDuration,
+    /// Service xstreams per target (DAOS binds targets to xstreams).
+    pub xstreams_per_target: usize,
+    /// Client-side cost per I/O on the issuing job's core. This is the
+    /// full libdfs/libdaos path (RPC pack, EQ poll, completion): ~11 µs on
+    /// a host core. On BlueField-3 ARM it scales to ~20 µs, which is the
+    /// calibrated source of the paper's 20-40 % DPU small-I/O gap under
+    /// RDMA (Fig. 5d).
+    pub client_per_op: SimDuration,
+    /// Values at or below this size are stored in SCM; larger ones go to
+    /// NVMe (the DAOS media-selection policy).
+    pub scm_threshold: u64,
+    /// Extra multiplier on `client_per_op` when the client runs on DPU ARM
+    /// cores, *on top of* the generic core-speed scaling. The libdaos/libdfs
+    /// path is pointer-chasing and cache-miss heavy; the A78AE's smaller
+    /// last-level cache and lack of DDIO hit it harder than streaming code.
+    /// 1.35× lands the Fig. 5d result: DPU RDMA small-I/O trails the host
+    /// by 20–40 % while still beating DPU TCP by ≥2×.
+    pub dpu_client_overhead: f64,
+}
+
+impl DaosCostModel {
+    /// Default calibration.
+    pub fn default_model() -> Self {
+        DaosCostModel {
+            server_per_rpc: SimDuration::from_nanos(3_000),
+            vos_per_op: SimDuration::from_nanos(2_000),
+            xstreams_per_target: 4,
+            client_per_op: SimDuration::from_nanos(11_000),
+            scm_threshold: 4096,
+            dpu_client_overhead: 1.35,
+        }
+    }
+}
+
+/// DAOS-layer errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DaosError {
+    /// Unknown pool/container/object handle.
+    NoSuchEntity,
+    /// Fetch of a range that was never written.
+    NotFound,
+    /// Stored checksum did not match the data (media corruption detected).
+    ChecksumMismatch,
+    /// The SCM tier is out of space.
+    ScmFull,
+    /// The NVMe tier is out of space.
+    NvmeFull,
+    /// Underlying device error.
+    Media(String),
+    /// Fabric/transport error.
+    Transport(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_class_round_trips() {
+        assert_eq!(ObjectId::new(ObjClass::S1, 42).class(), ObjClass::S1);
+        assert_eq!(ObjectId::new(ObjClass::Sx, 42).class(), ObjClass::Sx);
+        assert_eq!(ObjectId::new(ObjClass::Sx, 42).lo, 42);
+    }
+
+    #[test]
+    fn placement_hash_is_stable_and_dkey_sensitive() {
+        let oid = ObjectId::new(ObjClass::Sx, 7);
+        let a = placement_hash(&oid, Some(&DKey::from_u64(0)));
+        let b = placement_hash(&oid, Some(&DKey::from_u64(1)));
+        let a2 = placement_hash(&oid, Some(&DKey::from_u64(0)));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(placement_hash(&oid, None), a);
+    }
+
+    #[test]
+    fn dkeys_spread_across_four_targets() {
+        // The Fig. 5 four-SSD scaling requires chunk dkeys to hit all
+        // targets with reasonable balance.
+        let oid = ObjectId::new(ObjClass::Sx, 123);
+        let mut counts = [0u32; 4];
+        for chunk in 0..4000u64 {
+            let t = (placement_hash(&oid, Some(&DKey::from_u64(chunk))) % 4) as usize;
+            counts[t] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "imbalanced {counts:?}");
+        }
+    }
+
+    #[test]
+    fn epoch_ordering() {
+        assert!(Epoch(1) < Epoch(2));
+        assert!(Epoch(u64::MAX - 1) < Epoch::LATEST);
+    }
+
+    #[test]
+    fn cost_model_defaults_sane() {
+        let m = DaosCostModel::default_model();
+        assert!(m.client_per_op > m.server_per_rpc);
+        assert_eq!(m.scm_threshold, 4096);
+    }
+}

@@ -1,0 +1,770 @@
+//! VOS — the Versioned Object Store of one DAOS target.
+//!
+//! Each target owns a slice of one NVMe device plus an SCM (pmem) pool and
+//! keeps a DRAM index of epoch-tagged records:
+//!
+//! * **single values** (DFS inode entries, superblocks) — whole-value
+//!   updates, latest-wins at a given epoch;
+//! * **array values** (DFS file chunks) — extent records resolved by
+//!   overlaying later epochs over earlier ones, with sparse gaps reading
+//!   as zero (POSIX holes).
+//!
+//! Media selection follows DAOS policy: records at or below the SCM
+//! threshold persist in pmem; larger records land on NVMe extents. Every
+//! record carries a CRC32C computed at update and verified at fetch —
+//! the end-to-end checksum path of §2.4.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::{Bytes, BytesMut};
+use ros2_hw::LBA_SIZE;
+use ros2_sim::SimTime;
+use ros2_spdk::BdevLayer;
+
+use crate::checksum::Checksum;
+use crate::types::{AKey, DKey, DaosError, Epoch, ObjectId};
+
+/// Where a record's bytes live.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Location {
+    /// In the target's SCM pool.
+    Scm(ros2_pmem::PmemOid),
+    /// On the target's NVMe slice.
+    Nvme {
+        /// Starting LBA (absolute on the device).
+        slba: u64,
+        /// Blocks.
+        nlb: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct SvRecord {
+    epoch: Epoch,
+    len: u64,
+    location: Location,
+    checksum: Checksum,
+}
+
+/// Checksum granularity for array extents (DAOS `cs_chunksize` analogue).
+/// Per-chunk checksums let a 4 KiB read verify one chunk instead of
+/// re-reading a whole 1 MiB extent — essential for the paper's small-I/O
+/// numbers.
+pub const CSUM_CHUNK: u64 = 4096;
+
+#[derive(Clone, Debug)]
+struct ExtentRecord {
+    epoch: Epoch,
+    offset: u64,
+    len: u64,
+    /// Stored (possibly LBA-padded) length on media.
+    stored_len: u64,
+    location: Location,
+    /// One CRC32C per CSUM_CHUNK of the *stored* representation.
+    checksums: Vec<Checksum>,
+}
+
+fn chunk_checksums(stored: &[u8]) -> Vec<Checksum> {
+    stored
+        .chunks(CSUM_CHUNK as usize)
+        .map(Checksum::of)
+        .collect()
+}
+
+#[derive(Clone, Debug, Default)]
+struct ValueStore {
+    sv: Vec<SvRecord>,
+    extents: Vec<ExtentRecord>,
+}
+
+/// Aggregate VOS statistics for one target.
+#[derive(Clone, Debug, Default)]
+pub struct VosStats {
+    /// Single-value updates.
+    pub sv_updates: u64,
+    /// Array-extent updates.
+    pub array_updates: u64,
+    /// Fetches of either kind.
+    pub fetches: u64,
+    /// Records placed in SCM.
+    pub scm_records: u64,
+    /// Records placed on NVMe.
+    pub nvme_records: u64,
+    /// Checksum verification failures detected.
+    pub checksum_failures: u64,
+    /// Extents reclaimed by aggregation.
+    pub aggregated_extents: u64,
+}
+
+/// One target's versioned object store.
+#[derive(Debug)]
+pub struct VosTarget {
+    /// Which bdev this target owns a slice of.
+    pub dev: usize,
+    scm: ros2_pmem::PmemPool,
+    scm_threshold: u64,
+    nvme_next: u64,
+    nvme_limit: u64,
+    free_extents: Vec<(u64, u32)>,
+    objects: HashMap<ObjectId, BTreeMap<(DKey, AKey), ValueStore>>,
+    stats: VosStats,
+}
+
+impl VosTarget {
+    /// Creates a target over `[lba_base, lba_base+lba_span)` of device
+    /// `dev`, with an SCM pool of `scm_bytes`.
+    pub fn new(dev: usize, lba_base: u64, lba_span: u64, scm_bytes: u64, scm_threshold: u64) -> Self {
+        VosTarget {
+            dev,
+            scm: ros2_pmem::PmemPool::new(scm_bytes, ros2_pmem::ScmModel::optane_class()),
+            scm_threshold,
+            nvme_next: lba_base,
+            nvme_limit: lba_base + lba_span,
+            free_extents: Vec::new(),
+            objects: HashMap::new(),
+            stats: VosStats::default(),
+        }
+    }
+
+    /// Target statistics.
+    pub fn stats(&self) -> &VosStats {
+        &self.stats
+    }
+
+    /// The SCM pool (for utilization reports).
+    pub fn scm(&self) -> &ros2_pmem::PmemPool {
+        &self.scm
+    }
+
+    fn alloc_nvme(&mut self, nlb: u32) -> Result<u64, DaosError> {
+        if let Some(pos) = self.free_extents.iter().position(|&(_, n)| n >= nlb) {
+            let (slba, n) = self.free_extents.swap_remove(pos);
+            if n > nlb {
+                self.free_extents.push((slba + nlb as u64, n - nlb));
+            }
+            return Ok(slba);
+        }
+        if self.nvme_next + nlb as u64 > self.nvme_limit {
+            return Err(DaosError::NvmeFull);
+        }
+        let slba = self.nvme_next;
+        self.nvme_next += nlb as u64;
+        Ok(slba)
+    }
+
+    /// Persists `data`, choosing media by size. Returns the location, the
+    /// stored (possibly padded) bytes, and the media completion time.
+    fn place(
+        &mut self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        data: &Bytes,
+    ) -> Result<(Location, Bytes, SimTime), DaosError> {
+        if data.len() as u64 <= self.scm_threshold {
+            let oid = self
+                .scm
+                .alloc(data.len().max(1) as u64)
+                .map_err(|_| DaosError::ScmFull)?;
+            self.scm
+                .write(oid, 0, data)
+                .map_err(|e| DaosError::Media(format!("{e:?}")))?;
+            let done = self.scm.timed_write(now, data.len() as u64);
+            self.stats.scm_records += 1;
+            Ok((Location::Scm(oid), data.clone(), done))
+        } else {
+            let nlb = (data.len() as u64).div_ceil(LBA_SIZE) as u32;
+            let slba = self.alloc_nvme(nlb)?;
+            // Pad the tail block so the device write is LBA-aligned.
+            let padded = if data.len() as u64 % LBA_SIZE == 0 {
+                data.clone()
+            } else {
+                let mut b = BytesMut::with_capacity((nlb as usize) * LBA_SIZE as usize);
+                b.extend_from_slice(data);
+                b.resize((nlb as usize) * LBA_SIZE as usize, 0);
+                b.freeze()
+            };
+            let done = bdevs
+                .write(now, self.dev, slba, padded.clone())
+                .map_err(|e| DaosError::Media(format!("{e:?}")))?;
+            self.stats.nvme_records += 1;
+            Ok((Location::Nvme { slba, nlb }, padded, done.at))
+        }
+    }
+
+    /// Reads `[at, at+len)` of an extent's *stored* bytes, loading only the
+    /// checksum chunks that cover the range and verifying them.
+    #[allow(clippy::too_many_arguments)]
+    fn load_range(
+        &mut self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        rec_location: &Location,
+        rec_stored_len: u64,
+        checksums: &[Checksum],
+        at: u64,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        // Chunk-align the window.
+        let c0 = at / CSUM_CHUNK;
+        let c1 = (at + len).div_ceil(CSUM_CHUNK);
+        let win_lo = c0 * CSUM_CHUNK;
+        let win_hi = (c1 * CSUM_CHUNK).min(rec_stored_len);
+        let (stored, done) = match rec_location {
+            Location::Scm(oid) => {
+                let data = self
+                    .scm
+                    .read(*oid, win_lo, (win_hi - win_lo) as usize)
+                    .map_err(|e| DaosError::Media(format!("{e:?}")))?;
+                (data, self.scm.timed_read(now, win_hi - win_lo))
+            }
+            Location::Nvme { slba, .. } => {
+                // CSUM_CHUNK == LBA_SIZE, so chunk windows are LBA-aligned.
+                let lba0 = slba + win_lo / LBA_SIZE;
+                let nlb = ((win_hi - win_lo).div_ceil(LBA_SIZE)) as u32;
+                let c = bdevs
+                    .read(now, self.dev, lba0, nlb)
+                    .map_err(|e| DaosError::Media(format!("{e:?}")))?;
+                let data = c.data.expect("bdev read returns data");
+                (data.slice(0..(win_hi - win_lo) as usize), c.at)
+            }
+        };
+        // Verify the covered chunks.
+        for (i, chunk) in stored.chunks(CSUM_CHUNK as usize).enumerate() {
+            let idx = c0 as usize + i;
+            if idx >= checksums.len() || !checksums[idx].verify(chunk) {
+                self.stats.checksum_failures += 1;
+                return Err(DaosError::ChecksumMismatch);
+            }
+        }
+        let rel_lo = (at - win_lo) as usize;
+        Ok((stored.slice(rel_lo..rel_lo + len as usize), done))
+    }
+
+    /// Reads a record's bytes back from its location.
+    fn load(
+        &self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        loc: &Location,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        match loc {
+            Location::Scm(oid) => {
+                let data = self
+                    .scm
+                    .read(*oid, 0, len as usize)
+                    .map_err(|e| DaosError::Media(format!("{e:?}")))?;
+                Ok((data, self.scm.timed_read(now, len)))
+            }
+            Location::Nvme { slba, nlb } => {
+                let c = bdevs
+                    .read(now, self.dev, *slba, *nlb)
+                    .map_err(|e| DaosError::Media(format!("{e:?}")))?;
+                let data = c.data.expect("bdev read returns data");
+                Ok((data.slice(0..len as usize), c.at))
+            }
+        }
+    }
+
+    /// Updates a single value.
+    pub fn update_single(
+        &mut self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        epoch: Epoch,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        let checksum = Checksum::of(&data);
+        let len = data.len() as u64;
+        let (location, _stored, done) = self.place(now, bdevs, &data)?;
+        let store = self
+            .objects
+            .entry(oid)
+            .or_default()
+            .entry((dkey, akey))
+            .or_default();
+        store.sv.push(SvRecord {
+            epoch,
+            len,
+            location,
+            checksum,
+        });
+        self.stats.sv_updates += 1;
+        Ok(done)
+    }
+
+    /// Fetches the latest single value at or below `epoch`.
+    pub fn fetch_single(
+        &mut self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &AKey,
+        epoch: Epoch,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        self.stats.fetches += 1;
+        let store = self
+            .objects
+            .get(&oid)
+            .and_then(|o| o.get(&(dkey.clone(), akey.clone())))
+            .ok_or(DaosError::NotFound)?;
+        let rec = store
+            .sv
+            .iter()
+            .filter(|r| r.epoch <= epoch)
+            .max_by_key(|r| r.epoch)
+            .ok_or(DaosError::NotFound)?
+            .clone();
+        let (data, done) = self.load(now, bdevs, &rec.location, rec.len)?;
+        if !rec.checksum.verify(&data) {
+            self.stats.checksum_failures += 1;
+            return Err(DaosError::ChecksumMismatch);
+        }
+        Ok((data, done))
+    }
+
+    /// Writes an array extent at `offset`.
+    pub fn update_array(
+        &mut self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        epoch: Epoch,
+        offset: u64,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        let len = data.len() as u64;
+        let (location, stored, done) = self.place(now, bdevs, &data)?;
+        let checksums = chunk_checksums(&stored);
+        let store = self
+            .objects
+            .entry(oid)
+            .or_default()
+            .entry((dkey, akey))
+            .or_default();
+        store.extents.push(ExtentRecord {
+            epoch,
+            offset,
+            len,
+            stored_len: stored.len() as u64,
+            location,
+            checksums,
+        });
+        self.stats.array_updates += 1;
+        Ok(done)
+    }
+
+    /// Reads `[offset, offset+len)` of an array value at `epoch`, resolving
+    /// extent overlays; unwritten gaps read as zero.
+    pub fn fetch_array(
+        &mut self,
+        now: SimTime,
+        bdevs: &mut BdevLayer,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &AKey,
+        epoch: Epoch,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        self.stats.fetches += 1;
+        let key = (dkey.clone(), akey.clone());
+        let Some(store) = self.objects.get(&oid).and_then(|o| o.get(&key)) else {
+            // Never-written range: a hole.
+            return Ok((Bytes::from(vec![0u8; len as usize]), now));
+        };
+        // Collect visible extents that intersect the range, in epoch order
+        // (ties resolved by insertion order, which Vec preserves).
+        let visible: Vec<ExtentRecord> = store
+            .extents
+            .iter()
+            .filter(|e| e.epoch <= epoch && e.offset < offset + len && e.offset + e.len > offset)
+            .cloned()
+            .collect();
+        let mut out = BytesMut::zeroed(len as usize);
+        let mut latest = now;
+        for rec in &visible {
+            // Only the intersecting chunk window is read and verified.
+            let from = rec.offset.max(offset);
+            let to = (rec.offset + rec.len).min(offset + len);
+            let (data, done) = self.load_range(
+                now,
+                bdevs,
+                &rec.location,
+                rec.stored_len,
+                &rec.checksums,
+                from - rec.offset,
+                to - from,
+            )?;
+            latest = latest.max(done);
+            let dst = (from - offset) as usize..(to - offset) as usize;
+            out[dst].copy_from_slice(&data);
+        }
+        Ok((out.freeze(), latest))
+    }
+
+    /// Lists the dkeys of an object (directory enumeration path).
+    pub fn list_dkeys(&self, oid: ObjectId) -> Vec<DKey> {
+        let mut keys: Vec<DKey> = self
+            .objects
+            .get(&oid)
+            .map(|o| o.keys().map(|(d, _)| d.clone()).collect())
+            .unwrap_or_default();
+        keys.dedup();
+        keys
+    }
+
+    /// Removes a `(dkey, akey)` entry (punch), freeing NVMe extents.
+    pub fn punch(&mut self, oid: ObjectId, dkey: &DKey, akey: &AKey) -> Result<(), DaosError> {
+        let obj = self.objects.get_mut(&oid).ok_or(DaosError::NotFound)?;
+        let store = obj
+            .remove(&(dkey.clone(), akey.clone()))
+            .ok_or(DaosError::NotFound)?;
+        for rec in store.extents {
+            if let Location::Nvme { slba, nlb } = rec.location {
+                self.free_extents.push((slba, nlb));
+            } else if let Location::Scm(oid) = rec.location {
+                self.scm.free(oid);
+            }
+        }
+        for rec in store.sv {
+            if let Location::Nvme { slba, nlb } = rec.location {
+                self.free_extents.push((slba, nlb));
+            } else if let Location::Scm(oid) = rec.location {
+                self.scm.free(oid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes an entire object.
+    pub fn punch_object(&mut self, oid: ObjectId) {
+        if let Some(obj) = self.objects.remove(&oid) {
+            for (_, store) in obj {
+                for rec in store.extents {
+                    if let Location::Nvme { slba, nlb } = rec.location {
+                        self.free_extents.push((slba, nlb));
+                    } else if let Location::Scm(o) = rec.location {
+                        self.scm.free(o);
+                    }
+                }
+                for rec in store.sv {
+                    if let Location::Nvme { slba, nlb } = rec.location {
+                        self.free_extents.push((slba, nlb));
+                    } else if let Location::Scm(o) = rec.location {
+                        self.scm.free(o);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Epoch aggregation: reclaims records superseded at or below
+    /// `boundary`. Single values keep only the newest visible record;
+    /// extents fully covered by one newer extent (≤ boundary) are dropped.
+    pub fn aggregate(&mut self, boundary: Epoch) {
+        let mut reclaimed_nvme: Vec<(u64, u32)> = Vec::new();
+        let mut reclaimed_scm: Vec<ros2_pmem::PmemOid> = Vec::new();
+        let mut count = 0u64;
+        for obj in self.objects.values_mut() {
+            for store in obj.values_mut() {
+                // Single values: keep the newest <= boundary plus anything
+                // newer than the boundary.
+                if let Some(keep) = store
+                    .sv
+                    .iter()
+                    .filter(|r| r.epoch <= boundary)
+                    .map(|r| r.epoch)
+                    .max()
+                {
+                    store.sv.retain(|r| {
+                        let dead = r.epoch < keep;
+                        if dead {
+                            match &r.location {
+                                Location::Nvme { slba, nlb } => {
+                                    reclaimed_nvme.push((*slba, *nlb))
+                                }
+                                Location::Scm(o) => reclaimed_scm.push(*o),
+                            }
+                            count += 1;
+                        }
+                        !dead
+                    });
+                }
+                // Extents: drop any fully shadowed by a single newer one.
+                let snapshot = store.extents.clone();
+                store.extents.retain(|r| {
+                    let shadowed = r.epoch <= boundary
+                        && snapshot.iter().any(|later| {
+                            later.epoch <= boundary
+                                && later.epoch > r.epoch
+                                && later.offset <= r.offset
+                                && later.offset + later.len >= r.offset + r.len
+                        });
+                    if shadowed {
+                        match &r.location {
+                            Location::Nvme { slba, nlb } => reclaimed_nvme.push((*slba, *nlb)),
+                            Location::Scm(o) => reclaimed_scm.push(*o),
+                        }
+                        count += 1;
+                    }
+                    !shadowed
+                });
+            }
+        }
+        self.free_extents.extend(reclaimed_nvme);
+        for o in reclaimed_scm {
+            self.scm.free(o);
+        }
+        self.stats.aggregated_extents += count;
+    }
+
+    /// Test hook: corrupts the newest extent's stored bytes so the next
+    /// fetch detects a checksum mismatch.
+    pub fn corrupt_newest_extent(
+        &mut self,
+        bdevs: &mut BdevLayer,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &AKey,
+    ) -> bool {
+        let Some(store) = self
+            .objects
+            .get(&oid)
+            .and_then(|o| o.get(&(dkey.clone(), akey.clone())))
+        else {
+            return false;
+        };
+        let Some(rec) = store.extents.last() else {
+            return false;
+        };
+        match &rec.location {
+            Location::Nvme { slba, .. } => {
+                let backing = bdevs.array_mut().device_mut(self.dev).backing_mut();
+                let mut byte = backing.read(slba * LBA_SIZE, 1).to_vec();
+                byte[0] ^= 0xFF;
+                backing.write(slba * LBA_SIZE, &byte);
+                true
+            }
+            Location::Scm(o) => {
+                let cur = self.scm.read(*o, 0, 1).unwrap();
+                self.scm.write(*o, 0, &[cur[0] ^ 0xFF]).unwrap();
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ObjClass;
+    use ros2_hw::NvmeModel;
+    use ros2_nvme::{DataMode, NvmeArray};
+
+    fn fixture() -> (VosTarget, BdevLayer) {
+        let bdevs = BdevLayer::new(NvmeArray::new(
+            NvmeModel::enterprise_1600(),
+            1,
+            DataMode::Stored,
+        ));
+        let vos = VosTarget::new(0, 0, 1 << 20, 64 << 20, 4096);
+        (vos, bdevs)
+    }
+
+    fn oid() -> ObjectId {
+        ObjectId::new(ObjClass::S1, 1)
+    }
+
+    #[test]
+    fn single_value_round_trip_scm() {
+        let (mut vos, mut bd) = fixture();
+        let data = Bytes::from_static(b"inode-entry");
+        vos.update_single(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            DKey::from_str("d"),
+            AKey::from_str("a"),
+            Epoch(1),
+            data.clone(),
+        )
+        .unwrap();
+        let (back, _) = vos
+            .fetch_single(
+                SimTime::ZERO,
+                &mut bd,
+                oid(),
+                &DKey::from_str("d"),
+                &AKey::from_str("a"),
+                Epoch::LATEST,
+            )
+            .unwrap();
+        assert_eq!(back, data);
+        assert_eq!(vos.stats().scm_records, 1); // 11 B <= threshold
+    }
+
+    #[test]
+    fn large_values_go_to_nvme() {
+        let (mut vos, mut bd) = fixture();
+        let data = Bytes::from(vec![7u8; 1 << 20]);
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            DKey::from_u64(0),
+            AKey::from_str("data"),
+            Epoch(1),
+            0,
+            data.clone(),
+        )
+        .unwrap();
+        assert_eq!(vos.stats().nvme_records, 1);
+        let (back, _) = vos
+            .fetch_array(
+                SimTime::from_secs(1),
+                &mut bd,
+                oid(),
+                &DKey::from_u64(0),
+                &AKey::from_str("data"),
+                Epoch::LATEST,
+                0,
+                1 << 20,
+            )
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn epoch_versioning_reads_the_past() {
+        let (mut vos, mut bd) = fixture();
+        let d = DKey::from_str("d");
+        let a = AKey::from_str("a");
+        vos.update_single(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(10), Bytes::from_static(b"v1"))
+            .unwrap();
+        vos.update_single(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(20), Bytes::from_static(b"v2"))
+            .unwrap();
+        let (at15, _) = vos
+            .fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(15))
+            .unwrap();
+        assert_eq!(&at15[..], b"v1");
+        let (latest, _) = vos
+            .fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST)
+            .unwrap();
+        assert_eq!(&latest[..], b"v2");
+        // Before the first write: NotFound.
+        assert_eq!(
+            vos.fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(5))
+                .unwrap_err(),
+            DaosError::NotFound
+        );
+    }
+
+    #[test]
+    fn extent_overlay_resolves_latest() {
+        let (mut vos, mut bd) = fixture();
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![1u8; 100]))
+            .unwrap();
+        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(2), 50, Bytes::from(vec![2u8; 100]))
+            .unwrap();
+        let (out, _) = vos
+            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 200)
+            .unwrap();
+        assert!(out[..50].iter().all(|&b| b == 1));
+        assert!(out[50..150].iter().all(|&b| b == 2));
+        assert!(out[150..].iter().all(|&b| b == 0), "hole reads zero");
+        // At epoch 1 the second write is invisible.
+        let (old, _) = vos
+            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(1), 0, 200)
+            .unwrap();
+        assert!(old[..100].iter().all(|&b| b == 1));
+        assert!(old[100..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let (mut vos, mut bd) = fixture();
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![9u8; 8192]))
+            .unwrap();
+        assert!(vos.corrupt_newest_extent(&mut bd, oid(), &d, &a));
+        let err = vos
+            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 8192)
+            .unwrap_err();
+        assert_eq!(err, DaosError::ChecksumMismatch);
+        assert_eq!(vos.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    fn punch_frees_extents_for_reuse() {
+        let (mut vos, mut bd) = fixture();
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![1u8; 64 << 10]))
+            .unwrap();
+        let frontier_before = vos.nvme_next;
+        vos.punch(oid(), &d, &a).unwrap();
+        // A same-size rewrite reuses the freed extent.
+        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(2), 0, Bytes::from(vec![2u8; 64 << 10]))
+            .unwrap();
+        assert_eq!(vos.nvme_next, frontier_before, "extent was recycled");
+    }
+
+    #[test]
+    fn aggregation_reclaims_shadowed_records() {
+        let (mut vos, mut bd) = fixture();
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        for e in 1..=5u64 {
+            vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(e), 0, Bytes::from(vec![e as u8; 32 << 10]))
+                .unwrap();
+        }
+        vos.aggregate(Epoch(5));
+        assert_eq!(vos.stats().aggregated_extents, 4);
+        // Content unchanged after aggregation.
+        let (out, _) = vos
+            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 32 << 10)
+            .unwrap();
+        assert!(out.iter().all(|&b| b == 5));
+    }
+
+    #[test]
+    fn nvme_exhaustion_reported() {
+        let bdevs = BdevLayer::new(NvmeArray::new(
+            NvmeModel::enterprise_1600(),
+            1,
+            DataMode::Stored,
+        ));
+        let mut bd = bdevs;
+        // A tiny 8-block slice.
+        let mut vos = VosTarget::new(0, 0, 8, 64 << 20, 4096);
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("x");
+        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![0u8; 8 * 4096]))
+            .unwrap();
+        let err = vos
+            .update_array(SimTime::ZERO, &mut bd, oid(), d, a, Epoch(2), 0, Bytes::from(vec![0u8; 8192]))
+            .unwrap_err();
+        assert_eq!(err, DaosError::NvmeFull);
+    }
+
+    #[test]
+    fn list_dkeys_enumerates() {
+        let (mut vos, mut bd) = fixture();
+        for i in 0..4u64 {
+            vos.update_single(SimTime::ZERO, &mut bd, oid(), DKey::from_u64(i), AKey::from_str("e"), Epoch(1), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        assert_eq!(vos.list_dkeys(oid()).len(), 4);
+        assert!(vos.list_dkeys(ObjectId::new(ObjClass::S1, 99)).is_empty());
+    }
+}

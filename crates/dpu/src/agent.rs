@@ -1,0 +1,168 @@
+//! The DPU-resident agent: the piece of ROS2 that actually lives on the
+//! BlueField-3.
+//!
+//! The agent terminates the host's control channel (§3.2 "Host ↔ DPU: gRPC
+//! control channel; no payload bytes traverse the host kernel in the fast
+//! path"), manages the DPU DRAM staging-buffer pool where all data-plane
+//! payloads land, and can interpose inline services — the crypto engine —
+//! on the byte path without host involvement.
+
+use ros2_hw::inline_crypto_cost;
+use ros2_sim::{Counter, SimDuration, SimTime};
+use ros2_verbs::NodeId;
+use ros2_ctl::{ControlChannel, ControlModel, ControlRequest, ControlResponse};
+
+/// Inline services the agent can interpose on payloads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum InlineService {
+    /// Pass-through.
+    None,
+    /// AES-GCM on the DPU's crypto engine (encrypt on write, decrypt on
+    /// read) — keys never leave the DPU.
+    Crypto,
+}
+
+/// The BlueField-3 agent state.
+pub struct DpuAgent {
+    node: NodeId,
+    /// Host-facing control channel (the only host↔DPU interface).
+    pub control: ControlChannel,
+    dram_budget: u64,
+    dram_used: u64,
+    service: InlineService,
+    /// Payload bytes passed through inline services.
+    pub serviced_bytes: Counter,
+    /// Control calls forwarded for the host.
+    pub control_calls: Counter,
+}
+
+impl DpuAgent {
+    /// Creates an agent on the DPU at `node` with `dram_budget` bytes of
+    /// staging DRAM (30 GiB on BlueField-3).
+    pub fn new(node: NodeId, dram_budget: u64, control: ControlChannel) -> Self {
+        DpuAgent {
+            node,
+            control,
+            dram_budget,
+            dram_used: 0,
+            service: InlineService::None,
+            serviced_bytes: Counter::new(),
+            control_calls: Counter::new(),
+        }
+    }
+
+    /// The DPU node.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Selects the inline service applied to data-plane payloads.
+    pub fn set_inline_service(&mut self, service: InlineService) {
+        self.service = service;
+    }
+
+    /// The active inline service.
+    pub fn inline_service(&self) -> InlineService {
+        self.service
+    }
+
+    /// Reserves staging DRAM; fails when the 30 GiB budget is exhausted.
+    pub fn reserve_dram(&mut self, bytes: u64) -> Result<(), u64> {
+        if self.dram_used + bytes > self.dram_budget {
+            return Err(self.dram_budget - self.dram_used);
+        }
+        self.dram_used += bytes;
+        Ok(())
+    }
+
+    /// Releases staging DRAM.
+    pub fn release_dram(&mut self, bytes: u64) {
+        self.dram_used = self.dram_used.saturating_sub(bytes);
+    }
+
+    /// Staging DRAM in use.
+    pub fn dram_used(&self) -> u64 {
+        self.dram_used
+    }
+
+    /// The additional latency the inline service adds to `bytes` of
+    /// payload (zero when pass-through). The crypto engine is fixed-
+    /// function hardware, so this does not consume ARM cores.
+    pub fn inline_cost(&mut self, bytes: u64) -> SimDuration {
+        match self.service {
+            InlineService::None => SimDuration::ZERO,
+            InlineService::Crypto => {
+                self.serviced_bytes.add(bytes);
+                inline_crypto_cost(bytes)
+            }
+        }
+    }
+
+    /// Forwards a host control call through the agent, returning the
+    /// completion instant and the response.
+    pub fn host_call<F>(
+        &mut self,
+        now: SimTime,
+        session: Option<u64>,
+        req: ControlRequest,
+        handler: F,
+    ) -> (SimTime, Result<(u64, ControlResponse), ros2_ctl::ControlError>)
+    where
+        F: FnOnce(&str, &ControlRequest) -> ControlResponse,
+    {
+        self.control_calls.inc();
+        self.control.call(now, session, req, handler)
+    }
+}
+
+/// A default gRPC-class control channel for host↔DPU traffic.
+pub fn default_control(seed: u64) -> ControlChannel {
+    ControlChannel::new(ControlModel::grpc_default(), ros2_sim::SimRng::new(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn agent() -> DpuAgent {
+        let mut ctl = default_control(9);
+        ctl.add_tenant("llm", Bytes::from_static(b"digest"));
+        DpuAgent::new(NodeId(1), 30 << 30, ctl)
+    }
+
+    #[test]
+    fn dram_budget_enforced() {
+        let mut a = agent();
+        a.reserve_dram(20 << 30).unwrap();
+        assert_eq!(a.reserve_dram(20 << 30).unwrap_err(), 10 << 30);
+        a.release_dram(15 << 30);
+        assert!(a.reserve_dram(20 << 30).is_ok());
+        assert_eq!(a.dram_used(), 25 << 30);
+    }
+
+    #[test]
+    fn inline_crypto_costs_scale_with_bytes() {
+        let mut a = agent();
+        assert_eq!(a.inline_cost(1 << 20), SimDuration::ZERO);
+        a.set_inline_service(InlineService::Crypto);
+        let small = a.inline_cost(4096);
+        let big = a.inline_cost(1 << 20);
+        assert!(big > small);
+        assert_eq!(a.serviced_bytes.get(), 4096 + (1 << 20));
+        assert_eq!(a.inline_service(), InlineService::Crypto);
+    }
+
+    #[test]
+    fn host_calls_route_through_control_channel() {
+        let mut a = agent();
+        let hello = ControlRequest::Hello {
+            tenant: "llm".into(),
+            auth: Bytes::from_static(b"digest"),
+        };
+        let (at, res) = a.host_call(SimTime::ZERO, None, hello, |_, _| ControlResponse::Ok);
+        assert!(res.is_ok());
+        assert!(at >= SimTime::from_micros(150), "gRPC-class latency");
+        assert_eq!(a.control_calls.get(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # ros2-dpu — the BlueField-3 offload runtime
+//!
+//! What distinguishes ROS2 from a plain DAOS deployment: the client stack
+//! runs *on the SmartNIC*. This crate supplies the DPU-resident pieces —
+//! the agent that terminates the host's gRPC control channel and manages
+//! the 30 GiB staging-DRAM pool, per-tenant isolation (dedicated protection
+//! domains, scoped rkeys, token-bucket QoS), and the inline crypto service
+//! that operates on payloads without touching the host (§2.3, §5).
+//!
+//! The data-plane client itself is `ros2_daos::DaosClient` constructed on
+//! the DPU node; this crate wraps it with policy.
+
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod tenant;
+
+pub use agent::{default_control, DpuAgent, InlineService};
+pub use tenant::{QosLimits, TenantCtx, TenantManager};

@@ -1,0 +1,702 @@
+//! The fabric: typed connections between nodes carrying two-sided messages
+//! and (on RDMA) one-sided READ/WRITE, with full cost accounting.
+//!
+//! A message from A to B passes, in order:
+//!
+//! 1. **A's CPU** — per-op + per-byte send processing (scaled to A's core
+//!    class), on A's TX core pool;
+//! 2. **A's kernel stage** — serialized per-message cost (TCP only);
+//! 3. **the connection's serialized stage** — per-socket ordering;
+//! 4. **the wire** — segmentation through A's TX pipe, the path latency,
+//!    and B's RX pipe (store-and-forward per segment, so concurrent flows
+//!    interleave and a single large transfer still pipelines);
+//! 5. **B's kernel stage** (TCP only) and **B's CPU** — per-op + per-byte
+//!    receive processing on B's RX pool, with the DPU receive-path penalty
+//!    when B is a SmartNIC running TCP.
+//!
+//! One-sided RDMA ops skip stages 1/2/5 on the *target*: the NIC executes
+//! the access against registered memory via `ros2-verbs`, which is exactly
+//! why the paper's DPU results keep RDMA at host parity.
+
+use bytes::Bytes;
+use ros2_hw::{per_byte, CoreClass, Transport, TransportCost, WireProtocol};
+use ros2_sim::{ServerPool, SimDuration, SimTime, SimRng};
+use ros2_verbs::{MemAddr, NodeId, PdId, QpId, RKey, RdmaDevice, VerbsError};
+
+#[cfg(test)]
+use ros2_verbs::{AccessFlags, Expiry};
+
+use crate::node::{FabricNode, NodeSpec};
+
+/// A connection handle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ConnId(pub u32);
+
+/// Direction of an operation over a connection.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// From the connection's `a` endpoint to `b`.
+    AtoB,
+    /// From `b` to `a`.
+    BtoA,
+}
+
+impl Dir {
+    /// The opposite direction.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::AtoB => Dir::BtoA,
+            Dir::BtoA => Dir::AtoB,
+        }
+    }
+}
+
+/// Fabric-layer failures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// Unknown connection.
+    BadConn,
+    /// One-sided operation requested on a TCP connection.
+    NotRdma,
+    /// The verbs layer rejected the access.
+    Verbs(VerbsError),
+}
+
+/// A delivered message or completed one-sided op.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// Instant the receiver (or initiator, for one-sided) observes it.
+    pub at: SimTime,
+    /// Returned data (message payload or RDMA READ result).
+    pub data: Option<Bytes>,
+}
+
+struct Conn {
+    a: NodeId,
+    b: NodeId,
+    /// Serialized per-socket stages, one per direction.
+    ser_ab: ServerPool,
+    ser_ba: ServerPool,
+    /// QPs backing this connection on each node (RDMA transport).
+    qp_a: Option<QpId>,
+    qp_b: Option<QpId>,
+    ops: u64,
+}
+
+/// The fabric connecting a set of nodes through one switch.
+pub struct Fabric {
+    transport: Transport,
+    wire: WireProtocol,
+    cost: TransportCost,
+    nodes: Vec<FabricNode>,
+    conns: Vec<Conn>,
+    /// Fixed propagation across NIC ports and the switch hop.
+    path_latency: SimDuration,
+    /// Messages at or below this size go *eager* (inline, one receiver
+    /// copy); larger ones use the *rendezvous* protocol (an RTS/CTS
+    /// handshake, then zero-copy placement). UCX's `RNDV_THRESH` analogue;
+    /// only meaningful on RDMA transports.
+    eager_threshold: u64,
+}
+
+impl Fabric {
+    /// Creates a fabric over `specs` using the given transport. NIC/port
+    /// latencies are folded into one fixed path latency.
+    pub fn new(transport: Transport, specs: Vec<NodeSpec>, seed: u64) -> Self {
+        let rng = SimRng::new(seed);
+        let (wire, cost) = match transport {
+            Transport::Tcp => (WireProtocol::tcp(), TransportCost::tcp()),
+            Transport::Rdma => (WireProtocol::rdma(), TransportCost::rdma()),
+        };
+        let path_latency = SimDuration::from_nanos(2_000);
+        let nodes = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| FabricNode::new(NodeId(i as u32), s, &rng))
+            .collect();
+        Fabric {
+            transport,
+            wire,
+            cost,
+            nodes,
+            conns: Vec::new(),
+            path_latency,
+            eager_threshold: 8 * 1024,
+        }
+    }
+
+    /// Sets the eager/rendezvous switchover (RDMA only; see field docs).
+    pub fn set_eager_threshold(&mut self, bytes: u64) {
+        self.eager_threshold = bytes;
+    }
+
+    /// The current eager/rendezvous threshold.
+    pub fn eager_threshold(&self) -> u64 {
+        self.eager_threshold
+    }
+
+    /// The transport in use.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// The wire protocol model.
+    pub fn wire(&self) -> &WireProtocol {
+        &self.wire
+    }
+
+    /// The CPU cost table.
+    pub fn cost(&self) -> &TransportCost {
+        &self.cost
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &FabricNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable node access (registration, buffers, hints).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut FabricNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node's RDMA device.
+    pub fn rdma_mut(&mut self, id: NodeId) -> &mut RdmaDevice {
+        &mut self.nodes[id.0 as usize].rdma
+    }
+
+    /// Sets the concurrent-flow hint used by the DPU RX contention model.
+    pub fn set_flow_hint(&mut self, id: NodeId, flows: usize) {
+        self.nodes[id.0 as usize].flow_hint = flows.max(1);
+    }
+
+    /// Opens a connection between `a` and `b`. On RDMA transports this
+    /// creates and connects a QP on each side inside the given PDs.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        pd_a: PdId,
+        pd_b: PdId,
+    ) -> Result<ConnId, FabricError> {
+        let id = ConnId(self.conns.len() as u32);
+        let (qp_a, qp_b) = match self.transport {
+            Transport::Tcp => (None, None),
+            Transport::Rdma => {
+                let qa = self.nodes[a.0 as usize]
+                    .rdma
+                    .create_qp(pd_a, ros2_verbs::QpType::Rc)
+                    .map_err(FabricError::Verbs)?;
+                let qb = self.nodes[b.0 as usize]
+                    .rdma
+                    .create_qp(pd_b, ros2_verbs::QpType::Rc)
+                    .map_err(FabricError::Verbs)?;
+                self.nodes[a.0 as usize]
+                    .rdma
+                    .connect_qp(qa, b, qb)
+                    .map_err(FabricError::Verbs)?;
+                self.nodes[b.0 as usize]
+                    .rdma
+                    .connect_qp(qb, a, qa)
+                    .map_err(FabricError::Verbs)?;
+                (Some(qa), Some(qb))
+            }
+        };
+        self.conns.push(Conn {
+            a,
+            b,
+            ser_ab: ServerPool::new(1),
+            ser_ba: ServerPool::new(1),
+            qp_a,
+            qp_b,
+            ops: 0,
+        });
+        Ok(id)
+    }
+
+    /// The `(source, destination)` nodes of `conn` in direction `dir`.
+    pub fn endpoints(&self, conn: ConnId, dir: Dir) -> Result<(NodeId, NodeId), FabricError> {
+        let c = self.conns.get(conn.0 as usize).ok_or(FabricError::BadConn)?;
+        Ok(match dir {
+            Dir::AtoB => (c.a, c.b),
+            Dir::BtoA => (c.b, c.a),
+        })
+    }
+
+    /// The QP pair `(src_qp, dst_qp)` for `conn` in `dir` (RDMA only).
+    pub fn qps(&self, conn: ConnId, dir: Dir) -> Result<(QpId, QpId), FabricError> {
+        let c = self.conns.get(conn.0 as usize).ok_or(FabricError::BadConn)?;
+        match (c.qp_a, c.qp_b, dir) {
+            (Some(qa), Some(qb), Dir::AtoB) => Ok((qa, qb)),
+            (Some(qa), Some(qb), Dir::BtoA) => Ok((qb, qa)),
+            _ => Err(FabricError::NotRdma),
+        }
+    }
+
+    /// Total operations carried by `conn`.
+    pub fn conn_ops(&self, conn: ConnId) -> u64 {
+        self.conns[conn.0 as usize].ops
+    }
+
+    /// Resets every pipe, pool and serialized stage to t=0 (between
+    /// preconditioning and measurement). Registrations, QPs and memory
+    /// contents are untouched.
+    pub fn reset_timing(&mut self) {
+        for n in &mut self.nodes {
+            n.tx_pipe.reset_timing();
+            n.rx_pipe.reset_timing();
+            n.tx_pool.reset_timing();
+            n.rx_pool.reset_timing();
+            n.kernel.reset_timing();
+            n.bytes_tx = 0;
+            n.bytes_rx = 0;
+        }
+        for c in &mut self.conns {
+            c.ser_ab.reset_timing();
+            c.ser_ba.reset_timing();
+        }
+    }
+
+    // ---- timing helpers -------------------------------------------------
+
+    fn scale(class: CoreClass, d: SimDuration) -> SimDuration {
+        class.scale(d)
+    }
+
+    /// Wire traversal: segments through the source TX pipe, path latency,
+    /// destination RX pipe. Returns the instant the last byte lands.
+    fn traverse_wire(&mut self, start: SimTime, src: NodeId, dst: NodeId, payload: u64) -> SimTime {
+        let wire_total = self.wire.wire_bytes(payload);
+        let seg = self.wire.segment;
+        let mut remaining = wire_total;
+        let mut last_arrival = start;
+        while remaining > 0 {
+            let chunk = remaining.min(seg);
+            let tx = self.nodes[src.0 as usize].tx_pipe.transmit(start, chunk);
+            let arrive = tx.finish + self.path_latency;
+            let rx = self.nodes[dst.0 as usize].rx_pipe.transmit(arrive, chunk);
+            last_arrival = last_arrival.max(rx.finish);
+            remaining -= chunk;
+        }
+        self.nodes[src.0 as usize].bytes_tx += payload;
+        self.nodes[dst.0 as usize].bytes_rx += payload;
+        last_arrival
+    }
+
+    /// Receive-side CPU cost for `payload` bytes on node `dst`.
+    fn recv_cpu_cost(&self, dst: NodeId, payload: u64) -> SimDuration {
+        let node = &self.nodes[dst.0 as usize];
+        let class = node.class();
+        let base_op = Self::scale(class, self.cost.recv_per_op);
+        let byte_cost = match (&node.spec.dpu_tcp_rx, self.transport) {
+            (Some(model), Transport::Tcp) => {
+                // The DPU receive-path penalty, contention-adjusted.
+                let ps = model.effective_rx_ps_per_byte(self.cost.recv_ps_per_byte, node.flow_hint);
+                per_byte(payload, ps)
+            }
+            _ => Self::scale(class, per_byte(payload, self.cost.recv_ps_per_byte)),
+        };
+        base_op + byte_cost
+    }
+
+    /// Sends a two-sided message of `payload` bytes carrying `data`.
+    pub fn send(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        dir: Dir,
+        data: Bytes,
+    ) -> Result<Delivery, FabricError> {
+        let (src, dst) = self.endpoints(conn, dir)?;
+        let payload = data.len() as u64;
+
+        // 1. Sender CPU.
+        let src_class = self.nodes[src.0 as usize].class();
+        let send_cost = Self::scale(
+            src_class,
+            self.cost.send_per_op + per_byte(payload, self.cost.send_ps_per_byte),
+        );
+        let g_send = self.nodes[src.0 as usize].tx_pool.submit(now, send_cost);
+
+        // 2. Sender kernel stage (TCP only).
+        let mut t = g_send.finish;
+        if self.cost.kernel_per_msg > SimDuration::ZERO {
+            let k = Self::scale(src_class, self.cost.kernel_per_msg);
+            t = self.nodes[src.0 as usize].kernel.submit(t, k).finish;
+        }
+
+        // 3. Per-connection serialized stage.
+        let ser_cost = Self::scale(src_class, self.cost.serialized_per_op);
+        let c = &mut self.conns[conn.0 as usize];
+        let ser = match dir {
+            Dir::AtoB => &mut c.ser_ab,
+            Dir::BtoA => &mut c.ser_ba,
+        };
+        t = ser.submit(t, ser_cost).finish;
+        c.ops += 1;
+
+        // 3b. RDMA rendezvous handshake for large sends: RTS out, CTS
+        // back, then the NIC places data with zero receiver copies.
+        let rendezvous = self.transport == Transport::Rdma && payload > self.eager_threshold;
+        if rendezvous {
+            t = t + self.path_latency + self.path_latency;
+        }
+
+        // 4. The wire.
+        let landed = self.traverse_wire(t, src, dst, payload);
+
+        // 5. Receiver kernel stage + CPU.
+        let dst_class = self.nodes[dst.0 as usize].class();
+        let mut t = landed;
+        if self.cost.kernel_per_msg > SimDuration::ZERO {
+            let k = Self::scale(dst_class, self.cost.kernel_per_msg);
+            t = self.nodes[dst.0 as usize].kernel.submit(t, k).finish;
+        }
+        let mut recv_cost = self.recv_cpu_cost(dst, payload);
+        if self.transport == Transport::Rdma && !rendezvous {
+            // Eager RDMA: the receiver copies out of the bounce buffer.
+            recv_cost += Self::scale(dst_class, ros2_hw::per_byte(payload, 50));
+        }
+        let g_recv = self.nodes[dst.0 as usize].rx_pool.submit(t, recv_cost);
+
+        Ok(Delivery {
+            at: g_recv.finish,
+            data: Some(data),
+        })
+    }
+
+    /// One-sided RDMA WRITE: places `data` into the destination's
+    /// registered memory at `(rkey, addr)` with zero destination CPU cost.
+    /// Returns the initiator-visible completion instant.
+    pub fn rdma_write(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        dir: Dir,
+        rkey: RKey,
+        addr: MemAddr,
+        data: Bytes,
+    ) -> Result<Delivery, FabricError> {
+        if self.transport != Transport::Rdma {
+            return Err(FabricError::NotRdma);
+        }
+        let (src, dst) = self.endpoints(conn, dir)?;
+        let (_, dst_qp) = self.qps(conn, dir)?;
+        let payload = data.len() as u64;
+
+        // Initiator posts the WR.
+        let src_class = self.nodes[src.0 as usize].class();
+        let post = Self::scale(src_class, self.cost.send_per_op);
+        let g_post = self.nodes[src.0 as usize].tx_pool.submit(now, post);
+        let ser_cost = Self::scale(src_class, self.cost.serialized_per_op);
+        let c = &mut self.conns[conn.0 as usize];
+        let ser = match dir {
+            Dir::AtoB => &mut c.ser_ab,
+            Dir::BtoA => &mut c.ser_ba,
+        };
+        let t = ser.submit(g_post.finish, ser_cost).finish;
+        c.ops += 1;
+
+        // Wire, then the destination NIC executes the placement.
+        let landed = self.traverse_wire(t, src, dst, payload);
+        self.nodes[dst.0 as usize]
+            .rdma
+            .execute_remote_write(landed, dst_qp, rkey, addr, &data)
+            .map_err(FabricError::Verbs)?;
+
+        // The ACK back to the initiator (latency only; piggybacked).
+        let done = landed + self.path_latency;
+        Ok(Delivery {
+            at: done,
+            data: None,
+        })
+    }
+
+    /// One-sided RDMA READ: fetches `len` bytes from the destination's
+    /// registered memory. Zero destination CPU cost.
+    pub fn rdma_read(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        dir: Dir,
+        rkey: RKey,
+        addr: MemAddr,
+        len: u64,
+    ) -> Result<Delivery, FabricError> {
+        if self.transport != Transport::Rdma {
+            return Err(FabricError::NotRdma);
+        }
+        let (src, dst) = self.endpoints(conn, dir)?;
+        let (_, dst_qp) = self.qps(conn, dir)?;
+
+        // Initiator posts the WR; the request capsule crosses the wire.
+        let src_class = self.nodes[src.0 as usize].class();
+        let post = Self::scale(src_class, self.cost.send_per_op);
+        let g_post = self.nodes[src.0 as usize].tx_pool.submit(now, post);
+        let ser_cost = Self::scale(src_class, self.cost.serialized_per_op);
+        let c = &mut self.conns[conn.0 as usize];
+        let ser = match dir {
+            Dir::AtoB => &mut c.ser_ab,
+            Dir::BtoA => &mut c.ser_ba,
+        };
+        let t = ser.submit(g_post.finish, ser_cost).finish;
+        c.ops += 1;
+        let req_landed = self.traverse_wire(t, src, dst, 16);
+
+        // Destination NIC reads memory (no CPU), data returns over the wire.
+        let data = self.nodes[dst.0 as usize]
+            .rdma
+            .execute_remote_read(req_landed, dst_qp, rkey, addr, len)
+            .map_err(FabricError::Verbs)?;
+        let back = self.traverse_wire(req_landed, dst, src, len);
+        Ok(Delivery {
+            at: back,
+            data: Some(data),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros2_hw::{gbps, CpuComplement, DpuTcpRxModel, NicModel};
+    use ros2_verbs::MemoryDomain;
+
+    fn spec(name: &str, class: CoreClass, cores: usize, dpu_tcp: bool) -> NodeSpec {
+        NodeSpec {
+            name: name.into(),
+            cpu: CpuComplement { class, cores },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 1 << 30,
+            dpu_tcp_rx: if dpu_tcp {
+                Some(DpuTcpRxModel::bluefield3())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn two_hosts(transport: Transport) -> Fabric {
+        Fabric::new(
+            transport,
+            vec![
+                spec("client", CoreClass::HostX86, 48, false),
+                spec("server", CoreClass::HostX86, 64, false),
+            ],
+            7,
+        )
+    }
+
+    fn rdma_pair() -> (Fabric, ConnId, RKey, MemAddr) {
+        let mut f = two_hosts(Transport::Rdma);
+        let pd_a = f.rdma_mut(NodeId(0)).alloc_pd("client");
+        let pd_b = f.rdma_mut(NodeId(1)).alloc_pd("server");
+        let conn = f.connect(NodeId(0), NodeId(1), pd_a, pd_b).unwrap();
+        let buf = f
+            .rdma_mut(NodeId(1))
+            .alloc_buffer(1 << 20, MemoryDomain::HostDram)
+            .unwrap();
+        let (_, rkey, _) = f
+            .rdma_mut(NodeId(1))
+            .reg_mr(pd_b, buf, 1 << 20, AccessFlags::remote_rw(), Expiry::Never)
+            .unwrap();
+        (f, conn, rkey, buf)
+    }
+
+    #[test]
+    fn tcp_message_round_trips_data() {
+        let mut f = two_hosts(Transport::Tcp);
+        let pd = PdId(0); // unused on TCP
+        let conn = f.connect(NodeId(0), NodeId(1), pd, pd).unwrap();
+        let d = f
+            .send(SimTime::ZERO, conn, Dir::AtoB, Bytes::from_static(b"rpc"))
+            .unwrap();
+        assert_eq!(d.data.unwrap(), Bytes::from_static(b"rpc"));
+        assert!(d.at > SimTime::ZERO);
+        assert_eq!(f.conn_ops(conn), 1);
+    }
+
+    #[test]
+    fn rdma_write_places_bytes_with_zero_target_cpu() {
+        let (mut f, conn, rkey, addr) = rdma_pair();
+        let before = f.node(NodeId(1)).rx_pool.jobs_served();
+        let d = f
+            .rdma_write(
+                SimTime::ZERO,
+                conn,
+                Dir::AtoB,
+                rkey,
+                addr,
+                Bytes::from_static(b"one-sided"),
+            )
+            .unwrap();
+        assert!(d.at > SimTime::ZERO);
+        // Target CPU untouched.
+        assert_eq!(f.node(NodeId(1)).rx_pool.jobs_served(), before);
+        // Bytes really landed.
+        let back = f.node(NodeId(1)).rdma.read_local(addr, 9).unwrap();
+        assert_eq!(&back[..], b"one-sided");
+    }
+
+    #[test]
+    fn rdma_read_fetches_remote_bytes() {
+        let (mut f, conn, rkey, addr) = rdma_pair();
+        f.rdma_mut(NodeId(1))
+            .write_local(addr, b"server data")
+            .unwrap();
+        let d = f
+            .rdma_read(SimTime::ZERO, conn, Dir::AtoB, rkey, addr, 11)
+            .unwrap();
+        assert_eq!(&d.data.unwrap()[..], b"server data");
+    }
+
+    #[test]
+    fn one_sided_on_tcp_is_rejected() {
+        let mut f = two_hosts(Transport::Tcp);
+        let conn = f.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
+        let err = f
+            .rdma_write(
+                SimTime::ZERO,
+                conn,
+                Dir::AtoB,
+                RKey(1),
+                0,
+                Bytes::new(),
+            )
+            .unwrap_err();
+        assert_eq!(err, FabricError::NotRdma);
+    }
+
+    #[test]
+    fn rdma_small_latency_beats_tcp() {
+        let mut tcp = two_hosts(Transport::Tcp);
+        let conn_t = tcp.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
+        let d_tcp = tcp
+            .send(SimTime::ZERO, conn_t, Dir::AtoB, Bytes::from(vec![0u8; 4096]))
+            .unwrap();
+        let (mut rdma, conn_r, rkey, addr) = rdma_pair();
+        let d_rdma = rdma
+            .rdma_write(SimTime::ZERO, conn_r, Dir::AtoB, rkey, addr, Bytes::from(vec![0u8; 4096]))
+            .unwrap();
+        assert!(
+            d_rdma.at < d_tcp.at,
+            "rdma {:?} !< tcp {:?}",
+            d_rdma.at,
+            d_tcp.at
+        );
+    }
+
+    #[test]
+    fn large_transfer_pipelines_near_wire_rate() {
+        let (mut f, conn, rkey, addr) = rdma_pair();
+        let mb = Bytes::from(vec![0u8; 1 << 20]);
+        let d = f
+            .rdma_write(SimTime::ZERO, conn, Dir::AtoB, rkey, addr, mb)
+            .unwrap();
+        let gib_s = (1u64 << 20) as f64 / d.at.as_secs_f64() / (1u64 << 30) as f64;
+        // Payload rate for one 1 MiB write should approach the ~11.3 GiB/s
+        // RDMA payload ceiling of the 100G port (pipelined segments), and
+        // certainly beat half of it (no store-and-forward doubling).
+        assert!(gib_s > 7.0, "single-transfer rate {gib_s} GiB/s");
+    }
+
+    #[test]
+    fn concurrent_flows_share_the_port_fairly() {
+        let (mut f, conn, rkey, addr) = rdma_pair();
+        // Two flows of 32 x 128 KiB each, interleaved at t=0.
+        let mut finishes = Vec::new();
+        for i in 0..64u64 {
+            let off = (i % 2) * (1 << 19);
+            let d = f
+                .rdma_write(
+                    SimTime::ZERO,
+                    conn,
+                    Dir::AtoB,
+                    rkey,
+                    addr + off,
+                    Bytes::from(vec![1u8; 128 << 10]),
+                )
+                .unwrap();
+            finishes.push(d.at);
+        }
+        let total_bytes = 64u64 * (128 << 10);
+        let last = finishes.iter().max().unwrap();
+        let rate = total_bytes as f64 / last.as_secs_f64();
+        let ceiling = f.wire().effective_bw(gbps(100)) as f64;
+        assert!(rate <= ceiling * 1.02, "rate {rate} exceeds ceiling {ceiling}");
+        assert!(rate >= ceiling * 0.80, "rate {rate} far below ceiling {ceiling}");
+    }
+
+    #[test]
+    fn dpu_tcp_receive_path_is_slower_than_host() {
+        // host -> dpu (TCP) vs host -> host (TCP), 1 MiB payload.
+        let mut f = Fabric::new(
+            Transport::Tcp,
+            vec![
+                spec("host", CoreClass::HostX86, 48, false),
+                spec("dpu", CoreClass::DpuArm, 16, true),
+                spec("host2", CoreClass::HostX86, 48, false),
+            ],
+            9,
+        );
+        let c_dpu = f.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
+        let c_host = f.connect(NodeId(0), NodeId(2), PdId(0), PdId(0)).unwrap();
+        let to_dpu = f
+            .send(SimTime::ZERO, c_dpu, Dir::AtoB, Bytes::from(vec![0u8; 1 << 20]))
+            .unwrap();
+        let to_host = f
+            .send(SimTime::ZERO, c_host, Dir::AtoB, Bytes::from(vec![0u8; 1 << 20]))
+            .unwrap();
+        assert!(
+            to_dpu.at > to_host.at,
+            "DPU RX {:?} must lag host RX {:?}",
+            to_dpu.at,
+            to_host.at
+        );
+    }
+
+    #[test]
+    fn flow_hint_raises_dpu_rx_cost() {
+        let mk = |flows: usize| {
+            let mut f = Fabric::new(
+                Transport::Tcp,
+                vec![
+                    spec("host", CoreClass::HostX86, 48, false),
+                    spec("dpu", CoreClass::DpuArm, 16, true),
+                ],
+                9,
+            );
+            f.set_flow_hint(NodeId(1), flows);
+            let c = f.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
+            f.send(SimTime::ZERO, c, Dir::AtoB, Bytes::from(vec![0u8; 1 << 20]))
+                .unwrap()
+                .at
+        };
+        assert!(mk(32) > mk(2), "contention must slow DPU RX");
+    }
+
+    #[test]
+    fn cross_tenant_one_sided_fails_through_fabric() {
+        let mut f = two_hosts(Transport::Rdma);
+        let pd_a = f.rdma_mut(NodeId(0)).alloc_pd("tenant-a");
+        let pd_victim = f.rdma_mut(NodeId(1)).alloc_pd("victim");
+        let pd_attacker = f.rdma_mut(NodeId(1)).alloc_pd("attacker-side");
+        // Victim registers memory under pd_victim; the connection's server
+        // QP belongs to pd_attacker, so the stolen rkey must not work.
+        let buf = f
+            .rdma_mut(NodeId(1))
+            .alloc_buffer(4096, MemoryDomain::HostDram)
+            .unwrap();
+        let (_, rkey, _) = f
+            .rdma_mut(NodeId(1))
+            .reg_mr(pd_victim, buf, 4096, AccessFlags::remote_rw(), Expiry::Never)
+            .unwrap();
+        let conn = f.connect(NodeId(0), NodeId(1), pd_a, pd_attacker).unwrap();
+        let err = f
+            .rdma_read(SimTime::ZERO, conn, Dir::AtoB, rkey, buf, 64)
+            .unwrap_err();
+        assert_eq!(err, FabricError::Verbs(VerbsError::PdMismatch));
+        assert_eq!(f.node(NodeId(1)).rdma.violations().pd_mismatch, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-node fabric state: NIC pipes, processing core pools, the kernel
+//! softirq stage, and the node's RDMA device context.
+
+use ros2_hw::{CoreClass, CpuComplement, DpuTcpRxModel, NicModel};
+use ros2_sim::{BandwidthServer, ServerPool, SimRng};
+use ros2_verbs::{NodeId, RdmaDevice};
+
+/// Static description of a fabric node.
+#[derive(Clone, Debug)]
+pub struct NodeSpec {
+    /// Human-readable name ("host", "dpu", "storage").
+    pub name: String,
+    /// Processor complement available for network processing.
+    pub cpu: CpuComplement,
+    /// The node's NIC.
+    pub nic: NicModel,
+    /// The node's switch-port rate in bytes/second (the 100 Gbps port).
+    pub port_rate: u64,
+    /// Registered-memory budget for the RDMA device.
+    pub mem_budget: u64,
+    /// DPU TCP receive-path model, present only on SmartNIC nodes.
+    pub dpu_tcp_rx: Option<DpuTcpRxModel>,
+}
+
+impl NodeSpec {
+    /// Effective wire rate: the slower of NIC and switch port.
+    pub fn wire_rate(&self) -> u64 {
+        self.nic.line_rate.min(self.port_rate)
+    }
+}
+
+/// Live state for one node.
+#[derive(Debug)]
+pub struct FabricNode {
+    /// The static spec.
+    pub spec: NodeSpec,
+    /// Outbound serialization pipe (NIC TX through the switch port).
+    pub tx_pipe: BandwidthServer,
+    /// Inbound serialization pipe.
+    pub rx_pipe: BandwidthServer,
+    /// General network-processing cores (TX side, RPC handling).
+    pub tx_pool: ServerPool,
+    /// Receive-processing cores. On DPU-TCP nodes this pool is limited to
+    /// the RX-queue spread — the receive-path bottleneck of §4.4.
+    pub rx_pool: ServerPool,
+    /// The node-wide serialized kernel stage (TCP only).
+    pub kernel: ServerPool,
+    /// The verbs device (registrations, QPs, one-sided execution).
+    pub rdma: RdmaDevice,
+    /// Concurrent-flow hint for the DPU RX contention model.
+    pub flow_hint: usize,
+    /// Bytes sent / received (payload).
+    pub bytes_tx: u64,
+    /// See `bytes_tx`.
+    pub bytes_rx: u64,
+}
+
+impl FabricNode {
+    /// Builds the live node from a spec, deriving its RNG from `rng`.
+    pub fn new(id: NodeId, spec: NodeSpec, rng: &SimRng) -> Self {
+        let rx_cores = match &spec.dpu_tcp_rx {
+            Some(m) => m.rx_queue_spread.min(spec.cpu.cores),
+            None => spec.cpu.cores,
+        };
+        FabricNode {
+            tx_pipe: BandwidthServer::new(spec.wire_rate()),
+            rx_pipe: BandwidthServer::new(spec.wire_rate()),
+            tx_pool: ServerPool::new(spec.cpu.cores),
+            rx_pool: ServerPool::new(rx_cores),
+            kernel: ServerPool::new(1),
+            rdma: RdmaDevice::new(id, spec.mem_budget, rng.fork(0x6e0de + id.0 as u64)),
+            flow_hint: 1,
+            bytes_tx: 0,
+            bytes_rx: 0,
+            spec,
+        }
+    }
+
+    /// The node's core class (host x86 or DPU ARM).
+    pub fn class(&self) -> CoreClass {
+        self.spec.cpu.class
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros2_hw::gbps;
+
+    fn host_spec() -> NodeSpec {
+        NodeSpec {
+            name: "host".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: 48,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 1 << 30,
+            dpu_tcp_rx: None,
+        }
+    }
+
+    #[test]
+    fn wire_rate_is_min_of_nic_and_port() {
+        let spec = host_spec();
+        assert_eq!(spec.wire_rate(), gbps(100)); // CX-6 is 200G, port 100G
+    }
+
+    #[test]
+    fn dpu_rx_pool_is_limited_to_queue_spread() {
+        let mut spec = host_spec();
+        spec.name = "dpu".into();
+        spec.cpu = CpuComplement {
+            class: CoreClass::DpuArm,
+            cores: 16,
+        };
+        spec.dpu_tcp_rx = Some(DpuTcpRxModel::bluefield3());
+        let node = FabricNode::new(NodeId(1), spec, &SimRng::new(1));
+        assert_eq!(node.rx_pool.servers(), 4);
+        assert_eq!(node.tx_pool.servers(), 16);
+    }
+
+    #[test]
+    fn host_rx_pool_uses_all_cores() {
+        let node = FabricNode::new(NodeId(0), host_spec(), &SimRng::new(1));
+        assert_eq!(node.rx_pool.servers(), 48);
+        assert_eq!(node.class(), CoreClass::HostX86);
+    }
+}

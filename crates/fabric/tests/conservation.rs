@@ -1,0 +1,95 @@
+//! Property tests: the fabric conserves bytes and never exceeds physical
+//! ceilings, for arbitrary message mixes on both transports.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, Transport};
+use ros2_sim::SimTime;
+use ros2_fabric::{Dir, Fabric, NodeSpec};
+use ros2_verbs::{AccessFlags, Expiry, MemoryDomain, NodeId};
+
+fn spec(name: &str, cores: usize) -> NodeSpec {
+    NodeSpec {
+        name: name.into(),
+        cpu: CpuComplement {
+            class: CoreClass::HostX86,
+            cores,
+        },
+        nic: NicModel::connectx6(),
+        port_rate: gbps(100),
+        mem_budget: 1 << 30,
+        dpu_tcp_rx: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every payload byte sent is accounted once at the sender and once at
+    /// the receiver, on both transports, for any mix of sizes/directions.
+    #[test]
+    fn bytes_are_conserved(
+        tcp in any::<bool>(),
+        msgs in prop::collection::vec((any::<bool>(), 1usize..300_000), 1..40),
+    ) {
+        let transport = if tcp { Transport::Tcp } else { Transport::Rdma };
+        let mut f = Fabric::new(transport, vec![spec("a", 8), spec("b", 8)], 5);
+        let pd_a = f.rdma_mut(NodeId(0)).alloc_pd("a");
+        let pd_b = f.rdma_mut(NodeId(1)).alloc_pd("b");
+        let conn = f.connect(NodeId(0), NodeId(1), pd_a, pd_b).unwrap();
+        let (mut a_tx, mut b_tx) = (0u64, 0u64);
+        for (to_b, len) in msgs {
+            let dir = if to_b { Dir::AtoB } else { Dir::BtoA };
+            let d = f.send(SimTime::ZERO, conn, dir, Bytes::from(vec![0u8; len])).unwrap();
+            prop_assert_eq!(d.data.unwrap().len(), len);
+            if to_b { a_tx += len as u64 } else { b_tx += len as u64 }
+        }
+        prop_assert_eq!(f.node(NodeId(0)).bytes_tx, a_tx);
+        prop_assert_eq!(f.node(NodeId(1)).bytes_rx, a_tx);
+        prop_assert_eq!(f.node(NodeId(1)).bytes_tx, b_tx);
+        prop_assert_eq!(f.node(NodeId(0)).bytes_rx, b_tx);
+    }
+
+    /// Aggregate one-sided throughput can never exceed the wire's payload
+    /// ceiling, no matter the concurrency pattern.
+    #[test]
+    fn wire_ceiling_is_never_exceeded(
+        sizes in prop::collection::vec(4096u64..1_048_576, 4..48),
+    ) {
+        let mut f = Fabric::new(Transport::Rdma, vec![spec("a", 16), spec("b", 16)], 9);
+        let pd_a = f.rdma_mut(NodeId(0)).alloc_pd("a");
+        let pd_b = f.rdma_mut(NodeId(1)).alloc_pd("b");
+        let conn = f.connect(NodeId(0), NodeId(1), pd_a, pd_b).unwrap();
+        let total: u64 = sizes.iter().sum();
+        let buf = f.rdma_mut(NodeId(1)).alloc_buffer(2 << 20, MemoryDomain::HostDram).unwrap();
+        let (_, rkey, _) = f
+            .rdma_mut(NodeId(1))
+            .reg_mr(pd_b, buf, 2 << 20, AccessFlags::remote_rw(), Expiry::Never)
+            .unwrap();
+        let mut last = SimTime::ZERO;
+        for &s in &sizes {
+            let d = f
+                .rdma_write(SimTime::ZERO, conn, Dir::AtoB, rkey, buf, Bytes::from(vec![0u8; s as usize]))
+                .unwrap();
+            last = last.max(d.at);
+        }
+        let rate = total as f64 / last.as_secs_f64();
+        let ceiling = f.wire().effective_bw(gbps(100)) as f64;
+        prop_assert!(rate <= ceiling * 1.05, "rate {rate} vs ceiling {ceiling}");
+    }
+
+    /// Latency is monotone in payload size for isolated sends.
+    #[test]
+    fn isolated_latency_monotone_in_size(base in 1usize..100_000, extra in 1usize..500_000) {
+        let run = |len: usize| {
+            let mut f = Fabric::new(Transport::Tcp, vec![spec("a", 8), spec("b", 8)], 5);
+            let conn = f
+                .connect(NodeId(0), NodeId(1), ros2_verbs::PdId(0), ros2_verbs::PdId(0))
+                .unwrap();
+            f.send(SimTime::ZERO, conn, Dir::AtoB, Bytes::from(vec![0u8; len]))
+                .unwrap()
+                .at
+        };
+        prop_assert!(run(base + extra) > run(base));
+    }
+}

@@ -1,0 +1,95 @@
+//! Calibration probe: prints headline numbers for each figure shape.
+//! (Development aid; the polished harnesses live in `ros2-bench`.)
+
+use ros2_fio::{run_fio, DfsFioWorld, JobSpec, LocalFioWorld, RwMode, SpdkFioWorld};
+use ros2_hw::{ClientPlacement, Transport};
+use ros2_nvme::DataMode;
+use ros2_sim::SimDuration;
+
+fn windows() -> (SimDuration, SimDuration) {
+    (SimDuration::from_millis(100), SimDuration::from_millis(300))
+}
+
+fn main() {
+    let (ramp, runtime) = windows();
+    println!("=== Fig 3: local io_uring ===");
+    for ssds in [1usize, 4] {
+        for rw in RwMode::ALL {
+            for jobs in [1usize, 2, 4, 8, 16] {
+                let mut w = LocalFioWorld::new(ssds, jobs, 1 << 30, DataMode::Null);
+                let r1m = run_fio(
+                    &mut w,
+                    &JobSpec::new(rw, 1 << 20, jobs).windows(ramp, runtime),
+                );
+                let mut w = LocalFioWorld::new(ssds, jobs, 1 << 30, DataMode::Null);
+                let r4k = run_fio(&mut w, &JobSpec::new(rw, 4096, jobs).windows(ramp, runtime));
+                print!(
+                    " {}ssd {:>9} j{:<2} 1M={:>5.2}GiB/s 4K={:>6.0}K |",
+                    ssds,
+                    rw.label(),
+                    jobs,
+                    r1m.gib_per_sec(),
+                    r4k.kiops()
+                );
+            }
+            println!();
+        }
+    }
+
+    println!("=== Fig 4: remote SPDK (jobs=cores, 1 SSD) ===");
+    for transport in [Transport::Tcp, Transport::Rdma] {
+        for rw in [RwMode::Read, RwMode::RandRead, RwMode::Write] {
+            for cores in [1usize, 2, 4, 8, 16] {
+                let mut w = SpdkFioWorld::new(transport, cores, cores, cores, 1 << 30, DataMode::Null);
+                let r1m = run_fio(
+                    &mut w,
+                    &JobSpec::new(rw, 1 << 20, cores).windows(ramp, runtime),
+                );
+                let mut w = SpdkFioWorld::new(transport, cores, cores, cores, 1 << 30, DataMode::Null);
+                let r4k = run_fio(&mut w, &JobSpec::new(rw, 4096, cores).iodepth(32).windows(ramp, runtime));
+                print!(
+                    " {} {:>8} c{:<2} 1M={:>5.2} 4K={:>6.0}K |",
+                    transport.label(),
+                    rw.label(),
+                    cores,
+                    r1m.gib_per_sec(),
+                    r4k.kiops()
+                );
+            }
+            println!();
+        }
+    }
+
+    println!("=== Fig 5: DFS end-to-end (16 jobs) ===");
+    for transport in [Transport::Tcp, Transport::Rdma] {
+        for placement in [ClientPlacement::Host, ClientPlacement::Dpu] {
+            for ssds in [1usize, 4] {
+                for rw in RwMode::ALL {
+                    let jobs = 16;
+                    let mut w =
+                        DfsFioWorld::new(transport, placement, ssds, jobs, 256 << 20, DataMode::Null);
+                    let r1m = run_fio(
+                        &mut w,
+                        &JobSpec::new(rw, 1 << 20, jobs).region(256 << 20).windows(ramp, runtime),
+                    );
+                    let mut w =
+                        DfsFioWorld::new(transport, placement, ssds, jobs, 256 << 20, DataMode::Null);
+                    let r4k = run_fio(
+                        &mut w,
+                        &JobSpec::new(rw, 4096, jobs).region(256 << 20).windows(ramp, runtime),
+                    );
+                    println!(
+                        " {:>4} {:?}{} {}ssd {:>9}: 1M={:>6.2} GiB/s 4K={:>6.0}K",
+                        transport.label(),
+                        placement,
+                        "",
+                        ssds,
+                        rw.label(),
+                        r1m.gib_per_sec(),
+                        r4k.kiops()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The closed-loop FIO driver: per-job queue depth, ramp then measure,
+//! latency accounting — the methodology every figure in the paper uses.
+
+use ros2_sim::{EventQueue, IoReport, SimDuration, SimRng, SimTime};
+
+use crate::spec::{FioReport, JobSpec};
+#[cfg(test)]
+use crate::spec::RwMode;
+
+/// One I/O as the driver issues it to a backend.
+#[derive(Clone, Debug)]
+pub struct FioOp {
+    /// Write (true) or read.
+    pub write: bool,
+    /// Byte offset within the job's region/file.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// A system under test: anything that can complete one job-issued I/O and
+/// report its virtual completion time.
+pub trait Workload {
+    /// Issues `op` for `job` at `now`; returns the completion instant.
+    fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String>;
+}
+
+struct JobState {
+    rng: SimRng,
+    cursor: u64,
+}
+
+impl JobState {
+    fn next_op(&mut self, spec: &JobSpec) -> FioOp {
+        let slots = (spec.region / spec.bs).max(1);
+        let offset = if spec.rw.is_random() {
+            self.rng.below(slots) * spec.bs
+        } else {
+            let off = self.cursor;
+            self.cursor = (self.cursor + spec.bs) % (slots * spec.bs);
+            off
+        };
+        FioOp {
+            write: spec.rw.is_write(),
+            offset,
+            len: spec.bs,
+        }
+    }
+}
+
+/// Event: an op of `job` submitted at `submitted` completed.
+struct Done {
+    job: usize,
+    submitted: SimTime,
+    bytes: u64,
+    failed: bool,
+}
+
+/// Runs `spec` against `workload` to completion and reports.
+pub fn run_fio<W: Workload>(workload: &mut W, spec: &JobSpec) -> FioReport {
+    let mut io = IoReport::new();
+    let start = SimTime::ZERO;
+    let measure_from = start + spec.ramp;
+    let measure_to = measure_from + spec.runtime;
+    io.meter.start(measure_from);
+    io.meter.stop(measure_to);
+
+    let root = SimRng::new(spec.seed);
+    let mut jobs: Vec<JobState> = (0..spec.numjobs)
+        .map(|j| JobState {
+            rng: root.fork(j as u64),
+            cursor: 0,
+        })
+        .collect();
+
+    let mut queue: EventQueue<Done> = EventQueue::new();
+
+    // Prime each job with `iodepth` outstanding ops.
+    for j in 0..spec.numjobs {
+        for _ in 0..spec.iodepth {
+            let op = jobs[j].next_op(spec);
+            match workload.issue(start, j, &op) {
+                Ok(done) => queue.push(
+                    done,
+                    Done {
+                        job: j,
+                        submitted: start,
+                        bytes: op.len,
+                        failed: false,
+                    },
+                ),
+                Err(_) => queue.push(
+                    start + SimDuration::from_micros(10),
+                    Done {
+                        job: j,
+                        submitted: start,
+                        bytes: 0,
+                        failed: true,
+                    },
+                ),
+            }
+        }
+    }
+
+    // Closed loop: each completion records and triggers the next op.
+    while let Some((now, done)) = queue.pop() {
+        if done.failed {
+            io.failure();
+        } else {
+            io.success(now, done.bytes, now.saturating_since(done.submitted));
+        }
+        if now >= measure_to {
+            continue; // drain without resubmitting
+        }
+        let op = jobs[done.job].next_op(spec);
+        match workload.issue(now, done.job, &op) {
+            Ok(at) => queue.push(
+                at,
+                Done {
+                    job: done.job,
+                    submitted: now,
+                    bytes: op.len,
+                    failed: false,
+                },
+            ),
+            Err(_) => queue.push(
+                now + SimDuration::from_micros(10),
+                Done {
+                    job: done.job,
+                    submitted: now,
+                    bytes: 0,
+                    failed: true,
+                },
+            ),
+        }
+    }
+
+    FioReport {
+        spec: spec.clone(),
+        io,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ros2_sim::ServerPool;
+
+    /// A toy backend: a k-server queue with fixed service time.
+    struct Toy {
+        pool: ServerPool,
+        service: SimDuration,
+        issued: u64,
+    }
+
+    impl Workload for Toy {
+        fn issue(&mut self, now: SimTime, _job: usize, _op: &FioOp) -> Result<SimTime, String> {
+            self.issued += 1;
+            Ok(self.pool.submit(now, self.service).finish)
+        }
+    }
+
+    #[test]
+    fn closed_loop_matches_littles_law() {
+        // 4 servers, 100 us service, 1 job at QD 8: throughput = 4/100us
+        // = 40 K ops/s (server-bound since QD > servers).
+        let mut toy = Toy {
+            pool: ServerPool::new(4),
+            service: SimDuration::from_micros(100),
+            issued: 0,
+        };
+        let spec = JobSpec::new(RwMode::Read, 4096, 1).iodepth(8);
+        let rep = run_fio(&mut toy, &spec);
+        let iops = rep.iops();
+        assert!((iops - 40_000.0).abs() / 40_000.0 < 0.02, "iops {iops}");
+        // Latency = queueing (2 rounds) at QD 8 over 4 servers.
+        let p50 = rep.io.latency.percentile(0.5);
+        assert!(p50 >= SimDuration::from_micros(190), "p50 {p50}");
+    }
+
+    #[test]
+    fn concurrency_scales_until_servers_saturate() {
+        let run = |jobs: usize| {
+            let mut toy = Toy {
+                pool: ServerPool::new(16),
+                service: SimDuration::from_micros(50),
+                issued: 0,
+            };
+            run_fio(&mut toy, &JobSpec::new(RwMode::Read, 4096, jobs).iodepth(1)).iops()
+        };
+        let one = run(1); // 1/50us = 20K
+        let eight = run(8); // 8x
+        let sixty_four = run(64); // capped at 16/50us = 320K
+        assert!((one - 20_000.0).abs() / 20_000.0 < 0.02, "{one}");
+        assert!((eight - 160_000.0).abs() / 160_000.0 < 0.02, "{eight}");
+        assert!((sixty_four - 320_000.0).abs() / 320_000.0 < 0.05, "{sixty_four}");
+    }
+
+    #[test]
+    fn sequential_offsets_advance_and_wrap() {
+        let spec = JobSpec::new(RwMode::Read, 4096, 1).region(3 * 4096);
+        let mut job = JobState {
+            rng: SimRng::new(1),
+            cursor: 0,
+        };
+        let offs: Vec<u64> = (0..5).map(|_| job.next_op(&spec).offset).collect();
+        assert_eq!(offs, vec![0, 4096, 8192, 0, 4096]);
+    }
+
+    #[test]
+    fn random_offsets_are_aligned_and_bounded() {
+        let spec = JobSpec::new(RwMode::RandRead, 4096, 1).region(1 << 20);
+        let mut job = JobState {
+            rng: SimRng::new(2),
+            cursor: 0,
+        };
+        for _ in 0..1000 {
+            let op = job.next_op(&spec);
+            assert_eq!(op.offset % 4096, 0);
+            assert!(op.offset + 4096 <= 1 << 20);
+            assert!(!op.write);
+        }
+    }
+
+    #[test]
+    fn failures_are_counted_not_fatal() {
+        struct Flaky {
+            n: u64,
+        }
+        impl Workload for Flaky {
+            fn issue(&mut self, now: SimTime, _j: usize, _op: &FioOp) -> Result<SimTime, String> {
+                self.n += 1;
+                if self.n % 10 == 0 {
+                    Err("injected".into())
+                } else {
+                    Ok(now + SimDuration::from_micros(20))
+                }
+            }
+        }
+        let rep = run_fio(&mut Flaky { n: 0 }, &JobSpec::new(RwMode::Read, 4096, 2));
+        assert!(rep.io.errors.get() > 0);
+        assert!(rep.iops() > 0.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = || {
+            let mut toy = Toy {
+                pool: ServerPool::new(2),
+                service: SimDuration::from_micros(33),
+                issued: 0,
+            };
+            let r = run_fio(&mut toy, &JobSpec::new(RwMode::RandRead, 4096, 3).seed(77));
+            (r.io.meter.ops(), r.io.latency.percentile(0.99).as_nanos())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,179 @@
+//! FIO-style job specifications and run reports.
+
+use ros2_sim::{IoReport, SimDuration};
+
+/// The four POSIX-style access patterns the paper evaluates everywhere.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RwMode {
+    /// Sequential read.
+    Read,
+    /// Sequential write.
+    Write,
+    /// Random read.
+    RandRead,
+    /// Random write.
+    RandWrite,
+}
+
+impl RwMode {
+    /// All four patterns, in the paper's row order (R, W, RR, RW).
+    pub const ALL: [RwMode; 4] = [
+        RwMode::Read,
+        RwMode::Write,
+        RwMode::RandRead,
+        RwMode::RandWrite,
+    ];
+
+    /// Whether this mode writes.
+    pub fn is_write(self) -> bool {
+        matches!(self, RwMode::Write | RwMode::RandWrite)
+    }
+
+    /// Whether this mode is random-access.
+    pub fn is_random(self) -> bool {
+        matches!(self, RwMode::RandRead | RwMode::RandWrite)
+    }
+
+    /// FIO-style label ("read", "write", "randread", "randwrite").
+    pub fn label(self) -> &'static str {
+        match self {
+            RwMode::Read => "read",
+            RwMode::Write => "write",
+            RwMode::RandRead => "randread",
+            RwMode::RandWrite => "randwrite",
+        }
+    }
+
+    /// Paper row label (R, W, RR, RW).
+    pub fn short(self) -> &'static str {
+        match self {
+            RwMode::Read => "R",
+            RwMode::Write => "W",
+            RwMode::RandRead => "RR",
+            RwMode::RandWrite => "RW",
+        }
+    }
+}
+
+/// One FIO job-file equivalent.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Access pattern.
+    pub rw: RwMode,
+    /// Block size in bytes (the paper uses 1 MiB and 4 KiB).
+    pub bs: u64,
+    /// Number of parallel jobs.
+    pub numjobs: usize,
+    /// Per-job queue depth (outstanding ops).
+    pub iodepth: usize,
+    /// Warmup excluded from measurement.
+    pub ramp: SimDuration,
+    /// Measured window.
+    pub runtime: SimDuration,
+    /// Per-job working-set size in bytes.
+    pub region: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A spec with the defaults the figures use: QD 8, 200 ms ramp,
+    /// 600 ms measured window, 1 GiB per-job region.
+    pub fn new(rw: RwMode, bs: u64, numjobs: usize) -> Self {
+        JobSpec {
+            rw,
+            bs,
+            numjobs,
+            iodepth: 8,
+            ramp: SimDuration::from_millis(200),
+            runtime: SimDuration::from_millis(600),
+            region: 1 << 30,
+            seed: 0x0f10,
+        }
+    }
+
+    /// Overrides the queue depth.
+    pub fn iodepth(mut self, qd: usize) -> Self {
+        self.iodepth = qd;
+        self
+    }
+
+    /// Overrides the per-job region.
+    pub fn region(mut self, bytes: u64) -> Self {
+        self.region = bytes;
+        self
+    }
+
+    /// Overrides the measurement windows.
+    pub fn windows(mut self, ramp: SimDuration, runtime: SimDuration) -> Self {
+        self.ramp = ramp;
+        self.runtime = runtime;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The result of one FIO run.
+#[derive(Clone, Debug)]
+pub struct FioReport {
+    /// The spec that produced it.
+    pub spec: JobSpec,
+    /// Aggregate measurements over the window.
+    pub io: IoReport,
+}
+
+impl FioReport {
+    /// Bandwidth in GiB/s.
+    pub fn gib_per_sec(&self) -> f64 {
+        self.io.gib_per_sec()
+    }
+    /// IOPS.
+    pub fn iops(&self) -> f64 {
+        self.io.iops()
+    }
+    /// IOPS in thousands (the paper's 4 KiB unit).
+    pub fn kiops(&self) -> f64 {
+        self.io.iops() / 1e3
+    }
+    /// One-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>9} bs={:>7} jobs={:<2} {}",
+            self.spec.rw.label(),
+            self.spec.bs,
+            self.spec.numjobs,
+            self.io.summary()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_fio_conventions() {
+        assert_eq!(RwMode::RandRead.label(), "randread");
+        assert_eq!(RwMode::RandWrite.short(), "RW");
+        assert!(RwMode::Write.is_write());
+        assert!(!RwMode::Read.is_random());
+        assert!(RwMode::RandWrite.is_write() && RwMode::RandWrite.is_random());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = JobSpec::new(RwMode::Read, 4096, 4)
+            .iodepth(16)
+            .region(1 << 20)
+            .seed(9);
+        assert_eq!(s.iodepth, 16);
+        assert_eq!(s.region, 1 << 20);
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.numjobs, 4);
+    }
+}

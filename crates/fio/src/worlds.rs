@@ -1,0 +1,336 @@
+//! The three systems under test, one per paper experiment family:
+//!
+//! * [`LocalFioWorld`] — FIO + io_uring + local NVMe (Fig. 3);
+//! * [`SpdkFioWorld`] — FIO + SPDK NVMe-oF over TCP/RDMA (Fig. 4);
+//! * [`DfsFioWorld`] — FIO + DFS + DAOS, client on host or DPU (Fig. 5).
+//!
+//! Each world assembles the testbed from `ros2-hw` platform models,
+//! preconditions its working set, resets clocks, and implements
+//! [`Workload`] for the closed-loop driver.
+
+use bytes::Bytes;
+use ros2_hw::{
+    gbps, CoreClass, CpuComplement, DpuTcpRxModel, HostPathModel, NicModel, NvmeModel,
+    ClientPlacement, Transport, LBA_SIZE,
+};
+use ros2_iouring::{IoRequest, IoUringEngine};
+use ros2_nvme::{DataMode, NvmeArray};
+use ros2_sim::SimTime;
+use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
+use ros2_dfs::{Dfs, DfsObj, DfsSession};
+use ros2_fabric::{Fabric, NodeSpec};
+use ros2_spdk::{BdevLayer, NvmfSession, NvmfStack};
+use ros2_verbs::{MemoryDomain, NodeId};
+
+use crate::driver::{FioOp, Workload};
+
+/// Shared zero payload pool: slicing is refcounted and free.
+fn zeros(len: usize, cache: &Bytes) -> Bytes {
+    if len <= cache.len() {
+        cache.slice(0..len)
+    } else {
+        Bytes::from(vec![0u8; len])
+    }
+}
+
+// ---------------------------------------------------------------- local --
+
+/// Fig. 3's system: FIO jobs over io_uring rings onto a local NVMe array.
+pub struct LocalFioWorld {
+    engine: IoUringEngine,
+    array: NvmeArray,
+    region: u64,
+    payload: Bytes,
+}
+
+impl LocalFioWorld {
+    /// Builds the world with `ssds` drives and `jobs` rings. Jobs map to
+    /// devices round-robin (`dev = job % ssds`), each with a private LBA
+    /// region of `region` bytes.
+    pub fn new(ssds: usize, jobs: usize, region: u64, mode: DataMode) -> Self {
+        LocalFioWorld {
+            engine: IoUringEngine::new(HostPathModel::iouring(), jobs, 256),
+            array: NvmeArray::new(NvmeModel::enterprise_1600(), ssds, mode),
+            region,
+            payload: Bytes::from(vec![0u8; 4 << 20]),
+        }
+    }
+
+    /// The device array (stats inspection).
+    pub fn array(&self) -> &NvmeArray {
+        &self.array
+    }
+}
+
+impl Workload for LocalFioWorld {
+    fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String> {
+        let ndev = self.array.len();
+        let dev = job % ndev;
+        let lane = (job / ndev) as u64;
+        let base_lba = lane * (self.region / LBA_SIZE);
+        let req = IoRequest {
+            dev,
+            write: op.write,
+            slba: base_lba + op.offset / LBA_SIZE,
+            nlb: (op.len / LBA_SIZE) as u32,
+            data: op
+                .write
+                .then(|| zeros(op.len as usize, &self.payload)),
+        };
+        self.engine
+            .submit(now, job, &mut self.array, req)
+            .map(|c| c.at)
+            .map_err(|e| format!("{e:?}"))
+    }
+}
+
+// ----------------------------------------------------------------- spdk --
+
+/// Fig. 4's system: FIO jobs over NVMe-oF sessions, one session per job,
+/// with the client/server reactor core counts as sweep axes.
+pub struct SpdkFioWorld {
+    stack: NvmfStack,
+    sessions: Vec<NvmfSession>,
+    region: u64,
+    payload: Bytes,
+}
+
+impl SpdkFioWorld {
+    /// Builds the remote stack: host client and storage server through the
+    /// 100 Gbps switch, one exported SSD (the paper's Fig. 4 setup).
+    pub fn new(
+        transport: Transport,
+        client_cores: usize,
+        server_cores: usize,
+        jobs: usize,
+        region: u64,
+        mode: DataMode,
+    ) -> Self {
+        let client = NodeSpec {
+            name: "client".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: client_cores,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 16 << 30,
+            dpu_tcp_rx: None,
+        };
+        let server = NodeSpec {
+            name: "storage".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: server_cores,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 16 << 30,
+            dpu_tcp_rx: None,
+        };
+        let fabric = Fabric::new(transport, vec![client, server], 0xf14);
+        let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, mode));
+        let mut stack = NvmfStack::new(
+            fabric,
+            NodeId(0),
+            NodeId(1),
+            client_cores,
+            server_cores,
+            bdevs,
+        );
+        let sessions = (0..jobs)
+            .map(|_| stack.open_session(4 << 20).expect("session"))
+            .collect();
+        SpdkFioWorld {
+            stack,
+            sessions,
+            region,
+            payload: Bytes::from(vec![0u8; 4 << 20]),
+        }
+    }
+}
+
+impl Workload for SpdkFioWorld {
+    fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String> {
+        let base_lba = job as u64 * (self.region / LBA_SIZE);
+        let slba = base_lba + op.offset / LBA_SIZE;
+        let session = &mut self.sessions[job];
+        if op.write {
+            self.stack
+                .write(now, session, 0, slba, zeros(op.len as usize, &self.payload))
+                .map_err(|e| format!("{e:?}"))
+        } else {
+            self.stack
+                .read(now, session, 0, slba, (op.len / LBA_SIZE) as u32)
+                .map(|(at, _)| at)
+                .map_err(|e| format!("{e:?}"))
+        }
+    }
+}
+
+// ------------------------------------------------------------------ dfs --
+
+/// Fig. 5's system: FIO's DFS engine over the full ROS2 stack, with the
+/// DAOS client on the host CPU or offloaded to the BlueField-3.
+pub struct DfsFioWorld {
+    /// The data-plane fabric.
+    pub fabric: Fabric,
+    /// The unmodified storage-server engine.
+    pub engine: DaosEngine,
+    /// The (possibly DPU-resident) client.
+    pub client: DaosClient,
+    /// The mounted namespace.
+    pub dfs: Dfs,
+    files: Vec<DfsObj>,
+    payload: Bytes,
+}
+
+impl DfsFioWorld {
+    /// Builds the end-to-end testbed and preconditions one `region`-byte
+    /// file per job (so random reads hit real extents), then resets clocks.
+    pub fn new(
+        transport: Transport,
+        placement: ClientPlacement,
+        ssds: usize,
+        jobs: usize,
+        region: u64,
+        mode: DataMode,
+    ) -> Self {
+        let client_spec = match placement {
+            ClientPlacement::Host => NodeSpec {
+                name: "host-client".into(),
+                cpu: CpuComplement {
+                    class: CoreClass::HostX86,
+                    cores: 48,
+                },
+                nic: NicModel::connectx6(),
+                port_rate: gbps(100),
+                mem_budget: 64 << 30,
+                dpu_tcp_rx: None,
+            },
+            ClientPlacement::Dpu => NodeSpec {
+                name: "bluefield3".into(),
+                cpu: CpuComplement {
+                    class: CoreClass::DpuArm,
+                    cores: 16,
+                },
+                nic: NicModel::connectx7(),
+                port_rate: gbps(100),
+                mem_budget: 30 << 30,
+                dpu_tcp_rx: Some(DpuTcpRxModel::bluefield3()),
+            },
+        };
+        let server_spec = NodeSpec {
+            name: "storage".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: 64,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps(100),
+            mem_budget: 64 << 30,
+            dpu_tcp_rx: None,
+        };
+        let mut fabric = Fabric::new(transport, vec![client_spec, server_spec], 0xd0e5);
+        fabric.set_flow_hint(NodeId(0), jobs);
+        fabric.set_flow_hint(NodeId(1), jobs);
+
+        let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), ssds, mode));
+        let mut engine = DaosEngine::new(
+            "pool0",
+            bdevs,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        engine.cont_create("posix").unwrap();
+
+        let mut client = DaosClient::connect(
+            &mut fabric,
+            NodeId(0),
+            NodeId(1),
+            "fio",
+            "posix",
+            jobs,
+            4 << 20,
+            MemoryDomain::HostDram,
+            DaosCostModel::default_model(),
+        )
+        .expect("client connects");
+
+        // Format, create and precondition per-job files.
+        let chunk = 1u64 << 20;
+        let (mut dfs, mut t) = {
+            let mut s = DfsSession {
+                fabric: &mut fabric,
+                engine: &mut engine,
+                client: &mut client,
+            };
+            Dfs::format(&mut s, SimTime::ZERO, chunk).expect("format")
+        };
+        let root = dfs.root();
+        let mut files = Vec::with_capacity(jobs);
+        let payload = Bytes::from(vec![0u8; 4 << 20]);
+        for j in 0..jobs {
+            let mut s = DfsSession {
+                fabric: &mut fabric,
+                engine: &mut engine,
+                client: &mut client,
+            };
+            let (mut f, t1) = dfs
+                .create(&mut s, t, &root, &format!("job{j}"), 0o644)
+                .expect("create");
+            t = t1;
+            let mut off = 0u64;
+            while off < region {
+                let piece = chunk.min(region - off);
+                t = dfs
+                    .write(&mut s, t, j, &mut f, off, zeros(piece as usize, &payload))
+                    .expect("precondition write");
+                off += piece;
+            }
+            files.push(f);
+        }
+
+        // Preconditioning consumed virtual time; measurement starts fresh.
+        fabric.reset_timing();
+        engine.reset_timing();
+        client.reset_timing();
+
+        DfsFioWorld {
+            fabric,
+            engine,
+            client,
+            dfs,
+            files,
+            payload,
+        }
+    }
+
+    /// The preconditioned file handles (one per job).
+    pub fn file(&self, job: usize) -> &DfsObj {
+        &self.files[job]
+    }
+}
+
+impl Workload for DfsFioWorld {
+    fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String> {
+        let mut s = DfsSession {
+            fabric: &mut self.fabric,
+            engine: &mut self.engine,
+            client: &mut self.client,
+        };
+        if op.write {
+            let data = zeros(op.len as usize, &self.payload);
+            let mut f = self.files[job].clone();
+            self.dfs
+                .write(&mut s, now, job, &mut f, op.offset, data)
+                .map_err(|e| format!("{e:?}"))
+        } else {
+            self.dfs
+                .read(&mut s, now, job, &self.files[job], op.offset, op.len)
+                .map(|(_, at)| at)
+                .map_err(|e| format!("{e:?}"))
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! NVMe device timing model.
+//!
+//! Calibrated to the enterprise drives in the paper's storage server (§4.1:
+//! four NVMe SSDs, 6.4 TB total, behind a 100 Gbps switch). The constants are
+//! chosen so that the *measured* figure-3 baselines reproduce:
+//!
+//! * large-block reads plateau ≈5.4–5.6 GiB/s per device, writes ≈2.7 GiB/s;
+//! * 4 KiB random-read IOPS reach ≈1.1 M per device at full concurrency
+//!   (never observed directly in the paper because the host software path
+//!   caps at ≈600 K first — see [`crate::cpu::HostPathModel`]);
+//! * 4 KiB latency sits near 85 µs read / 80 µs write at low queue depth.
+//!
+//! The mechanical model: a device has `channels` independent internal
+//! channels (flash-die groups). An operation *occupies* a channel for its
+//! transfer time plus a small per-command overhead — occupancy is what caps
+//! bandwidth and IOPS — and additionally experiences a non-occupying access
+//! latency (array read / program time) before completing.
+
+use ros2_sim::SimDuration;
+
+/// Size of one logical block (LBA) in bytes. All device addressing is in
+/// 4 KiB blocks, matching the paper's 4 KiB small-I/O workloads.
+pub const LBA_SIZE: u64 = 4096;
+
+/// Timing model for one NVMe SSD.
+#[derive(Clone, Debug)]
+pub struct NvmeModel {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Device capacity in bytes (paper: 4 drives totalling 6.4 TB).
+    pub capacity: u64,
+    /// Aggregate sequential/large-block read bandwidth ceiling (B/s).
+    pub read_bw: u64,
+    /// Aggregate large-block write bandwidth ceiling (B/s).
+    pub write_bw: u64,
+    /// Number of independent internal channels.
+    pub channels: usize,
+    /// Non-occupying flash access latency for random reads.
+    pub read_access: SimDuration,
+    /// Non-occupying program latency for random writes.
+    pub write_access: SimDuration,
+    /// Access latency for *sequential* reads (controller read-ahead hits).
+    /// Drives the Fig. 3 observation that at 4 KiB "access pattern plus
+    /// submission concurrency determine IOPS".
+    pub seq_read_access: SimDuration,
+    /// Program latency for *sequential* writes (write-combining).
+    pub seq_write_access: SimDuration,
+    /// Per-command channel occupancy overhead for reads.
+    pub read_cmd_overhead: SimDuration,
+    /// Per-command channel occupancy overhead for writes.
+    pub write_cmd_overhead: SimDuration,
+    /// Maximum outstanding commands the device accepts.
+    pub max_qd: usize,
+}
+
+impl NvmeModel {
+    /// The default drive: a PCIe 4.0 enterprise SSD of the class in the
+    /// paper's testbed (1.6 TB, ~5.8 GB/s read, ~2.7 GiB/s write).
+    pub fn enterprise_1600() -> Self {
+        NvmeModel {
+            name: "ent-nvme-1.6t",
+            capacity: 1600 * 1000 * 1000 * 1000,
+            // 5.8 GiB/s raw; the io_uring host path shaves this to the
+            // 5.4-5.6 GiB/s plateau of Fig. 3a.
+            read_bw: (5.8 * (1u64 << 30) as f64) as u64,
+            write_bw: (2.7 * (1u64 << 30) as f64) as u64,
+            channels: 8,
+            read_access: SimDuration::from_micros(78),
+            write_access: SimDuration::from_micros(68),
+            seq_read_access: SimDuration::from_micros(45),
+            seq_write_access: SimDuration::from_micros(40),
+            // Occupancy for a 4 KiB read: 4096 B at (read_bw/8) ≈ 5.3 us
+            // transfer + 1.9 us overhead ≈ 7.2 us -> ≈1.11 M IOPS ceiling.
+            read_cmd_overhead: SimDuration::from_nanos(1900),
+            write_cmd_overhead: SimDuration::from_nanos(1000),
+            max_qd: 1024,
+        }
+    }
+
+    /// Per-channel bandwidth for the given direction (B/s).
+    pub fn channel_bw(&self, write: bool) -> u64 {
+        let total = if write { self.write_bw } else { self.read_bw };
+        total / self.channels as u64
+    }
+
+    /// Channel occupancy of one command of `bytes` (transfer + overhead).
+    pub fn occupancy(&self, bytes: u64, write: bool) -> SimDuration {
+        let transfer = SimDuration::for_bytes(bytes, self.channel_bw(write));
+        let overhead = if write {
+            self.write_cmd_overhead
+        } else {
+            self.read_cmd_overhead
+        };
+        transfer + overhead
+    }
+
+    /// Non-occupying access latency for the given direction.
+    pub fn access(&self, write: bool) -> SimDuration {
+        if write {
+            self.write_access
+        } else {
+            self.read_access
+        }
+    }
+
+    /// Access latency honouring a sequential-access hint.
+    pub fn access_hinted(&self, write: bool, sequential: bool) -> SimDuration {
+        match (write, sequential) {
+            (false, false) => self.read_access,
+            (false, true) => self.seq_read_access,
+            (true, false) => self.write_access,
+            (true, true) => self.seq_write_access,
+        }
+    }
+
+    /// The theoretical 4 KiB IOPS ceiling implied by the occupancy model.
+    pub fn iops_ceiling_4k(&self, write: bool) -> f64 {
+        let occ = self.occupancy(LBA_SIZE, write);
+        self.channels as f64 / occ.as_secs_f64()
+    }
+
+    /// Number of LBAs on the device.
+    pub fn lba_count(&self) -> u64 {
+        self.capacity / LBA_SIZE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceilings_match_paper_targets() {
+        let m = NvmeModel::enterprise_1600();
+        // Read IOPS ceiling around 1.0-1.2M so the ~600K host-path cap binds
+        // first, as the paper's Fig. 3b/3d "software limit" finding requires.
+        let r = m.iops_ceiling_4k(false);
+        assert!((1.0e6..1.3e6).contains(&r), "read 4k ceiling {r}");
+        // Write ceiling must exceed ~600K too (writes also plateau there).
+        let w = m.iops_ceiling_4k(true);
+        assert!((6.0e5..9.0e5).contains(&w), "write 4k ceiling {w}");
+    }
+
+    #[test]
+    fn large_block_occupancy_saturates_at_channel_count() {
+        let m = NvmeModel::enterprise_1600();
+        // channels * (1 MiB / occupancy) == aggregate BW (within overhead).
+        let occ = m.occupancy(1 << 20, false);
+        let agg = m.channels as f64 * (1 << 20) as f64 / occ.as_secs_f64();
+        let target = m.read_bw as f64;
+        assert!((agg - target).abs() / target < 0.01, "agg {agg} vs {target}");
+    }
+
+    #[test]
+    fn small_read_latency_near_85us() {
+        let m = NvmeModel::enterprise_1600();
+        let lat = m.access(false) + m.occupancy(LBA_SIZE, false);
+        let us = lat.as_micros();
+        assert!((80..92).contains(&us), "4k read latency {us}us");
+    }
+
+    #[test]
+    fn write_slower_than_read_for_bandwidth() {
+        let m = NvmeModel::enterprise_1600();
+        assert!(m.write_bw < m.read_bw);
+        assert!(m.channel_bw(true) < m.channel_bw(false));
+    }
+
+    #[test]
+    fn lba_geometry() {
+        let m = NvmeModel::enterprise_1600();
+        assert_eq!(m.lba_count() * LBA_SIZE, m.capacity);
+    }
+}

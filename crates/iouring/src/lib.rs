@@ -1,0 +1,14 @@
+//! # ros2-iouring — io_uring-like local I/O engine
+//!
+//! The local baseline path of the paper's Fig. 3: FIO jobs submit
+//! POSIX-style block I/O through per-job rings, a shared kernel block-layer
+//! stage, and the simulated NVMe devices. The shared stage reproduces the
+//! paper's "software/host-path limit" (~600 K 4 KiB IOPS regardless of drive
+//! count); adjacency detection reproduces the sequential-vs-random 4 KiB
+//! split.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{IoCompletion, IoRequest, IoUringEngine, IoUringError};

@@ -1,0 +1,547 @@
+//! Queueing-resource primitives.
+//!
+//! Every contended piece of hardware in ROS2 — links, NIC pipes, CPU core
+//! pools, NVMe channels, tenant rate limits — is modelled by one of these
+//! primitives. They are *time calculators*: callers hand them the current
+//! instant plus a demand and get back `(start, finish)` times; the resource
+//! updates its own occupancy so queueing delay emerges naturally. None of
+//! them schedule events themselves, which keeps engine state machines pure
+//! and unit-testable.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A grant issued by a resource: when service began and when it completes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// When the demand actually started being served (≥ request time).
+    pub start: SimTime,
+    /// When service completes.
+    pub finish: SimTime,
+}
+
+impl Grant {
+    /// Time spent waiting before service began.
+    pub fn queue_delay(&self, requested: SimTime) -> SimDuration {
+        self.start.saturating_since(requested)
+    }
+    /// Total latency from request to completion.
+    pub fn latency(&self, requested: SimTime) -> SimDuration {
+        self.finish.saturating_since(requested)
+    }
+}
+
+/// How far behind the maximum observed submission time a resource keeps
+/// booking history. Submissions may arrive out of order by up to one
+/// end-to-end operation span; 500 ms of slack is orders of magnitude beyond
+/// any path in the models.
+const PRUNE_SLACK: SimDuration = SimDuration::from_millis(500);
+
+/// A sorted list of non-overlapping busy intervals with gap placement —
+/// the work-conserving booking discipline shared by every resource here.
+///
+/// Engine state machines compute an operation's whole timeline in one call,
+/// so a resource can receive a reservation for a *future* instant (e.g. a
+/// response sent when media completes) before a request for an *earlier*
+/// instant arrives from the next operation. Plain FIFO occupancy would make
+/// the early request wait behind the future reservation even though the
+/// resource is idle in between, serializing entire pipelines. Interval
+/// booking places each demand in the earliest feasible gap instead.
+#[derive(Clone, Debug, Default)]
+struct IntervalBook {
+    /// Sorted, non-overlapping `(start, end)` busy intervals in ns.
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalBook {
+    /// Earliest feasible start ≥ `from` for `dur`, plus the insertion index.
+    fn earliest(&self, from: u64, dur: u64) -> (u64, usize) {
+        let mut idx = self.spans.partition_point(|&(_, end)| end <= from);
+        let mut candidate = from;
+        while idx < self.spans.len() {
+            let (start, end) = self.spans[idx];
+            if candidate + dur <= start {
+                return (candidate, idx);
+            }
+            candidate = candidate.max(end);
+            idx += 1;
+        }
+        (candidate, idx)
+    }
+
+    /// Books `[start, start+dur)` at insertion point `idx`, merging with
+    /// touching neighbours to keep the list short.
+    fn book(&mut self, start: u64, dur: u64, idx: usize) {
+        let end = start + dur;
+        let prev = idx > 0 && self.spans[idx - 1].1 == start;
+        let next = idx < self.spans.len() && self.spans[idx].0 == end;
+        match (prev, next) {
+            (true, true) => {
+                self.spans[idx - 1].1 = self.spans[idx].1;
+                self.spans.remove(idx);
+            }
+            (true, false) => self.spans[idx - 1].1 = end,
+            (false, true) => self.spans[idx].0 = start,
+            (false, false) => self.spans.insert(idx, (start, end)),
+        }
+    }
+
+    /// Drops intervals that ended before `cutoff`.
+    fn prune(&mut self, cutoff: u64) {
+        if self.spans.len() < 64 {
+            return;
+        }
+        let keep_from = self.spans.partition_point(|&(_, end)| end < cutoff);
+        if keep_from > 0 {
+            self.spans.drain(0..keep_from);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.spans.clear();
+    }
+}
+
+/// A gap-scheduled store-and-forward bandwidth pipe (link, NIC port).
+///
+/// Transfers serialize at `bytes_per_sec`, each occupying the pipe for
+/// exactly `bytes / rate`, placed in the earliest feasible idle window at
+/// or after arrival (see [`IntervalBook`] for why). Callers that need flows
+/// to interleave segment large transfers first (the fabric layer does).
+#[derive(Clone, Debug)]
+pub struct BandwidthServer {
+    bytes_per_sec: u64,
+    book: IntervalBook,
+    bytes_served: u64,
+    busy_time: SimDuration,
+    high_water: SimTime,
+}
+
+impl BandwidthServer {
+    /// Creates a pipe with the given capacity in bytes per second.
+    pub fn new(bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "zero-rate pipe");
+        BandwidthServer {
+            bytes_per_sec,
+            book: IntervalBook::default(),
+            bytes_served: 0,
+            busy_time: SimDuration::ZERO,
+            high_water: SimTime::ZERO,
+        }
+    }
+
+    /// Enqueues a transfer of `bytes`, returning its service window.
+    pub fn transmit(&mut self, now: SimTime, bytes: u64) -> Grant {
+        let dur = SimDuration::for_bytes(bytes, self.bytes_per_sec);
+        let (start, idx) = self.book.earliest(now.as_nanos(), dur.as_nanos());
+        self.book.book(start, dur.as_nanos(), idx);
+        self.bytes_served += bytes;
+        self.busy_time += dur;
+        self.high_water = self.high_water.max(now);
+        let cutoff = self
+            .high_water
+            .as_nanos()
+            .saturating_sub(PRUNE_SLACK.as_nanos());
+        self.book.prune(cutoff);
+        Grant {
+            start: SimTime::from_nanos(start),
+            finish: SimTime::from_nanos(start + dur.as_nanos()),
+        }
+    }
+
+    /// The earliest idle instant at or after `now`.
+    pub fn next_free(&self, now: SimTime) -> SimTime {
+        SimTime::from_nanos(self.book.earliest(now.as_nanos(), 0).0)
+    }
+
+    /// Time from `now` until the last current booking drains.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        let last = self.book.spans.last().map_or(0, |&(_, end)| end);
+        SimTime::from_nanos(last).saturating_since(now)
+    }
+
+    /// Total bytes pushed through the pipe.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Cumulative busy time (for utilization reporting).
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// The configured rate in bytes per second.
+    pub fn rate(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Fraction of `elapsed` the pipe spent busy.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+    }
+
+    /// Resets occupancy and counters to a fresh t=0 state (used between a
+    /// preconditioning phase and a measured run).
+    pub fn reset_timing(&mut self) {
+        self.book.clear();
+        self.bytes_served = 0;
+        self.busy_time = SimDuration::ZERO;
+        self.high_water = SimTime::ZERO;
+    }
+}
+
+/// A pool of `k` identical servers with **gap-scheduled** (backfilling)
+/// assignment.
+///
+/// Models CPU core pools (host, DPU ARM, storage xstreams) and NVMe channel
+/// parallelism. Because engine state machines compute an operation's whole
+/// timeline in one call, a pool can receive a reservation for a *future*
+/// instant (e.g. a response sent when media completes) before it receives a
+/// request for an *earlier* instant from the next operation. Plain
+/// earliest-free-server assignment would make the early request queue
+/// behind the future reservation even though the server sits idle in
+/// between — serializing the entire pipeline. This pool instead books
+/// per-server busy intervals and places each job in the earliest feasible
+/// gap at or after its arrival, which is exactly how a work-conserving
+/// scheduler would behave.
+#[derive(Clone, Debug)]
+pub struct ServerPool {
+    /// Per-server booking lists.
+    bookings: Vec<IntervalBook>,
+    servers: usize,
+    jobs_served: u64,
+    busy_time: SimDuration,
+    latest_free: SimTime,
+    /// High-water mark of observed submission times (for pruning).
+    high_water: SimTime,
+}
+
+impl ServerPool {
+    /// Creates a pool of `servers` identical servers, all free at t=0.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "empty server pool");
+        ServerPool {
+            bookings: vec![IntervalBook::default(); servers],
+            servers,
+            jobs_served: 0,
+            busy_time: SimDuration::ZERO,
+            latest_free: SimTime::ZERO,
+            high_water: SimTime::ZERO,
+        }
+    }
+
+    /// Submits a job needing `service` time; it runs in the earliest
+    /// feasible gap at or after `now` across all servers.
+    pub fn submit(&mut self, now: SimTime, service: SimDuration) -> Grant {
+        let from = now.as_nanos();
+        let dur = service.as_nanos();
+        let mut best: Option<(u64, usize, usize)> = None; // (start, server, idx)
+        for (s, book) in self.bookings.iter().enumerate() {
+            let (start, idx) = book.earliest(from, dur);
+            if best.map_or(true, |(b, _, _)| start < b) {
+                best = Some((start, s, idx));
+                if start == from {
+                    break; // cannot do better than starting immediately
+                }
+            }
+        }
+        let (start_ns, server, idx) = best.expect("pool is never empty");
+        self.bookings[server].book(start_ns, dur, idx);
+
+        self.jobs_served += 1;
+        self.busy_time += service;
+        let finish = SimTime::from_nanos(start_ns + dur);
+        self.latest_free = self.latest_free.max(finish);
+        self.high_water = self.high_water.max(now);
+        let cutoff = self
+            .high_water
+            .as_nanos()
+            .saturating_sub(PRUNE_SLACK.as_nanos());
+        self.bookings[server].prune(cutoff);
+        Grant {
+            start: SimTime::from_nanos(start_ns),
+            finish,
+        }
+    }
+
+    /// The instant a zero-length job submitted at `now` could start (the
+    /// earliest idle instant at or after `now`).
+    pub fn next_free(&self, now: SimTime) -> SimTime {
+        let from = now.as_nanos();
+        let earliest = self
+            .bookings
+            .iter()
+            .map(|book| book.earliest(from, 0).0)
+            .min()
+            .expect("pool is never empty");
+        SimTime::from_nanos(earliest)
+    }
+
+    /// The instant *every* booking (including future ones) has drained.
+    pub fn drain_time(&self, now: SimTime) -> SimTime {
+        now.max(self.latest_free)
+    }
+
+    /// The number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Total jobs served.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs_served
+    }
+
+    /// Aggregate busy time across all servers.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Mean per-server utilization over `elapsed`.
+    pub fn utilization(&self, elapsed: SimDuration) -> f64 {
+        if elapsed == SimDuration::ZERO {
+            return 0.0;
+        }
+        self.busy_time.as_secs_f64() / (elapsed.as_secs_f64() * self.servers as f64)
+    }
+
+    /// Resets all servers to free-at-zero and clears counters.
+    pub fn reset_timing(&mut self) {
+        self.bookings = vec![IntervalBook::default(); self.servers];
+        self.jobs_served = 0;
+        self.busy_time = SimDuration::ZERO;
+        self.latest_free = SimTime::ZERO;
+        self.high_water = SimTime::ZERO;
+    }
+}
+
+/// A token bucket for tenant rate limiting and QoS.
+///
+/// Tokens accrue at `rate_per_sec` up to `burst`; a request for `n` tokens is
+/// granted at the earliest instant the bucket can cover it. Integer
+/// nanosecond·token arithmetic keeps grants exact and monotone.
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    rate_per_sec: u64,
+    burst: u64,
+    /// Token level ×1e9 (token-nanos) as of `updated`.
+    level_tn: u128,
+    updated: SimTime,
+    granted: u64,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that refills at `rate_per_sec` with capacity `burst`,
+    /// starting full.
+    pub fn new(rate_per_sec: u64, burst: u64) -> Self {
+        assert!(rate_per_sec > 0, "zero-rate bucket");
+        assert!(burst > 0, "zero-burst bucket");
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            level_tn: burst as u128 * 1_000_000_000,
+            updated: SimTime::ZERO,
+            granted: 0,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.updated).as_nanos() as u128;
+        let cap = self.burst as u128 * 1_000_000_000;
+        self.level_tn = (self.level_tn + dt * self.rate_per_sec as u128).min(cap);
+        self.updated = self.updated.max(now);
+    }
+
+    /// Requests `tokens`, returning the earliest instant the grant holds.
+    /// Requests larger than the burst are granted at the burst boundary
+    /// (the bucket goes momentarily negative), preserving work conservation.
+    pub fn acquire(&mut self, now: SimTime, tokens: u64) -> SimTime {
+        self.refill(now);
+        let need = tokens as u128 * 1_000_000_000;
+        let grant_at = if self.level_tn >= need {
+            now
+        } else {
+            let deficit = need - self.level_tn;
+            let wait_ns = deficit.div_ceil(self.rate_per_sec as u128) as u64;
+            now + SimDuration::from_nanos(wait_ns)
+        };
+        self.refill(grant_at);
+        self.level_tn = self.level_tn.saturating_sub(need);
+        self.granted += tokens;
+        grant_at
+    }
+
+    /// Current whole tokens available at `now` (read-only estimate).
+    pub fn available(&self, now: SimTime) -> u64 {
+        let dt = now.saturating_since(self.updated).as_nanos() as u128;
+        let cap = self.burst as u128 * 1_000_000_000;
+        let level = (self.level_tn + dt * self.rate_per_sec as u128).min(cap);
+        (level / 1_000_000_000) as u64
+    }
+
+    /// Total tokens granted.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// The refill rate in tokens per second.
+    pub fn rate(&self) -> u64 {
+        self.rate_per_sec
+    }
+}
+
+/// A fixed propagation delay (switch hop, PCIe hop).
+#[derive(Copy, Clone, Debug)]
+pub struct LatencyPipe {
+    delay: SimDuration,
+}
+
+impl LatencyPipe {
+    /// Creates a pipe adding `delay` to every traversal.
+    pub fn new(delay: SimDuration) -> Self {
+        LatencyPipe { delay }
+    }
+    /// When something entering at `now` emerges.
+    pub fn traverse(&self, now: SimTime) -> SimTime {
+        now + self.delay
+    }
+    /// The configured delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIB: u64 = 1024;
+
+    #[test]
+    fn bandwidth_serializes_fifo() {
+        let mut link = BandwidthServer::new(1_000_000_000); // 1 GB/s
+        let t0 = SimTime::ZERO;
+        let g1 = link.transmit(t0, 1_000_000); // 1 ms
+        let g2 = link.transmit(t0, 1_000_000);
+        assert_eq!(g1.start, t0);
+        assert_eq!(g1.finish, SimTime::from_millis(1));
+        assert_eq!(g2.start, SimTime::from_millis(1));
+        assert_eq!(g2.finish, SimTime::from_millis(2));
+        assert_eq!(g2.queue_delay(t0), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn bandwidth_idles_then_resumes() {
+        let mut link = BandwidthServer::new(1_000_000_000);
+        link.transmit(SimTime::ZERO, 1_000_000);
+        // Arrives long after the pipe drained: no queueing.
+        let g = link.transmit(SimTime::from_secs(1), 500_000);
+        assert_eq!(g.start, SimTime::from_secs(1));
+        assert_eq!(g.queue_delay(SimTime::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(link.bytes_served(), 1_500_000);
+    }
+
+    #[test]
+    fn bandwidth_utilization_accumulates() {
+        let mut link = BandwidthServer::new(KIB * KIB); // 1 MiB/s
+        link.transmit(SimTime::ZERO, 512 * KIB); // 0.5 s busy
+        let util = link.utilization(SimDuration::from_secs(1));
+        assert!((util - 0.5).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn pool_runs_k_jobs_in_parallel() {
+        let mut pool = ServerPool::new(4);
+        let svc = SimDuration::from_micros(10);
+        let grants: Vec<_> = (0..8).map(|_| pool.submit(SimTime::ZERO, svc)).collect();
+        // First four start immediately, next four queue behind them.
+        for g in &grants[..4] {
+            assert_eq!(g.start, SimTime::ZERO);
+        }
+        for g in &grants[4..] {
+            assert_eq!(g.start, SimTime::ZERO + svc);
+        }
+        assert_eq!(pool.jobs_served(), 8);
+    }
+
+    #[test]
+    fn pool_picks_earliest_free_server() {
+        let mut pool = ServerPool::new(2);
+        pool.submit(SimTime::ZERO, SimDuration::from_micros(100));
+        pool.submit(SimTime::ZERO, SimDuration::from_micros(10));
+        // Third job should land on the server free at 10 us, not 100 us.
+        let g = pool.submit(SimTime::ZERO, SimDuration::from_micros(1));
+        assert_eq!(g.start, SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn pool_backfills_idle_gaps_before_future_reservations() {
+        let mut pool = ServerPool::new(1);
+        // A future reservation arrives first (e.g. a response send booked
+        // at media-completion time).
+        let future = pool.submit(SimTime::from_millis(10), SimDuration::from_micros(100));
+        assert_eq!(future.start, SimTime::from_millis(10));
+        // An earlier request must be served in the idle gap, not after it.
+        let early = pool.submit(SimTime::from_micros(1), SimDuration::from_micros(50));
+        assert_eq!(early.start, SimTime::from_micros(1));
+        assert!(early.finish < future.start);
+        // A job too large for the gap goes after the reservation.
+        let big = pool.submit(
+            SimTime::from_micros(9_999),
+            SimDuration::from_micros(500),
+        );
+        assert_eq!(big.start, future.finish);
+    }
+
+    #[test]
+    fn pool_merges_adjacent_bookings() {
+        let mut pool = ServerPool::new(1);
+        for i in 0..1000u64 {
+            pool.submit(SimTime::from_micros(i), SimDuration::from_micros(1));
+        }
+        // Back-to-back jobs merge into one interval: throughput unaffected,
+        // memory bounded.
+        assert_eq!(pool.jobs_served(), 1000);
+        assert_eq!(pool.drain_time(SimTime::ZERO), SimTime::from_micros(1000));
+    }
+
+    #[test]
+    fn token_bucket_grants_burst_then_paces() {
+        let mut tb = TokenBucket::new(1000, 100); // 1000 tok/s, burst 100
+        let t0 = SimTime::ZERO;
+        assert_eq!(tb.acquire(t0, 100), t0); // burst drains instantly
+        // Next 10 tokens need 10 ms of refill.
+        let grant = tb.acquire(t0, 10);
+        assert_eq!(grant, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn token_bucket_refills_to_capacity_only() {
+        let mut tb = TokenBucket::new(1000, 50);
+        tb.acquire(SimTime::ZERO, 50);
+        // After 10 seconds the bucket holds at most `burst` tokens.
+        assert_eq!(tb.available(SimTime::from_secs(10)), 50);
+    }
+
+    #[test]
+    fn token_bucket_grants_are_monotone() {
+        let mut tb = TokenBucket::new(500, 10);
+        let mut last = SimTime::ZERO;
+        for i in 0..100 {
+            let g = tb.acquire(SimTime::from_micros(i), 5);
+            assert!(g >= last, "grants must not reorder");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn latency_pipe_adds_delay() {
+        let pipe = LatencyPipe::new(SimDuration::from_micros(2));
+        assert_eq!(
+            pipe.traverse(SimTime::from_micros(5)),
+            SimTime::from_micros(7)
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Measurement instruments: counters, latency histograms, throughput meters.
+//!
+//! These mirror what FIO reports — bandwidth, IOPS, and latency percentiles —
+//! and are shared by every benchmark harness in the workspace. The histogram
+//! is HDR-style (logarithmic majors with linear sub-buckets) so tail
+//! percentiles stay accurate across nine orders of magnitude without
+//! unbounded memory.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Number of linear sub-buckets per power-of-two major bucket.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5; // log2(SUB_BUCKETS)
+
+/// A latency histogram with ~3 % relative error per recorded value.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize;
+        }
+        let major = 63 - ns.leading_zeros();
+        let shift = major - SUB_BITS;
+        let sub = ((ns >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((major - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_floor(idx: usize) -> u64 {
+        let major = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if major == 0 {
+            sub
+        } else {
+            let shift = (major - 1) as u32;
+            ((SUB_BUCKETS as u64) << shift) + (sub << shift)
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        let idx = Self::index(ns).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.total_ns += ns as u128;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of all samples.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.total_ns / self.count as u128) as u64)
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// The `p`-quantile (e.g. `0.99` for p99), by bucket lower bound.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimDuration::from_nanos(Self::bucket_floor(idx).max(self.min_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// Accumulates operation/byte totals over an explicit measurement window,
+/// excluding warmup — the standard FIO ramp-then-measure discipline.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputMeter {
+    window_start: Option<SimTime>,
+    window_end: Option<SimTime>,
+    ops: u64,
+    bytes: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates an idle meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens the measurement window (ends warmup).
+    pub fn start(&mut self, now: SimTime) {
+        self.window_start = Some(now);
+    }
+
+    /// Closes the measurement window.
+    pub fn stop(&mut self, now: SimTime) {
+        self.window_end = Some(now);
+    }
+
+    /// Records one completed operation of `bytes` at `now`.
+    /// Samples outside the open window are ignored.
+    pub fn record(&mut self, now: SimTime, bytes: u64) {
+        if let Some(start) = self.window_start {
+            if now < start {
+                return;
+            }
+            if let Some(end) = self.window_end {
+                if now > end {
+                    return;
+                }
+            }
+            self.ops += 1;
+            self.bytes += bytes;
+        }
+    }
+
+    /// Operations recorded in the window.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Bytes recorded in the window.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The window length, if both edges are set.
+    pub fn elapsed(&self) -> Option<SimDuration> {
+        Some(self.window_end?.saturating_since(self.window_start?))
+    }
+
+    /// Operations per second over the window.
+    pub fn ops_per_sec(&self) -> f64 {
+        match self.elapsed() {
+            Some(e) if e > SimDuration::ZERO => self.ops as f64 / e.as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Bytes per second over the window.
+    pub fn bytes_per_sec(&self) -> f64 {
+        match self.elapsed() {
+            Some(e) if e > SimDuration::ZERO => self.bytes as f64 / e.as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Throughput in GiB/s over the window.
+    pub fn gib_per_sec(&self) -> f64 {
+        self.bytes_per_sec() / (1u64 << 30) as f64
+    }
+}
+
+/// A labelled monotone counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A complete per-run I/O report: what FIO would print for one job set.
+#[derive(Clone, Debug, Default)]
+pub struct IoReport {
+    /// Completed-operation meter over the measurement window.
+    pub meter: ThroughputMeter,
+    /// End-to-end latency distribution (submit → completion).
+    pub latency: LatencyHistogram,
+    /// Operations that failed (I/O errors, permission denials).
+    pub errors: Counter,
+}
+
+impl IoReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful operation.
+    pub fn success(&mut self, now: SimTime, bytes: u64, latency: SimDuration) {
+        self.meter.record(now, bytes);
+        self.latency.record(latency);
+    }
+
+    /// Records a failed operation.
+    pub fn failure(&mut self) {
+        self.errors.inc();
+    }
+
+    /// IOPS over the measurement window.
+    pub fn iops(&self) -> f64 {
+        self.meter.ops_per_sec()
+    }
+
+    /// Bandwidth in GiB/s over the measurement window.
+    pub fn gib_per_sec(&self) -> f64 {
+        self.meter.gib_per_sec()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "bw={:.2} GiB/s iops={:.0} lat(mean={} p50={} p99={} max={}) errs={}",
+            self.gib_per_sec(),
+            self.iops(),
+            self.latency.mean(),
+            self.latency.percentile(0.50),
+            self.latency.percentile(0.99),
+            self.latency.max(),
+            self.errors.get(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_order() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(SimDuration::from_micros(us));
+        }
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        assert!(p50 < p99);
+        // ~3 % relative accuracy.
+        let p50_us = p50.as_nanos() as f64 / 1000.0;
+        assert!((470.0..=530.0).contains(&p50_us), "p50 {p50_us}us");
+        let p99_us = p99.as_nanos() as f64 / 1000.0;
+        assert!((930.0..=1000.0).contains(&p99_us), "p99 {p99_us}us");
+    }
+
+    #[test]
+    fn histogram_mean_min_max() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(10));
+        h.record(SimDuration::from_micros(30));
+        assert_eq!(h.mean(), SimDuration::from_micros(20));
+        assert_eq!(h.min(), SimDuration::from_micros(10));
+        assert_eq!(h.max(), SimDuration::from_micros(30));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(5));
+        b.record(SimDuration::from_micros(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), SimDuration::from_micros(5));
+        assert_eq!(a.max(), SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::from_secs(3600));
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) >= SimDuration::from_secs(3000));
+    }
+
+    #[test]
+    fn meter_ignores_warmup_and_cooldown() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_millis(1), 100); // before start: dropped
+        m.start(SimTime::from_millis(10));
+        m.record(SimTime::from_millis(20), 4096);
+        m.record(SimTime::from_millis(30), 4096);
+        m.stop(SimTime::from_millis(110));
+        m.record(SimTime::from_millis(120), 100); // after stop: dropped
+        assert_eq!(m.ops(), 2);
+        assert_eq!(m.bytes(), 8192);
+        let iops = m.ops_per_sec();
+        assert!((iops - 20.0).abs() < 1e-6, "iops {iops}");
+    }
+
+    #[test]
+    fn meter_gib_conversion() {
+        let mut m = ThroughputMeter::new();
+        m.start(SimTime::ZERO);
+        m.record(SimTime::from_millis(500), 1 << 30);
+        m.stop(SimTime::from_secs(1));
+        assert!((m.gib_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_summarizes() {
+        let mut r = IoReport::new();
+        r.meter.start(SimTime::ZERO);
+        r.success(SimTime::from_millis(1), 4096, SimDuration::from_micros(80));
+        r.failure();
+        r.meter.stop(SimTime::from_secs(1));
+        assert_eq!(r.errors.get(), 1);
+        assert!(r.summary().contains("errs=1"));
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use proptest::prelude::*;
+use ros2_sim::{
+    BandwidthServer, EventQueue, LatencyHistogram, ServerPool, SimDuration, SimRng, SimTime,
+    TokenBucket,
+};
+
+proptest! {
+    /// The event queue always yields events in nondecreasing time order, and
+    /// ties preserve insertion order.
+    #[test]
+    fn queue_is_totally_ordered(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), i);
+        }
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut popped = 0;
+        while let Some((at, idx)) = q.pop() {
+            prop_assert!(at >= last.0);
+            if at == last.0 && popped > 0 {
+                prop_assert!(idx > last.1, "tie must preserve insertion order");
+            }
+            last = (at, idx);
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+        prop_assert_eq!(q.past_schedules(), 0);
+    }
+
+    /// A bandwidth pipe conserves time: total busy time equals the exact
+    /// serialization time of all bytes pushed through it.
+    #[test]
+    fn bandwidth_conserves_bytes(
+        rate in 1_000u64..10_000_000_000,
+        sizes in prop::collection::vec(1u64..10_000_000, 1..50),
+    ) {
+        let mut link = BandwidthServer::new(rate);
+        let mut expected = SimDuration::ZERO;
+        for &s in &sizes {
+            link.transmit(SimTime::ZERO, s);
+            expected += SimDuration::for_bytes(s, rate);
+        }
+        prop_assert_eq!(link.busy_time(), expected);
+        prop_assert_eq!(link.bytes_served(), sizes.iter().sum::<u64>());
+        // FIFO at time zero means the pipe drains exactly at sum of services.
+        prop_assert_eq!(link.backlog(SimTime::ZERO), expected);
+    }
+
+    /// With k servers, k jobs of equal service submitted together finish
+    /// simultaneously, and n > k jobs take ceil(n/k) rounds.
+    #[test]
+    fn pool_parallelism_bound(k in 1usize..16, n in 1usize..64, svc_us in 1u64..1000) {
+        let mut pool = ServerPool::new(k);
+        let svc = SimDuration::from_micros(svc_us);
+        let mut finish_max = SimTime::ZERO;
+        for _ in 0..n {
+            let g = pool.submit(SimTime::ZERO, svc);
+            finish_max = finish_max.max(g.finish);
+        }
+        let rounds = n.div_ceil(k) as u64;
+        prop_assert_eq!(finish_max, SimTime::ZERO + svc * rounds);
+    }
+
+    /// Token bucket long-run grant rate never exceeds the configured rate
+    /// (beyond the initial burst).
+    #[test]
+    fn token_bucket_respects_rate(
+        rate in 100u64..1_000_000,
+        burst in 1u64..10_000,
+        demands in prop::collection::vec(1u64..100, 1..100),
+    ) {
+        let mut tb = TokenBucket::new(rate, burst);
+        let mut grant = SimTime::ZERO;
+        let total: u64 = demands.iter().sum();
+        for &d in &demands {
+            grant = tb.acquire(grant, d);
+        }
+        // All tokens beyond the initial burst must have waited for refill.
+        if total > burst {
+            let min_elapsed = SimDuration::for_bytes(total - burst, rate);
+            prop_assert!(
+                grant.saturating_since(SimTime::ZERO) + SimDuration::from_nanos(1) >= min_elapsed,
+                "granted {total} tokens by {grant}, rate {rate}/s burst {burst}"
+            );
+        }
+    }
+
+    /// Histogram percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(samples in prop::collection::vec(1u64..10_000_000_000, 1..500)) {
+        let mut h = LatencyHistogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let mut last = SimDuration::ZERO;
+        for p in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "percentile({p}) regressed");
+            prop_assert!(v >= h.min() || v == SimDuration::ZERO);
+            prop_assert!(v <= h.max());
+            last = v;
+        }
+        // Every recorded value is within 1/32 relative error of its bucket.
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// RNG forking is label-stable: forking twice with the same label gives
+    /// the same stream; different labels give different streams.
+    #[test]
+    fn rng_fork_stability(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let root = SimRng::new(seed);
+        let mut fa1 = root.fork(a);
+        let mut fa2 = root.fork(a);
+        let mut fb = root.fork(b);
+        let xs: Vec<u64> = (0..8).map(|_| fa1.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| fa2.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| fb.next_u64()).collect();
+        prop_assert_eq!(&xs, &ys);
+        prop_assert_ne!(&xs, &zs);
+    }
+
+    /// `below(n)` is always within bounds for arbitrary seeds and bounds.
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

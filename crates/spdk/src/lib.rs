@@ -1,0 +1,16 @@
+//! # ros2-spdk — SPDK-style user-space storage stack
+//!
+//! The remote baseline of the paper's Fig. 4: a polled-mode bdev layer over
+//! the simulated NVMe array, and an NVMe-over-Fabrics target/initiator pair
+//! whose data flow follows the real protocol — inline PDUs on TCP, target-
+//! driven RDMA WRITE/READ data placement on RDMA. The DAOS engine reuses
+//! [`BdevLayer`] for its NVMe tier, matching the paper's architecture
+//! ("SPDK for NVMe ... entirely in user space").
+
+#![warn(missing_docs)]
+
+pub mod bdev;
+pub mod nvmf;
+
+pub use bdev::{BdevDesc, BdevLayer};
+pub use nvmf::{NvmfError, NvmfInitiator, NvmfOpcode, NvmfSession, NvmfStack, NvmfTarget};

@@ -1,0 +1,193 @@
+//! Registered-memory space of one node: a bump-allocated sparse byte store
+//! that the NIC (and only the NIC, for remote peers) reads and writes.
+
+use std::collections::HashMap;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::types::{MemAddr, MemoryDomain, VerbsError};
+
+const PAGE: usize = 4096;
+
+/// One allocated buffer's bookkeeping.
+#[derive(Clone, Debug)]
+struct Buffer {
+    len: u64,
+    domain: MemoryDomain,
+}
+
+/// A node's DMA-able memory: buffers carved from a budget, with sparse
+/// page-granular contents.
+#[derive(Debug)]
+pub struct NodeMemory {
+    budget: u64,
+    used: u64,
+    frontier: MemAddr,
+    buffers: HashMap<MemAddr, Buffer>,
+    pages: HashMap<u64, Box<[u8; PAGE]>>,
+}
+
+impl NodeMemory {
+    /// Creates a memory space of `budget` bytes (e.g. 30 GiB of DPU DRAM).
+    pub fn new(budget: u64) -> Self {
+        NodeMemory {
+            budget,
+            used: 0,
+            frontier: PAGE as u64,
+            buffers: HashMap::new(),
+            pages: HashMap::new(),
+        }
+    }
+
+    /// Allocates a buffer of `len` bytes in `domain`.
+    pub fn alloc(&mut self, len: u64, domain: MemoryDomain) -> Result<MemAddr, VerbsError> {
+        if len == 0 || self.used + len > self.budget {
+            return Err(VerbsError::OutOfMemory);
+        }
+        let addr = self.frontier;
+        // Page-align the next buffer so buffers never share pages.
+        self.frontier += len.div_ceil(PAGE as u64) * PAGE as u64;
+        self.used += len;
+        self.buffers.insert(addr, Buffer { len, domain });
+        Ok(addr)
+    }
+
+    /// Frees the buffer at `addr`.
+    pub fn free(&mut self, addr: MemAddr) -> Result<(), VerbsError> {
+        let buf = self.buffers.remove(&addr).ok_or(VerbsError::BadHandle)?;
+        self.used -= buf.len;
+        let first = addr / PAGE as u64;
+        let last = (addr + buf.len).div_ceil(PAGE as u64);
+        for p in first..last {
+            self.pages.remove(&p);
+        }
+        Ok(())
+    }
+
+    /// The domain of the buffer at `addr`, if any.
+    pub fn domain_of(&self, addr: MemAddr) -> Option<MemoryDomain> {
+        self.buffers.get(&addr).map(|b| b.domain)
+    }
+
+    /// The domain of the buffer *containing* `addr` (not just starting at
+    /// it). Linear scan — nodes register at most tens of buffers.
+    pub fn domain_of_containing(&self, addr: MemAddr) -> Option<MemoryDomain> {
+        self.buffers
+            .iter()
+            .find(|(&base, b)| addr >= base && addr < base + b.len)
+            .map(|(_, b)| b.domain)
+    }
+
+    /// Length of the buffer at `addr`, if any.
+    pub fn len_of(&self, addr: MemAddr) -> Option<u64> {
+        self.buffers.get(&addr).map(|b| b.len)
+    }
+
+    /// Whether `[at, at+len)` lies inside a single allocated buffer.
+    pub fn in_bounds(&self, at: MemAddr, len: u64) -> bool {
+        self.buffers
+            .iter()
+            .any(|(&base, b)| at >= base && at + len <= base + b.len)
+    }
+
+    /// Raw read (no permission semantics — callers enforce those).
+    pub fn read(&self, at: MemAddr, len: usize) -> Bytes {
+        let mut out = BytesMut::zeroed(len);
+        let mut pos = 0usize;
+        while pos < len {
+            let abs = at + pos as u64;
+            let page_no = abs / PAGE as u64;
+            let in_page = (abs % PAGE as u64) as usize;
+            let take = (PAGE - in_page).min(len - pos);
+            if let Some(page) = self.pages.get(&page_no) {
+                out[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
+            }
+            pos += take;
+        }
+        out.freeze()
+    }
+
+    /// Raw write (no permission semantics — callers enforce those).
+    pub fn write(&mut self, at: MemAddr, data: &[u8]) {
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = at + pos as u64;
+            let page_no = abs / PAGE as u64;
+            let in_page = (abs % PAGE as u64) as usize;
+            let take = (PAGE - in_page).min(data.len() - pos);
+            let page = self
+                .pages
+                .entry(page_no)
+                .or_insert_with(|| Box::new([0u8; PAGE]));
+            page[in_page..in_page + take].copy_from_slice(&data[pos..pos + take]);
+            pos += take;
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// The allocation budget.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_write_read() {
+        let mut m = NodeMemory::new(1 << 20);
+        let a = m.alloc(100, MemoryDomain::HostDram).unwrap();
+        m.write(a, b"dma contents");
+        assert_eq!(&m.read(a, 12)[..], b"dma contents");
+        assert_eq!(m.domain_of(a), Some(MemoryDomain::HostDram));
+        assert_eq!(m.len_of(a), Some(100));
+    }
+
+    #[test]
+    fn buffers_never_share_pages() {
+        let mut m = NodeMemory::new(1 << 20);
+        let a = m.alloc(10, MemoryDomain::HostDram).unwrap();
+        let b = m.alloc(10, MemoryDomain::DpuDram).unwrap();
+        assert_ne!(a / PAGE as u64, b / PAGE as u64);
+    }
+
+    #[test]
+    fn budget_is_enforced_and_freed() {
+        let mut m = NodeMemory::new(8192);
+        let a = m.alloc(8000, MemoryDomain::HostDram).unwrap();
+        assert_eq!(m.alloc(8000, MemoryDomain::HostDram).unwrap_err(), VerbsError::OutOfMemory);
+        m.free(a).unwrap();
+        assert!(m.alloc(8000, MemoryDomain::HostDram).is_ok());
+        assert_eq!(m.alloc(0, MemoryDomain::HostDram).unwrap_err(), VerbsError::OutOfMemory);
+    }
+
+    #[test]
+    fn free_clears_contents() {
+        let mut m = NodeMemory::new(1 << 20);
+        let a = m.alloc(64, MemoryDomain::HostDram).unwrap();
+        m.write(a, &[0xAA; 64]);
+        m.free(a).unwrap();
+        // The old pages are dropped: even reading the stale address gives
+        // zeroes, so no data leaks to a future tenant of that range.
+        assert!(m.read(a, 64).iter().all(|&x| x == 0));
+        assert_eq!(m.used(), 0);
+        assert!(m.budget() >= 1 << 20);
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let mut m = NodeMemory::new(1 << 20);
+        let a = m.alloc(100, MemoryDomain::HostDram).unwrap();
+        assert!(m.in_bounds(a, 100));
+        assert!(m.in_bounds(a + 50, 50));
+        assert!(!m.in_bounds(a + 50, 51));
+        assert!(!m.in_bounds(a + 200, 1));
+        assert_eq!(m.free(a + 1).unwrap_err(), VerbsError::BadHandle);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property test: the capability model is safe under arbitrary operation
+//! sequences — no remote access ever succeeds without a live, unexpired,
+//! unrevoked rkey of the right PD, rights, and range.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ros2_sim::{SimRng, SimTime};
+use ros2_verbs::{
+    AccessFlags, Expiry, MemoryDomain, NodeId, QpId, QpState, QpType, RKey, RdmaDevice,
+};
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Attempt a read with an offset/len inside or outside the region.
+    Read { qp_sel: bool, key_fuzz: u64, off: u64, len: u64 },
+    /// Attempt a write likewise.
+    Write { qp_sel: bool, key_fuzz: u64, off: u64, len: u64 },
+    /// Revoke the region's rkey.
+    Revoke,
+    /// Advance the clock (can cross the expiry).
+    Advance { ms: u64 },
+    /// Reset the foreign QP if it errored.
+    ResetForeign,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<bool>(), 0u64..4, 0u64..6000, 1u64..6000).prop_map(|(q, k, o, l)| Action::Read {
+            qp_sel: q,
+            key_fuzz: k,
+            off: o,
+            len: l
+        }),
+        (any::<bool>(), 0u64..4, 0u64..6000, 1u64..6000).prop_map(|(q, k, o, l)| Action::Write {
+            qp_sel: q,
+            key_fuzz: k,
+            off: o,
+            len: l
+        }),
+        Just(Action::Revoke),
+        (1u64..2000).prop_map(|ms| Action::Advance { ms }),
+        Just(Action::ResetForeign),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn no_unauthorized_access_ever_succeeds(
+        actions in prop::collection::vec(action_strategy(), 1..80),
+        seed in any::<u64>(),
+    ) {
+        let mut dev = RdmaDevice::new(NodeId(0), 1 << 22, SimRng::new(seed));
+        let pd_owner = dev.alloc_pd("owner");
+        let pd_foreign = dev.alloc_pd("foreign");
+        let buf = dev.alloc_buffer(4096, MemoryDomain::HostDram).unwrap();
+        let expiry_at = SimTime::from_secs(1);
+        let (mr, rkey, _) = dev
+            .reg_mr(pd_owner, buf, 4096, AccessFlags::remote_read(), Expiry::At(expiry_at))
+            .unwrap();
+        let qp_owner = dev.create_qp(pd_owner, QpType::Rc).unwrap();
+        dev.connect_qp(qp_owner, NodeId(1), QpId(10)).unwrap();
+        let qp_foreign = dev.create_qp(pd_foreign, QpType::Rc).unwrap();
+        dev.connect_qp(qp_foreign, NodeId(2), QpId(11)).unwrap();
+
+        let mut now = SimTime::ZERO;
+        let mut revoked = false;
+
+        for a in actions {
+            match a {
+                Action::Advance { ms } => {
+                    now = now + ros2_sim::SimDuration::from_millis(ms);
+                }
+                Action::Revoke => {
+                    dev.revoke_rkey(mr).unwrap();
+                    revoked = true;
+                }
+                Action::ResetForeign => {
+                    if dev.qp_state(qp_foreign) == Some(QpState::Error) {
+                        dev.reset_qp(qp_foreign).unwrap();
+                        dev.connect_qp(qp_foreign, NodeId(2), QpId(11)).unwrap();
+                    }
+                }
+                Action::Read { qp_sel, key_fuzz, off, len } => {
+                    let qp = if qp_sel { qp_owner } else { qp_foreign };
+                    let key = if key_fuzz == 0 { rkey } else { RKey(rkey.0 ^ key_fuzz) };
+                    let res = dev.execute_remote_read(now, qp, key, buf + off, len);
+                    let authorized = qp_sel
+                        && key_fuzz == 0
+                        && !revoked
+                        && now <= expiry_at
+                        && off + len <= 4096
+                        && dev.qp_state(qp_owner) == Some(QpState::ReadyToSend);
+                    if res.is_ok() {
+                        prop_assert!(authorized, "unauthorized read succeeded: {a:?}");
+                    }
+                }
+                Action::Write { qp_sel, key_fuzz, off, len } => {
+                    let qp = if qp_sel { qp_owner } else { qp_foreign };
+                    let key = if key_fuzz == 0 { rkey } else { RKey(rkey.0 ^ key_fuzz) };
+                    let data = Bytes::from(vec![0u8; len as usize]);
+                    let res = dev.execute_remote_write(now, qp, key, buf + off, &data);
+                    // The MR is read-only: *every* remote write must fail.
+                    prop_assert!(res.is_err(), "write to read-only MR succeeded");
+                }
+            }
+        }
+    }
+
+    /// Fuzzed rkeys never hit a real region (2^64 space, Pythia defence).
+    #[test]
+    fn random_rkeys_never_validate(seed in any::<u64>(), probes in prop::collection::vec(any::<u64>(), 1..64)) {
+        let mut dev = RdmaDevice::new(NodeId(0), 1 << 20, SimRng::new(seed));
+        let pd = dev.alloc_pd("t");
+        let buf = dev.alloc_buffer(4096, MemoryDomain::HostDram).unwrap();
+        let (_, rkey, _) = dev
+            .reg_mr(pd, buf, 4096, AccessFlags::remote_rw(), Expiry::Never)
+            .unwrap();
+        let qp = dev.create_qp(pd, QpType::Rc).unwrap();
+        dev.connect_qp(qp, NodeId(1), QpId(1)).unwrap();
+        for p in probes {
+            prop_assume!(p != rkey.0);
+            let res = dev.execute_remote_read(SimTime::ZERO, qp, RKey(p), buf, 1);
+            prop_assert!(res.is_err());
+            // Recover the QP for the next probe.
+            dev.reset_qp(qp).unwrap();
+            dev.connect_qp(qp, NodeId(1), QpId(1)).unwrap();
+        }
+        prop_assert!(dev.violations().invalid_rkey > 0);
+    }
+}

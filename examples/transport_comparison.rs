@@ -1,0 +1,60 @@
+//! A compact version of the paper's headline comparison: the same FIO
+//! workload over every (transport × placement) cell, printing one table.
+//! This is Fig. 5 condensed to its takeaways.
+//!
+//! Run with: `cargo run --release --example transport_comparison`
+
+use rayon::prelude::*;
+use ros2::fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
+use ros2::hw::{ClientPlacement, Transport};
+use ros2::nvme::DataMode;
+use ros2::sim::SimDuration;
+
+fn main() {
+    let jobs = 16;
+    let region = 256 << 20;
+    let cells: Vec<(Transport, ClientPlacement)> = [
+        (Transport::Tcp, ClientPlacement::Host),
+        (Transport::Tcp, ClientPlacement::Dpu),
+        (Transport::Rdma, ClientPlacement::Host),
+        (Transport::Rdma, ClientPlacement::Dpu),
+    ]
+    .into();
+
+    let results: Vec<(String, f64, f64, f64)> = cells
+        .par_iter()
+        .map(|&(transport, placement)| {
+            let run = |rw: RwMode, bs: u64| {
+                let mut world = DfsFioWorld::new(transport, placement, 4, jobs, region, DataMode::Null);
+                let spec = JobSpec::new(rw, bs, jobs)
+                    .region(region)
+                    .windows(SimDuration::from_millis(100), SimDuration::from_millis(300));
+                run_fio(&mut world, &spec)
+            };
+            let read_1m = run(RwMode::Read, 1 << 20).gib_per_sec();
+            let write_1m = run(RwMode::Write, 1 << 20).gib_per_sec();
+            let rr_4k = run(RwMode::RandRead, 4096).kiops();
+            (
+                format!("{:>4} / {:?}", transport.label(), placement),
+                read_1m,
+                write_1m,
+                rr_4k,
+            )
+        })
+        .collect();
+
+    println!("ROS2 end-to-end (DFS, 4 SSDs, 16 jobs): who wins where?\n");
+    println!("{:<14} {:>14} {:>14} {:>16}", "config", "read 1M GiB/s", "write 1M GiB/s", "randread 4K kIOPS");
+    for (label, r, w, k) in &results {
+        println!("{label:<14} {r:>14.2} {w:>14.2} {k:>16.0}");
+    }
+
+    let tcp_dpu_read = results[1].1;
+    let rdma_dpu_read = results[3].1;
+    println!(
+        "\ntakeaways: offloading with TCP collapses reads ({tcp_dpu_read:.1} GiB/s — the DPU \
+         receive-path bottleneck); offloading with RDMA is free ({rdma_dpu_read:.1} GiB/s, \
+         host parity). RDMA-first is the practical foundation for SmartNIC-offloaded \
+         object storage."
+    );
+}

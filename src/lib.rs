@@ -1,0 +1,63 @@
+//! # ROS2 — An RDMA-First Object Storage System with SmartNIC Offload
+//!
+//! A full-system reproduction of the SC Workshops '25 paper: a
+//! POSIX-compatible DAOS client offloaded to an NVIDIA BlueField-3
+//! SmartNIC, a lightweight gRPC control plane split from a UCX/libfabric
+//! data plane (TCP or RDMA), and an unmodified DAOS I/O engine on the
+//! storage server — all built over a deterministic discrete-event
+//! simulation with a functional data plane (bytes really move, checksums
+//! really verify, rkeys really gate access).
+//!
+//! This façade crate re-exports the whole workspace. Layer map (bottom-up):
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`sim`] | `ros2-sim` | DES kernel: time, events, resources, stats |
+//! | [`hw`] | `ros2-hw` | calibrated hardware models (§4.1 testbed) |
+//! | [`nvme`] | `ros2-nvme` | NVMe SSDs with functional contents |
+//! | [`pmem`] | `ros2-pmem` | PMDK-style SCM tier |
+//! | [`iouring`] | `ros2-iouring` | local io_uring engine (Fig. 3) |
+//! | [`verbs`] | `ros2-verbs` | RDMA verbs semantics + tenant isolation |
+//! | [`fabric`] | `ros2-fabric` | UCX/libfabric-style transports |
+//! | [`spdk`] | `ros2-spdk` | bdev + NVMe-oF target/initiator (Fig. 4) |
+//! | [`ctl`] | `ros2-ctl` | gRPC-class control plane |
+//! | [`daos`] | `ros2-daos` | DAOS engine + offloadable client |
+//! | [`dfs`] | `ros2-dfs` | POSIX namespace over DAOS |
+//! | [`dpu`] | `ros2-dpu` | BlueField-3 agent, tenants, inline crypto |
+//! | [`fio`] | `ros2-fio` | FIO-style harness + the three worlds (Fig. 5) |
+//! | [`core`] | `ros2-core` | the assembled ROS2 system |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bytes::Bytes;
+//! use ros2::core::{Ros2Config, Ros2System};
+//!
+//! // BlueField-3-offloaded client over RDMA (the paper's design point).
+//! let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+//! let mut f = sys.create("/dataset.bin").unwrap().value;
+//! sys.write(&mut f, 0, Bytes::from_static(b"tokens")).unwrap();
+//! assert_eq!(&sys.read(&f, 0, 6).unwrap().value[..], b"tokens");
+//! ```
+//!
+//! See `examples/` for realistic scenarios and `ros2-bench` for the
+//! binaries that regenerate every table and figure in the paper.
+
+#![warn(missing_docs)]
+
+pub use ros2_core as core;
+pub use ros2_ctl as ctl;
+pub use ros2_daos as daos;
+pub use ros2_dfs as dfs;
+pub use ros2_dpu as dpu;
+pub use ros2_fabric as fabric;
+pub use ros2_fio as fio;
+pub use ros2_hw as hw;
+pub use ros2_iouring as iouring;
+pub use ros2_nvme as nvme;
+pub use ros2_pmem as pmem;
+pub use ros2_sim as sim;
+pub use ros2_spdk as spdk;
+pub use ros2_verbs as verbs;
+
+pub use ros2_core::{Ros2Config, Ros2System};

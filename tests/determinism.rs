@@ -1,0 +1,84 @@
+//! Replay determinism: identical seeds produce bit-identical results across
+//! the full stack — the property every calibration and regression test in
+//! this repository leans on.
+
+use ros2::fio::{run_fio, DfsFioWorld, JobSpec, LocalFioWorld, RwMode};
+use ros2::hw::{ClientPlacement, Transport};
+use ros2::nvme::DataMode;
+use ros2::sim::SimDuration;
+
+fn short(s: JobSpec) -> JobSpec {
+    s.windows(SimDuration::from_millis(20), SimDuration::from_millis(60))
+}
+
+#[test]
+fn local_world_replays_identically() {
+    let run = || {
+        let mut w = LocalFioWorld::new(2, 4, 256 << 20, DataMode::Null);
+        let r = run_fio(
+            &mut w,
+            &short(JobSpec::new(RwMode::RandRead, 4096, 4).seed(1234)),
+        );
+        (
+            r.io.meter.ops(),
+            r.io.meter.bytes(),
+            r.io.latency.percentile(0.999).as_nanos(),
+            r.io.latency.mean().as_nanos(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn dfs_world_replays_identically() {
+    let run = || {
+        let mut w = DfsFioWorld::new(
+            Transport::Rdma,
+            ClientPlacement::Dpu,
+            2,
+            4,
+            64 << 20,
+            DataMode::Null,
+        );
+        let r = run_fio(
+            &mut w,
+            &short(JobSpec::new(RwMode::RandWrite, 4096, 4).region(64 << 20).seed(77)),
+        );
+        (
+            r.io.meter.ops(),
+            r.io.meter.bytes(),
+            r.io.latency.percentile(0.99).as_nanos(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed: u64| {
+        let mut w = LocalFioWorld::new(1, 2, 64 << 20, DataMode::Null);
+        let r = run_fio(&mut w, &short(JobSpec::new(RwMode::RandRead, 4096, 2).seed(seed)));
+        r.io.latency.mean().as_nanos()
+    };
+    // Different random offsets -> (almost surely) different mean latency
+    // at nanosecond resolution.
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn full_system_replays_identically() {
+    use bytes::Bytes;
+    use ros2::core::{Ros2Config, Ros2System};
+    let run = || {
+        let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+        let mut f = sys.create("/det").unwrap().value;
+        sys.write(&mut f, 0, Bytes::from(vec![3u8; 2 << 20])).unwrap();
+        let r = sys.read(&f, 123, 4567).unwrap();
+        (sys.now().as_nanos(), r.latency.as_nanos(), r.value)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+}

@@ -1,0 +1,159 @@
+//! Failure injection across layers: media corruption, revoked/expired
+//! capabilities mid-stream, authentication failures, capacity exhaustion —
+//! every failure must surface as a typed error, never as silent corruption.
+
+use bytes::Bytes;
+use ros2::core::{Ros2Config, Ros2System};
+use ros2::daos::{AKey, DKey, DaosError};
+use ros2::dfs::DfsError;
+use ros2::sim::SimTime;
+
+#[test]
+fn media_corruption_is_detected_end_to_end() {
+    let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+    let mut f = sys.create("/gold").unwrap().value;
+    sys.write(&mut f, 0, Bytes::from(vec![0xAB; 1 << 20])).unwrap();
+
+    // Flip one bit on the stored extent, behind the engine's back.
+    let oid = f.oid;
+    let dkey = DKey::from_u64(0);
+    let akey = AKey::from_str("data");
+    let target = sys.engine.target_of(oid, Some(&dkey));
+    let mut bdevs = std::mem::replace(
+        sys.engine.bdevs_mut(),
+        ros2::spdk::BdevLayer::new(ros2::nvme::NvmeArray::new(
+            ros2::hw::NvmeModel::enterprise_1600(),
+            1,
+            ros2::nvme::DataMode::Pattern,
+        )),
+    );
+    assert!(sys
+        .engine
+        .target_mut(target)
+        .corrupt_newest_extent(&mut bdevs, oid, &dkey, &akey));
+    *sys.engine.bdevs_mut() = bdevs;
+
+    // The end-to-end checksum catches it at the POSIX layer.
+    match sys.read(&f, 0, 4096) {
+        Err(ros2::core::Ros2Error::Dfs(DfsError::Daos(DaosError::ChecksumMismatch))) => {}
+        other => panic!("corruption escaped: {other:?}"),
+    }
+    assert_eq!(sys.engine.vos_stats().checksum_failures, 1);
+}
+
+#[test]
+fn revoked_rkey_kills_in_flight_traffic_but_not_the_system() {
+    use ros2::verbs::MemoryDomain;
+    use ros2::fabric::{Dir, FabricError};
+    let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+    // Register an extra buffer, revoke it, and watch a direct one-sided
+    // access fail while the DFS path (its own buffers) keeps working.
+    let pd = sys.client.pd();
+    let node = sys.client.node();
+    let buf = sys
+        .fabric
+        .rdma_mut(node)
+        .alloc_buffer(4096, MemoryDomain::DpuDram)
+        .unwrap();
+    let (mr, rkey, _) = sys
+        .fabric
+        .rdma_mut(node)
+        .reg_mr(pd, buf, 4096, ros2::verbs::AccessFlags::remote_rw(), ros2::verbs::Expiry::Never)
+        .unwrap();
+    sys.fabric.rdma_mut(node).revoke_rkey(mr).unwrap();
+
+    let pd_srv = sys.fabric.rdma_mut(ros2::core::STORAGE_NODE).alloc_pd("scratch");
+    let conn = sys
+        .fabric
+        .connect(node, ros2::core::STORAGE_NODE, pd, pd_srv)
+        .unwrap();
+    // The *target* of the one-sided read below is the client NIC, where
+    // the revoked MR lives.
+    let err = sys
+        .fabric
+        .rdma_read(SimTime::ZERO, conn, Dir::BtoA, rkey, buf, 8)
+        .unwrap_err();
+    assert!(matches!(err, FabricError::Verbs(ros2::verbs::VerbsError::RkeyRevoked)));
+
+    // The system's own data path is unaffected.
+    let mut f = sys.create("/alive").unwrap().value;
+    sys.write(&mut f, 0, Bytes::from_static(b"still works")).unwrap();
+    assert_eq!(&sys.read(&f, 0, 11).unwrap().value[..], b"still works");
+}
+
+#[test]
+fn bad_credentials_cannot_open_a_session() {
+    use ros2::ctl::{ControlError, ControlRequest, ControlResponse};
+    let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+    let (_, res) = sys.agent.host_call(
+        SimTime::ZERO,
+        None,
+        ControlRequest::Hello {
+            tenant: sys.config.tenant.clone(),
+            auth: Bytes::from_static(b"wrong-secret"),
+        },
+        |_, _| ControlResponse::Ok,
+    );
+    assert_eq!(res.unwrap_err(), ControlError::AuthFailed);
+}
+
+#[test]
+fn scm_exhaustion_surfaces_as_typed_error() {
+    use ros2::daos::{DaosEngine, DaosCostModel, Epoch, ObjClass, ObjectId, ValueKind};
+    use ros2::spdk::BdevLayer;
+    use ros2::nvme::{DataMode, NvmeArray};
+    use ros2::hw::{CoreClass, NvmeModel};
+    // A deliberately tiny SCM tier fills up under small (SCM-bound) values.
+    let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, DataMode::Stored));
+    let mut engine = DaosEngine::new("p", bdevs, 256 << 10, DaosCostModel::default_model(), CoreClass::HostX86);
+    engine.cont_create("c").unwrap();
+    let oid = ObjectId::new(ObjClass::S1, 1);
+    let mut hit_full = false;
+    for i in 0..1000u64 {
+        let r = engine.update(
+            SimTime::ZERO,
+            "c",
+            oid,
+            DKey::from_u64(i),
+            AKey::from_str("v"),
+            ValueKind::Single,
+            Epoch(i + 1),
+            Bytes::from(vec![0u8; 1024]),
+        );
+        if matches!(r, Err(DaosError::ScmFull)) {
+            hit_full = true;
+            break;
+        }
+    }
+    assert!(hit_full, "tiny SCM tier must fill");
+}
+
+#[test]
+fn namespace_errors_are_typed() {
+    let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+    assert!(matches!(
+        sys.open("/missing"),
+        Err(ros2::core::Ros2Error::Dfs(DfsError::NotFound))
+    ));
+    sys.mkdir("/d").unwrap();
+    sys.create("/d/f").unwrap();
+    assert!(matches!(
+        sys.unlink("/d"),
+        Err(ros2::core::Ros2Error::Dfs(DfsError::NotEmpty))
+    ));
+    assert!(matches!(
+        sys.mkdir("/d"),
+        Err(ros2::core::Ros2Error::Dfs(DfsError::Exists))
+    ));
+}
+
+#[test]
+fn dpu_dram_exhaustion_fails_launch_cleanly() {
+    // 16 jobs x 4 GiB of staging > 30 GiB of BlueField-3 DRAM.
+    let err = Ros2System::launch(Ros2Config {
+        jobs: 16,
+        buffer_len: 4 << 30,
+        ..Ros2Config::default()
+    });
+    assert!(matches!(err, Err(ros2::core::Ros2Error::Config(_))));
+}

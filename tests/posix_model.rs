@@ -1,0 +1,138 @@
+//! Model-based property test: random namespace/file operation sequences
+//! against an in-memory reference filesystem. DFS over the full ROS2 stack
+//! must agree with the model on every observable result.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ros2::core::{Ros2Config, Ros2System};
+use ros2::dfs::DfsError;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir { dir: u8 },
+    Create { dir: u8, file: u8 },
+    Write { dir: u8, file: u8, offset: u32, len: u16, fill: u8 },
+    Read { dir: u8, file: u8, offset: u32, len: u16 },
+    Readdir { dir: u8 },
+    Unlink { dir: u8, file: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3).prop_map(|dir| Op::Mkdir { dir }),
+        (0u8..3, 0u8..4).prop_map(|(dir, file)| Op::Create { dir, file }),
+        (0u8..3, 0u8..4, 0u32..200_000, 1u16..4096, any::<u8>())
+            .prop_map(|(dir, file, offset, len, fill)| Op::Write { dir, file, offset, len, fill }),
+        (0u8..3, 0u8..4, 0u32..250_000, 1u16..4096)
+            .prop_map(|(dir, file, offset, len)| Op::Read { dir, file, offset, len }),
+        (0u8..3).prop_map(|dir| Op::Readdir { dir }),
+        (0u8..3, 0u8..4).prop_map(|(dir, file)| Op::Unlink { dir, file }),
+    ]
+}
+
+/// The reference model: a map of paths to byte vectors.
+#[derive(Default)]
+struct Model {
+    dirs: Vec<String>,
+    files: HashMap<String, Vec<u8>>,
+}
+
+fn dpath(dir: u8) -> String {
+    format!("/d{dir}")
+}
+fn fpath(dir: u8, file: u8) -> String {
+    format!("/d{dir}/f{file}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+    #[test]
+    fn dfs_agrees_with_reference_model(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
+        let mut model = Model::default();
+
+        for op in ops {
+            match op {
+                Op::Mkdir { dir } => {
+                    let path = dpath(dir);
+                    let expected_exists = model.dirs.contains(&path);
+                    let got = sys.mkdir(&path);
+                    if expected_exists {
+                        prop_assert!(matches!(got, Err(ros2::core::Ros2Error::Dfs(DfsError::Exists))));
+                    } else {
+                        prop_assert!(got.is_ok(), "mkdir {path}: {got:?}");
+                        model.dirs.push(path);
+                    }
+                }
+                Op::Create { dir, file } => {
+                    let path = fpath(dir, file);
+                    let got = sys.create(&path);
+                    if !model.dirs.contains(&dpath(dir)) {
+                        prop_assert!(got.is_err(), "create without parent must fail");
+                    } else if model.files.contains_key(&path) {
+                        prop_assert!(matches!(got, Err(ros2::core::Ros2Error::Dfs(DfsError::Exists))));
+                    } else {
+                        prop_assert!(got.is_ok(), "create {path}: {got:?}");
+                        model.files.insert(path, Vec::new());
+                    }
+                }
+                Op::Write { dir, file, offset, len, fill } => {
+                    let path = fpath(dir, file);
+                    if let Some(contents) = model.files.get_mut(&path) {
+                        let mut f = sys.open(&path).unwrap().value;
+                        let data = vec![fill; len as usize];
+                        sys.write(&mut f, offset as u64, Bytes::from(data.clone())).unwrap();
+                        let end = offset as usize + len as usize;
+                        if contents.len() < end {
+                            contents.resize(end, 0);
+                        }
+                        contents[offset as usize..end].copy_from_slice(&data);
+                    } else {
+                        prop_assert!(sys.open(&path).is_err());
+                    }
+                }
+                Op::Read { dir, file, offset, len } => {
+                    let path = fpath(dir, file);
+                    if let Some(contents) = model.files.get(&path) {
+                        let f = sys.open(&path).unwrap().value;
+                        let got = sys.read(&f, offset as u64, len as u64).unwrap().value;
+                        let from = (offset as usize).min(contents.len());
+                        let to = (offset as usize + len as usize).min(contents.len());
+                        prop_assert_eq!(&got[..], &contents[from..to], "read {} @{}+{}", path, offset, len);
+                    }
+                }
+                Op::Readdir { dir } => {
+                    let path = dpath(dir);
+                    if model.dirs.contains(&path) {
+                        let mut expected: Vec<String> = model
+                            .files
+                            .keys()
+                            .filter(|p| p.starts_with(&format!("{path}/")))
+                            .map(|p| p.rsplit('/').next().unwrap().to_string())
+                            .collect();
+                        expected.sort();
+                        let got = sys.readdir(&path).unwrap().value;
+                        prop_assert_eq!(got, expected, "readdir {}", path);
+                    } else {
+                        prop_assert!(sys.readdir(&path).is_err());
+                    }
+                }
+                Op::Unlink { dir, file } => {
+                    let path = fpath(dir, file);
+                    let got = sys.unlink(&path);
+                    if model.files.remove(&path).is_some() {
+                        prop_assert!(got.is_ok(), "unlink {path}: {got:?}");
+                    } else {
+                        prop_assert!(got.is_err(), "unlink of missing {path} must fail");
+                    }
+                }
+            }
+        }
+    }
+}
