@@ -4,10 +4,8 @@
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use ros2_sim::{
-    EventQueue, LatencyHistogram, ServerPool, SimDuration, SimRng, SimTime, Zipf,
-};
 use ros2_daos::crc32c;
+use ros2_sim::{EventQueue, LatencyHistogram, ServerPool, SimDuration, SimRng, SimTime, Zipf};
 use ros2_verbs::{AccessFlags, Expiry, MemoryDomain, NodeId, QpType, RdmaDevice};
 
 fn bench_crc32c(c: &mut Criterion) {

@@ -64,11 +64,21 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (label, domain) in [
-        ("DPU DRAM + host staging copy (prototype)", MemoryDomain::DpuDram),
-        ("GPU HBM via GPUDirect RDMA (extension)", MemoryDomain::GpuHbm),
+        (
+            "DPU DRAM + host staging copy (prototype)",
+            MemoryDomain::DpuDram,
+        ),
+        (
+            "GPU HBM via GPUDirect RDMA (extension)",
+            MemoryDomain::GpuHbm,
+        ),
     ] {
         let (bw, lat) = run(domain, 64, 1 << 20);
-        rows.push(vec![label.to_string(), format!("{bw:6.2}"), format!("{lat:8.1}")]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{bw:6.2}"),
+            format!("{lat:8.1}"),
+        ]);
     }
     print_table(
         "Ablation: GPUDirect placement vs DPU-DRAM staging (1 MiB reads, RDMA, 4 SSDs)",

@@ -48,7 +48,11 @@ fn main() {
     };
 
     let configs = [
-        ("baseline (no isolation services)", InlineService::None, unlimited),
+        (
+            "baseline (no isolation services)",
+            InlineService::None,
+            unlimited,
+        ),
         ("inline crypto", InlineService::Crypto, unlimited),
         ("QoS 100 MiB/s cap", InlineService::None, limited),
         ("crypto + QoS cap", InlineService::Crypto, limited),
@@ -66,7 +70,10 @@ fn main() {
             let (lat, bw) = measure(*svc, *qos);
             vec![
                 label.to_string(),
-                format!("{lat:8.1}  ({:+.2}% vs baseline)", (lat / base_lat - 1.0) * 100.0),
+                format!(
+                    "{lat:8.1}  ({:+.2}% vs baseline)",
+                    (lat / base_lat - 1.0) * 100.0
+                ),
                 format!("{bw:6.2}"),
             ]
         })

@@ -8,9 +8,9 @@
 
 use bytes::Bytes;
 use ros2_bench::print_table;
+use ros2_fabric::{Dir, Fabric, NodeSpec};
 use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, Transport};
 use ros2_sim::SimTime;
-use ros2_fabric::{Dir, Fabric, NodeSpec};
 use ros2_verbs::NodeId;
 
 fn spec(name: &str) -> NodeSpec {
@@ -34,13 +34,26 @@ fn latency_us(threshold: u64, msg: u64) -> f64 {
     let pd_b = fabric.rdma_mut(NodeId(1)).alloc_pd("b");
     let conn = fabric.connect(NodeId(0), NodeId(1), pd_a, pd_b).unwrap();
     let d = fabric
-        .send(SimTime::ZERO, conn, Dir::AtoB, Bytes::from(vec![0u8; msg as usize]))
+        .send(
+            SimTime::ZERO,
+            conn,
+            Dir::AtoB,
+            Bytes::from(vec![0u8; msg as usize]),
+        )
         .unwrap();
     d.at.as_secs_f64() * 1e6
 }
 
 fn main() {
-    let sizes: [u64; 7] = [256, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20];
+    let sizes: [u64; 7] = [
+        256,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+    ];
     let thresholds: [u64; 5] = [0, 4 << 10, 16 << 10, 64 << 10, u64::MAX];
 
     let header: Vec<String> = std::iter::once("message size".to_string())

@@ -4,8 +4,8 @@
 
 use rayon::prelude::*;
 use ros2_bench::{print_table, spec, SWEEP};
-use ros2_hw::Transport;
 use ros2_fio::{run_fio, RwMode, SpdkFioWorld};
+use ros2_hw::Transport;
 use ros2_nvme::DataMode;
 
 /// One heatmap: rows = client cores, columns = server cores.
@@ -16,14 +16,8 @@ fn heatmap(transport: Transport, rw: RwMode, bs: u64) -> Vec<Vec<String>> {
             let mut row = vec![format!("{c_cores} client cores")];
             for &s_cores in &SWEEP {
                 let jobs = c_cores;
-                let mut world = SpdkFioWorld::new(
-                    transport,
-                    c_cores,
-                    s_cores,
-                    jobs,
-                    1 << 30,
-                    DataMode::Null,
-                );
+                let mut world =
+                    SpdkFioWorld::new(transport, c_cores, s_cores, jobs, 1 << 30, DataMode::Null);
                 let mut s = spec(rw, bs, jobs, 1 << 30);
                 s.iodepth = 32;
                 let report = run_fio(&mut world, &s);
@@ -44,12 +38,32 @@ fn main() {
         .collect();
 
     for (fig, transport, bs, unit) in [
-        ("Fig. 4a: throughput (1 MiB), TCP", Transport::Tcp, 1u64 << 20, "GiB/s"),
-        ("Fig. 4b: throughput (1 MiB), RDMA", Transport::Rdma, 1 << 20, "GiB/s"),
+        (
+            "Fig. 4a: throughput (1 MiB), TCP",
+            Transport::Tcp,
+            1u64 << 20,
+            "GiB/s",
+        ),
+        (
+            "Fig. 4b: throughput (1 MiB), RDMA",
+            Transport::Rdma,
+            1 << 20,
+            "GiB/s",
+        ),
         ("Fig. 4c: IOPS (4 KiB), TCP", Transport::Tcp, 4096, "K IOPS"),
-        ("Fig. 4d: IOPS (4 KiB), RDMA", Transport::Rdma, 4096, "K IOPS"),
+        (
+            "Fig. 4d: IOPS (4 KiB), RDMA",
+            Transport::Rdma,
+            4096,
+            "K IOPS",
+        ),
     ] {
-        for rw in [RwMode::Read, RwMode::Write, RwMode::RandRead, RwMode::RandWrite] {
+        for rw in [
+            RwMode::Read,
+            RwMode::Write,
+            RwMode::RandRead,
+            RwMode::RandWrite,
+        ] {
             print_table(
                 &format!("{fig} — {} ({unit})", rw.label()),
                 &header,

@@ -6,8 +6,8 @@
 
 use rayon::prelude::*;
 use ros2_bench::{print_table, spec};
-use ros2_hw::{ClientPlacement, Transport};
 use ros2_fio::{run_fio, DfsFioWorld, RwMode};
+use ros2_hw::{ClientPlacement, Transport};
 use ros2_nvme::DataMode;
 
 const JOBS: usize = 16;
@@ -48,7 +48,11 @@ fn table(transport: Transport, bs: u64) -> Vec<Vec<String>> {
         .map(|i| {
             let placement = if i < 4 { "CPU" } else { "DPU" };
             let rw = RwMode::ALL[i % 4];
-            vec![format!("{placement} {}", rw.short()), String::new(), String::new()]
+            vec![
+                format!("{placement} {}", rw.short()),
+                String::new(),
+                String::new(),
+            ]
         })
         .collect();
     for ((row, col), text) in cells {
@@ -63,10 +67,26 @@ fn main() {
         .map(|s| s.to_string())
         .collect();
 
-    print_table("Fig. 5a: DFS TCP 1M — throughput (GiB/s)", &header, &table(Transport::Tcp, 1 << 20));
-    print_table("Fig. 5b: DFS RDMA 1M — throughput (GiB/s)", &header, &table(Transport::Rdma, 1 << 20));
-    print_table("Fig. 5c: DFS TCP 4K — IOPS (K)", &header, &table(Transport::Tcp, 4096));
-    print_table("Fig. 5d: DFS RDMA 4K — IOPS (K)", &header, &table(Transport::Rdma, 4096));
+    print_table(
+        "Fig. 5a: DFS TCP 1M — throughput (GiB/s)",
+        &header,
+        &table(Transport::Tcp, 1 << 20),
+    );
+    print_table(
+        "Fig. 5b: DFS RDMA 1M — throughput (GiB/s)",
+        &header,
+        &table(Transport::Rdma, 1 << 20),
+    );
+    print_table(
+        "Fig. 5c: DFS TCP 4K — IOPS (K)",
+        &header,
+        &table(Transport::Tcp, 4096),
+    );
+    print_table(
+        "Fig. 5d: DFS RDMA 4K — IOPS (K)",
+        &header,
+        &table(Transport::Rdma, 4096),
+    );
 
     println!(
         "\nPaper shape targets: host TCP ~5-6 GiB/s (1 SSD) and ~10 GiB/s (4 SSDs, \

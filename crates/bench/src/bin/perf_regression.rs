@@ -1,0 +1,295 @@
+//! Simulator-throughput regression gate: times a fixed Fig. 5-style DFS
+//! sweep on **wall clock** (not virtual time) and emits `BENCH_PR1.json` so
+//! successive PRs accumulate a perf trajectory for the booking core.
+//!
+//! Three passes run:
+//!
+//! * **batched** — the shipping configuration: closed-form pipelined wire
+//!   windows plus the `IntervalBook` tail-append fast path, over the
+//!   contended multi-job sweep;
+//! * **per-segment** — the identical sweep with the wire fast path forced
+//!   off (`Fabric::set_force_per_segment`), the pre-optimization booking
+//!   pattern, kept runnable so the speedup stays measurable;
+//! * **uncontended** — single-job closed-loop streams, the regime the
+//!   tail-append shortcut is built for; its booking hit rate is the
+//!   headline `fastpath_hit_rate` and must clear 90 %.
+//!
+//! Batched and per-segment must produce identical simulated results
+//! (asserted on every sweep cell); the fast path is a pure wall-clock
+//! optimization.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
+use ros2_hw::{ClientPlacement, Transport};
+use ros2_nvme::DataMode;
+use ros2_sim::{BandwidthServer, ResourceStats, SimDuration, SimTime};
+
+const JOBS: usize = 4;
+const REGION: u64 = 16 << 20;
+
+fn spec(rw: RwMode, bs: u64, jobs: usize, qd: usize) -> JobSpec {
+    JobSpec::new(rw, bs, jobs)
+        .iodepth(qd)
+        .region(REGION)
+        .windows(SimDuration::from_millis(50), SimDuration::from_millis(150))
+}
+
+/// One simulated sweep cell; returns (ops, fabric booking stats,
+/// batched/per-segment traversal counts, GiB/s for the identity check).
+fn cell(
+    transport: Transport,
+    placement: ClientPlacement,
+    rw: RwMode,
+    bs: u64,
+    jobs: usize,
+    qd: usize,
+    force_per_segment: bool,
+) -> (u64, ResourceStats, u64, u64, f64) {
+    let mut world = DfsFioWorld::with_wire_mode(
+        transport,
+        placement,
+        1,
+        jobs,
+        REGION,
+        DataMode::Null,
+        force_per_segment,
+    );
+    let report = run_fio(&mut world, &spec(rw, bs, jobs, qd));
+    let wire = world.fabric.wire_traversal_stats();
+    let mut stats = world.fabric.resource_stats();
+    stats.merge(world.engine.resource_stats());
+    stats.merge(world.client.resource_stats());
+    (
+        report.io.meter.ops(),
+        stats,
+        wire.batched,
+        wire.per_segment,
+        report.gib_per_sec(),
+    )
+}
+
+fn cells(jobs: usize, qd: usize) -> Vec<(Transport, ClientPlacement, RwMode, u64, usize, usize)> {
+    let mut out = Vec::new();
+    for &t in &[Transport::Rdma, Transport::Tcp] {
+        for &p in &[ClientPlacement::Host, ClientPlacement::Dpu] {
+            for &rw in RwMode::ALL.iter() {
+                for bs in [1u64 << 20, 4 << 10] {
+                    out.push((t, p, rw, bs, jobs, qd));
+                }
+            }
+        }
+    }
+    out
+}
+
+struct SweepResult {
+    wall_ms: f64,
+    ops: u64,
+    stats: ResourceStats,
+    batched: u64,
+    per_segment: u64,
+    rates: Vec<f64>,
+}
+
+fn sweep(jobs: usize, qd: usize, force_per_segment: bool) -> SweepResult {
+    let plan = cells(jobs, qd);
+    let t0 = Instant::now();
+    let results: Vec<(u64, ResourceStats, u64, u64, f64)> = plan
+        .par_iter()
+        .map(|&(t, p, rw, bs, j, q)| cell(t, p, rw, bs, j, q, force_per_segment))
+        .collect();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut out = SweepResult {
+        wall_ms,
+        ops: 0,
+        stats: ResourceStats::default(),
+        batched: 0,
+        per_segment: 0,
+        rates: Vec::with_capacity(results.len()),
+    };
+    for (o, s, b, ps, gib) in results {
+        out.ops += o;
+        out.stats.merge(s);
+        out.batched += b;
+        out.per_segment += ps;
+        out.rates.push(gib);
+    }
+    out
+}
+
+/// The seed's `Vec`-backed booking core, verbatim (gap scan from
+/// `partition_point`, drain-based prune), used as the baseline for the
+/// booking-core microcomparison. A second verbatim copy is the grant
+/// oracle in `crates/sim/tests/fastpath_equivalence.rs` (`RefBook`); if
+/// either copy is ever touched, update both. On the steady-state pattern the drain
+/// memmoves the entire span tail on every booking — the O(n²) behaviour
+/// the ring-buffer rewrite removes.
+mod seed_reference {
+    const PRUNE_SLACK_NS: u64 = 500_000_000;
+
+    #[derive(Default)]
+    pub struct SeedPipe {
+        bytes_per_sec: u64,
+        spans: Vec<(u64, u64)>,
+        high_water: u64,
+    }
+
+    impl SeedPipe {
+        pub fn new(bytes_per_sec: u64) -> Self {
+            SeedPipe {
+                bytes_per_sec,
+                ..SeedPipe::default()
+            }
+        }
+
+        fn earliest(&self, from: u64, dur: u64) -> (u64, usize) {
+            let mut idx = self.spans.partition_point(|&(_, end)| end <= from);
+            let mut candidate = from;
+            while idx < self.spans.len() {
+                let (start, end) = self.spans[idx];
+                if candidate + dur <= start {
+                    return (candidate, idx);
+                }
+                candidate = candidate.max(end);
+                idx += 1;
+            }
+            (candidate, idx)
+        }
+
+        pub fn transmit(&mut self, now: u64, bytes: u64) -> (u64, u64) {
+            let dur = (bytes as u128 * 1_000_000_000).div_ceil(self.bytes_per_sec as u128) as u64;
+            let (start, idx) = self.earliest(now, dur);
+            let end = start + dur;
+            let prev = idx > 0 && self.spans[idx - 1].1 == start;
+            let next = idx < self.spans.len() && self.spans[idx].0 == end;
+            match (prev, next) {
+                (true, true) => {
+                    self.spans[idx - 1].1 = self.spans[idx].1;
+                    self.spans.remove(idx);
+                }
+                (true, false) => self.spans[idx - 1].1 = end,
+                (false, true) => self.spans[idx].0 = start,
+                (false, false) => self.spans.insert(idx, (start, end)),
+            }
+            self.high_water = self.high_water.max(now);
+            let cutoff = self.high_water.saturating_sub(PRUNE_SLACK_NS);
+            if self.spans.len() >= 64 {
+                let keep_from = self.spans.partition_point(|&(_, end)| end < cutoff);
+                if keep_from > 0 {
+                    self.spans.drain(0..keep_from);
+                }
+            }
+            (start, end)
+        }
+    }
+}
+
+/// Times `bookings` spaced transmissions (each books its own non-merging
+/// span, so the live window holds ~25 k spans) on both booking cores and
+/// cross-checks every grant via an accumulated checksum (so a mid-stream
+/// divergence cannot hide behind a matching final grant). Returns
+/// (seed_ms, new_ms).
+fn booking_core_microbench(bookings: u64) -> (f64, f64) {
+    const RATE: u64 = 1_000_000_000;
+    const STEP_NS: u64 = 20_000; // 20 us apart, 1 us busy: spans never merge
+    const BYTES: u64 = 1_000;
+
+    let t0 = Instant::now();
+    let mut seed = seed_reference::SeedPipe::new(RATE);
+    let mut seed_sum = (0u64, 0u64);
+    for i in 0..bookings {
+        let (start, end) = seed.transmit(i * STEP_NS, BYTES);
+        seed_sum = (
+            seed_sum.0.wrapping_add(start.rotate_left((i % 63) as u32)),
+            seed_sum.1.wrapping_add(end.rotate_left((i % 63) as u32)),
+        );
+    }
+    let seed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let mut pipe = BandwidthServer::new(RATE);
+    let mut sum = (0u64, 0u64);
+    for i in 0..bookings {
+        let g = pipe.transmit(SimTime::from_nanos(i * STEP_NS), BYTES);
+        sum = (
+            sum.0
+                .wrapping_add(g.start.as_nanos().rotate_left((i % 63) as u32)),
+            sum.1
+                .wrapping_add(g.finish.as_nanos().rotate_left((i % 63) as u32)),
+        );
+    }
+    let new_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(sum, seed_sum, "booking cores diverged");
+    (seed_ms, new_ms)
+}
+
+fn main() {
+    // Contended sweep: 4 jobs at the figures' default QD 8.
+    let fast = sweep(JOBS, 8, false);
+    let slow = sweep(JOBS, 8, true);
+    // Uncontended sweep: one job, queue depth 1 — strictly sequential ops,
+    // the regime the tail fast path must own.
+    let uncontended = sweep(1, 1, false);
+
+    // The fast path is timing-transparent: identical simulated output.
+    assert_eq!(fast.ops, slow.ops, "op counts diverged between paths");
+    for (i, (f, s)) in fast.rates.iter().zip(&slow.rates).enumerate() {
+        assert_eq!(f, s, "cell {i}: batched {f} GiB/s != per-segment {s} GiB/s");
+    }
+
+    let (seed_ms, new_ms) = booking_core_microbench(150_000);
+    let core_speedup = seed_ms / new_ms.max(1e-9);
+
+    let hit_rate = uncontended.stats.hit_rate();
+    let contended_hit_rate = fast.stats.hit_rate();
+    let traversal_rate = fast.batched as f64 / (fast.batched + fast.per_segment).max(1) as f64;
+    let wire_speedup = slow.wall_ms / fast.wall_ms.max(1e-9);
+    let total_ops = fast.ops + uncontended.ops;
+
+    println!(
+        "fig5-style sweep, {} cells x {JOBS} jobs + {} uncontended cells",
+        fast.rates.len(),
+        uncontended.rates.len()
+    );
+    println!("  batched pass:     {:9.1} ms wall", fast.wall_ms);
+    println!(
+        "  per-segment pass: {:9.1} ms wall  ({wire_speedup:.2}x)",
+        slow.wall_ms
+    );
+    println!("  uncontended pass: {:9.1} ms wall", uncontended.wall_ms);
+    println!("  ops simulated:    {total_ops}");
+    println!(
+        "  booking fast-path hit rate: {:.4} uncontended ({}/{}), {:.4} contended",
+        hit_rate, uncontended.stats.fastpath_hits, uncontended.stats.bookings, contended_hit_rate
+    );
+    println!(
+        "  wire traversals batched:    {traversal_rate:.4} ({}/{})",
+        fast.batched,
+        fast.batched + fast.per_segment
+    );
+    println!(
+        "  booking core (150k steady-state bookings): seed {seed_ms:.1} ms -> {new_ms:.1} ms \
+         ({core_speedup:.0}x)"
+    );
+    assert!(
+        hit_rate > 0.9,
+        "uncontended fast-path hit rate {hit_rate:.4} must exceed 0.9"
+    );
+
+    let json = format!(
+        "{{\n  \"sweep_wall_ms\": {:.1},\n  \"per_segment_wall_ms\": {:.1},\n  \
+         \"uncontended_wall_ms\": {:.1},\n  \"wire_batched_speedup\": {wire_speedup:.2},\n  \
+         \"booking_core_seed_ms\": {seed_ms:.1},\n  \"booking_core_ms\": {new_ms:.1},\n  \
+         \"booking_core_speedup\": {core_speedup:.1},\n  \
+         \"ops_simulated\": {total_ops},\n  \"fastpath_hit_rate\": {hit_rate:.4},\n  \
+         \"fastpath_hit_rate_contended\": {contended_hit_rate:.4},\n  \
+         \"wire_batched_rate\": {traversal_rate:.4}\n}}\n",
+        fast.wall_ms, slow.wall_ms, uncontended.wall_ms
+    );
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
+}

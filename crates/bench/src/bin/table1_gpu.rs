@@ -7,7 +7,14 @@ use ros2_hw::{IngestModel, LlmPhase, TABLE1};
 
 fn main() {
     let header: Vec<String> = [
-        "GPU", "Architecture", "Memory (GB)", "Mem BW", "NVLink (gen / BW)", "FP16", "FP8", "FP4",
+        "GPU",
+        "Architecture",
+        "Memory (GB)",
+        "Mem BW",
+        "NVLink (gen / BW)",
+        "FP16",
+        "FP8",
+        "FP4",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -45,17 +52,23 @@ fn main() {
     // The ingest model.
     println!("\n### §2.1 ingest model: B_node = G * r * s");
     let configs = [
-        ("conservative 8-GPU node", IngestModel {
-            gpus_per_node: 8,
-            samples_per_gpu_per_sec: 500.0,
-            bytes_per_sample: 128 * 1024,
-        }),
+        (
+            "conservative 8-GPU node",
+            IngestModel {
+                gpus_per_node: 8,
+                samples_per_gpu_per_sec: 500.0,
+                bytes_per_sample: 128 * 1024,
+            },
+        ),
         ("LLM pretraining node", IngestModel::llm_pretraining_node()),
-        ("multimodal node", IngestModel {
-            gpus_per_node: 8,
-            samples_per_gpu_per_sec: 1_000.0,
-            bytes_per_sample: 1 << 20,
-        }),
+        (
+            "multimodal node",
+            IngestModel {
+                gpus_per_node: 8,
+                samples_per_gpu_per_sec: 1_000.0,
+                bytes_per_sample: 1 << 20,
+            },
+        ),
     ];
     for (label, m) in configs {
         println!(

@@ -17,8 +17,8 @@
 
 #![warn(missing_docs)]
 
-use ros2_sim::SimDuration;
 use ros2_fio::{FioReport, JobSpec, RwMode};
+use ros2_sim::SimDuration;
 
 /// Standard measurement windows used by all harnesses (ramp, runtime).
 pub fn windows() -> (SimDuration, SimDuration) {
@@ -31,7 +31,9 @@ pub const SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
 /// Builds a figure-standard spec.
 pub fn spec(rw: RwMode, bs: u64, jobs: usize, region: u64) -> JobSpec {
     let (ramp, runtime) = windows();
-    JobSpec::new(rw, bs, jobs).region(region).windows(ramp, runtime)
+    JobSpec::new(rw, bs, jobs)
+        .region(region)
+        .windows(ramp, runtime)
 }
 
 /// Formats a bandwidth cell.
@@ -48,7 +50,10 @@ pub fn kiops(r: &FioReport) -> String {
 pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     println!("\n### {title}");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

@@ -83,7 +83,9 @@ mod tests {
         let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
         let t0 = sys.now();
         let mut f = sys.create("/f").unwrap().value;
-        let w = sys.write(&mut f, 0, Bytes::from(vec![1u8; 1 << 20])).unwrap();
+        let w = sys
+            .write(&mut f, 0, Bytes::from(vec![1u8; 1 << 20]))
+            .unwrap();
         assert!(w.latency > ros2_sim::SimDuration::ZERO);
         assert!(sys.now() > t0);
     }
@@ -113,7 +115,8 @@ mod tests {
         })
         .unwrap();
         let mut f = sys.create("/enc").unwrap().value;
-        sys.write(&mut f, 0, Bytes::from(vec![7u8; 1 << 20])).unwrap();
+        sys.write(&mut f, 0, Bytes::from(vec![7u8; 1 << 20]))
+            .unwrap();
         sys.read(&f, 0, 1 << 20).unwrap();
         assert!(sys.metrics().inline_bytes >= 2 << 20);
     }
@@ -131,12 +134,10 @@ mod tests {
         .unwrap();
         let mut f = sys.create("/throttled").unwrap().value;
         for i in 0..8 {
-            sys.write(&mut f, i * 4096, Bytes::from(vec![0u8; 4096])).unwrap();
+            sys.write(&mut f, i * 4096, Bytes::from(vec![0u8; 4096]))
+                .unwrap();
         }
-        let t = sys
-            .tenants
-            .tenant(&sys.config.tenant)
-            .unwrap();
+        let t = sys.tenants.tenant(&sys.config.tenant).unwrap();
         assert!(t.throttled > 0, "rate limiter must have engaged");
     }
 

@@ -16,16 +16,16 @@
 //! performance without running the FIO harness.
 
 use bytes::Bytes;
-use ros2_hw::{
-    gbps, ClientPlacement, CoreClass, CpuComplement, DpuTcpRxModel, NicModel, Transport,
-};
-use ros2_nvme::{DataMode, NvmeArray};
-use ros2_sim::{SimDuration, SimTime};
 use ros2_ctl::{ControlError, ControlRequest, ControlResponse};
 use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
 use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
 use ros2_dpu::{default_control, DpuAgent, InlineService, QosLimits, TenantManager};
 use ros2_fabric::{Fabric, NodeSpec};
+use ros2_hw::{
+    gbps, ClientPlacement, CoreClass, CpuComplement, DpuTcpRxModel, NicModel, Transport,
+};
+use ros2_nvme::{DataMode, NvmeArray};
+use ros2_sim::{SimDuration, SimTime};
 use ros2_spdk::BdevLayer;
 use ros2_verbs::{MemoryDomain, NodeId};
 

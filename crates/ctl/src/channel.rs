@@ -89,8 +89,7 @@ impl ControlChannel {
     /// completes.
     pub fn call_done_at(&self, now: SimTime, req_len: usize, resp_len: usize) -> SimTime {
         let bytes = (req_len + resp_len) as u64;
-        now + self.model.rtt
-            + SimDuration::from_nanos(bytes * self.model.ps_per_byte / 1000)
+        now + self.model.rtt + SimDuration::from_nanos(bytes * self.model.ps_per_byte / 1000)
     }
 
     /// Processes the session-layer part of a call. `session` is `None` for
@@ -222,20 +221,14 @@ mod tests {
     #[test]
     fn unauthenticated_calls_rejected() {
         let mut c = channel();
-        let (_, res) = c.call(
-            SimTime::ZERO,
-            None,
-            ControlRequest::DfsMount,
-            |_, _| ControlResponse::Ok,
-        );
+        let (_, res) = c.call(SimTime::ZERO, None, ControlRequest::DfsMount, |_, _| {
+            ControlResponse::Ok
+        });
         assert_eq!(res.unwrap_err(), ControlError::NotAuthenticated);
         // Bogus token as well.
-        let (_, res) = c.call(
-            SimTime::ZERO,
-            Some(42),
-            ControlRequest::DfsMount,
-            |_, _| ControlResponse::Ok,
-        );
+        let (_, res) = c.call(SimTime::ZERO, Some(42), ControlRequest::DfsMount, |_, _| {
+            ControlResponse::Ok
+        });
         assert_eq!(res.unwrap_err(), ControlError::NotAuthenticated);
     }
 
@@ -262,13 +255,19 @@ mod tests {
         let mut c = channel();
         let (_, res) = c.call(SimTime::ZERO, None, hello(), |_, _| ControlResponse::Ok);
         let token = res.unwrap().0;
-        let (_, res) = c.call(SimTime::ZERO, Some(token), ControlRequest::Goodbye, |_, _| {
-            ControlResponse::Ok
-        });
+        let (_, res) = c.call(
+            SimTime::ZERO,
+            Some(token),
+            ControlRequest::Goodbye,
+            |_, _| ControlResponse::Ok,
+        );
         assert!(res.is_ok());
-        let (_, res) = c.call(SimTime::ZERO, Some(token), ControlRequest::DfsMount, |_, _| {
-            ControlResponse::Ok
-        });
+        let (_, res) = c.call(
+            SimTime::ZERO,
+            Some(token),
+            ControlRequest::DfsMount,
+            |_, _| ControlResponse::Ok,
+        );
         assert_eq!(res.unwrap_err(), ControlError::SessionClosed);
     }
 

@@ -193,7 +193,10 @@ impl ControlResponse {
                 w.u8(4).u64(c.rkey).u64(c.addr).u64(c.len).u64(c.expires_ns);
             }
             ControlResponse::Qos(q) => {
-                w.u8(5).string(&q.tenant).u64(q.ops_per_sec).u64(q.bytes_per_sec);
+                w.u8(5)
+                    .string(&q.tenant)
+                    .u64(q.ops_per_sec)
+                    .u64(q.bytes_per_sec);
             }
             ControlResponse::Error { reason } => {
                 w.u8(6).string(reason);

@@ -18,7 +18,11 @@ fn table() -> &'static [[u32; 256]; 8] {
         for i in 0..256u32 {
             let mut crc = i;
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
             }
             t[0][i as usize] = crc;
         }

@@ -14,10 +14,10 @@
 //!   the SmartNIC).
 
 use bytes::{Bytes, BytesMut};
-use ros2_hw::{CoreClass, Transport};
-use ros2_sim::{ServerPool, SimTime};
-use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, NodeId, PdId, RKey};
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
+use ros2_hw::{CoreClass, Transport};
+use ros2_sim::{ResourceStats, ServerPool, SimTime};
+use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, NodeId, PdId, RKey};
 
 use crate::engine::{DaosEngine, ValueKind};
 use crate::types::{AKey, DKey, DaosCostModel, DaosError, Epoch, ObjectId};
@@ -71,10 +71,14 @@ impl DaosClient {
         let class = fabric.node(node).class();
         let transport = fabric.transport();
         let pd = fabric.rdma_mut(node).alloc_pd(tenant);
-        let server_pd = fabric.rdma_mut(server).alloc_pd(format!("daos-engine:{tenant}"));
+        let server_pd = fabric
+            .rdma_mut(server)
+            .alloc_pd(format!("daos-engine:{tenant}"));
         let mut out_jobs = Vec::with_capacity(jobs);
         for _ in 0..jobs {
-            let conn = fabric.connect(node, server, pd, server_pd).map_err(map_fabric)?;
+            let conn = fabric
+                .connect(node, server, pd, server_pd)
+                .map_err(map_fabric)?;
             let buf = fabric
                 .rdma_mut(node)
                 .alloc_buffer(buf_len, domain)
@@ -145,6 +149,16 @@ impl DaosClient {
         for j in &mut self.jobs {
             j.core.reset_timing();
         }
+    }
+
+    /// Aggregate booking / fast-path counters over the per-job client
+    /// cores.
+    pub fn resource_stats(&self) -> ResourceStats {
+        let mut total = ResourceStats::default();
+        for j in &self.jobs {
+            total.merge(j.core.stats());
+        }
+        total
     }
 
     fn client_cpu(&mut self, now: SimTime, job: usize) -> SimTime {
@@ -253,7 +267,8 @@ impl DaosClient {
             .send(t_cpu, conn, Dir::AtoB, Bytes::from(vec![0u8; RPC_DESC]))
             .map_err(map_fabric)?;
 
-        let (data, ready) = engine.fetch(req.at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
+        let (data, ready) =
+            engine.fetch(req.at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
 
         match self.transport {
             Transport::Rdma => {
@@ -280,7 +295,9 @@ impl DaosClient {
                 Ok((landed, done.at))
             }
             Transport::Tcp => {
-                let d = fabric.send(ready, conn, Dir::BtoA, data).map_err(map_fabric)?;
+                let d = fabric
+                    .send(ready, conn, Dir::BtoA, data)
+                    .map_err(map_fabric)?;
                 Ok((d.data.expect("tcp carries data"), d.at))
             }
         }
@@ -291,10 +308,10 @@ impl DaosClient {
 mod tests {
     use super::*;
     use crate::types::ObjClass;
+    use ros2_fabric::NodeSpec;
     use ros2_hw::{gbps, CpuComplement, DpuTcpRxModel, NicModel, NvmeModel};
     use ros2_nvme::{DataMode, NvmeArray};
     use ros2_spdk::BdevLayer;
-    use ros2_fabric::NodeSpec;
 
     fn world(transport: Transport, client_is_dpu: bool) -> (Fabric, DaosEngine, DaosClient) {
         let client_spec = if client_is_dpu {
@@ -526,9 +543,15 @@ mod tests {
         let t = engine.target_of(oid, Some(&d));
         let mut bd = std::mem::replace(
             engine.bdevs_mut(),
-            BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, DataMode::Pattern)),
+            BdevLayer::new(NvmeArray::new(
+                NvmeModel::enterprise_1600(),
+                1,
+                DataMode::Pattern,
+            )),
         );
-        assert!(engine.target_mut(t).corrupt_newest_extent(&mut bd, oid, &d, &a));
+        assert!(engine
+            .target_mut(t)
+            .corrupt_newest_extent(&mut bd, oid, &d, &a));
         *engine.bdevs_mut() = bd;
         let err = client
             .fetch(

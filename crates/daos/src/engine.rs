@@ -11,10 +11,12 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use ros2_hw::{checksum_cost, CoreClass, LBA_SIZE};
-use ros2_sim::{ServerPool, SimTime};
+use ros2_sim::{ResourceStats, ServerPool, SimTime};
 use ros2_spdk::BdevLayer;
 
-use crate::types::{placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId};
+use crate::types::{
+    placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId,
+};
 use crate::vos::{VosStats, VosTarget};
 
 /// Update/fetch value kind.
@@ -88,7 +90,8 @@ impl DaosEngine {
 
     /// Creates a container.
     pub fn cont_create(&mut self, label: impl Into<String>) -> Result<(), DaosError> {
-        self.containers.insert(label.into(), ContainerMeta::default());
+        self.containers
+            .insert(label.into(), ContainerMeta::default());
         Ok(())
     }
 
@@ -99,14 +102,20 @@ impl DaosEngine {
 
     /// Allocates the next commit epoch for a container.
     pub fn next_epoch(&mut self, cont: &str) -> Result<Epoch, DaosError> {
-        let meta = self.containers.get_mut(cont).ok_or(DaosError::NoSuchEntity)?;
+        let meta = self
+            .containers
+            .get_mut(cont)
+            .ok_or(DaosError::NoSuchEntity)?;
         meta.epoch_counter += 1;
         Ok(Epoch(meta.epoch_counter))
     }
 
     /// Records a snapshot at the container's current epoch and returns it.
     pub fn snapshot(&mut self, cont: &str) -> Result<Epoch, DaosError> {
-        let meta = self.containers.get_mut(cont).ok_or(DaosError::NoSuchEntity)?;
+        let meta = self
+            .containers
+            .get_mut(cont)
+            .ok_or(DaosError::NoSuchEntity)?;
         meta.snapshots.push(meta.epoch_counter);
         Ok(Epoch(meta.epoch_counter))
     }
@@ -279,6 +288,17 @@ impl DaosEngine {
         self.bdevs.array_mut().reset_timing();
     }
 
+    /// Aggregate booking / fast-path counters over the engine's xstream
+    /// pools and the backing NVMe channel pools.
+    pub fn resource_stats(&self) -> ResourceStats {
+        let mut total = ResourceStats::default();
+        for x in &self.xstreams {
+            total.merge(x.stats());
+        }
+        total.merge(self.bdevs.resource_stats());
+        total
+    }
+
     /// Total bytes of NVMe capacity in the pool.
     pub fn pool_capacity(&self) -> u64 {
         self.bdevs.array().capacity() / LBA_SIZE * LBA_SIZE
@@ -444,7 +464,11 @@ mod tests {
         // Split borrows: temporarily take the bdevs out.
         let mut bd = std::mem::replace(
             &mut e.bdevs,
-            BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, DataMode::Pattern)),
+            BdevLayer::new(NvmeArray::new(
+                NvmeModel::enterprise_1600(),
+                1,
+                DataMode::Pattern,
+            )),
         );
         assert!(e.targets[t].corrupt_newest_extent(&mut bd, oid, &d, &a));
         e.bdevs = bd;

@@ -22,7 +22,5 @@ pub mod vos;
 pub use checksum::{crc32c, crc32c_append, Checksum};
 pub use client::DaosClient;
 pub use engine::{ContainerMeta, DaosEngine, ValueKind};
-pub use types::{
-    placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId,
-};
+pub use types::{placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId};
 pub use vos::{Location, VosStats, VosTarget};

@@ -21,10 +21,7 @@ impl ObjectId {
             ObjClass::S1 => 1 << 56,
             ObjClass::Sx => 2 << 56,
         };
-        ObjectId {
-            hi: class_bits,
-            lo,
-        }
+        ObjectId { hi: class_bits, lo }
     }
 
     /// The object class encoded in `hi`.

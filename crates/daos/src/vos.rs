@@ -113,7 +113,13 @@ pub struct VosTarget {
 impl VosTarget {
     /// Creates a target over `[lba_base, lba_base+lba_span)` of device
     /// `dev`, with an SCM pool of `scm_bytes`.
-    pub fn new(dev: usize, lba_base: u64, lba_span: u64, scm_bytes: u64, scm_threshold: u64) -> Self {
+    pub fn new(
+        dev: usize,
+        lba_base: u64,
+        lba_span: u64,
+        scm_bytes: u64,
+        scm_threshold: u64,
+    ) -> Self {
         VosTarget {
             dev,
             scm: ros2_pmem::PmemPool::new(scm_bytes, ros2_pmem::ScmModel::optane_class()),
@@ -487,9 +493,7 @@ impl VosTarget {
                         let dead = r.epoch < keep;
                         if dead {
                             match &r.location {
-                                Location::Nvme { slba, nlb } => {
-                                    reclaimed_nvme.push((*slba, *nlb))
-                                }
+                                Location::Nvme { slba, nlb } => reclaimed_nvme.push((*slba, *nlb)),
                                 Location::Scm(o) => reclaimed_scm.push(*o),
                             }
                             count += 1;
@@ -646,10 +650,26 @@ mod tests {
         let (mut vos, mut bd) = fixture();
         let d = DKey::from_str("d");
         let a = AKey::from_str("a");
-        vos.update_single(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(10), Bytes::from_static(b"v1"))
-            .unwrap();
-        vos.update_single(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(20), Bytes::from_static(b"v2"))
-            .unwrap();
+        vos.update_single(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(10),
+            Bytes::from_static(b"v1"),
+        )
+        .unwrap();
+        vos.update_single(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(20),
+            Bytes::from_static(b"v2"),
+        )
+        .unwrap();
         let (at15, _) = vos
             .fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(15))
             .unwrap();
@@ -671,10 +691,28 @@ mod tests {
         let (mut vos, mut bd) = fixture();
         let d = DKey::from_u64(0);
         let a = AKey::from_str("data");
-        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![1u8; 100]))
-            .unwrap();
-        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(2), 50, Bytes::from(vec![2u8; 100]))
-            .unwrap();
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(1),
+            0,
+            Bytes::from(vec![1u8; 100]),
+        )
+        .unwrap();
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(2),
+            50,
+            Bytes::from(vec![2u8; 100]),
+        )
+        .unwrap();
         let (out, _) = vos
             .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 200)
             .unwrap();
@@ -694,11 +732,29 @@ mod tests {
         let (mut vos, mut bd) = fixture();
         let d = DKey::from_u64(0);
         let a = AKey::from_str("data");
-        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![9u8; 8192]))
-            .unwrap();
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(1),
+            0,
+            Bytes::from(vec![9u8; 8192]),
+        )
+        .unwrap();
         assert!(vos.corrupt_newest_extent(&mut bd, oid(), &d, &a));
         let err = vos
-            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 8192)
+            .fetch_array(
+                SimTime::ZERO,
+                &mut bd,
+                oid(),
+                &d,
+                &a,
+                Epoch::LATEST,
+                0,
+                8192,
+            )
             .unwrap_err();
         assert_eq!(err, DaosError::ChecksumMismatch);
         assert_eq!(vos.stats().checksum_failures, 1);
@@ -709,13 +765,31 @@ mod tests {
         let (mut vos, mut bd) = fixture();
         let d = DKey::from_u64(0);
         let a = AKey::from_str("data");
-        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![1u8; 64 << 10]))
-            .unwrap();
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(1),
+            0,
+            Bytes::from(vec![1u8; 64 << 10]),
+        )
+        .unwrap();
         let frontier_before = vos.nvme_next;
         vos.punch(oid(), &d, &a).unwrap();
         // A same-size rewrite reuses the freed extent.
-        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(2), 0, Bytes::from(vec![2u8; 64 << 10]))
-            .unwrap();
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(2),
+            0,
+            Bytes::from(vec![2u8; 64 << 10]),
+        )
+        .unwrap();
         assert_eq!(vos.nvme_next, frontier_before, "extent was recycled");
     }
 
@@ -725,14 +799,32 @@ mod tests {
         let d = DKey::from_u64(0);
         let a = AKey::from_str("data");
         for e in 1..=5u64 {
-            vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(e), 0, Bytes::from(vec![e as u8; 32 << 10]))
-                .unwrap();
+            vos.update_array(
+                SimTime::ZERO,
+                &mut bd,
+                oid(),
+                d.clone(),
+                a.clone(),
+                Epoch(e),
+                0,
+                Bytes::from(vec![e as u8; 32 << 10]),
+            )
+            .unwrap();
         }
         vos.aggregate(Epoch(5));
         assert_eq!(vos.stats().aggregated_extents, 4);
         // Content unchanged after aggregation.
         let (out, _) = vos
-            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 32 << 10)
+            .fetch_array(
+                SimTime::ZERO,
+                &mut bd,
+                oid(),
+                &d,
+                &a,
+                Epoch::LATEST,
+                0,
+                32 << 10,
+            )
             .unwrap();
         assert!(out.iter().all(|&b| b == 5));
     }
@@ -749,10 +841,28 @@ mod tests {
         let mut vos = VosTarget::new(0, 0, 8, 64 << 20, 4096);
         let d = DKey::from_u64(0);
         let a = AKey::from_str("x");
-        vos.update_array(SimTime::ZERO, &mut bd, oid(), d.clone(), a.clone(), Epoch(1), 0, Bytes::from(vec![0u8; 8 * 4096]))
-            .unwrap();
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd,
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(1),
+            0,
+            Bytes::from(vec![0u8; 8 * 4096]),
+        )
+        .unwrap();
         let err = vos
-            .update_array(SimTime::ZERO, &mut bd, oid(), d, a, Epoch(2), 0, Bytes::from(vec![0u8; 8192]))
+            .update_array(
+                SimTime::ZERO,
+                &mut bd,
+                oid(),
+                d,
+                a,
+                Epoch(2),
+                0,
+                Bytes::from(vec![0u8; 8192]),
+            )
             .unwrap_err();
         assert_eq!(err, DaosError::NvmeFull);
     }
@@ -761,8 +871,16 @@ mod tests {
     fn list_dkeys_enumerates() {
         let (mut vos, mut bd) = fixture();
         for i in 0..4u64 {
-            vos.update_single(SimTime::ZERO, &mut bd, oid(), DKey::from_u64(i), AKey::from_str("e"), Epoch(1), Bytes::from_static(b"x"))
-                .unwrap();
+            vos.update_single(
+                SimTime::ZERO,
+                &mut bd,
+                oid(),
+                DKey::from_u64(i),
+                AKey::from_str("e"),
+                Epoch(1),
+                Bytes::from_static(b"x"),
+            )
+            .unwrap();
         }
         assert_eq!(vos.list_dkeys(oid()).len(), 4);
         assert!(vos.list_dkeys(ObjectId::new(ObjClass::S1, 99)).is_empty());

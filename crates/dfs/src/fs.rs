@@ -16,12 +16,12 @@
 //! returns virtual-time completion alongside its functional result.
 
 use bytes::Bytes;
-use ros2_sim::SimTime;
+use ros2_ctl::{WireReader, WireWriter};
 use ros2_daos::{
     AKey, DKey, DaosClient, DaosEngine, DaosError, Epoch, ObjClass, ObjectId, ValueKind,
 };
 use ros2_fabric::Fabric;
-use ros2_ctl::{WireReader, WireWriter};
+use ros2_sim::SimTime;
 
 /// The reserved object id of the superblock / root directory.
 const ROOT_INO: u64 = 1;

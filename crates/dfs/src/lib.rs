@@ -21,11 +21,11 @@ pub use fs::{Dfs, DfsError, DfsObj, DfsSession, FileKind, FileStat};
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
+    use ros2_fabric::{Fabric, NodeSpec};
     use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, NvmeModel, Transport};
     use ros2_nvme::{DataMode, NvmeArray};
     use ros2_sim::SimTime;
-    use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
-    use ros2_fabric::{Fabric, NodeSpec};
     use ros2_spdk::BdevLayer;
     use ros2_verbs::{MemoryDomain, NodeId};
 
@@ -111,7 +111,9 @@ mod tests {
         let (mut f, mut e, mut c, mut dfs) = mounted(1);
         let root = dfs.root();
         let t = SimTime::ZERO;
-        let (mut file, t1) = dfs.create(sess!(f, e, c), t, &root, "model.bin", 0o644).unwrap();
+        let (mut file, t1) = dfs
+            .create(sess!(f, e, c), t, &root, "model.bin", 0o644)
+            .unwrap();
         let data = Bytes::from(vec![0x42; 3 << 20]); // spans 3 chunks
         let t2 = dfs
             .write(sess!(f, e, c), t1, 0, &mut file, 0, data.clone())
@@ -125,20 +127,27 @@ mod tests {
     fn unaligned_rw_across_chunk_boundaries() {
         let (mut f, mut e, mut c, mut dfs) = mounted(1);
         let root = dfs.root();
-        let (mut file, t) = dfs.create(sess!(f, e, c), SimTime::ZERO, &root, "x", 0o644).unwrap();
+        let (mut file, t) = dfs
+            .create(sess!(f, e, c), SimTime::ZERO, &root, "x", 0o644)
+            .unwrap();
         let data: Vec<u8> = (0..3_000_000).map(|i| (i % 251) as u8).collect();
         let off = (1 << 20) - 777;
         let t = dfs
-            .write(sess!(f, e, c), t, 0, &mut file, off, Bytes::from(data.clone()))
+            .write(
+                sess!(f, e, c),
+                t,
+                0,
+                &mut file,
+                off,
+                Bytes::from(data.clone()),
+            )
             .unwrap();
         let (back, _) = dfs
             .read(sess!(f, e, c), t, 0, &file, off, data.len() as u64)
             .unwrap();
         assert_eq!(&back[..], &data[..]);
         // A read overlapping the hole before `off` sees zeros then data.
-        let (mix, _) = dfs
-            .read(sess!(f, e, c), t, 0, &file, off - 10, 20)
-            .unwrap();
+        let (mix, _) = dfs.read(sess!(f, e, c), t, 0, &file, off - 10, 20).unwrap();
         assert!(mix[..10].iter().all(|&b| b == 0));
         assert_eq!(&mix[10..], &data[..10]);
     }
@@ -147,9 +156,18 @@ mod tests {
     fn reads_stop_at_eof() {
         let (mut f, mut e, mut c, mut dfs) = mounted(1);
         let root = dfs.root();
-        let (mut file, t) = dfs.create(sess!(f, e, c), SimTime::ZERO, &root, "short", 0o644).unwrap();
+        let (mut file, t) = dfs
+            .create(sess!(f, e, c), SimTime::ZERO, &root, "short", 0o644)
+            .unwrap();
         let t = dfs
-            .write(sess!(f, e, c), t, 0, &mut file, 0, Bytes::from_static(b"hello"))
+            .write(
+                sess!(f, e, c),
+                t,
+                0,
+                &mut file,
+                0,
+                Bytes::from_static(b"hello"),
+            )
             .unwrap();
         let (back, _) = dfs.read(sess!(f, e, c), t, 0, &file, 0, 100).unwrap();
         assert_eq!(&back[..], b"hello");
@@ -162,12 +180,19 @@ mod tests {
         let (mut f, mut e, mut c, mut dfs) = mounted(1);
         let root = dfs.root();
         let t = SimTime::ZERO;
-        let (dir, t) = dfs.mkdir(sess!(f, e, c), t, &root, "datasets", 0o755).unwrap();
-        let (_, t) = dfs.create(sess!(f, e, c), t, &dir, "shard0", 0o644).unwrap();
-        let (_, t) = dfs.create(sess!(f, e, c), t, &dir, "shard1", 0o644).unwrap();
+        let (dir, t) = dfs
+            .mkdir(sess!(f, e, c), t, &root, "datasets", 0o755)
+            .unwrap();
+        let (_, t) = dfs
+            .create(sess!(f, e, c), t, &dir, "shard0", 0o644)
+            .unwrap();
+        let (_, t) = dfs
+            .create(sess!(f, e, c), t, &dir, "shard1", 0o644)
+            .unwrap();
         // Duplicate create fails.
         assert_eq!(
-            dfs.create(sess!(f, e, c), t, &dir, "shard0", 0o644).unwrap_err(),
+            dfs.create(sess!(f, e, c), t, &dir, "shard0", 0o644)
+                .unwrap_err(),
             DfsError::Exists
         );
         let names = dfs.readdir(sess!(f, e, c), t, &dir).unwrap();
@@ -181,7 +206,8 @@ mod tests {
         assert_eq!(st.size, 0);
         // Unlink a file, then the (now empty) directory fails while full.
         assert_eq!(
-            dfs.unlink(sess!(f, e, c), t, &root, "datasets").unwrap_err(),
+            dfs.unlink(sess!(f, e, c), t, &root, "datasets")
+                .unwrap_err(),
             DfsError::NotEmpty
         );
         let t = dfs.unlink(sess!(f, e, c), t, &dir, "shard0").unwrap();
@@ -200,7 +226,14 @@ mod tests {
         let t = SimTime::ZERO;
         let (mut file, t) = dfs.create(sess!(f, e, c), t, &root, "tmp", 0o644).unwrap();
         let t = dfs
-            .write(sess!(f, e, c), t, 0, &mut file, 0, Bytes::from_static(b"ckpt"))
+            .write(
+                sess!(f, e, c),
+                t,
+                0,
+                &mut file,
+                0,
+                Bytes::from_static(b"ckpt"),
+            )
             .unwrap();
         let (dir, t) = dfs.mkdir(sess!(f, e, c), t, &root, "final", 0o755).unwrap();
         let t = dfs
@@ -219,10 +252,19 @@ mod tests {
     fn file_chunks_stripe_across_four_ssds() {
         let (mut f, mut e, mut c, mut dfs) = mounted(4);
         let root = dfs.root();
-        let (mut file, t) = dfs.create(sess!(f, e, c), SimTime::ZERO, &root, "big", 0o644).unwrap();
+        let (mut file, t) = dfs
+            .create(sess!(f, e, c), SimTime::ZERO, &root, "big", 0o644)
+            .unwrap();
         // 16 chunks of 1 MiB.
         let t = dfs
-            .write(sess!(f, e, c), t, 0, &mut file, 0, Bytes::from(vec![1u8; 16 << 20]))
+            .write(
+                sess!(f, e, c),
+                t,
+                0,
+                &mut file,
+                0,
+                Bytes::from(vec![1u8; 16 << 20]),
+            )
             .unwrap();
         let _ = t;
         // Every device should have received writes.
@@ -248,7 +290,8 @@ mod tests {
             DfsError::NotADir
         );
         assert_eq!(
-            dfs.mkdir(sess!(f, e, c), t, &file, "sub", 0o755).unwrap_err(),
+            dfs.mkdir(sess!(f, e, c), t, &file, "sub", 0o755)
+                .unwrap_err(),
             DfsError::NotADir
         );
     }

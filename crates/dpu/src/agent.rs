@@ -7,10 +7,10 @@
 //! payloads land, and can interpose inline services — the crypto engine —
 //! on the byte path without host involvement.
 
+use ros2_ctl::{ControlChannel, ControlModel, ControlRequest, ControlResponse};
 use ros2_hw::inline_crypto_cost;
 use ros2_sim::{Counter, SimDuration, SimTime};
 use ros2_verbs::NodeId;
-use ros2_ctl::{ControlChannel, ControlModel, ControlRequest, ControlResponse};
 
 /// Inline services the agent can interpose on payloads.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -106,7 +106,10 @@ impl DpuAgent {
         session: Option<u64>,
         req: ControlRequest,
         handler: F,
-    ) -> (SimTime, Result<(u64, ControlResponse), ros2_ctl::ControlError>)
+    ) -> (
+        SimTime,
+        Result<(u64, ControlResponse), ros2_ctl::ControlError>,
+    )
     where
         F: FnOnce(&str, &ControlRequest) -> ControlResponse,
     {

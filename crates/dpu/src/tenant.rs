@@ -5,9 +5,9 @@
 
 use std::collections::HashMap;
 
+use ros2_fabric::Fabric;
 use ros2_sim::{SimDuration, SimTime, TokenBucket};
 use ros2_verbs::{Expiry, NodeId, PdId};
-use ros2_fabric::Fabric;
 
 /// A tenant's QoS allocation.
 #[derive(Copy, Clone, Debug)]
@@ -127,8 +127,8 @@ impl TenantManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, Transport};
     use ros2_fabric::NodeSpec;
+    use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, Transport};
 
     fn fabric() -> Fabric {
         Fabric::new(
@@ -152,8 +152,18 @@ mod tests {
     fn tenants_get_distinct_pds() {
         let mut f = fabric();
         let mut tm = TenantManager::new(NodeId(0));
-        let a = tm.register(&mut f, "a", QosLimits::unlimited(), SimDuration::from_secs(5));
-        let b = tm.register(&mut f, "b", QosLimits::unlimited(), SimDuration::from_secs(5));
+        let a = tm.register(
+            &mut f,
+            "a",
+            QosLimits::unlimited(),
+            SimDuration::from_secs(5),
+        );
+        let b = tm.register(
+            &mut f,
+            "b",
+            QosLimits::unlimited(),
+            SimDuration::from_secs(5),
+        );
         assert_ne!(a, b);
         assert_eq!(tm.count(), 2);
         assert_eq!(f.node(NodeId(0)).rdma.pd_tenant(a), Some("a"));
@@ -215,8 +225,16 @@ mod tests {
     fn rkey_scope_produces_expiring_registrations() {
         let mut f = fabric();
         let mut tm = TenantManager::new(NodeId(0));
-        tm.register(&mut f, "t", QosLimits::unlimited(), SimDuration::from_millis(100));
+        tm.register(
+            &mut f,
+            "t",
+            QosLimits::unlimited(),
+            SimDuration::from_millis(100),
+        );
         let e = tm.rkey_expiry(SimTime::from_secs(1), "t").unwrap();
-        assert_eq!(e, Expiry::At(SimTime::from_secs(1) + SimDuration::from_millis(100)));
+        assert_eq!(
+            e,
+            Expiry::At(SimTime::from_secs(1) + SimDuration::from_millis(100))
+        );
     }
 }

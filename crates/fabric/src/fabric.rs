@@ -20,7 +20,7 @@
 
 use bytes::Bytes;
 use ros2_hw::{per_byte, CoreClass, Transport, TransportCost, WireProtocol};
-use ros2_sim::{ServerPool, SimDuration, SimTime, SimRng};
+use ros2_sim::{ResourceStats, ServerPool, SimDuration, SimRng, SimTime};
 use ros2_verbs::{MemAddr, NodeId, PdId, QpId, RKey, RdmaDevice, VerbsError};
 
 #[cfg(test)]
@@ -97,6 +97,36 @@ pub struct Fabric {
     /// handshake, then zero-copy placement). UCX's `RNDV_THRESH` analogue;
     /// only meaningful on RDMA transports.
     eager_threshold: u64,
+    /// Wire traversals that booked one closed-form pipelined window per
+    /// pipe (both pipes idle — the uncontended common case).
+    wire_fast: u64,
+    /// Wire traversals that fell back to the exact per-segment loop.
+    wire_slow: u64,
+    /// Validation hook: when set, every traversal runs the per-segment
+    /// loop so tests can assert the fast path is bit-identical.
+    force_per_segment: bool,
+}
+
+/// Fast-path / slow-path counters for wire traversals (see
+/// [`Fabric::wire_traversal_stats`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireTraversalStats {
+    /// Traversals that booked the closed-form pipelined window.
+    pub batched: u64,
+    /// Traversals that ran the per-segment booking loop.
+    pub per_segment: u64,
+}
+
+impl WireTraversalStats {
+    /// Fraction of traversals that took the batched fast path.
+    pub fn batched_rate(&self) -> f64 {
+        let total = self.batched + self.per_segment;
+        if total == 0 {
+            0.0
+        } else {
+            self.batched as f64 / total as f64
+        }
+    }
 }
 
 impl Fabric {
@@ -122,7 +152,19 @@ impl Fabric {
             conns: Vec::new(),
             path_latency,
             eager_threshold: 8 * 1024,
+            wire_fast: 0,
+            wire_slow: 0,
+            force_per_segment: false,
         }
+    }
+
+    /// Forces every wire traversal onto the exact per-segment booking loop.
+    ///
+    /// The batched fast path must be observationally identical, so this
+    /// exists only for equivalence tests and A/B perf measurement — it is
+    /// never needed for correctness.
+    pub fn set_force_per_segment(&mut self, on: bool) {
+        self.force_per_segment = on;
     }
 
     /// Sets the eager/rendezvous switchover (RDMA only; see field docs).
@@ -216,7 +258,10 @@ impl Fabric {
 
     /// The `(source, destination)` nodes of `conn` in direction `dir`.
     pub fn endpoints(&self, conn: ConnId, dir: Dir) -> Result<(NodeId, NodeId), FabricError> {
-        let c = self.conns.get(conn.0 as usize).ok_or(FabricError::BadConn)?;
+        let c = self
+            .conns
+            .get(conn.0 as usize)
+            .ok_or(FabricError::BadConn)?;
         Ok(match dir {
             Dir::AtoB => (c.a, c.b),
             Dir::BtoA => (c.b, c.a),
@@ -225,7 +270,10 @@ impl Fabric {
 
     /// The QP pair `(src_qp, dst_qp)` for `conn` in `dir` (RDMA only).
     pub fn qps(&self, conn: ConnId, dir: Dir) -> Result<(QpId, QpId), FabricError> {
-        let c = self.conns.get(conn.0 as usize).ok_or(FabricError::BadConn)?;
+        let c = self
+            .conns
+            .get(conn.0 as usize)
+            .ok_or(FabricError::BadConn)?;
         match (c.qp_a, c.qp_b, dir) {
             (Some(qa), Some(qb), Dir::AtoB) => Ok((qa, qb)),
             (Some(qa), Some(qb), Dir::BtoA) => Ok((qb, qa)),
@@ -255,6 +303,8 @@ impl Fabric {
             c.ser_ab.reset_timing();
             c.ser_ba.reset_timing();
         }
+        self.wire_fast = 0;
+        self.wire_slow = 0;
     }
 
     // ---- timing helpers -------------------------------------------------
@@ -265,9 +315,49 @@ impl Fabric {
 
     /// Wire traversal: segments through the source TX pipe, path latency,
     /// destination RX pipe. Returns the instant the last byte lands.
+    ///
+    /// The common case — both pipes idle at/after `start`, i.e. no
+    /// contending flow — is booked as one closed-form pipelined window per
+    /// pipe in O(1) instead of a per-segment loop (8–16 bookings per 1 MiB
+    /// chunk). Under contention the exact per-segment loop runs, so grants
+    /// are bit-identical either way (asserted by
+    /// `tests/fastpath_equivalence.rs`).
     fn traverse_wire(&mut self, start: SimTime, src: NodeId, dst: NodeId, payload: u64) -> SimTime {
         let wire_total = self.wire.wire_bytes(payload);
         let seg = self.wire.segment;
+        let last_arrival = if wire_total == 0 {
+            start
+        } else {
+            let batched = if self.force_per_segment {
+                None
+            } else {
+                self.traverse_wire_batched(start, src, dst, wire_total, seg)
+            };
+            match batched {
+                Some(at) => {
+                    self.wire_fast += 1;
+                    at
+                }
+                None => {
+                    self.wire_slow += 1;
+                    self.traverse_wire_segments(start, src, dst, wire_total, seg)
+                }
+            }
+        };
+        self.nodes[src.0 as usize].bytes_tx += payload;
+        self.nodes[dst.0 as usize].bytes_rx += payload;
+        last_arrival
+    }
+
+    /// The exact per-segment booking loop (the contended slow path).
+    fn traverse_wire_segments(
+        &mut self,
+        start: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        wire_total: u64,
+        seg: u64,
+    ) -> SimTime {
         let mut remaining = wire_total;
         let mut last_arrival = start;
         while remaining > 0 {
@@ -278,9 +368,99 @@ impl Fabric {
             last_arrival = last_arrival.max(rx.finish);
             remaining -= chunk;
         }
-        self.nodes[src.0 as usize].bytes_tx += payload;
-        self.nodes[dst.0 as usize].bytes_rx += payload;
         last_arrival
+    }
+
+    /// Closed-form pipelined traversal for the uncontended case: one
+    /// contiguous TX window and one contiguous RX window reproduce exactly
+    /// what the per-segment loop would book.
+    ///
+    /// Why this is exact: the loop submits every segment at `start`, so on
+    /// an idle TX pipe the segments serialize back-to-back into the single
+    /// window `[start, start + Σ tx_i)`. Segment `i` then arrives at the RX
+    /// pipe `path_latency` after its TX finish, i.e. at intervals of the
+    /// full-segment TX time. When the RX pipe is no faster than the TX pipe
+    /// (`rx_rate <= tx_rate`, true of every shipped topology — both ends
+    /// clamp to the same switch port), each segment's RX service time is ≥
+    /// its inter-arrival gap, so RX bookings are also contiguous:
+    /// `[a0, a0 + Σ rx_i)` with `a0` the first arrival. A faster RX pipe
+    /// would leave idle holes between segment bookings, which the aggregate
+    /// window would mis-book — that case falls back to the loop.
+    ///
+    /// Returns `None` (book nothing) unless every exactness precondition
+    /// holds.
+    fn traverse_wire_batched(
+        &mut self,
+        start: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        wire_total: u64,
+        seg: u64,
+    ) -> Option<SimTime> {
+        let tx_rate = self.nodes[src.0 as usize].tx_pipe.rate();
+        let rx_rate = self.nodes[dst.0 as usize].rx_pipe.rate();
+        if rx_rate > tx_rate {
+            return None;
+        }
+        if self.nodes[src.0 as usize].tx_pipe.tail_free() > start {
+            return None;
+        }
+        let segments = wire_total.div_ceil(seg);
+        let full = segments - 1;
+        let rem = wire_total - full * seg; // in (0, seg]
+        let tx_pipe = &self.nodes[src.0 as usize].tx_pipe;
+        let tx_full = tx_pipe.service_time(seg);
+        let tx_rem = tx_pipe.service_time(rem);
+        let tx_dur = tx_full * full + tx_rem;
+        // First segment is a full one unless the transfer fits in one.
+        let first_tx = if full > 0 { tx_full } else { tx_rem };
+        let a0 = start + first_tx + self.path_latency;
+        if self.nodes[dst.0 as usize].rx_pipe.tail_free() > a0 {
+            return None;
+        }
+        let rx_pipe = &self.nodes[dst.0 as usize].rx_pipe;
+        let rx_dur = rx_pipe.service_time(seg) * full + rx_pipe.service_time(rem);
+        // Last arrival instant — mirrors the loop's per-segment submit
+        // times so pruning high-water marks line up with the slow path.
+        let last_arrive = start + tx_dur + self.path_latency;
+        self.nodes[src.0 as usize]
+            .tx_pipe
+            .book_batch(start, start, tx_dur, wire_total, segments);
+        let rx = self.nodes[dst.0 as usize].rx_pipe.book_batch(
+            last_arrive,
+            a0,
+            rx_dur,
+            wire_total,
+            segments,
+        );
+        Some(rx.finish)
+    }
+
+    /// Batched vs per-segment wire traversal counts since construction (or
+    /// the last [`Self::reset_timing`]).
+    pub fn wire_traversal_stats(&self) -> WireTraversalStats {
+        WireTraversalStats {
+            batched: self.wire_fast,
+            per_segment: self.wire_slow,
+        }
+    }
+
+    /// Aggregate booking/fast-path counters over every NIC pipe, core pool
+    /// and serialized stage in the fabric.
+    pub fn resource_stats(&self) -> ResourceStats {
+        let mut total = ResourceStats::default();
+        for n in &self.nodes {
+            total.merge(n.tx_pipe.stats());
+            total.merge(n.rx_pipe.stats());
+            total.merge(n.tx_pool.stats());
+            total.merge(n.rx_pool.stats());
+            total.merge(n.kernel.stats());
+        }
+        for c in &self.conns {
+            total.merge(c.ser_ab.stats());
+            total.merge(c.ser_ba.stats());
+        }
+        total
     }
 
     /// Receive-side CPU cost for `payload` bytes on node `dst`.
@@ -556,14 +736,7 @@ mod tests {
         let mut f = two_hosts(Transport::Tcp);
         let conn = f.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
         let err = f
-            .rdma_write(
-                SimTime::ZERO,
-                conn,
-                Dir::AtoB,
-                RKey(1),
-                0,
-                Bytes::new(),
-            )
+            .rdma_write(SimTime::ZERO, conn, Dir::AtoB, RKey(1), 0, Bytes::new())
             .unwrap_err();
         assert_eq!(err, FabricError::NotRdma);
     }
@@ -573,11 +746,23 @@ mod tests {
         let mut tcp = two_hosts(Transport::Tcp);
         let conn_t = tcp.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
         let d_tcp = tcp
-            .send(SimTime::ZERO, conn_t, Dir::AtoB, Bytes::from(vec![0u8; 4096]))
+            .send(
+                SimTime::ZERO,
+                conn_t,
+                Dir::AtoB,
+                Bytes::from(vec![0u8; 4096]),
+            )
             .unwrap();
         let (mut rdma, conn_r, rkey, addr) = rdma_pair();
         let d_rdma = rdma
-            .rdma_write(SimTime::ZERO, conn_r, Dir::AtoB, rkey, addr, Bytes::from(vec![0u8; 4096]))
+            .rdma_write(
+                SimTime::ZERO,
+                conn_r,
+                Dir::AtoB,
+                rkey,
+                addr,
+                Bytes::from(vec![0u8; 4096]),
+            )
             .unwrap();
         assert!(
             d_rdma.at < d_tcp.at,
@@ -624,8 +809,14 @@ mod tests {
         let last = finishes.iter().max().unwrap();
         let rate = total_bytes as f64 / last.as_secs_f64();
         let ceiling = f.wire().effective_bw(gbps(100)) as f64;
-        assert!(rate <= ceiling * 1.02, "rate {rate} exceeds ceiling {ceiling}");
-        assert!(rate >= ceiling * 0.80, "rate {rate} far below ceiling {ceiling}");
+        assert!(
+            rate <= ceiling * 1.02,
+            "rate {rate} exceeds ceiling {ceiling}"
+        );
+        assert!(
+            rate >= ceiling * 0.80,
+            "rate {rate} far below ceiling {ceiling}"
+        );
     }
 
     #[test]
@@ -643,10 +834,20 @@ mod tests {
         let c_dpu = f.connect(NodeId(0), NodeId(1), PdId(0), PdId(0)).unwrap();
         let c_host = f.connect(NodeId(0), NodeId(2), PdId(0), PdId(0)).unwrap();
         let to_dpu = f
-            .send(SimTime::ZERO, c_dpu, Dir::AtoB, Bytes::from(vec![0u8; 1 << 20]))
+            .send(
+                SimTime::ZERO,
+                c_dpu,
+                Dir::AtoB,
+                Bytes::from(vec![0u8; 1 << 20]),
+            )
             .unwrap();
         let to_host = f
-            .send(SimTime::ZERO, c_host, Dir::AtoB, Bytes::from(vec![0u8; 1 << 20]))
+            .send(
+                SimTime::ZERO,
+                c_host,
+                Dir::AtoB,
+                Bytes::from(vec![0u8; 1 << 20]),
+            )
             .unwrap();
         assert!(
             to_dpu.at > to_host.at,
@@ -690,7 +891,13 @@ mod tests {
             .unwrap();
         let (_, rkey, _) = f
             .rdma_mut(NodeId(1))
-            .reg_mr(pd_victim, buf, 4096, AccessFlags::remote_rw(), Expiry::Never)
+            .reg_mr(
+                pd_victim,
+                buf,
+                4096,
+                AccessFlags::remote_rw(),
+                Expiry::Never,
+            )
             .unwrap();
         let conn = f.connect(NodeId(0), NodeId(1), pd_a, pd_attacker).unwrap();
         let err = f

@@ -3,9 +3,9 @@
 
 use bytes::Bytes;
 use proptest::prelude::*;
+use ros2_fabric::{Dir, Fabric, NodeSpec};
 use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, Transport};
 use ros2_sim::SimTime;
-use ros2_fabric::{Dir, Fabric, NodeSpec};
 use ros2_verbs::{AccessFlags, Expiry, MemoryDomain, NodeId};
 
 fn spec(name: &str, cores: usize) -> NodeSpec {

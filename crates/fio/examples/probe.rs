@@ -40,13 +40,20 @@ fn main() {
     for transport in [Transport::Tcp, Transport::Rdma] {
         for rw in [RwMode::Read, RwMode::RandRead, RwMode::Write] {
             for cores in [1usize, 2, 4, 8, 16] {
-                let mut w = SpdkFioWorld::new(transport, cores, cores, cores, 1 << 30, DataMode::Null);
+                let mut w =
+                    SpdkFioWorld::new(transport, cores, cores, cores, 1 << 30, DataMode::Null);
                 let r1m = run_fio(
                     &mut w,
                     &JobSpec::new(rw, 1 << 20, cores).windows(ramp, runtime),
                 );
-                let mut w = SpdkFioWorld::new(transport, cores, cores, cores, 1 << 30, DataMode::Null);
-                let r4k = run_fio(&mut w, &JobSpec::new(rw, 4096, cores).iodepth(32).windows(ramp, runtime));
+                let mut w =
+                    SpdkFioWorld::new(transport, cores, cores, cores, 1 << 30, DataMode::Null);
+                let r4k = run_fio(
+                    &mut w,
+                    &JobSpec::new(rw, 4096, cores)
+                        .iodepth(32)
+                        .windows(ramp, runtime),
+                );
                 print!(
                     " {} {:>8} c{:<2} 1M={:>5.2} 4K={:>6.0}K |",
                     transport.label(),
@@ -66,17 +73,33 @@ fn main() {
             for ssds in [1usize, 4] {
                 for rw in RwMode::ALL {
                     let jobs = 16;
-                    let mut w =
-                        DfsFioWorld::new(transport, placement, ssds, jobs, 256 << 20, DataMode::Null);
+                    let mut w = DfsFioWorld::new(
+                        transport,
+                        placement,
+                        ssds,
+                        jobs,
+                        256 << 20,
+                        DataMode::Null,
+                    );
                     let r1m = run_fio(
                         &mut w,
-                        &JobSpec::new(rw, 1 << 20, jobs).region(256 << 20).windows(ramp, runtime),
+                        &JobSpec::new(rw, 1 << 20, jobs)
+                            .region(256 << 20)
+                            .windows(ramp, runtime),
                     );
-                    let mut w =
-                        DfsFioWorld::new(transport, placement, ssds, jobs, 256 << 20, DataMode::Null);
+                    let mut w = DfsFioWorld::new(
+                        transport,
+                        placement,
+                        ssds,
+                        jobs,
+                        256 << 20,
+                        DataMode::Null,
+                    );
                     let r4k = run_fio(
                         &mut w,
-                        &JobSpec::new(rw, 4096, jobs).region(256 << 20).windows(ramp, runtime),
+                        &JobSpec::new(rw, 4096, jobs)
+                            .region(256 << 20)
+                            .windows(ramp, runtime),
                     );
                     println!(
                         " {:>4} {:?}{} {}ssd {:>9}: 1M={:>6.2} GiB/s 4K={:>6.0}K",

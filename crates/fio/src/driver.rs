@@ -3,9 +3,9 @@
 
 use ros2_sim::{EventQueue, IoReport, SimDuration, SimRng, SimTime};
 
-use crate::spec::{FioReport, JobSpec};
 #[cfg(test)]
 use crate::spec::RwMode;
+use crate::spec::{FioReport, JobSpec};
 
 /// One I/O as the driver issues it to a backend.
 #[derive(Clone, Debug)]
@@ -193,7 +193,10 @@ mod tests {
         let sixty_four = run(64); // capped at 16/50us = 320K
         assert!((one - 20_000.0).abs() / 20_000.0 < 0.02, "{one}");
         assert!((eight - 160_000.0).abs() / 160_000.0 < 0.02, "{eight}");
-        assert!((sixty_four - 320_000.0).abs() / 320_000.0 < 0.05, "{sixty_four}");
+        assert!(
+            (sixty_four - 320_000.0).abs() / 320_000.0 < 0.05,
+            "{sixty_four}"
+        );
     }
 
     #[test]

@@ -9,16 +9,16 @@
 //! [`Workload`] for the closed-loop driver.
 
 use bytes::Bytes;
+use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
+use ros2_dfs::{Dfs, DfsObj, DfsSession};
+use ros2_fabric::{Fabric, NodeSpec};
 use ros2_hw::{
-    gbps, CoreClass, CpuComplement, DpuTcpRxModel, HostPathModel, NicModel, NvmeModel,
-    ClientPlacement, Transport, LBA_SIZE,
+    gbps, ClientPlacement, CoreClass, CpuComplement, DpuTcpRxModel, HostPathModel, NicModel,
+    NvmeModel, Transport, LBA_SIZE,
 };
 use ros2_iouring::{IoRequest, IoUringEngine};
 use ros2_nvme::{DataMode, NvmeArray};
 use ros2_sim::SimTime;
-use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
-use ros2_dfs::{Dfs, DfsObj, DfsSession};
-use ros2_fabric::{Fabric, NodeSpec};
 use ros2_spdk::{BdevLayer, NvmfSession, NvmfStack};
 use ros2_verbs::{MemoryDomain, NodeId};
 
@@ -73,9 +73,7 @@ impl Workload for LocalFioWorld {
             write: op.write,
             slba: base_lba + op.offset / LBA_SIZE,
             nlb: (op.len / LBA_SIZE) as u32,
-            data: op
-                .write
-                .then(|| zeros(op.len as usize, &self.payload)),
+            data: op.write.then(|| zeros(op.len as usize, &self.payload)),
         };
         self.engine
             .submit(now, job, &mut self.array, req)
@@ -196,6 +194,22 @@ impl DfsFioWorld {
         region: u64,
         mode: DataMode,
     ) -> Self {
+        Self::with_wire_mode(transport, placement, ssds, jobs, region, mode, false)
+    }
+
+    /// [`Self::new`] with the fabric's per-segment wire booking forced from
+    /// construction onward (so preconditioning is covered too). Used by the
+    /// `perf_regression` harness to A/B the batched fast path on whole
+    /// cells; simulated results are identical either way.
+    pub fn with_wire_mode(
+        transport: Transport,
+        placement: ClientPlacement,
+        ssds: usize,
+        jobs: usize,
+        region: u64,
+        mode: DataMode,
+        force_per_segment: bool,
+    ) -> Self {
         let client_spec = match placement {
             ClientPlacement::Host => NodeSpec {
                 name: "host-client".into(),
@@ -232,6 +246,7 @@ impl DfsFioWorld {
             dpu_tcp_rx: None,
         };
         let mut fabric = Fabric::new(transport, vec![client_spec, server_spec], 0xd0e5);
+        fabric.set_force_per_segment(force_per_segment);
         fabric.set_flow_hint(NodeId(0), jobs);
         fabric.set_flow_hint(NodeId(1), jobs);
 

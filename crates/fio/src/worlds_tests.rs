@@ -109,7 +109,17 @@ fn spdk_world_per_job_regions_do_not_overlap() {
     }
     // Both writes persisted (no overwrite of the same LBA would still show
     // 2 writes, but byte accounting plus region math is what we assert).
-    assert!(w.issue(SimTime::from_secs(1), 0, &FioOp { write: false, offset: 0, len: 4096 }).is_ok());
+    assert!(w
+        .issue(
+            SimTime::from_secs(1),
+            0,
+            &FioOp {
+                write: false,
+                offset: 0,
+                len: 4096
+            }
+        )
+        .is_ok());
 }
 
 #[test]

@@ -223,9 +223,11 @@ mod tests {
         assert!((4.0e5..5.0e5).contains(&cap), "tcp kernel cap {cap}");
         // On DPU silicon the same stage caps near 250K, and with the DPU
         // recv-path costs the end-to-end lands in the paper's 0.18-0.23M.
-        let dpu_cap = 1.0
-            / (2.0 * CoreClass::DpuArm.scale(tcp.kernel_per_msg).as_secs_f64());
-        assert!((2.2e5..2.8e5).contains(&dpu_cap), "dpu tcp kernel cap {dpu_cap}");
+        let dpu_cap = 1.0 / (2.0 * CoreClass::DpuArm.scale(tcp.kernel_per_msg).as_secs_f64());
+        assert!(
+            (2.2e5..2.8e5).contains(&dpu_cap),
+            "dpu tcp kernel cap {dpu_cap}"
+        );
     }
 
     #[test]

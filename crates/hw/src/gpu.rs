@@ -182,9 +182,7 @@ impl LlmPhase {
     pub fn requirements(self) -> &'static [&'static str] {
         match self {
             LlmPhase::DataPreparation => &["high throughput", "large capacity"],
-            LlmPhase::ModelDevelopment => {
-                &["POSIX compatible", "sharable", "high reliability"]
-            }
+            LlmPhase::ModelDevelopment => &["POSIX compatible", "sharable", "high reliability"],
             LlmPhase::ModelTraining => &["high throughput", "low latency"],
             LlmPhase::ModelInference => &["high concurrency", "high throughput"],
         }

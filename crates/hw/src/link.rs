@@ -167,9 +167,6 @@ mod tests {
             NicModel::connectx6(),
         );
         assert_eq!(lat, SimDuration::from_nanos(600 + 800 + 600));
-        assert_eq!(
-            after_path(SimTime::ZERO, lat),
-            SimTime::from_nanos(2000)
-        );
+        assert_eq!(after_path(SimTime::ZERO, lat), SimTime::from_nanos(2000));
     }
 }

@@ -148,7 +148,10 @@ mod tests {
         let occ = m.occupancy(1 << 20, false);
         let agg = m.channels as f64 * (1 << 20) as f64 / occ.as_secs_f64();
         let target = m.read_bw as f64;
-        assert!((agg - target).abs() / target < 0.01, "agg {agg} vs {target}");
+        assert!(
+            (agg - target).abs() / target < 0.01,
+            "agg {agg} vs {target}"
+        );
     }
 
     #[test]

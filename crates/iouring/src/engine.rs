@@ -277,7 +277,9 @@ mod tests {
     #[test]
     fn sequential_hint_lowers_latency() {
         let (mut eng, mut array) = setup(1);
-        let c1 = eng.submit(SimTime::ZERO, 0, &mut array, read4k(10)).unwrap();
+        let c1 = eng
+            .submit(SimTime::ZERO, 0, &mut array, read4k(10))
+            .unwrap();
         // Adjacent to the previous request: gets the read-ahead latency.
         let c2 = eng.submit(c1.at, 0, &mut array, read4k(11)).unwrap();
         // Non-adjacent: full random access latency.
@@ -291,10 +293,12 @@ mod tests {
     fn sq_depth_is_enforced() {
         let (mut eng, mut array) = setup(1);
         for i in 0..32 {
-            eng.submit(SimTime::ZERO, 0, &mut array, read4k(i * 8)).unwrap();
+            eng.submit(SimTime::ZERO, 0, &mut array, read4k(i * 8))
+                .unwrap();
         }
         assert_eq!(
-            eng.submit(SimTime::ZERO, 0, &mut array, read4k(0)).unwrap_err(),
+            eng.submit(SimTime::ZERO, 0, &mut array, read4k(0))
+                .unwrap_err(),
             IoUringError::SqFull
         );
         // Once completions drain the ring reopens.
@@ -308,7 +312,10 @@ mod tests {
         let (mut eng, mut array) = setup(4);
         let mut completions = Vec::new();
         for job in 0..4 {
-            completions.push(eng.submit(SimTime::ZERO, job, &mut array, read4k(job as u64 * 100)).unwrap());
+            completions.push(
+                eng.submit(SimTime::ZERO, job, &mut array, read4k(job as u64 * 100))
+                    .unwrap(),
+            );
         }
         // Four jobs submitted simultaneously; the shared stage spaces device
         // submissions by at least per_op_shared, so completions spread.
@@ -316,7 +323,10 @@ mod tests {
         ats.sort();
         let m = HostPathModel::iouring();
         for pair in ats.windows(2) {
-            assert!(pair[1].saturating_since(pair[0]) + ros2_sim::SimDuration::from_nanos(1) >= m.per_op_shared);
+            assert!(
+                pair[1].saturating_since(pair[0]) + ros2_sim::SimDuration::from_nanos(1)
+                    >= m.per_op_shared
+            );
         }
         assert_eq!(eng.shared_ops(), 4);
     }

@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use ros2_hw::{NvmeModel, LBA_SIZE};
-use ros2_sim::SimTime;
+use ros2_sim::{ResourceStats, SimTime};
 
 use crate::backing::Backing;
 use crate::device::{NvmeCmd, NvmeCompletion, NvmeDevice, NvmeError, NvmeStats};
@@ -121,6 +121,16 @@ impl NvmeArray {
         }
     }
 
+    /// Aggregate booking / fast-path counters over every device's channel
+    /// pool.
+    pub fn resource_stats(&self) -> ResourceStats {
+        let mut total = ResourceStats::default();
+        for d in &self.devices {
+            total.merge(d.resource_stats());
+        }
+        total
+    }
+
     /// Total array capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.devices
@@ -188,7 +198,10 @@ mod tests {
     #[test]
     fn capacity_is_summed() {
         let a = NvmeArray::new(NvmeModel::enterprise_1600(), 4, DataMode::Pattern);
-        assert_eq!(a.capacity(), 4 * 1600 * 1000 * 1000 * 1000 / LBA_SIZE * LBA_SIZE);
+        assert_eq!(
+            a.capacity(),
+            4 * 1600 * 1000 * 1000 * 1000 / LBA_SIZE * LBA_SIZE
+        );
         assert_eq!(a.len(), 4);
         assert!(!a.is_empty());
     }

@@ -11,7 +11,7 @@ use std::collections::BinaryHeap;
 
 use bytes::Bytes;
 use ros2_hw::{NvmeModel, LBA_SIZE};
-use ros2_sim::{ServerPool, SimDuration, SimTime};
+use ros2_sim::{ResourceStats, ServerPool, SimDuration, SimTime};
 
 use crate::backing::Backing;
 
@@ -169,6 +169,11 @@ impl NvmeDevice {
         &self.stats
     }
 
+    /// Booking / fast-path counters for the device's channel pool.
+    pub fn resource_stats(&self) -> ResourceStats {
+        self.channels.stats()
+    }
+
     /// Number of commands still in flight at `now`.
     pub fn inflight(&mut self, now: SimTime) -> usize {
         while let Some(&Reverse(t)) = self.outstanding.peek() {
@@ -198,7 +203,9 @@ impl NvmeDevice {
         let completion = match cmd.opcode {
             NvmeOpcode::Read => {
                 let bytes = cmd.bytes();
-                let grant = self.channels.submit(now, self.model.occupancy(bytes, false));
+                let grant = self
+                    .channels
+                    .submit(now, self.model.occupancy(bytes, false));
                 let at = grant.finish + self.model.access_hinted(false, cmd.sequential);
                 let data = self.backing.read(cmd.slba * LBA_SIZE, bytes as usize);
                 self.stats.bytes_read += bytes;
@@ -271,7 +278,9 @@ mod tests {
     fn write_then_read_round_trips() {
         let mut d = dev();
         let payload = Bytes::from(vec![0xAB; LBA_SIZE as usize * 2]);
-        let w = d.submit(SimTime::ZERO, NvmeCmd::write(10, payload.clone())).unwrap();
+        let w = d
+            .submit(SimTime::ZERO, NvmeCmd::write(10, payload.clone()))
+            .unwrap();
         let r = d.submit(w.at, NvmeCmd::read(10, 2)).unwrap();
         assert_eq!(r.data.unwrap(), payload);
         assert!(r.at > w.at);
@@ -293,7 +302,9 @@ mod tests {
         let mb = 1 << 20;
         let mut last = SimTime::ZERO;
         for i in 0..n {
-            let c = d.submit(SimTime::ZERO, NvmeCmd::read(i * 256, 256)).unwrap();
+            let c = d
+                .submit(SimTime::ZERO, NvmeCmd::read(i * 256, 256))
+                .unwrap();
             last = last.max(c.at);
         }
         let rate = (n * mb) as f64 / last.as_secs_f64();
@@ -342,14 +353,20 @@ mod tests {
             data: Some(Bytes::from(vec![0u8; 100])),
             sequential: false,
         };
-        assert_eq!(d.submit(SimTime::ZERO, cmd).unwrap_err(), NvmeError::BadPayload);
+        assert_eq!(
+            d.submit(SimTime::ZERO, cmd).unwrap_err(),
+            NvmeError::BadPayload
+        );
     }
 
     #[test]
     fn flush_waits_for_channel_drain() {
         let mut d = dev();
         let w = d
-            .submit(SimTime::ZERO, NvmeCmd::write(0, Bytes::from(vec![1u8; 1 << 20])))
+            .submit(
+                SimTime::ZERO,
+                NvmeCmd::write(0, Bytes::from(vec![1u8; 1 << 20])),
+            )
             .unwrap();
         let f = d.submit(SimTime::ZERO, NvmeCmd::flush()).unwrap();
         assert!(f.at + d.model().access(true) >= w.at);
@@ -359,9 +376,13 @@ mod tests {
     #[test]
     fn deallocate_zeroes_content() {
         let mut d = dev();
-        d.submit(SimTime::ZERO, NvmeCmd::write(5, Bytes::from(vec![9u8; LBA_SIZE as usize])))
+        d.submit(
+            SimTime::ZERO,
+            NvmeCmd::write(5, Bytes::from(vec![9u8; LBA_SIZE as usize])),
+        )
+        .unwrap();
+        d.submit(SimTime::from_secs(1), NvmeCmd::deallocate(5, 1))
             .unwrap();
-        d.submit(SimTime::from_secs(1), NvmeCmd::deallocate(5, 1)).unwrap();
         let r = d
             .submit(SimTime::from_secs(2), NvmeCmd::read(5, 1))
             .unwrap();
@@ -372,8 +393,11 @@ mod tests {
     fn stats_accumulate() {
         let mut d = dev();
         d.submit(SimTime::ZERO, NvmeCmd::read(0, 4)).unwrap();
-        d.submit(SimTime::ZERO, NvmeCmd::write(0, Bytes::from(vec![0u8; LBA_SIZE as usize])))
-            .unwrap();
+        d.submit(
+            SimTime::ZERO,
+            NvmeCmd::write(0, Bytes::from(vec![0u8; LBA_SIZE as usize])),
+        )
+        .unwrap();
         assert_eq!(d.stats().reads, 1);
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().bytes_read, 4 * LBA_SIZE);

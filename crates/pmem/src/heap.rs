@@ -228,7 +228,10 @@ mod tests {
             for b in &oids[i + 1..] {
                 let a_end = a.offset + class_size(class_of(a.size));
                 let b_end = b.offset + class_size(class_of(b.size));
-                assert!(a_end <= b.offset || b_end <= a.offset, "{a:?} overlaps {b:?}");
+                assert!(
+                    a_end <= b.offset || b_end <= a.offset,
+                    "{a:?} overlaps {b:?}"
+                );
             }
         }
     }
@@ -249,7 +252,10 @@ mod tests {
     fn bad_address_rejected() {
         let mut h = Heap::new(4096 * 4);
         assert_eq!(h.read(4096 * 4, 1).unwrap_err(), PmemError::BadAddress);
-        assert_eq!(h.write(4096 * 3, &[0; 4097]).unwrap_err(), PmemError::BadAddress);
+        assert_eq!(
+            h.write(4096 * 3, &[0; 4097]).unwrap_err(),
+            PmemError::BadAddress
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
-pub use resources::{BandwidthServer, Grant, LatencyPipe, ServerPool, TokenBucket};
+pub use resources::{BandwidthServer, Grant, LatencyPipe, ResourceStats, ServerPool, TokenBucket};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Counter, IoReport, LatencyHistogram, ThroughputMeter};
 pub use time::{SimDuration, SimTime};

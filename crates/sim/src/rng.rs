@@ -167,8 +167,8 @@ impl Zipf {
             let head: f64 = (1..=1_000_000u64)
                 .map(|i| 1.0 / (i as f64).powf(theta))
                 .sum();
-            let tail = ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - 1_000_000f64.powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }

@@ -5,7 +5,7 @@
 use bytes::Bytes;
 use ros2_hw::LBA_SIZE;
 use ros2_nvme::{NvmeArray, NvmeCmd, NvmeCompletion, NvmeError};
-use ros2_sim::{SimDuration, SimTime};
+use ros2_sim::{ResourceStats, SimDuration, SimTime};
 
 /// A named bdev exposing one NVMe namespace.
 #[derive(Clone, Debug)]
@@ -93,6 +93,11 @@ impl BdevLayer {
     pub fn array(&self) -> &NvmeArray {
         &self.array
     }
+
+    /// Aggregate booking / fast-path counters over the backing array.
+    pub fn resource_stats(&self) -> ResourceStats {
+        self.array.resource_stats()
+    }
 }
 
 #[cfg(test)]
@@ -102,7 +107,11 @@ mod tests {
     use ros2_nvme::DataMode;
 
     fn layer(n: usize) -> BdevLayer {
-        BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), n, DataMode::Stored))
+        BdevLayer::new(NvmeArray::new(
+            NvmeModel::enterprise_1600(),
+            n,
+            DataMode::Stored,
+        ))
     }
 
     #[test]

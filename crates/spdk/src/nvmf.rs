@@ -11,11 +11,11 @@
 //!   payload bytes.
 
 use bytes::Bytes;
+use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
 use ros2_hw::{CoreClass, Transport};
 use ros2_nvme::NvmeError;
-use ros2_sim::{ServerPool, SimDuration, SimTime};
+use ros2_sim::{ResourceStats, ServerPool, SimDuration, SimTime};
 use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, NodeId, RKey, VerbsError};
-use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
 
 use crate::bdev::BdevLayer;
 
@@ -90,6 +90,11 @@ impl NvmfTarget {
         self.commands
     }
 
+    /// Booking / fast-path counters for the reactor pool.
+    pub fn resource_stats(&self) -> ResourceStats {
+        self.reactors.stats()
+    }
+
     fn process(&mut self, at: SimTime) -> SimTime {
         self.commands += 1;
         let cost = self.class.scale(self.per_cmd);
@@ -116,6 +121,11 @@ impl NvmfInitiator {
             per_complete: SimDuration::from_nanos(500),
             class,
         }
+    }
+
+    /// Booking / fast-path counters for the submission cores.
+    pub fn resource_stats(&self) -> ResourceStats {
+        self.cores.stats()
     }
 }
 
@@ -176,7 +186,13 @@ impl NvmfStack {
                 let (_, rkey, _) = self
                     .fabric
                     .rdma_mut(self.client)
-                    .reg_mr(pd_c, buf_addr, buf_len, AccessFlags::remote_rw(), Expiry::Never)
+                    .reg_mr(
+                        pd_c,
+                        buf_addr,
+                        buf_len,
+                        AccessFlags::remote_rw(),
+                        Expiry::Never,
+                    )
                     .map_err(|e| NvmfError::Fabric(FabricError::Verbs(e)))?;
                 Some(rkey)
             }
@@ -219,9 +235,12 @@ impl NvmfStack {
         );
 
         // Command capsule to the target (64 B).
-        let capsule = self
-            .fabric
-            .send(sub.finish, session.conn, Dir::AtoB, Bytes::from(vec![0u8; 64]))?;
+        let capsule = self.fabric.send(
+            sub.finish,
+            session.conn,
+            Dir::AtoB,
+            Bytes::from(vec![0u8; 64]),
+        )?;
 
         // Target reactor picks it up, drives the bdev.
         let picked = self.target.process(capsule.at);
@@ -245,9 +264,12 @@ impl NvmfStack {
                     session.buf_addr,
                     data,
                 )?;
-                let cqe = self
-                    .fabric
-                    .send(push.at, session.conn, Dir::BtoA, Bytes::from(vec![0u8; 16]))?;
+                let cqe = self.fabric.send(
+                    push.at,
+                    session.conn,
+                    Dir::BtoA,
+                    Bytes::from(vec![0u8; 16]),
+                )?;
                 let landed = self
                     .fabric
                     .node(self.client)
@@ -300,9 +322,12 @@ impl NvmfStack {
                     .rdma_mut(self.client)
                     .write_local(session.buf_addr, &data)
                     .map_err(|e| NvmfError::Fabric(FabricError::Verbs(e)))?;
-                let capsule = self
-                    .fabric
-                    .send(sub.finish, session.conn, Dir::AtoB, Bytes::from(vec![0u8; 64]))?;
+                let capsule = self.fabric.send(
+                    sub.finish,
+                    session.conn,
+                    Dir::AtoB,
+                    Bytes::from(vec![0u8; 64]),
+                )?;
                 let picked = self.target.process(capsule.at);
                 let pull = self.fabric.rdma_read(
                     picked,
@@ -316,7 +341,9 @@ impl NvmfStack {
             }
             Transport::Tcp => {
                 // H2CData: capsule + inline payload.
-                let pdu = self.fabric.send(sub.finish, session.conn, Dir::AtoB, data.clone())?;
+                let pdu = self
+                    .fabric
+                    .send(sub.finish, session.conn, Dir::AtoB, data.clone())?;
                 self.target.process(pdu.at)
             }
         };
@@ -326,9 +353,12 @@ impl NvmfStack {
             .bdevs
             .write(arrival, bdev, slba, data)
             .map_err(NvmfError::Nvme)?;
-        let cqe = self
-            .fabric
-            .send(media.at, session.conn, Dir::BtoA, Bytes::from(vec![0u8; 16]))?;
+        let cqe = self.fabric.send(
+            media.at,
+            session.conn,
+            Dir::BtoA,
+            Bytes::from(vec![0u8; 16]),
+        )?;
         let done = cqe.at + self.initiator.class.scale(self.initiator.per_complete);
         Ok(done)
     }
@@ -358,9 +388,9 @@ pub type VerbsResult<T> = Result<T, VerbsError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ros2_fabric::NodeSpec;
     use ros2_hw::{gbps, CpuComplement, NicModel, NvmeModel};
     use ros2_nvme::{DataMode, NvmeArray};
-    use ros2_fabric::NodeSpec;
 
     fn stack(transport: Transport, ccores: usize, scores: usize) -> NvmfStack {
         let spec = |name: &str, cores: usize| NodeSpec {
@@ -392,7 +422,9 @@ mod tests {
         let mut s = stack(Transport::Tcp, 4, 4);
         let mut sess = s.open_session(1 << 20).unwrap();
         let data = Bytes::from(vec![0xCD; 8192]);
-        let done = s.write(SimTime::ZERO, &mut sess, 0, 100, data.clone()).unwrap();
+        let done = s
+            .write(SimTime::ZERO, &mut sess, 0, 100, data.clone())
+            .unwrap();
         let (_, back) = s.read(done, &mut sess, 0, 100, 2).unwrap();
         assert_eq!(back, data);
         assert_eq!(sess.ops(), 2);
@@ -403,7 +435,9 @@ mod tests {
         let mut s = stack(Transport::Rdma, 4, 4);
         let mut sess = s.open_session(1 << 20).unwrap();
         let data = Bytes::from(vec![0xEF; 4096]);
-        let done = s.write(SimTime::ZERO, &mut sess, 0, 7, data.clone()).unwrap();
+        let done = s
+            .write(SimTime::ZERO, &mut sess, 0, 7, data.clone())
+            .unwrap();
         let (_, back) = s.read(done, &mut sess, 0, 7, 1).unwrap();
         assert_eq!(back, data);
         assert_eq!(s.target.commands(), 2);

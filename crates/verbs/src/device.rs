@@ -463,7 +463,9 @@ mod tests {
             VerbsError::QpNotReady
         );
         // The victim tenant's own QP still works.
-        assert!(d.execute_remote_read(SimTime::ZERO, qp_a, rkey, addr, 1).is_ok());
+        assert!(d
+            .execute_remote_read(SimTime::ZERO, qp_a, rkey, addr, 1)
+            .is_ok());
         // Reset recovers the QP to INIT.
         d.reset_qp(qp_b).unwrap();
         assert_eq!(d.qp_state(qp_b), Some(QpState::Init));
@@ -519,7 +521,9 @@ mod tests {
             .unwrap();
         let qp = d.create_qp(pd, QpType::Rc).unwrap();
         d.connect_qp(qp, NodeId(1), QpId(1)).unwrap();
-        assert!(d.execute_remote_read(SimTime::ZERO, qp, rkey, buf, 8).is_ok());
+        assert!(d
+            .execute_remote_read(SimTime::ZERO, qp, rkey, buf, 8)
+            .is_ok());
         d.reset_qp(qp).unwrap();
         d.connect_qp(qp, NodeId(1), QpId(1)).unwrap();
         let err = d
@@ -535,7 +539,13 @@ mod tests {
         let buf = d.alloc_buffer(4096, MemoryDomain::HostDram).unwrap();
         // Register only the middle 1 KiB.
         let (_, rkey, _) = d
-            .reg_mr(pd, buf + 1024, 1024, AccessFlags::remote_rw(), Expiry::Never)
+            .reg_mr(
+                pd,
+                buf + 1024,
+                1024,
+                AccessFlags::remote_rw(),
+                Expiry::Never,
+            )
             .unwrap();
         let qp = d.create_qp(pd, QpType::Rc).unwrap();
         d.connect_qp(qp, NodeId(1), QpId(1)).unwrap();

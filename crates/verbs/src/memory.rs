@@ -161,10 +161,16 @@ mod tests {
     fn budget_is_enforced_and_freed() {
         let mut m = NodeMemory::new(8192);
         let a = m.alloc(8000, MemoryDomain::HostDram).unwrap();
-        assert_eq!(m.alloc(8000, MemoryDomain::HostDram).unwrap_err(), VerbsError::OutOfMemory);
+        assert_eq!(
+            m.alloc(8000, MemoryDomain::HostDram).unwrap_err(),
+            VerbsError::OutOfMemory
+        );
         m.free(a).unwrap();
         assert!(m.alloc(8000, MemoryDomain::HostDram).is_ok());
-        assert_eq!(m.alloc(0, MemoryDomain::HostDram).unwrap_err(), VerbsError::OutOfMemory);
+        assert_eq!(
+            m.alloc(0, MemoryDomain::HostDram).unwrap_err(),
+            VerbsError::OutOfMemory
+        );
     }
 
     #[test]

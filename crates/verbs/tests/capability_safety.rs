@@ -12,9 +12,19 @@ use ros2_verbs::{
 #[derive(Debug, Clone)]
 enum Action {
     /// Attempt a read with an offset/len inside or outside the region.
-    Read { qp_sel: bool, key_fuzz: u64, off: u64, len: u64 },
+    Read {
+        qp_sel: bool,
+        key_fuzz: u64,
+        off: u64,
+        len: u64,
+    },
     /// Attempt a write likewise.
-    Write { qp_sel: bool, key_fuzz: u64, off: u64, len: u64 },
+    Write {
+        qp_sel: bool,
+        key_fuzz: u64,
+        off: u64,
+        len: u64,
+    },
     /// Revoke the region's rkey.
     Revoke,
     /// Advance the clock (can cross the expiry).

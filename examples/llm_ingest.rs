@@ -40,7 +40,8 @@ fn main() {
     let mut shards = Vec::new();
     for i in 0..64 {
         let mut f = sys.create(&format!("/corpus/shard-{i:03}")).unwrap().value;
-        sys.write(&mut f, 0, Bytes::from(vec![0u8; 4 << 20])).unwrap();
+        sys.write(&mut f, 0, Bytes::from(vec![0u8; 4 << 20]))
+            .unwrap();
         shards.push(f);
     }
     let ingest_t = sys.now().saturating_since(t0);
@@ -71,7 +72,8 @@ fn main() {
     sys.mkdir("/ckpt").unwrap();
     let mut tmp = sys.create("/ckpt/step-1000.tmp").unwrap().value;
     let t0 = sys.now();
-    sys.write(&mut tmp, 0, Bytes::from(vec![0u8; 64 << 20])).unwrap();
+    sys.write(&mut tmp, 0, Bytes::from(vec![0u8; 64 << 20]))
+        .unwrap();
     let ck_t = sys.now().saturating_since(t0);
     println!(
         "[checkpoint]  64 MiB dump in {ck_t}  ({:.2} GiB/s at QD1)",

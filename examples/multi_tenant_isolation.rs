@@ -6,13 +6,12 @@
 //!
 //! Run with: `cargo run --release --example multi_tenant_isolation`
 
-
+use ros2::dpu::{QosLimits, TenantManager};
+use ros2::fabric::FabricError;
 use ros2::fabric::{Dir, Fabric, NodeSpec};
 use ros2::hw::{gbps, CoreClass, CpuComplement, DpuTcpRxModel, NicModel, Transport};
 use ros2::sim::{SimDuration, SimTime};
 use ros2::verbs::{AccessFlags, MemoryDomain, NodeId, QpState, VerbsError};
-use ros2::dpu::{QosLimits, TenantManager};
-use ros2::fabric::FabricError;
 
 fn main() {
     // A BlueField-3 and a storage server on the RDMA fabric.
@@ -44,18 +43,34 @@ fn main() {
 
     // Tenant registration: dedicated PDs, QoS, short-lived scoped rkeys.
     let mut tenants = TenantManager::new(dpu);
-    let pd_a = tenants.register(&mut fabric, "tenant-a", QosLimits::unlimited(), SimDuration::from_millis(500));
-    let pd_b = tenants.register(&mut fabric, "tenant-b", QosLimits::unlimited(), SimDuration::from_millis(500));
+    let pd_a = tenants.register(
+        &mut fabric,
+        "tenant-a",
+        QosLimits::unlimited(),
+        SimDuration::from_millis(500),
+    );
+    let pd_b = tenants.register(
+        &mut fabric,
+        "tenant-b",
+        QosLimits::unlimited(),
+        SimDuration::from_millis(500),
+    );
     println!("registered tenant-a (pd {pd_a:?}) and tenant-b (pd {pd_b:?}) on the DPU");
 
     // Tenant A registers a staging buffer with a *scoped* rkey.
-    let buf_a = fabric.rdma_mut(dpu).alloc_buffer(1 << 20, MemoryDomain::DpuDram).unwrap();
+    let buf_a = fabric
+        .rdma_mut(dpu)
+        .alloc_buffer(1 << 20, MemoryDomain::DpuDram)
+        .unwrap();
     let expiry = tenants.rkey_expiry(SimTime::ZERO, "tenant-a").unwrap();
     let (mr_a, rkey_a, _) = fabric
         .rdma_mut(dpu)
         .reg_mr(pd_a, buf_a, 1 << 20, AccessFlags::remote_rw(), expiry)
         .unwrap();
-    fabric.rdma_mut(dpu).write_local(buf_a, b"tenant-a secret weights").unwrap();
+    fabric
+        .rdma_mut(dpu)
+        .write_local(buf_a, b"tenant-a secret weights")
+        .unwrap();
     println!("tenant-a registered 1 MiB at {buf_a:#x} with scoped {rkey_a:?} (expires 500ms)");
 
     // Both tenants get their own connections to the storage server.
@@ -67,11 +82,21 @@ fn main() {
     let ok = fabric
         .rdma_read(SimTime::ZERO, conn_a, Dir::BtoA, rkey_a, buf_a, 23)
         .unwrap();
-    println!("legit server pull over tenant-a conn: {:?}", String::from_utf8_lossy(&ok.data.unwrap()));
+    println!(
+        "legit server pull over tenant-a conn: {:?}",
+        String::from_utf8_lossy(&ok.data.unwrap())
+    );
 
     // ATTACK 1: tenant B leaks tenant A's rkey and replays it over its own
     // connection. The target-side QP belongs to pd_b; the MR to pd_a.
-    let attack = fabric.rdma_read(SimTime::from_millis(1), conn_b, Dir::BtoA, rkey_a, buf_a, 23);
+    let attack = fabric.rdma_read(
+        SimTime::from_millis(1),
+        conn_b,
+        Dir::BtoA,
+        rkey_a,
+        buf_a,
+        23,
+    );
     match attack {
         Err(FabricError::Verbs(VerbsError::PdMismatch)) => {
             println!("ATTACK 1 (stolen rkey, cross-PD): DENIED with PdMismatch")
@@ -94,7 +119,10 @@ fn main() {
             // Reset the (victim's own) QP after each fault for the demo.
             let (_, dst_qp) = fabric.qps(conn_a, Dir::BtoA).unwrap();
             fabric.rdma_mut(dpu).reset_qp(dst_qp).unwrap();
-            fabric.rdma_mut(dpu).connect_qp(dst_qp, storage, dst_qp).unwrap();
+            fabric
+                .rdma_mut(dpu)
+                .connect_qp(dst_qp, storage, dst_qp)
+                .unwrap();
         }
     }
     println!("ATTACK 2 (rkey probing): {denied}/100 probes denied");
@@ -120,5 +148,7 @@ fn main() {
         v.expired_rkey,
         v.total()
     );
-    println!("tenant-a's data was never readable by tenant-b; policy lives on the DPU, not the host.");
+    println!(
+        "tenant-a's data was never readable by tenant-b; policy lives on the DPU, not the host."
+    );
 }

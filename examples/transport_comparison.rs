@@ -25,7 +25,8 @@ fn main() {
         .par_iter()
         .map(|&(transport, placement)| {
             let run = |rw: RwMode, bs: u64| {
-                let mut world = DfsFioWorld::new(transport, placement, 4, jobs, region, DataMode::Null);
+                let mut world =
+                    DfsFioWorld::new(transport, placement, 4, jobs, region, DataMode::Null);
                 let spec = JobSpec::new(rw, bs, jobs)
                     .region(region)
                     .windows(SimDuration::from_millis(100), SimDuration::from_millis(300));
@@ -44,7 +45,10 @@ fn main() {
         .collect();
 
     println!("ROS2 end-to-end (DFS, 4 SSDs, 16 jobs): who wins where?\n");
-    println!("{:<14} {:>14} {:>14} {:>16}", "config", "read 1M GiB/s", "write 1M GiB/s", "randread 4K kIOPS");
+    println!(
+        "{:<14} {:>14} {:>14} {:>16}",
+        "config", "read 1M GiB/s", "write 1M GiB/s", "randread 4K kIOPS"
+    );
     for (label, r, w, k) in &results {
         println!("{label:<14} {r:>14.2} {w:>14.2} {k:>16.0}");
     }

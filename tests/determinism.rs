@@ -42,7 +42,11 @@ fn dfs_world_replays_identically() {
         );
         let r = run_fio(
             &mut w,
-            &short(JobSpec::new(RwMode::RandWrite, 4096, 4).region(64 << 20).seed(77)),
+            &short(
+                JobSpec::new(RwMode::RandWrite, 4096, 4)
+                    .region(64 << 20)
+                    .seed(77),
+            ),
         );
         (
             r.io.meter.ops(),
@@ -57,7 +61,10 @@ fn dfs_world_replays_identically() {
 fn different_seeds_differ() {
     let run = |seed: u64| {
         let mut w = LocalFioWorld::new(1, 2, 64 << 20, DataMode::Null);
-        let r = run_fio(&mut w, &short(JobSpec::new(RwMode::RandRead, 4096, 2).seed(seed)));
+        let r = run_fio(
+            &mut w,
+            &short(JobSpec::new(RwMode::RandRead, 4096, 2).seed(seed)),
+        );
         r.io.latency.mean().as_nanos()
     };
     // Different random offsets -> (almost surely) different mean latency
@@ -72,7 +79,8 @@ fn full_system_replays_identically() {
     let run = || {
         let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
         let mut f = sys.create("/det").unwrap().value;
-        sys.write(&mut f, 0, Bytes::from(vec![3u8; 2 << 20])).unwrap();
+        sys.write(&mut f, 0, Bytes::from(vec![3u8; 2 << 20]))
+            .unwrap();
         let r = sys.read(&f, 123, 4567).unwrap();
         (sys.now().as_nanos(), r.latency.as_nanos(), r.value)
     };

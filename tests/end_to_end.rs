@@ -55,12 +55,14 @@ fn overwrites_and_sparse_regions_behave_posixly() {
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
     let mut f = sys.create("/sparse").unwrap().value;
     // Write at an offset, leaving a hole.
-    sys.write(&mut f, 2 << 20, Bytes::from(vec![7u8; 1 << 20])).unwrap();
+    sys.write(&mut f, 2 << 20, Bytes::from(vec![7u8; 1 << 20]))
+        .unwrap();
     assert_eq!(f.size, 3 << 20);
     let hole = sys.read(&f, 0, 4096).unwrap().value;
     assert!(hole.iter().all(|&b| b == 0), "holes read zero");
     // Overwrite part of the data.
-    sys.write(&mut f, 2 << 20, Bytes::from(vec![9u8; 4096])).unwrap();
+    sys.write(&mut f, 2 << 20, Bytes::from(vec![9u8; 4096]))
+        .unwrap();
     let head = sys.read(&f, 2 << 20, 8192).unwrap().value;
     assert!(head[..4096].iter().all(|&b| b == 9));
     assert!(head[4096..].iter().all(|&b| b == 7));
@@ -105,7 +107,8 @@ fn many_files_across_striped_targets() {
     sys.mkdir("/shards").unwrap();
     for i in 0..16 {
         let mut f = sys.create(&format!("/shards/s{i}")).unwrap().value;
-        sys.write(&mut f, 0, Bytes::from(vec![i as u8; 2 << 20])).unwrap();
+        sys.write(&mut f, 0, Bytes::from(vec![i as u8; 2 << 20]))
+            .unwrap();
     }
     let names = sys.readdir("/shards").unwrap().value;
     assert_eq!(names.len(), 16);
@@ -130,20 +133,62 @@ fn epoch_snapshots_read_the_past() {
     let a = AKey::from_str("v");
     // Two versions via the raw object API.
     sys.client
-        .update(&mut sys.fabric, &mut sys.engine, ros2::sim::SimTime::ZERO, 0, oid, d.clone(), a.clone(), ValueKind::Single, Bytes::from_static(b"v1"))
+        .update(
+            &mut sys.fabric,
+            &mut sys.engine,
+            ros2::sim::SimTime::ZERO,
+            0,
+            oid,
+            d.clone(),
+            a.clone(),
+            ValueKind::Single,
+            Bytes::from_static(b"v1"),
+        )
         .unwrap();
     let snap = sys.engine.snapshot("posix").unwrap();
     sys.client
-        .update(&mut sys.fabric, &mut sys.engine, ros2::sim::SimTime::ZERO, 0, oid, d.clone(), a.clone(), ValueKind::Single, Bytes::from_static(b"v2"))
+        .update(
+            &mut sys.fabric,
+            &mut sys.engine,
+            ros2::sim::SimTime::ZERO,
+            0,
+            oid,
+            d.clone(),
+            a.clone(),
+            ValueKind::Single,
+            Bytes::from_static(b"v2"),
+        )
         .unwrap();
     let (old, _) = sys
         .client
-        .fetch(&mut sys.fabric, &mut sys.engine, ros2::sim::SimTime::ZERO, 0, oid, d.clone(), a.clone(), ValueKind::Single, snap, 2)
+        .fetch(
+            &mut sys.fabric,
+            &mut sys.engine,
+            ros2::sim::SimTime::ZERO,
+            0,
+            oid,
+            d.clone(),
+            a.clone(),
+            ValueKind::Single,
+            snap,
+            2,
+        )
         .unwrap();
     assert_eq!(&old[..], b"v1");
     let (new, _) = sys
         .client
-        .fetch(&mut sys.fabric, &mut sys.engine, ros2::sim::SimTime::ZERO, 0, oid, d, a, ValueKind::Single, Epoch::LATEST, 2)
+        .fetch(
+            &mut sys.fabric,
+            &mut sys.engine,
+            ros2::sim::SimTime::ZERO,
+            0,
+            oid,
+            d,
+            a,
+            ValueKind::Single,
+            Epoch::LATEST,
+            2,
+        )
         .unwrap();
     assert_eq!(&new[..], b"v2");
 }

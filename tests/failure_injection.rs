@@ -12,7 +12,8 @@ use ros2::sim::SimTime;
 fn media_corruption_is_detected_end_to_end() {
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
     let mut f = sys.create("/gold").unwrap().value;
-    sys.write(&mut f, 0, Bytes::from(vec![0xAB; 1 << 20])).unwrap();
+    sys.write(&mut f, 0, Bytes::from(vec![0xAB; 1 << 20]))
+        .unwrap();
 
     // Flip one bit on the stored extent, behind the engine's back.
     let oid = f.oid;
@@ -43,8 +44,8 @@ fn media_corruption_is_detected_end_to_end() {
 
 #[test]
 fn revoked_rkey_kills_in_flight_traffic_but_not_the_system() {
-    use ros2::verbs::MemoryDomain;
     use ros2::fabric::{Dir, FabricError};
+    use ros2::verbs::MemoryDomain;
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
     // Register an extra buffer, revoke it, and watch a direct one-sided
     // access fail while the DFS path (its own buffers) keeps working.
@@ -58,11 +59,20 @@ fn revoked_rkey_kills_in_flight_traffic_but_not_the_system() {
     let (mr, rkey, _) = sys
         .fabric
         .rdma_mut(node)
-        .reg_mr(pd, buf, 4096, ros2::verbs::AccessFlags::remote_rw(), ros2::verbs::Expiry::Never)
+        .reg_mr(
+            pd,
+            buf,
+            4096,
+            ros2::verbs::AccessFlags::remote_rw(),
+            ros2::verbs::Expiry::Never,
+        )
         .unwrap();
     sys.fabric.rdma_mut(node).revoke_rkey(mr).unwrap();
 
-    let pd_srv = sys.fabric.rdma_mut(ros2::core::STORAGE_NODE).alloc_pd("scratch");
+    let pd_srv = sys
+        .fabric
+        .rdma_mut(ros2::core::STORAGE_NODE)
+        .alloc_pd("scratch");
     let conn = sys
         .fabric
         .connect(node, ros2::core::STORAGE_NODE, pd, pd_srv)
@@ -73,11 +83,15 @@ fn revoked_rkey_kills_in_flight_traffic_but_not_the_system() {
         .fabric
         .rdma_read(SimTime::ZERO, conn, Dir::BtoA, rkey, buf, 8)
         .unwrap_err();
-    assert!(matches!(err, FabricError::Verbs(ros2::verbs::VerbsError::RkeyRevoked)));
+    assert!(matches!(
+        err,
+        FabricError::Verbs(ros2::verbs::VerbsError::RkeyRevoked)
+    ));
 
     // The system's own data path is unaffected.
     let mut f = sys.create("/alive").unwrap().value;
-    sys.write(&mut f, 0, Bytes::from_static(b"still works")).unwrap();
+    sys.write(&mut f, 0, Bytes::from_static(b"still works"))
+        .unwrap();
     assert_eq!(&sys.read(&f, 0, 11).unwrap().value[..], b"still works");
 }
 
@@ -99,13 +113,23 @@ fn bad_credentials_cannot_open_a_session() {
 
 #[test]
 fn scm_exhaustion_surfaces_as_typed_error() {
-    use ros2::daos::{DaosEngine, DaosCostModel, Epoch, ObjClass, ObjectId, ValueKind};
-    use ros2::spdk::BdevLayer;
-    use ros2::nvme::{DataMode, NvmeArray};
+    use ros2::daos::{DaosCostModel, DaosEngine, Epoch, ObjClass, ObjectId, ValueKind};
     use ros2::hw::{CoreClass, NvmeModel};
+    use ros2::nvme::{DataMode, NvmeArray};
+    use ros2::spdk::BdevLayer;
     // A deliberately tiny SCM tier fills up under small (SCM-bound) values.
-    let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), 1, DataMode::Stored));
-    let mut engine = DaosEngine::new("p", bdevs, 256 << 10, DaosCostModel::default_model(), CoreClass::HostX86);
+    let bdevs = BdevLayer::new(NvmeArray::new(
+        NvmeModel::enterprise_1600(),
+        1,
+        DataMode::Stored,
+    ));
+    let mut engine = DaosEngine::new(
+        "p",
+        bdevs,
+        256 << 10,
+        DaosCostModel::default_model(),
+        CoreClass::HostX86,
+    );
     engine.cont_create("c").unwrap();
     let oid = ObjectId::new(ObjClass::S1, 1);
     let mut hit_full = false;

@@ -30,7 +30,10 @@ fn fig3_one_job_saturates_large_block_reads() {
     let one = local(1, RwMode::Read, 1 << 20, 1);
     let sixteen = local(1, RwMode::Read, 1 << 20, 16);
     assert!((5.0..6.2).contains(&one), "1-job read {one}");
-    assert!(sixteen <= one * 1.15, "no further scaling: {one} -> {sixteen}");
+    assert!(
+        sixteen <= one * 1.15,
+        "no further scaling: {one} -> {sixteen}"
+    );
 }
 
 #[test]
@@ -64,7 +67,10 @@ fn fig3_small_block_iops_grow_with_jobs_to_software_limit() {
     // Same ceiling regardless of drives => host-path bound.
     let a = local(1, RwMode::RandRead, 4096, 16);
     let b = local(4, RwMode::RandRead, 4096, 16);
-    assert!((a - b).abs() / a < 0.05, "limit must be drive-independent: {a} vs {b}");
+    assert!(
+        (a - b).abs() / a < 0.05,
+        "limit must be drive-independent: {a} vs {b}"
+    );
 }
 
 fn spdk(transport: Transport, cores: usize, rw: RwMode, bs: u64) -> f64 {
@@ -97,9 +103,18 @@ fn fig4_small_blocks_rdma_dominates_and_scales() {
     let tcp_16 = spdk(Transport::Tcp, 16, RwMode::RandRead, 4096);
     let rdma_1 = spdk(Transport::Rdma, 1, RwMode::RandRead, 4096);
     let rdma_16 = spdk(Transport::Rdma, 16, RwMode::RandRead, 4096);
-    assert!(rdma_16 > 2.5 * tcp_16, "rdma {rdma_16} must dominate tcp {tcp_16}");
-    assert!(rdma_16 > 2.5 * rdma_1, "rdma must scale: {rdma_1} -> {rdma_16}");
-    assert!(tcp_16 < 2.5 * tcp_1, "tcp limited benefit: {tcp_1} -> {tcp_16}");
+    assert!(
+        rdma_16 > 2.5 * tcp_16,
+        "rdma {rdma_16} must dominate tcp {tcp_16}"
+    );
+    assert!(
+        rdma_16 > 2.5 * rdma_1,
+        "rdma must scale: {rdma_1} -> {rdma_16}"
+    );
+    assert!(
+        tcp_16 < 2.5 * tcp_1,
+        "tcp limited benefit: {tcp_1} -> {tcp_16}"
+    );
     assert!(rdma_1 > tcp_1, "rdma wins at every core count");
 }
 
@@ -120,9 +135,27 @@ fn dfs(transport: Transport, placement: ClientPlacement, ssds: usize, rw: RwMode
 fn fig5_host_tcp_bands() {
     // Host TCP: ~5-6 GiB/s (1 SSD), ~10 GiB/s (4 SSDs, link-capped);
     // 0.4-0.6M 4 KiB IOPS.
-    let r1 = dfs(Transport::Tcp, ClientPlacement::Host, 1, RwMode::Read, 1 << 20);
-    let r4 = dfs(Transport::Tcp, ClientPlacement::Host, 4, RwMode::Read, 1 << 20);
-    let k = dfs(Transport::Tcp, ClientPlacement::Host, 1, RwMode::RandWrite, 4096);
+    let r1 = dfs(
+        Transport::Tcp,
+        ClientPlacement::Host,
+        1,
+        RwMode::Read,
+        1 << 20,
+    );
+    let r4 = dfs(
+        Transport::Tcp,
+        ClientPlacement::Host,
+        4,
+        RwMode::Read,
+        1 << 20,
+    );
+    let k = dfs(
+        Transport::Tcp,
+        ClientPlacement::Host,
+        1,
+        RwMode::RandWrite,
+        4096,
+    );
     assert!((5.0..6.5).contains(&r1), "host tcp 1ssd {r1}");
     assert!((9.5..11.0).contains(&r4), "host tcp 4ssd {r4}");
     assert!((350e3..620e3).contains(&k), "host tcp 4k {k}");
@@ -132,12 +165,30 @@ fn fig5_host_tcp_bands() {
 fn fig5_dpu_tcp_receive_path_bottleneck() {
     // "1 MiB reads cap at ~1.6-3.1 GiB/s ... while writes with four SSDs
     // can still approach ~10 GiB/s" — good TX, weak RX.
-    let read = dfs(Transport::Tcp, ClientPlacement::Dpu, 1, RwMode::Read, 1 << 20);
-    let write4 = dfs(Transport::Tcp, ClientPlacement::Dpu, 4, RwMode::Write, 1 << 20);
+    let read = dfs(
+        Transport::Tcp,
+        ClientPlacement::Dpu,
+        1,
+        RwMode::Read,
+        1 << 20,
+    );
+    let write4 = dfs(
+        Transport::Tcp,
+        ClientPlacement::Dpu,
+        4,
+        RwMode::Write,
+        1 << 20,
+    );
     assert!((1.4..3.3).contains(&read), "dpu tcp read {read}");
     assert!(write4 > 9.0, "dpu tcp 4-ssd write {write4}");
     // "the DPU tops out near ~0.18-0.23M IOPS" at 4 KiB.
-    let k = dfs(Transport::Tcp, ClientPlacement::Dpu, 1, RwMode::RandWrite, 4096);
+    let k = dfs(
+        Transport::Tcp,
+        ClientPlacement::Dpu,
+        1,
+        RwMode::RandWrite,
+        4096,
+    );
     assert!((150e3..280e3).contains(&k), "dpu tcp 4k {k}");
 }
 
@@ -146,14 +197,32 @@ fn fig5_rdma_erases_the_dpu_penalty_at_1m() {
     // "at 1 MiB, the DPU matches the host for both one- and four-SSD
     // setups".
     for ssds in [1usize, 4] {
-        let host = dfs(Transport::Rdma, ClientPlacement::Host, ssds, RwMode::Read, 1 << 20);
-        let dpu = dfs(Transport::Rdma, ClientPlacement::Dpu, ssds, RwMode::Read, 1 << 20);
+        let host = dfs(
+            Transport::Rdma,
+            ClientPlacement::Host,
+            ssds,
+            RwMode::Read,
+            1 << 20,
+        );
+        let dpu = dfs(
+            Transport::Rdma,
+            ClientPlacement::Dpu,
+            ssds,
+            RwMode::Read,
+            1 << 20,
+        );
         assert!(
             (host - dpu).abs() / host < 0.05,
             "{ssds}ssd: host {host} vs dpu {dpu}"
         );
     }
-    let four = dfs(Transport::Rdma, ClientPlacement::Dpu, 4, RwMode::Read, 1 << 20);
+    let four = dfs(
+        Transport::Rdma,
+        ClientPlacement::Dpu,
+        4,
+        RwMode::Read,
+        1 << 20,
+    );
     assert!((10.0..11.5).contains(&four), "rdma 4ssd plateau {four}");
 }
 
@@ -161,10 +230,34 @@ fn fig5_rdma_erases_the_dpu_penalty_at_1m() {
 fn fig5_rdma_4k_dpu_gap_and_tcp_multiplier() {
     // "RDMA on the DPU improves markedly over its TCP results (often 2x or
     // more), though it still trails the CPU host by roughly 20-40%".
-    let host = dfs(Transport::Rdma, ClientPlacement::Host, 1, RwMode::RandWrite, 4096);
-    let dpu = dfs(Transport::Rdma, ClientPlacement::Dpu, 1, RwMode::RandWrite, 4096);
-    let dpu_tcp = dfs(Transport::Tcp, ClientPlacement::Dpu, 1, RwMode::RandWrite, 4096);
+    let host = dfs(
+        Transport::Rdma,
+        ClientPlacement::Host,
+        1,
+        RwMode::RandWrite,
+        4096,
+    );
+    let dpu = dfs(
+        Transport::Rdma,
+        ClientPlacement::Dpu,
+        1,
+        RwMode::RandWrite,
+        4096,
+    );
+    let dpu_tcp = dfs(
+        Transport::Tcp,
+        ClientPlacement::Dpu,
+        1,
+        RwMode::RandWrite,
+        4096,
+    );
     let gap = 1.0 - dpu / host;
-    assert!((0.15..0.45).contains(&gap), "dpu gap {gap} (host {host}, dpu {dpu})");
-    assert!(dpu > 2.0 * dpu_tcp, "rdma {dpu} must be >=2x dpu tcp {dpu_tcp}");
+    assert!(
+        (0.15..0.45).contains(&gap),
+        "dpu gap {gap} (host {host}, dpu {dpu})"
+    );
+    assert!(
+        dpu > 2.0 * dpu_tcp,
+        "rdma {dpu} must be >=2x dpu tcp {dpu_tcp}"
+    );
 }

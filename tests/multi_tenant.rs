@@ -8,8 +8,8 @@ use ros2::sim::{SimDuration, SimTime};
 
 #[test]
 fn two_tenants_cannot_touch_each_others_buffers() {
-    use ros2::verbs::{AccessFlags, Expiry, MemoryDomain, VerbsError};
     use ros2::fabric::{Dir, FabricError};
+    use ros2::verbs::{AccessFlags, Expiry, MemoryDomain, VerbsError};
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
     let node = sys.client.node();
 
@@ -29,7 +29,13 @@ fn two_tenants_cannot_touch_each_others_buffers() {
     let (_, victim_rkey, _) = sys
         .fabric
         .rdma_mut(node)
-        .reg_mr(victim_pd, victim_buf, 4096, AccessFlags::remote_rw(), Expiry::Never)
+        .reg_mr(
+            victim_pd,
+            victim_buf,
+            4096,
+            AccessFlags::remote_rw(),
+            Expiry::Never,
+        )
         .unwrap();
     sys.fabric
         .rdma_mut(node)
@@ -75,7 +81,8 @@ fn qos_cap_bounds_effective_bandwidth() {
     let mut f = sys.create("/capped").unwrap().value;
     let t0 = sys.now();
     for i in 0..32u64 {
-        sys.write(&mut f, i << 20, Bytes::from(vec![0u8; 1 << 20])).unwrap();
+        sys.write(&mut f, i << 20, Bytes::from(vec![0u8; 1 << 20]))
+            .unwrap();
     }
     let elapsed = sys.now().saturating_since(t0);
     let gibps = 32.0 / 1024.0 / elapsed.as_secs_f64();
@@ -92,7 +99,8 @@ fn unlimited_tenant_is_never_throttled() {
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
     let mut f = sys.create("/free").unwrap().value;
     for i in 0..16u64 {
-        sys.write(&mut f, i << 20, Bytes::from(vec![0u8; 1 << 20])).unwrap();
+        sys.write(&mut f, i << 20, Bytes::from(vec![0u8; 1 << 20]))
+            .unwrap();
     }
     assert_eq!(sys.tenants.tenant(&sys.config.tenant).unwrap().throttled, 0);
 }

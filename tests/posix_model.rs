@@ -11,22 +11,54 @@ use ros2::dfs::DfsError;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Mkdir { dir: u8 },
-    Create { dir: u8, file: u8 },
-    Write { dir: u8, file: u8, offset: u32, len: u16, fill: u8 },
-    Read { dir: u8, file: u8, offset: u32, len: u16 },
-    Readdir { dir: u8 },
-    Unlink { dir: u8, file: u8 },
+    Mkdir {
+        dir: u8,
+    },
+    Create {
+        dir: u8,
+        file: u8,
+    },
+    Write {
+        dir: u8,
+        file: u8,
+        offset: u32,
+        len: u16,
+        fill: u8,
+    },
+    Read {
+        dir: u8,
+        file: u8,
+        offset: u32,
+        len: u16,
+    },
+    Readdir {
+        dir: u8,
+    },
+    Unlink {
+        dir: u8,
+        file: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..3).prop_map(|dir| Op::Mkdir { dir }),
         (0u8..3, 0u8..4).prop_map(|(dir, file)| Op::Create { dir, file }),
-        (0u8..3, 0u8..4, 0u32..200_000, 1u16..4096, any::<u8>())
-            .prop_map(|(dir, file, offset, len, fill)| Op::Write { dir, file, offset, len, fill }),
-        (0u8..3, 0u8..4, 0u32..250_000, 1u16..4096)
-            .prop_map(|(dir, file, offset, len)| Op::Read { dir, file, offset, len }),
+        (0u8..3, 0u8..4, 0u32..200_000, 1u16..4096, any::<u8>()).prop_map(
+            |(dir, file, offset, len, fill)| Op::Write {
+                dir,
+                file,
+                offset,
+                len,
+                fill
+            }
+        ),
+        (0u8..3, 0u8..4, 0u32..250_000, 1u16..4096).prop_map(|(dir, file, offset, len)| Op::Read {
+            dir,
+            file,
+            offset,
+            len
+        }),
         (0u8..3).prop_map(|dir| Op::Readdir { dir }),
         (0u8..3, 0u8..4).prop_map(|(dir, file)| Op::Unlink { dir, file }),
     ]

@@ -1,0 +1,388 @@
+//! Offline shim for the `bytes` crate: the subset of the API used by the
+//! ROS2 workspace, implemented over `Arc<Vec<u8>>` so clones and slices are
+//! cheap and zero-copy, matching the semantics the real crate provides.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! workspace vendors this drop-in replacement. Swap the path dependency for
+//! the real `bytes = "1"` when a registry is available — no call sites
+//! change.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, reference-counted byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes`.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Wraps a static byte slice (copied; the real crate borrows, but the
+    /// observable behavior is identical).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// The number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A zero-copy sub-view of `range` (indices relative to this view).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the view out into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(v: &'static str) -> Self {
+        Bytes::from(v.as_bytes().to_vec())
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Self {
+        Bytes::from(v.into_bytes())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        self == other.as_slice()
+    }
+}
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Read cursor over a byte source (subset of the real `Buf` trait).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consumes `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.chunk()[..8]);
+        self.advance(8);
+        u64::from_le_bytes(raw)
+    }
+    /// Consumes and returns the next `len` bytes.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end");
+        self.start += cnt;
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        // Zero-copy: share the backing allocation.
+        let out = self.slice(0..len);
+        self.advance(len);
+        out
+    }
+}
+
+/// Write cursor over a growable byte sink (subset of the real `BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A mutable, growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+    /// Creates a buffer of `len` zero bytes.
+    pub fn zeroed(len: usize) -> Self {
+        BytesMut {
+            data: vec![0u8; len],
+        }
+    }
+    /// The current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+    /// Resizes to `new_len`, filling new space with `value`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(new_len, value);
+    }
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_eq() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(1..4), Bytes::from(vec![2, 3, 4]));
+        assert_eq!(b.slice(3..), Bytes::from(vec![4, 5]));
+        assert_eq!(b.len(), 5);
+        assert_eq!(b, [1u8, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn buf_round_trip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u8(7);
+        m.put_u32_le(0xAABB);
+        m.put_u64_le(0x1122334455667788);
+        m.put_slice(b"xy");
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xAABB);
+        assert_eq!(b.get_u64_le(), 0x1122334455667788);
+        assert_eq!(b.copy_to_bytes(2), Bytes::from_static(b"xy"));
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn zeroed_and_freeze() {
+        let mut m = BytesMut::zeroed(4);
+        m[1] = 9;
+        assert_eq!(m.freeze(), [0u8, 9, 0, 0]);
+    }
+}

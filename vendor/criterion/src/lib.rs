@@ -1,0 +1,178 @@
+//! Offline shim for the `criterion` crate: enough API surface to compile
+//! and run the workspace's `benches/` targets with plain wall-clock timing
+//! (median of several batches, printed one line per benchmark).
+//!
+//! No statistical analysis, plots, or baselines — swap the path dependency
+//! for the real `criterion = "0.5"` when a registry is available.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint (accepted for API compatibility).
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure given to `bench_function`; runs and times it.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` over enough iterations to get a stable estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up, then time batches until ~50 ms of samples accumulate.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        let budget = Duration::from_millis(50);
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < budget && iters < 1_000_000 {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            spent += t0.elapsed();
+            iters += 1;
+        }
+        self.total = spent;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        let budget = Duration::from_millis(50);
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < budget && iters < 1_000_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            spent += t0.elapsed();
+            iters += 1;
+        }
+        self.total = spent;
+        self.iters = iters;
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.iters as u32
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let per = b.per_iter();
+    let mut line = format!("{name:<48} {:>12.3?}/iter  ({} iters)", per, b.iters);
+    if let (Some(Throughput::Bytes(bytes)), true) = (throughput, per > Duration::ZERO) {
+        let rate = bytes as f64 / per.as_secs_f64() / (1u64 << 30) as f64;
+        line.push_str(&format!("  {rate:8.2} GiB/s"));
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&name.to_string(), &b, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup {
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(&format!("{}/{}", self.prefix, name), &b, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

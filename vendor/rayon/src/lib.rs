@@ -1,0 +1,154 @@
+//! Offline shim for the `rayon` crate covering the patterns the ROS2
+//! benchmark harnesses use: `par_iter()` / `into_par_iter()` followed by
+//! `map(...)` and `collect()`.
+//!
+//! Unlike a sequential stub, `map` here really fans work out across scoped
+//! OS threads (one per available core), preserving input order in the
+//! collected output — sweep points in the bench binaries are independent
+//! simulations, which is exactly the workload this shape serves. Swap the
+//! path dependency for the real `rayon = "1"` when a registry is available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// An eager parallel iterator: a materialized list of items whose `map`
+/// runs across threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let inputs: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i].lock().unwrap().take().expect("taken once");
+                    let out = f(item);
+                    *outputs[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        ParIter {
+            items: outputs
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+                .collect(),
+        }
+    }
+
+    /// Collects the (already computed) items in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Conversion into a [`ParIter`] over references (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a, const N: usize> IntoParallelRefIterator<'a> for [T; N] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The rayon prelude: the traits call sites import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slice_and_array() {
+        let arr = [1u32, 2, 3, 4];
+        let doubled: Vec<u32> = arr.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let v = vec![5u32, 6];
+        let tripled: Vec<u32> = v.par_iter().map(|&x| x * 3).collect();
+        assert_eq!(tripled, vec![15, 18]);
+    }
+}
