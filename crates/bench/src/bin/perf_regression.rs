@@ -1,6 +1,7 @@
 //! Simulator-throughput regression gate: times a fixed Fig. 5-style DFS
-//! sweep on **wall clock** (not virtual time) and emits `BENCH_PR1.json` so
-//! successive PRs accumulate a perf trajectory for the booking core.
+//! sweep on **wall clock** (not virtual time) and emits `BENCH_PR2.json` so
+//! successive PRs accumulate a perf trajectory for the booking core *and*
+//! the zero-copy data plane.
 //!
 //! Three passes run:
 //!
@@ -17,10 +18,21 @@
 //! Batched and per-segment must produce identical simulated results
 //! (asserted on every sweep cell); the fast path is a pure wall-clock
 //! optimization.
+//!
+//! Data-plane gates (PR 2): the sequential (uncontended) workload must
+//! move >90 % of its payload bytes zero-copy through the extent stores
+//! (`DataPlaneStats`; the rate covers store reads *and* handle-adopting
+//! writes — both directions of the rendezvous path). The fig5 sweep wall
+//! time is *recorded* against the PR 1 baseline (measured ~5x faster at
+//! PR 2 time on the same container class) but not asserted — wall-clock
+//! ratios vary with the host, so the asserted gates are the
+//! machine-independent ones: bit-identical fast/slow results, booking hit
+//! rate, and the zero-copy rate.
 
 use std::time::Instant;
 
 use rayon::prelude::*;
+use ros2_buf::DataPlaneStats;
 use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
 use ros2_hw::{ClientPlacement, Transport};
 use ros2_nvme::DataMode;
@@ -28,6 +40,11 @@ use ros2_sim::{BandwidthServer, ResourceStats, SimDuration, SimTime};
 
 const JOBS: usize = 4;
 const REGION: u64 = 16 << 20;
+
+/// `sweep_wall_ms` recorded by this harness at the PR 1 head (same cell
+/// plan, same container class) — the baseline the data-plane rework is
+/// gated against.
+const PR1_SWEEP_WALL_MS: f64 = 20_568.5;
 
 fn spec(rw: RwMode, bs: u64, jobs: usize, qd: usize) -> JobSpec {
     JobSpec::new(rw, bs, jobs)
@@ -37,7 +54,8 @@ fn spec(rw: RwMode, bs: u64, jobs: usize, qd: usize) -> JobSpec {
 }
 
 /// One simulated sweep cell; returns (ops, fabric booking stats,
-/// batched/per-segment traversal counts, GiB/s for the identity check).
+/// batched/per-segment traversal counts, GiB/s for the identity check,
+/// data-plane counters over every store the cell touched).
 fn cell(
     transport: Transport,
     placement: ClientPlacement,
@@ -46,7 +64,7 @@ fn cell(
     jobs: usize,
     qd: usize,
     force_per_segment: bool,
-) -> (u64, ResourceStats, u64, u64, f64) {
+) -> (u64, ResourceStats, u64, u64, f64, DataPlaneStats) {
     let mut world = DfsFioWorld::with_wire_mode(
         transport,
         placement,
@@ -61,12 +79,15 @@ fn cell(
     let mut stats = world.fabric.resource_stats();
     stats.merge(world.engine.resource_stats());
     stats.merge(world.client.resource_stats());
+    let mut dp = world.fabric.data_plane_stats();
+    dp.merge(world.engine.data_plane_stats());
     (
         report.io.meter.ops(),
         stats,
         wire.batched,
         wire.per_segment,
         report.gib_per_sec(),
+        dp,
     )
 }
 
@@ -91,12 +112,13 @@ struct SweepResult {
     batched: u64,
     per_segment: u64,
     rates: Vec<f64>,
+    dp: DataPlaneStats,
 }
 
 fn sweep(jobs: usize, qd: usize, force_per_segment: bool) -> SweepResult {
     let plan = cells(jobs, qd);
     let t0 = Instant::now();
-    let results: Vec<(u64, ResourceStats, u64, u64, f64)> = plan
+    let results: Vec<(u64, ResourceStats, u64, u64, f64, DataPlaneStats)> = plan
         .par_iter()
         .map(|&(t, p, rw, bs, j, q)| cell(t, p, rw, bs, j, q, force_per_segment))
         .collect();
@@ -109,13 +131,15 @@ fn sweep(jobs: usize, qd: usize, force_per_segment: bool) -> SweepResult {
         batched: 0,
         per_segment: 0,
         rates: Vec::with_capacity(results.len()),
+        dp: DataPlaneStats::default(),
     };
-    for (o, s, b, ps, gib) in results {
+    for (o, s, b, ps, gib, dp) in results {
         out.ops += o;
         out.stats.merge(s);
         out.batched += b;
         out.per_segment += ps;
         out.rates.push(gib);
+        out.dp.merge(dp);
     }
     out
 }
@@ -250,12 +274,26 @@ fn main() {
     let wire_speedup = slow.wall_ms / fast.wall_ms.max(1e-9);
     let total_ops = fast.ops + uncontended.ops;
 
+    // Data-plane counters: uncontended (sequential-regime) pass is the
+    // headline zero-copy gate; the contended pass is reported alongside.
+    // The rate counts payload bytes crossing any store boundary — reads
+    // served as slices and writes adopted as handles both count zero-copy;
+    // stitched reads and slice-only writes count copied.
+    let zero_copy_rate = uncontended.dp.zero_copy_rate();
+    let zero_copy_rate_contended = fast.dp.zero_copy_rate();
+    let mut dp_total = fast.dp;
+    dp_total.merge(uncontended.dp);
+    let speedup_vs_pr1 = PR1_SWEEP_WALL_MS / fast.wall_ms.max(1e-9);
+
     println!(
         "fig5-style sweep, {} cells x {JOBS} jobs + {} uncontended cells",
         fast.rates.len(),
         uncontended.rates.len()
     );
-    println!("  batched pass:     {:9.1} ms wall", fast.wall_ms);
+    println!(
+        "  batched pass:     {:9.1} ms wall  ({speedup_vs_pr1:.2}x vs PR1 baseline {PR1_SWEEP_WALL_MS:.1} ms)",
+        fast.wall_ms
+    );
     println!(
         "  per-segment pass: {:9.1} ms wall  ({wire_speedup:.2}x)",
         slow.wall_ms
@@ -272,6 +310,18 @@ fn main() {
         fast.batched + fast.per_segment
     );
     println!(
+        "  zero-copy byte rate:        {zero_copy_rate:.4} sequential ({}/{} bytes), \
+         {zero_copy_rate_contended:.4} contended",
+        uncontended.dp.bytes_zero_copy,
+        uncontended.dp.bytes_zero_copy + uncontended.dp.bytes_copied
+    );
+    println!(
+        "  crc: {} bytes scanned, {} combines, hw acceleration {}",
+        dp_total.crc_bytes_scanned,
+        dp_total.crc_combines,
+        ros2_buf::hw_acceleration()
+    );
+    println!(
         "  booking core (150k steady-state bookings): seed {seed_ms:.1} ms -> {new_ms:.1} ms \
          ({core_speedup:.0}x)"
     );
@@ -279,17 +329,34 @@ fn main() {
         hit_rate > 0.9,
         "uncontended fast-path hit rate {hit_rate:.4} must exceed 0.9"
     );
+    assert!(
+        zero_copy_rate > 0.9,
+        "sequential zero-copy rate {zero_copy_rate:.4} must exceed 0.9"
+    );
 
     let json = format!(
         "{{\n  \"sweep_wall_ms\": {:.1},\n  \"per_segment_wall_ms\": {:.1},\n  \
-         \"uncontended_wall_ms\": {:.1},\n  \"wire_batched_speedup\": {wire_speedup:.2},\n  \
+         \"uncontended_wall_ms\": {:.1},\n  \"baseline_pr1_sweep_wall_ms\": {PR1_SWEEP_WALL_MS:.1},\n  \
+         \"speedup_vs_pr1\": {speedup_vs_pr1:.2},\n  \"wire_batched_speedup\": {wire_speedup:.2},\n  \
          \"booking_core_seed_ms\": {seed_ms:.1},\n  \"booking_core_ms\": {new_ms:.1},\n  \
          \"booking_core_speedup\": {core_speedup:.1},\n  \
          \"ops_simulated\": {total_ops},\n  \"fastpath_hit_rate\": {hit_rate:.4},\n  \
          \"fastpath_hit_rate_contended\": {contended_hit_rate:.4},\n  \
-         \"wire_batched_rate\": {traversal_rate:.4}\n}}\n",
-        fast.wall_ms, slow.wall_ms, uncontended.wall_ms
+         \"wire_batched_rate\": {traversal_rate:.4},\n  \
+         \"zero_copy_read_rate\": {zero_copy_rate:.4},\n  \
+         \"zero_copy_rate_contended\": {zero_copy_rate_contended:.4},\n  \
+         \"bytes_zero_copy\": {},\n  \"bytes_copied\": {},\n  \
+         \"crc_bytes_scanned\": {},\n  \"crc_combines\": {},\n  \
+         \"crc_hw_acceleration\": {}\n}}\n",
+        fast.wall_ms,
+        slow.wall_ms,
+        uncontended.wall_ms,
+        dp_total.bytes_zero_copy,
+        dp_total.bytes_copied,
+        dp_total.crc_bytes_scanned,
+        dp_total.crc_combines,
+        ros2_buf::hw_acceleration()
     );
-    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
-    println!("wrote BENCH_PR1.json");
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    println!("wrote BENCH_PR2.json");
 }

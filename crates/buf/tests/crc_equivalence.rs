@@ -1,0 +1,129 @@
+//! Equivalence proof for the CRC32C paths: the hardware (SSE4.2) path, the
+//! slicing-by-16 software path, and combine-of-chunk-CRCs must all match
+//! the seed's table-driven slicing-by-8 implementation — kept verbatim
+//! below as the oracle — on random data and random chunkings.
+
+use proptest::prelude::*;
+use ros2_buf::{crc32c, crc32c_append, crc32c_append_sw, crc32c_combine, crc32c_zeros};
+
+/// The seed's slicing-by-8 implementation (`crates/daos/src/checksum.rs`
+/// before this PR), verbatim, as the independent oracle.
+mod seed_reference {
+    const POLY: u32 = 0x82F6_3B78;
+
+    fn table() -> &'static [[u32; 256]; 8] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = Box::new([[0u32; 256]; 8]);
+            for i in 0..256u32 {
+                let mut crc = i;
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        (crc >> 1) ^ POLY
+                    } else {
+                        crc >> 1
+                    };
+                }
+                t[0][i as usize] = crc;
+            }
+            for i in 0..256 {
+                for slice in 1..8 {
+                    let prev = t[slice - 1][i];
+                    t[slice][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+                }
+            }
+            t
+        })
+    }
+
+    pub fn crc32c_append(state: u32, data: &[u8]) -> u32 {
+        let t = table();
+        let mut crc = !state;
+        let mut chunks = data.chunks_exact(8);
+        for chunk in &mut chunks {
+            let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
+            let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+            crc = t[7][(lo & 0xFF) as usize]
+                ^ t[6][((lo >> 8) & 0xFF) as usize]
+                ^ t[5][((lo >> 16) & 0xFF) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xFF) as usize]
+                ^ t[2][((hi >> 8) & 0xFF) as usize]
+                ^ t[1][((hi >> 16) & 0xFF) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        for &b in chunks.remainder() {
+            crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        !crc
+    }
+
+    pub fn crc32c(data: &[u8]) -> u32 {
+        crc32c_append(0, data)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One-shot: hw/auto path and slicing-by-16 both equal the oracle.
+    #[test]
+    fn one_shot_matches_oracle(data in prop::collection::vec(any::<u8>(), 0..5000)) {
+        let want = seed_reference::crc32c(&data);
+        prop_assert_eq!(crc32c(&data), want);
+        prop_assert_eq!(crc32c_append_sw(0, &data), want);
+    }
+
+    /// Chunked continuation through both paths equals the oracle, at every
+    /// random chunk size.
+    #[test]
+    fn chunked_matches_oracle(
+        data in prop::collection::vec(any::<u8>(), 1..5000),
+        step in 1usize..257,
+    ) {
+        let want = seed_reference::crc32c(&data);
+        let mut auto = 0u32;
+        let mut sw = 0u32;
+        let mut oracle = 0u32;
+        for chunk in data.chunks(step) {
+            auto = crc32c_append(auto, chunk);
+            sw = crc32c_append_sw(sw, chunk);
+            oracle = seed_reference::crc32c_append(oracle, chunk);
+        }
+        prop_assert_eq!(auto, want);
+        prop_assert_eq!(sw, want);
+        prop_assert_eq!(oracle, want);
+    }
+
+    /// Combine of independently computed chunk CRCs equals the oracle over
+    /// the concatenation, for random chunkings — the property the store's
+    /// fetch-verify path rests on.
+    #[test]
+    fn combine_matches_oracle(
+        data in prop::collection::vec(any::<u8>(), 1..5000),
+        step in 1usize..1025,
+    ) {
+        let want = seed_reference::crc32c(&data);
+        let mut acc = 0u32;
+        for chunk in data.chunks(step) {
+            acc = crc32c_combine(acc, crc32c(chunk), chunk.len() as u64);
+        }
+        prop_assert_eq!(acc, want);
+    }
+
+    /// Closed-form zero-run CRCs equal the oracle scanning real zeroes.
+    #[test]
+    fn zeros_matches_oracle(len in 0usize..20_000) {
+        prop_assert_eq!(crc32c_zeros(len as u64), seed_reference::crc32c(&vec![0u8; len]));
+    }
+}
+
+#[test]
+fn reports_acceleration_state() {
+    // Informational: both branches are exercised above regardless.
+    println!(
+        "crc32c hardware acceleration: {}",
+        ros2_buf::hw_acceleration()
+    );
+}

@@ -468,6 +468,15 @@ impl Ros2System {
         })
     }
 
+    /// Aggregate data-plane (copy vs zero-copy, CRC scan vs combine)
+    /// counters over the whole deployment: every NIC's registered memory,
+    /// every VOS target's SCM pool, and every NVMe backing store.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        let mut total = self.fabric.data_plane_stats();
+        total.merge(self.engine.data_plane_stats());
+        total
+    }
+
     /// Gathers activity counters from every layer.
     pub fn metrics(&self) -> SystemMetrics {
         SystemMetrics {

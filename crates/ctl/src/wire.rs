@@ -103,12 +103,16 @@ impl WireReader {
     pub fn boolean(&mut self) -> Result<bool, WireError> {
         Ok(self.u8()? != 0)
     }
-    /// Reads a length-prefixed string.
+    /// Reads a length-prefixed string. Validates UTF-8 in place and copies
+    /// once into the returned `String` (the seed validated a throwaway
+    /// `to_vec` copy first — two copies per decoded string).
     pub fn string(&mut self) -> Result<String, WireError> {
         let len = self.u32()? as usize;
         self.need(len)?;
         let raw = self.buf.copy_to_bytes(len);
-        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+        std::str::from_utf8(&raw)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadUtf8)
     }
     /// Reads a length-prefixed blob.
     pub fn blob(&mut self) -> Result<Bytes, WireError> {

@@ -1,68 +1,16 @@
 //! CRC32C (Castagnoli) — DAOS's default end-to-end checksum.
 //!
-//! Software table-driven implementation (the timing model charges the
-//! hardware-assisted rate; see [`ros2_hw::checksum_cost`]). Checksums are
-//! computed on update, stored with the record, and verified on fetch —
-//! corrupted media is *detected*, which the failure-injection tests
-//! exercise.
+//! The arithmetic lives in [`ros2_buf::crc`]: an SSE4.2 hardware path with
+//! runtime detection, a slicing-by-16 software fallback, and a GF(2)
+//! combinator — all bit-identical to the original table-driven
+//! implementation (proven in `crates/buf/tests/crc_equivalence.rs`). The
+//! timing model still charges the hardware-assisted rate
+//! ([`ros2_hw::checksum_cost`]). Checksums are computed on update, stored
+//! with the record, and *derived* on fetch by combining the store's cached
+//! per-chunk CRCs — corrupted media is detected without rescanning clean
+//! payloads, which the failure-injection tests exercise.
 
-/// The CRC32C polynomial (reflected).
-const POLY: u32 = 0x82F6_3B78;
-
-/// 8-entry-per-byte lookup table, built at first use.
-fn table() -> &'static [[u32; 256]; 8] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<Box<[[u32; 256]; 8]>> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = Box::new([[0u32; 256]; 8]);
-        for i in 0..256u32 {
-            let mut crc = i;
-            for _ in 0..8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ POLY
-                } else {
-                    crc >> 1
-                };
-            }
-            t[0][i as usize] = crc;
-        }
-        for i in 0..256 {
-            for slice in 1..8 {
-                let prev = t[slice - 1][i];
-                t[slice][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
-            }
-        }
-        t
-    })
-}
-
-/// Computes the CRC32C of `data`.
-pub fn crc32c(data: &[u8]) -> u32 {
-    crc32c_append(0, data)
-}
-
-/// Continues a CRC32C from a previous value (for chunked computation).
-pub fn crc32c_append(state: u32, data: &[u8]) -> u32 {
-    let t = table();
-    let mut crc = !state;
-    let mut chunks = data.chunks_exact(8);
-    for chunk in &mut chunks {
-        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ crc;
-        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
-        crc = t[7][(lo & 0xFF) as usize]
-            ^ t[6][((lo >> 8) & 0xFF) as usize]
-            ^ t[5][((lo >> 16) & 0xFF) as usize]
-            ^ t[4][(lo >> 24) as usize]
-            ^ t[3][(hi & 0xFF) as usize]
-            ^ t[2][((hi >> 8) & 0xFF) as usize]
-            ^ t[1][((hi >> 16) & 0xFF) as usize]
-            ^ t[0][(hi >> 24) as usize];
-    }
-    for &b in chunks.remainder() {
-        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+pub use ros2_buf::{crc32c, crc32c_append, crc32c_combine, crc32c_zeros};
 
 /// A stored checksum alongside its verification helper.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -106,6 +54,17 @@ mod tests {
     }
 
     #[test]
+    fn combine_equals_whole() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i * 13 % 251) as u8).collect();
+        let whole = crc32c(&data);
+        let mut acc = 0u32;
+        for chunk in data.chunks(4096) {
+            acc = crc32c_combine(acc, crc32c(chunk), chunk.len() as u64);
+        }
+        assert_eq!(acc, whole);
+    }
+
+    #[test]
     fn detects_single_bit_flips() {
         let mut data = vec![0x5Au8; 4096];
         let cs = Checksum::of(&data);
@@ -116,7 +75,7 @@ mod tests {
 
     #[test]
     fn distinct_inputs_distinct_crcs() {
-        // Not a strength proof — a regression canary for table construction.
+        // Not a strength proof — a regression canary for the CRC paths.
         let a = crc32c(b"object-data-a");
         let b = crc32c(b"object-data-b");
         assert_ne!(a, b);

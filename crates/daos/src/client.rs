@@ -194,10 +194,12 @@ impl DaosClient {
 
         let (data_at_server, payload) = match self.transport {
             Transport::Rdma => {
-                // Stage locally; descriptor announces it; server pulls.
+                // Stage locally (zero-copy: the registered buffer adopts
+                // the caller's handle); descriptor announces it; server
+                // pulls.
                 fabric
                     .rdma_mut(self.node)
-                    .write_local(self.jobs[job].buf, &data)
+                    .write_local_bytes(self.jobs[job].buf, &data)
                     .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
                 let desc = fabric
                     .send(t_cpu, conn, Dir::AtoB, Bytes::from(vec![0u8; RPC_DESC]))
@@ -288,8 +290,7 @@ impl DaosClient {
                     .send(push.at, conn, Dir::BtoA, Bytes::from(vec![0u8; RPC_DONE]))
                     .map_err(map_fabric)?;
                 let landed = fabric
-                    .node(self.node)
-                    .rdma
+                    .rdma_mut(self.node)
                     .read_local(self.jobs[job].buf, len as usize)
                     .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
                 Ok((landed, done.at))

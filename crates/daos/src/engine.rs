@@ -299,6 +299,17 @@ impl DaosEngine {
         total
     }
 
+    /// Aggregate data-plane (copy / zero-copy / CRC) counters over every
+    /// target's VOS + SCM pool and the NVMe backing stores.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        let mut total = ros2_buf::DataPlaneStats::default();
+        for t in &self.targets {
+            total.merge(t.data_plane_stats());
+        }
+        total.merge(self.bdevs.data_plane_stats());
+        total
+    }
+
     /// Total bytes of NVMe capacity in the pool.
     pub fn pool_capacity(&self) -> u64 {
         self.bdevs.array().capacity() / LBA_SIZE * LBA_SIZE

@@ -490,6 +490,26 @@ impl Dfs {
         if len == 0 {
             return Ok((Bytes::new(), now));
         }
+        // Zero-copy fast path: a read confined to one chunk is a single
+        // fetch whose payload can be handed back without reassembly (the
+        // common case — FIO block sizes never exceed the 1 MiB chunk).
+        if offset / self.chunk_size == (offset + len - 1) / self.chunk_size {
+            let chunk = offset / self.chunk_size;
+            let in_chunk = offset % self.chunk_size;
+            let (piece, at) = s.client.fetch(
+                s.fabric,
+                s.engine,
+                now,
+                job,
+                file.oid,
+                DKey::from_u64(chunk),
+                data_akey(),
+                ValueKind::Array { offset: in_chunk },
+                Epoch::LATEST,
+                len,
+            )?;
+            return Ok((piece, at));
+        }
         let mut out = bytes::BytesMut::with_capacity(len as usize);
         let mut t_done = now;
         let mut pos = 0u64;

@@ -463,6 +463,16 @@ impl Fabric {
         total
     }
 
+    /// Aggregate data-plane (copy / zero-copy) counters over every node's
+    /// registered-memory store.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        let mut total = ros2_buf::DataPlaneStats::default();
+        for n in &self.nodes {
+            total.merge(n.rdma.data_plane_stats());
+        }
+        total
+    }
+
     /// Receive-side CPU cost for `payload` bytes on node `dst`.
     fn recv_cpu_cost(&self, dst: NodeId, payload: u64) -> SimDuration {
         let node = &self.nodes[dst.0 as usize];
@@ -715,7 +725,7 @@ mod tests {
         // Target CPU untouched.
         assert_eq!(f.node(NodeId(1)).rx_pool.jobs_served(), before);
         // Bytes really landed.
-        let back = f.node(NodeId(1)).rdma.read_local(addr, 9).unwrap();
+        let back = f.rdma_mut(NodeId(1)).read_local(addr, 9).unwrap();
         assert_eq!(&back[..], b"one-sided");
     }
 

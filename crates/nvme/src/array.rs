@@ -131,6 +131,16 @@ impl NvmeArray {
         total
     }
 
+    /// Aggregate data-plane (copy / zero-copy / CRC) counters over every
+    /// device's backing store.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        let mut total = ros2_buf::DataPlaneStats::default();
+        for d in &self.devices {
+            total.merge(d.data_plane_stats());
+        }
+        total
+    }
+
     /// Total array capacity in bytes.
     pub fn capacity(&self) -> u64 {
         self.devices

@@ -223,7 +223,7 @@ impl NvmeDevice {
                 let bytes = cmd.bytes();
                 let grant = self.channels.submit(now, self.model.occupancy(bytes, true));
                 let at = grant.finish + self.model.access_hinted(true, cmd.sequential);
-                self.backing.write(cmd.slba * LBA_SIZE, data);
+                self.backing.write_bytes(cmd.slba * LBA_SIZE, data);
                 self.stats.bytes_written += bytes;
                 self.stats.writes += 1;
                 NvmeCompletion { at, data: None }
@@ -251,6 +251,17 @@ impl NvmeDevice {
     /// timing entirely).
     pub fn backing_mut(&mut self) -> &mut Backing {
         &mut self.backing
+    }
+
+    /// The CRC32C of stored range `[offset, offset+len)` — served from the
+    /// backing's CRC cache, no timing charged (callers model CPU cost).
+    pub fn crc_of_range(&mut self, offset: u64, len: u64) -> u32 {
+        self.backing.crc_of_range(offset, len)
+    }
+
+    /// Data-plane (copy vs zero-copy, CRC scan vs combine) counters.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        self.backing.data_plane_stats()
     }
 
     /// Cumulative channel busy time (utilization reporting).

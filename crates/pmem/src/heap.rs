@@ -2,14 +2,14 @@
 //!
 //! Mirrors the shape of PMDK's `pmemobj` pool: objects are allocated from a
 //! persistent heap and addressed by stable offsets (OIDs). Contents live in
-//! a sparse page map so a 128 GiB SCM tier costs only what is actually
-//! resident.
+//! a zero-copy extent store so a 128 GiB SCM tier costs only what is
+//! actually resident — and whole-record writes adopt the caller's `Bytes`
+//! handle instead of copying page by page.
 
-use std::collections::HashMap;
+use bytes::Bytes;
+use ros2_buf::{DataPlaneStats, ExtentStore};
 
-use bytes::{Bytes, BytesMut};
-
-/// Page granularity of the sparse store.
+/// Page granularity for residency accounting.
 const PAGE: usize = 4096;
 /// Smallest allocation size class (bytes).
 const MIN_CLASS: u64 = 64;
@@ -40,7 +40,7 @@ pub enum PmemError {
 #[derive(Debug)]
 pub struct Heap {
     capacity: u64,
-    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    store: ExtentStore,
     /// Bump frontier for fresh allocations.
     frontier: u64,
     /// Per-class free lists of previously freed offsets.
@@ -64,7 +64,7 @@ impl Heap {
     pub fn new(capacity: u64) -> Self {
         Heap {
             capacity,
-            pages: HashMap::new(),
+            store: ExtentStore::new(),
             frontier: PAGE as u64, // offset 0 is reserved (null OID)
             free_lists: vec![Vec::new(); CLASSES],
             live_bytes: 0,
@@ -108,62 +108,49 @@ impl Heap {
         self.frees += 1;
     }
 
-    /// Reads `len` bytes at absolute `offset`.
-    pub fn read(&self, offset: u64, len: usize) -> Result<Bytes, PmemError> {
+    /// Reads `len` bytes at absolute `offset` (zero-copy when the range
+    /// lies inside one prior write).
+    pub fn read(&mut self, offset: u64, len: usize) -> Result<Bytes, PmemError> {
         if offset + len as u64 > self.capacity {
             return Err(PmemError::BadAddress);
         }
-        let mut out = BytesMut::zeroed(len);
-        let mut pos = 0usize;
-        while pos < len {
-            let abs = offset + pos as u64;
-            let page_no = abs / PAGE as u64;
-            let in_page = (abs % PAGE as u64) as usize;
-            let take = (PAGE - in_page).min(len - pos);
-            if let Some(page) = self.pages.get(&page_no) {
-                out[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
-            }
-            pos += take;
-        }
-        Ok(out.freeze())
+        Ok(self.store.read(offset, len))
     }
 
-    /// Writes `data` at absolute `offset`.
+    /// Writes a borrowed slice at absolute `offset` (one copy).
     pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), PmemError> {
         if offset + data.len() as u64 > self.capacity {
             return Err(PmemError::BadAddress);
         }
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let abs = offset + pos as u64;
-            let page_no = abs / PAGE as u64;
-            let in_page = (abs % PAGE as u64) as usize;
-            let take = (PAGE - in_page).min(data.len() - pos);
-            let page = self
-                .pages
-                .entry(page_no)
-                .or_insert_with(|| Box::new([0u8; PAGE]));
-            page[in_page..in_page + take].copy_from_slice(&data[pos..pos + take]);
-            pos += take;
-        }
+        self.store.write_slice(offset, data);
         Ok(())
     }
 
-    fn zero(&mut self, offset: u64, len: u64) {
-        // Zero by dropping full pages and clearing partials.
-        let mut pos = 0u64;
-        while pos < len {
-            let abs = offset + pos;
-            let page_no = abs / PAGE as u64;
-            let in_page = (abs % PAGE as u64) as usize;
-            let take = ((PAGE - in_page) as u64).min(len - pos);
-            if in_page == 0 && take == PAGE as u64 {
-                self.pages.remove(&page_no);
-            } else if let Some(page) = self.pages.get_mut(&page_no) {
-                page[in_page..in_page + take as usize].fill(0);
-            }
-            pos += take;
+    /// Zero-copy write: adopts the caller's `Bytes` handle.
+    pub fn write_bytes(&mut self, offset: u64, data: &Bytes) -> Result<(), PmemError> {
+        if offset + data.len() as u64 > self.capacity {
+            return Err(PmemError::BadAddress);
         }
+        self.store.write(offset, data.clone());
+        Ok(())
+    }
+
+    /// The CRC32C of stored range `[offset, offset+len)` (cached chunk
+    /// CRCs; holes fold in as closed-form zero runs).
+    pub fn crc_of_range(&mut self, offset: u64, len: u64) -> Result<u32, PmemError> {
+        if offset + len > self.capacity {
+            return Err(PmemError::BadAddress);
+        }
+        Ok(self.store.crc_of_range(offset, len))
+    }
+
+    /// Data-plane (copy vs zero-copy, CRC scan vs combine) counters.
+    pub fn data_plane_stats(&self) -> DataPlaneStats {
+        self.store.stats()
+    }
+
+    fn zero(&mut self, offset: u64, len: u64) {
+        self.store.discard(offset, len);
     }
 
     /// Pool capacity in bytes.
@@ -184,7 +171,7 @@ impl Heap {
     }
     /// Resident (touched) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.store.covered_pages(PAGE as u64)
     }
 }
 

@@ -100,8 +100,9 @@ impl PmemPool {
         self.heap.free(oid);
     }
 
-    /// Reads `len` bytes from an object at byte `at` within it.
-    pub fn read(&self, oid: PmemOid, at: u64, len: usize) -> Result<Bytes, PmemError> {
+    /// Reads `len` bytes from an object at byte `at` within it (zero-copy
+    /// when the range lies inside one prior write).
+    pub fn read(&mut self, oid: PmemOid, at: u64, len: usize) -> Result<Bytes, PmemError> {
         if at + len as u64 > oid.size {
             return Err(PmemError::BadAddress);
         }
@@ -116,6 +117,28 @@ impl PmemPool {
             return Err(PmemError::BadAddress);
         }
         self.heap.write(oid.offset + at, data)
+    }
+
+    /// Zero-copy write into an object: the heap adopts the `Bytes` handle.
+    pub fn write_bytes(&mut self, oid: PmemOid, at: u64, data: &Bytes) -> Result<(), PmemError> {
+        if at + data.len() as u64 > oid.size {
+            return Err(PmemError::BadAddress);
+        }
+        self.heap.write_bytes(oid.offset + at, data)
+    }
+
+    /// The CRC32C of object range `[at, at+len)` (cached per-chunk CRCs —
+    /// the fetch-verify path combines these instead of rescanning).
+    pub fn crc_of_range(&mut self, oid: PmemOid, at: u64, len: u64) -> Result<u32, PmemError> {
+        if at + len > oid.size {
+            return Err(PmemError::BadAddress);
+        }
+        self.heap.crc_of_range(oid.offset + at, len)
+    }
+
+    /// Data-plane (copy vs zero-copy, CRC scan vs combine) counters.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        self.heap.data_plane_stats()
     }
 
     /// Opens a transaction. Nesting is not supported.

@@ -272,8 +272,7 @@ impl NvmfStack {
                 )?;
                 let landed = self
                     .fabric
-                    .node(self.client)
-                    .rdma
+                    .rdma_mut(self.client)
                     .read_local(session.buf_addr, bytes as usize)
                     .map_err(|e| NvmfError::Fabric(FabricError::Verbs(e)))?;
                 (cqe.at, landed)

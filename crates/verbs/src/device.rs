@@ -147,8 +147,19 @@ impl RdmaDevice {
         self.memory.alloc(len, domain)
     }
 
-    /// Application-side write into its own buffer (not a remote op).
+    /// Application-side write into its own buffer (not a remote op; one
+    /// copy — the caller only holds a borrowed slice).
     pub fn write_local(&mut self, addr: MemAddr, data: &[u8]) -> Result<(), VerbsError> {
+        if !self.memory.in_bounds(addr, data.len() as u64) {
+            return Err(VerbsError::OutOfBounds);
+        }
+        self.memory.write_slice(addr, data);
+        Ok(())
+    }
+
+    /// Application-side zero-copy write: the buffer adopts the caller's
+    /// `Bytes` handle (the staging pattern the DAOS client hot path uses).
+    pub fn write_local_bytes(&mut self, addr: MemAddr, data: &Bytes) -> Result<(), VerbsError> {
         if !self.memory.in_bounds(addr, data.len() as u64) {
             return Err(VerbsError::OutOfBounds);
         }
@@ -156,8 +167,9 @@ impl RdmaDevice {
         Ok(())
     }
 
-    /// Application-side read of its own buffer.
-    pub fn read_local(&self, addr: MemAddr, len: usize) -> Result<Bytes, VerbsError> {
+    /// Application-side read of its own buffer (zero-copy when the range
+    /// was written contiguously).
+    pub fn read_local(&mut self, addr: MemAddr, len: usize) -> Result<Bytes, VerbsError> {
         if !self.memory.in_bounds(addr, len as u64) {
             return Err(VerbsError::OutOfBounds);
         }
@@ -172,6 +184,12 @@ impl RdmaDevice {
     /// Bytes of registered memory in use.
     pub fn memory_used(&self) -> u64 {
         self.memory.used()
+    }
+
+    /// Data-plane (copy vs zero-copy) counters for this node's registered
+    /// memory.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        self.memory.data_plane_stats()
     }
 
     // ---- memory regions -------------------------------------------------

@@ -1,9 +1,16 @@
 //! Registered-memory space of one node: a bump-allocated sparse byte store
 //! that the NIC (and only the NIC, for remote peers) reads and writes.
+//!
+//! Contents live in a shared [`ros2_buf::ExtentStore`]: an RDMA WRITE
+//! landing here *adopts* the sender's `Bytes` handle instead of copying
+//! page by page, and an RDMA READ of a contiguously written range returns
+//! a zero-copy slice — the functional model of the paper's zero-copy
+//! rendezvous placement.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use bytes::{Bytes, BytesMut};
+use bytes::Bytes;
+use ros2_buf::{DataPlaneStats, ExtentStore};
 
 use crate::types::{MemAddr, MemoryDomain, VerbsError};
 
@@ -17,14 +24,16 @@ struct Buffer {
 }
 
 /// A node's DMA-able memory: buffers carved from a budget, with sparse
-/// page-granular contents.
+/// zero-copy extent contents.
 #[derive(Debug)]
 pub struct NodeMemory {
     budget: u64,
     used: u64,
     frontier: MemAddr,
-    buffers: HashMap<MemAddr, Buffer>,
-    pages: HashMap<u64, Box<[u8; PAGE]>>,
+    /// Sorted by base address; buffers never overlap (bump allocation), so
+    /// containment queries are one `range` lookup.
+    buffers: BTreeMap<MemAddr, Buffer>,
+    store: ExtentStore,
 }
 
 impl NodeMemory {
@@ -34,8 +43,8 @@ impl NodeMemory {
             budget,
             used: 0,
             frontier: PAGE as u64,
-            buffers: HashMap::new(),
-            pages: HashMap::new(),
+            buffers: BTreeMap::new(),
+            store: ExtentStore::new(),
         }
     }
 
@@ -52,15 +61,12 @@ impl NodeMemory {
         Ok(addr)
     }
 
-    /// Frees the buffer at `addr`.
+    /// Frees the buffer at `addr`, dropping its contents (no data leaks to
+    /// a future tenant of the range).
     pub fn free(&mut self, addr: MemAddr) -> Result<(), VerbsError> {
         let buf = self.buffers.remove(&addr).ok_or(VerbsError::BadHandle)?;
         self.used -= buf.len;
-        let first = addr / PAGE as u64;
-        let last = (addr + buf.len).div_ceil(PAGE as u64);
-        for p in first..last {
-            self.pages.remove(&p);
-        }
+        self.store.discard(addr, buf.len);
         Ok(())
     }
 
@@ -69,13 +75,20 @@ impl NodeMemory {
         self.buffers.get(&addr).map(|b| b.domain)
     }
 
-    /// The domain of the buffer *containing* `addr` (not just starting at
-    /// it). Linear scan — nodes register at most tens of buffers.
-    pub fn domain_of_containing(&self, addr: MemAddr) -> Option<MemoryDomain> {
+    /// The buffer entry containing `addr`, if any: one ordered-map range
+    /// lookup (buffers are disjoint by construction).
+    fn containing(&self, addr: MemAddr) -> Option<(MemAddr, &Buffer)> {
         self.buffers
-            .iter()
-            .find(|(&base, b)| addr >= base && addr < base + b.len)
-            .map(|(_, b)| b.domain)
+            .range(..=addr)
+            .next_back()
+            .filter(|(&base, b)| addr < base + b.len)
+            .map(|(&base, b)| (base, b))
+    }
+
+    /// The domain of the buffer *containing* `addr` (not just starting at
+    /// it).
+    pub fn domain_of_containing(&self, addr: MemAddr) -> Option<MemoryDomain> {
+        self.containing(addr).map(|(_, b)| b.domain)
     }
 
     /// Length of the buffer at `addr`, if any.
@@ -85,43 +98,24 @@ impl NodeMemory {
 
     /// Whether `[at, at+len)` lies inside a single allocated buffer.
     pub fn in_bounds(&self, at: MemAddr, len: u64) -> bool {
-        self.buffers
-            .iter()
-            .any(|(&base, b)| at >= base && at + len <= base + b.len)
+        self.containing(at)
+            .is_some_and(|(base, b)| at + len <= base + b.len)
     }
 
-    /// Raw read (no permission semantics — callers enforce those).
-    pub fn read(&self, at: MemAddr, len: usize) -> Bytes {
-        let mut out = BytesMut::zeroed(len);
-        let mut pos = 0usize;
-        while pos < len {
-            let abs = at + pos as u64;
-            let page_no = abs / PAGE as u64;
-            let in_page = (abs % PAGE as u64) as usize;
-            let take = (PAGE - in_page).min(len - pos);
-            if let Some(page) = self.pages.get(&page_no) {
-                out[pos..pos + take].copy_from_slice(&page[in_page..in_page + take]);
-            }
-            pos += take;
-        }
-        out.freeze()
+    /// Raw read (no permission semantics — callers enforce those). Reads
+    /// covered by one prior write return a zero-copy slice of it.
+    pub fn read(&mut self, at: MemAddr, len: usize) -> Bytes {
+        self.store.read(at, len)
     }
 
-    /// Raw write (no permission semantics — callers enforce those).
-    pub fn write(&mut self, at: MemAddr, data: &[u8]) {
-        let mut pos = 0usize;
-        while pos < data.len() {
-            let abs = at + pos as u64;
-            let page_no = abs / PAGE as u64;
-            let in_page = (abs % PAGE as u64) as usize;
-            let take = (PAGE - in_page).min(data.len() - pos);
-            let page = self
-                .pages
-                .entry(page_no)
-                .or_insert_with(|| Box::new([0u8; PAGE]));
-            page[in_page..in_page + take].copy_from_slice(&data[pos..pos + take]);
-            pos += take;
-        }
+    /// Raw zero-copy write: adopts the caller's buffer handle.
+    pub fn write(&mut self, at: MemAddr, data: &Bytes) {
+        self.store.write(at, data.clone());
+    }
+
+    /// Raw write of a borrowed slice (application-side fills; one copy).
+    pub fn write_slice(&mut self, at: MemAddr, data: &[u8]) {
+        self.store.write_slice(at, data);
     }
 
     /// Bytes currently allocated.
@@ -133,6 +127,11 @@ impl NodeMemory {
     pub fn budget(&self) -> u64 {
         self.budget
     }
+
+    /// Data-plane (copy vs zero-copy) counters for this memory space.
+    pub fn data_plane_stats(&self) -> DataPlaneStats {
+        self.store.stats()
+    }
 }
 
 #[cfg(test)]
@@ -143,10 +142,23 @@ mod tests {
     fn alloc_write_read() {
         let mut m = NodeMemory::new(1 << 20);
         let a = m.alloc(100, MemoryDomain::HostDram).unwrap();
-        m.write(a, b"dma contents");
+        m.write(a, &Bytes::from_static(b"dma contents"));
         assert_eq!(&m.read(a, 12)[..], b"dma contents");
         assert_eq!(m.domain_of(a), Some(MemoryDomain::HostDram));
         assert_eq!(m.len_of(a), Some(100));
+    }
+
+    #[test]
+    fn handle_writes_are_zero_copy() {
+        let mut m = NodeMemory::new(1 << 20);
+        let a = m.alloc(1 << 20, MemoryDomain::DpuDram).unwrap();
+        let payload = Bytes::from(vec![0xCD; 1 << 20]);
+        m.write(a, &payload);
+        let back = m.read(a, 1 << 20);
+        assert_eq!(back, payload);
+        let s = m.data_plane_stats();
+        assert_eq!(s.bytes_copied, 0, "staging path must not memcpy");
+        assert_eq!(s.bytes_zero_copy, 2 << 20);
     }
 
     #[test]
@@ -177,9 +189,9 @@ mod tests {
     fn free_clears_contents() {
         let mut m = NodeMemory::new(1 << 20);
         let a = m.alloc(64, MemoryDomain::HostDram).unwrap();
-        m.write(a, &[0xAA; 64]);
+        m.write_slice(a, &[0xAA; 64]);
         m.free(a).unwrap();
-        // The old pages are dropped: even reading the stale address gives
+        // The old extents are dropped: even reading the stale address gives
         // zeroes, so no data leaks to a future tenant of that range.
         assert!(m.read(a, 64).iter().all(|&x| x == 0));
         assert_eq!(m.used(), 0);
@@ -195,5 +207,18 @@ mod tests {
         assert!(!m.in_bounds(a + 50, 51));
         assert!(!m.in_bounds(a + 200, 1));
         assert_eq!(m.free(a + 1).unwrap_err(), VerbsError::BadHandle);
+    }
+
+    #[test]
+    fn containment_uses_ordered_lookup() {
+        let mut m = NodeMemory::new(1 << 24);
+        let addrs: Vec<_> = (0..64)
+            .map(|_| m.alloc(100, MemoryDomain::HostDram).unwrap())
+            .collect();
+        for &a in &addrs {
+            assert_eq!(m.domain_of_containing(a + 99), Some(MemoryDomain::HostDram));
+            assert_eq!(m.domain_of_containing(a + 100), None); // page gap
+        }
+        assert_eq!(m.domain_of_containing(0), None);
     }
 }

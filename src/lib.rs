@@ -13,6 +13,7 @@
 //! | module | crate | role |
 //! |---|---|---|
 //! | [`sim`] | `ros2-sim` | DES kernel: time, events, resources, stats |
+//! | [`buf`] | `ros2-buf` | zero-copy extent store + hardware-rate CRC32C |
 //! | [`hw`] | `ros2-hw` | calibrated hardware models (§4.1 testbed) |
 //! | [`nvme`] | `ros2-nvme` | NVMe SSDs with functional contents |
 //! | [`pmem`] | `ros2-pmem` | PMDK-style SCM tier |
@@ -45,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub use ros2_buf as buf;
 pub use ros2_core as core;
 pub use ros2_ctl as ctl;
 pub use ros2_daos as daos;
