@@ -1,0 +1,66 @@
+//! A counting global allocator for allocation-regression tests.
+//!
+//! The metadata hot path (key construction, index lookups, repeat fetches)
+//! is supposed to be allocation-free; counters here let a test binary
+//! install [`CountingAlloc`] as its `#[global_allocator]` and assert exact
+//! allocation deltas around a code region:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: ros2_buf::CountingAlloc = ros2_buf::CountingAlloc;
+//!
+//! let before = ros2_buf::allocation_count();
+//! hot_path();
+//! assert_eq!(ros2_buf::allocation_count() - before, 0);
+//! ```
+//!
+//! Counters are process-global atomics; tests that measure deltas must not
+//! run concurrently with other allocating tests in the same binary (use a
+//! dedicated integration-test file or serialize with a lock).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `System`-backed allocator that counts every allocation (including
+/// reallocations, which acquire fresh memory).
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the counters are
+// side-effect-only atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Total heap allocations observed since process start (0 unless
+/// [`CountingAlloc`] is installed as the global allocator).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}

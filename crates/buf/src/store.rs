@@ -42,6 +42,18 @@ pub fn zero_bytes(len: usize) -> Bytes {
     }
 }
 
+/// Whether `b` is a slice of the shared zero pool — i.e. known all-zero
+/// without reading it. Checksum paths use this to answer zero-run CRCs in
+/// closed form instead of scanning megabytes of zeros (hole
+/// materialization, zero-fill staging, synthetic throughput payloads).
+pub fn is_shared_zeros(b: &Bytes) -> bool {
+    let pool = shared_zeros();
+    let lo = pool.as_ptr() as usize;
+    let hi = lo + pool.len();
+    let p = b.as_ptr() as usize;
+    p >= lo && p + b.len() <= hi
+}
+
 /// Data-plane counters, threaded alongside the booking-core
 /// `ResourceStats`: how many payload bytes moved by handle vs by memcpy,
 /// and how much CRC work was real scanning vs cache-and-combine.
@@ -57,6 +69,10 @@ pub struct DataPlaneStats {
     pub crc_bytes_scanned: u64,
     /// CRC32C combine operations that replaced a scan.
     pub crc_combines: u64,
+    /// Chunk-CRC cache entries seeded by a writer that had already computed
+    /// them (update-path checksums handed down), sparing the store its own
+    /// first-fill scan of the same bytes.
+    pub crc_cache_seeded: u64,
 }
 
 impl DataPlaneStats {
@@ -66,6 +82,7 @@ impl DataPlaneStats {
         self.bytes_zero_copy += other.bytes_zero_copy;
         self.crc_bytes_scanned += other.crc_bytes_scanned;
         self.crc_combines += other.crc_combines;
+        self.crc_cache_seeded += other.crc_cache_seeded;
     }
 
     /// Fraction of transferred bytes that moved zero-copy (1.0 when idle).
@@ -179,6 +196,39 @@ impl ExtentStore {
             .insert(at, Extent::new(Bytes::copy_from_slice(data)));
     }
 
+    /// Seeds the per-chunk CRC cache of the extent that starts exactly at
+    /// `at` — for writers (the VOS update path) that computed chunk CRCs of
+    /// the written bytes anyway. `crcs` must yield one CRC32C per
+    /// [`CRC_CHUNK`] of the extent's data, in order, covering the whole
+    /// extent (chunk `i` over `[i*CRC_CHUNK, min((i+1)*CRC_CHUNK, len))`);
+    /// a length mismatch or a missing extent leaves the lazy cache in
+    /// place. Debug builds verify every seeded CRC against the bytes.
+    pub fn seed_crcs<I>(&mut self, at: u64, crcs: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        let Some(ext) = self.extents.get_mut(&at) else {
+            return;
+        };
+        let nchunks = (ext.data.len() as u64).div_ceil(CRC_CHUNK) as usize;
+        if crcs.len() != nchunks {
+            return;
+        }
+        let table: Box<[Option<u32>]> = crcs.map(Some).collect();
+        #[cfg(debug_assertions)]
+        for (i, c) in table.iter().enumerate() {
+            let lo = i * CRC_CHUNK as usize;
+            let hi = (lo + CRC_CHUNK as usize).min(ext.data.len());
+            debug_assert_eq!(
+                c.unwrap(),
+                crc32c(&ext.data[lo..hi]),
+                "seeded CRC for chunk {i} does not match the written bytes"
+            );
+        }
+        ext.crcs = Some(table);
+        self.stats.crc_cache_seeded += nchunks as u64;
+    }
+
     /// Clears `[at, end)` of existing extents, splitting partially
     /// overlapped neighbours with zero-copy slices.
     fn carve(&mut self, at: u64, end: u64) {
@@ -270,22 +320,21 @@ impl ExtentStore {
         }
         let end = at + len;
         let from = self.scan_start(at);
-        // (extent start, covered lo, covered hi) absolute.
-        let pieces: Vec<(u64, u64, u64)> = self
-            .extents
-            .range(from..end)
-            .filter(|(&s, e)| e.end(s) > at)
-            .map(|(&s, e)| (s, at.max(s), end.min(e.end(s))))
-            .collect();
+        // One allocation-free pass: `range_mut` hands out each overlapping
+        // extent mutably (cache fills) alongside the separate stats field.
         let Self { extents, stats } = self;
         let mut acc = 0u32;
         let mut pos = at;
-        for (s, lo, hi) in pieces {
+        for (&s, ext) in extents.range_mut(from..end) {
+            let e_end = s + ext.data.len() as u64;
+            if e_end <= at {
+                continue;
+            }
+            let (lo, hi) = (at.max(s), end.min(e_end));
             if lo > pos {
                 acc = crc32c_combine(acc, crc32c_zeros(lo - pos), lo - pos);
                 stats.crc_combines += 1;
             }
-            let ext = extents.get_mut(&s).expect("piece extent present");
             let piece = extent_range_crc(ext, lo - s, hi - s, stats);
             acc = crc32c_combine(acc, piece, hi - lo);
             stats.crc_combines += 1;
@@ -428,6 +477,39 @@ mod tests {
         let crc2 = s.crc_of_range(0, 8192);
         assert_ne!(crc1, crc2);
         assert_eq!(crc2, crc32c(&s.read(0, 8192)));
+    }
+
+    #[test]
+    fn seeded_crcs_replace_first_fill_scan() {
+        let mut s = ExtentStore::new();
+        let data = Bytes::from(vec![0x5Au8; 10_000]); // 3 chunks, last partial
+        let chunk_crcs: Vec<u32> = data.chunks(CRC_CHUNK as usize).map(crc32c).collect();
+        s.write(8192, data.clone());
+        s.seed_crcs(8192, chunk_crcs.iter().copied());
+        assert_eq!(s.stats().crc_cache_seeded, 3);
+        let before = s.stats().crc_bytes_scanned;
+        assert_eq!(s.crc_of_range(8192, 10_000), crc32c(&data));
+        assert_eq!(
+            s.stats().crc_bytes_scanned,
+            before,
+            "seeded chunks must not be rescanned on first verify"
+        );
+        // Overwrite drops the seeded cache like any other cached CRC.
+        s.write(8192 + 4096, Bytes::from(vec![9u8; 100]));
+        assert_eq!(s.crc_of_range(8192, 10_000), crc32c(&s.read(8192, 10_000)));
+    }
+
+    #[test]
+    fn seed_mismatch_is_ignored() {
+        let mut s = ExtentStore::new();
+        s.write(0, Bytes::from(vec![1u8; 8192]));
+        // Wrong chunk count: must leave the lazy cache untouched.
+        s.seed_crcs(0, [0u32; 1].iter().copied());
+        assert_eq!(s.stats().crc_cache_seeded, 0);
+        // No extent at the address: no-op.
+        s.seed_crcs(4096, [0u32; 1].iter().copied());
+        assert_eq!(s.stats().crc_cache_seeded, 0);
+        assert_eq!(s.crc_of_range(0, 8192), crc32c(&s.read(0, 8192)));
     }
 
     #[test]

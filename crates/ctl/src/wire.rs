@@ -49,6 +49,23 @@ impl WireWriter {
         self.buf.put_slice(v);
         self
     }
+
+    /// Appends a short key (DAOS dkey/akey wire form): a one-byte length
+    /// prefix then the bytes. Keys longer than 255 bytes are not
+    /// representable — the object model never produces them (dkeys are u64
+    /// chunk indices or path components) — and are rejected loudly in
+    /// every build: truncating the length prefix would desynchronize the
+    /// whole frame for the reader.
+    pub fn key(&mut self, v: &[u8]) -> &mut Self {
+        assert!(
+            v.len() <= u8::MAX as usize,
+            "key of {} bytes exceeds the 255-byte wire form",
+            v.len()
+        );
+        self.buf.put_u8(v.len() as u8);
+        self.buf.put_slice(v);
+        self
+    }
     /// Finalizes into immutable bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
@@ -120,6 +137,14 @@ impl WireReader {
         self.need(len)?;
         Ok(self.buf.copy_to_bytes(len))
     }
+
+    /// Reads a short key (one-byte length prefix; see [`WireWriter::key`]).
+    /// The bytes are returned as a refcounted slice of the frame.
+    pub fn key(&mut self) -> Result<Bytes, WireError> {
+        let len = self.u8()? as usize;
+        self.need(len)?;
+        Ok(self.buf.copy_to_bytes(len))
+    }
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.remaining()
@@ -160,6 +185,33 @@ mod tests {
         w.blob(&[0xFF, 0xFE]);
         let mut r = WireReader::new(w.finish());
         assert_eq!(r.string().unwrap_err(), WireError::BadUtf8);
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        let mut w = WireWriter::new();
+        w.key(b"")
+            .key(&7u64.to_le_bytes())
+            .key(b"a-longer-file-name.bin");
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.key().unwrap().len(), 0);
+        assert_eq!(&r.key().unwrap()[..], &7u64.to_le_bytes());
+        assert_eq!(&r.key().unwrap()[..], b"a-longer-file-name.bin");
+        assert_eq!(r.remaining(), 0);
+        // Truncated key detected.
+        let mut w = WireWriter::new();
+        w.key(b"abcdef");
+        let frame = w.finish();
+        let mut r = WireReader::new(frame.slice(0..3));
+        assert_eq!(r.key().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 255-byte wire form")]
+    fn oversized_key_rejected_in_every_build() {
+        let mut w = WireWriter::new();
+        let long = vec![7u8; 300];
+        w.key(&long);
     }
 
     #[test]

@@ -14,18 +14,31 @@
 //!   the SmartNIC).
 
 use bytes::{Bytes, BytesMut};
+use ros2_buf::zero_bytes;
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
 use ros2_hw::{CoreClass, Transport};
 use ros2_sim::{ResourceStats, ServerPool, SimTime};
 use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, NodeId, PdId, RKey};
 
-use crate::engine::{DaosEngine, ValueKind};
+use crate::engine::{DaosEngine, TargetOp, TargetOpResult, ValueKind};
 use crate::types::{AKey, DKey, DaosCostModel, DaosError, Epoch, ObjectId};
 
 /// RPC descriptor size on the wire (OBJ_UPDATE/OBJ_FETCH header).
 const RPC_DESC: usize = 128;
 /// Completion message size.
 const RPC_DONE: usize = 16;
+
+/// The zeroed OBJ_UPDATE/OBJ_FETCH descriptor: a refcounted slice of the
+/// process-wide zero pool, so issuing an RPC never heap-allocates the
+/// header (the seed built a fresh `Vec` per RPC on every path).
+fn rpc_desc() -> Bytes {
+    zero_bytes(RPC_DESC)
+}
+
+/// The zeroed completion message (same shared pool).
+fn rpc_done() -> Bytes {
+    zero_bytes(RPC_DONE)
+}
 
 fn map_fabric(e: FabricError) -> DaosError {
     DaosError::Transport(format!("{e:?}"))
@@ -169,7 +182,132 @@ impl DaosClient {
         self.jobs[job].core.submit(now, cost).finish
     }
 
+    /// Phase A of an update: client CPU, payload staging, descriptor send
+    /// and (RDMA) the server's pull. Returns the instant the data is
+    /// resident server-side plus the server's payload handle.
+    fn stage_update(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        job: usize,
+        data: Bytes,
+    ) -> Result<(SimTime, Bytes), DaosError> {
+        let len = data.len() as u64;
+        let t_cpu = self.client_cpu(now, job);
+        let conn = self.jobs[job].conn;
+        match self.transport {
+            Transport::Rdma => {
+                // Stage locally (zero-copy: the registered buffer adopts
+                // the caller's handle); descriptor announces it; server
+                // pulls.
+                fabric
+                    .rdma_mut(self.node)
+                    .write_local_bytes(self.jobs[job].buf, &data)
+                    .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+                let desc = fabric
+                    .send(t_cpu, conn, Dir::AtoB, rpc_desc())
+                    .map_err(map_fabric)?;
+                let pull = fabric
+                    .rdma_read(
+                        desc.at,
+                        conn,
+                        Dir::BtoA,
+                        self.jobs[job].rkey.expect("rdma job has rkey"),
+                        self.jobs[job].buf,
+                        len,
+                    )
+                    .map_err(map_fabric)?;
+                Ok((pull.at, pull.data.expect("pull returns data")))
+            }
+            Transport::Tcp => {
+                // Descriptor + inline payload in one stream write.
+                let mut msg = BytesMut::with_capacity(RPC_DESC + data.len());
+                msg.extend_from_slice(&[0u8; RPC_DESC]);
+                msg.extend_from_slice(&data);
+                let d = fabric
+                    .send(t_cpu, conn, Dir::AtoB, msg.freeze())
+                    .map_err(map_fabric)?;
+                Ok((d.at, d.data.expect("tcp carries data").slice(RPC_DESC..)))
+            }
+        }
+    }
+
+    /// Phase C of an update: the server's completion SEND at `persisted`.
+    fn finish_update(
+        &mut self,
+        fabric: &mut Fabric,
+        job: usize,
+        persisted: SimTime,
+    ) -> Result<SimTime, DaosError> {
+        let done = fabric
+            .send(persisted, self.jobs[job].conn, Dir::BtoA, rpc_done())
+            .map_err(map_fabric)?;
+        Ok(done.at)
+    }
+
+    /// Phase A of a fetch: client CPU plus the descriptor send. Returns
+    /// the instant the request reaches the server.
+    fn stage_fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        job: usize,
+    ) -> Result<SimTime, DaosError> {
+        let t_cpu = self.client_cpu(now, job);
+        let conn = self.jobs[job].conn;
+        let req = fabric
+            .send(t_cpu, conn, Dir::AtoB, rpc_desc())
+            .map_err(map_fabric)?;
+        Ok(req.at)
+    }
+
+    /// Phase C of a fetch: (RDMA) the server's push into the job's
+    /// registered buffer plus the completion SEND, or (TCP) the inline
+    /// response.
+    fn finish_fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        job: usize,
+        data: Bytes,
+        ready: SimTime,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        let conn = self.jobs[job].conn;
+        match self.transport {
+            Transport::Rdma => {
+                let push = fabric
+                    .rdma_write(
+                        ready,
+                        conn,
+                        Dir::BtoA,
+                        self.jobs[job].rkey.expect("rdma job has rkey"),
+                        self.jobs[job].buf,
+                        data,
+                    )
+                    .map_err(map_fabric)?;
+                let done = fabric
+                    .send(push.at, conn, Dir::BtoA, rpc_done())
+                    .map_err(map_fabric)?;
+                let landed = fabric
+                    .rdma_mut(self.node)
+                    .read_local(self.jobs[job].buf, len as usize)
+                    .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+                Ok((landed, done.at))
+            }
+            Transport::Tcp => {
+                let d = fabric
+                    .send(ready, conn, Dir::BtoA, data)
+                    .map_err(map_fabric)?;
+                Ok((d.data.expect("tcp carries data"), d.at))
+            }
+        }
+    }
+
     /// Issues an OBJ_UPDATE from `job`. Returns the commit instant.
+    ///
+    /// Identical to a one-op [`Self::execute_batch`] — both run the same
+    /// stage/execute/finish phases (asserted by the batch equivalence
+    /// suite) — without the batch bookkeeping.
     #[allow(clippy::too_many_arguments)]
     pub fn update(
         &mut self,
@@ -184,50 +322,11 @@ impl DaosClient {
         data: Bytes,
     ) -> Result<SimTime, DaosError> {
         self.ops += 1;
-        let len = data.len() as u64;
-        if len > self.jobs[job].buf_len {
+        if data.len() as u64 > self.jobs[job].buf_len {
             return Err(DaosError::Transport("staging buffer too small".into()));
         }
         let epoch = engine.next_epoch(&self.cont)?;
-        let t_cpu = self.client_cpu(now, job);
-        let conn = self.jobs[job].conn;
-
-        let (data_at_server, payload) = match self.transport {
-            Transport::Rdma => {
-                // Stage locally (zero-copy: the registered buffer adopts
-                // the caller's handle); descriptor announces it; server
-                // pulls.
-                fabric
-                    .rdma_mut(self.node)
-                    .write_local_bytes(self.jobs[job].buf, &data)
-                    .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
-                let desc = fabric
-                    .send(t_cpu, conn, Dir::AtoB, Bytes::from(vec![0u8; RPC_DESC]))
-                    .map_err(map_fabric)?;
-                let pull = fabric
-                    .rdma_read(
-                        desc.at,
-                        conn,
-                        Dir::BtoA,
-                        self.jobs[job].rkey.expect("rdma job has rkey"),
-                        self.jobs[job].buf,
-                        len,
-                    )
-                    .map_err(map_fabric)?;
-                (pull.at, pull.data.expect("pull returns data"))
-            }
-            Transport::Tcp => {
-                // Descriptor + inline payload in one stream write.
-                let mut msg = BytesMut::with_capacity(RPC_DESC + data.len());
-                msg.extend_from_slice(&[0u8; RPC_DESC]);
-                msg.extend_from_slice(&data);
-                let d = fabric
-                    .send(t_cpu, conn, Dir::AtoB, msg.freeze())
-                    .map_err(map_fabric)?;
-                (d.at, d.data.expect("tcp carries data").slice(RPC_DESC..))
-            }
-        };
-
+        let (data_at_server, payload) = self.stage_update(fabric, now, job, data)?;
         let persisted = engine.update(
             data_at_server,
             &self.cont,
@@ -238,10 +337,7 @@ impl DaosClient {
             epoch,
             payload,
         )?;
-        let done = fabric
-            .send(persisted, conn, Dir::BtoA, Bytes::from(vec![0u8; RPC_DONE]))
-            .map_err(map_fabric)?;
-        Ok(done.at)
+        self.finish_update(fabric, job, persisted)
     }
 
     /// Issues an OBJ_FETCH from `job` reading `len` bytes at `epoch`.
@@ -263,44 +359,200 @@ impl DaosClient {
         if len > self.jobs[job].buf_len {
             return Err(DaosError::Transport("staging buffer too small".into()));
         }
-        let t_cpu = self.client_cpu(now, job);
-        let conn = self.jobs[job].conn;
-        let req = fabric
-            .send(t_cpu, conn, Dir::AtoB, Bytes::from(vec![0u8; RPC_DESC]))
-            .map_err(map_fabric)?;
-
+        let req_at = self.stage_fetch(fabric, now, job)?;
         let (data, ready) =
-            engine.fetch(req.at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
+            engine.fetch(req_at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
+        self.finish_fetch(fabric, job, data, ready, len)
+    }
 
-        match self.transport {
-            Transport::Rdma => {
-                // Server pushes into the job's registered buffer, then a
-                // small completion SEND.
-                let push = fabric
-                    .rdma_write(
-                        ready,
-                        conn,
-                        Dir::BtoA,
-                        self.jobs[job].rkey.expect("rdma job has rkey"),
-                        self.jobs[job].buf,
-                        data,
-                    )
-                    .map_err(map_fabric)?;
-                let done = fabric
-                    .send(push.at, conn, Dir::BtoA, Bytes::from(vec![0u8; RPC_DONE]))
-                    .map_err(map_fabric)?;
-                let landed = fabric
-                    .rdma_mut(self.node)
-                    .read_local(self.jobs[job].buf, len as usize)
-                    .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
-                Ok((landed, done.at))
+    /// Submits a whole queue's worth of independent ops from `job` as one
+    /// fan-out: every descriptor/staging exchange runs first (in
+    /// submission order), the engine executes the batch across its shards
+    /// in one [`DaosEngine::execute_batch`] call, and completions drain
+    /// back in submission order — one engine round-trip instead of N.
+    ///
+    /// Results come back in submission order. Per-op failures (oversized
+    /// I/O, missing records) are reported in that op's slot and do not
+    /// abort the rest of the batch.
+    pub fn execute_batch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        let mut results: Vec<Option<ClientOpResult>> = (0..ops.len()).map(|_| None).collect();
+        let mut target_ops = Vec::with_capacity(ops.len());
+        // Engine-op index -> (client-op slot, fetch read-back length).
+        let mut pending: Vec<(usize, Option<u64>)> = Vec::with_capacity(ops.len());
+
+        for (i, op) in ops.into_iter().enumerate() {
+            self.ops += 1;
+            match op {
+                ClientOp::Update {
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    data,
+                } => {
+                    if data.len() as u64 > self.jobs[job].buf_len {
+                        results[i] = Some(ClientOpResult::Update(Err(DaosError::Transport(
+                            "staging buffer too small".into(),
+                        ))));
+                        continue;
+                    }
+                    let epoch = match engine.next_epoch(&self.cont) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            results[i] = Some(ClientOpResult::Update(Err(e)));
+                            continue;
+                        }
+                    };
+                    match self.stage_update(fabric, now, job, data) {
+                        Ok((at, payload)) => {
+                            target_ops.push(TargetOp::Update {
+                                now: at,
+                                oid,
+                                dkey,
+                                akey,
+                                kind,
+                                epoch,
+                                data: payload,
+                            });
+                            pending.push((i, None));
+                        }
+                        Err(e) => results[i] = Some(ClientOpResult::Update(Err(e))),
+                    }
+                }
+                ClientOp::Fetch {
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    epoch,
+                    len,
+                } => {
+                    if len > self.jobs[job].buf_len {
+                        results[i] = Some(ClientOpResult::Fetch(Err(DaosError::Transport(
+                            "staging buffer too small".into(),
+                        ))));
+                        continue;
+                    }
+                    match self.stage_fetch(fabric, now, job) {
+                        Ok(req_at) => {
+                            target_ops.push(TargetOp::Fetch {
+                                now: req_at,
+                                oid,
+                                dkey,
+                                akey,
+                                kind,
+                                epoch,
+                                len,
+                            });
+                            pending.push((i, Some(len)));
+                        }
+                        Err(e) => results[i] = Some(ClientOpResult::Fetch(Err(e))),
+                    }
+                }
             }
-            Transport::Tcp => {
-                let d = fabric
-                    .send(ready, conn, Dir::BtoA, data)
-                    .map_err(map_fabric)?;
-                Ok((d.data.expect("tcp carries data"), d.at))
+        }
+
+        match engine.execute_batch(&self.cont, target_ops) {
+            Ok(engine_results) => {
+                for (&(slot, fetch_len), res) in pending.iter().zip(engine_results) {
+                    results[slot] = Some(match res {
+                        TargetOpResult::Update(Ok(persisted)) => {
+                            ClientOpResult::Update(self.finish_update(fabric, job, persisted))
+                        }
+                        TargetOpResult::Update(Err(e)) => ClientOpResult::Update(Err(e)),
+                        TargetOpResult::Fetch(Ok((data, ready))) => {
+                            let len = fetch_len.expect("fetch pending entries carry a length");
+                            ClientOpResult::Fetch(self.finish_fetch(fabric, job, data, ready, len))
+                        }
+                        TargetOpResult::Fetch(Err(e)) => ClientOpResult::Fetch(Err(e)),
+                    });
+                }
             }
+            Err(e) => {
+                // Whole-batch failure (container vanished between phases).
+                for &(slot, fetch_len) in &pending {
+                    results[slot] = Some(match fetch_len {
+                        None => ClientOpResult::Update(Err(e.clone())),
+                        Some(_) => ClientOpResult::Fetch(Err(e.clone())),
+                    });
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every submitted op produced a result"))
+            .collect()
+    }
+}
+
+/// One client-side I/O in a [`DaosClient::execute_batch`] fan-out.
+#[derive(Clone, Debug)]
+pub enum ClientOp {
+    /// An object update carrying its payload.
+    Update {
+        /// Object.
+        oid: ObjectId,
+        /// Distribution key.
+        dkey: DKey,
+        /// Attribute key.
+        akey: AKey,
+        /// Single value or array extent.
+        kind: ValueKind,
+        /// Payload.
+        data: Bytes,
+    },
+    /// An object fetch of `len` bytes at `epoch`.
+    Fetch {
+        /// Object.
+        oid: ObjectId,
+        /// Distribution key.
+        dkey: DKey,
+        /// Attribute key.
+        akey: AKey,
+        /// Single value or array extent.
+        kind: ValueKind,
+        /// Read epoch.
+        epoch: Epoch,
+        /// Bytes to read.
+        len: u64,
+    },
+}
+
+/// The per-op outcome of a [`DaosClient::execute_batch`], in submission
+/// order. Structurally mirrors [`TargetOpResult`] but is deliberately a
+/// distinct type: these instants are client-visible completions (after the
+/// response push/SEND), not the engine-side instants the inner type
+/// carries, and the layers are free to diverge.
+#[derive(Clone, Debug)]
+pub enum ClientOpResult {
+    /// Outcome of a [`ClientOp::Update`]: the client-visible commit
+    /// instant.
+    Update(Result<SimTime, DaosError>),
+    /// Outcome of a [`ClientOp::Fetch`]: the data and the client-visible
+    /// completion instant.
+    Fetch(Result<(Bytes, SimTime), DaosError>),
+}
+
+impl ClientOpResult {
+    /// Unwraps an update result (panics on a fetch result).
+    pub fn into_update(self) -> Result<SimTime, DaosError> {
+        match self {
+            ClientOpResult::Update(r) => r,
+            ClientOpResult::Fetch(_) => panic!("expected update result"),
+        }
+    }
+    /// Unwraps a fetch result (panics on an update result).
+    pub fn into_fetch(self) -> Result<(Bytes, SimTime), DaosError> {
+        match self {
+            ClientOpResult::Fetch(r) => r,
+            ClientOpResult::Update(_) => panic!("expected fetch result"),
         }
     }
 }
@@ -541,19 +793,7 @@ mod tests {
                 Bytes::from(vec![5u8; 64 << 10]),
             )
             .unwrap();
-        let t = engine.target_of(oid, Some(&d));
-        let mut bd = std::mem::replace(
-            engine.bdevs_mut(),
-            BdevLayer::new(NvmeArray::new(
-                NvmeModel::enterprise_1600(),
-                1,
-                DataMode::Pattern,
-            )),
-        );
-        assert!(engine
-            .target_mut(t)
-            .corrupt_newest_extent(&mut bd, oid, &d, &a));
-        *engine.bdevs_mut() = bd;
+        assert!(engine.corrupt_newest_extent(oid, &d, &a));
         let err = client
             .fetch(
                 &mut fabric,

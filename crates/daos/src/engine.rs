@@ -3,16 +3,22 @@
 //! DPU.
 //!
 //! One engine serves a pool of targets (one per NVMe SSD, as DAOS binds
-//! targets to devices), each with its own VOS, SCM slice and xstream set.
-//! RPC handling, VOS indexing and checksum computation all charge CPU on
-//! the target's xstreams; media time comes from the bdev/pmem models.
+//! targets to devices). Each target forms a self-contained **shard**: its
+//! VOS index, its xstream pool and its slice of the bdev layer — no mutable
+//! state is shared between shards, which is what lets
+//! [`DaosEngine::execute_batch`] fan independent operations out across
+//! shards in parallel while staying bit-identical to serial execution
+//! (proven by `tests/shard_equivalence.rs`). RPC handling, VOS indexing and
+//! checksum computation all charge CPU on the owning target's xstreams;
+//! media time comes from the bdev/pmem models.
 
 use std::collections::HashMap;
 
 use bytes::Bytes;
+use rayon::prelude::*;
 use ros2_hw::{checksum_cost, CoreClass, LBA_SIZE};
 use ros2_sim::{ResourceStats, ServerPool, SimTime};
-use ros2_spdk::BdevLayer;
+use ros2_spdk::{BdevLayer, ShardBdev};
 
 use crate::types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId,
@@ -40,6 +46,142 @@ pub struct ContainerMeta {
     pub snapshots: Vec<u64>,
 }
 
+/// One I/O destined for whichever shard owns its `(oid, dkey)` — the unit
+/// of [`DaosEngine::execute_batch`]. Each op carries its own arrival
+/// instant so a batch can represent a fan-out of concurrently submitted
+/// RPCs.
+#[derive(Clone, Debug)]
+pub enum TargetOp {
+    /// An OBJ_UPDATE (data already present server-side). The epoch is
+    /// caller-allocated (see [`DaosEngine::next_epoch`]) so batch
+    /// submission order — not shard execution order — fixes epoch values.
+    Update {
+        /// RPC arrival instant.
+        now: SimTime,
+        /// Object.
+        oid: ObjectId,
+        /// Distribution key (drives shard placement).
+        dkey: DKey,
+        /// Attribute key.
+        akey: AKey,
+        /// Single value or array extent.
+        kind: ValueKind,
+        /// Commit epoch.
+        epoch: Epoch,
+        /// Payload.
+        data: Bytes,
+    },
+    /// An OBJ_FETCH of `len` bytes at `epoch`.
+    Fetch {
+        /// RPC arrival instant.
+        now: SimTime,
+        /// Object.
+        oid: ObjectId,
+        /// Distribution key (drives shard placement).
+        dkey: DKey,
+        /// Attribute key.
+        akey: AKey,
+        /// Single value or array extent.
+        kind: ValueKind,
+        /// Read epoch.
+        epoch: Epoch,
+        /// Bytes to read.
+        len: u64,
+    },
+}
+
+impl TargetOp {
+    fn oid(&self) -> ObjectId {
+        match self {
+            TargetOp::Update { oid, .. } | TargetOp::Fetch { oid, .. } => *oid,
+        }
+    }
+    fn dkey(&self) -> &DKey {
+        match self {
+            TargetOp::Update { dkey, .. } | TargetOp::Fetch { dkey, .. } => dkey,
+        }
+    }
+}
+
+/// The per-op outcome of a batch, in submission order.
+#[derive(Clone, Debug)]
+pub enum TargetOpResult {
+    /// Outcome of a [`TargetOp::Update`]: the persisted-at instant.
+    Update(Result<SimTime, DaosError>),
+    /// Outcome of a [`TargetOp::Fetch`]: the data and its ready instant.
+    Fetch(Result<(Bytes, SimTime), DaosError>),
+}
+
+impl TargetOpResult {
+    /// Unwraps an update result (panics on a fetch result).
+    pub fn into_update(self) -> Result<SimTime, DaosError> {
+        match self {
+            TargetOpResult::Update(r) => r,
+            TargetOpResult::Fetch(_) => panic!("expected update result"),
+        }
+    }
+    /// Unwraps a fetch result (panics on an update result).
+    pub fn into_fetch(self) -> Result<(Bytes, SimTime), DaosError> {
+        match self {
+            TargetOpResult::Fetch(r) => r,
+            TargetOpResult::Update(_) => panic!("expected fetch result"),
+        }
+    }
+}
+
+/// Executes one op against its shard's VOS/xstreams/bdev slice. This is
+/// the single code path both the serial entry points and the batch fan-out
+/// run, so batch-of-one is the serial op by construction.
+fn exec_on_shard(
+    model: &DaosCostModel,
+    class: CoreClass,
+    vos: &mut VosTarget,
+    xstreams: &mut ServerPool,
+    media: &mut ShardBdev<'_>,
+    op: TargetOp,
+) -> TargetOpResult {
+    let grant = |xs: &mut ServerPool, now: SimTime, bytes: u64| {
+        let cpu = model.server_per_rpc + model.vos_per_op + checksum_cost(bytes);
+        xs.submit(now, class.scale(cpu)).finish
+    };
+    match op {
+        TargetOp::Update {
+            now,
+            oid,
+            dkey,
+            akey,
+            kind,
+            epoch,
+            data,
+        } => {
+            let picked = grant(xstreams, now, data.len() as u64);
+            TargetOpResult::Update(match kind {
+                ValueKind::Single => vos.update_single(picked, media, oid, dkey, akey, epoch, data),
+                ValueKind::Array { offset } => {
+                    vos.update_array(picked, media, oid, dkey, akey, epoch, offset, data)
+                }
+            })
+        }
+        TargetOp::Fetch {
+            now,
+            oid,
+            dkey,
+            akey,
+            kind,
+            epoch,
+            len,
+        } => {
+            let picked = grant(xstreams, now, len);
+            TargetOpResult::Fetch(match kind {
+                ValueKind::Single => vos.fetch_single(picked, media, oid, &dkey, &akey, epoch),
+                ValueKind::Array { offset } => {
+                    vos.fetch_array(picked, media, oid, &dkey, &akey, epoch, offset, len)
+                }
+            })
+        }
+    }
+}
+
 /// The storage-server engine.
 pub struct DaosEngine {
     model: DaosCostModel,
@@ -51,6 +193,10 @@ pub struct DaosEngine {
     xstreams: Vec<ServerPool>,
     containers: HashMap<String, ContainerMeta>,
     rpcs: u64,
+    /// Validation hook: forces [`Self::execute_batch`] onto the serial
+    /// shard walk so equivalence tests and A/B perf measurement can compare
+    /// against the parallel fan-out.
+    force_serial_batch: bool,
 }
 
 impl DaosEngine {
@@ -80,12 +226,21 @@ impl DaosEngine {
             xstreams,
             containers: HashMap::new(),
             rpcs: 0,
+            force_serial_batch: false,
         }
     }
 
-    /// Number of targets (== SSDs).
+    /// Number of targets (== SSDs == shards).
     pub fn target_count(&self) -> usize {
         self.targets.len()
+    }
+
+    /// Forces batch execution onto the serial per-shard walk. The parallel
+    /// fan-out must be observationally identical (shards share no mutable
+    /// state), so this exists only for equivalence tests and A/B perf
+    /// measurement.
+    pub fn set_force_serial_batch(&mut self, on: bool) {
+        self.force_serial_batch = on;
     }
 
     /// Creates a container.
@@ -120,7 +275,7 @@ impl DaosEngine {
         Ok(Epoch(meta.epoch_counter))
     }
 
-    /// The target index serving `(oid, dkey)` under the object's class.
+    /// The shard index serving `(oid, dkey)` under the object's class.
     pub fn target_of(&self, oid: ObjectId, dkey: Option<&DKey>) -> usize {
         let n = self.targets.len() as u64;
         let h = match oid.class() {
@@ -151,14 +306,9 @@ impl DaosEngine {
         out
     }
 
-    fn xstream_grant(&mut self, now: SimTime, target: usize, bytes: u64) -> SimTime {
-        let cpu = self.model.server_per_rpc + self.model.vos_per_op + checksum_cost(bytes);
-        let cost = self.class.scale(cpu);
-        self.xstreams[target].submit(now, cost).finish
-    }
-
     /// Services an OBJ_UPDATE RPC arriving at `now` (data already present
     /// server-side). Returns the persisted-at instant.
+    #[allow(clippy::too_many_arguments)]
     pub fn update(
         &mut self,
         now: SimTime,
@@ -175,32 +325,30 @@ impl DaosEngine {
         }
         self.rpcs += 1;
         let target = self.target_of(oid, Some(&dkey));
-        let picked = self.xstream_grant(now, target, data.len() as u64);
-        match kind {
-            ValueKind::Single => self.targets[target].update_single(
-                picked,
-                &mut self.bdevs,
-                oid,
-                dkey,
-                akey,
-                epoch,
-                data,
-            ),
-            ValueKind::Array { offset } => self.targets[target].update_array(
-                picked,
-                &mut self.bdevs,
-                oid,
-                dkey,
-                akey,
-                epoch,
-                offset,
-                data,
-            ),
-        }
+        let op = TargetOp::Update {
+            now,
+            oid,
+            dkey,
+            akey,
+            kind,
+            epoch,
+            data,
+        };
+        let mut media = self.bdevs.shard(target);
+        exec_on_shard(
+            &self.model,
+            self.class,
+            &mut self.targets[target],
+            &mut self.xstreams[target],
+            &mut media,
+            op,
+        )
+        .into_update()
     }
 
     /// Services an OBJ_FETCH RPC arriving at `now`. Returns the data and
     /// the instant it is ready to leave the server.
+    #[allow(clippy::too_many_arguments)]
     pub fn fetch(
         &mut self,
         now: SimTime,
@@ -217,22 +365,104 @@ impl DaosEngine {
         }
         self.rpcs += 1;
         let target = self.target_of(oid, Some(dkey));
-        let picked = self.xstream_grant(now, target, len);
-        match kind {
-            ValueKind::Single => {
-                self.targets[target].fetch_single(picked, &mut self.bdevs, oid, dkey, akey, epoch)
-            }
-            ValueKind::Array { offset } => self.targets[target].fetch_array(
-                picked,
-                &mut self.bdevs,
-                oid,
-                dkey,
-                akey,
-                epoch,
-                offset,
-                len,
-            ),
+        let op = TargetOp::Fetch {
+            now,
+            oid,
+            dkey: dkey.clone(),
+            akey: akey.clone(),
+            kind,
+            epoch,
+            len,
+        };
+        let mut media = self.bdevs.shard(target);
+        exec_on_shard(
+            &self.model,
+            self.class,
+            &mut self.targets[target],
+            &mut self.xstreams[target],
+            &mut media,
+            op,
+        )
+        .into_fetch()
+    }
+
+    /// Executes a batch of independent ops in one fan-out: ops are
+    /// partitioned by owning shard (`placement_hash % n`), each shard runs
+    /// its ops in submission order against its own VOS/xstreams/bdev slice
+    /// (in parallel across shards via rayon), and results come back merged
+    /// in submission order.
+    ///
+    /// Bit-identical to issuing the same ops serially through
+    /// [`Self::update`]/[`Self::fetch`]: shards share no mutable state, so
+    /// the only cross-op coupling — epoch allocation — is fixed by the
+    /// caller before submission (`next_epoch` per update, in order).
+    pub fn execute_batch(
+        &mut self,
+        cont: &str,
+        ops: Vec<TargetOp>,
+    ) -> Result<Vec<TargetOpResult>, DaosError> {
+        if !self.containers.contains_key(cont) {
+            return Err(DaosError::NoSuchEntity);
         }
+        let total = ops.len();
+        self.rpcs += total as u64;
+        let shard_count = self.targets.len();
+        // Partition by shard, preserving submission order within each.
+        let mut per_shard: Vec<Vec<(usize, TargetOp)>> =
+            (0..shard_count).map(|_| Vec::new()).collect();
+        for (i, op) in ops.into_iter().enumerate() {
+            let t = self.target_of(op.oid(), Some(op.dkey()));
+            per_shard[t].push((i, op));
+        }
+        let model = self.model;
+        let class = self.class;
+        let serial = self.force_serial_batch;
+
+        // Disjoint mutable borrows: one (VOS, xstreams, bdev slice) triple
+        // per shard.
+        let DaosEngine {
+            targets,
+            xstreams,
+            bdevs,
+            ..
+        } = self;
+        let work: Vec<(
+            &mut VosTarget,
+            &mut ServerPool,
+            ShardBdev<'_>,
+            Vec<(usize, TargetOp)>,
+        )> = targets
+            .iter_mut()
+            .zip(xstreams.iter_mut())
+            .zip(bdevs.shards())
+            .zip(per_shard)
+            .map(|(((vos, xs), media), ops)| (vos, xs, media, ops))
+            .collect();
+        let run = |(vos, xs, mut media, ops): (
+            &mut VosTarget,
+            &mut ServerPool,
+            ShardBdev<'_>,
+            Vec<(usize, TargetOp)>,
+        )|
+         -> Vec<(usize, TargetOpResult)> {
+            ops.into_iter()
+                .map(|(i, op)| (i, exec_on_shard(&model, class, vos, xs, &mut media, op)))
+                .collect()
+        };
+        let outs: Vec<Vec<(usize, TargetOpResult)>> = if serial || shard_count <= 1 {
+            work.into_iter().map(run).collect()
+        } else {
+            work.into_par_iter().map(run).collect()
+        };
+
+        let mut results: Vec<Option<TargetOpResult>> = (0..total).map(|_| None).collect();
+        for (i, r) in outs.into_iter().flatten() {
+            results[i] = Some(r);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every submitted op produced a result"))
+            .collect())
     }
 
     /// Lists dkeys of an object (enumerations go to the object's S1 target
@@ -278,6 +508,14 @@ impl DaosEngine {
     /// Direct target access (tests).
     pub fn target_mut(&mut self, t: usize) -> &mut VosTarget {
         &mut self.targets[t]
+    }
+
+    /// Test hook: corrupts the newest extent of `(oid, dkey, akey)` on its
+    /// owning shard so the next fetch surfaces a checksum mismatch.
+    pub fn corrupt_newest_extent(&mut self, oid: ObjectId, dkey: &DKey, akey: &AKey) -> bool {
+        let target = self.target_of(oid, Some(dkey));
+        let mut media = self.bdevs.shard(target);
+        self.targets[target].corrupt_newest_extent(&mut media, oid, dkey, akey)
     }
 
     /// Resets xstream and device timing to t=0; contents are untouched.
@@ -376,7 +614,7 @@ mod tests {
 
     #[test]
     fn striped_objects_engage_all_targets() {
-        let mut e = engine(4);
+        let e = engine(4);
         let oid = ObjectId::new(ObjClass::Sx, 9);
         let mut hit = [false; 4];
         for chunk in 0..64u64 {
@@ -406,6 +644,10 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, DaosError::NoSuchEntity);
+        assert_eq!(
+            e.execute_batch("nope", Vec::new()).unwrap_err(),
+            DaosError::NoSuchEntity
+        );
     }
 
     #[test]
@@ -454,6 +696,52 @@ mod tests {
     }
 
     #[test]
+    fn batch_results_come_back_in_submission_order() {
+        let mut e = engine(4);
+        let oid = ObjectId::new(ObjClass::Sx, 11);
+        let mut ops = Vec::new();
+        for i in 0..32u64 {
+            let epoch = e.next_epoch("cont0").unwrap();
+            ops.push(TargetOp::Update {
+                now: SimTime::ZERO,
+                oid,
+                dkey: DKey::from_u64(i),
+                akey: AKey::from_str("data"),
+                kind: ValueKind::Array { offset: 0 },
+                epoch,
+                data: Bytes::from(vec![i as u8; 8 << 10]),
+            });
+        }
+        for i in 0..32u64 {
+            ops.push(TargetOp::Fetch {
+                now: SimTime::from_millis(1),
+                oid,
+                dkey: DKey::from_u64(i),
+                akey: AKey::from_str("data"),
+                kind: ValueKind::Array { offset: 0 },
+                epoch: Epoch::LATEST,
+                len: 8 << 10,
+            });
+        }
+        let results = e.execute_batch("cont0", ops).unwrap();
+        assert_eq!(results.len(), 64);
+        assert_eq!(e.rpcs(), 64);
+        for (i, r) in results.into_iter().enumerate() {
+            match r {
+                TargetOpResult::Update(done) => {
+                    assert!(i < 32);
+                    assert!(done.unwrap() > SimTime::ZERO);
+                }
+                TargetOpResult::Fetch(got) => {
+                    let want = (i - 32) as u8;
+                    let (data, _) = got.unwrap();
+                    assert!(data.iter().all(|&b| b == want), "op {i} read wrong bytes");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn corruption_detected_through_engine() {
         let mut e = engine(1);
         let oid = ObjectId::new(ObjClass::S1, 7);
@@ -471,18 +759,7 @@ mod tests {
             Bytes::from(vec![1u8; 64 << 10]),
         )
         .unwrap();
-        let t = e.target_of(oid, Some(&d));
-        // Split borrows: temporarily take the bdevs out.
-        let mut bd = std::mem::replace(
-            &mut e.bdevs,
-            BdevLayer::new(NvmeArray::new(
-                NvmeModel::enterprise_1600(),
-                1,
-                DataMode::Pattern,
-            )),
-        );
-        assert!(e.targets[t].corrupt_newest_extent(&mut bd, oid, &d, &a));
-        e.bdevs = bd;
+        assert!(e.corrupt_newest_extent(oid, &d, &a));
         let err = e
             .fetch(
                 SimTime::from_secs(1),

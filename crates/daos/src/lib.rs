@@ -20,7 +20,10 @@ pub mod types;
 pub mod vos;
 
 pub use checksum::{crc32c, crc32c_append, Checksum};
-pub use client::DaosClient;
-pub use engine::{ContainerMeta, DaosEngine, ValueKind};
-pub use types::{placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId};
-pub use vos::{Location, VosStats, VosTarget};
+pub use client::{ClientOp, ClientOpResult, DaosClient};
+pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
+pub use types::{
+    placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, KeyBytes, ObjClass, ObjectId,
+    INLINE_KEY,
+};
+pub use vos::{KeyPair, Location, VosStats, VosTarget};

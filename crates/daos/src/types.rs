@@ -2,6 +2,7 @@
 //! and attribute keys, epochs, and the engine cost model.
 
 use bytes::Bytes;
+use ros2_ctl::{WireError, WireReader, WireWriter};
 use ros2_sim::SimDuration;
 
 /// A 128-bit DAOS object identifier. The high word carries the object
@@ -43,32 +44,148 @@ pub enum ObjClass {
     Sx,
 }
 
+/// Largest key stored inline (no heap). Covers every key the workspace
+/// builds on the hot path: `from_u64` chunk indices (8 bytes), the `"."`
+/// superblock dkey, and the `"data"` / `"entry"` / `"superblock"` akeys.
+pub const INLINE_KEY: usize = 16;
+
+/// Key byte storage: a small-key representation that keeps keys of up to
+/// [`INLINE_KEY`] bytes on the stack (the metadata hot path constructs a
+/// dkey per op — the seed heap-allocated every one), falling back to a
+/// refcounted [`Bytes`] for longer keys (arbitrary file names).
+///
+/// Equality, ordering and hashing are over the key *bytes*, independent of
+/// representation; construction normalizes (≤ 16 bytes is always inline),
+/// so the representation is canonical too.
+#[derive(Clone)]
+pub enum KeyBytes {
+    /// The key bytes held inline: `buf[..len]`.
+    Inline {
+        /// Number of meaningful bytes in `buf`.
+        len: u8,
+        /// Inline storage.
+        buf: [u8; INLINE_KEY],
+    },
+    /// A key longer than [`INLINE_KEY`] bytes.
+    Heap(Bytes),
+}
+
+impl KeyBytes {
+    /// Builds a key from a slice (inline when it fits; one copy otherwise).
+    pub fn from_slice(s: &[u8]) -> Self {
+        if s.len() <= INLINE_KEY {
+            let mut buf = [0u8; INLINE_KEY];
+            buf[..s.len()].copy_from_slice(s);
+            KeyBytes::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            KeyBytes::Heap(Bytes::copy_from_slice(s))
+        }
+    }
+
+    /// Builds a key from an owned handle (inline when it fits — the handle
+    /// is dropped — otherwise adopted without copying).
+    pub fn from_bytes(b: Bytes) -> Self {
+        if b.len() <= INLINE_KEY {
+            KeyBytes::from_slice(&b)
+        } else {
+            KeyBytes::Heap(b)
+        }
+    }
+
+    /// The key bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            KeyBytes::Inline { len, buf } => &buf[..*len as usize],
+            KeyBytes::Heap(b) => b,
+        }
+    }
+
+    /// Whether the key is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, KeyBytes::Inline { .. })
+    }
+}
+
+impl PartialEq for KeyBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for KeyBytes {}
+impl PartialOrd for KeyBytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for KeyBytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+impl std::hash::Hash for KeyBytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+impl std::fmt::Debug for KeyBytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:02x?}", self.as_slice())
+    }
+}
+
 /// A distribution key. Records under different dkeys may land on different
 /// targets (for striped classes).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DKey(pub Bytes);
+pub struct DKey(pub KeyBytes);
 
 impl DKey {
     /// A dkey from a string.
     #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
-        DKey(Bytes::copy_from_slice(s.as_bytes()))
+        DKey(KeyBytes::from_slice(s.as_bytes()))
     }
-    /// A dkey from a u64 (DFS chunk indices).
+    /// A dkey from a u64 (DFS chunk indices) — allocation-free.
     pub fn from_u64(v: u64) -> Self {
-        DKey(Bytes::copy_from_slice(&v.to_le_bytes()))
+        DKey(KeyBytes::from_slice(&v.to_le_bytes()))
+    }
+    /// The key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+    /// Appends this key's wire form (see [`WireWriter::key`]).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.key(self.as_bytes());
+    }
+    /// Reads a dkey from its wire form; short keys land inline.
+    pub fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(DKey(KeyBytes::from_bytes(r.key()?)))
     }
 }
 
 /// An attribute key within a dkey.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AKey(pub Bytes);
+pub struct AKey(pub KeyBytes);
 
 impl AKey {
     /// An akey from a string.
     #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
-        AKey(Bytes::copy_from_slice(s.as_bytes()))
+        AKey(KeyBytes::from_slice(s.as_bytes()))
+    }
+    /// The key bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_slice()
+    }
+    /// Appends this key's wire form (see [`WireWriter::key`]).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.key(self.as_bytes());
+    }
+    /// Reads an akey from its wire form; short keys land inline.
+    pub fn decode(r: &mut WireReader) -> Result<Self, WireError> {
+        Ok(AKey(KeyBytes::from_bytes(r.key()?)))
     }
 }
 
@@ -97,7 +214,7 @@ pub fn placement_hash(oid: &ObjectId, dkey: Option<&DKey>) -> u64 {
         eat(b);
     }
     if let Some(dk) = dkey {
-        for &b in dk.0.iter() {
+        for &b in dk.as_bytes() {
             eat(b);
         }
     }
@@ -200,6 +317,43 @@ mod tests {
         for &c in &counts {
             assert!((800..1200).contains(&c), "imbalanced {counts:?}");
         }
+    }
+
+    #[test]
+    fn small_keys_are_inline_and_content_equal() {
+        assert!(DKey::from_u64(u64::MAX).0.is_inline());
+        assert!(DKey::from_str(".").0.is_inline());
+        assert!(AKey::from_str("superblock").0.is_inline());
+        assert!(DKey::from_str("sixteen-bytes-ok").0.is_inline());
+        let long = DKey::from_str("seventeen-bytes-x");
+        assert!(!long.0.is_inline());
+        // Equality/ordering are over bytes regardless of representation.
+        let heap_form = DKey(KeyBytes::Heap(Bytes::copy_from_slice(b"abc")));
+        assert_eq!(heap_form, DKey::from_str("abc"));
+        assert!(DKey::from_str("a") < DKey::from_str("ab"));
+        assert!(DKey::from_str("ab") < DKey::from_str("b"));
+        assert_eq!(DKey::from_u64(7).as_bytes(), &7u64.to_le_bytes());
+    }
+
+    #[test]
+    fn keys_wire_round_trip() {
+        let keys = [
+            DKey::from_u64(42),
+            DKey::from_str("."),
+            DKey::from_str("a-name-well-beyond-sixteen-bytes.bin"),
+        ];
+        let mut w = WireWriter::new();
+        for k in &keys {
+            k.encode(&mut w);
+        }
+        AKey::from_str("data").encode(&mut w);
+        let mut r = WireReader::new(w.finish());
+        for k in &keys {
+            assert_eq!(&DKey::decode(&mut r).unwrap(), k);
+        }
+        let a = AKey::decode(&mut r).unwrap();
+        assert_eq!(a, AKey::from_str("data"));
+        assert!(a.0.is_inline(), "short decoded keys must land inline");
     }
 
     #[test]

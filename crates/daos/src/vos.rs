@@ -24,10 +24,32 @@ use bytes::{Bytes, BytesMut};
 use ros2_buf::{zero_bytes, DataPlaneStats};
 use ros2_hw::LBA_SIZE;
 use ros2_sim::SimTime;
-use ros2_spdk::BdevLayer;
+use ros2_spdk::ShardBdev;
 
-use crate::checksum::{crc32c_combine, Checksum};
+use crate::checksum::{crc32c_combine, crc32c_zeros, Checksum};
 use crate::types::{AKey, DKey, DaosError, Epoch, ObjectId};
+
+/// The object index key: one packed `(dkey, akey)` pair. Built from
+/// borrowed keys without heap allocation — inline keys copy on the stack,
+/// heap keys bump a refcount — so the lookup path never allocates (the
+/// seed cloned two freshly heap-allocated `Bytes` per probe).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct KeyPair {
+    /// Distribution key.
+    pub dkey: DKey,
+    /// Attribute key.
+    pub akey: AKey,
+}
+
+impl KeyPair {
+    /// Packs borrowed keys into an index key (allocation-free).
+    pub fn from_refs(dkey: &DKey, akey: &AKey) -> Self {
+        KeyPair {
+            dkey: dkey.clone(),
+            akey: akey.clone(),
+        }
+    }
+}
 
 /// Where a record's bytes live.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,7 +93,25 @@ struct ExtentRecord {
     checksums: Arc<[Checksum]>,
 }
 
-fn chunk_checksums(stored: &[u8]) -> Arc<[Checksum]> {
+/// Per-chunk CRC32C table of a stored payload. Payloads that are slices of
+/// the shared zero pool (hole materialization, zero-fill staging, the
+/// throughput sweeps' synthetic writes) are known all-zero without reading
+/// them: their chunk CRCs are closed-form zero-run CRCs, so nothing is
+/// scanned and `crc_bytes_scanned` counts only real hashing work.
+fn chunk_checksums(stored: &Bytes, dp: &mut DataPlaneStats) -> Arc<[Checksum]> {
+    if ros2_buf::is_shared_zeros(stored) {
+        let len = stored.len() as u64;
+        let full = Checksum(crc32c_zeros(CSUM_CHUNK));
+        let tail = len % CSUM_CHUNK;
+        let n_full = (len / CSUM_CHUNK) as usize;
+        let mut table = Vec::with_capacity(n_full + usize::from(tail > 0));
+        table.resize(n_full, full);
+        if tail > 0 {
+            table.push(Checksum(crc32c_zeros(tail)));
+        }
+        return table.into();
+    }
+    dp.crc_bytes_scanned += stored.len() as u64;
     stored
         .chunks(CSUM_CHUNK as usize)
         .map(Checksum::of)
@@ -105,7 +145,7 @@ struct ValueStore {
 }
 
 /// Aggregate VOS statistics for one target.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VosStats {
     /// Single-value updates.
     pub sv_updates: u64,
@@ -133,13 +173,16 @@ pub struct VosTarget {
     nvme_next: u64,
     nvme_limit: u64,
     free_extents: Vec<(u64, u32)>,
-    objects: HashMap<ObjectId, BTreeMap<(DKey, AKey), ValueStore>>,
+    objects: HashMap<ObjectId, BTreeMap<KeyPair, ValueStore>>,
     stats: VosStats,
     /// VOS-level data-plane counters (payload checksum scans, recorded-CRC
     /// combines, overlay stitch copies). Media-store counters live in the
     /// SCM pool and the bdev backing and are merged by
     /// [`Self::data_plane_stats`] / the engine.
     dp: DataPlaneStats,
+    /// Reused buffer for the visible-extent set of a fetch (cleared per
+    /// call; record clones are O(1) — the checksum tables are Arc-shared).
+    visible_scratch: Vec<ExtentRecord>,
 }
 
 impl VosTarget {
@@ -162,6 +205,7 @@ impl VosTarget {
             objects: HashMap::new(),
             stats: VosStats::default(),
             dp: DataPlaneStats::default(),
+            visible_scratch: Vec::new(),
         }
     }
 
@@ -204,7 +248,7 @@ impl VosTarget {
     fn place(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         data: &Bytes,
     ) -> Result<(Location, Bytes, SimTime), DaosError> {
         if data.len() as u64 <= self.scm_threshold {
@@ -230,11 +274,24 @@ impl VosTarget {
                 b.resize((nlb as usize) * LBA_SIZE as usize, 0);
                 b.freeze()
             };
-            let done = bdevs
-                .write(now, self.dev, slba, padded.clone())
+            let done = media
+                .write(now, slba, padded.clone())
                 .map_err(|e| DaosError::Media(format!("{e:?}")))?;
             self.stats.nvme_records += 1;
             Ok((Location::Nvme { slba, nlb }, padded, done.at))
+        }
+    }
+
+    /// Hands update-time chunk CRCs down to the media store that just
+    /// persisted the record, so the store's own chunk-CRC cache starts
+    /// seeded and the first fetch-verify combines instead of rescanning.
+    /// The record's chunk grid is extent-relative on both media, so the
+    /// tables line up exactly.
+    fn seed_media_crcs(&mut self, media: &mut ShardBdev<'_>, loc: &Location, crcs: &[Checksum]) {
+        let it = crcs.iter().map(|c| c.0);
+        match loc {
+            Location::Scm(oid) => self.scm.seed_crcs(*oid, 0, it),
+            Location::Nvme { slba, .. } => media.seed_crc_cache(slba * LBA_SIZE, it),
         }
     }
 
@@ -243,7 +300,7 @@ impl VosTarget {
     /// verifies never rescan clean payloads.
     fn media_crc(
         &mut self,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         loc: &Location,
         at: u64,
         len: u64,
@@ -253,9 +310,7 @@ impl VosTarget {
                 .scm
                 .crc_of_range(*oid, at, len)
                 .map_err(|e| DaosError::Media(format!("{e:?}"))),
-            Location::Nvme { slba, .. } => {
-                Ok(bdevs.crc_of_range(self.dev, slba * LBA_SIZE + at, len))
-            }
+            Location::Nvme { slba, .. } => Ok(media.crc_of_range(slba * LBA_SIZE + at, len)),
         }
     }
 
@@ -268,7 +323,7 @@ impl VosTarget {
     fn load_range(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         rec_location: &Location,
         rec_stored_len: u64,
         checksums: &[Checksum],
@@ -292,8 +347,8 @@ impl VosTarget {
                 // CSUM_CHUNK == LBA_SIZE, so chunk windows are LBA-aligned.
                 let lba0 = slba + win_lo / LBA_SIZE;
                 let nlb = ((win_hi - win_lo).div_ceil(LBA_SIZE)) as u32;
-                let c = bdevs
-                    .read(now, self.dev, lba0, nlb)
+                let c = media
+                    .read(now, lba0, nlb)
                     .map_err(|e| DaosError::Media(format!("{e:?}")))?;
                 let data = c.data.expect("bdev read returns data");
                 (data.slice(0..(win_hi - win_lo) as usize), c.at)
@@ -302,7 +357,7 @@ impl VosTarget {
         // Verify the covered window: recorded chunk CRCs combined vs the
         // media store's cached CRC of the same range.
         let expected = combine_recorded(checksums, c0, c1, rec_stored_len, &mut self.dp);
-        let actual = self.media_crc(bdevs, rec_location, win_lo, win_hi - win_lo)?;
+        let actual = self.media_crc(media, rec_location, win_lo, win_hi - win_lo)?;
         if expected != Some(actual) {
             self.stats.checksum_failures += 1;
             return Err(DaosError::ChecksumMismatch);
@@ -316,7 +371,7 @@ impl VosTarget {
     fn load(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         loc: &Location,
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
@@ -329,8 +384,8 @@ impl VosTarget {
                 Ok((data, self.scm.timed_read(now, len)))
             }
             Location::Nvme { slba, nlb } => {
-                let c = bdevs
-                    .read(now, self.dev, *slba, *nlb)
+                let c = media
+                    .read(now, *slba, *nlb)
                     .map_err(|e| DaosError::Media(format!("{e:?}")))?;
                 let data = c.data.expect("bdev read returns data");
                 Ok((data.slice(0..len as usize), c.at))
@@ -342,22 +397,36 @@ impl VosTarget {
     pub fn update_single(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         oid: ObjectId,
         dkey: DKey,
         akey: AKey,
         epoch: Epoch,
         data: Bytes,
     ) -> Result<SimTime, DaosError> {
-        let checksum = Checksum::of(&data);
-        self.dp.crc_bytes_scanned += data.len() as u64;
         let len = data.len() as u64;
-        let (location, _stored, done) = self.place(now, bdevs, &data)?;
+        let checksum = if ros2_buf::is_shared_zeros(&data) {
+            Checksum(crc32c_zeros(len))
+        } else {
+            self.dp.crc_bytes_scanned += len;
+            Checksum::of(&data)
+        };
+        let (location, _stored, done) = self.place(now, media, &data)?;
+        // A whole value at or below one chunk *is* its chunk-0 CRC — but
+        // only for SCM placement, where the stored bytes are exactly the
+        // payload. NVMe placement pads to the LBA (reachable when
+        // `scm_threshold < CSUM_CHUNK`), so the whole-value CRC would not
+        // describe the stored extent; those records keep the lazy cache.
+        // (Larger single values would need a chunk table the metadata path
+        // deliberately does not compute.)
+        if len > 0 && len <= CSUM_CHUNK && matches!(location, Location::Scm(_)) {
+            self.seed_media_crcs(media, &location, std::slice::from_ref(&checksum));
+        }
         let store = self
             .objects
             .entry(oid)
             .or_default()
-            .entry((dkey, akey))
+            .entry(KeyPair { dkey, akey })
             .or_default();
         store.sv.push(SvRecord {
             epoch,
@@ -373,7 +442,7 @@ impl VosTarget {
     pub fn fetch_single(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         oid: ObjectId,
         dkey: &DKey,
         akey: &AKey,
@@ -383,7 +452,7 @@ impl VosTarget {
         let store = self
             .objects
             .get(&oid)
-            .and_then(|o| o.get(&(dkey.clone(), akey.clone())))
+            .and_then(|o| o.get(&KeyPair::from_refs(dkey, akey)))
             .ok_or(DaosError::NotFound)?;
         let rec = store
             .sv
@@ -392,10 +461,10 @@ impl VosTarget {
             .max_by_key(|r| r.epoch)
             .ok_or(DaosError::NotFound)?
             .clone();
-        let (data, done) = self.load(now, bdevs, &rec.location, rec.len)?;
+        let (data, done) = self.load(now, media, &rec.location, rec.len)?;
         // Verify against the media store's cached CRC of the stored bytes
         // — no rescan of the returned payload.
-        let actual = self.media_crc(bdevs, &rec.location, 0, rec.len)?;
+        let actual = self.media_crc(media, &rec.location, 0, rec.len)?;
         if actual != rec.checksum.0 {
             self.stats.checksum_failures += 1;
             return Err(DaosError::ChecksumMismatch);
@@ -407,7 +476,7 @@ impl VosTarget {
     pub fn update_array(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         oid: ObjectId,
         dkey: DKey,
         akey: AKey,
@@ -416,14 +485,18 @@ impl VosTarget {
         data: Bytes,
     ) -> Result<SimTime, DaosError> {
         let len = data.len() as u64;
-        let (location, stored, done) = self.place(now, bdevs, &data)?;
-        let checksums = chunk_checksums(&stored);
-        self.dp.crc_bytes_scanned += stored.len() as u64;
+        let (location, stored, done) = self.place(now, media, &data)?;
+        let checksums = chunk_checksums(&stored, &mut self.dp);
+        // The chunk table just computed covers exactly the stored extent;
+        // seed the media store's CRC cache so fetch-verify never rescans.
+        if !checksums.is_empty() {
+            self.seed_media_crcs(media, &location, &checksums);
+        }
         let store = self
             .objects
             .entry(oid)
             .or_default()
-            .entry((dkey, akey))
+            .entry(KeyPair { dkey, akey })
             .or_default();
         store.extents.push(ExtentRecord {
             epoch,
@@ -442,7 +515,7 @@ impl VosTarget {
     pub fn fetch_array(
         &mut self,
         now: SimTime,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         oid: ObjectId,
         dkey: &DKey,
         akey: &AKey,
@@ -451,22 +524,46 @@ impl VosTarget {
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
         self.stats.fetches += 1;
-        let key = (dkey.clone(), akey.clone());
-        let Some(store) = self.objects.get(&oid).and_then(|o| o.get(&key)) else {
-            // Never-written range: a hole (refcounted shared zeros).
-            self.dp.bytes_zero_copy += len;
-            return Ok((zero_bytes(len as usize), now));
-        };
         // Collect visible extents that intersect the range, in epoch order
-        // (ties resolved by insertion order, which Vec preserves). Record
-        // clones are cheap: the checksum tables are Arc-shared.
-        let visible: Vec<ExtentRecord> = store
-            .extents
-            .iter()
-            .filter(|e| e.epoch <= epoch && e.offset < offset + len && e.offset + e.len > offset)
-            .cloned()
-            .collect();
+        // (ties resolved by insertion order, which Vec preserves), into the
+        // reused scratch buffer — the steady-state fetch path performs no
+        // heap allocation. Record clones are cheap: the checksum tables are
+        // Arc-shared.
+        let mut visible = std::mem::take(&mut self.visible_scratch);
+        visible.clear();
+        if let Some(store) = self
+            .objects
+            .get(&oid)
+            .and_then(|o| o.get(&KeyPair::from_refs(dkey, akey)))
+        {
+            visible.extend(
+                store
+                    .extents
+                    .iter()
+                    .filter(|e| {
+                        e.epoch <= epoch && e.offset < offset + len && e.offset + e.len > offset
+                    })
+                    .cloned(),
+            );
+        }
+        let result = self.fetch_array_visible(now, media, &visible, offset, len);
+        visible.clear();
+        self.visible_scratch = visible;
+        result
+    }
+
+    /// The overlay resolution of [`Self::fetch_array`] over an
+    /// already-collected visible set.
+    fn fetch_array_visible(
+        &mut self,
+        now: SimTime,
+        media: &mut ShardBdev<'_>,
+        visible: &[ExtentRecord],
+        offset: u64,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
         if visible.is_empty() {
+            // Never-written range: a hole (refcounted shared zeros).
             self.dp.bytes_zero_copy += len;
             return Ok((zero_bytes(len as usize), now));
         }
@@ -477,7 +574,7 @@ impl VosTarget {
             if rec.offset <= offset && rec.offset + rec.len >= offset + len {
                 return self.load_range(
                     now,
-                    bdevs,
+                    media,
                     &rec.location,
                     rec.stored_len,
                     &rec.checksums,
@@ -489,13 +586,13 @@ impl VosTarget {
         // Genuinely fragmented: stitch the overlay into a fresh buffer.
         let mut out = BytesMut::zeroed(len as usize);
         let mut latest = now;
-        for rec in &visible {
+        for rec in visible {
             // Only the intersecting chunk window is read and verified.
             let from = rec.offset.max(offset);
             let to = (rec.offset + rec.len).min(offset + len);
             let (data, done) = self.load_range(
                 now,
-                bdevs,
+                media,
                 &rec.location,
                 rec.stored_len,
                 &rec.checksums,
@@ -515,7 +612,7 @@ impl VosTarget {
         let mut keys: Vec<DKey> = self
             .objects
             .get(&oid)
-            .map(|o| o.keys().map(|(d, _)| d.clone()).collect())
+            .map(|o| o.keys().map(|k| k.dkey.clone()).collect())
             .unwrap_or_default();
         keys.dedup();
         keys
@@ -525,7 +622,7 @@ impl VosTarget {
     pub fn punch(&mut self, oid: ObjectId, dkey: &DKey, akey: &AKey) -> Result<(), DaosError> {
         let obj = self.objects.get_mut(&oid).ok_or(DaosError::NotFound)?;
         let store = obj
-            .remove(&(dkey.clone(), akey.clone()))
+            .remove(&KeyPair::from_refs(dkey, akey))
             .ok_or(DaosError::NotFound)?;
         for rec in store.extents {
             if let Location::Nvme { slba, nlb } = rec.location {
@@ -639,7 +736,7 @@ impl VosTarget {
     /// fetch detects a checksum mismatch.
     pub fn corrupt_newest_extent(
         &mut self,
-        bdevs: &mut BdevLayer,
+        media: &mut ShardBdev<'_>,
         oid: ObjectId,
         dkey: &DKey,
         akey: &AKey,
@@ -647,7 +744,7 @@ impl VosTarget {
         let Some(location) = self
             .objects
             .get(&oid)
-            .and_then(|o| o.get(&(dkey.clone(), akey.clone())))
+            .and_then(|o| o.get(&KeyPair::from_refs(dkey, akey)))
             .and_then(|s| s.extents.last())
             .map(|rec| rec.location.clone())
         else {
@@ -655,7 +752,7 @@ impl VosTarget {
         };
         match location {
             Location::Nvme { slba, .. } => {
-                let backing = bdevs.array_mut().device_mut(self.dev).backing_mut();
+                let backing = media.device_mut().backing_mut();
                 let mut byte = backing.read(slba * LBA_SIZE, 1).to_vec();
                 byte[0] ^= 0xFF;
                 backing.write(slba * LBA_SIZE, &byte);
@@ -676,6 +773,7 @@ mod tests {
     use crate::types::ObjClass;
     use ros2_hw::NvmeModel;
     use ros2_nvme::{DataMode, NvmeArray};
+    use ros2_spdk::BdevLayer;
 
     fn fixture() -> (VosTarget, BdevLayer) {
         let bdevs = BdevLayer::new(NvmeArray::new(
@@ -697,7 +795,7 @@ mod tests {
         let data = Bytes::from_static(b"inode-entry");
         vos.update_single(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             DKey::from_str("d"),
             AKey::from_str("a"),
@@ -708,7 +806,7 @@ mod tests {
         let (back, _) = vos
             .fetch_single(
                 SimTime::ZERO,
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 &DKey::from_str("d"),
                 &AKey::from_str("a"),
@@ -725,7 +823,7 @@ mod tests {
         let data = Bytes::from(vec![7u8; 1 << 20]);
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             DKey::from_u64(0),
             AKey::from_str("data"),
@@ -738,7 +836,7 @@ mod tests {
         let (back, _) = vos
             .fetch_array(
                 SimTime::from_secs(1),
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 &DKey::from_u64(0),
                 &AKey::from_str("data"),
@@ -757,7 +855,7 @@ mod tests {
         let a = AKey::from_str("a");
         vos.update_single(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -767,7 +865,7 @@ mod tests {
         .unwrap();
         vos.update_single(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -776,16 +874,23 @@ mod tests {
         )
         .unwrap();
         let (at15, _) = vos
-            .fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(15))
+            .fetch_single(SimTime::ZERO, &mut bd.shard(0), oid(), &d, &a, Epoch(15))
             .unwrap();
         assert_eq!(&at15[..], b"v1");
         let (latest, _) = vos
-            .fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST)
+            .fetch_single(
+                SimTime::ZERO,
+                &mut bd.shard(0),
+                oid(),
+                &d,
+                &a,
+                Epoch::LATEST,
+            )
             .unwrap();
         assert_eq!(&latest[..], b"v2");
         // Before the first write: NotFound.
         assert_eq!(
-            vos.fetch_single(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(5))
+            vos.fetch_single(SimTime::ZERO, &mut bd.shard(0), oid(), &d, &a, Epoch(5))
                 .unwrap_err(),
             DaosError::NotFound
         );
@@ -798,7 +903,7 @@ mod tests {
         let a = AKey::from_str("data");
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -809,7 +914,7 @@ mod tests {
         .unwrap();
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -819,14 +924,32 @@ mod tests {
         )
         .unwrap();
         let (out, _) = vos
-            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch::LATEST, 0, 200)
+            .fetch_array(
+                SimTime::ZERO,
+                &mut bd.shard(0),
+                oid(),
+                &d,
+                &a,
+                Epoch::LATEST,
+                0,
+                200,
+            )
             .unwrap();
         assert!(out[..50].iter().all(|&b| b == 1));
         assert!(out[50..150].iter().all(|&b| b == 2));
         assert!(out[150..].iter().all(|&b| b == 0), "hole reads zero");
         // At epoch 1 the second write is invisible.
         let (old, _) = vos
-            .fetch_array(SimTime::ZERO, &mut bd, oid(), &d, &a, Epoch(1), 0, 200)
+            .fetch_array(
+                SimTime::ZERO,
+                &mut bd.shard(0),
+                oid(),
+                &d,
+                &a,
+                Epoch(1),
+                0,
+                200,
+            )
             .unwrap();
         assert!(old[..100].iter().all(|&b| b == 1));
         assert!(old[100..].iter().all(|&b| b == 0));
@@ -839,7 +962,7 @@ mod tests {
         let a = AKey::from_str("data");
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -848,11 +971,11 @@ mod tests {
             Bytes::from(vec![9u8; 8192]),
         )
         .unwrap();
-        assert!(vos.corrupt_newest_extent(&mut bd, oid(), &d, &a));
+        assert!(vos.corrupt_newest_extent(&mut bd.shard(0), oid(), &d, &a));
         let err = vos
             .fetch_array(
                 SimTime::ZERO,
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 &d,
                 &a,
@@ -872,7 +995,7 @@ mod tests {
         let a = AKey::from_str("data");
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -886,7 +1009,7 @@ mod tests {
         // A same-size rewrite reuses the freed extent.
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -906,7 +1029,7 @@ mod tests {
         for e in 1..=5u64 {
             vos.update_array(
                 SimTime::ZERO,
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 d.clone(),
                 a.clone(),
@@ -922,7 +1045,7 @@ mod tests {
         let (out, _) = vos
             .fetch_array(
                 SimTime::ZERO,
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 &d,
                 &a,
@@ -948,7 +1071,7 @@ mod tests {
         let a = AKey::from_str("x");
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -960,7 +1083,7 @@ mod tests {
         let err = vos
             .update_array(
                 SimTime::ZERO,
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 d,
                 a,
@@ -980,7 +1103,7 @@ mod tests {
         let data = Bytes::from(vec![0x42u8; 256 << 10]);
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -993,7 +1116,7 @@ mod tests {
             let (out, _) = vos
                 .fetch_array(
                     SimTime::ZERO,
-                    bd,
+                    &mut bd.shard(0),
                     oid(),
                     &d,
                     &a,
@@ -1030,13 +1153,125 @@ mod tests {
     }
 
     #[test]
+    fn update_seeds_media_crc_caches() {
+        // The very first fetch-verify must combine the CRCs handed down at
+        // update time — zero additional payload bytes scanned, on both the
+        // NVMe and the SCM tier.
+        let (mut vos, mut bd) = fixture();
+        let d = DKey::from_u64(0);
+        let a = AKey::from_str("data");
+        vos.update_array(
+            SimTime::ZERO,
+            &mut bd.shard(0),
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(1),
+            0,
+            Bytes::from(vec![0x42u8; 256 << 10]), // NVMe-bound
+        )
+        .unwrap();
+        vos.update_single(
+            SimTime::ZERO,
+            &mut bd.shard(0),
+            oid(),
+            DKey::from_str("meta"),
+            AKey::from_str("v"),
+            Epoch(1),
+            Bytes::from_static(b"inode"), // SCM-bound
+        )
+        .unwrap();
+        let merged = |vos: &VosTarget, bd: &BdevLayer| {
+            let mut s = vos.data_plane_stats();
+            s.merge(bd.data_plane_stats());
+            s
+        };
+        let after_update = merged(&vos, &bd);
+        assert!(
+            after_update.crc_cache_seeded >= 64 + 1,
+            "update must seed media chunk CRCs (seeded {})",
+            after_update.crc_cache_seeded
+        );
+        vos.fetch_array(
+            SimTime::ZERO,
+            &mut bd.shard(0),
+            oid(),
+            &d,
+            &a,
+            Epoch::LATEST,
+            0,
+            256 << 10,
+        )
+        .unwrap();
+        vos.fetch_single(
+            SimTime::ZERO,
+            &mut bd.shard(0),
+            oid(),
+            &DKey::from_str("meta"),
+            &AKey::from_str("v"),
+            Epoch::LATEST,
+        )
+        .unwrap();
+        let after_fetch = merged(&vos, &bd);
+        assert_eq!(
+            after_fetch.crc_bytes_scanned, after_update.crc_bytes_scanned,
+            "first fetch-verify must run entirely off seeded CRC caches"
+        );
+        assert!(after_fetch.crc_combines > after_update.crc_combines);
+    }
+
+    #[test]
+    fn nvme_bound_single_values_skip_seeding_and_still_verify() {
+        // With scm_threshold below the checksum chunk, a small single value
+        // lands on NVMe and gets LBA-padded: its whole-value CRC does not
+        // describe the stored extent, so it must NOT seed the media cache
+        // (a poisoned seed would panic debug builds and corrupt release
+        // verifies) — and the fetch must still verify via the lazy cache.
+        let bdevs = BdevLayer::new(NvmeArray::new(
+            NvmeModel::enterprise_1600(),
+            1,
+            DataMode::Stored,
+        ));
+        let mut bd = bdevs;
+        let mut vos = VosTarget::new(0, 0, 1 << 20, 64 << 20, 1024);
+        let d = DKey::from_str("k");
+        let a = AKey::from_str("v");
+        let data = Bytes::from(vec![0x3Cu8; 2000]); // > threshold, < chunk
+        vos.update_single(
+            SimTime::ZERO,
+            &mut bd.shard(0),
+            oid(),
+            d.clone(),
+            a.clone(),
+            Epoch(1),
+            data.clone(),
+        )
+        .unwrap();
+        assert_eq!(vos.stats().nvme_records, 1);
+        let seeded =
+            vos.data_plane_stats().crc_cache_seeded + bd.data_plane_stats().crc_cache_seeded;
+        assert_eq!(seeded, 0, "padded NVMe single values must not seed");
+        let (back, _) = vos
+            .fetch_single(
+                SimTime::ZERO,
+                &mut bd.shard(0),
+                oid(),
+                &d,
+                &a,
+                Epoch::LATEST,
+            )
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
     fn whole_range_fetch_is_zero_copy() {
         let (mut vos, mut bd) = fixture();
         let d = DKey::from_u64(0);
         let a = AKey::from_str("data");
         vos.update_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             d.clone(),
             a.clone(),
@@ -1049,7 +1284,7 @@ mod tests {
             vos.data_plane_stats().bytes_copied + bd.data_plane_stats().bytes_copied;
         vos.fetch_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             &d,
             &a,
@@ -1061,7 +1296,7 @@ mod tests {
         // Interior sub-range too: still one covering record.
         vos.fetch_array(
             SimTime::ZERO,
-            &mut bd,
+            &mut bd.shard(0),
             oid(),
             &d,
             &a,
@@ -1080,7 +1315,7 @@ mod tests {
         for i in 0..4u64 {
             vos.update_single(
                 SimTime::ZERO,
-                &mut bd,
+                &mut bd.shard(0),
                 oid(),
                 DKey::from_u64(i),
                 AKey::from_str("e"),

@@ -1,0 +1,503 @@
+//! Parallel-vs-serial engine equivalence: `DaosEngine::execute_batch`
+//! (rayon fan-out across shards) must be bit-identical to issuing the same
+//! ops serially through `update`/`fetch` — every returned payload, every
+//! virtual-time instant, every stats counter. Shards share no mutable
+//! state and epochs are caller-allocated in submission order, so the only
+//! way this can fail is a sharding bug; randomized op streams from
+//! `SimRng` hunt for one (a failing seed replays exactly).
+
+use bytes::Bytes;
+use ros2_daos::{
+    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, Epoch, ObjClass,
+    ObjectId, TargetOp, TargetOpResult, ValueKind,
+};
+use ros2_fabric::{Fabric, NodeSpec};
+use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, NvmeModel, Transport};
+use ros2_nvme::{DataMode, NvmeArray};
+use ros2_sim::{SimRng, SimTime};
+use ros2_spdk::BdevLayer;
+use ros2_verbs::{MemoryDomain, NodeId};
+
+fn engine(ssds: usize) -> DaosEngine {
+    let bdevs = BdevLayer::new(NvmeArray::new(
+        NvmeModel::enterprise_1600(),
+        ssds,
+        DataMode::Stored,
+    ));
+    let mut e = DaosEngine::new(
+        "pool0",
+        bdevs,
+        256 << 20,
+        DaosCostModel::default_model(),
+        CoreClass::HostX86,
+    );
+    e.cont_create("cont0").unwrap();
+    e
+}
+
+/// One randomized op before epoch allocation.
+#[derive(Clone, Debug)]
+enum PlannedOp {
+    Update {
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        data: Bytes,
+    },
+    Fetch {
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    },
+}
+
+/// A randomized stream mixing single values and array extents, SCM-sized
+/// and NVMe-sized payloads, past-epoch and latest reads, across striped
+/// and single-target objects.
+fn plan_ops(seed: u64, steps: usize) -> Vec<(SimTime, PlannedOp)> {
+    let mut rng = SimRng::new(seed);
+    let mut now = SimTime::ZERO;
+    let mut highest_epoch = 0u64;
+    (0..steps)
+        .map(|_| {
+            if rng.chance(0.5) {
+                now = now + ros2_sim::SimDuration::from_nanos(rng.below(2_000_000));
+            }
+            let oid = if rng.chance(0.7) {
+                ObjectId::new(ObjClass::Sx, rng.below(4))
+            } else {
+                ObjectId::new(ObjClass::S1, 100 + rng.below(3))
+            };
+            let dkey = DKey::from_u64(rng.below(16));
+            let single = rng.chance(0.3);
+            let akey = if single {
+                AKey::from_str("v")
+            } else {
+                AKey::from_str("data")
+            };
+            let op = if rng.chance(0.6) {
+                highest_epoch += 1;
+                let len = if rng.chance(0.5) {
+                    1 + rng.below(4096) // SCM-bound
+                } else {
+                    4097 + rng.below(96 << 10) // NVMe-bound
+                };
+                let fill = (rng.below(255) + 1) as u8;
+                let kind = if single {
+                    ValueKind::Single
+                } else {
+                    ValueKind::Array {
+                        offset: rng.below(16) * 4096,
+                    }
+                };
+                PlannedOp::Update {
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    data: Bytes::from(vec![fill; len as usize]),
+                }
+            } else {
+                let epoch = if rng.chance(0.8) || highest_epoch == 0 {
+                    Epoch::LATEST
+                } else {
+                    Epoch(1 + rng.below(highest_epoch))
+                };
+                let kind = if single {
+                    ValueKind::Single
+                } else {
+                    ValueKind::Array {
+                        offset: rng.below(16) * 4096,
+                    }
+                };
+                PlannedOp::Fetch {
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    epoch,
+                    len: 1 + rng.below(64 << 10),
+                }
+            };
+            (now, op)
+        })
+        .collect()
+}
+
+/// Canonical comparable form of a per-op outcome.
+type Outcome = Result<(Option<Bytes>, SimTime), ros2_daos::DaosError>;
+
+fn run_serial(e: &mut DaosEngine, plan: &[(SimTime, PlannedOp)]) -> Vec<Outcome> {
+    plan.iter()
+        .map(|(now, op)| match op.clone() {
+            PlannedOp::Update {
+                oid,
+                dkey,
+                akey,
+                kind,
+                data,
+            } => {
+                let epoch = e.next_epoch("cont0").unwrap();
+                e.update(*now, "cont0", oid, dkey, akey, kind, epoch, data)
+                    .map(|at| (None, at))
+            }
+            PlannedOp::Fetch {
+                oid,
+                dkey,
+                akey,
+                kind,
+                epoch,
+                len,
+            } => e
+                .fetch(*now, "cont0", oid, &dkey, &akey, kind, epoch, len)
+                .map(|(b, at)| (Some(b), at)),
+        })
+        .collect()
+}
+
+fn run_batch(e: &mut DaosEngine, plan: &[(SimTime, PlannedOp)]) -> Vec<Outcome> {
+    let ops: Vec<TargetOp> = plan
+        .iter()
+        .map(|(now, op)| match op.clone() {
+            PlannedOp::Update {
+                oid,
+                dkey,
+                akey,
+                kind,
+                data,
+            } => {
+                let epoch = e.next_epoch("cont0").unwrap();
+                TargetOp::Update {
+                    now: *now,
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    epoch,
+                    data,
+                }
+            }
+            PlannedOp::Fetch {
+                oid,
+                dkey,
+                akey,
+                kind,
+                epoch,
+                len,
+            } => TargetOp::Fetch {
+                now: *now,
+                oid,
+                dkey,
+                akey,
+                kind,
+                epoch,
+                len,
+            },
+        })
+        .collect();
+    e.execute_batch("cont0", ops)
+        .unwrap()
+        .into_iter()
+        .map(|r| match r {
+            TargetOpResult::Update(r) => r.map(|at| (None, at)),
+            TargetOpResult::Fetch(r) => r.map(|(b, at)| (Some(b), at)),
+        })
+        .collect()
+}
+
+fn assert_engines_agree(a: &DaosEngine, b: &DaosEngine, what: &str) {
+    assert_eq!(a.vos_stats(), b.vos_stats(), "{what}: VOS stats diverged");
+    assert_eq!(
+        a.resource_stats(),
+        b.resource_stats(),
+        "{what}: booking counters diverged"
+    );
+    assert_eq!(
+        a.data_plane_stats(),
+        b.data_plane_stats(),
+        "{what}: data-plane counters diverged"
+    );
+    assert_eq!(a.rpcs(), b.rpcs(), "{what}: rpc counters diverged");
+}
+
+#[test]
+fn parallel_batch_equals_serial_ops() {
+    for seed in [3u64, 17, 92, 1105] {
+        let plan = plan_ops(seed, 200);
+        let mut serial = engine(4);
+        let serial_out = run_serial(&mut serial, &plan);
+
+        let mut parallel = engine(4);
+        let parallel_out = run_batch(&mut parallel, &plan);
+
+        let mut forced = engine(4);
+        forced.set_force_serial_batch(true);
+        let forced_out = run_batch(&mut forced, &plan);
+
+        for (i, ((s, p), f)) in serial_out
+            .iter()
+            .zip(&parallel_out)
+            .zip(&forced_out)
+            .enumerate()
+        {
+            assert_eq!(s, p, "seed {seed} op {i}: serial != parallel batch");
+            assert_eq!(p, f, "seed {seed} op {i}: parallel != forced-serial batch");
+        }
+        assert_engines_agree(&serial, &parallel, &format!("seed {seed} serial/parallel"));
+        assert_engines_agree(&parallel, &forced, &format!("seed {seed} parallel/forced"));
+    }
+}
+
+#[test]
+fn batch_interleaves_same_key_ops_in_submission_order() {
+    // An update followed by a fetch of the same key inside one batch must
+    // behave exactly like the serial sequence (same shard, order
+    // preserved).
+    let mut e = engine(4);
+    let oid = ObjectId::new(ObjClass::Sx, 1);
+    let d = DKey::from_u64(5);
+    let a = AKey::from_str("data");
+    let e1 = e.next_epoch("cont0").unwrap();
+    let e2 = e.next_epoch("cont0").unwrap();
+    let results = e
+        .execute_batch(
+            "cont0",
+            vec![
+                TargetOp::Update {
+                    now: SimTime::ZERO,
+                    oid,
+                    dkey: d.clone(),
+                    akey: a.clone(),
+                    kind: ValueKind::Array { offset: 0 },
+                    epoch: e1,
+                    data: Bytes::from(vec![1u8; 8192]),
+                },
+                TargetOp::Update {
+                    now: SimTime::ZERO,
+                    oid,
+                    dkey: d.clone(),
+                    akey: a.clone(),
+                    kind: ValueKind::Array { offset: 0 },
+                    epoch: e2,
+                    data: Bytes::from(vec![2u8; 8192]),
+                },
+                TargetOp::Fetch {
+                    now: SimTime::ZERO,
+                    oid,
+                    dkey: d.clone(),
+                    akey: a.clone(),
+                    kind: ValueKind::Array { offset: 0 },
+                    epoch: Epoch::LATEST,
+                    len: 8192,
+                },
+                TargetOp::Fetch {
+                    now: SimTime::ZERO,
+                    oid,
+                    dkey: d,
+                    akey: a,
+                    kind: ValueKind::Array { offset: 0 },
+                    epoch: e1,
+                    len: 8192,
+                },
+            ],
+        )
+        .unwrap();
+    let (latest, _) = results[2].clone().into_fetch().unwrap();
+    assert!(latest.iter().all(|&b| b == 2), "LATEST sees the 2nd update");
+    let (past, _) = results[3].clone().into_fetch().unwrap();
+    assert!(past.iter().all(|&b| b == 1), "epoch-bounded read sees v1");
+}
+
+// ---- client-level equivalence: serial ops == batch-of-one ---------------
+
+fn client_world(transport: Transport) -> (Fabric, DaosEngine, DaosClient) {
+    let spec = |name: &str, cores: usize| NodeSpec {
+        name: name.into(),
+        cpu: CpuComplement {
+            class: CoreClass::HostX86,
+            cores,
+        },
+        nic: NicModel::connectx6(),
+        port_rate: gbps(100),
+        mem_budget: 8 << 30,
+        dpu_tcp_rx: None,
+    };
+    let mut fabric = Fabric::new(transport, vec![spec("client", 48), spec("storage", 64)], 23);
+    let mut e = engine(4);
+    e.cont_create("cont0").unwrap();
+    let client = DaosClient::connect(
+        &mut fabric,
+        NodeId(0),
+        NodeId(1),
+        "tenant",
+        "cont0",
+        2,
+        4 << 20,
+        MemoryDomain::HostDram,
+        DaosCostModel::default_model(),
+    )
+    .unwrap();
+    (fabric, e, client)
+}
+
+#[test]
+fn client_batch_of_one_equals_serial_op() {
+    for transport in [Transport::Rdma, Transport::Tcp] {
+        let (mut f1, mut e1, mut c1) = client_world(transport);
+        let (mut f2, mut e2, mut c2) = client_world(transport);
+        let oid = ObjectId::new(ObjClass::Sx, 1);
+        let mut rng = SimRng::new(77);
+        let mut now = SimTime::ZERO;
+        for i in 0..24u64 {
+            now = now + ros2_sim::SimDuration::from_nanos(rng.below(500_000));
+            let dkey = DKey::from_u64(i % 6);
+            let akey = AKey::from_str("data");
+            let len = 1 + rng.below(128 << 10);
+            if rng.chance(0.5) {
+                let data = Bytes::from(vec![(i % 250) as u8 + 1; len as usize]);
+                let serial = c1.update(
+                    &mut f1,
+                    &mut e1,
+                    now,
+                    0,
+                    oid,
+                    dkey.clone(),
+                    akey.clone(),
+                    ValueKind::Array { offset: 0 },
+                    data.clone(),
+                );
+                let batch = c2
+                    .execute_batch(
+                        &mut f2,
+                        &mut e2,
+                        now,
+                        0,
+                        vec![ClientOp::Update {
+                            oid,
+                            dkey,
+                            akey,
+                            kind: ValueKind::Array { offset: 0 },
+                            data,
+                        }],
+                    )
+                    .remove(0)
+                    .into_update();
+                assert_eq!(serial, batch, "{transport:?} op {i}: update diverged");
+            } else {
+                let serial = c1.fetch(
+                    &mut f1,
+                    &mut e1,
+                    now,
+                    0,
+                    oid,
+                    dkey.clone(),
+                    akey.clone(),
+                    ValueKind::Array { offset: 0 },
+                    Epoch::LATEST,
+                    len,
+                );
+                let batch = c2
+                    .execute_batch(
+                        &mut f2,
+                        &mut e2,
+                        now,
+                        0,
+                        vec![ClientOp::Fetch {
+                            oid,
+                            dkey,
+                            akey,
+                            kind: ValueKind::Array { offset: 0 },
+                            epoch: Epoch::LATEST,
+                            len,
+                        }],
+                    )
+                    .remove(0)
+                    .into_fetch();
+                assert_eq!(serial, batch, "{transport:?} op {i}: fetch diverged");
+            }
+        }
+        assert_eq!(
+            f1.resource_stats(),
+            f2.resource_stats(),
+            "{transport:?}: fabric bookings diverged"
+        );
+        assert_engines_agree(&e1, &e2, &format!("{transport:?} client worlds"));
+        assert_eq!(c1.ops(), c2.ops());
+    }
+}
+
+#[test]
+fn client_multi_op_batch_round_trips() {
+    // A QD-N style fan-out: 16 mixed ops in one batch, functional results
+    // must match what the serial path would produce for the same keys.
+    let (mut f, mut e, mut c) = client_world(Transport::Rdma);
+    let oid = ObjectId::new(ObjClass::Sx, 9);
+    let mut ops = Vec::new();
+    for i in 0..8u64 {
+        ops.push(ClientOp::Update {
+            oid,
+            dkey: DKey::from_u64(i),
+            akey: AKey::from_str("data"),
+            kind: ValueKind::Array { offset: 0 },
+            data: Bytes::from(vec![i as u8 + 1; 32 << 10]),
+        });
+    }
+    for i in 0..8u64 {
+        ops.push(ClientOp::Fetch {
+            oid,
+            dkey: DKey::from_u64(i),
+            akey: AKey::from_str("data"),
+            kind: ValueKind::Array { offset: 0 },
+            epoch: Epoch::LATEST,
+            len: 32 << 10,
+        });
+    }
+    let results = c.execute_batch(&mut f, &mut e, SimTime::ZERO, 0, ops);
+    assert_eq!(results.len(), 16);
+    for (i, r) in results.into_iter().enumerate() {
+        match i {
+            0..=7 => {
+                r.into_update().unwrap();
+            }
+            _ => {
+                let want = (i - 8) as u8 + 1;
+                let (data, _) = r.into_fetch().unwrap();
+                assert_eq!(data.len(), 32 << 10);
+                assert!(data.iter().all(|&b| b == want), "op {i} read wrong bytes");
+            }
+        }
+    }
+    // Oversized ops fail in place without sinking the batch.
+    let mixed = c.execute_batch(
+        &mut f,
+        &mut e,
+        SimTime::from_secs(1),
+        0,
+        vec![
+            ClientOp::Update {
+                oid,
+                dkey: DKey::from_u64(0),
+                akey: AKey::from_str("data"),
+                kind: ValueKind::Array { offset: 0 },
+                data: Bytes::from(vec![0u8; 8 << 20]), // > 4 MiB staging
+            },
+            ClientOp::Fetch {
+                oid,
+                dkey: DKey::from_u64(1),
+                akey: AKey::from_str("data"),
+                kind: ValueKind::Array { offset: 0 },
+                epoch: Epoch::LATEST,
+                len: 32 << 10,
+            },
+        ],
+    );
+    assert!(matches!(
+        mixed[0],
+        ClientOpResult::Update(Err(ros2_daos::DaosError::Transport(_)))
+    ));
+    mixed[1].clone().into_fetch().unwrap();
+}

@@ -18,7 +18,7 @@
 use bytes::Bytes;
 use ros2_ctl::{WireReader, WireWriter};
 use ros2_daos::{
-    AKey, DKey, DaosClient, DaosEngine, DaosError, Epoch, ObjClass, ObjectId, ValueKind,
+    AKey, ClientOp, DKey, DaosClient, DaosEngine, DaosError, Epoch, ObjClass, ObjectId, ValueKind,
 };
 use ros2_fabric::Fabric;
 use ros2_sim::SimTime;
@@ -435,25 +435,49 @@ impl Dfs {
         let mut t_done = now;
         let mut pos = 0u64;
         let len = data.len() as u64;
-        while pos < len {
-            let abs = offset + pos;
-            let chunk = abs / self.chunk_size;
-            let in_chunk = abs % self.chunk_size;
-            let take = (self.chunk_size - in_chunk).min(len - pos);
-            let piece = data.slice(pos as usize..(pos + take) as usize);
+        let single_chunk =
+            len > 0 && offset / self.chunk_size == (offset + len - 1) / self.chunk_size;
+        if len == 0 {
+            // Nothing to transfer: no RPC, no epoch, no extent record (the
+            // size update below still runs, as it always has).
+        } else if single_chunk {
+            // The common case (FIO block sizes never exceed the chunk):
+            // one update, no batch bookkeeping.
             let at = s.client.update(
                 s.fabric,
                 s.engine,
                 now,
                 job,
                 file.oid,
-                DKey::from_u64(chunk),
+                DKey::from_u64(offset / self.chunk_size),
                 data_akey(),
-                ValueKind::Array { offset: in_chunk },
-                piece,
+                ValueKind::Array {
+                    offset: offset % self.chunk_size,
+                },
+                data.clone(),
             )?;
             t_done = t_done.max(at);
-            pos += take;
+        } else {
+            // Striped write: one batched fan-out across the chunks'
+            // shards instead of a serial round-trip per chunk.
+            let mut ops = Vec::new();
+            while pos < len {
+                let abs = offset + pos;
+                let chunk = abs / self.chunk_size;
+                let in_chunk = abs % self.chunk_size;
+                let take = (self.chunk_size - in_chunk).min(len - pos);
+                ops.push(ClientOp::Update {
+                    oid: file.oid,
+                    dkey: DKey::from_u64(chunk),
+                    akey: data_akey(),
+                    kind: ValueKind::Array { offset: in_chunk },
+                    data: data.slice(pos as usize..(pos + take) as usize),
+                });
+                pos += take;
+            }
+            for r in s.client.execute_batch(s.fabric, s.engine, now, job, ops) {
+                t_done = t_done.max(r.into_update()?);
+            }
         }
         // Extending writes persist the new size in the parent entry.
         if offset + len > file.size {
@@ -510,29 +534,31 @@ impl Dfs {
             )?;
             return Ok((piece, at));
         }
-        let mut out = bytes::BytesMut::with_capacity(len as usize);
-        let mut t_done = now;
+        // Striped read: one batched fan-out across the chunks' shards,
+        // stitched back in offset order.
+        let mut ops = Vec::new();
         let mut pos = 0u64;
         while pos < len {
             let abs = offset + pos;
             let chunk = abs / self.chunk_size;
             let in_chunk = abs % self.chunk_size;
             let take = (self.chunk_size - in_chunk).min(len - pos);
-            let (piece, at) = s.client.fetch(
-                s.fabric,
-                s.engine,
-                now,
-                job,
-                file.oid,
-                DKey::from_u64(chunk),
-                data_akey(),
-                ValueKind::Array { offset: in_chunk },
-                Epoch::LATEST,
-                take,
-            )?;
+            ops.push(ClientOp::Fetch {
+                oid: file.oid,
+                dkey: DKey::from_u64(chunk),
+                akey: data_akey(),
+                kind: ValueKind::Array { offset: in_chunk },
+                epoch: Epoch::LATEST,
+                len: take,
+            });
+            pos += take;
+        }
+        let mut out = bytes::BytesMut::with_capacity(len as usize);
+        let mut t_done = now;
+        for r in s.client.execute_batch(s.fabric, s.engine, now, job, ops) {
+            let (piece, at) = r.into_fetch()?;
             out.extend_from_slice(&piece);
             t_done = t_done.max(at);
-            pos += take;
         }
         Ok((out.freeze(), t_done))
     }
@@ -552,7 +578,7 @@ impl Dfs {
             .engine
             .list_dkeys(dir.oid)
             .into_iter()
-            .filter_map(|d| String::from_utf8(d.0.to_vec()).ok())
+            .filter_map(|d| String::from_utf8(d.as_bytes().to_vec()).ok())
             .filter(|n| n != ".")
             .collect();
         names.sort();

@@ -176,6 +176,32 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_write_issues_no_data_rpc() {
+        let (mut f, mut e, mut c, mut dfs) = mounted(1);
+        let root = dfs.root();
+        let (mut file, t) = dfs
+            .create(sess!(f, e, c), SimTime::ZERO, &root, "empty", 0o644)
+            .unwrap();
+        let ops_before = c.ops();
+        let rpcs_before = e.rpcs();
+        let done = dfs
+            .write(sess!(f, e, c), t, 0, &mut file, 0, Bytes::new())
+            .unwrap();
+        assert_eq!(done, t, "no transfer, no virtual time");
+        assert_eq!(c.ops(), ops_before, "no client op for an empty write");
+        assert_eq!(e.rpcs(), rpcs_before, "no engine RPC for an empty write");
+        assert_eq!(file.size, 0);
+        // A sparse extension past EOF still persists the new size.
+        let at = dfs
+            .write(sess!(f, e, c), done, 0, &mut file, 4096, Bytes::new())
+            .unwrap();
+        assert_eq!(file.size, 4096);
+        assert!(at >= done);
+        let (st, _) = dfs.stat(sess!(f, e, c), at, &root, "empty").unwrap();
+        assert_eq!(st.size, 4096);
+    }
+
+    #[test]
     fn namespace_tree_operations() {
         let (mut f, mut e, mut c, mut dfs) = mounted(1);
         let root = dfs.root();

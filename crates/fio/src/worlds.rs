@@ -24,13 +24,12 @@ use ros2_verbs::{MemoryDomain, NodeId};
 
 use crate::driver::{FioOp, Workload};
 
-/// Shared zero payload pool: slicing is refcounted and free.
-fn zeros(len: usize, cache: &Bytes) -> Bytes {
-    if len <= cache.len() {
-        cache.slice(0..len)
-    } else {
-        Bytes::from(vec![0u8; len])
-    }
+/// Synthetic zero payloads come from the process-wide shared zero pool
+/// (`ros2_buf::zero_bytes`): slicing is refcounted and free, and the
+/// checksum paths recognize pool slices as known-zero, answering their
+/// CRCs in closed form instead of scanning gigabytes of zeros.
+fn zeros(len: usize) -> Bytes {
+    ros2_buf::zero_bytes(len)
 }
 
 // ---------------------------------------------------------------- local --
@@ -40,7 +39,6 @@ pub struct LocalFioWorld {
     engine: IoUringEngine,
     array: NvmeArray,
     region: u64,
-    payload: Bytes,
 }
 
 impl LocalFioWorld {
@@ -52,7 +50,6 @@ impl LocalFioWorld {
             engine: IoUringEngine::new(HostPathModel::iouring(), jobs, 256),
             array: NvmeArray::new(NvmeModel::enterprise_1600(), ssds, mode),
             region,
-            payload: Bytes::from(vec![0u8; 4 << 20]),
         }
     }
 
@@ -73,7 +70,7 @@ impl Workload for LocalFioWorld {
             write: op.write,
             slba: base_lba + op.offset / LBA_SIZE,
             nlb: (op.len / LBA_SIZE) as u32,
-            data: op.write.then(|| zeros(op.len as usize, &self.payload)),
+            data: op.write.then(|| zeros(op.len as usize)),
         };
         self.engine
             .submit(now, job, &mut self.array, req)
@@ -90,7 +87,6 @@ pub struct SpdkFioWorld {
     stack: NvmfStack,
     sessions: Vec<NvmfSession>,
     region: u64,
-    payload: Bytes,
 }
 
 impl SpdkFioWorld {
@@ -143,7 +139,6 @@ impl SpdkFioWorld {
             stack,
             sessions,
             region,
-            payload: Bytes::from(vec![0u8; 4 << 20]),
         }
     }
 }
@@ -155,7 +150,7 @@ impl Workload for SpdkFioWorld {
         let session = &mut self.sessions[job];
         if op.write {
             self.stack
-                .write(now, session, 0, slba, zeros(op.len as usize, &self.payload))
+                .write(now, session, 0, slba, zeros(op.len as usize))
                 .map_err(|e| format!("{e:?}"))
         } else {
             self.stack
@@ -180,7 +175,6 @@ pub struct DfsFioWorld {
     /// The mounted namespace.
     pub dfs: Dfs,
     files: Vec<DfsObj>,
-    payload: Bytes,
 }
 
 impl DfsFioWorld {
@@ -285,7 +279,6 @@ impl DfsFioWorld {
         };
         let root = dfs.root();
         let mut files = Vec::with_capacity(jobs);
-        let payload = Bytes::from(vec![0u8; 4 << 20]);
         for j in 0..jobs {
             let mut s = DfsSession {
                 fabric: &mut fabric,
@@ -300,7 +293,7 @@ impl DfsFioWorld {
             while off < region {
                 let piece = chunk.min(region - off);
                 t = dfs
-                    .write(&mut s, t, j, &mut f, off, zeros(piece as usize, &payload))
+                    .write(&mut s, t, j, &mut f, off, zeros(piece as usize))
                     .expect("precondition write");
                 off += piece;
             }
@@ -318,7 +311,6 @@ impl DfsFioWorld {
             client,
             dfs,
             files,
-            payload,
         }
     }
 
@@ -336,10 +328,9 @@ impl Workload for DfsFioWorld {
             client: &mut self.client,
         };
         if op.write {
-            let data = zeros(op.len as usize, &self.payload);
-            let mut f = self.files[job].clone();
+            let data = zeros(op.len as usize);
             self.dfs
-                .write(&mut s, now, job, &mut f, op.offset, data)
+                .write(&mut s, now, job, &mut self.files[job], op.offset, data)
                 .map_err(|e| format!("{e:?}"))
         } else {
             self.dfs

@@ -259,6 +259,16 @@ impl NvmeDevice {
         self.backing.crc_of_range(offset, len)
     }
 
+    /// Seeds the backing store's chunk-CRC cache for a just-written range
+    /// (writers that checksummed the payload anyway hand the CRCs down so
+    /// the store's first verify never rescans).
+    pub fn seed_crc_cache<I>(&mut self, offset: u64, crcs: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        self.backing.seed_crc_cache(offset, crcs);
+    }
+
     /// Data-plane (copy vs zero-copy, CRC scan vs combine) counters.
     pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
         self.backing.data_plane_stats()

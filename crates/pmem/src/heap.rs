@@ -144,6 +144,16 @@ impl Heap {
         Ok(self.store.crc_of_range(offset, len))
     }
 
+    /// Seeds the chunk-CRC cache of the extent written at `offset` with
+    /// CRCs the writer already computed (see
+    /// [`ros2_buf::ExtentStore::seed_crcs`]).
+    pub fn seed_crcs<I>(&mut self, offset: u64, crcs: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        self.store.seed_crcs(offset, crcs);
+    }
+
     /// Data-plane (copy vs zero-copy, CRC scan vs combine) counters.
     pub fn data_plane_stats(&self) -> DataPlaneStats {
         self.store.stats()

@@ -136,6 +136,17 @@ impl PmemPool {
         self.heap.crc_of_range(oid.offset + at, len)
     }
 
+    /// Seeds the chunk-CRC cache of a freshly written object range with
+    /// CRCs the writer computed anyway — the object's grid is
+    /// extent-relative, so chunk `i` covers object bytes
+    /// `[at + i*CRC_CHUNK, ...)` of the write that placed them.
+    pub fn seed_crcs<I>(&mut self, oid: PmemOid, at: u64, crcs: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        self.heap.seed_crcs(oid.offset + at, crcs);
+    }
+
     /// Data-plane (copy vs zero-copy, CRC scan vs combine) counters.
     pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
         self.heap.data_plane_stats()

@@ -4,7 +4,7 @@
 
 use bytes::Bytes;
 use ros2_hw::LBA_SIZE;
-use ros2_nvme::{NvmeArray, NvmeCmd, NvmeCompletion, NvmeError};
+use ros2_nvme::{NvmeArray, NvmeCmd, NvmeCompletion, NvmeDevice, NvmeError};
 use ros2_sim::{ResourceStats, SimDuration, SimTime};
 
 /// A named bdev exposing one NVMe namespace.
@@ -111,6 +111,87 @@ impl BdevLayer {
     /// backing array.
     pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
         self.array.data_plane_stats()
+    }
+
+    /// A single-device handle onto bdev `idx` (a VOS target's slice of the
+    /// layer).
+    pub fn shard(&mut self, idx: usize) -> ShardBdev<'_> {
+        let dev = self.bdevs[idx].dev;
+        ShardBdev {
+            dev: self.array.device_mut(dev),
+            submit_cost: self.submit_cost,
+        }
+    }
+
+    /// Splits the layer into one [`ShardBdev`] per bdev, each borrowing
+    /// its device disjointly — what lets engine shards execute in parallel
+    /// without sharing any mutable state.
+    ///
+    /// The positional split requires the registry's bdev→device mapping to
+    /// be the identity (true for every constructor today); asserted here so
+    /// a future reordering registry cannot silently hand shard `i` some
+    /// other bdev's device while [`Self::shard`] resolves the mapping.
+    pub fn shards(&mut self) -> Vec<ShardBdev<'_>> {
+        for (i, b) in self.bdevs.iter().enumerate() {
+            assert_eq!(
+                b.dev, i,
+                "bdev registry must be identity-ordered for the positional shard split"
+            );
+        }
+        let submit_cost = self.submit_cost;
+        self.array
+            .devices_mut()
+            .iter_mut()
+            .map(|dev| ShardBdev { dev, submit_cost })
+            .collect()
+    }
+}
+
+/// One device's slice of the bdev layer: the submission interface a single
+/// VOS target owns. Holding a `ShardBdev` borrows exactly one device, so
+/// shards over distinct devices can run concurrently.
+#[derive(Debug)]
+pub struct ShardBdev<'a> {
+    dev: &'a mut NvmeDevice,
+    submit_cost: SimDuration,
+}
+
+impl ShardBdev<'_> {
+    /// Reads `nlb` blocks at `slba` from this shard's device.
+    pub fn read(&mut self, now: SimTime, slba: u64, nlb: u32) -> Result<NvmeCompletion, NvmeError> {
+        self.dev
+            .submit(now + self.submit_cost, NvmeCmd::read(slba, nlb))
+    }
+
+    /// Writes `data` at `slba` on this shard's device.
+    pub fn write(
+        &mut self,
+        now: SimTime,
+        slba: u64,
+        data: Bytes,
+    ) -> Result<NvmeCompletion, NvmeError> {
+        debug_assert_eq!(data.len() as u64 % LBA_SIZE, 0);
+        self.dev
+            .submit(now + self.submit_cost, NvmeCmd::write(slba, data))
+    }
+
+    /// The CRC32C of stored bytes `[byte_offset, byte_offset+len)` — from
+    /// the backing store's CRC cache, no media timing.
+    pub fn crc_of_range(&mut self, byte_offset: u64, len: u64) -> u32 {
+        self.dev.crc_of_range(byte_offset, len)
+    }
+
+    /// Seeds the backing store's chunk-CRC cache for a just-written range.
+    pub fn seed_crc_cache<I>(&mut self, byte_offset: u64, crcs: I)
+    where
+        I: ExactSizeIterator<Item = u32>,
+    {
+        self.dev.seed_crc_cache(byte_offset, crcs);
+    }
+
+    /// Direct device access (corruption injection in tests).
+    pub fn device_mut(&mut self) -> &mut NvmeDevice {
+        self.dev
     }
 }
 

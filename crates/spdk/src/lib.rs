@@ -12,5 +12,5 @@
 pub mod bdev;
 pub mod nvmf;
 
-pub use bdev::{BdevDesc, BdevLayer};
+pub use bdev::{BdevDesc, BdevLayer, ShardBdev};
 pub use nvmf::{NvmfError, NvmfInitiator, NvmfOpcode, NvmfSession, NvmfStack, NvmfTarget};

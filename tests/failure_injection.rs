@@ -19,20 +19,7 @@ fn media_corruption_is_detected_end_to_end() {
     let oid = f.oid;
     let dkey = DKey::from_u64(0);
     let akey = AKey::from_str("data");
-    let target = sys.engine.target_of(oid, Some(&dkey));
-    let mut bdevs = std::mem::replace(
-        sys.engine.bdevs_mut(),
-        ros2::spdk::BdevLayer::new(ros2::nvme::NvmeArray::new(
-            ros2::hw::NvmeModel::enterprise_1600(),
-            1,
-            ros2::nvme::DataMode::Pattern,
-        )),
-    );
-    assert!(sys
-        .engine
-        .target_mut(target)
-        .corrupt_newest_extent(&mut bdevs, oid, &dkey, &akey));
-    *sys.engine.bdevs_mut() = bdevs;
+    assert!(sys.engine.corrupt_newest_extent(oid, &dkey, &akey));
 
     // The end-to-end checksum catches it at the POSIX layer.
     match sys.read(&f, 0, 4096) {
