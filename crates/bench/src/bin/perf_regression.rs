@@ -1,8 +1,18 @@
 //! Simulator-throughput regression gate: times a fixed Fig. 5-style DFS
-//! sweep on **wall clock** (not virtual time) and emits `BENCH_PR3.json` so
+//! sweep on **wall clock** (not virtual time) and emits `BENCH_PR4.json` so
 //! successive PRs accumulate a perf trajectory for the booking core, the
-//! zero-copy data plane, and (PR 3) the allocation-free sharded metadata
-//! path.
+//! zero-copy data plane, the allocation-free sharded metadata path (PR 3),
+//! and (PR 4) the DPU-offloaded client.
+//!
+//! PR 4 adds a **host-vs-DPU A/B sweep** over *simulated* throughput: each
+//! cell runs the classic host-placement world against the offloaded world
+//! (`DpuClient`: host submit/poll doorbell, tenant QoS admission, scoped
+//! rkeys, DPU-side CRC) on the same plan, plus one contended multi-tenant
+//! cell where a 64 MiB/s tenant shares the DPU with an unthrottled one.
+//! These are virtual-time results — deterministic, so the recorded ratios
+//! and the QoS shaping are gated exactly, and `ops_simulated` of the
+//! legacy sweep is pinned at 595716 (the offload path must not perturb the
+//! host-placement control arm by a single grant).
 //!
 //! Measurement discipline (PR 3): BENCH_PR2 recorded the batched pass 22 %
 //! *slower* than the per-segment pass. Two real causes and one artifact:
@@ -49,6 +59,7 @@ use ros2_buf::DataPlaneStats;
 use ros2_daos::{
     AKey, DKey, DaosCostModel, DaosEngine, Epoch, ObjClass, ObjectId, TargetOp, ValueKind,
 };
+use ros2_dpu::{DpuTenantSpec, QosLimits};
 use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
 use ros2_hw::{ClientPlacement, CoreClass, NvmeModel, Transport};
 use ros2_nvme::{DataMode, NvmeArray};
@@ -58,12 +69,19 @@ use ros2_spdk::BdevLayer;
 const JOBS: usize = 4;
 const REGION: u64 = 16 << 20;
 
+/// The legacy sweep's total simulated ops — pinned since PR 3. The offload
+/// work must leave the host-placement control arm bit-identical, so this
+/// is asserted, not just recorded.
+const OPS_SIMULATED_PIN: u64 = 595_716;
+
 /// `sweep_wall_ms` recorded by this harness at the PR 2 head (same cell
 /// plan, same container class) — the baseline the sharded metadata-path
 /// rework is gated against.
 const PR2_SWEEP_WALL_MS: f64 = 3_460.2;
 /// And the PR 1 figure, kept for the long trajectory.
 const PR1_SWEEP_WALL_MS: f64 = 20_568.5;
+/// The PR 3 head, for the running trajectory.
+const PR3_SWEEP_WALL_MS: f64 = 1_986.9;
 
 fn spec(rw: RwMode, bs: u64, jobs: usize, qd: usize) -> JobSpec {
     JobSpec::new(rw, bs, jobs)
@@ -384,6 +402,114 @@ fn wire_traversal_microbench() -> (f64, f64) {
     (fast, slow)
 }
 
+/// One host-vs-DPU A/B cell: the same plan through the classic
+/// host-placement world and the offloaded world. Simulated (virtual-time)
+/// throughput on both sides, so the ratio is deterministic.
+struct DpuAbCell {
+    transport: Transport,
+    rw: RwMode,
+    bs: u64,
+    host_gib_s: f64,
+    dpu_gib_s: f64,
+    handoff_us_per_op: f64,
+}
+
+const AB_JOBS: usize = 2;
+const AB_REGION: u64 = 8 << 20;
+
+fn ab_spec(rw: RwMode, bs: u64) -> JobSpec {
+    JobSpec::new(rw, bs, AB_JOBS)
+        .iodepth(4)
+        .region(AB_REGION)
+        .windows(SimDuration::from_millis(20), SimDuration::from_millis(80))
+}
+
+/// Runs the single-tenant host-vs-DPU sweep: {rdma, tcp} × {read, write} ×
+/// {1 MiB, 4 KiB}. Returns the per-cell results plus the offload counters
+/// merged across every DPU arm.
+fn host_vs_dpu_sweep() -> (Vec<DpuAbCell>, ros2_dpu::DpuStats) {
+    let mut cells = Vec::new();
+    let mut offload_totals = ros2_dpu::DpuStats::default();
+    for &transport in &[Transport::Rdma, Transport::Tcp] {
+        for &rw in &[RwMode::Read, RwMode::Write] {
+            for &bs in &[1u64 << 20, 4 << 10] {
+                let mut host_world = DfsFioWorld::new(
+                    transport,
+                    ClientPlacement::Host,
+                    1,
+                    AB_JOBS,
+                    AB_REGION,
+                    DataMode::Null,
+                );
+                let host = run_fio(&mut host_world, &ab_spec(rw, bs));
+                let mut dpu_world = DfsFioWorld::offloaded(
+                    transport,
+                    1,
+                    AB_JOBS,
+                    AB_REGION,
+                    DataMode::Null,
+                    vec![DpuTenantSpec::unlimited("fio")],
+                );
+                let dpu = run_fio(&mut dpu_world, &ab_spec(rw, bs));
+                let s = dpu_world.client.dpu_stats();
+                offload_totals.merge(s);
+                // Per offloaded op (a serial op pays a submit AND a poll).
+                let handoff_us_per_op =
+                    s.handoff_wait.as_secs_f64() * 1e6 / s.ops_offloaded.max(1) as f64;
+                cells.push(DpuAbCell {
+                    transport,
+                    rw,
+                    bs,
+                    host_gib_s: host.gib_per_sec(),
+                    dpu_gib_s: dpu.gib_per_sec(),
+                    handoff_us_per_op,
+                });
+            }
+        }
+    }
+    (cells, offload_totals)
+}
+
+/// The contended multi-tenant cell: a 64 MiB/s tenant and an unthrottled
+/// one share the offloaded client (two jobs each). Returns
+/// (capped admitted bytes, greedy admitted bytes, capped throttled ops,
+/// capped cumulative throttle wait in ms) over the 0.1 s virtual run.
+fn qos_contended_cell() -> (u64, u64, u64, f64) {
+    let capped = DpuTenantSpec {
+        name: "capped".into(),
+        qos: QosLimits {
+            ops_per_sec: 1_000_000,
+            bytes_per_sec: 64 << 20,
+            burst: (1 << 20, 1 << 20),
+        },
+        rkey_scope: SimDuration::from_secs(30),
+    };
+    let mut w = DfsFioWorld::offloaded(
+        Transport::Rdma,
+        1,
+        4,
+        AB_REGION,
+        DataMode::Null,
+        vec![capped, DpuTenantSpec::unlimited("greedy")],
+    );
+    run_fio(
+        &mut w,
+        &JobSpec::new(RwMode::Write, 1 << 20, 4)
+            .iodepth(4)
+            .region(AB_REGION)
+            .windows(SimDuration::from_millis(20), SimDuration::from_millis(80)),
+    );
+    let client = w.client.offloaded().expect("offloaded world");
+    let capped_ctx = client.tenants().tenant("capped").unwrap();
+    let greedy_ctx = client.tenants().tenant("greedy").unwrap();
+    (
+        capped_ctx.admitted.1,
+        greedy_ctx.admitted.1,
+        capped_ctx.throttled,
+        capped_ctx.throttle_wait.as_secs_f64() * 1e3,
+    )
+}
+
 fn metadata_engine() -> DaosEngine {
     let bdevs = BdevLayer::new(NvmeArray::new(
         NvmeModel::enterprise_1600(),
@@ -529,6 +655,11 @@ fn main() {
     let (fast, slow) = ab_sweep(JOBS, 8);
     let uncontended = uncontended_sweep();
 
+    // PR 4: host-vs-DPU A/B over simulated throughput + the contended
+    // multi-tenant QoS cell (both deterministic virtual-time results).
+    let (dpu_cells, dpu_totals) = host_vs_dpu_sweep();
+    let (qos_capped_bytes, qos_greedy_bytes, qos_throttled, qos_wait_ms) = qos_contended_cell();
+
     let (seed_ms, new_ms) = booking_core_microbench(150_000);
     let core_speedup = seed_ms / new_ms.max(1e-9);
     let (wire_fast_ms, wire_slow_ms) = wire_traversal_microbench();
@@ -549,8 +680,26 @@ fn main() {
     let zero_copy_rate_contended = fast.dp.zero_copy_rate();
     let mut dp_total = fast.dp;
     dp_total.merge(uncontended.dp);
+    let speedup_vs_pr3 = PR3_SWEEP_WALL_MS / fast.wall_ms.max(1e-9);
     let speedup_vs_pr2 = PR2_SWEEP_WALL_MS / fast.wall_ms.max(1e-9);
     let speedup_vs_pr1 = PR1_SWEEP_WALL_MS / fast.wall_ms.max(1e-9);
+
+    // Aggregate host-vs-DPU ratios for the gate: RDMA large-block parity
+    // and the RDMA small-I/O gap (the paper's Fig. 5d shape).
+    let ratio = |t: Transport, rw: RwMode, bs: u64| {
+        let c = dpu_cells
+            .iter()
+            .find(|c| c.transport == t && c.rw == rw && c.bs == bs)
+            .expect("cell exists");
+        c.dpu_gib_s / c.host_gib_s.max(1e-12)
+    };
+    let dpu_rdma_large_ratio = (ratio(Transport::Rdma, RwMode::Read, 1 << 20)
+        + ratio(Transport::Rdma, RwMode::Write, 1 << 20))
+        / 2.0;
+    let dpu_rdma_small_ratio = (ratio(Transport::Rdma, RwMode::Read, 4 << 10)
+        + ratio(Transport::Rdma, RwMode::Write, 4 << 10))
+        / 2.0;
+    let dpu_tcp_read_ratio = ratio(Transport::Tcp, RwMode::Read, 1 << 20);
 
     println!(
         "fig5-style sweep, {} A/B cells x {JOBS} jobs + {} uncontended cells",
@@ -618,11 +767,92 @@ fn main() {
          (speedup {wire_speedup:.3}; the PR2 harness recorded 0.82 by \
          measuring its first full pass cold — see the header)"
     );
+    println!("host-vs-DPU A/B (simulated GiB/s, host | offloaded):");
+    for c in &dpu_cells {
+        println!(
+            "  {:>4} {:>5} {:>7}: {:>7.3} | {:<7.3} ({:.2}x, handoff {:.1} us/op)",
+            c.transport.label(),
+            c.rw.label(),
+            if c.bs >= 1 << 20 { "1m" } else { "4k" },
+            c.host_gib_s,
+            c.dpu_gib_s,
+            c.dpu_gib_s / c.host_gib_s.max(1e-12),
+            c.handoff_us_per_op,
+        );
+    }
+    println!(
+        "  rdma ratios: large {dpu_rdma_large_ratio:.3}, small {dpu_rdma_small_ratio:.3}; \
+         tcp 1m read ratio {dpu_tcp_read_ratio:.3}"
+    );
+    println!(
+        "  offload totals: {} ops, {} B admitted, {} rkey refreshes, {} B checksummed on-DPU",
+        dpu_totals.ops_offloaded,
+        dpu_totals.bytes_admitted,
+        dpu_totals.rkey_refreshes,
+        dpu_totals.crc_bytes,
+    );
+    println!(
+        "  qos contended cell: capped {:.1} MiB admitted ({} throttles, {:.0} ms queued), \
+         greedy {:.1} MiB",
+        qos_capped_bytes as f64 / (1 << 20) as f64,
+        qos_throttled,
+        qos_wait_ms,
+        qos_greedy_bytes as f64 / (1 << 20) as f64,
+    );
+    assert_eq!(
+        total_ops, OPS_SIMULATED_PIN,
+        "the legacy sweep's simulated ops are pinned: the host-placement \
+         control arm must stay bit-identical across the offload work"
+    );
+    // Offload gates (virtual-time, deterministic). RDMA large blocks stay
+    // near host parity; the small-I/O gap lands in the paper's 20-40 %
+    // band without collapsing; QoS admission measurably shapes the capped
+    // tenant while the greedy one runs at data-plane speed.
+    assert!(
+        dpu_rdma_large_ratio > 0.80,
+        "offloaded RDMA large-block throughput must stay near host parity \
+         (ratio {dpu_rdma_large_ratio:.3})"
+    );
+    assert!(
+        (0.40..1.0).contains(&dpu_rdma_small_ratio),
+        "offloaded RDMA small-I/O must trail the host (ARM cores + handoff) \
+         but not collapse (ratio {dpu_rdma_small_ratio:.3})"
+    );
+    assert!(
+        qos_throttled > 0 && qos_capped_bytes < qos_greedy_bytes / 5,
+        "QoS admission must shape the capped tenant: capped {qos_capped_bytes} B \
+         ({qos_throttled} throttles) vs greedy {qos_greedy_bytes} B"
+    );
+    let qos_bound = (64u64 << 20) / 10 + (1 << 20) + 8 * (1 << 20);
+    assert!(
+        qos_capped_bytes <= qos_bound,
+        "capped tenant admitted {qos_capped_bytes} B > cap+burst+inflight bound {qos_bound} B"
+    );
+
+    let mut ab_json = String::from("[");
+    for (i, c) in dpu_cells.iter().enumerate() {
+        if i > 0 {
+            ab_json.push_str(", ");
+        }
+        ab_json.push_str(&format!(
+            "{{\"transport\": \"{}\", \"rw\": \"{}\", \"bs\": {}, \
+             \"host_gib_s\": {:.4}, \"dpu_gib_s\": {:.4}, \"handoff_us_per_op\": {:.2}}}",
+            c.transport.label(),
+            c.rw.label(),
+            c.bs,
+            c.host_gib_s,
+            c.dpu_gib_s,
+            c.handoff_us_per_op,
+        ));
+    }
+    ab_json.push(']');
 
     let json = format!(
         "{{\n  \"sweep_wall_ms\": {:.1},\n  \"per_segment_wall_ms\": {:.1},\n  \
-         \"uncontended_wall_ms\": {:.1},\n  \"baseline_pr2_sweep_wall_ms\": {PR2_SWEEP_WALL_MS:.1},\n  \
+         \"uncontended_wall_ms\": {:.1},\n  \"baseline_pr3_sweep_wall_ms\": {PR3_SWEEP_WALL_MS:.1},\n  \
+         \"baseline_pr2_sweep_wall_ms\": {PR2_SWEEP_WALL_MS:.1},\n  \
          \"baseline_pr1_sweep_wall_ms\": {PR1_SWEEP_WALL_MS:.1},\n  \
+         \"speedup_vs_pr3\": {speedup_vs_pr3:.2},\n  \
          \"speedup_vs_pr2\": {speedup_vs_pr2:.2},\n  \"speedup_vs_pr1\": {speedup_vs_pr1:.2},\n  \
          \"wire_batched_speedup\": {wire_speedup:.3},\n  \
          \"sweep_batched_speedup\": {sweep_batched_speedup:.3},\n  \
@@ -642,7 +872,19 @@ fn main() {
          \"bytes_zero_copy\": {},\n  \"bytes_copied\": {},\n  \
          \"crc_bytes_scanned\": {},\n  \"crc_combines\": {},\n  \
          \"crc_cache_seeded\": {},\n  \
-         \"crc_hw_acceleration\": {}\n}}\n",
+         \"crc_hw_acceleration\": {},\n  \
+         \"dpu_rdma_large_ratio\": {dpu_rdma_large_ratio:.4},\n  \
+         \"dpu_rdma_small_ratio\": {dpu_rdma_small_ratio:.4},\n  \
+         \"dpu_tcp_read_ratio\": {dpu_tcp_read_ratio:.4},\n  \
+         \"dpu_ops_offloaded\": {},\n  \
+         \"dpu_bytes_admitted\": {},\n  \
+         \"dpu_rkey_refreshes\": {},\n  \
+         \"dpu_crc_bytes\": {},\n  \
+         \"qos_capped_admitted_bytes\": {qos_capped_bytes},\n  \
+         \"qos_greedy_admitted_bytes\": {qos_greedy_bytes},\n  \
+         \"qos_capped_throttled_ops\": {qos_throttled},\n  \
+         \"qos_capped_throttle_wait_ms\": {qos_wait_ms:.1},\n  \
+         \"host_vs_dpu\": {ab_json}\n}}\n",
         fast.wall_ms,
         slow.wall_ms,
         uncontended.wall_ms,
@@ -651,8 +893,12 @@ fn main() {
         dp_total.crc_bytes_scanned,
         dp_total.crc_combines,
         dp_total.crc_cache_seeded,
-        ros2_buf::hw_acceleration()
+        ros2_buf::hw_acceleration(),
+        dpu_totals.ops_offloaded,
+        dpu_totals.bytes_admitted,
+        dpu_totals.rkey_refreshes,
+        dpu_totals.crc_bytes,
     );
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
-    println!("wrote BENCH_PR3.json");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("wrote BENCH_PR4.json");
 }

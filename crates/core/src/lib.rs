@@ -26,7 +26,7 @@
 pub mod system;
 
 pub use system::{
-    Ros2Config, Ros2Error, Ros2System, SystemMetrics, Timed, CLIENT_NODE, STORAGE_NODE,
+    ClientStack, Ros2Config, Ros2Error, Ros2System, SystemMetrics, Timed, CLIENT_NODE, STORAGE_NODE,
 };
 
 #[cfg(test)]
@@ -137,7 +137,7 @@ mod tests {
             sys.write(&mut f, i * 4096, Bytes::from(vec![0u8; 4096]))
                 .unwrap();
         }
-        let t = sys.tenants.tenant(&sys.config.tenant).unwrap();
+        let t = sys.tenants().tenant(&sys.config.tenant).unwrap();
         assert!(t.throttled > 0, "rate limiter must have engaged");
     }
 

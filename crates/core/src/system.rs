@@ -17,17 +17,21 @@
 
 use bytes::Bytes;
 use ros2_ctl::{ControlError, ControlRequest, ControlResponse};
-use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
-use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
-use ros2_dpu::{default_control, DpuAgent, InlineService, QosLimits, TenantManager};
-use ros2_fabric::{Fabric, NodeSpec};
-use ros2_hw::{
-    gbps, ClientPlacement, CoreClass, CpuComplement, DpuTcpRxModel, NicModel, Transport,
+use ros2_daos::{
+    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, DaosError, Epoch,
+    ObjectClient, ObjectId, ValueKind,
 };
+use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
+use ros2_dpu::{
+    default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec, InlineService, QosLimits,
+    TenantManager,
+};
+use ros2_fabric::{Fabric, NodeSpec};
+use ros2_hw::{gbps, ClientPlacement, CoreClass, CpuComplement, NicModel, Transport};
 use ros2_nvme::{DataMode, NvmeArray};
-use ros2_sim::{SimDuration, SimTime};
+use ros2_sim::{ResourceStats, SimDuration, SimTime};
 use ros2_spdk::BdevLayer;
-use ros2_verbs::{MemoryDomain, NodeId};
+use ros2_verbs::{MemoryDomain, NodeId, PdId};
 
 /// Deployment configuration (the knobs the paper sweeps, plus extensions).
 #[derive(Clone, Debug)]
@@ -101,6 +105,168 @@ pub const CLIENT_NODE: NodeId = NodeId(0);
 /// See [`CLIENT_NODE`].
 pub const STORAGE_NODE: NodeId = NodeId(1);
 
+/// The deployment's client stack — where `ClientPlacement` becomes a real
+/// architectural fork, not a node-spec tweak.
+// One stack per deployment — the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum ClientStack {
+    /// Baseline: the DAOS client runs in-process on the host CPU. The
+    /// SmartNIC is still the NIC — its agent terminates the management
+    /// control channel and the tenant manager polices QoS at the NIC — but
+    /// every data-plane phase executes on host cores.
+    Host {
+        /// The in-process client.
+        client: DaosClient,
+        /// The agent on the (pass-through) SmartNIC.
+        agent: DpuAgent,
+        /// Tenant QoS/PD policy at the NIC.
+        tenants: TenantManager,
+    },
+    /// The ROS2 design: the whole client is offloaded to the BlueField-3;
+    /// the host only rings doorbells. The agent and tenant manager live
+    /// inside the offloaded client.
+    Dpu(DpuClient),
+}
+
+impl ClientStack {
+    /// The node the data-plane client runs on.
+    pub fn node(&self) -> NodeId {
+        match self {
+            ClientStack::Host { client, .. } => client.node(),
+            ClientStack::Dpu(c) => c.node(),
+        }
+    }
+
+    /// The client's (first tenant's) protection domain.
+    pub fn pd(&self) -> PdId {
+        match self {
+            ClientStack::Host { client, .. } => client.pd(),
+            ClientStack::Dpu(c) => c.pd(),
+        }
+    }
+
+    /// Data-plane operations issued.
+    pub fn ops(&self) -> u64 {
+        match self {
+            ClientStack::Host { client, .. } => client.ops(),
+            ClientStack::Dpu(c) => ObjectClient::ops(c),
+        }
+    }
+
+    /// Aggregate booking counters over the client cores.
+    pub fn resource_stats(&self) -> ResourceStats {
+        match self {
+            ClientStack::Host { client, .. } => client.resource_stats(),
+            ClientStack::Dpu(c) => c.resource_stats(),
+        }
+    }
+
+    /// Offload-path counters (zero under host placement).
+    pub fn dpu_stats(&self) -> DpuStats {
+        match self {
+            ClientStack::Host { .. } => DpuStats::default(),
+            ClientStack::Dpu(c) => c.dpu_stats(),
+        }
+    }
+
+    /// The DPU agent (control termination, DRAM pool, inline services).
+    pub fn agent(&self) -> &DpuAgent {
+        match self {
+            ClientStack::Host { agent, .. } => agent,
+            ClientStack::Dpu(c) => c.agent(),
+        }
+    }
+
+    /// Mutable agent access.
+    pub fn agent_mut(&mut self) -> &mut DpuAgent {
+        match self {
+            ClientStack::Host { agent, .. } => agent,
+            ClientStack::Dpu(c) => c.agent_mut(),
+        }
+    }
+
+    /// The tenant manager.
+    pub fn tenants(&self) -> &TenantManager {
+        match self {
+            ClientStack::Host { tenants, .. } => tenants,
+            ClientStack::Dpu(c) => c.tenants(),
+        }
+    }
+
+    /// Mutable tenant-manager access.
+    pub fn tenants_mut(&mut self) -> &mut TenantManager {
+        match self {
+            ClientStack::Host { tenants, .. } => tenants,
+            ClientStack::Dpu(c) => c.tenants_mut(),
+        }
+    }
+}
+
+impl ObjectClient for ClientStack {
+    fn update(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        match self {
+            ClientStack::Host { client, .. } => {
+                client.update(fabric, engine, now, job, oid, dkey, akey, kind, data)
+            }
+            ClientStack::Dpu(c) => {
+                ObjectClient::update(c, fabric, engine, now, job, oid, dkey, akey, kind, data)
+            }
+        }
+    }
+
+    fn fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        match self {
+            ClientStack::Host { client, .. } => {
+                client.fetch(fabric, engine, now, job, oid, dkey, akey, kind, epoch, len)
+            }
+            ClientStack::Dpu(c) => ObjectClient::fetch(
+                c, fabric, engine, now, job, oid, dkey, akey, kind, epoch, len,
+            ),
+        }
+    }
+
+    fn execute_batch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        match self {
+            ClientStack::Host { client, .. } => client.execute_batch(fabric, engine, now, job, ops),
+            ClientStack::Dpu(c) => ObjectClient::execute_batch(c, fabric, engine, now, job, ops),
+        }
+    }
+
+    fn ops(&self) -> u64 {
+        ClientStack::ops(self)
+    }
+}
+
 /// A running ROS2 deployment.
 pub struct Ros2System {
     /// The configuration it was launched with.
@@ -109,14 +275,11 @@ pub struct Ros2System {
     pub fabric: Fabric,
     /// The unmodified storage-server engine.
     pub engine: DaosEngine,
-    /// The (possibly DPU-resident) DAOS client.
-    pub client: DaosClient,
+    /// The client stack (host in-process or DPU-offloaded, per
+    /// `config.placement`).
+    pub client: ClientStack,
     /// The mounted POSIX namespace.
     pub dfs: Dfs,
-    /// The DPU agent (control termination, DRAM pool, inline services).
-    pub agent: DpuAgent,
-    /// Tenant isolation manager on the client NIC.
-    pub tenants: TenantManager,
     session: u64,
     clock: SimTime,
 }
@@ -136,29 +299,9 @@ impl Ros2System {
                 mem_budget: 64 << 30,
                 dpu_tcp_rx: None,
             },
-            ClientPlacement::Dpu => NodeSpec {
-                name: "bluefield3".into(),
-                cpu: CpuComplement {
-                    class: CoreClass::DpuArm,
-                    cores: 16,
-                },
-                nic: NicModel::connectx7(),
-                port_rate: gbps(100),
-                mem_budget: 30 << 30,
-                dpu_tcp_rx: Some(DpuTcpRxModel::bluefield3()),
-            },
+            ClientPlacement::Dpu => NodeSpec::bluefield3(),
         };
-        let storage_spec = NodeSpec {
-            name: "storage".into(),
-            cpu: CpuComplement {
-                class: CoreClass::HostX86,
-                cores: 64,
-            },
-            nic: NicModel::connectx6(),
-            port_rate: gbps(100),
-            mem_budget: 64 << 30,
-            dpu_tcp_rx: None,
-        };
+        let storage_spec = NodeSpec::storage_server();
         let mut fabric = Fabric::new(
             config.transport,
             vec![client_spec, storage_spec],
@@ -194,19 +337,12 @@ impl Ros2System {
             .cont_create("posix")
             .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
 
-        // DPU agent + tenant registration.
+        // DPU agent: management control-channel termination.
         let mut control = default_control(config.seed ^ 0xc71);
         let digest = Bytes::from(config.tenant.as_bytes().to_vec());
         control.add_tenant(config.tenant.clone(), digest.clone());
         let mut agent = DpuAgent::new(CLIENT_NODE, 30 << 30, control);
         agent.set_inline_service(config.inline_service);
-        let mut tenants = TenantManager::new(CLIENT_NODE);
-        tenants.register(
-            &mut fabric,
-            config.tenant.clone(),
-            config.qos,
-            SimDuration::from_secs(30),
-        );
 
         // Control handshake: Hello -> PoolConnect -> ContOpen -> DfsMount.
         let mut clock = SimTime::ZERO;
@@ -236,27 +372,69 @@ impl Ros2System {
             clock = t;
         }
 
-        // Data plane: client connect (capability exchange happens inside —
-        // the staging MRs registered here are what GetCapability conveys).
-        let mut client = DaosClient::connect(
-            &mut fabric,
-            CLIENT_NODE,
-            STORAGE_NODE,
-            &config.tenant,
-            "posix",
-            config.jobs,
-            config.buffer_len,
-            match (config.placement, config.buffer_domain) {
-                (_, MemoryDomain::GpuHbm) => MemoryDomain::GpuHbm,
-                (ClientPlacement::Host, _) => MemoryDomain::HostDram,
-                (ClientPlacement::Dpu, _) => MemoryDomain::DpuDram,
-            },
-            DaosCostModel::default_model(),
-        )
-        .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
-        agent
-            .reserve_dram(config.jobs as u64 * config.buffer_len)
-            .map_err(|free| Ros2Error::Config(format!("DPU DRAM exhausted, {free} B free")))?;
+        let buffer_domain = match (config.placement, config.buffer_domain) {
+            (_, MemoryDomain::GpuHbm) => MemoryDomain::GpuHbm,
+            (ClientPlacement::Host, _) => MemoryDomain::HostDram,
+            (ClientPlacement::Dpu, _) => MemoryDomain::DpuDram,
+        };
+
+        // Data plane: the placement fork. Host keeps the in-process client
+        // (capability exchange happens inside — the staging MRs registered
+        // here are what GetCapability conveys); Dpu builds the offloaded
+        // client around the agent, with QoS admission and scoped rkeys
+        // enforced on every byte.
+        let mut client = match config.placement {
+            ClientPlacement::Host => {
+                let mut tenants = TenantManager::new(CLIENT_NODE);
+                tenants.register(
+                    &mut fabric,
+                    config.tenant.clone(),
+                    config.qos,
+                    SimDuration::from_secs(30),
+                );
+                let client = DaosClient::connect(
+                    &mut fabric,
+                    CLIENT_NODE,
+                    STORAGE_NODE,
+                    &config.tenant,
+                    "posix",
+                    config.jobs,
+                    config.buffer_len,
+                    buffer_domain,
+                    DaosCostModel::default_model(),
+                )
+                .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+                agent
+                    .reserve_dram(config.jobs as u64 * config.buffer_len)
+                    .map_err(|e| Ros2Error::Config(e.to_string()))?;
+                ClientStack::Host {
+                    client,
+                    agent,
+                    tenants,
+                }
+            }
+            ClientPlacement::Dpu => {
+                let dpu = DpuClient::connect(
+                    &mut fabric,
+                    CLIENT_NODE,
+                    STORAGE_NODE,
+                    "posix",
+                    config.jobs,
+                    config.buffer_len,
+                    buffer_domain,
+                    DaosCostModel::default_model(),
+                    agent,
+                    vec![DpuTenantSpec {
+                        name: config.tenant.clone(),
+                        qos: config.qos,
+                        rkey_scope: SimDuration::from_secs(30),
+                    }],
+                    config.seed,
+                )
+                .map_err(|e| Ros2Error::Config(e.to_string()))?;
+                ClientStack::Dpu(dpu)
+            }
+        };
 
         // Mount DFS.
         let (dfs, t) = {
@@ -275,8 +453,6 @@ impl Ros2System {
             engine,
             client,
             dfs,
-            agent,
-            tenants,
             session,
             clock,
         })
@@ -307,7 +483,6 @@ impl Ros2System {
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
         let (obj, t2) = self.dfs.mkdir(&mut s, t1, &parent, name, 0o755)?;
-        drop(s);
         self.tick(t2);
         Ok(Timed {
             value: obj,
@@ -326,7 +501,6 @@ impl Ros2System {
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
         let (obj, t2) = self.dfs.create(&mut s, t1, &parent, name, 0o644)?;
-        drop(s);
         self.tick(t2);
         Ok(Timed {
             value: obj,
@@ -343,7 +517,6 @@ impl Ros2System {
             client: &mut self.client,
         };
         let (obj, t) = self.dfs.lookup(&mut s, now, path)?;
-        drop(s);
         self.tick(t);
         Ok(Timed {
             value: obj,
@@ -353,6 +526,10 @@ impl Ros2System {
 
     /// Writes `data` at `offset` in an open file, through the tenant's QoS
     /// admission and the DPU's inline service.
+    ///
+    /// Under host placement admission and the inline service apply once at
+    /// the NIC, here; under DPU placement the offloaded client admits and
+    /// services every constituent object op itself.
     pub fn write(
         &mut self,
         file: &mut DfsObj,
@@ -361,12 +538,16 @@ impl Ros2System {
     ) -> Result<Timed<()>, Ros2Error> {
         let now = self.clock;
         let bytes = data.len() as u64;
-        let tenant = self.config.tenant.clone();
-        let admitted = self
-            .tenants
-            .admit(now, &tenant, bytes)
-            .ok_or_else(|| Ros2Error::Config(format!("unknown tenant {tenant}")))?;
-        let start = admitted + self.agent.inline_cost(bytes);
+        let start = match &mut self.client {
+            ClientStack::Host { agent, tenants, .. } => {
+                let tenant = &self.config.tenant;
+                let admitted = tenants
+                    .admit(now, tenant, bytes)
+                    .ok_or_else(|| Ros2Error::Config(format!("unknown tenant {tenant}")))?;
+                admitted + agent.inline_cost(bytes)
+            }
+            ClientStack::Dpu(_) => now,
+        };
         let job = (file.oid.lo % self.config.jobs as u64) as usize;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
@@ -374,7 +555,6 @@ impl Ros2System {
             client: &mut self.client,
         };
         let t = self.dfs.write(&mut s, start, job, file, offset, data)?;
-        drop(s);
         self.tick(t);
         Ok(Timed {
             value: (),
@@ -383,7 +563,8 @@ impl Ros2System {
     }
 
     /// Reads `len` bytes at `offset` from an open file (QoS-admitted,
-    /// decrypted inline when the crypto service is active).
+    /// decrypted inline when the crypto service is active). See
+    /// [`Self::write`] for where admission applies per placement.
     pub fn read(
         &mut self,
         file: &DfsObj,
@@ -391,20 +572,26 @@ impl Ros2System {
         len: u64,
     ) -> Result<Timed<Bytes>, Ros2Error> {
         let now = self.clock;
-        let tenant = self.config.tenant.clone();
-        let admitted = self
-            .tenants
-            .admit(now, &tenant, len)
-            .ok_or_else(|| Ros2Error::Config(format!("unknown tenant {tenant}")))?;
+        let start = match &mut self.client {
+            ClientStack::Host { tenants, .. } => {
+                let tenant = &self.config.tenant;
+                tenants
+                    .admit(now, tenant, len)
+                    .ok_or_else(|| Ros2Error::Config(format!("unknown tenant {tenant}")))?
+            }
+            ClientStack::Dpu(_) => now,
+        };
         let job = (file.oid.lo % self.config.jobs as u64) as usize;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
             engine: &mut self.engine,
             client: &mut self.client,
         };
-        let (data, t) = self.dfs.read(&mut s, admitted, job, file, offset, len)?;
-        drop(s);
-        let t = t + self.agent.inline_cost(data.len() as u64);
+        let (data, t) = self.dfs.read(&mut s, start, job, file, offset, len)?;
+        let t = match &mut self.client {
+            ClientStack::Host { agent, .. } => t + agent.inline_cost(data.len() as u64),
+            ClientStack::Dpu(_) => t,
+        };
         self.tick(t);
         Ok(Timed {
             value: data,
@@ -422,7 +609,6 @@ impl Ros2System {
         };
         let (dir, t) = self.dfs.lookup(&mut s, now, path)?;
         let names = self.dfs.readdir(&mut s, t, &dir)?;
-        drop(s);
         self.tick(t);
         Ok(Timed {
             value: names,
@@ -441,7 +627,6 @@ impl Ros2System {
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
         let (st, t2) = self.dfs.stat(&mut s, t1, &parent, name)?;
-        drop(s);
         self.tick(t2);
         Ok(Timed {
             value: st,
@@ -460,7 +645,6 @@ impl Ros2System {
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
         let t2 = self.dfs.unlink(&mut s, t1, &parent, name)?;
-        drop(s);
         self.tick(t2);
         Ok(Timed {
             value: (),
@@ -477,14 +661,55 @@ impl Ros2System {
         total
     }
 
+    /// Registers a further tenant's *NIC policy* — protection domain, QoS
+    /// buckets, rkey scope — on whichever side owns the tenant manager.
+    ///
+    /// This provisions isolation state only. Data-plane lanes are fixed at
+    /// launch: under DPU placement a tenant registered here cannot carry
+    /// offloaded I/O (that requires a `DpuTenantSpec` at launch), which is
+    /// exactly what the isolation tests need — a PD to probe against — and
+    /// nothing more.
+    pub fn register_tenant(
+        &mut self,
+        tenant: impl Into<String>,
+        qos: QosLimits,
+        rkey_scope: SimDuration,
+    ) -> PdId {
+        let tenants = match &mut self.client {
+            ClientStack::Host { tenants, .. } => tenants,
+            ClientStack::Dpu(c) => c.tenants_mut(),
+        };
+        tenants.register(&mut self.fabric, tenant, qos, rkey_scope)
+    }
+
+    /// The tenant manager (QoS/PD state and admission counters).
+    pub fn tenants(&self) -> &TenantManager {
+        self.client.tenants()
+    }
+
+    /// The DPU agent.
+    pub fn agent(&self) -> &DpuAgent {
+        self.client.agent()
+    }
+
+    /// Mutable agent access (management control calls).
+    pub fn agent_mut(&mut self) -> &mut DpuAgent {
+        self.client.agent_mut()
+    }
+
+    /// Offload-path counters (zero under host placement).
+    pub fn dpu_stats(&self) -> DpuStats {
+        self.client.dpu_stats()
+    }
+
     /// Gathers activity counters from every layer.
     pub fn metrics(&self) -> SystemMetrics {
         SystemMetrics {
             client_ops: self.client.ops(),
             engine_rpcs: self.engine.rpcs(),
             dfs_ops: (self.dfs.meta_ops, self.dfs.data_ops),
-            control_calls: self.agent.control_calls.get(),
-            inline_bytes: self.agent.serviced_bytes.get(),
+            control_calls: self.client.agent().control_calls.get(),
+            inline_bytes: self.client.agent().serviced_bytes.get(),
             violations: self.fabric.node(CLIENT_NODE).rdma.violations().total(),
         }
     }

@@ -31,6 +31,18 @@ impl ControlModel {
             ps_per_byte: 900,
         }
     }
+
+    /// The host↔DPU I/O-forwarding doorbell: the submit/poll pair the host
+    /// pays per offloaded data-plane op. Unlike the management gRPC channel
+    /// it crosses only the PCIe link between the host CPU and the
+    /// BlueField-3 (shared queue pair + doorbell write, completion polled
+    /// from host-visible memory), so the round trip is ~2 µs, not ~150 µs.
+    pub fn host_doorbell() -> Self {
+        ControlModel {
+            rtt: SimDuration::from_micros(2),
+            ps_per_byte: 120,
+        }
+    }
 }
 
 /// Errors the channel itself can produce (before the application handler).

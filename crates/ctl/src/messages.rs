@@ -75,6 +75,19 @@ pub enum ControlRequest {
     },
     /// Tear down the session.
     Goodbye,
+    /// Host→DPU data-plane submit: announce `ops` queued I/Os totalling
+    /// `bytes` payload bytes. The descriptor is all the host contributes to
+    /// an offloaded I/O — staging, transfer, and verification run on the
+    /// DPU.
+    IoSubmit {
+        /// Number of I/Os in the submission.
+        ops: u32,
+        /// Total payload bytes across the submission.
+        bytes: u64,
+    },
+    /// Host→DPU completion poll: reap finished I/Os from the completion
+    /// queue the DPU exposes to the host.
+    IoPoll,
 }
 
 /// Control-plane responses.
@@ -105,6 +118,12 @@ pub enum ControlResponse {
     Error {
         /// Human-readable reason.
         reason: String,
+    },
+    /// Completion-queue state returned to an [`ControlRequest::IoSubmit`] /
+    /// [`ControlRequest::IoPoll`] caller.
+    IoDone {
+        /// I/Os reaped by this call.
+        ops: u32,
     },
 }
 
@@ -140,6 +159,12 @@ impl ControlRequest {
             ControlRequest::Goodbye => {
                 w.u8(7);
             }
+            ControlRequest::IoSubmit { ops, bytes } => {
+                w.u8(8).u32(*ops).u64(*bytes);
+            }
+            ControlRequest::IoPoll => {
+                w.u8(9);
+            }
         }
         w.finish()
     }
@@ -167,6 +192,11 @@ impl ControlRequest {
                 bytes_per_sec: r.u64()?,
             },
             7 => ControlRequest::Goodbye,
+            8 => ControlRequest::IoSubmit {
+                ops: r.u32()?,
+                bytes: r.u64()?,
+            },
+            9 => ControlRequest::IoPoll,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -201,6 +231,9 @@ impl ControlResponse {
             ControlResponse::Error { reason } => {
                 w.u8(6).string(reason);
             }
+            ControlResponse::IoDone { ops } => {
+                w.u8(7).u32(*ops);
+            }
         }
         w.finish()
     }
@@ -227,6 +260,7 @@ impl ControlResponse {
             6 => ControlResponse::Error {
                 reason: r.string()?,
             },
+            7 => ControlResponse::IoDone { ops: r.u32()? },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -271,6 +305,11 @@ mod tests {
             bytes_per_sec: 1 << 30,
         });
         round_trip_req(ControlRequest::Goodbye);
+        round_trip_req(ControlRequest::IoSubmit {
+            ops: 32,
+            bytes: 32 << 20,
+        });
+        round_trip_req(ControlRequest::IoPoll);
     }
 
     #[test]
@@ -295,6 +334,7 @@ mod tests {
         round_trip_resp(ControlResponse::Error {
             reason: "no such pool".into(),
         });
+        round_trip_resp(ControlResponse::IoDone { ops: 32 });
     }
 
     #[test]

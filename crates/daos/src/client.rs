@@ -18,7 +18,7 @@ use ros2_buf::zero_bytes;
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
 use ros2_hw::{CoreClass, Transport};
 use ros2_sim::{ResourceStats, ServerPool, SimTime};
-use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, NodeId, PdId, RKey};
+use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, MrId, NodeId, PdId, RKey};
 
 use crate::engine::{DaosEngine, TargetOp, TargetOpResult, ValueKind};
 use crate::types::{AKey, DKey, DaosCostModel, DaosError, Epoch, ObjectId};
@@ -50,6 +50,9 @@ struct ClientJob {
     buf: MemAddr,
     buf_len: u64,
     rkey: Option<RKey>,
+    /// The MR handle behind `rkey` (RDMA only), kept so the registration
+    /// can be replaced when a scoped rkey nears expiry.
+    mr: Option<MrId>,
 }
 
 /// A connected DAOS client bound to one container.
@@ -69,6 +72,8 @@ impl DaosClient {
     /// Connects `jobs` client jobs from `node` to the engine on `server`,
     /// staging through `buf_len`-byte buffers in `domain` (DPU DRAM for the
     /// prototype; [`MemoryDomain::GpuHbm`] for the GPUDirect extension).
+    /// Staging MRs are registered with [`Expiry::Never`]; the DPU tenant
+    /// manager's scoped-rkey discipline uses [`Self::connect_scoped`].
     #[allow(clippy::too_many_arguments)]
     pub fn connect(
         fabric: &mut Fabric,
@@ -80,6 +85,35 @@ impl DaosClient {
         buf_len: u64,
         domain: MemoryDomain,
         model: DaosCostModel,
+    ) -> Result<Self, DaosError> {
+        Self::connect_scoped(
+            fabric,
+            node,
+            server,
+            tenant,
+            cont,
+            jobs,
+            buf_len,
+            domain,
+            model,
+            Expiry::Never,
+        )
+    }
+
+    /// [`Self::connect`] with every staging MR registered under `expiry`
+    /// from the outset — no window where an unscoped rkey exists.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_scoped(
+        fabric: &mut Fabric,
+        node: NodeId,
+        server: NodeId,
+        tenant: &str,
+        cont: impl Into<String>,
+        jobs: usize,
+        buf_len: u64,
+        domain: MemoryDomain,
+        model: DaosCostModel,
+        expiry: Expiry,
     ) -> Result<Self, DaosError> {
         let class = fabric.node(node).class();
         let transport = fabric.transport();
@@ -96,15 +130,15 @@ impl DaosClient {
                 .rdma_mut(node)
                 .alloc_buffer(buf_len, domain)
                 .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
-            let rkey = match transport {
+            let (mr, rkey) = match transport {
                 Transport::Rdma => {
-                    let (_, rkey, _) = fabric
+                    let (mr, rkey, _) = fabric
                         .rdma_mut(node)
-                        .reg_mr(pd, buf, buf_len, AccessFlags::remote_rw(), Expiry::Never)
+                        .reg_mr(pd, buf, buf_len, AccessFlags::remote_rw(), expiry)
                         .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
-                    Some(rkey)
+                    (Some(mr), Some(rkey))
                 }
-                Transport::Tcp => None,
+                Transport::Tcp => (None, None),
             };
             out_jobs.push(ClientJob {
                 conn,
@@ -112,6 +146,7 @@ impl DaosClient {
                 buf,
                 buf_len,
                 rkey,
+                mr,
             });
         }
         Ok(DaosClient {
@@ -172,6 +207,39 @@ impl DaosClient {
             total.merge(j.core.stats());
         }
         total
+    }
+
+    /// Replaces `job`'s staging registration with one that expires at
+    /// `expiry` — the scoped-rkey discipline the DPU tenant manager issues.
+    /// A no-op on TCP transports (no registered memory on the wire path).
+    ///
+    /// The old MR is deregistered first, so a stolen copy of the previous
+    /// rkey dies with the swap; in-flight one-sided ops that land after the
+    /// swap fail with `InvalidRkey`/`ExpiredRkey` at the NIC, exactly like
+    /// hardware.
+    pub fn set_mr_expiry(
+        &mut self,
+        fabric: &mut Fabric,
+        job: usize,
+        expiry: Expiry,
+    ) -> Result<(), DaosError> {
+        if self.transport != Transport::Rdma {
+            return Ok(());
+        }
+        let (buf, buf_len) = (self.jobs[job].buf, self.jobs[job].buf_len);
+        if let Some(mr) = self.jobs[job].mr.take() {
+            fabric
+                .rdma_mut(self.node)
+                .dereg_mr(mr)
+                .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+        }
+        let (mr, rkey, _) = fabric
+            .rdma_mut(self.node)
+            .reg_mr(self.pd, buf, buf_len, AccessFlags::remote_rw(), expiry)
+            .map_err(|e| DaosError::Transport(format!("{e:?}")))?;
+        self.jobs[job].mr = Some(mr);
+        self.jobs[job].rkey = Some(rkey);
+        Ok(())
     }
 
     fn client_cpu(&mut self, now: SimTime, job: usize) -> SimTime {
@@ -489,6 +557,113 @@ impl DaosClient {
             .into_iter()
             .map(|r| r.expect("every submitted op produced a result"))
             .collect()
+    }
+}
+
+/// The object-I/O interface the DFS layer drives, leaving the namespace
+/// code placement-agnostic: implemented directly by [`DaosClient`] (the
+/// host-resident baseline) and by the DPU-offloaded client in `ros2-dpu`
+/// (which wraps the same data-plane core with the host handoff, tenant QoS
+/// admission, scoped-rkey refresh, and DPU-side checksumming).
+///
+/// Method signatures mirror the [`DaosClient`] inherent API exactly, so the
+/// host path through a `&mut dyn ObjectClient` executes the identical code
+/// it always has.
+pub trait ObjectClient {
+    /// Issues an OBJ_UPDATE from `job`; returns the client-visible commit
+    /// instant.
+    #[allow(clippy::too_many_arguments)]
+    fn update(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError>;
+
+    /// Issues an OBJ_FETCH from `job` reading `len` bytes at `epoch`.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError>;
+
+    /// Submits a batch of independent ops from `job` as one fan-out;
+    /// results come back in submission order.
+    fn execute_batch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult>;
+
+    /// Total data-plane operations issued.
+    fn ops(&self) -> u64;
+}
+
+impl ObjectClient for DaosClient {
+    fn update(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        DaosClient::update(self, fabric, engine, now, job, oid, dkey, akey, kind, data)
+    }
+
+    fn fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        DaosClient::fetch(
+            self, fabric, engine, now, job, oid, dkey, akey, kind, epoch, len,
+        )
+    }
+
+    fn execute_batch(
+        &mut self,
+        fabric: &mut Fabric,
+        engine: &mut DaosEngine,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        DaosClient::execute_batch(self, fabric, engine, now, job, ops)
+    }
+
+    fn ops(&self) -> u64 {
+        DaosClient::ops(self)
     }
 }
 

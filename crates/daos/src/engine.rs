@@ -199,6 +199,15 @@ pub struct DaosEngine {
     force_serial_batch: bool,
 }
 
+/// One shard's slice of a batch fan-out: its VOS target, xstream pool,
+/// disjoint bdev view, and the (original index, op) list routed to it.
+type ShardWork<'a> = (
+    &'a mut VosTarget,
+    &'a mut ServerPool,
+    ShardBdev<'a>,
+    Vec<(usize, TargetOp)>,
+);
+
 impl DaosEngine {
     /// Creates an engine over `bdevs`, one target per device, with
     /// `scm_bytes_per_target` of SCM each.
@@ -426,12 +435,7 @@ impl DaosEngine {
             bdevs,
             ..
         } = self;
-        let work: Vec<(
-            &mut VosTarget,
-            &mut ServerPool,
-            ShardBdev<'_>,
-            Vec<(usize, TargetOp)>,
-        )> = targets
+        let work: Vec<ShardWork<'_>> = targets
             .iter_mut()
             .zip(xstreams.iter_mut())
             .zip(bdevs.shards())

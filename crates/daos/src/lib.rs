@@ -20,7 +20,7 @@ pub mod types;
 pub mod vos;
 
 pub use checksum::{crc32c, crc32c_append, Checksum};
-pub use client::{ClientOp, ClientOpResult, DaosClient};
+pub use client::{ClientOp, ClientOpResult, DaosClient, ObjectClient};
 pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
 pub use types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, KeyBytes, ObjClass, ObjectId,

@@ -247,6 +247,14 @@ pub struct DaosCostModel {
     /// 1.35× lands the Fig. 5d result: DPU RDMA small-I/O trails the host
     /// by 20–40 % while still beating DPU TCP by ≥2×.
     pub dpu_client_overhead: f64,
+    /// Client-side CRC32C cost in picoseconds per byte, calibrated for a
+    /// host core (hardware `crc32` instructions stream at ~16 GB/s) and
+    /// scaled by the executing core class. Charged only by the
+    /// DPU-offloaded client (update checksum + fetch verify on the ARM
+    /// cores): the host-placement control arm is pinned bit-identical to
+    /// its pre-offload behaviour, whose CRC work lives engine-side — so
+    /// the asymmetry is deliberate and conservative against the DPU.
+    pub crc_ps_per_byte: u64,
 }
 
 impl DaosCostModel {
@@ -259,6 +267,7 @@ impl DaosCostModel {
             client_per_op: SimDuration::from_nanos(11_000),
             scm_threshold: 4096,
             dpu_client_overhead: 1.35,
+            crc_ps_per_byte: 62,
         }
     }
 }

@@ -65,7 +65,7 @@ fn plan_ops(seed: u64, steps: usize) -> Vec<(SimTime, PlannedOp)> {
     (0..steps)
         .map(|_| {
             if rng.chance(0.5) {
-                now = now + ros2_sim::SimDuration::from_nanos(rng.below(2_000_000));
+                now += ros2_sim::SimDuration::from_nanos(rng.below(2_000_000));
             }
             let oid = if rng.chance(0.7) {
                 ObjectId::new(ObjClass::Sx, rng.below(4))
@@ -353,7 +353,7 @@ fn client_batch_of_one_equals_serial_op() {
         let mut rng = SimRng::new(77);
         let mut now = SimTime::ZERO;
         for i in 0..24u64 {
-            now = now + ros2_sim::SimDuration::from_nanos(rng.below(500_000));
+            now += ros2_sim::SimDuration::from_nanos(rng.below(500_000));
             let dkey = DKey::from_u64(i % 6);
             let akey = AKey::from_str("data");
             let len = 1 + rng.below(128 << 10);

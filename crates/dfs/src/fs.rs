@@ -18,7 +18,7 @@
 use bytes::Bytes;
 use ros2_ctl::{WireReader, WireWriter};
 use ros2_daos::{
-    AKey, ClientOp, DKey, DaosClient, DaosEngine, DaosError, Epoch, ObjClass, ObjectId, ValueKind,
+    AKey, ClientOp, DKey, DaosEngine, DaosError, Epoch, ObjClass, ObjectClient, ObjectId, ValueKind,
 };
 use ros2_fabric::Fabric;
 use ros2_sim::SimTime;
@@ -105,8 +105,9 @@ pub struct DfsSession<'a> {
     pub fabric: &'a mut Fabric,
     /// The storage-server engine.
     pub engine: &'a mut DaosEngine,
-    /// The (possibly DPU-resident) DAOS client.
-    pub client: &'a mut DaosClient,
+    /// The object client — the in-process [`ros2_daos::DaosClient`] (host
+    /// placement) or the DPU-offloaded client (SmartNIC placement).
+    pub client: &'a mut dyn ObjectClient,
 }
 
 #[derive(Clone, Debug)]

@@ -12,6 +12,8 @@ use ros2_hw::inline_crypto_cost;
 use ros2_sim::{Counter, SimDuration, SimTime};
 use ros2_verbs::NodeId;
 
+use crate::error::DpuError;
+
 /// Inline services the agent can interpose on payloads.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum InlineService {
@@ -34,6 +36,10 @@ pub struct DpuAgent {
     pub serviced_bytes: Counter,
     /// Control calls forwarded for the host.
     pub control_calls: Counter,
+    /// DRAM releases that exceeded the outstanding reservation (a
+    /// double-free-style accounting bug in the caller; the pool saturates
+    /// at zero rather than underflowing).
+    pub over_releases: Counter,
 }
 
 impl DpuAgent {
@@ -48,6 +54,7 @@ impl DpuAgent {
             service: InlineService::None,
             serviced_bytes: Counter::new(),
             control_calls: Counter::new(),
+            over_releases: Counter::new(),
         }
     }
 
@@ -66,17 +73,26 @@ impl DpuAgent {
         self.service
     }
 
-    /// Reserves staging DRAM; fails when the 30 GiB budget is exhausted.
-    pub fn reserve_dram(&mut self, bytes: u64) -> Result<(), u64> {
-        if self.dram_used + bytes > self.dram_budget {
-            return Err(self.dram_budget - self.dram_used);
+    /// Reserves staging DRAM; fails with the shortfall context when the
+    /// 30 GiB budget is exhausted.
+    pub fn reserve_dram(&mut self, bytes: u64) -> Result<(), DpuError> {
+        let free = self.dram_budget - self.dram_used;
+        if bytes > free {
+            return Err(DpuError::DramExhausted {
+                requested: bytes,
+                free,
+            });
         }
         self.dram_used += bytes;
         Ok(())
     }
 
-    /// Releases staging DRAM.
+    /// Releases staging DRAM. Releasing more than is reserved saturates to
+    /// an empty pool (and counts the mismatch) instead of underflowing.
     pub fn release_dram(&mut self, bytes: u64) {
+        if bytes > self.dram_used {
+            self.over_releases.inc();
+        }
         self.dram_used = self.dram_used.saturating_sub(bytes);
     }
 
@@ -138,10 +154,27 @@ mod tests {
     fn dram_budget_enforced() {
         let mut a = agent();
         a.reserve_dram(20 << 30).unwrap();
-        assert_eq!(a.reserve_dram(20 << 30).unwrap_err(), 10 << 30);
+        assert_eq!(
+            a.reserve_dram(20 << 30).unwrap_err(),
+            DpuError::DramExhausted {
+                requested: 20 << 30,
+                free: 10 << 30,
+            }
+        );
         a.release_dram(15 << 30);
         assert!(a.reserve_dram(20 << 30).is_ok());
         assert_eq!(a.dram_used(), 25 << 30);
+    }
+
+    #[test]
+    fn over_release_saturates_and_is_counted() {
+        let mut a = agent();
+        a.reserve_dram(1 << 20).unwrap();
+        a.release_dram(2 << 20);
+        assert_eq!(a.dram_used(), 0, "pool saturates at empty");
+        assert_eq!(a.over_releases.get(), 1);
+        // The full budget is usable again afterwards.
+        assert!(a.reserve_dram(30 << 30).is_ok());
     }
 
     #[test]

@@ -7,13 +7,20 @@
 //! domains, scoped rkeys, token-bucket QoS), and the inline crypto service
 //! that operates on payloads without touching the host (§2.3, §5).
 //!
-//! The data-plane client itself is `ros2_daos::DaosClient` constructed on
-//! the DPU node; this crate wraps it with policy.
+//! The data-plane client is [`DpuClient`]: per-tenant
+//! `ros2_daos::DaosClient` lanes constructed on the DPU node, wrapped with
+//! the host submit/poll handoff, QoS admission, scoped-rkey refresh, and
+//! DPU-side checksumming. It implements `ros2_daos::ObjectClient`, so the
+//! DFS layer drives it exactly like the host-resident client.
 
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod client;
+pub mod error;
 pub mod tenant;
 
 pub use agent::{default_control, DpuAgent, InlineService};
+pub use client::{DpuClient, DpuStats, DpuTenantSpec};
+pub use error::DpuError;
 pub use tenant::{QosLimits, TenantCtx, TenantManager};

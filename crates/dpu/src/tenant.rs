@@ -36,6 +36,9 @@ impl QosLimits {
 pub struct TenantCtx {
     /// The tenant's protection domain on the DPU NIC.
     pub pd: PdId,
+    /// The allocation the buckets were built from (kept for resets and
+    /// observability).
+    pub limits: QosLimits,
     ops_bucket: TokenBucket,
     bytes_bucket: TokenBucket,
     /// Default rkey validity window for this tenant's registrations.
@@ -44,6 +47,23 @@ pub struct TenantCtx {
     pub admitted: (u64, u64),
     /// Operations delayed by rate limiting.
     pub throttled: u64,
+    /// Cumulative delay imposed by rate limiting.
+    pub throttle_wait: SimDuration,
+}
+
+impl TenantCtx {
+    fn fresh(pd: PdId, limits: QosLimits, rkey_scope: SimDuration) -> Self {
+        TenantCtx {
+            pd,
+            limits,
+            ops_bucket: TokenBucket::new(limits.ops_per_sec, limits.burst.0),
+            bytes_bucket: TokenBucket::new(limits.bytes_per_sec, limits.burst.1),
+            rkey_scope,
+            admitted: (0, 0),
+            throttled: 0,
+            throttle_wait: SimDuration::ZERO,
+        }
+    }
 }
 
 /// The DPU's tenant manager.
@@ -78,17 +98,8 @@ impl TenantManager {
     ) -> PdId {
         let tenant = tenant.into();
         let pd = fabric.rdma_mut(self.node).alloc_pd(tenant.clone());
-        self.tenants.insert(
-            tenant,
-            TenantCtx {
-                pd,
-                ops_bucket: TokenBucket::new(limits.ops_per_sec, limits.burst.0),
-                bytes_bucket: TokenBucket::new(limits.bytes_per_sec, limits.burst.1),
-                rkey_scope,
-                admitted: (0, 0),
-                throttled: 0,
-            },
-        );
+        self.tenants
+            .insert(tenant, TenantCtx::fresh(pd, limits, rkey_scope));
         pd
     }
 
@@ -103,8 +114,18 @@ impl TenantManager {
         ctx.admitted.1 += bytes;
         if grant > now {
             ctx.throttled += 1;
+            ctx.throttle_wait += grant.saturating_since(now);
         }
         Some(grant)
+    }
+
+    /// Rebuilds every tenant's buckets full at t=0 and zeroes admission
+    /// counters (between a preconditioning phase and a measured run; PDs
+    /// and rkey scopes are untouched).
+    pub fn reset_timing(&mut self) {
+        for ctx in self.tenants.values_mut() {
+            *ctx = TenantCtx::fresh(ctx.pd, ctx.limits, ctx.rkey_scope);
+        }
     }
 
     /// The expiry to stamp on a new registration for `tenant` at `now`.
@@ -214,9 +235,7 @@ mod tests {
 
     #[test]
     fn unknown_tenant_rejected() {
-        let mut f = fabric();
         let mut tm = TenantManager::new(NodeId(0));
-        let _ = f;
         assert!(tm.admit(SimTime::ZERO, "ghost", 1).is_none());
         assert!(tm.rkey_expiry(SimTime::ZERO, "ghost").is_none());
     }

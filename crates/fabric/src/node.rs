@@ -27,6 +27,44 @@ impl NodeSpec {
     pub fn wire_rate(&self) -> u64 {
         self.nic.line_rate.min(self.port_rate)
     }
+
+    /// The paper's BlueField-3 client node (§4.1): 16 Cortex-A78AE cores,
+    /// integrated ConnectX-7, 30 GiB DRAM, the TCP receive-path penalty
+    /// armed. The single source of this spec — every DPU world (fio,
+    /// core, dpu tests, the host-vs-DPU A/B) must model the same silicon.
+    pub fn bluefield3() -> Self {
+        NodeSpec {
+            name: "bluefield3".into(),
+            cpu: CpuComplement {
+                class: CoreClass::DpuArm,
+                cores: 16,
+            },
+            nic: NicModel::connectx7(),
+            port_rate: gbps100(),
+            mem_budget: 30 << 30,
+            dpu_tcp_rx: Some(DpuTcpRxModel::bluefield3()),
+        }
+    }
+
+    /// The paper's storage server (§4.1): 64 NUMA-0 cores, ConnectX-6.
+    pub fn storage_server() -> Self {
+        NodeSpec {
+            name: "storage".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: 64,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps100(),
+            mem_budget: 64 << 30,
+            dpu_tcp_rx: None,
+        }
+    }
+}
+
+/// The 100 Gbps switch-port rate shared by the canonical node specs.
+fn gbps100() -> u64 {
+    ros2_hw::gbps(100)
 }
 
 /// Live state for one node.

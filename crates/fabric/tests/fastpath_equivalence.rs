@@ -75,7 +75,7 @@ fn schedule(seed: u64, steps: u32) -> Vec<ScheduledOp> {
     (0..steps)
         .map(|_| {
             if rng.chance(0.4) {
-                now = now + ros2_sim::SimDuration::from_nanos(rng.below(3_000_000));
+                now += ros2_sim::SimDuration::from_nanos(rng.below(3_000_000));
             }
             ScheduledOp {
                 now,

@@ -102,10 +102,9 @@ fn main() {
                             .windows(ramp, runtime),
                     );
                     println!(
-                        " {:>4} {:?}{} {}ssd {:>9}: 1M={:>6.2} GiB/s 4K={:>6.0}K",
+                        " {:>4} {:?} {}ssd {:>9}: 1M={:>6.2} GiB/s 4K={:>6.0}K",
                         transport.label(),
                         placement,
-                        "",
                         ssds,
                         rw.label(),
                         r1m.gib_per_sec(),

@@ -76,9 +76,9 @@ pub fn run_fio<W: Workload>(workload: &mut W, spec: &JobSpec) -> FioReport {
     let mut queue: EventQueue<Done> = EventQueue::new();
 
     // Prime each job with `iodepth` outstanding ops.
-    for j in 0..spec.numjobs {
+    for (j, job) in jobs.iter_mut().enumerate() {
         for _ in 0..spec.iodepth {
-            let op = jobs[j].next_op(spec);
+            let op = job.next_op(spec);
             match workload.issue(start, j, &op) {
                 Ok(done) => queue.push(
                     done,
@@ -233,7 +233,7 @@ mod tests {
         impl Workload for Flaky {
             fn issue(&mut self, now: SimTime, _j: usize, _op: &FioOp) -> Result<SimTime, String> {
                 self.n += 1;
-                if self.n % 10 == 0 {
+                if self.n.is_multiple_of(10) {
                     Err("injected".into())
                 } else {
                     Ok(now + SimDuration::from_micros(20))

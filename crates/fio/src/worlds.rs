@@ -9,16 +9,17 @@
 //! [`Workload`] for the closed-loop driver.
 
 use bytes::Bytes;
-use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
+use ros2_daos::{DaosClient, DaosCostModel, DaosEngine, ObjectClient};
 use ros2_dfs::{Dfs, DfsObj, DfsSession};
+use ros2_dpu::{default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec};
 use ros2_fabric::{Fabric, NodeSpec};
 use ros2_hw::{
-    gbps, ClientPlacement, CoreClass, CpuComplement, DpuTcpRxModel, HostPathModel, NicModel,
-    NvmeModel, Transport, LBA_SIZE,
+    gbps, ClientPlacement, CoreClass, CpuComplement, HostPathModel, NicModel, NvmeModel, Transport,
+    LBA_SIZE,
 };
 use ros2_iouring::{IoRequest, IoUringEngine};
 use ros2_nvme::{DataMode, NvmeArray};
-use ros2_sim::SimTime;
+use ros2_sim::{ResourceStats, SimTime};
 use ros2_spdk::{BdevLayer, NvmfSession, NvmfStack};
 use ros2_verbs::{MemoryDomain, NodeId};
 
@@ -163,6 +164,74 @@ impl Workload for SpdkFioWorld {
 
 // ------------------------------------------------------------------ dfs --
 
+/// The client stack a [`DfsFioWorld`] drives.
+///
+/// `Classic` is the pre-offload path: one in-process [`DaosClient`] on the
+/// client node (host placement, and the historical DPU *cost-model* mode
+/// where only the node spec changes) — its behaviour is pinned bit-for-bit
+/// by `worlds_tests::host_placement_results_are_pinned`. `Offloaded` is the
+/// real SmartNIC architecture: a [`DpuClient`] running the whole client on
+/// the DPU behind a host submit/poll pair, with tenant QoS admission live.
+// One client per world, never stored in bulk — the variant size gap
+// (DpuClient embeds agent + tenant manager) costs nothing here.
+#[allow(clippy::large_enum_variant)]
+pub enum FioClient {
+    /// In-process `libdaos` on the client node.
+    Classic(DaosClient),
+    /// The DPU-offloaded client (host only rings doorbells).
+    Offloaded(DpuClient),
+}
+
+impl FioClient {
+    /// The client as the object-I/O interface DFS drives.
+    pub fn as_object(&mut self) -> &mut dyn ObjectClient {
+        match self {
+            FioClient::Classic(c) => c,
+            FioClient::Offloaded(c) => c,
+        }
+    }
+
+    /// Aggregate booking / fast-path counters over the client cores.
+    pub fn resource_stats(&self) -> ResourceStats {
+        match self {
+            FioClient::Classic(c) => c.resource_stats(),
+            FioClient::Offloaded(c) => c.resource_stats(),
+        }
+    }
+
+    /// Resets per-job core timing (and, offloaded, QoS buckets) to t=0.
+    pub fn reset_timing(&mut self) {
+        match self {
+            FioClient::Classic(c) => c.reset_timing(),
+            FioClient::Offloaded(c) => c.reset_timing(),
+        }
+    }
+
+    /// Data-plane operations issued.
+    pub fn ops(&self) -> u64 {
+        match self {
+            FioClient::Classic(c) => ObjectClient::ops(c),
+            FioClient::Offloaded(c) => ObjectClient::ops(c),
+        }
+    }
+
+    /// Offload-path counters (zero for the classic in-process client).
+    pub fn dpu_stats(&self) -> DpuStats {
+        match self {
+            FioClient::Classic(_) => DpuStats::default(),
+            FioClient::Offloaded(c) => c.dpu_stats(),
+        }
+    }
+
+    /// The offloaded client, when this world runs one.
+    pub fn offloaded(&self) -> Option<&DpuClient> {
+        match self {
+            FioClient::Classic(_) => None,
+            FioClient::Offloaded(c) => Some(c),
+        }
+    }
+}
+
 /// Fig. 5's system: FIO's DFS engine over the full ROS2 stack, with the
 /// DAOS client on the host CPU or offloaded to the BlueField-3.
 pub struct DfsFioWorld {
@@ -170,8 +239,8 @@ pub struct DfsFioWorld {
     pub fabric: Fabric,
     /// The unmodified storage-server engine.
     pub engine: DaosEngine,
-    /// The (possibly DPU-resident) client.
-    pub client: DaosClient,
+    /// The client stack (in-process or DPU-offloaded).
+    pub client: FioClient,
     /// The mounted namespace.
     pub dfs: Dfs,
     files: Vec<DfsObj>,
@@ -216,29 +285,9 @@ impl DfsFioWorld {
                 mem_budget: 64 << 30,
                 dpu_tcp_rx: None,
             },
-            ClientPlacement::Dpu => NodeSpec {
-                name: "bluefield3".into(),
-                cpu: CpuComplement {
-                    class: CoreClass::DpuArm,
-                    cores: 16,
-                },
-                nic: NicModel::connectx7(),
-                port_rate: gbps(100),
-                mem_budget: 30 << 30,
-                dpu_tcp_rx: Some(DpuTcpRxModel::bluefield3()),
-            },
+            ClientPlacement::Dpu => NodeSpec::bluefield3(),
         };
-        let server_spec = NodeSpec {
-            name: "storage".into(),
-            cpu: CpuComplement {
-                class: CoreClass::HostX86,
-                cores: 64,
-            },
-            nic: NicModel::connectx6(),
-            port_rate: gbps(100),
-            mem_budget: 64 << 30,
-            dpu_tcp_rx: None,
-        };
+        let server_spec = NodeSpec::storage_server();
         let mut fabric = Fabric::new(transport, vec![client_spec, server_spec], 0xd0e5);
         fabric.set_force_per_segment(force_per_segment);
         fabric.set_flow_hint(NodeId(0), jobs);
@@ -254,7 +303,7 @@ impl DfsFioWorld {
         );
         engine.cont_create("posix").unwrap();
 
-        let mut client = DaosClient::connect(
+        let client = DaosClient::connect(
             &mut fabric,
             NodeId(0),
             NodeId(1),
@@ -267,13 +316,77 @@ impl DfsFioWorld {
         )
         .expect("client connects");
 
-        // Format, create and precondition per-job files.
+        Self::precondition(fabric, engine, FioClient::Classic(client), jobs, region)
+    }
+
+    /// The real offload deployment: the whole DAOS client runs on a
+    /// BlueField-3 as a [`DpuClient`] — host submit/poll handoff, per-tenant
+    /// QoS admission, scoped rkeys, DPU-side checksums — while the host
+    /// node in [`Self::new`]'s classic mode would have run it in-process.
+    /// Jobs are dealt round-robin across `tenants` (pass one unlimited
+    /// tenant for the single-tenant sweeps). With [`Transport::Tcp`] this
+    /// is the DPU-TCP-RX fallback world: same offload, no registered
+    /// memory, and the BlueField receive-path penalty live.
+    pub fn offloaded(
+        transport: Transport,
+        ssds: usize,
+        jobs: usize,
+        region: u64,
+        mode: DataMode,
+        tenants: Vec<DpuTenantSpec>,
+    ) -> Self {
+        let mut fabric = Fabric::new(
+            transport,
+            vec![NodeSpec::bluefield3(), NodeSpec::storage_server()],
+            0xd0e5,
+        );
+        fabric.set_flow_hint(NodeId(0), jobs);
+        fabric.set_flow_hint(NodeId(1), jobs);
+
+        let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), ssds, mode));
+        let mut engine = DaosEngine::new(
+            "pool0",
+            bdevs,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        engine.cont_create("posix").unwrap();
+
+        let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(0xd0e5));
+        let client = DpuClient::connect(
+            &mut fabric,
+            NodeId(0),
+            NodeId(1),
+            "posix",
+            jobs,
+            4 << 20,
+            MemoryDomain::DpuDram,
+            DaosCostModel::default_model(),
+            agent,
+            tenants,
+            0xd0e5,
+        )
+        .expect("DPU client connects");
+
+        Self::precondition(fabric, engine, FioClient::Offloaded(client), jobs, region)
+    }
+
+    /// Formats the namespace, preconditions one `region`-byte file per job,
+    /// and resets all clocks for measurement.
+    fn precondition(
+        mut fabric: Fabric,
+        mut engine: DaosEngine,
+        mut client: FioClient,
+        jobs: usize,
+        region: u64,
+    ) -> Self {
         let chunk = 1u64 << 20;
         let (mut dfs, mut t) = {
             let mut s = DfsSession {
                 fabric: &mut fabric,
                 engine: &mut engine,
-                client: &mut client,
+                client: client.as_object(),
             };
             Dfs::format(&mut s, SimTime::ZERO, chunk).expect("format")
         };
@@ -283,7 +396,7 @@ impl DfsFioWorld {
             let mut s = DfsSession {
                 fabric: &mut fabric,
                 engine: &mut engine,
-                client: &mut client,
+                client: client.as_object(),
             };
             let (mut f, t1) = dfs
                 .create(&mut s, t, &root, &format!("job{j}"), 0o644)
@@ -325,7 +438,7 @@ impl Workload for DfsFioWorld {
         let mut s = DfsSession {
             fabric: &mut self.fabric,
             engine: &mut self.engine,
-            client: &mut self.client,
+            client: self.client.as_object(),
         };
         if op.write {
             let data = zeros(op.len as usize);

@@ -400,7 +400,7 @@ impl ServerPool {
         let mut best: Option<(u64, usize, usize, bool)> = None;
         for (s, book) in self.bookings.iter().enumerate() {
             let (start, idx, fast) = book.earliest(from, dur);
-            if best.map_or(true, |(b, _, _, _)| start < b) {
+            if best.is_none_or(|(b, _, _, _)| start < b) {
                 best = Some((start, s, idx, fast));
                 if start == from {
                     break; // cannot do better than starting immediately
@@ -524,15 +524,24 @@ impl TokenBucket {
     /// Requests `tokens`, returning the earliest instant the grant holds.
     /// Requests larger than the burst are granted at the burst boundary
     /// (the bucket goes momentarily negative), preserving work conservation.
+    ///
+    /// Backlogged grants queue: a request that arrives while the bucket is
+    /// still paying off an earlier grant waits from that grant's instant
+    /// (`updated`), not from its own arrival — otherwise N concurrent
+    /// requesters would each be charged one refill quantum from their own
+    /// `now` and the bucket would admit N× its configured rate. (The PR 4
+    /// QoS sweep caught exactly that: a 64 MiB/s tenant moving ~500 MiB/s
+    /// under queue depth 8.)
     pub fn acquire(&mut self, now: SimTime, tokens: u64) -> SimTime {
-        self.refill(now);
+        let from = now.max(self.updated);
+        self.refill(from);
         let need = tokens as u128 * 1_000_000_000;
         let grant_at = if self.level_tn >= need {
-            now
+            from
         } else {
             let deficit = need - self.level_tn;
             let wait_ns = deficit.div_ceil(self.rate_per_sec as u128) as u64;
-            now + SimDuration::from_nanos(wait_ns)
+            from + SimDuration::from_nanos(wait_ns)
         };
         self.refill(grant_at);
         self.level_tn = self.level_tn.saturating_sub(need);
@@ -687,6 +696,23 @@ mod tests {
         tb.acquire(SimTime::ZERO, 50);
         // After 10 seconds the bucket holds at most `burst` tokens.
         assert_eq!(tb.available(SimTime::from_secs(10)), 50);
+    }
+
+    #[test]
+    fn token_bucket_backlogged_grants_serialize_at_the_rate() {
+        // 8 concurrent 10-token requests against a 1000 tok/s, burst-10
+        // bucket: the first drains the burst; the rest must space out by a
+        // full 10 ms refill each, not all land one quantum after t=0.
+        let mut tb = TokenBucket::new(1000, 10);
+        let grants: Vec<_> = (0..8).map(|_| tb.acquire(SimTime::ZERO, 10)).collect();
+        assert_eq!(grants[0], SimTime::ZERO);
+        for (i, g) in grants.iter().enumerate().skip(1) {
+            assert_eq!(
+                *g,
+                SimTime::from_millis(10 * i as u64),
+                "grant {i} must queue behind the backlog"
+            );
+        }
     }
 
     #[test]

@@ -110,7 +110,7 @@ impl RefPool {
         let mut best: Option<(u64, usize, usize)> = None;
         for (s, book) in self.books.iter().enumerate() {
             let (start, idx) = book.earliest(now, dur);
-            if best.map_or(true, |(b, _, _)| start < b) {
+            if best.is_none_or(|(b, _, _)| start < b) {
                 best = Some((start, s, idx));
                 if start == now {
                     break;

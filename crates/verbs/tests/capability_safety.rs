@@ -79,7 +79,7 @@ proptest! {
         for a in actions {
             match a {
                 Action::Advance { ms } => {
-                    now = now + ros2_sim::SimDuration::from_millis(ms);
+                    now += ros2_sim::SimDuration::from_millis(ms);
                 }
                 Action::Revoke => {
                     dev.revoke_rkey(mr).unwrap();

@@ -79,7 +79,7 @@ fn checkpoint_rename_commit_pattern() {
     sys.write(&mut tmp, 0, blob.clone()).unwrap();
 
     // Rename via the dfs layer (the system API wraps lookup+rename).
-    let root = sys.dfs.root();
+    let _root = sys.dfs.root();
     let mut s = ros2::dfs::DfsSession {
         fabric: &mut sys.fabric,
         engine: &mut sys.engine,
@@ -90,7 +90,6 @@ fn checkpoint_rename_commit_pattern() {
     sys.dfs
         .rename(&mut s, t, &ckpt_dir, "step10.tmp", &ckpt_dir, "step10")
         .unwrap();
-    drop(s);
 
     let committed = sys.open("/ckpt/step10").unwrap().value;
     assert_eq!(sys.read(&committed, 0, 2 << 20).unwrap().value, blob);
@@ -126,7 +125,7 @@ fn many_files_across_striped_targets() {
 
 #[test]
 fn epoch_snapshots_read_the_past() {
-    use ros2::daos::{AKey, DKey, Epoch, ObjClass, ObjectId, ValueKind};
+    use ros2::daos::{AKey, DKey, Epoch, ObjClass, ObjectClient, ObjectId, ValueKind};
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
     let oid = ObjectId::new(ObjClass::S1, 777);
     let d = DKey::from_str("k");

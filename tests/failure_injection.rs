@@ -86,11 +86,12 @@ fn revoked_rkey_kills_in_flight_traffic_but_not_the_system() {
 fn bad_credentials_cannot_open_a_session() {
     use ros2::ctl::{ControlError, ControlRequest, ControlResponse};
     let mut sys = Ros2System::launch(Ros2Config::default()).unwrap();
-    let (_, res) = sys.agent.host_call(
+    let tenant = sys.config.tenant.clone();
+    let (_, res) = sys.agent_mut().host_call(
         SimTime::ZERO,
         None,
         ControlRequest::Hello {
-            tenant: sys.config.tenant.clone(),
+            tenant,
             auth: Bytes::from_static(b"wrong-secret"),
         },
         |_, _| ControlResponse::Ok,

@@ -14,8 +14,7 @@ fn two_tenants_cannot_touch_each_others_buffers() {
     let node = sys.client.node();
 
     // A second tenant appears on the same DPU.
-    let pd_b = sys.tenants.register(
-        &mut sys.fabric,
+    let pd_b = sys.register_tenant(
         "intruder",
         QosLimits::unlimited(),
         SimDuration::from_secs(1),
@@ -91,7 +90,7 @@ fn qos_cap_bounds_effective_bandwidth() {
         gibps <= cap * 1.25,
         "rate {gibps:.4} GiB/s must respect the {cap:.4} GiB/s cap (burst tolerance)"
     );
-    assert!(sys.tenants.tenant(&sys.config.tenant).unwrap().throttled > 0);
+    assert!(sys.tenants().tenant(&sys.config.tenant).unwrap().throttled > 0);
 }
 
 #[test]
@@ -102,5 +101,8 @@ fn unlimited_tenant_is_never_throttled() {
         sys.write(&mut f, i << 20, Bytes::from(vec![0u8; 1 << 20]))
             .unwrap();
     }
-    assert_eq!(sys.tenants.tenant(&sys.config.tenant).unwrap().throttled, 0);
+    assert_eq!(
+        sys.tenants().tenant(&sys.config.tenant).unwrap().throttled,
+        0
+    );
 }
