@@ -66,13 +66,9 @@ use ros2_nvme::{DataMode, NvmeArray};
 use ros2_sim::{BandwidthServer, ResourceStats, SimDuration, SimTime};
 use ros2_spdk::BdevLayer;
 
-const JOBS: usize = 4;
-const REGION: u64 = 16 << 20;
+use ros2_bench::{legacy_cells, legacy_spec, LEGACY_JOBS as JOBS, OPS_SIMULATED_PIN};
 
-/// The legacy sweep's total simulated ops — pinned since PR 3. The offload
-/// work must leave the host-placement control arm bit-identical, so this
-/// is asserted, not just recorded.
-const OPS_SIMULATED_PIN: u64 = 595_716;
+const REGION: u64 = 16 << 20;
 
 /// `sweep_wall_ms` recorded by this harness at the PR 2 head (same cell
 /// plan, same container class) — the baseline the sharded metadata-path
@@ -84,10 +80,7 @@ const PR1_SWEEP_WALL_MS: f64 = 20_568.5;
 const PR3_SWEEP_WALL_MS: f64 = 1_986.9;
 
 fn spec(rw: RwMode, bs: u64, jobs: usize, qd: usize) -> JobSpec {
-    JobSpec::new(rw, bs, jobs)
-        .iodepth(qd)
-        .region(REGION)
-        .windows(SimDuration::from_millis(50), SimDuration::from_millis(150))
+    legacy_spec(rw, bs, jobs, qd)
 }
 
 /// Everything one simulated sweep cell produces.
@@ -126,10 +119,10 @@ fn cell(
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let wire = world.fabric.wire_traversal_stats();
     let mut stats = world.fabric.resource_stats();
-    stats.merge(world.engine.resource_stats());
+    stats.merge(world.cluster.resource_stats());
     stats.merge(world.client.resource_stats());
     let mut dp = world.fabric.data_plane_stats();
-    dp.merge(world.engine.data_plane_stats());
+    dp.merge(world.cluster.data_plane_stats());
     CellResult {
         wall_ms,
         ops: report.io.meter.ops(),
@@ -142,17 +135,7 @@ fn cell(
 }
 
 fn cells(jobs: usize, qd: usize) -> Vec<(Transport, ClientPlacement, RwMode, u64, usize, usize)> {
-    let mut out = Vec::new();
-    for &t in &[Transport::Rdma, Transport::Tcp] {
-        for &p in &[ClientPlacement::Host, ClientPlacement::Dpu] {
-            for &rw in RwMode::ALL.iter() {
-                for bs in [1u64 << 20, 4 << 10] {
-                    out.push((t, p, rw, bs, jobs, qd));
-                }
-            }
-        }
-    }
-    out
+    legacy_cells(jobs, qd)
 }
 
 #[derive(Default)]

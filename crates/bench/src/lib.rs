@@ -17,12 +17,68 @@
 
 #![warn(missing_docs)]
 
-use ros2_fio::{FioReport, JobSpec, RwMode};
+use ros2_fio::{run_fio, DfsFioWorld, FioReport, JobSpec, RwMode};
+use ros2_hw::{ClientPlacement, Transport};
+use ros2_nvme::DataMode;
 use ros2_sim::SimDuration;
 
 /// Standard measurement windows used by all harnesses (ramp, runtime).
 pub fn windows() -> (SimDuration, SimDuration) {
     (SimDuration::from_millis(100), SimDuration::from_millis(300))
+}
+
+/// The legacy perf-regression sweep's job count.
+pub const LEGACY_JOBS: usize = 4;
+/// The legacy sweep's per-job region.
+pub const LEGACY_REGION: u64 = 16 << 20;
+/// The legacy sweep's total simulated ops — pinned since PR 3. Every
+/// harness that replays the plan must see exactly this count: the
+/// single-engine host-placement control arm stays bit-identical across
+/// the offload (PR 4) and cluster (PR 5) refactors.
+pub const OPS_SIMULATED_PIN: u64 = 595_716;
+
+/// The legacy sweep's job spec for one cell.
+pub fn legacy_spec(rw: RwMode, bs: u64, jobs: usize, qd: usize) -> JobSpec {
+    JobSpec::new(rw, bs, jobs)
+        .iodepth(qd)
+        .region(LEGACY_REGION)
+        .windows(SimDuration::from_millis(50), SimDuration::from_millis(150))
+}
+
+/// The legacy sweep's cell plan — {rdma, tcp} × {host, dpu} × all four
+/// patterns × {1 MiB, 4 KiB}. Shared between `perf_regression` (which
+/// times it) and `fig_scaleout` (which re-plays it to assert the ops
+/// pin), so the plans cannot drift apart.
+pub fn legacy_cells(
+    jobs: usize,
+    qd: usize,
+) -> Vec<(Transport, ClientPlacement, RwMode, u64, usize, usize)> {
+    let mut out = Vec::new();
+    for &t in &[Transport::Rdma, Transport::Tcp] {
+        for &p in &[ClientPlacement::Host, ClientPlacement::Dpu] {
+            for &rw in RwMode::ALL.iter() {
+                for bs in [1u64 << 20, 4 << 10] {
+                    out.push((t, p, rw, bs, jobs, qd));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Re-plays the legacy sweep (contended QD 8 plan plus the uncontended
+/// QD 1 pass) and returns the total simulated op count — the value pinned
+/// at [`OPS_SIMULATED_PIN`]. Deterministic: virtual-time results only.
+pub fn legacy_sweep_ops() -> u64 {
+    let mut total = 0u64;
+    for plan in [legacy_cells(LEGACY_JOBS, 8), legacy_cells(1, 1)] {
+        for (t, p, rw, bs, jobs, qd) in plan {
+            let mut world = DfsFioWorld::new(t, p, 1, jobs, LEGACY_REGION, DataMode::Null);
+            let report = run_fio(&mut world, &legacy_spec(rw, bs, jobs, qd));
+            total += report.io.meter.ops();
+        }
+    }
+    total
 }
 
 /// The job-count axis of Fig. 3 and the core axis of Fig. 4.

@@ -26,7 +26,8 @@
 pub mod system;
 
 pub use system::{
-    ClientStack, Ros2Config, Ros2Error, Ros2System, SystemMetrics, Timed, CLIENT_NODE, STORAGE_NODE,
+    ClientStack, ClusterConfig, Ros2Config, Ros2Error, Ros2System, SystemMetrics, Timed,
+    CLIENT_NODE, STORAGE_NODE,
 };
 
 #[cfg(test)]

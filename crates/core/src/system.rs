@@ -18,20 +18,40 @@
 use bytes::Bytes;
 use ros2_ctl::{ControlError, ControlRequest, ControlResponse};
 use ros2_daos::{
-    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, DaosError, Epoch,
-    ObjectClient, ObjectId, ValueKind,
+    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, DaosError,
+    EngineCluster, Epoch, ObjectClient, ObjectId, RebuildStats, ValueKind,
 };
 use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
 use ros2_dpu::{
     default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec, InlineService, QosLimits,
     TenantManager,
 };
-use ros2_fabric::{Fabric, NodeSpec};
-use ros2_hw::{gbps, ClientPlacement, CoreClass, CpuComplement, NicModel, Transport};
-use ros2_nvme::{DataMode, NvmeArray};
+use ros2_fabric::Fabric;
+use ros2_hw::{ClientPlacement, ClusterTopology, CoreClass, Transport};
+use ros2_nvme::DataMode;
 use ros2_sim::{ResourceStats, SimDuration, SimTime};
-use ros2_spdk::BdevLayer;
 use ros2_verbs::{MemoryDomain, NodeId, PdId};
+
+/// The deployment's scale-out shape: how many DAOS engines (one per
+/// storage node behind the shared switch) and how many replicas each
+/// object keeps. The default — one engine, RF 1 — is the paper's two-node
+/// testbed and stays bit-identical to the pre-cluster assembly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of DAOS engines (each a distinct fabric node).
+    pub engines: usize,
+    /// Replicas per object (1 ..= `ros2_daos::MAX_RF`).
+    pub replication_factor: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            engines: 1,
+            replication_factor: 1,
+        }
+    }
+}
 
 /// Deployment configuration (the knobs the paper sweeps, plus extensions).
 #[derive(Clone, Debug)]
@@ -40,7 +60,9 @@ pub struct Ros2Config {
     pub transport: Transport,
     /// Where the DAOS client runs.
     pub placement: ClientPlacement,
-    /// NVMe drives on the storage server (the paper uses 1 or 4).
+    /// Scale-out shape: engine count and replication factor.
+    pub cluster: ClusterConfig,
+    /// NVMe drives on each storage server (the paper uses 1 or 4).
     pub ssds: usize,
     /// Client jobs (connections/EQs).
     pub jobs: usize,
@@ -69,6 +91,7 @@ impl Default for Ros2Config {
         Ros2Config {
             transport: Transport::Rdma,
             placement: ClientPlacement::Dpu,
+            cluster: ClusterConfig::default(),
             ssds: 1,
             jobs: 4,
             chunk_size: 1 << 20,
@@ -206,7 +229,7 @@ impl ObjectClient for ClientStack {
     fn update(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -217,10 +240,10 @@ impl ObjectClient for ClientStack {
     ) -> Result<SimTime, DaosError> {
         match self {
             ClientStack::Host { client, .. } => {
-                client.update(fabric, engine, now, job, oid, dkey, akey, kind, data)
+                client.update(fabric, cluster, now, job, oid, dkey, akey, kind, data)
             }
             ClientStack::Dpu(c) => {
-                ObjectClient::update(c, fabric, engine, now, job, oid, dkey, akey, kind, data)
+                ObjectClient::update(c, fabric, cluster, now, job, oid, dkey, akey, kind, data)
             }
         }
     }
@@ -228,7 +251,7 @@ impl ObjectClient for ClientStack {
     fn fetch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -240,10 +263,10 @@ impl ObjectClient for ClientStack {
     ) -> Result<(Bytes, SimTime), DaosError> {
         match self {
             ClientStack::Host { client, .. } => {
-                client.fetch(fabric, engine, now, job, oid, dkey, akey, kind, epoch, len)
+                client.fetch(fabric, cluster, now, job, oid, dkey, akey, kind, epoch, len)
             }
             ClientStack::Dpu(c) => ObjectClient::fetch(
-                c, fabric, engine, now, job, oid, dkey, akey, kind, epoch, len,
+                c, fabric, cluster, now, job, oid, dkey, akey, kind, epoch, len,
             ),
         }
     }
@@ -251,14 +274,16 @@ impl ObjectClient for ClientStack {
     fn execute_batch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         ops: Vec<ClientOp>,
     ) -> Vec<ClientOpResult> {
         match self {
-            ClientStack::Host { client, .. } => client.execute_batch(fabric, engine, now, job, ops),
-            ClientStack::Dpu(c) => ObjectClient::execute_batch(c, fabric, engine, now, job, ops),
+            ClientStack::Host { client, .. } => {
+                client.execute_batch(fabric, cluster, now, job, ops)
+            }
+            ClientStack::Dpu(c) => ObjectClient::execute_batch(c, fabric, cluster, now, job, ops),
         }
     }
 
@@ -273,8 +298,9 @@ pub struct Ros2System {
     pub config: Ros2Config,
     /// The data-plane fabric.
     pub fabric: Fabric,
-    /// The unmodified storage-server engine.
-    pub engine: DaosEngine,
+    /// The storage cluster: N unmodified engines behind the versioned pool
+    /// map (a single engine in the default config).
+    pub cluster: EngineCluster,
     /// The client stack (host in-process or DPU-offloaded, per
     /// `config.placement`).
     pub client: ClientStack,
@@ -287,28 +313,24 @@ pub struct Ros2System {
 impl Ros2System {
     /// Builds and boots the full deployment.
     pub fn launch(config: Ros2Config) -> Result<Self, Ros2Error> {
-        let client_spec = match config.placement {
-            ClientPlacement::Host => NodeSpec {
-                name: "host-client".into(),
-                cpu: CpuComplement {
-                    class: CoreClass::HostX86,
-                    cores: 48,
-                },
-                nic: NicModel::connectx6(),
-                port_rate: gbps(100),
-                mem_budget: 64 << 30,
-                dpu_tcp_rx: None,
-            },
-            ClientPlacement::Dpu => NodeSpec::bluefield3(),
+        let n_engines = config.cluster.engines;
+        if n_engines == 0 {
+            return Err(Ros2Error::Config("at least one engine".into()));
+        }
+        if !(1..=ros2_daos::MAX_RF.min(n_engines)).contains(&config.cluster.replication_factor) {
+            return Err(Ros2Error::Config(format!(
+                "replication factor must be in 1..={} and <= engine count",
+                ros2_daos::MAX_RF
+            )));
+        }
+        let topology = ClusterTopology {
+            placement: config.placement,
+            storage_nodes: n_engines,
         };
-        let storage_spec = NodeSpec::storage_server();
-        let mut fabric = Fabric::new(
-            config.transport,
-            vec![client_spec, storage_spec],
-            config.seed,
-        );
-        fabric.set_flow_hint(CLIENT_NODE, config.jobs);
-        fabric.set_flow_hint(STORAGE_NODE, config.jobs);
+        let mut fabric = Fabric::for_topology(config.transport, &topology, config.seed);
+        for node in 0..topology.node_count() {
+            fabric.set_flow_hint(NodeId(node as u32), config.jobs);
+        }
 
         // The GPUDirect extension needs peermem on the client NIC (§3.5).
         if config.buffer_domain == MemoryDomain::GpuHbm {
@@ -320,20 +342,21 @@ impl Ros2System {
             }
         }
 
-        // Storage server: bdevs + engine + container.
-        let bdevs = BdevLayer::new(NvmeArray::new(
-            ros2_hw::NvmeModel::enterprise_1600(),
+        // Storage servers: bdevs + engine per node, behind the pool map
+        // (the canonical assembly shared with the cluster FIO world).
+        let storage_nodes: Vec<NodeId> = (0..n_engines)
+            .map(|i| NodeId(topology.storage_node(i) as u32))
+            .collect();
+        let mut cluster = EngineCluster::assemble(
+            storage_nodes.clone(),
+            config.cluster.replication_factor,
             config.ssds,
             config.data_mode,
-        ));
-        let mut engine = DaosEngine::new(
-            "pool0",
-            bdevs,
             2 << 30,
             DaosCostModel::default_model(),
             CoreClass::HostX86,
         );
-        engine
+        cluster
             .cont_create("posix")
             .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
 
@@ -392,10 +415,10 @@ impl Ros2System {
                     config.qos,
                     SimDuration::from_secs(30),
                 );
-                let client = DaosClient::connect(
+                let client = DaosClient::connect_multi(
                     &mut fabric,
                     CLIENT_NODE,
-                    STORAGE_NODE,
+                    &storage_nodes,
                     &config.tenant,
                     "posix",
                     config.jobs,
@@ -414,10 +437,10 @@ impl Ros2System {
                 }
             }
             ClientPlacement::Dpu => {
-                let dpu = DpuClient::connect(
+                let dpu = DpuClient::connect_cluster(
                     &mut fabric,
                     CLIENT_NODE,
-                    STORAGE_NODE,
+                    &storage_nodes,
                     "posix",
                     config.jobs,
                     config.buffer_len,
@@ -440,7 +463,7 @@ impl Ros2System {
         let (dfs, t) = {
             let mut s = DfsSession {
                 fabric: &mut fabric,
-                engine: &mut engine,
+                cluster: &mut cluster,
                 client: &mut client,
             };
             Dfs::format(&mut s, clock, config.chunk_size)?
@@ -450,12 +473,78 @@ impl Ros2System {
         Ok(Ros2System {
             config,
             fabric,
-            engine,
+            cluster,
             client,
             dfs,
             session,
             clock,
         })
+    }
+
+    /// The first engine — the whole pool in the default single-engine
+    /// config (tests and reports).
+    pub fn engine(&self) -> &DaosEngine {
+        self.cluster.engine(0)
+    }
+
+    /// Mutable access to the first engine (tests, fault injection).
+    pub fn engine_mut(&mut self) -> &mut DaosEngine {
+        self.cluster.engine_mut(0)
+    }
+
+    /// Marks engine `slot` dead: the pool map bumps its revision, a
+    /// RAS-style event is raised on the control plane (the agent terminates
+    /// it, exactly like the management calls), and every subsequent op
+    /// routes around the dead engine — fetches of affected objects are
+    /// served degraded from surviving replicas. Redundancy is restored by
+    /// [`Self::rebuild`]. Returns the new map revision.
+    ///
+    /// The kill is committed *before* the event is delivered, and stays
+    /// committed even if the control call errors — the engine is dead
+    /// whether or not anyone was notified, exactly like a real RAS event.
+    /// On `Err` the map is already at the new revision with a rebuild
+    /// pending.
+    pub fn kill_engine(&mut self, slot: usize) -> Result<u64, Ros2Error> {
+        let version = self
+            .cluster
+            .kill_engine(slot)
+            .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+        let now = self.clock;
+        let session = self.session;
+        let (t, res) = self.client.agent_mut().host_call(
+            now,
+            Some(session),
+            ControlRequest::RasEvent {
+                engine: slot as u32,
+                map_version: version,
+            },
+            |_, _| ControlResponse::Ok,
+        );
+        res.map_err(Ros2Error::Control)?;
+        self.tick(t);
+        Ok(version)
+    }
+
+    /// Online rebuild of the pending engine failure: surviving replicas
+    /// stream the dead engine's records to the deterministic backfill
+    /// members at data-plane rates (fabric-booked), restoring the
+    /// replication factor. Returns the virtual duration of the rebuild.
+    pub fn rebuild(&mut self) -> Result<Timed<RebuildStats>, Ros2Error> {
+        let now = self.clock;
+        let t = self
+            .cluster
+            .rebuild(&mut self.fabric, now)
+            .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+        self.tick(t);
+        Ok(Timed {
+            value: self.cluster.rebuild_stats(),
+            latency: t.saturating_since(now),
+        })
+    }
+
+    /// Redundancy counters: degraded reads served, rebuild movement.
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.cluster.rebuild_stats()
     }
 
     /// The current virtual instant.
@@ -478,7 +567,7 @@ impl Ros2System {
         let (parent_path, name) = split_path(path)?;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
@@ -496,7 +585,7 @@ impl Ros2System {
         let (parent_path, name) = split_path(path)?;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
@@ -513,7 +602,7 @@ impl Ros2System {
         let now = self.clock;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (obj, t) = self.dfs.lookup(&mut s, now, path)?;
@@ -551,7 +640,7 @@ impl Ros2System {
         let job = (file.oid.lo % self.config.jobs as u64) as usize;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let t = self.dfs.write(&mut s, start, job, file, offset, data)?;
@@ -584,7 +673,7 @@ impl Ros2System {
         let job = (file.oid.lo % self.config.jobs as u64) as usize;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (data, t) = self.dfs.read(&mut s, start, job, file, offset, len)?;
@@ -604,7 +693,7 @@ impl Ros2System {
         let now = self.clock;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (dir, t) = self.dfs.lookup(&mut s, now, path)?;
@@ -622,7 +711,7 @@ impl Ros2System {
         let (parent_path, name) = split_path(path)?;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
@@ -640,7 +729,7 @@ impl Ros2System {
         let (parent_path, name) = split_path(path)?;
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: &mut self.client,
         };
         let (parent, t1) = self.dfs.lookup(&mut s, now, parent_path)?;
@@ -657,7 +746,7 @@ impl Ros2System {
     /// every VOS target's SCM pool, and every NVMe backing store.
     pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
         let mut total = self.fabric.data_plane_stats();
-        total.merge(self.engine.data_plane_stats());
+        total.merge(self.cluster.data_plane_stats());
         total
     }
 
@@ -706,7 +795,7 @@ impl Ros2System {
     pub fn metrics(&self) -> SystemMetrics {
         SystemMetrics {
             client_ops: self.client.ops(),
-            engine_rpcs: self.engine.rpcs(),
+            engine_rpcs: self.cluster.rpcs(),
             dfs_ops: (self.dfs.meta_ops, self.dfs.data_ops),
             control_calls: self.client.agent().control_calls.get(),
             inline_bytes: self.client.agent().serviced_bytes.get(),

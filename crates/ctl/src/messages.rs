@@ -88,6 +88,16 @@ pub enum ControlRequest {
     /// Host→DPU completion poll: reap finished I/Os from the completion
     /// queue the DPU exposes to the host.
     IoPoll,
+    /// RAS-style health event on the control plane: engine `engine` left
+    /// the pool (killed/unreachable) and the pool map moved to
+    /// `map_version`. Clients react by routing around the dead engine;
+    /// rebuild restores redundancy (§3.1's cluster shape).
+    RasEvent {
+        /// Pool-map slot of the affected engine.
+        engine: u32,
+        /// The bumped pool-map revision.
+        map_version: u64,
+    },
 }
 
 /// Control-plane responses.
@@ -165,6 +175,12 @@ impl ControlRequest {
             ControlRequest::IoPoll => {
                 w.u8(9);
             }
+            ControlRequest::RasEvent {
+                engine,
+                map_version,
+            } => {
+                w.u8(10).u32(*engine).u64(*map_version);
+            }
         }
         w.finish()
     }
@@ -197,6 +213,10 @@ impl ControlRequest {
                 bytes: r.u64()?,
             },
             9 => ControlRequest::IoPoll,
+            10 => ControlRequest::RasEvent {
+                engine: r.u32()?,
+                map_version: r.u64()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -310,6 +330,10 @@ mod tests {
             bytes: 32 << 20,
         });
         round_trip_req(ControlRequest::IoPoll);
+        round_trip_req(ControlRequest::RasEvent {
+            engine: 3,
+            map_version: 17,
+        });
     }
 
     #[test]

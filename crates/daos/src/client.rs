@@ -3,8 +3,8 @@
 //!
 //! The client is placement-agnostic: it runs on whichever fabric node it is
 //! constructed for, and every CPU cost it pays is scaled to that node's
-//! core class. Each job (FIO thread) owns a connection, a serialized client
-//! core, and a registered staging buffer:
+//! core class. Each job (FIO thread) owns one connection *per cluster
+//! engine*, a serialized client core, and a registered staging buffer:
 //!
 //! * **RDMA**: updates announce staged data and the *server* pulls with
 //!   RDMA READ; fetches are *pushed* by the server with RDMA WRITE into the
@@ -12,6 +12,14 @@
 //! * **TCP**: payloads travel inline in the RPC messages, paying per-byte
 //!   CPU on both ends (and the DPU receive-path penalty when the client is
 //!   the SmartNIC).
+//!
+//! Routing lives here (client-side, so the DPU-offloaded client inherits
+//! it without host involvement): each op resolves its replica set from the
+//! cluster's pool map — updates fan out to every healthy replica (commit =
+//! the last replica's ack), fetches go to the leader and fail over to a
+//! surviving replica while an engine is down. With one engine and RF = 1
+//! the route is always slot 0 and every phase runs the exact pre-cluster
+//! sequence — the pinned host-placement path.
 
 use bytes::{Bytes, BytesMut};
 use ros2_buf::zero_bytes;
@@ -20,7 +28,8 @@ use ros2_hw::{CoreClass, Transport};
 use ros2_sim::{ResourceStats, ServerPool, SimTime};
 use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, MrId, NodeId, PdId, RKey};
 
-use crate::engine::{DaosEngine, TargetOp, TargetOpResult, ValueKind};
+use crate::cluster::EngineCluster;
+use crate::engine::{TargetOp, TargetOpResult, ValueKind};
 use crate::types::{AKey, DKey, DaosCostModel, DaosError, Epoch, ObjectId};
 
 /// RPC descriptor size on the wire (OBJ_UPDATE/OBJ_FETCH header).
@@ -45,7 +54,9 @@ fn map_fabric(e: FabricError) -> DaosError {
 }
 
 struct ClientJob {
-    conn: ConnId,
+    /// One connection per cluster engine slot (index-aligned with the pool
+    /// map).
+    conns: Vec<ConnId>,
     core: ServerPool,
     buf: MemAddr,
     buf_len: u64,
@@ -58,7 +69,7 @@ struct ClientJob {
 /// A connected DAOS client bound to one container.
 pub struct DaosClient {
     node: NodeId,
-    server: NodeId,
+    servers: Vec<NodeId>,
     cont: String,
     pd: PdId,
     jobs: Vec<ClientJob>,
@@ -100,6 +111,35 @@ impl DaosClient {
         )
     }
 
+    /// [`Self::connect`] against every engine of a cluster: each job opens
+    /// one connection per storage node (slot-aligned with the pool map) so
+    /// the client can route per-object without reconnecting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_multi(
+        fabric: &mut Fabric,
+        node: NodeId,
+        servers: &[NodeId],
+        tenant: &str,
+        cont: impl Into<String>,
+        jobs: usize,
+        buf_len: u64,
+        domain: MemoryDomain,
+        model: DaosCostModel,
+    ) -> Result<Self, DaosError> {
+        Self::connect_scoped_multi(
+            fabric,
+            node,
+            servers,
+            tenant,
+            cont,
+            jobs,
+            buf_len,
+            domain,
+            model,
+            Expiry::Never,
+        )
+    }
+
     /// [`Self::connect`] with every staging MR registered under `expiry`
     /// from the outset — no window where an unscoped rkey exists.
     #[allow(clippy::too_many_arguments)]
@@ -115,17 +155,58 @@ impl DaosClient {
         model: DaosCostModel,
         expiry: Expiry,
     ) -> Result<Self, DaosError> {
+        Self::connect_scoped_multi(
+            fabric,
+            node,
+            &[server],
+            tenant,
+            cont,
+            jobs,
+            buf_len,
+            domain,
+            model,
+            expiry,
+        )
+    }
+
+    /// The fully general constructor: scoped staging MRs, N storage nodes.
+    /// With one server the fabric-call sequence (PD allocs, connects,
+    /// buffers, registrations) is exactly the historical single-engine
+    /// one, which is what keeps RF = 1 configs bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_scoped_multi(
+        fabric: &mut Fabric,
+        node: NodeId,
+        servers: &[NodeId],
+        tenant: &str,
+        cont: impl Into<String>,
+        jobs: usize,
+        buf_len: u64,
+        domain: MemoryDomain,
+        model: DaosCostModel,
+        expiry: Expiry,
+    ) -> Result<Self, DaosError> {
+        if servers.is_empty() {
+            return Err(DaosError::Transport("no storage nodes".into()));
+        }
         let class = fabric.node(node).class();
         let transport = fabric.transport();
         let pd = fabric.rdma_mut(node).alloc_pd(tenant);
-        let server_pd = fabric
-            .rdma_mut(server)
-            .alloc_pd(format!("daos-engine:{tenant}"));
+        let server_pds: Vec<PdId> = servers
+            .iter()
+            .map(|&s| fabric.rdma_mut(s).alloc_pd(format!("daos-engine:{tenant}")))
+            .collect();
         let mut out_jobs = Vec::with_capacity(jobs);
         for _ in 0..jobs {
-            let conn = fabric
-                .connect(node, server, pd, server_pd)
-                .map_err(map_fabric)?;
+            let conns = servers
+                .iter()
+                .zip(&server_pds)
+                .map(|(&server, &server_pd)| {
+                    fabric
+                        .connect(node, server, pd, server_pd)
+                        .map_err(map_fabric)
+                })
+                .collect::<Result<Vec<ConnId>, DaosError>>()?;
             let buf = fabric
                 .rdma_mut(node)
                 .alloc_buffer(buf_len, domain)
@@ -141,7 +222,7 @@ impl DaosClient {
                 Transport::Tcp => (None, None),
             };
             out_jobs.push(ClientJob {
-                conn,
+                conns,
                 core: ServerPool::new(1),
                 buf,
                 buf_len,
@@ -151,7 +232,7 @@ impl DaosClient {
         }
         Ok(DaosClient {
             node,
-            server,
+            servers: servers.to_vec(),
             cont: cont.into(),
             pd,
             jobs: out_jobs,
@@ -167,9 +248,14 @@ impl DaosClient {
         self.node
     }
 
-    /// The storage-server node this client targets.
+    /// The first storage-server node this client targets.
     pub fn server(&self) -> NodeId {
-        self.server
+        self.servers[0]
+    }
+
+    /// Every storage node, slot-aligned with the cluster's pool map.
+    pub fn servers(&self) -> &[NodeId] {
+        &self.servers
     }
 
     /// The client's protection domain (its tenant boundary).
@@ -242,6 +328,20 @@ impl DaosClient {
         Ok(())
     }
 
+    /// A client must hold one connection per cluster slot to route; a
+    /// mismatch (client connected to a subset of the pool) is a
+    /// misconfiguration surfaced as a typed error, not an index panic.
+    fn check_cluster(&self, cluster: &EngineCluster) -> Result<(), DaosError> {
+        let conns = self.jobs.first().map_or(0, |j| j.conns.len());
+        if conns < cluster.len() {
+            return Err(DaosError::Transport(format!(
+                "client connected to {conns} engines but the pool has {}",
+                cluster.len()
+            )));
+        }
+        Ok(())
+    }
+
     fn client_cpu(&mut self, now: SimTime, job: usize) -> SimTime {
         let mut cost = self.class.scale(self.model.client_per_op);
         if self.class == CoreClass::DpuArm {
@@ -251,18 +351,20 @@ impl DaosClient {
     }
 
     /// Phase A of an update: client CPU, payload staging, descriptor send
-    /// and (RDMA) the server's pull. Returns the instant the data is
-    /// resident server-side plus the server's payload handle.
+    /// and (RDMA) the pull by the engine in cluster slot `eng`. Returns
+    /// the instant the data is resident server-side plus the server's
+    /// payload handle.
     fn stage_update(
         &mut self,
         fabric: &mut Fabric,
         now: SimTime,
         job: usize,
+        eng: usize,
         data: Bytes,
     ) -> Result<(SimTime, Bytes), DaosError> {
         let len = data.len() as u64;
         let t_cpu = self.client_cpu(now, job);
-        let conn = self.jobs[job].conn;
+        let conn = self.jobs[job].conns[eng];
         match self.transport {
             Transport::Rdma => {
                 // Stage locally (zero-copy: the registered buffer adopts
@@ -300,47 +402,52 @@ impl DaosClient {
         }
     }
 
-    /// Phase C of an update: the server's completion SEND at `persisted`.
+    /// Phase C of an update: engine `eng`'s completion SEND at
+    /// `persisted`.
     fn finish_update(
         &mut self,
         fabric: &mut Fabric,
         job: usize,
+        eng: usize,
         persisted: SimTime,
     ) -> Result<SimTime, DaosError> {
         let done = fabric
-            .send(persisted, self.jobs[job].conn, Dir::BtoA, rpc_done())
+            .send(persisted, self.jobs[job].conns[eng], Dir::BtoA, rpc_done())
             .map_err(map_fabric)?;
         Ok(done.at)
     }
 
-    /// Phase A of a fetch: client CPU plus the descriptor send. Returns
-    /// the instant the request reaches the server.
+    /// Phase A of a fetch: client CPU plus the descriptor send to engine
+    /// `eng`. Returns the instant the request reaches the server.
     fn stage_fetch(
         &mut self,
         fabric: &mut Fabric,
         now: SimTime,
         job: usize,
+        eng: usize,
     ) -> Result<SimTime, DaosError> {
         let t_cpu = self.client_cpu(now, job);
-        let conn = self.jobs[job].conn;
+        let conn = self.jobs[job].conns[eng];
         let req = fabric
             .send(t_cpu, conn, Dir::AtoB, rpc_desc())
             .map_err(map_fabric)?;
         Ok(req.at)
     }
 
-    /// Phase C of a fetch: (RDMA) the server's push into the job's
+    /// Phase C of a fetch: (RDMA) engine `eng`'s push into the job's
     /// registered buffer plus the completion SEND, or (TCP) the inline
     /// response.
+    #[allow(clippy::too_many_arguments)]
     fn finish_fetch(
         &mut self,
         fabric: &mut Fabric,
         job: usize,
+        eng: usize,
         data: Bytes,
         ready: SimTime,
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
-        let conn = self.jobs[job].conn;
+        let conn = self.jobs[job].conns[eng];
         match self.transport {
             Transport::Rdma => {
                 let push = fabric
@@ -371,7 +478,10 @@ impl DaosClient {
         }
     }
 
-    /// Issues an OBJ_UPDATE from `job`. Returns the commit instant.
+    /// Issues an OBJ_UPDATE from `job`, fanned out to every healthy
+    /// replica of `oid` (the commit instant is the last replica's ack, so
+    /// a committed update is readable from any replica). Returns the
+    /// commit instant.
     ///
     /// Identical to a one-op [`Self::execute_batch`] — both run the same
     /// stage/execute/finish phases (asserted by the batch equivalence
@@ -380,7 +490,7 @@ impl DaosClient {
     pub fn update(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -390,30 +500,43 @@ impl DaosClient {
         data: Bytes,
     ) -> Result<SimTime, DaosError> {
         self.ops += 1;
+        self.check_cluster(cluster)?;
         if data.len() as u64 > self.jobs[job].buf_len {
             return Err(DaosError::Transport("staging buffer too small".into()));
         }
-        let epoch = engine.next_epoch(&self.cont)?;
-        let (data_at_server, payload) = self.stage_update(fabric, now, job, data)?;
-        let persisted = engine.update(
-            data_at_server,
-            &self.cont,
-            oid,
-            dkey,
-            akey,
-            kind,
-            epoch,
-            payload,
-        )?;
-        self.finish_update(fabric, job, persisted)
+        let set = cluster.route_update(&oid);
+        if set.is_empty() {
+            return Err(DaosError::Transport("no healthy replica".into()));
+        }
+        let epoch = cluster.next_epoch(&self.cont)?;
+        let mut done: Option<SimTime> = None;
+        for eng in set.iter() {
+            let (data_at_server, payload) =
+                self.stage_update(fabric, now, job, eng, data.clone())?;
+            let persisted = cluster.engine_mut(eng).update(
+                data_at_server,
+                &self.cont,
+                oid,
+                dkey.clone(),
+                akey.clone(),
+                kind,
+                epoch,
+                payload,
+            )?;
+            let acked = self.finish_update(fabric, job, eng, persisted)?;
+            done = Some(done.map_or(acked, |d| d.max(acked)));
+        }
+        Ok(done.expect("non-empty replica set"))
     }
 
-    /// Issues an OBJ_FETCH from `job` reading `len` bytes at `epoch`.
+    /// Issues an OBJ_FETCH from `job` reading `len` bytes at `epoch`,
+    /// routed to `oid`'s replica leader — or, while the leader's engine is
+    /// down, to the first surviving replica (a degraded read).
     #[allow(clippy::too_many_arguments)]
     pub fn fetch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -424,20 +547,29 @@ impl DaosClient {
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
         self.ops += 1;
+        self.check_cluster(cluster)?;
         if len > self.jobs[job].buf_len {
             return Err(DaosError::Transport("staging buffer too small".into()));
         }
-        let req_at = self.stage_fetch(fabric, now, job)?;
-        let (data, ready) =
-            engine.fetch(req_at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
-        self.finish_fetch(fabric, job, data, ready, len)
+        let eng = cluster
+            .route_fetch(&oid)
+            .leader()
+            .ok_or_else(|| DaosError::Transport("no healthy replica".into()))?;
+        let req_at = self.stage_fetch(fabric, now, job, eng)?;
+        let (data, ready) = cluster
+            .engine_mut(eng)
+            .fetch(req_at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
+        self.finish_fetch(fabric, job, eng, data, ready, len)
     }
 
     /// Submits a whole queue's worth of independent ops from `job` as one
     /// fan-out: every descriptor/staging exchange runs first (in
-    /// submission order), the engine executes the batch across its shards
-    /// in one [`DaosEngine::execute_batch`] call, and completions drain
-    /// back in submission order — one engine round-trip instead of N.
+    /// submission order, updates staged once per replica), each involved
+    /// engine executes its slice of the batch across its shards in one
+    /// [`crate::DaosEngine::execute_batch`] call, and completions drain
+    /// back — one engine round-trip per engine instead of one per op. A
+    /// replicated update's slot resolves to the last replica's ack (or the
+    /// first error).
     ///
     /// Results come back in submission order. Per-op failures (oversized
     /// I/O, missing records) are reported in that op's slot and do not
@@ -445,15 +577,21 @@ impl DaosClient {
     pub fn execute_batch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         ops: Vec<ClientOp>,
     ) -> Vec<ClientOpResult> {
+        if let Err(e) = self.check_cluster(cluster) {
+            self.ops += ops.len() as u64;
+            return whole_batch_error(&ops, e);
+        }
         let mut results: Vec<Option<ClientOpResult>> = (0..ops.len()).map(|_| None).collect();
-        let mut target_ops = Vec::with_capacity(ops.len());
-        // Engine-op index -> (client-op slot, fetch read-back length).
-        let mut pending: Vec<(usize, Option<u64>)> = Vec::with_capacity(ops.len());
+        // Per engine slot: staged target ops plus (client-op slot, fetch
+        // read-back length), submission order preserved within a slot.
+        let mut buckets: Vec<EngineBucket> = (0..cluster.len())
+            .map(|_| (Vec::new(), Vec::new()))
+            .collect();
 
         for (i, op) in ops.into_iter().enumerate() {
             self.ops += 1;
@@ -471,27 +609,39 @@ impl DaosClient {
                         ))));
                         continue;
                     }
-                    let epoch = match engine.next_epoch(&self.cont) {
+                    let set = cluster.route_update(&oid);
+                    if set.is_empty() {
+                        results[i] = Some(ClientOpResult::Update(Err(DaosError::Transport(
+                            "no healthy replica".into(),
+                        ))));
+                        continue;
+                    }
+                    let epoch = match cluster.next_epoch(&self.cont) {
                         Ok(e) => e,
                         Err(e) => {
                             results[i] = Some(ClientOpResult::Update(Err(e)));
                             continue;
                         }
                     };
-                    match self.stage_update(fabric, now, job, data) {
-                        Ok((at, payload)) => {
-                            target_ops.push(TargetOp::Update {
-                                now: at,
-                                oid,
-                                dkey,
-                                akey,
-                                kind,
-                                epoch,
-                                data: payload,
-                            });
-                            pending.push((i, None));
+                    for eng in set.iter() {
+                        match self.stage_update(fabric, now, job, eng, data.clone()) {
+                            Ok((at, payload)) => {
+                                buckets[eng].0.push(TargetOp::Update {
+                                    now: at,
+                                    oid,
+                                    dkey: dkey.clone(),
+                                    akey: akey.clone(),
+                                    kind,
+                                    epoch,
+                                    data: payload,
+                                });
+                                buckets[eng].1.push((i, None));
+                            }
+                            Err(e) => {
+                                merge_slot(&mut results[i], ClientOpResult::Update(Err(e)));
+                                break;
+                            }
                         }
-                        Err(e) => results[i] = Some(ClientOpResult::Update(Err(e))),
                     }
                 }
                 ClientOp::Fetch {
@@ -508,9 +658,15 @@ impl DaosClient {
                         ))));
                         continue;
                     }
-                    match self.stage_fetch(fabric, now, job) {
+                    let Some(eng) = cluster.route_fetch(&oid).leader() else {
+                        results[i] = Some(ClientOpResult::Fetch(Err(DaosError::Transport(
+                            "no healthy replica".into(),
+                        ))));
+                        continue;
+                    };
+                    match self.stage_fetch(fabric, now, job, eng) {
                         Ok(req_at) => {
-                            target_ops.push(TargetOp::Fetch {
+                            buckets[eng].0.push(TargetOp::Fetch {
                                 now: req_at,
                                 oid,
                                 dkey,
@@ -519,7 +675,7 @@ impl DaosClient {
                                 epoch,
                                 len,
                             });
-                            pending.push((i, Some(len)));
+                            buckets[eng].1.push((i, Some(len)));
                         }
                         Err(e) => results[i] = Some(ClientOpResult::Fetch(Err(e))),
                     }
@@ -527,29 +683,42 @@ impl DaosClient {
             }
         }
 
-        match engine.execute_batch(&self.cont, target_ops) {
-            Ok(engine_results) => {
-                for (&(slot, fetch_len), res) in pending.iter().zip(engine_results) {
-                    results[slot] = Some(match res {
-                        TargetOpResult::Update(Ok(persisted)) => {
-                            ClientOpResult::Update(self.finish_update(fabric, job, persisted))
-                        }
-                        TargetOpResult::Update(Err(e)) => ClientOpResult::Update(Err(e)),
-                        TargetOpResult::Fetch(Ok((data, ready))) => {
-                            let len = fetch_len.expect("fetch pending entries carry a length");
-                            ClientOpResult::Fetch(self.finish_fetch(fabric, job, data, ready, len))
-                        }
-                        TargetOpResult::Fetch(Err(e)) => ClientOpResult::Fetch(Err(e)),
-                    });
-                }
+        for (eng, (target_ops, pending)) in buckets.into_iter().enumerate() {
+            if pending.is_empty() {
+                continue;
             }
-            Err(e) => {
-                // Whole-batch failure (container vanished between phases).
-                for &(slot, fetch_len) in &pending {
-                    results[slot] = Some(match fetch_len {
-                        None => ClientOpResult::Update(Err(e.clone())),
-                        Some(_) => ClientOpResult::Fetch(Err(e.clone())),
-                    });
+            match cluster
+                .engine_mut(eng)
+                .execute_batch(&self.cont, target_ops)
+            {
+                Ok(engine_results) => {
+                    for (&(slot, fetch_len), res) in pending.iter().zip(engine_results) {
+                        let r = match res {
+                            TargetOpResult::Update(Ok(persisted)) => ClientOpResult::Update(
+                                self.finish_update(fabric, job, eng, persisted),
+                            ),
+                            TargetOpResult::Update(Err(e)) => ClientOpResult::Update(Err(e)),
+                            TargetOpResult::Fetch(Ok((data, ready))) => {
+                                let len = fetch_len.expect("fetch pending entries carry a length");
+                                ClientOpResult::Fetch(
+                                    self.finish_fetch(fabric, job, eng, data, ready, len),
+                                )
+                            }
+                            TargetOpResult::Fetch(Err(e)) => ClientOpResult::Fetch(Err(e)),
+                        };
+                        merge_slot(&mut results[slot], r);
+                    }
+                }
+                Err(e) => {
+                    // Whole-batch failure (container vanished between
+                    // phases).
+                    for &(slot, fetch_len) in &pending {
+                        let r = match fetch_len {
+                            None => ClientOpResult::Update(Err(e.clone())),
+                            Some(_) => ClientOpResult::Fetch(Err(e.clone())),
+                        };
+                        merge_slot(&mut results[slot], r);
+                    }
                 }
             }
         }
@@ -558,6 +727,42 @@ impl DaosClient {
             .map(|r| r.expect("every submitted op produced a result"))
             .collect()
     }
+}
+
+/// One engine's slice of a batch fan-out: its staged target ops plus
+/// (client-op slot, fetch read-back length) bookkeeping.
+type EngineBucket = (Vec<TargetOp>, Vec<(usize, Option<u64>)>);
+
+/// Maps a whole-batch precondition failure onto every op in the batch
+/// (shared by the host client and the DPU-offloaded client's preamble).
+pub fn whole_batch_error(ops: &[ClientOp], e: DaosError) -> Vec<ClientOpResult> {
+    ops.iter()
+        .map(|op| match op {
+            ClientOp::Update { .. } => ClientOpResult::Update(Err(e.clone())),
+            ClientOp::Fetch { .. } => ClientOpResult::Fetch(Err(e.clone())),
+        })
+        .collect()
+}
+
+/// Folds a replica's outcome into its client-op slot: a fetch is routed to
+/// exactly one engine, so the first result stands; a replicated update
+/// commits at the *last* replica's ack, and any replica's error surfaces.
+/// When several replicas fail with different errors, *which* error is
+/// reported is unspecified (the batch path merges in engine-slot order,
+/// the serial path stops at the first replica-set member) — the Ok/Err
+/// outcome itself is identical on both paths.
+fn merge_slot(slot: &mut Option<ClientOpResult>, new: ClientOpResult) {
+    *slot = Some(match (slot.take(), new) {
+        (None, r) => r,
+        (Some(ClientOpResult::Update(prev)), ClientOpResult::Update(next)) => {
+            ClientOpResult::Update(match (prev, next) {
+                (Ok(a), Ok(b)) => Ok(a.max(b)),
+                (Err(e), _) => Err(e),
+                (_, Err(e)) => Err(e),
+            })
+        }
+        (Some(prev), _) => prev,
+    });
 }
 
 /// The object-I/O interface the DFS layer drives, leaving the namespace
@@ -576,7 +781,7 @@ pub trait ObjectClient {
     fn update(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -591,7 +796,7 @@ pub trait ObjectClient {
     fn fetch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -607,7 +812,7 @@ pub trait ObjectClient {
     fn execute_batch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         ops: Vec<ClientOp>,
@@ -621,7 +826,7 @@ impl ObjectClient for DaosClient {
     fn update(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -630,13 +835,13 @@ impl ObjectClient for DaosClient {
         kind: ValueKind,
         data: Bytes,
     ) -> Result<SimTime, DaosError> {
-        DaosClient::update(self, fabric, engine, now, job, oid, dkey, akey, kind, data)
+        DaosClient::update(self, fabric, cluster, now, job, oid, dkey, akey, kind, data)
     }
 
     fn fetch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -647,19 +852,19 @@ impl ObjectClient for DaosClient {
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
         DaosClient::fetch(
-            self, fabric, engine, now, job, oid, dkey, akey, kind, epoch, len,
+            self, fabric, cluster, now, job, oid, dkey, akey, kind, epoch, len,
         )
     }
 
     fn execute_batch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         ops: Vec<ClientOp>,
     ) -> Vec<ClientOpResult> {
-        DaosClient::execute_batch(self, fabric, engine, now, job, ops)
+        DaosClient::execute_batch(self, fabric, cluster, now, job, ops)
     }
 
     fn ops(&self) -> u64 {
@@ -735,13 +940,14 @@ impl ClientOpResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::DaosEngine;
     use crate::types::ObjClass;
     use ros2_fabric::NodeSpec;
     use ros2_hw::{gbps, CpuComplement, DpuTcpRxModel, NicModel, NvmeModel};
     use ros2_nvme::{DataMode, NvmeArray};
     use ros2_spdk::BdevLayer;
 
-    fn world(transport: Transport, client_is_dpu: bool) -> (Fabric, DaosEngine, DaosClient) {
+    fn world(transport: Transport, client_is_dpu: bool) -> (Fabric, EngineCluster, DaosClient) {
         let client_spec = if client_is_dpu {
             NodeSpec {
                 name: "dpu".into(),
@@ -804,17 +1010,17 @@ mod tests {
             DaosCostModel::default_model(),
         )
         .unwrap();
-        (fabric, engine, client)
+        (fabric, EngineCluster::single(engine), client)
     }
 
     fn do_round_trip(transport: Transport) {
-        let (mut fabric, mut engine, mut client) = world(transport, false);
+        let (mut fabric, mut cluster, mut client) = world(transport, false);
         let oid = ObjectId::new(ObjClass::Sx, 1);
         let data = Bytes::from(vec![0x3C; 1 << 20]);
         let done = client
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 0,
                 oid,
@@ -827,7 +1033,7 @@ mod tests {
         let (back, _) = client
             .fetch(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 done,
                 1,
                 oid,
@@ -856,13 +1062,13 @@ mod tests {
     fn rdma_fetch_is_faster_from_dpu_than_tcp_fetch() {
         // The headline §4.4 comparison at the op level.
         let run = |transport| {
-            let (mut fabric, mut engine, mut client) = world(transport, true);
+            let (mut fabric, mut cluster, mut client) = world(transport, true);
             let oid = ObjectId::new(ObjClass::Sx, 1);
             let data = Bytes::from(vec![1u8; 1 << 20]);
             let done = client
                 .update(
                     &mut fabric,
-                    &mut engine,
+                    &mut cluster,
                     SimTime::ZERO,
                     0,
                     oid,
@@ -876,7 +1082,7 @@ mod tests {
             let (_, at) = client
                 .fetch(
                     &mut fabric,
-                    &mut engine,
+                    &mut cluster,
                     start,
                     0,
                     oid,
@@ -896,13 +1102,13 @@ mod tests {
 
     #[test]
     fn dpu_client_cpu_is_slower_but_functional() {
-        let (mut fabric, mut engine, mut client) = world(Transport::Rdma, true);
+        let (mut fabric, mut cluster, mut client) = world(Transport::Rdma, true);
         assert_eq!(client.jobs(), 2);
         let oid = ObjectId::new(ObjClass::S1, 3);
         let done = client
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 0,
                 oid,
@@ -915,7 +1121,7 @@ mod tests {
         let (back, _) = client
             .fetch(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 done,
                 0,
                 oid,
@@ -931,12 +1137,12 @@ mod tests {
 
     #[test]
     fn oversized_io_rejected_before_wire() {
-        let (mut fabric, mut engine, mut client) = world(Transport::Rdma, false);
+        let (mut fabric, mut cluster, mut client) = world(Transport::Rdma, false);
         let oid = ObjectId::new(ObjClass::S1, 3);
         let err = client
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 0,
                 oid,
@@ -951,14 +1157,14 @@ mod tests {
 
     #[test]
     fn checksum_error_propagates_to_client() {
-        let (mut fabric, mut engine, mut client) = world(Transport::Rdma, false);
+        let (mut fabric, mut cluster, mut client) = world(Transport::Rdma, false);
         let oid = ObjectId::new(ObjClass::Sx, 1);
         let d = DKey::from_u64(0);
         let a = AKey::from_str("data");
         let done = client
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 0,
                 oid,
@@ -968,11 +1174,11 @@ mod tests {
                 Bytes::from(vec![5u8; 64 << 10]),
             )
             .unwrap();
-        assert!(engine.corrupt_newest_extent(oid, &d, &a));
+        assert!(cluster.engine_mut(0).corrupt_newest_extent(oid, &d, &a));
         let err = client
             .fetch(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 done,
                 0,
                 oid,

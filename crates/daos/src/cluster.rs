@@ -1,0 +1,770 @@
+//! The replicated multi-engine cluster: versioned pool map, object
+//! placement, degraded routing, and online rebuild.
+//!
+//! The paper's deployment (§3.1) is a *cluster* of DAOS engines behind one
+//! switch. This module is the piece that turns the one-client/one-engine
+//! reproduction into that shape:
+//!
+//! * [`PoolMap`] — engine membership + health, stamped with a monotonically
+//!   increasing **map revision**. Every health transition (engine kill,
+//!   engine add) bumps the revision; the control plane carries the bump as
+//!   a RAS-style event (`ros2_ctl::ControlRequest::RasEvent`).
+//! * **Placement** — [`PoolMap::replica_set`] ranks engines per object by
+//!   highest-random-weight (rendezvous) hashing and takes the top
+//!   `replication factor` healthy members, leader first. HRW gives the two
+//!   invariants the property suite pins: placement is a pure function of
+//!   `(map, oid, rf)`, and a membership change moves **only** the objects
+//!   whose replica set actually changed (survivors never reshuffle among
+//!   themselves).
+//! * [`EngineCluster`] — owns the engines and routes: updates fan out to
+//!   every healthy replica, fetches go to the leader and fail over to a
+//!   surviving replica while an engine is down (**degraded read**, counted
+//!   in [`RebuildStats::degraded_fetches`]). With one engine and RF = 1
+//!   every route degenerates to slot 0 and the data path is bit-identical
+//!   to the pre-cluster pinned behaviour.
+//! * **Online rebuild** — after a kill, surviving replicas export the dead
+//!   engine's records and stream them over the fabric (at data-plane
+//!   rates, booked on the storage nodes' ports) to the deterministic HRW
+//!   backfill engine — the "designated spare" — restoring RF.
+//!
+//! Epochs stay cluster-consistent without a consensus round: the first
+//! healthy engine allocates ([`DaosEngine::next_epoch`]) and every other
+//! healthy engine observes ([`DaosEngine::observe_epoch`]), so a failover
+//! leader continues the same monotonic sequence.
+
+use std::collections::HashMap;
+
+use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
+use ros2_sim::SimTime;
+use ros2_verbs::{NodeId, PdId};
+
+use crate::engine::DaosEngine;
+use crate::types::{DKey, DaosError, Epoch, ObjectId};
+use crate::vos::VosStats;
+
+/// Largest supported replication factor (fits the inline
+/// [`ReplicaSet`]; the paper's deployments use 2–3).
+pub const MAX_RF: usize = 4;
+
+/// Health of one pool-map member.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EngineHealth {
+    /// Serving I/O.
+    Up,
+    /// Killed / unreachable; excluded from placement.
+    Down,
+}
+
+/// One engine's entry in the pool map.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PoolMember {
+    /// The fabric node this engine serves on.
+    pub node: NodeId,
+    /// Current health.
+    pub health: EngineHealth,
+}
+
+/// The versioned cluster membership map. Pure placement state — the live
+/// engines themselves live in [`EngineCluster`] — so the property suite
+/// can drive maps through arbitrary transitions without building storage.
+#[derive(Clone, Debug)]
+pub struct PoolMap {
+    version: u64,
+    members: Vec<PoolMember>,
+}
+
+/// An ordered replica set (leader first), held inline so routing never
+/// allocates on the data path.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReplicaSet {
+    len: u8,
+    slots: [u16; MAX_RF],
+}
+
+impl ReplicaSet {
+    const EMPTY: ReplicaSet = ReplicaSet {
+        len: 0,
+        slots: [0; MAX_RF],
+    };
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty (no healthy replica exists).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The leader slot, if any replica exists.
+    pub fn leader(&self) -> Option<usize> {
+        (self.len > 0).then_some(self.slots[0] as usize)
+    }
+
+    /// Iterates member slots, leader first.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slots[..self.len as usize].iter().map(|&s| s as usize)
+    }
+
+    /// Whether `slot` is a member.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.iter().any(|s| s == slot)
+    }
+
+    fn push(&mut self, slot: usize) {
+        self.slots[self.len as usize] = slot as u16;
+        self.len += 1;
+    }
+
+    /// This set with `slot` removed (order preserved).
+    pub fn without(&self, slot: usize) -> ReplicaSet {
+        let mut out = ReplicaSet::EMPTY;
+        for s in self.iter().filter(|&s| s != slot) {
+            out.push(s);
+        }
+        out
+    }
+}
+
+/// The per-engine rendezvous weight of an object: an FNV-1a-style fold
+/// over the object id and the member slot. Note the multiplier is the
+/// workspace's historical `placement_hash` constant (`0x1000_0000_01b3`),
+/// *not* the canonical FNV-64 prime (`0x100_0000_01b3`) — kept identical
+/// to [`crate::types::placement_hash`] on purpose, since both constants
+/// are load-bearing for pinned placement results. The real system
+/// jump-hashes over the pool map.
+fn hrw_score(oid: &ObjectId, slot: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in oid.hi.to_le_bytes() {
+        eat(b);
+    }
+    for b in oid.lo.to_le_bytes() {
+        eat(b);
+    }
+    for b in slot.to_le_bytes() {
+        eat(b);
+    }
+    h
+}
+
+impl PoolMap {
+    /// A fresh map (revision 1) with every engine healthy.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        PoolMap {
+            version: 1,
+            members: nodes
+                .into_iter()
+                .map(|node| PoolMember {
+                    node,
+                    health: EngineHealth::Up,
+                })
+                .collect(),
+        }
+    }
+
+    /// The map revision (bumped on every membership/health change).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The members, by slot.
+    pub fn members(&self) -> &[PoolMember] {
+        &self.members
+    }
+
+    /// Total member count (including down engines).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the map has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Healthy member count.
+    pub fn up_count(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.health == EngineHealth::Up)
+            .count()
+    }
+
+    /// Adds a healthy engine; returns its slot. Bumps the revision.
+    pub fn add_engine(&mut self, node: NodeId) -> usize {
+        self.members.push(PoolMember {
+            node,
+            health: EngineHealth::Up,
+        });
+        self.version += 1;
+        self.members.len() - 1
+    }
+
+    /// Marks `slot` down. Returns the new revision; `Err` if the slot is
+    /// unknown or already down.
+    pub fn kill(&mut self, slot: usize) -> Result<u64, DaosError> {
+        let m = self.members.get_mut(slot).ok_or(DaosError::NoSuchEntity)?;
+        if m.health == EngineHealth::Down {
+            return Err(DaosError::NoSuchEntity);
+        }
+        m.health = EngineHealth::Down;
+        self.version += 1;
+        Ok(self.version)
+    }
+
+    /// The object's replica set under this map: the `rf` highest-weight
+    /// healthy members, leader first. Deterministic in `(map, oid, rf)`;
+    /// returns fewer than `rf` slots only when fewer engines are healthy.
+    pub fn replica_set(&self, oid: &ObjectId, rf: usize) -> ReplicaSet {
+        self.replica_set_with(oid, rf, None)
+    }
+
+    /// [`Self::replica_set`] with `treat_up` counted as healthy regardless
+    /// of its recorded health — the pre-failure set, used to find the
+    /// surviving copies of an object while its rebuild is pending.
+    pub fn replica_set_with(
+        &self,
+        oid: &ObjectId,
+        rf: usize,
+        treat_up: Option<usize>,
+    ) -> ReplicaSet {
+        let rf = rf.min(MAX_RF);
+        // Insertion sort into a fixed top-rf array: highest score first,
+        // ties broken toward the lower slot.
+        let mut top: [(u64, usize); MAX_RF] = [(0, usize::MAX); MAX_RF];
+        let mut filled = 0usize;
+        for (slot, m) in self.members.iter().enumerate() {
+            let up = m.health == EngineHealth::Up || treat_up == Some(slot);
+            if !up {
+                continue;
+            }
+            let score = hrw_score(oid, slot as u64);
+            let mut i = filled.min(rf);
+            while i > 0 && (top[i - 1].0 < score || (top[i - 1].0 == score && top[i - 1].1 > slot))
+            {
+                if i < rf {
+                    top[i] = top[i - 1];
+                }
+                i -= 1;
+            }
+            if i < rf {
+                top[i] = (score, slot);
+                if filled < rf {
+                    filled += 1;
+                }
+            }
+        }
+        let mut out = ReplicaSet::EMPTY;
+        for &(_, slot) in top.iter().take(filled) {
+            out.push(slot);
+        }
+        out
+    }
+}
+
+/// Counters for the redundancy machinery, reported alongside the
+/// `ResourceStats` / `DataPlaneStats` / `DpuStats` families.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RebuildStats {
+    /// Rebuild passes completed.
+    pub rebuilds: u64,
+    /// Objects whose replica set lost a member and was restored.
+    pub objects_moved: u64,
+    /// Records re-replicated to backfill engines.
+    pub records_moved: u64,
+    /// Payload bytes streamed between storage nodes.
+    pub bytes_moved: u64,
+    /// Fetches of objects whose replica set was short a member (an
+    /// unrebuilt kill) — degraded-mode reads. Counted whenever the object
+    /// had lost redundancy at fetch time, whether or not the dead member
+    /// was its leader.
+    pub degraded_fetches: u64,
+}
+
+impl RebuildStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: RebuildStats) {
+        self.rebuilds += other.rebuilds;
+        self.objects_moved += other.objects_moved;
+        self.records_moved += other.records_moved;
+        self.bytes_moved += other.bytes_moved;
+        self.degraded_fetches += other.degraded_fetches;
+    }
+}
+
+/// The N engines of a deployment behind one routing layer. See the module
+/// docs for the placement/degraded/rebuild semantics.
+pub struct EngineCluster {
+    engines: Vec<DaosEngine>,
+    map: PoolMap,
+    rf: usize,
+    /// A kill whose re-replication has not run yet: affected objects route
+    /// to the pre-kill survivors until [`Self::rebuild`] completes.
+    pending_dead: Option<usize>,
+    stats: RebuildStats,
+    /// Lazily-opened storage-node-to-storage-node rebuild connections.
+    rebuild_conns: HashMap<(usize, usize), ConnId>,
+    rebuild_pds: HashMap<u32, PdId>,
+}
+
+fn map_fabric(e: FabricError) -> DaosError {
+    DaosError::Transport(format!("rebuild stream: {e:?}"))
+}
+
+impl EngineCluster {
+    /// Assembles a cluster of `engines` (parallel to `nodes`) replicating
+    /// each object across `replication_factor` members.
+    pub fn new(engines: Vec<DaosEngine>, nodes: Vec<NodeId>, replication_factor: usize) -> Self {
+        assert_eq!(engines.len(), nodes.len(), "one node per engine");
+        assert!(!engines.is_empty(), "a cluster needs at least one engine");
+        assert!(
+            (1..=MAX_RF).contains(&replication_factor),
+            "replication factor must be in 1..={MAX_RF}"
+        );
+        EngineCluster {
+            engines,
+            map: PoolMap::new(nodes),
+            rf: replication_factor,
+            pending_dead: None,
+            stats: RebuildStats::default(),
+            rebuild_conns: HashMap::new(),
+            rebuild_pds: HashMap::new(),
+        }
+    }
+
+    /// The degenerate single-engine cluster (RF = 1, storage on
+    /// `NodeId(1)`) — the shape every pre-cluster world assembles. Routing
+    /// through it is bit-identical to driving the engine directly.
+    pub fn single(engine: DaosEngine) -> Self {
+        EngineCluster::new(vec![engine], vec![NodeId(1)], 1)
+    }
+
+    /// Builds the canonical N-engine pool: one engine per storage node,
+    /// each over `ssds` drives with `scm_bytes_per_target` of SCM,
+    /// labelled `pool0-eng{slot}`. The single source of engine assembly —
+    /// `Ros2System::launch` and the cluster FIO world both build through
+    /// here, so the bench worlds cannot drift from the assembled system.
+    pub fn assemble(
+        nodes: Vec<NodeId>,
+        replication_factor: usize,
+        ssds: usize,
+        mode: ros2_nvme::DataMode,
+        scm_bytes_per_target: u64,
+        model: crate::types::DaosCostModel,
+        class: ros2_hw::CoreClass,
+    ) -> Self {
+        let engines: Vec<DaosEngine> = (0..nodes.len())
+            .map(|i| {
+                let bdevs = ros2_spdk::BdevLayer::new(ros2_nvme::NvmeArray::new(
+                    ros2_hw::NvmeModel::enterprise_1600(),
+                    ssds,
+                    mode,
+                ));
+                DaosEngine::new(
+                    format!("pool0-eng{i}"),
+                    bdevs,
+                    scm_bytes_per_target,
+                    model,
+                    class,
+                )
+            })
+            .collect();
+        EngineCluster::new(engines, nodes, replication_factor)
+    }
+
+    /// Number of engines (including down ones).
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the cluster has no engines (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The configured replication factor.
+    pub fn replication_factor(&self) -> usize {
+        self.rf
+    }
+
+    /// The versioned pool map.
+    pub fn map(&self) -> &PoolMap {
+        &self.map
+    }
+
+    /// Redundancy counters (degraded reads served, rebuild movement).
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.stats
+    }
+
+    /// Immutable engine access by slot.
+    pub fn engine(&self, slot: usize) -> &DaosEngine {
+        &self.engines[slot]
+    }
+
+    /// Mutable engine access by slot.
+    pub fn engine_mut(&mut self, slot: usize) -> &mut DaosEngine {
+        &mut self.engines[slot]
+    }
+
+    /// Iterates all engines.
+    pub fn engines(&self) -> impl Iterator<Item = &DaosEngine> {
+        self.engines.iter()
+    }
+
+    fn is_up(&self, slot: usize) -> bool {
+        self.map.members()[slot].health == EngineHealth::Up
+    }
+
+    fn first_up(&self) -> Option<usize> {
+        (0..self.engines.len()).find(|&s| self.is_up(s))
+    }
+
+    /// Creates a container on every engine.
+    pub fn cont_create(&mut self, label: impl Into<String>) -> Result<(), DaosError> {
+        let label = label.into();
+        for e in &mut self.engines {
+            e.cont_create(label.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Whether a container exists on the routing leader.
+    pub fn cont_exists(&self, label: &str) -> bool {
+        self.first_up()
+            .map(|s| self.engines[s].cont_exists(label))
+            .unwrap_or(false)
+    }
+
+    /// Allocates the next cluster-wide commit epoch for `cont`: the first
+    /// healthy engine allocates, every other healthy engine observes — so
+    /// all healthy counters agree and a failover leader continues the same
+    /// monotonic sequence.
+    pub fn next_epoch(&mut self, cont: &str) -> Result<Epoch, DaosError> {
+        let first = self.first_up().ok_or(DaosError::NoSuchEntity)?;
+        let epoch = self.engines[first].next_epoch(cont)?;
+        for s in 0..self.engines.len() {
+            if s != first && self.is_up(s) {
+                self.engines[s].observe_epoch(cont, epoch);
+            }
+        }
+        Ok(epoch)
+    }
+
+    /// Records a snapshot on the epoch-allocating engine.
+    pub fn snapshot(&mut self, cont: &str) -> Result<Epoch, DaosError> {
+        let first = self.first_up().ok_or(DaosError::NoSuchEntity)?;
+        self.engines[first].snapshot(cont)
+    }
+
+    /// The object's current routing set and whether it is degraded (the
+    /// set lost a member to a not-yet-rebuilt kill). While a rebuild is
+    /// pending, affected objects route to the pre-kill *survivors* — the
+    /// members guaranteed to hold the data — and the HRW backfill member
+    /// joins the set only once [`Self::rebuild`] has re-replicated onto it.
+    fn route(&self, oid: &ObjectId) -> (ReplicaSet, bool) {
+        if let Some(dead) = self.pending_dead {
+            let pre = self.map.replica_set_with(oid, self.rf, Some(dead));
+            if pre.contains(dead) {
+                return (pre.without(dead), true);
+            }
+        }
+        (self.map.replica_set(oid, self.rf), false)
+    }
+
+    /// The replica set an update must fan out to (every healthy member).
+    pub fn route_update(&self, oid: &ObjectId) -> ReplicaSet {
+        self.route(oid).0
+    }
+
+    /// The replica set a fetch may read from, leader first. A fetch of an
+    /// object that has lost a replica to an unrebuilt kill is counted as a
+    /// degraded-mode read (redundancy is short, whichever member died; if
+    /// the dead member was the leader, the read also fails over).
+    pub fn route_fetch(&mut self, oid: &ObjectId) -> ReplicaSet {
+        let (set, degraded) = self.route(oid);
+        if degraded {
+            self.stats.degraded_fetches += 1;
+        }
+        set
+    }
+
+    /// Marks `slot` down and bumps the map revision (the RAS event the
+    /// control plane broadcasts). Affected objects immediately route
+    /// around the dead engine; redundancy is restored by
+    /// [`Self::rebuild`]. Only one unrebuilt failure is supported at a
+    /// time — a second kill before rebuild is rejected.
+    pub fn kill_engine(&mut self, slot: usize) -> Result<u64, DaosError> {
+        if self.pending_dead.is_some() {
+            return Err(DaosError::Transport(
+                "a rebuild is already pending; rebuild before the next kill".into(),
+            ));
+        }
+        let version = self.map.kill(slot)?;
+        self.pending_dead = Some(slot);
+        Ok(version)
+    }
+
+    /// Test/validation hook: forces serial batch execution on every engine
+    /// (see [`DaosEngine::set_force_serial_batch`]).
+    pub fn set_force_serial_batch(&mut self, on: bool) {
+        for e in &mut self.engines {
+            e.set_force_serial_batch(on);
+        }
+    }
+
+    fn rebuild_conn(
+        &mut self,
+        fabric: &mut Fabric,
+        src: usize,
+        dst: usize,
+    ) -> Result<ConnId, DaosError> {
+        if let Some(&c) = self.rebuild_conns.get(&(src, dst)) {
+            return Ok(c);
+        }
+        let (a, b) = (self.map.members()[src].node, self.map.members()[dst].node);
+        let pa = *self
+            .rebuild_pds
+            .entry(a.0)
+            .or_insert_with(|| fabric.rdma_mut(a).alloc_pd("rebuild"));
+        let pb = *self
+            .rebuild_pds
+            .entry(b.0)
+            .or_insert_with(|| fabric.rdma_mut(b).alloc_pd("rebuild"));
+        let conn = fabric.connect(a, b, pa, pb).map_err(map_fabric)?;
+        self.rebuild_conns.insert((src, dst), conn);
+        Ok(conn)
+    }
+
+    /// Online rebuild of the pending kill: for every object that lost a
+    /// replica, the first surviving replica exports the records, streams
+    /// the payload bytes over the fabric to the deterministic HRW backfill
+    /// engine (wire time booked on both storage nodes' ports — data-plane
+    /// rates), and the backfill imports them through the normal VOS update
+    /// path (fresh media placement, fresh checksums). Returns the instant
+    /// the last import persisted. A no-op when nothing is pending.
+    pub fn rebuild(&mut self, fabric: &mut Fabric, now: SimTime) -> Result<SimTime, DaosError> {
+        // `pending_dead` is cleared only after the whole pass succeeds: a
+        // mid-rebuild error leaves degraded routing in place and the next
+        // rebuild() retries (re-imported records are byte-identical at the
+        // same epochs, so a partial first pass is harmless).
+        let Some(dead) = self.pending_dead else {
+            return Ok(now);
+        };
+        self.stats.rebuilds += 1;
+        let mut t_done = now;
+        let mut oids: Vec<ObjectId> = Vec::new();
+        for s in 0..self.engines.len() {
+            if self.is_up(s) {
+                oids.extend(self.engines[s].list_objects());
+            }
+        }
+        oids.sort();
+        oids.dedup();
+        for oid in oids {
+            let pre = self.map.replica_set_with(&oid, self.rf, Some(dead));
+            if !pre.contains(dead) {
+                continue;
+            }
+            let post = self.map.replica_set(&oid, self.rf);
+            let Some(src) = pre.iter().find(|&s| s != dead) else {
+                // RF = 1 and the only copy died: nothing to restore from.
+                continue;
+            };
+            let mut moved_any = false;
+            for dst in post.iter().filter(|&s| !pre.contains(s)) {
+                let (records, t_read) = self.engines[src].export_object(now, oid)?;
+                let conn = self.rebuild_conn(fabric, src, dst)?;
+                let mut t = t_read;
+                let mut bytes = 0u64;
+                for rec in &records {
+                    if !rec.data.is_empty() {
+                        let d = fabric
+                            .send(t, conn, Dir::AtoB, rec.data.clone())
+                            .map_err(map_fabric)?;
+                        t = d.at;
+                    }
+                    bytes += rec.data.len() as u64;
+                }
+                let t_imported = self.engines[dst].import_records(t, oid, &records)?;
+                t_done = t_done.max(t_imported);
+                self.stats.records_moved += records.len() as u64;
+                self.stats.bytes_moved += bytes;
+                moved_any = true;
+            }
+            if moved_any {
+                self.stats.objects_moved += 1;
+            }
+        }
+        self.pending_dead = None;
+        Ok(t_done)
+    }
+
+    /// Whether a kill is awaiting rebuild.
+    pub fn rebuild_pending(&self) -> bool {
+        self.pending_dead.is_some()
+    }
+
+    /// Lists an object's dkeys from its routing leader.
+    pub fn list_dkeys(&mut self, oid: ObjectId) -> Vec<DKey> {
+        match self.route(&oid).0.leader() {
+            Some(s) => self.engines[s].list_dkeys(oid),
+            None => Vec::new(),
+        }
+    }
+
+    /// Punches a `(dkey, akey)` on every routed replica; the leader's
+    /// result is authoritative.
+    pub fn punch(
+        &mut self,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &crate::types::AKey,
+    ) -> Result<(), DaosError> {
+        let set = self.route(&oid).0;
+        let mut first: Option<Result<(), DaosError>> = None;
+        for s in set.iter() {
+            let r = self.engines[s].punch(oid, dkey, akey);
+            if first.is_none() {
+                first = Some(r);
+            }
+        }
+        first.unwrap_or(Err(DaosError::NoSuchEntity))
+    }
+
+    /// Punches an entire object on every routed replica.
+    pub fn punch_object(&mut self, oid: ObjectId) {
+        let set = self.route(&oid).0;
+        for s in set.iter() {
+            self.engines[s].punch_object(oid);
+        }
+    }
+
+    /// Total RPCs processed across engines.
+    pub fn rpcs(&self) -> u64 {
+        self.engines.iter().map(|e| e.rpcs()).sum()
+    }
+
+    /// Merged VOS stats across engines.
+    pub fn vos_stats(&self) -> VosStats {
+        let mut out = VosStats::default();
+        for e in &self.engines {
+            out.merge(&e.vos_stats());
+        }
+        out
+    }
+
+    /// Aggregate booking counters across engines.
+    pub fn resource_stats(&self) -> ros2_sim::ResourceStats {
+        let mut total = ros2_sim::ResourceStats::default();
+        for e in &self.engines {
+            total.merge(e.resource_stats());
+        }
+        total
+    }
+
+    /// Aggregate data-plane counters across engines.
+    pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        let mut total = ros2_buf::DataPlaneStats::default();
+        for e in &self.engines {
+            total.merge(e.data_plane_stats());
+        }
+        total
+    }
+
+    /// Resets every engine's timing to t=0 (contents untouched).
+    pub fn reset_timing(&mut self) {
+        for e in &mut self.engines {
+            e.reset_timing();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ObjClass;
+
+    fn map(n: usize) -> PoolMap {
+        PoolMap::new((0..n).map(|i| NodeId(i as u32 + 1)).collect())
+    }
+
+    #[test]
+    fn replica_sets_are_deterministic_and_distinct() {
+        let m = map(6);
+        for lo in 0..200u64 {
+            let oid = ObjectId::new(ObjClass::Sx, lo);
+            let a = m.replica_set(&oid, 3);
+            let b = m.replica_set(&oid, 3);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 3);
+            let slots: Vec<usize> = a.iter().collect();
+            let mut dedup = slots.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "replicas must be distinct: {slots:?}");
+        }
+    }
+
+    #[test]
+    fn kill_moves_only_affected_objects() {
+        let mut m = map(5);
+        let oids: Vec<ObjectId> = (0..500).map(|i| ObjectId::new(ObjClass::Sx, i)).collect();
+        let before: Vec<ReplicaSet> = oids.iter().map(|o| m.replica_set(o, 2)).collect();
+        m.kill(2).unwrap();
+        for (oid, pre) in oids.iter().zip(&before) {
+            let post = m.replica_set(oid, 2);
+            if !pre.contains(2) {
+                assert_eq!(&post, pre, "unaffected object moved");
+            } else {
+                // Survivors keep their copies; exactly one backfill joins.
+                for s in pre.iter().filter(|&s| s != 2) {
+                    assert!(post.contains(s), "survivor evicted");
+                }
+                assert!(!post.contains(2));
+            }
+        }
+    }
+
+    #[test]
+    fn replica_set_shrinks_to_up_count() {
+        let mut m = map(2);
+        let oid = ObjectId::new(ObjClass::S1, 9);
+        assert_eq!(m.replica_set(&oid, 3).len(), 2);
+        m.kill(0).unwrap();
+        let set = m.replica_set(&oid, 3);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.leader(), Some(1));
+        assert!(m.kill(0).is_err(), "double kill rejected");
+    }
+
+    #[test]
+    fn map_versions_bump_on_transitions() {
+        let mut m = map(3);
+        assert_eq!(m.version(), 1);
+        m.kill(1).unwrap();
+        assert_eq!(m.version(), 2);
+        let slot = m.add_engine(NodeId(9));
+        assert_eq!(slot, 3);
+        assert_eq!(m.version(), 3);
+        assert_eq!(m.up_count(), 3);
+    }
+
+    #[test]
+    fn spread_is_reasonably_balanced() {
+        let m = map(4);
+        let mut counts = [0u32; 4];
+        for lo in 0..4000u64 {
+            let oid = ObjectId::new(ObjClass::Sx, lo);
+            counts[m.replica_set(&oid, 1).leader().unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "imbalanced {counts:?}");
+        }
+    }
+}

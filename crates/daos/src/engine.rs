@@ -274,6 +274,25 @@ impl DaosEngine {
         Ok(Epoch(meta.epoch_counter))
     }
 
+    /// Advances a container's epoch counter to at least `epoch` without
+    /// allocating — how replica engines track the cluster's epoch sequence
+    /// so any of them can take over allocation after a failover. Creates
+    /// the container if the engine has never seen it (a backfill member
+    /// observing its first epoch).
+    pub fn observe_epoch(&mut self, cont: &str, epoch: Epoch) {
+        if let Some(meta) = self.containers.get_mut(cont) {
+            meta.epoch_counter = meta.epoch_counter.max(epoch.0);
+        } else {
+            self.containers.insert(
+                cont.to_string(),
+                ContainerMeta {
+                    epoch_counter: epoch.0,
+                    snapshots: Vec::new(),
+                },
+            );
+        }
+    }
+
     /// Records a snapshot at the container's current epoch and returns it.
     pub fn snapshot(&mut self, cont: &str) -> Result<Epoch, DaosError> {
         let meta = self
@@ -303,14 +322,7 @@ impl DaosEngine {
     pub fn vos_stats(&self) -> VosStats {
         let mut out = VosStats::default();
         for t in &self.targets {
-            let s = t.stats();
-            out.sv_updates += s.sv_updates;
-            out.array_updates += s.array_updates;
-            out.fetches += s.fetches;
-            out.scm_records += s.scm_records;
-            out.nvme_records += s.nvme_records;
-            out.checksum_failures += s.checksum_failures;
-            out.aggregated_extents += s.aggregated_extents;
+            out.merge(t.stats());
         }
         out
     }
@@ -502,6 +514,78 @@ impl DaosEngine {
         for t in &mut self.targets {
             t.aggregate(boundary);
         }
+    }
+
+    /// Every object id with records on any target (rebuild enumeration),
+    /// sorted and deduplicated.
+    pub fn list_objects(&self) -> Vec<ObjectId> {
+        let mut oids: Vec<ObjectId> = self.targets.iter().flat_map(|t| t.list_objects()).collect();
+        oids.sort();
+        oids.dedup();
+        oids
+    }
+
+    /// Reads back every record of `oid` across this engine's shards (a
+    /// rebuild source streaming an object's version history). Media read
+    /// time is charged; returns the records plus the instant the last
+    /// shard finished reading.
+    pub fn export_object(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+    ) -> Result<(Vec<crate::vos::RecordDump>, SimTime), DaosError> {
+        let mut out = Vec::new();
+        let mut t_done = now;
+        for target in 0..self.targets.len() {
+            let mut media = self.bdevs.shard(target);
+            let (records, t) = self.targets[target].export_records(now, &mut media, oid)?;
+            out.extend(records);
+            t_done = t_done.max(t);
+        }
+        Ok((out, t_done))
+    }
+
+    /// Writes re-replicated records of `oid` through the normal per-shard
+    /// update path (fresh media placement, fresh checksums) at their
+    /// original epochs, charging the usual RPC/VOS/media costs — the
+    /// rebuild destination side. Returns the instant the last record
+    /// persisted.
+    pub fn import_records(
+        &mut self,
+        now: SimTime,
+        oid: ObjectId,
+        records: &[crate::vos::RecordDump],
+    ) -> Result<SimTime, DaosError> {
+        let mut t_done = now;
+        for rec in records {
+            self.rpcs += 1;
+            let target = self.target_of(oid, Some(&rec.dkey));
+            let kind = match rec.array_offset {
+                None => ValueKind::Single,
+                Some(offset) => ValueKind::Array { offset },
+            };
+            let op = TargetOp::Update {
+                now,
+                oid,
+                dkey: rec.dkey.clone(),
+                akey: rec.akey.clone(),
+                kind,
+                epoch: rec.epoch,
+                data: rec.data.clone(),
+            };
+            let mut media = self.bdevs.shard(target);
+            let t = exec_on_shard(
+                &self.model,
+                self.class,
+                &mut self.targets[target],
+                &mut self.xstreams[target],
+                &mut media,
+                op,
+            )
+            .into_update()?;
+            t_done = t_done.max(t);
+        }
+        Ok(t_done)
     }
 
     /// Direct bdev access (tests, corruption injection).

@@ -15,15 +15,19 @@
 
 pub mod checksum;
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod types;
 pub mod vos;
 
 pub use checksum::{crc32c, crc32c_append, Checksum};
-pub use client::{ClientOp, ClientOpResult, DaosClient, ObjectClient};
+pub use client::{whole_batch_error, ClientOp, ClientOpResult, DaosClient, ObjectClient};
+pub use cluster::{
+    EngineCluster, EngineHealth, PoolMap, PoolMember, RebuildStats, ReplicaSet, MAX_RF,
+};
 pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
 pub use types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, KeyBytes, ObjClass, ObjectId,
     INLINE_KEY,
 };
-pub use vos::{KeyPair, Location, VosStats, VosTarget};
+pub use vos::{KeyPair, Location, RecordDump, VosStats, VosTarget};

@@ -144,6 +144,24 @@ struct ValueStore {
     extents: Vec<ExtentRecord>,
 }
 
+/// One record read back by [`VosTarget::export_records`] for
+/// re-replication: everything the destination's update path needs to
+/// reconstruct the version history bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct RecordDump {
+    /// Distribution key.
+    pub dkey: DKey,
+    /// Attribute key.
+    pub akey: AKey,
+    /// The record's commit epoch (preserved, so replicas resolve the same
+    /// version overlay).
+    pub epoch: Epoch,
+    /// `None` for a single value; `Some(offset)` for an array extent.
+    pub array_offset: Option<u64>,
+    /// The record's payload bytes.
+    pub data: Bytes,
+}
+
 /// Aggregate VOS statistics for one target.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VosStats {
@@ -161,6 +179,29 @@ pub struct VosStats {
     pub checksum_failures: u64,
     /// Extents reclaimed by aggregation.
     pub aggregated_extents: u64,
+}
+
+impl VosStats {
+    /// Folds another counter set into this one (exhaustive by
+    /// destructuring, so a new field cannot be silently dropped).
+    pub fn merge(&mut self, other: &VosStats) {
+        let VosStats {
+            sv_updates,
+            array_updates,
+            fetches,
+            scm_records,
+            nvme_records,
+            checksum_failures,
+            aggregated_extents,
+        } = other;
+        self.sv_updates += sv_updates;
+        self.array_updates += array_updates;
+        self.fetches += fetches;
+        self.scm_records += scm_records;
+        self.nvme_records += nvme_records;
+        self.checksum_failures += checksum_failures;
+        self.aggregated_extents += aggregated_extents;
+    }
 }
 
 /// One target's versioned object store.
@@ -733,6 +774,62 @@ impl VosTarget {
             self.scm.free(o);
         }
         self.stats.aggregated_extents += count;
+    }
+
+    /// The object ids this target holds records for (rebuild enumeration).
+    pub fn list_objects(&self) -> Vec<ObjectId> {
+        self.objects.keys().copied().collect()
+    }
+
+    /// Reads back every record of `oid` — single values and array extents,
+    /// with their epochs — for re-replication. Media read time is charged
+    /// (the rebuild source really streams its extents); checksums are
+    /// *not* verified here — the importer recomputes them through the
+    /// normal update path, and post-rebuild fetch-verify is the
+    /// end-to-end check.
+    pub fn export_records(
+        &mut self,
+        now: SimTime,
+        media: &mut ShardBdev<'_>,
+        oid: ObjectId,
+    ) -> Result<(Vec<RecordDump>, SimTime), DaosError> {
+        let Some(obj) = self.objects.get(&oid) else {
+            return Ok((Vec::new(), now));
+        };
+        // Snapshot the index slice first (record clones are O(1): the
+        // checksum tables are Arc-shared) so the media loads below can
+        // borrow `self` mutably.
+        let entries: Vec<(KeyPair, Vec<SvRecord>, Vec<ExtentRecord>)> = obj
+            .iter()
+            .map(|(k, v)| (k.clone(), v.sv.clone(), v.extents.clone()))
+            .collect();
+        let mut out = Vec::new();
+        let mut t_done = now;
+        for (kp, svs, exts) in entries {
+            for r in svs {
+                let (data, t) = self.load(now, media, &r.location, r.len)?;
+                t_done = t_done.max(t);
+                out.push(RecordDump {
+                    dkey: kp.dkey.clone(),
+                    akey: kp.akey.clone(),
+                    epoch: r.epoch,
+                    array_offset: None,
+                    data,
+                });
+            }
+            for r in exts {
+                let (data, t) = self.load(now, media, &r.location, r.len)?;
+                t_done = t_done.max(t);
+                out.push(RecordDump {
+                    dkey: kp.dkey.clone(),
+                    akey: kp.akey.clone(),
+                    epoch: r.epoch,
+                    array_offset: Some(r.offset),
+                    data,
+                });
+            }
+        }
+        Ok((out, t_done))
     }
 
     /// Test hook: corrupts the newest extent's stored bytes so the next

@@ -8,8 +8,8 @@
 
 use bytes::Bytes;
 use ros2_daos::{
-    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, Epoch, ObjClass,
-    ObjectId, TargetOp, TargetOpResult, ValueKind,
+    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, EngineCluster,
+    Epoch, ObjClass, ObjectId, TargetOp, TargetOpResult, ValueKind,
 };
 use ros2_fabric::{Fabric, NodeSpec};
 use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, NvmeModel, Transport};
@@ -314,7 +314,7 @@ fn batch_interleaves_same_key_ops_in_submission_order() {
 
 // ---- client-level equivalence: serial ops == batch-of-one ---------------
 
-fn client_world(transport: Transport) -> (Fabric, DaosEngine, DaosClient) {
+fn client_world(transport: Transport) -> (Fabric, EngineCluster, DaosClient) {
     let spec = |name: &str, cores: usize| NodeSpec {
         name: name.into(),
         cpu: CpuComplement {
@@ -341,14 +341,14 @@ fn client_world(transport: Transport) -> (Fabric, DaosEngine, DaosClient) {
         DaosCostModel::default_model(),
     )
     .unwrap();
-    (fabric, e, client)
+    (fabric, EngineCluster::single(e), client)
 }
 
 #[test]
 fn client_batch_of_one_equals_serial_op() {
     for transport in [Transport::Rdma, Transport::Tcp] {
-        let (mut f1, mut e1, mut c1) = client_world(transport);
-        let (mut f2, mut e2, mut c2) = client_world(transport);
+        let (mut f1, mut cl1, mut c1) = client_world(transport);
+        let (mut f2, mut cl2, mut c2) = client_world(transport);
         let oid = ObjectId::new(ObjClass::Sx, 1);
         let mut rng = SimRng::new(77);
         let mut now = SimTime::ZERO;
@@ -361,7 +361,7 @@ fn client_batch_of_one_equals_serial_op() {
                 let data = Bytes::from(vec![(i % 250) as u8 + 1; len as usize]);
                 let serial = c1.update(
                     &mut f1,
-                    &mut e1,
+                    &mut cl1,
                     now,
                     0,
                     oid,
@@ -373,7 +373,7 @@ fn client_batch_of_one_equals_serial_op() {
                 let batch = c2
                     .execute_batch(
                         &mut f2,
-                        &mut e2,
+                        &mut cl2,
                         now,
                         0,
                         vec![ClientOp::Update {
@@ -390,7 +390,7 @@ fn client_batch_of_one_equals_serial_op() {
             } else {
                 let serial = c1.fetch(
                     &mut f1,
-                    &mut e1,
+                    &mut cl1,
                     now,
                     0,
                     oid,
@@ -403,7 +403,7 @@ fn client_batch_of_one_equals_serial_op() {
                 let batch = c2
                     .execute_batch(
                         &mut f2,
-                        &mut e2,
+                        &mut cl2,
                         now,
                         0,
                         vec![ClientOp::Fetch {
@@ -425,7 +425,11 @@ fn client_batch_of_one_equals_serial_op() {
             f2.resource_stats(),
             "{transport:?}: fabric bookings diverged"
         );
-        assert_engines_agree(&e1, &e2, &format!("{transport:?} client worlds"));
+        assert_engines_agree(
+            cl1.engine(0),
+            cl2.engine(0),
+            &format!("{transport:?} client worlds"),
+        );
         assert_eq!(c1.ops(), c2.ops());
     }
 }
@@ -434,7 +438,7 @@ fn client_batch_of_one_equals_serial_op() {
 fn client_multi_op_batch_round_trips() {
     // A QD-N style fan-out: 16 mixed ops in one batch, functional results
     // must match what the serial path would produce for the same keys.
-    let (mut f, mut e, mut c) = client_world(Transport::Rdma);
+    let (mut f, mut cl, mut c) = client_world(Transport::Rdma);
     let oid = ObjectId::new(ObjClass::Sx, 9);
     let mut ops = Vec::new();
     for i in 0..8u64 {
@@ -456,7 +460,7 @@ fn client_multi_op_batch_round_trips() {
             len: 32 << 10,
         });
     }
-    let results = c.execute_batch(&mut f, &mut e, SimTime::ZERO, 0, ops);
+    let results = c.execute_batch(&mut f, &mut cl, SimTime::ZERO, 0, ops);
     assert_eq!(results.len(), 16);
     for (i, r) in results.into_iter().enumerate() {
         match i {
@@ -474,7 +478,7 @@ fn client_multi_op_batch_round_trips() {
     // Oversized ops fail in place without sinking the batch.
     let mixed = c.execute_batch(
         &mut f,
-        &mut e,
+        &mut cl,
         SimTime::from_secs(1),
         0,
         vec![

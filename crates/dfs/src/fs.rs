@@ -18,7 +18,8 @@
 use bytes::Bytes;
 use ros2_ctl::{WireReader, WireWriter};
 use ros2_daos::{
-    AKey, ClientOp, DKey, DaosEngine, DaosError, Epoch, ObjClass, ObjectClient, ObjectId, ValueKind,
+    AKey, ClientOp, DKey, DaosError, EngineCluster, Epoch, ObjClass, ObjectClient, ObjectId,
+    ValueKind,
 };
 use ros2_fabric::Fabric;
 use ros2_sim::SimTime;
@@ -103,10 +104,12 @@ impl From<DaosError> for DfsError {
 pub struct DfsSession<'a> {
     /// The data-plane fabric.
     pub fabric: &'a mut Fabric,
-    /// The storage-server engine.
-    pub engine: &'a mut DaosEngine,
+    /// The storage cluster (one engine per storage node; the degenerate
+    /// single-engine cluster for the historical two-node worlds).
+    pub cluster: &'a mut EngineCluster,
     /// The object client — the in-process [`ros2_daos::DaosClient`] (host
-    /// placement) or the DPU-offloaded client (SmartNIC placement).
+    /// placement) or the DPU-offloaded client (SmartNIC placement). It
+    /// routes every op by the cluster's pool map.
     pub client: &'a mut dyn ObjectClient,
 }
 
@@ -173,7 +176,7 @@ impl Dfs {
         w.u64(0x5244_4653_0001_u64).u64(chunk_size); // "RDFS" magic v1
         let done = s.client.update(
             s.fabric,
-            s.engine,
+            s.cluster,
             now,
             0,
             root,
@@ -200,7 +203,7 @@ impl Dfs {
         let root = ObjectId::new(ObjClass::S1, ROOT_INO);
         let (raw, done) = s.client.fetch(
             s.fabric,
-            s.engine,
+            s.cluster,
             now,
             0,
             root,
@@ -264,7 +267,7 @@ impl Dfs {
         self.meta_ops += 1;
         let (raw, at) = s.client.fetch(
             s.fabric,
-            s.engine,
+            s.cluster,
             now,
             job,
             dir,
@@ -290,7 +293,7 @@ impl Dfs {
         self.meta_ops += 1;
         Ok(s.client.update(
             s.fabric,
-            s.engine,
+            s.cluster,
             now,
             job,
             dir,
@@ -446,7 +449,7 @@ impl Dfs {
             // one update, no batch bookkeeping.
             let at = s.client.update(
                 s.fabric,
-                s.engine,
+                s.cluster,
                 now,
                 job,
                 file.oid,
@@ -476,7 +479,7 @@ impl Dfs {
                 });
                 pos += take;
             }
-            for r in s.client.execute_batch(s.fabric, s.engine, now, job, ops) {
+            for r in s.client.execute_batch(s.fabric, s.cluster, now, job, ops) {
                 t_done = t_done.max(r.into_update()?);
             }
         }
@@ -523,7 +526,7 @@ impl Dfs {
             let in_chunk = offset % self.chunk_size;
             let (piece, at) = s.client.fetch(
                 s.fabric,
-                s.engine,
+                s.cluster,
                 now,
                 job,
                 file.oid,
@@ -556,7 +559,7 @@ impl Dfs {
         }
         let mut out = bytes::BytesMut::with_capacity(len as usize);
         let mut t_done = now;
-        for r in s.client.execute_batch(s.fabric, s.engine, now, job, ops) {
+        for r in s.client.execute_batch(s.fabric, s.cluster, now, job, ops) {
             let (piece, at) = r.into_fetch()?;
             out.extend_from_slice(&piece);
             t_done = t_done.max(at);
@@ -576,7 +579,7 @@ impl Dfs {
         }
         self.meta_ops += 1;
         let mut names: Vec<String> = s
-            .engine
+            .cluster
             .list_dkeys(dir.oid)
             .into_iter()
             .filter_map(|d| String::from_utf8(d.as_bytes().to_vec()).ok())
@@ -617,7 +620,7 @@ impl Dfs {
         let (entry, at) = self.read_entry(s, now, 0, parent.oid, name)?;
         if entry.kind == FileKind::Dir {
             let dir_oid = ObjectId::new(ObjClass::S1, entry.ino);
-            if !s.engine.list_dkeys(dir_oid).is_empty() {
+            if !s.cluster.list_dkeys(dir_oid).is_empty() {
                 return Err(DfsError::NotEmpty);
             }
         }
@@ -630,8 +633,8 @@ impl Dfs {
             },
             entry.ino,
         );
-        s.engine.punch_object(data_oid);
-        s.engine
+        s.cluster.punch_object(data_oid);
+        s.cluster
             .punch(parent.oid, &DKey::from_str(name), &entry_akey())?;
         Ok(at)
     }
@@ -650,7 +653,7 @@ impl Dfs {
     ) -> Result<SimTime, DfsError> {
         let (entry, at) = self.read_entry(s, now, 0, parent.oid, name)?;
         let at = self.write_entry(s, at, 0, new_parent.oid, new_name, &entry)?;
-        s.engine
+        s.cluster
             .punch(parent.oid, &DKey::from_str(name), &entry_akey())?;
         Ok(at)
     }

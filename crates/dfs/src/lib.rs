@@ -21,7 +21,7 @@ pub use fs::{Dfs, DfsError, DfsObj, DfsSession, FileKind, FileStat};
 mod tests {
     use super::*;
     use bytes::Bytes;
-    use ros2_daos::{DaosClient, DaosCostModel, DaosEngine};
+    use ros2_daos::{DaosClient, DaosCostModel, DaosEngine, EngineCluster};
     use ros2_fabric::{Fabric, NodeSpec};
     use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, NvmeModel, Transport};
     use ros2_nvme::{DataMode, NvmeArray};
@@ -29,7 +29,7 @@ mod tests {
     use ros2_spdk::BdevLayer;
     use ros2_verbs::{MemoryDomain, NodeId};
 
-    fn world(ssds: usize) -> (Fabric, DaosEngine, DaosClient) {
+    fn world(ssds: usize) -> (Fabric, EngineCluster, DaosClient) {
         let spec = |name: &str, cores: usize| NodeSpec {
             name: name.into(),
             cpu: CpuComplement {
@@ -71,27 +71,27 @@ mod tests {
             DaosCostModel::default_model(),
         )
         .unwrap();
-        (fabric, engine, client)
+        (fabric, EngineCluster::single(engine), client)
     }
 
-    fn mounted(ssds: usize) -> (Fabric, DaosEngine, DaosClient, Dfs) {
-        let (mut fabric, mut engine, mut client) = world(ssds);
+    fn mounted(ssds: usize) -> (Fabric, EngineCluster, DaosClient, Dfs) {
+        let (mut fabric, mut cluster, mut client) = world(ssds);
         let dfs = {
             let mut s = DfsSession {
                 fabric: &mut fabric,
-                engine: &mut engine,
+                cluster: &mut cluster,
                 client: &mut client,
             };
             Dfs::format(&mut s, SimTime::ZERO, 1 << 20).unwrap().0
         };
-        (fabric, engine, client, dfs)
+        (fabric, cluster, client, dfs)
     }
 
     macro_rules! sess {
         ($f:expr, $e:expr, $c:expr) => {
             &mut DfsSession {
                 fabric: &mut $f,
-                engine: &mut $e,
+                cluster: &mut $e,
                 client: &mut $c,
             }
         };
@@ -295,7 +295,13 @@ mod tests {
         let _ = t;
         // Every device should have received writes.
         for d in 0..4 {
-            let stats = e.bdevs_mut().array().device(d).stats().clone();
+            let stats = e
+                .engine_mut(0)
+                .bdevs_mut()
+                .array()
+                .device(d)
+                .stats()
+                .clone();
             assert!(stats.bytes_written > 0, "device {d} got no chunk writes");
         }
     }

@@ -31,11 +31,11 @@
 
 use bytes::Bytes;
 use ros2_ctl::{ControlChannel, ControlError, ControlModel, ControlRequest, ControlResponse};
-use ros2_daos::{AKey, DKey, ValueKind};
 use ros2_daos::{
-    ClientOp, ClientOpResult, DaosClient, DaosCostModel, DaosEngine, DaosError, Epoch,
-    ObjectClient, ObjectId,
+    whole_batch_error, ClientOp, ClientOpResult, DaosClient, DaosCostModel, DaosError,
+    EngineCluster, Epoch, ObjectClient, ObjectId,
 };
+use ros2_daos::{AKey, DKey, ValueKind};
 use ros2_fabric::Fabric;
 use ros2_hw::{per_byte, CoreClass, Transport};
 use ros2_sim::{ResourceStats, SimDuration, SimRng, SimTime};
@@ -158,6 +158,40 @@ impl DpuClient {
         buf_len: u64,
         domain: MemoryDomain,
         model: DaosCostModel,
+        agent: DpuAgent,
+        tenant_specs: Vec<DpuTenantSpec>,
+        seed: u64,
+    ) -> Result<Self, DpuError> {
+        Self::connect_cluster(
+            fabric,
+            node,
+            &[server],
+            cont,
+            jobs,
+            buf_len,
+            domain,
+            model,
+            agent,
+            tenant_specs,
+            seed,
+        )
+    }
+
+    /// [`Self::connect`] against every engine of a cluster: each tenant
+    /// lane's inner client opens one connection per storage node, and the
+    /// lane routes every op by the cluster's pool map — replication,
+    /// degraded reads and failover all run on the DPU, the host only rings
+    /// doorbells.
+    #[allow(clippy::too_many_arguments)]
+    pub fn connect_cluster(
+        fabric: &mut Fabric,
+        node: NodeId,
+        servers: &[NodeId],
+        cont: impl Into<String>,
+        jobs: usize,
+        buf_len: u64,
+        domain: MemoryDomain,
+        model: DaosCostModel,
         mut agent: DpuAgent,
         tenant_specs: Vec<DpuTenantSpec>,
         seed: u64,
@@ -198,10 +232,10 @@ impl DpuClient {
             } else {
                 Expiry::At(deadline)
             };
-            let daos = DaosClient::connect_scoped(
+            let daos = DaosClient::connect_scoped_multi(
                 fabric,
                 node,
-                server,
+                servers,
                 &spec.name,
                 cont.clone(),
                 lane_jobs,
@@ -467,7 +501,7 @@ impl ObjectClient for DpuClient {
     fn update(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -480,14 +514,14 @@ impl ObjectClient for DpuClient {
         let (lane, local, start) = self.offload_start(fabric, now, job, bytes, true)?;
         let done = self.lanes[lane]
             .daos
-            .update(fabric, engine, start, local, oid, dkey, akey, kind, data)?;
+            .update(fabric, cluster, start, local, oid, dkey, akey, kind, data)?;
         self.host_poll(done, lane, 1)
     }
 
     fn fetch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         oid: ObjectId,
@@ -499,7 +533,7 @@ impl ObjectClient for DpuClient {
     ) -> Result<(Bytes, SimTime), DaosError> {
         let (lane, local, start) = self.offload_start(fabric, now, job, len, false)?;
         let (data, ready) = self.lanes[lane].daos.fetch(
-            fabric, engine, start, local, oid, dkey, akey, kind, epoch, len,
+            fabric, cluster, start, local, oid, dkey, akey, kind, epoch, len,
         )?;
         let at = self.finish_fetch(ready, lane, data.len() as u64)?;
         Ok((data, at))
@@ -508,7 +542,7 @@ impl ObjectClient for DpuClient {
     fn execute_batch(
         &mut self,
         fabric: &mut Fabric,
-        engine: &mut DaosEngine,
+        cluster: &mut EngineCluster,
         now: SimTime,
         job: usize,
         ops: Vec<ClientOp>,
@@ -559,7 +593,7 @@ impl ObjectClient for DpuClient {
         self.stats.ops_offloaded += n as u64;
         let results = self.lanes[lane]
             .daos
-            .execute_batch(fabric, engine, start, local, ops);
+            .execute_batch(fabric, cluster, start, local, ops);
         results
             .into_iter()
             .map(|r| match r {
@@ -582,28 +616,17 @@ impl ObjectClient for DpuClient {
     }
 }
 
-/// Maps a preamble failure onto every op in the batch (shape-compatible
-/// with [`DaosClient::execute_batch`]'s whole-batch failure path).
-fn whole_batch_error(ops: &[ClientOp], e: DaosError) -> Vec<ClientOpResult> {
-    ops.iter()
-        .map(|op| match op {
-            ClientOp::Update { .. } => ClientOpResult::Update(Err(e.clone())),
-            ClientOp::Fetch { .. } => ClientOpResult::Fetch(Err(e.clone())),
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::agent::default_control;
-    use ros2_daos::ObjClass;
+    use ros2_daos::{DaosEngine, ObjClass};
     use ros2_fabric::NodeSpec;
     use ros2_hw::NvmeModel;
     use ros2_nvme::{DataMode, NvmeArray};
     use ros2_spdk::BdevLayer;
 
-    fn world(transport: Transport) -> (Fabric, DaosEngine) {
+    fn world(transport: Transport) -> (Fabric, EngineCluster) {
         let fabric = Fabric::new(
             transport,
             vec![NodeSpec::bluefield3(), NodeSpec::storage_server()],
@@ -622,7 +645,7 @@ mod tests {
             CoreClass::HostX86,
         );
         engine.cont_create("cont0").unwrap();
-        (fabric, engine)
+        (fabric, EngineCluster::single(engine))
     }
 
     fn connect(
@@ -648,14 +671,14 @@ mod tests {
 
     #[test]
     fn offloaded_round_trip_pays_the_handoff() {
-        let (mut fabric, mut engine) = world(Transport::Rdma);
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
         let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("llm")], 2).unwrap();
         let oid = ObjectId::new(ObjClass::Sx, 1);
         let data = Bytes::from(vec![0x7Bu8; 1 << 20]);
         let done = c
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 0,
                 oid,
@@ -668,7 +691,7 @@ mod tests {
         let (back, at) = c
             .fetch(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 done,
                 1,
                 oid,
@@ -698,7 +721,7 @@ mod tests {
 
     #[test]
     fn every_byte_is_admitted_and_throttling_shapes_grants() {
-        let (mut fabric, mut engine) = world(Transport::Rdma);
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
         let limited = DpuTenantSpec {
             name: "capped".into(),
             qos: QosLimits {
@@ -715,7 +738,7 @@ mod tests {
             t = c
                 .update(
                     &mut fabric,
-                    &mut engine,
+                    &mut cluster,
                     t,
                     0,
                     oid,
@@ -741,7 +764,7 @@ mod tests {
 
     #[test]
     fn scoped_rkeys_refresh_instead_of_expiring_mid_pull() {
-        let (mut fabric, mut engine) = world(Transport::Rdma);
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
         let short = DpuTenantSpec {
             name: "short".into(),
             qos: QosLimits::unlimited(),
@@ -756,7 +779,7 @@ mod tests {
             t = c
                 .update(
                     &mut fabric,
-                    &mut engine,
+                    &mut cluster,
                     t.max(SimTime::from_millis(i * 120)),
                     0,
                     oid,
@@ -777,7 +800,7 @@ mod tests {
 
     #[test]
     fn tenants_get_dedicated_lanes_and_pds() {
-        let (mut fabric, mut engine) = world(Transport::Rdma);
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
         let mut c = connect(
             &mut fabric,
             vec![DpuTenantSpec::unlimited("a"), DpuTenantSpec::unlimited("b")],
@@ -795,7 +818,7 @@ mod tests {
         for job in 0..4 {
             c.update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 job,
                 oid,
@@ -812,7 +835,7 @@ mod tests {
 
     #[test]
     fn batch_rings_the_doorbell_once() {
-        let (mut fabric, mut engine) = world(Transport::Rdma);
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
         let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("t")], 1).unwrap();
         let oid = ObjectId::new(ObjClass::Sx, 4);
         let ops: Vec<ClientOp> = (0..8u64)
@@ -824,7 +847,7 @@ mod tests {
                 data: Bytes::from(vec![4u8; 128 << 10]),
             })
             .collect();
-        let results = c.execute_batch(&mut fabric, &mut engine, SimTime::ZERO, 0, ops);
+        let results = c.execute_batch(&mut fabric, &mut cluster, SimTime::ZERO, 0, ops);
         assert_eq!(results.len(), 8);
         for r in results {
             r.into_update().unwrap();
@@ -837,13 +860,13 @@ mod tests {
 
     #[test]
     fn dpu_tcp_fallback_path_works_without_rkeys() {
-        let (mut fabric, mut engine) = world(Transport::Tcp);
+        let (mut fabric, mut cluster) = world(Transport::Tcp);
         let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("t")], 1).unwrap();
         let oid = ObjectId::new(ObjClass::S1, 5);
         let done = c
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 SimTime::ZERO,
                 0,
                 oid,
@@ -856,7 +879,7 @@ mod tests {
         let (back, _) = c
             .fetch(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 done,
                 0,
                 oid,

@@ -141,7 +141,8 @@ fn rkey_expiry_races_an_in_flight_pull() {
 #[test]
 fn dpu_client_refresh_outruns_the_race() {
     use ros2_daos::{
-        AKey, DKey, DaosCostModel, DaosEngine, ObjClass, ObjectClient, ObjectId, ValueKind,
+        AKey, DKey, DaosCostModel, DaosEngine, EngineCluster, ObjClass, ObjectClient, ObjectId,
+        ValueKind,
     };
     use ros2_nvme::{DataMode, NvmeArray};
     use ros2_spdk::BdevLayer;
@@ -159,6 +160,7 @@ fn dpu_client_refresh_outruns_the_race() {
         CoreClass::HostX86,
     );
     engine.cont_create("c").unwrap();
+    let mut cluster = EngineCluster::single(engine);
     let agent = DpuAgent::new(NodeId(0), 30 << 30, ros2_dpu::default_control(3));
     let mut client = DpuClient::connect(
         &mut fabric,
@@ -184,7 +186,7 @@ fn dpu_client_refresh_outruns_the_race() {
         t = client
             .update(
                 &mut fabric,
-                &mut engine,
+                &mut cluster,
                 t.max(SimTime::from_millis(i * 20)),
                 0,
                 oid,

@@ -158,6 +158,28 @@ impl Fabric {
         }
     }
 
+    /// Builds the fabric for a whole deployment shape: the client node
+    /// (host or BlueField-3, per the topology's placement) plus one
+    /// canonical storage server per engine, all behind the shared switch.
+    /// The single constructor every DFS world and the assembled system
+    /// use — node specs come from their canonical sources
+    /// ([`NodeSpec::host_client`], [`NodeSpec::bluefield3`],
+    /// [`NodeSpec::storage_server`]), never from cloned literals.
+    pub fn for_topology(
+        transport: Transport,
+        topology: &ros2_hw::ClusterTopology,
+        seed: u64,
+    ) -> Self {
+        let client = match topology.placement {
+            ros2_hw::ClientPlacement::Host => NodeSpec::host_client(),
+            ros2_hw::ClientPlacement::Dpu => NodeSpec::bluefield3(),
+        };
+        let mut specs = Vec::with_capacity(topology.node_count());
+        specs.push(client);
+        specs.extend((0..topology.storage_nodes).map(|_| NodeSpec::storage_server()));
+        Fabric::new(transport, specs, seed)
+    }
+
     /// Forces every wire traversal onto the exact per-segment booking loop.
     ///
     /// The batched fast path must be observationally identical, so this

@@ -46,6 +46,24 @@ impl NodeSpec {
         }
     }
 
+    /// The paper's server-grade client host (§4.1): dual EPYC 7443, 48
+    /// cores, ConnectX-6. The single source of the host-client spec —
+    /// assemblies take it via `Fabric::for_topology` instead of cloning
+    /// their own literals.
+    pub fn host_client() -> Self {
+        NodeSpec {
+            name: "host-client".into(),
+            cpu: CpuComplement {
+                class: CoreClass::HostX86,
+                cores: 48,
+            },
+            nic: NicModel::connectx6(),
+            port_rate: gbps100(),
+            mem_budget: 64 << 30,
+            dpu_tcp_rx: None,
+        }
+    }
+
     /// The paper's storage server (§4.1): 64 NUMA-0 cores, ConnectX-6.
     pub fn storage_server() -> Self {
         NodeSpec {

@@ -9,13 +9,13 @@
 //! [`Workload`] for the closed-loop driver.
 
 use bytes::Bytes;
-use ros2_daos::{DaosClient, DaosCostModel, DaosEngine, ObjectClient};
+use ros2_daos::{DaosClient, DaosCostModel, DaosEngine, EngineCluster, ObjectClient, RebuildStats};
 use ros2_dfs::{Dfs, DfsObj, DfsSession};
 use ros2_dpu::{default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec};
 use ros2_fabric::{Fabric, NodeSpec};
 use ros2_hw::{
-    gbps, ClientPlacement, CoreClass, CpuComplement, HostPathModel, NicModel, NvmeModel, Transport,
-    LBA_SIZE,
+    gbps, ClientPlacement, ClusterTopology, CoreClass, CpuComplement, HostPathModel, NicModel,
+    NvmeModel, Transport, LBA_SIZE,
 };
 use ros2_iouring::{IoRequest, IoUringEngine};
 use ros2_nvme::{DataMode, NvmeArray};
@@ -237,8 +237,9 @@ impl FioClient {
 pub struct DfsFioWorld {
     /// The data-plane fabric.
     pub fabric: Fabric,
-    /// The unmodified storage-server engine.
-    pub engine: DaosEngine,
+    /// The storage cluster (the degenerate single-engine cluster for the
+    /// classic two-node worlds).
+    pub cluster: EngineCluster,
     /// The client stack (in-process or DPU-offloaded).
     pub client: FioClient,
     /// The mounted namespace.
@@ -273,22 +274,8 @@ impl DfsFioWorld {
         mode: DataMode,
         force_per_segment: bool,
     ) -> Self {
-        let client_spec = match placement {
-            ClientPlacement::Host => NodeSpec {
-                name: "host-client".into(),
-                cpu: CpuComplement {
-                    class: CoreClass::HostX86,
-                    cores: 48,
-                },
-                nic: NicModel::connectx6(),
-                port_rate: gbps(100),
-                mem_budget: 64 << 30,
-                dpu_tcp_rx: None,
-            },
-            ClientPlacement::Dpu => NodeSpec::bluefield3(),
-        };
-        let server_spec = NodeSpec::storage_server();
-        let mut fabric = Fabric::new(transport, vec![client_spec, server_spec], 0xd0e5);
+        let mut fabric =
+            Fabric::for_topology(transport, &ClusterTopology::single(placement), 0xd0e5);
         fabric.set_force_per_segment(force_per_segment);
         fabric.set_flow_hint(NodeId(0), jobs);
         fabric.set_flow_hint(NodeId(1), jobs);
@@ -316,7 +303,13 @@ impl DfsFioWorld {
         )
         .expect("client connects");
 
-        Self::precondition(fabric, engine, FioClient::Classic(client), jobs, region)
+        Self::precondition(
+            fabric,
+            EngineCluster::single(engine),
+            FioClient::Classic(client),
+            jobs,
+            region,
+        )
     }
 
     /// The real offload deployment: the whole DAOS client runs on a
@@ -335,9 +328,9 @@ impl DfsFioWorld {
         mode: DataMode,
         tenants: Vec<DpuTenantSpec>,
     ) -> Self {
-        let mut fabric = Fabric::new(
+        let mut fabric = Fabric::for_topology(
             transport,
-            vec![NodeSpec::bluefield3(), NodeSpec::storage_server()],
+            &ClusterTopology::single(ClientPlacement::Dpu),
             0xd0e5,
         );
         fabric.set_flow_hint(NodeId(0), jobs);
@@ -369,14 +362,20 @@ impl DfsFioWorld {
         )
         .expect("DPU client connects");
 
-        Self::precondition(fabric, engine, FioClient::Offloaded(client), jobs, region)
+        Self::precondition(
+            fabric,
+            EngineCluster::single(engine),
+            FioClient::Offloaded(client),
+            jobs,
+            region,
+        )
     }
 
     /// Formats the namespace, preconditions one `region`-byte file per job,
     /// and resets all clocks for measurement.
     fn precondition(
         mut fabric: Fabric,
-        mut engine: DaosEngine,
+        mut cluster: EngineCluster,
         mut client: FioClient,
         jobs: usize,
         region: u64,
@@ -385,7 +384,7 @@ impl DfsFioWorld {
         let (mut dfs, mut t) = {
             let mut s = DfsSession {
                 fabric: &mut fabric,
-                engine: &mut engine,
+                cluster: &mut cluster,
                 client: client.as_object(),
             };
             Dfs::format(&mut s, SimTime::ZERO, chunk).expect("format")
@@ -395,7 +394,7 @@ impl DfsFioWorld {
         for j in 0..jobs {
             let mut s = DfsSession {
                 fabric: &mut fabric,
-                engine: &mut engine,
+                cluster: &mut cluster,
                 client: client.as_object(),
             };
             let (mut f, t1) = dfs
@@ -415,16 +414,24 @@ impl DfsFioWorld {
 
         // Preconditioning consumed virtual time; measurement starts fresh.
         fabric.reset_timing();
-        engine.reset_timing();
+        cluster.reset_timing();
         client.reset_timing();
 
         DfsFioWorld {
             fabric,
-            engine,
+            cluster,
             client,
             dfs,
             files,
         }
+    }
+
+    /// Resets fabric, cluster, and client timing to t=0 (contents kept) —
+    /// between measured phases of a failure scenario.
+    pub fn reset_timing(&mut self) {
+        self.fabric.reset_timing();
+        self.cluster.reset_timing();
+        self.client.reset_timing();
     }
 
     /// The preconditioned file handles (one per job).
@@ -433,11 +440,119 @@ impl DfsFioWorld {
     }
 }
 
+// -------------------------------------------------------------- cluster --
+
+/// The scale-out world: FIO's DFS engine over an N-engine replicated
+/// cluster — one storage server per engine behind the shared 100 Gbps
+/// switch, the host client routing every op by the versioned pool map.
+/// This is the deployment shape of §3.1 and the harness behind the
+/// `fig_scaleout` sweep and the engine-kill failure scenarios.
+pub struct ClusterFioWorld {
+    /// The assembled world (same layout as [`DfsFioWorld`], N engines).
+    pub world: DfsFioWorld,
+}
+
+impl ClusterFioWorld {
+    /// Builds `engines` storage nodes (each with `ssds` drives) and a
+    /// host client replicating each object across `replication_factor`
+    /// engines, then preconditions one `region`-byte file per job.
+    pub fn new(
+        transport: Transport,
+        engines: usize,
+        replication_factor: usize,
+        ssds: usize,
+        jobs: usize,
+        region: u64,
+        mode: DataMode,
+    ) -> Self {
+        let topology = ClusterTopology {
+            placement: ClientPlacement::Host,
+            storage_nodes: engines,
+        };
+        let mut fabric = Fabric::for_topology(transport, &topology, 0xd0e5);
+        for node in 0..topology.node_count() {
+            fabric.set_flow_hint(NodeId(node as u32), jobs);
+        }
+        let storage_nodes: Vec<NodeId> = (0..engines)
+            .map(|i| NodeId(topology.storage_node(i) as u32))
+            .collect();
+        let mut cluster = EngineCluster::assemble(
+            storage_nodes.clone(),
+            replication_factor,
+            ssds,
+            mode,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        cluster.cont_create("posix").unwrap();
+        let client = DaosClient::connect_multi(
+            &mut fabric,
+            NodeId(0),
+            &storage_nodes,
+            "fio",
+            "posix",
+            jobs,
+            4 << 20,
+            MemoryDomain::HostDram,
+            DaosCostModel::default_model(),
+        )
+        .expect("cluster client connects");
+        ClusterFioWorld {
+            world: DfsFioWorld::precondition(
+                fabric,
+                cluster,
+                FioClient::Classic(client),
+                jobs,
+                region,
+            ),
+        }
+    }
+
+    /// Kills engine `slot` (pool-map revision bump; subsequent fetches of
+    /// affected objects are served degraded). Returns the new revision.
+    pub fn kill_engine(&mut self, slot: usize) -> Result<u64, String> {
+        self.world
+            .cluster
+            .kill_engine(slot)
+            .map_err(|e| format!("{e:?}"))
+    }
+
+    /// Runs the online rebuild at `now`; returns its completion instant.
+    pub fn rebuild(&mut self, now: SimTime) -> Result<SimTime, String> {
+        self.world
+            .cluster
+            .rebuild(&mut self.world.fabric, now)
+            .map_err(|e| format!("{e:?}"))
+    }
+
+    /// Redundancy counters (degraded reads served, rebuild movement).
+    pub fn rebuild_stats(&self) -> RebuildStats {
+        self.world.cluster.rebuild_stats()
+    }
+
+    /// See [`DfsFioWorld::file`].
+    pub fn file(&self, job: usize) -> &DfsObj {
+        self.world.file(job)
+    }
+
+    /// See [`DfsFioWorld::reset_timing`].
+    pub fn reset_timing(&mut self) {
+        self.world.reset_timing();
+    }
+}
+
+impl Workload for ClusterFioWorld {
+    fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String> {
+        self.world.issue(now, job, op)
+    }
+}
+
 impl Workload for DfsFioWorld {
     fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String> {
         let mut s = DfsSession {
             fabric: &mut self.fabric,
-            engine: &mut self.engine,
+            cluster: &mut self.cluster,
             client: self.client.as_object(),
         };
         if op.write {

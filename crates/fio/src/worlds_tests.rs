@@ -6,10 +6,72 @@ use ros2_sim::{SimDuration, SimTime};
 
 use crate::driver::{run_fio, FioOp, Workload};
 use crate::spec::{JobSpec, RwMode};
-use crate::worlds::{DfsFioWorld, LocalFioWorld, SpdkFioWorld};
+use crate::worlds::{ClusterFioWorld, DfsFioWorld, LocalFioWorld, SpdkFioWorld};
 
 fn quick(s: JobSpec) -> JobSpec {
     s.windows(SimDuration::from_millis(20), SimDuration::from_millis(80))
+}
+
+#[test]
+fn cluster_world_engages_multiple_engines_and_outruns_one() {
+    let run = |engines: usize| {
+        let mut w =
+            ClusterFioWorld::new(Transport::Rdma, engines, 1, 1, 8, 8 << 20, DataMode::Null);
+        let r = run_fio(
+            &mut w,
+            &quick(
+                JobSpec::new(RwMode::Read, 1 << 20, 8)
+                    .iodepth(4)
+                    .region(8 << 20),
+            ),
+        );
+        assert_eq!(r.io.errors.get(), 0, "{engines} engines: failed ops");
+        let engaged = (0..w.world.cluster.len())
+            .filter(|&s| w.world.cluster.engine(s).rpcs() > 0)
+            .count();
+        (r.gib_per_sec(), engaged)
+    };
+    let (one, _) = run(1);
+    let (four, engaged) = run(4);
+    assert!(
+        engaged >= 3,
+        "files must spread across engines ({engaged}/4)"
+    );
+    assert!(
+        four > one * 1.3,
+        "4 drive-bound engines must outrun 1 ({four:.2} vs {one:.2} GiB/s)"
+    );
+}
+
+#[test]
+fn cluster_world_rf2_kill_serves_degraded_then_rebuilds() {
+    let mut w = ClusterFioWorld::new(Transport::Rdma, 3, 2, 1, 4, 4 << 20, DataMode::Stored);
+    let spec = quick(
+        JobSpec::new(RwMode::Read, 1 << 20, 4)
+            .iodepth(2)
+            .region(4 << 20),
+    );
+    let victim = w
+        .world
+        .cluster
+        .route_update(&w.file(0).oid)
+        .leader()
+        .unwrap();
+    w.kill_engine(victim).unwrap();
+    w.reset_timing();
+    let degraded = run_fio(&mut w, &spec);
+    assert_eq!(degraded.io.errors.get(), 0, "degraded reads must not fail");
+    assert!(w.rebuild_stats().degraded_fetches > 0);
+    w.reset_timing();
+    w.rebuild(SimTime::ZERO).unwrap();
+    assert!(w.rebuild_stats().objects_moved > 0);
+    w.reset_timing();
+    let recovered = run_fio(&mut w, &spec);
+    assert_eq!(
+        recovered.io.errors.get(),
+        0,
+        "post-rebuild reads must not fail"
+    );
 }
 
 #[test]
@@ -136,7 +198,7 @@ fn dfs_world_preconditions_real_extents() {
     assert_eq!(w.file(1).size, 8 << 20);
     // Measured random reads hit real (non-hole) extents: the engine's VOS
     // recorded one extent per chunk per file.
-    let stats = w.engine.vos_stats();
+    let stats = w.cluster.vos_stats();
     assert!(stats.array_updates >= 16, "{stats:?}");
     // And a read through the world works at t=0 after the clock reset.
     let done = w
@@ -265,10 +327,10 @@ fn host_placement_results_are_pinned() {
             .windows(SimDuration::from_millis(20), SimDuration::from_millis(80));
         let r = run_fio(&mut w, &spec);
         let mut stats = w.fabric.resource_stats();
-        stats.merge(w.engine.resource_stats());
+        stats.merge(w.cluster.resource_stats());
         stats.merge(w.client.resource_stats());
         let mut dp = w.fabric.data_plane_stats();
-        dp.merge(w.engine.data_plane_stats());
+        dp.merge(w.cluster.data_plane_stats());
         let cell = format!("({t:?}, {rw:?}, {bs})");
         assert_eq!(r.io.meter.ops(), ops, "{cell}: ops drifted");
         assert_eq!(

@@ -32,6 +32,6 @@ pub use gpu::{gpu_by_name, GpuSpec, IngestModel, LlmPhase, TABLE1};
 pub use link::{gbps, path_latency, NicModel, SwitchModel, WireProtocol};
 pub use nvme::{NvmeModel, LBA_SIZE};
 pub use platform::{
-    ClientPlacement, CpuComplement, DpuConfig, HostClientConfig, StorageServerConfig, Testbed,
-    Transport,
+    ClientPlacement, ClusterTopology, CpuComplement, DpuConfig, HostClientConfig,
+    StorageServerConfig, Testbed, Transport,
 };

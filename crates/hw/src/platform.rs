@@ -109,6 +109,43 @@ pub enum ClientPlacement {
     Dpu,
 }
 
+/// The deployment's node layout: one client (host CPU or BlueField-3) plus
+/// N storage servers behind the shared 100 Gbps switch. This is the single
+/// source of cluster shape — `ros2_fabric::Fabric::for_topology` maps it
+/// onto canonical node specs, so assemblies never hand-build (or clone)
+/// per-node spec literals.
+///
+/// Node-id convention: the client is node 0; storage server `i` (0-based
+/// engine slot) is node `i + 1`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClusterTopology {
+    /// Where the DAOS client runs.
+    pub placement: ClientPlacement,
+    /// Number of storage servers (one DAOS engine each).
+    pub storage_nodes: usize,
+}
+
+impl ClusterTopology {
+    /// The historical two-node world: one client, one storage server.
+    pub fn single(placement: ClientPlacement) -> Self {
+        ClusterTopology {
+            placement,
+            storage_nodes: 1,
+        }
+    }
+
+    /// Total fabric nodes (client + storage servers).
+    pub fn node_count(&self) -> usize {
+        1 + self.storage_nodes
+    }
+
+    /// The fabric node index of storage server `slot`.
+    pub fn storage_node(&self, slot: usize) -> usize {
+        assert!(slot < self.storage_nodes, "slot {slot} out of range");
+        slot + 1
+    }
+}
+
 /// Transport selection for the data plane (§3.4 protocol choices).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Transport {

@@ -82,7 +82,7 @@ fn checkpoint_rename_commit_pattern() {
     let _root = sys.dfs.root();
     let mut s = ros2::dfs::DfsSession {
         fabric: &mut sys.fabric,
-        engine: &mut sys.engine,
+        cluster: &mut sys.cluster,
         client: &mut sys.client,
     };
     let now = ros2::sim::SimTime::ZERO;
@@ -118,7 +118,13 @@ fn many_files_across_striped_targets() {
     }
     // All four devices saw traffic (Sx striping by chunk dkey).
     for d in 0..4 {
-        let stats = sys.engine.bdevs_mut().array().device(d).stats().clone();
+        let stats = sys
+            .engine_mut()
+            .bdevs_mut()
+            .array()
+            .device(d)
+            .stats()
+            .clone();
         assert!(stats.bytes_written > 0, "device {d} idle");
     }
 }
@@ -134,7 +140,7 @@ fn epoch_snapshots_read_the_past() {
     sys.client
         .update(
             &mut sys.fabric,
-            &mut sys.engine,
+            &mut sys.cluster,
             ros2::sim::SimTime::ZERO,
             0,
             oid,
@@ -144,11 +150,11 @@ fn epoch_snapshots_read_the_past() {
             Bytes::from_static(b"v1"),
         )
         .unwrap();
-    let snap = sys.engine.snapshot("posix").unwrap();
+    let snap = sys.cluster.snapshot("posix").unwrap();
     sys.client
         .update(
             &mut sys.fabric,
-            &mut sys.engine,
+            &mut sys.cluster,
             ros2::sim::SimTime::ZERO,
             0,
             oid,
@@ -162,7 +168,7 @@ fn epoch_snapshots_read_the_past() {
         .client
         .fetch(
             &mut sys.fabric,
-            &mut sys.engine,
+            &mut sys.cluster,
             ros2::sim::SimTime::ZERO,
             0,
             oid,
@@ -178,7 +184,7 @@ fn epoch_snapshots_read_the_past() {
         .client
         .fetch(
             &mut sys.fabric,
-            &mut sys.engine,
+            &mut sys.cluster,
             ros2::sim::SimTime::ZERO,
             0,
             oid,

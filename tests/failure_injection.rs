@@ -19,14 +19,14 @@ fn media_corruption_is_detected_end_to_end() {
     let oid = f.oid;
     let dkey = DKey::from_u64(0);
     let akey = AKey::from_str("data");
-    assert!(sys.engine.corrupt_newest_extent(oid, &dkey, &akey));
+    assert!(sys.engine_mut().corrupt_newest_extent(oid, &dkey, &akey));
 
     // The end-to-end checksum catches it at the POSIX layer.
     match sys.read(&f, 0, 4096) {
         Err(ros2::core::Ros2Error::Dfs(DfsError::Daos(DaosError::ChecksumMismatch))) => {}
         other => panic!("corruption escaped: {other:?}"),
     }
-    assert_eq!(sys.engine.vos_stats().checksum_failures, 1);
+    assert_eq!(sys.cluster.vos_stats().checksum_failures, 1);
 }
 
 #[test]
@@ -157,6 +157,99 @@ fn namespace_errors_are_typed() {
         sys.mkdir("/d"),
         Err(ros2::core::Ros2Error::Dfs(DfsError::Exists))
     ));
+}
+
+/// The cluster failure cycle end to end, at the POSIX layer: kill one
+/// engine mid-workload → every read still succeeds (served degraded from
+/// surviving replicas, zero failed ops), online rebuild restores RF, and
+/// the post-rebuild CRC verify passes on every object. Runs with batch
+/// execution forced serial (like the CI shard-equivalence step) so the
+/// scenario is bit-deterministic on any host.
+#[test]
+fn engine_kill_mid_workload_degrades_then_rebuilds() {
+    use ros2::core::ClusterConfig;
+    let mut sys = Ros2System::launch(Ros2Config {
+        cluster: ClusterConfig {
+            engines: 4,
+            replication_factor: 2,
+        },
+        ..Ros2Config::default()
+    })
+    .unwrap();
+    sys.cluster.set_force_serial_batch(true);
+
+    let content = |i: usize| Bytes::from(vec![(i * 37 % 251) as u8 + 1; 2 << 20]);
+    let mut files = Vec::new();
+    // First half of the workload before the failure.
+    for i in 0..6 {
+        let mut f = sys.create(&format!("/obj{i}")).unwrap().value;
+        sys.write(&mut f, 0, content(i)).unwrap();
+        files.push(f);
+    }
+
+    // Kill the leader of file 0's data object; the pool map bumps and the
+    // RAS event rides the control plane.
+    let victim = sys
+        .cluster
+        .route_update(&files[0].oid)
+        .leader()
+        .expect("healthy leader");
+    let v_before = sys.cluster.map().version();
+    let calls_before = sys.metrics().control_calls;
+    let v_after = sys.kill_engine(victim).unwrap();
+    assert!(v_after > v_before, "kill must bump the map revision");
+    assert_eq!(
+        sys.metrics().control_calls,
+        calls_before + 1,
+        "the RAS event is a control-plane call"
+    );
+
+    // Second half of the workload runs against the degraded pool: new
+    // files, plus reads of everything written so far. ZERO failed ops.
+    for i in 6..12 {
+        let mut f = sys.create(&format!("/obj{i}")).unwrap().value;
+        sys.write(&mut f, 0, content(i)).unwrap();
+        files.push(f);
+    }
+    for (i, f) in files.iter().enumerate() {
+        let back = sys.read(f, 0, 2 << 20).expect("degraded read").value;
+        assert_eq!(back, content(i), "file {i} bytes under degraded routing");
+    }
+    assert!(
+        sys.rebuild_stats().degraded_fetches > 0,
+        "the dead leader's objects must have been served degraded"
+    );
+
+    // Online rebuild restores RF for every object.
+    let rebuilt = sys.rebuild().unwrap();
+    assert!(rebuilt.value.objects_moved > 0, "{:?}", rebuilt.value);
+    assert!(rebuilt.value.bytes_moved > 0, "{:?}", rebuilt.value);
+    for f in &files {
+        let set = sys.cluster.route_update(&f.oid);
+        assert_eq!(set.len(), 2, "RF restored for {:?}", f.oid);
+        assert!(!set.contains(victim), "dead engine must not be routed");
+    }
+
+    // Post-rebuild CRC verify on every object: full-file reads route to
+    // the (possibly backfilled) leader and every checksum must hold.
+    for (i, f) in files.iter().enumerate() {
+        let back = sys.read(f, 0, 2 << 20).expect("post-rebuild read").value;
+        assert_eq!(back, content(i), "file {i} bytes after rebuild");
+    }
+    assert_eq!(
+        sys.cluster.vos_stats().checksum_failures,
+        0,
+        "no corruption anywhere in the failure cycle"
+    );
+    // A second failure is survivable now that redundancy is back.
+    let next_victim = sys
+        .cluster
+        .route_update(&files[0].oid)
+        .leader()
+        .expect("healthy leader");
+    sys.kill_engine(next_victim).unwrap();
+    let back = sys.read(&files[0], 0, 2 << 20).unwrap().value;
+    assert_eq!(back, content(0), "second kill still readable");
 }
 
 #[test]
