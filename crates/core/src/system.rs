@@ -287,6 +287,24 @@ impl ObjectClient for ClientStack {
         }
     }
 
+    fn execute_pipelined(
+        &mut self,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        match self {
+            ClientStack::Host { client, .. } => {
+                client.execute_pipelined(fabric, cluster, now, job, ops)
+            }
+            ClientStack::Dpu(c) => {
+                ObjectClient::execute_pipelined(c, fabric, cluster, now, job, ops)
+            }
+        }
+    }
+
     fn ops(&self) -> u64 {
         ClientStack::ops(self)
     }

@@ -3,8 +3,10 @@
 //!
 //! The client is placement-agnostic: it runs on whichever fabric node it is
 //! constructed for, and every CPU cost it pays is scaled to that node's
-//! core class. Each job (FIO thread) owns one connection *per cluster
-//! engine*, a serialized client core, and a registered staging buffer:
+//! core class. Each job (FIO thread) owns one channel *per cluster engine*
+//! — a sub-channel of the node's pooled per-engine connection, so QP state
+//! stays O(engines) — plus a serialized client core and a registered
+//! staging buffer:
 //!
 //! * **RDMA**: updates announce staged data and the *server* pulls with
 //!   RDMA READ; fetches are *pushed* by the server with RDMA WRITE into the
@@ -25,7 +27,7 @@ use bytes::{Bytes, BytesMut};
 use ros2_buf::zero_bytes;
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
 use ros2_hw::{CoreClass, Transport};
-use ros2_sim::{ResourceStats, ServerPool, SimTime};
+use ros2_sim::{ResourceStats, ServerPool, SimDuration, SimTime};
 use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, MrId, NodeId, PdId, RKey};
 
 use crate::cluster::EngineCluster;
@@ -77,6 +79,13 @@ pub struct DaosClient {
     class: CoreClass,
     transport: Transport,
     ops: u64,
+    /// When set, [`Self::execute_pipelined`] (and any [`OpRing`] driven
+    /// against this client) drains each op to completion before the next
+    /// is submitted, on the exact legacy serial cost path — the
+    /// equivalence baseline.
+    ///
+    /// [`OpRing`]: crate::pipeline::OpRing
+    force_serial_pipeline: bool,
 }
 
 impl DaosClient {
@@ -170,9 +179,16 @@ impl DaosClient {
     }
 
     /// The fully general constructor: scoped staging MRs, N storage nodes.
-    /// With one server the fabric-call sequence (PD allocs, connects,
-    /// buffers, registrations) is exactly the historical single-engine
-    /// one, which is what keeps RF = 1 configs bit-identical.
+    ///
+    /// Connection state is pooled per `(client, engine)`: one real
+    /// connection (QP pair) is opened per storage node and every job gets
+    /// its own *sub-channel* of it ([`Fabric::open_subchannel`]), so RC
+    /// connection state on the NIC stays O(engines) per client node
+    /// instead of O(jobs × engines). Job 0 uses the root connections
+    /// directly, which keeps single-job configs on the exact historical
+    /// fabric-call sequence; later jobs' sub-channels carry their own
+    /// serialized per-socket stages, so their timing is identical to the
+    /// dedicated connections they replace.
     #[allow(clippy::too_many_arguments)]
     pub fn connect_scoped_multi(
         fabric: &mut Fabric,
@@ -197,16 +213,25 @@ impl DaosClient {
             .map(|&s| fabric.rdma_mut(s).alloc_pd(format!("daos-engine:{tenant}")))
             .collect();
         let mut out_jobs = Vec::with_capacity(jobs);
-        for _ in 0..jobs {
-            let conns = servers
-                .iter()
-                .zip(&server_pds)
-                .map(|(&server, &server_pd)| {
-                    fabric
-                        .connect(node, server, pd, server_pd)
-                        .map_err(map_fabric)
-                })
-                .collect::<Result<Vec<ConnId>, DaosError>>()?;
+        let mut root_conns: Vec<ConnId> = Vec::new();
+        for j in 0..jobs {
+            let conns = if j == 0 {
+                root_conns = servers
+                    .iter()
+                    .zip(&server_pds)
+                    .map(|(&server, &server_pd)| {
+                        fabric
+                            .connect(node, server, pd, server_pd)
+                            .map_err(map_fabric)
+                    })
+                    .collect::<Result<Vec<ConnId>, DaosError>>()?;
+                root_conns.clone()
+            } else {
+                root_conns
+                    .iter()
+                    .map(|&root| fabric.open_subchannel(root).map_err(map_fabric))
+                    .collect::<Result<Vec<ConnId>, DaosError>>()?
+            };
             let buf = fabric
                 .rdma_mut(node)
                 .alloc_buffer(buf_len, domain)
@@ -240,7 +265,23 @@ impl DaosClient {
             class,
             transport,
             ops: 0,
+            force_serial_pipeline: false,
         })
+    }
+
+    /// Forces [`Self::execute_pipelined`] onto the serial drain: each op
+    /// runs start-to-finish on the exact [`Self::update`]/[`Self::fetch`]
+    /// cost path before the next is submitted. The pipelined ring must be
+    /// functionally bit-identical to this mode (same results, same
+    /// deterministic counters) — asserted by `tests/pipeline_equivalence`,
+    /// the same discipline as the engine's `set_force_serial_batch`.
+    pub fn set_force_serial_pipeline(&mut self, on: bool) {
+        self.force_serial_pipeline = on;
+    }
+
+    /// Whether the forced-serial pipeline drain is active.
+    pub fn force_serial_pipeline(&self) -> bool {
+        self.force_serial_pipeline
     }
 
     /// The node this client runs on.
@@ -331,7 +372,7 @@ impl DaosClient {
     /// A client must hold one connection per cluster slot to route; a
     /// mismatch (client connected to a subset of the pool) is a
     /// misconfiguration surfaced as a typed error, not an index panic.
-    fn check_cluster(&self, cluster: &EngineCluster) -> Result<(), DaosError> {
+    pub(crate) fn check_cluster(&self, cluster: &EngineCluster) -> Result<(), DaosError> {
         let conns = self.jobs.first().map_or(0, |j| j.conns.len());
         if conns < cluster.len() {
             return Err(DaosError::Transport(format!(
@@ -350,6 +391,36 @@ impl DaosClient {
         self.jobs[job].core.submit(now, cost).finish
     }
 
+    /// The pipelined client-CPU booking: only the submission fraction of
+    /// `client_per_op` occupies the job core (returned instant); the
+    /// completion fraction — EQ poll / CQ reap, amortized across in-flight
+    /// ops by batched reaping — is returned as a duration the ring charges
+    /// as latency at retire. On DPU ARM cores the `dpu_client_overhead`
+    /// penalty models exactly that synchronous poll path, so it rides on
+    /// the completion portion and stops binding throughput once the ring
+    /// overlaps it.
+    pub(crate) fn client_cpu_split(&mut self, now: SimTime, job: usize) -> (SimTime, SimDuration) {
+        let base = self.class.scale(self.model.client_per_op);
+        let frac = self.model.client_completion_frac;
+        let submit = base.mul_f64(1.0 - frac);
+        let mut completion = base.mul_f64(frac);
+        if self.class == CoreClass::DpuArm {
+            completion += base.mul_f64(self.model.dpu_client_overhead - 1.0);
+        }
+        (self.jobs[job].core.submit(now, submit).finish, completion)
+    }
+
+    /// Staging-buffer capacity of `job`.
+    pub(crate) fn job_buf_len(&self, job: usize) -> u64 {
+        self.jobs[job].buf_len
+    }
+
+    /// Counts `n` data-plane ops (the ring submits account here so
+    /// [`Self::ops`] agrees with the serial drain).
+    pub(crate) fn bump_ops(&mut self, n: u64) {
+        self.ops += n;
+    }
+
     /// Phase A of an update: client CPU, payload staging, descriptor send
     /// and (RDMA) the pull by the engine in cluster slot `eng`. Returns
     /// the instant the data is resident server-side plus the server's
@@ -362,8 +433,23 @@ impl DaosClient {
         eng: usize,
         data: Bytes,
     ) -> Result<(SimTime, Bytes), DaosError> {
-        let len = data.len() as u64;
         let t_cpu = self.client_cpu(now, job);
+        self.stage_update_from(fabric, t_cpu, job, eng, data)
+    }
+
+    /// [`Self::stage_update`] with the client-CPU grant already booked:
+    /// stages the payload and runs the descriptor/pull exchange starting
+    /// at `t_cpu`. Shared by the serial path and the pipelined ring (which
+    /// books the split CPU cost instead).
+    pub(crate) fn stage_update_from(
+        &mut self,
+        fabric: &mut Fabric,
+        t_cpu: SimTime,
+        job: usize,
+        eng: usize,
+        data: Bytes,
+    ) -> Result<(SimTime, Bytes), DaosError> {
+        let len = data.len() as u64;
         let conn = self.jobs[job].conns[eng];
         match self.transport {
             Transport::Rdma => {
@@ -404,7 +490,7 @@ impl DaosClient {
 
     /// Phase C of an update: engine `eng`'s completion SEND at
     /// `persisted`.
-    fn finish_update(
+    pub(crate) fn finish_update(
         &mut self,
         fabric: &mut Fabric,
         job: usize,
@@ -427,6 +513,17 @@ impl DaosClient {
         eng: usize,
     ) -> Result<SimTime, DaosError> {
         let t_cpu = self.client_cpu(now, job);
+        self.stage_fetch_from(fabric, t_cpu, job, eng)
+    }
+
+    /// [`Self::stage_fetch`] with the client-CPU grant already booked.
+    pub(crate) fn stage_fetch_from(
+        &mut self,
+        fabric: &mut Fabric,
+        t_cpu: SimTime,
+        job: usize,
+        eng: usize,
+    ) -> Result<SimTime, DaosError> {
         let conn = self.jobs[job].conns[eng];
         let req = fabric
             .send(t_cpu, conn, Dir::AtoB, rpc_desc())
@@ -438,7 +535,7 @@ impl DaosClient {
     /// registered buffer plus the completion SEND, or (TCP) the inline
     /// response.
     #[allow(clippy::too_many_arguments)]
-    fn finish_fetch(
+    pub(crate) fn finish_fetch(
         &mut self,
         fabric: &mut Fabric,
         job: usize,
@@ -727,6 +824,32 @@ impl DaosClient {
             .map(|r| r.expect("every submitted op produced a result"))
             .collect()
     }
+
+    /// Runs `ops` through the submission/completion pipeline: every op is
+    /// submitted into an [`OpRing`] (epoch allocated, route resolved,
+    /// staging legs booked) before any completion is reaped, engine legs
+    /// execute as the ring drains, and completions retire in completion
+    /// order — results still come back in submission order for callers
+    /// that stitch stripes. Under
+    /// [`Self::set_force_serial_pipeline`] each op instead drains fully on
+    /// the legacy serial cost path before the next submits, bit-identical
+    /// to a [`Self::update`]/[`Self::fetch`] loop.
+    ///
+    /// [`OpRing`]: crate::pipeline::OpRing
+    pub fn execute_pipelined(
+        &mut self,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        let mut ring = crate::pipeline::OpRing::new(job, ops.len().max(1));
+        for op in ops {
+            ring.submit(self, fabric, cluster, now, op);
+        }
+        ring.drain(self, fabric, cluster)
+    }
 }
 
 /// One engine's slice of a batch fan-out: its staged target ops plus
@@ -818,6 +941,18 @@ pub trait ObjectClient {
         ops: Vec<ClientOp>,
     ) -> Vec<ClientOpResult>;
 
+    /// Submits `ops` through the submission/completion pipeline (all in
+    /// flight at once, completions retired in completion order); results
+    /// come back in submission order.
+    fn execute_pipelined(
+        &mut self,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult>;
+
     /// Total data-plane operations issued.
     fn ops(&self) -> u64;
 }
@@ -865,6 +1000,17 @@ impl ObjectClient for DaosClient {
         ops: Vec<ClientOp>,
     ) -> Vec<ClientOpResult> {
         DaosClient::execute_batch(self, fabric, cluster, now, job, ops)
+    }
+
+    fn execute_pipelined(
+        &mut self,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        DaosClient::execute_pipelined(self, fabric, cluster, now, job, ops)
     }
 
     fn ops(&self) -> u64 {

@@ -417,7 +417,11 @@ impl EngineCluster {
         self.engines.iter()
     }
 
-    fn is_up(&self, slot: usize) -> bool {
+    /// Whether the engine in `slot` is currently healthy. The op pipeline
+    /// checks this at leg-execution time: a leg staged before a kill and
+    /// executed after it must re-arm (fetch) or drop (update replica)
+    /// rather than talk to a dead engine.
+    pub fn is_up(&self, slot: usize) -> bool {
         self.map.members()[slot].health == EngineHealth::Up
     }
 

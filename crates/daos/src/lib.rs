@@ -17,6 +17,7 @@ pub mod checksum;
 pub mod client;
 pub mod cluster;
 pub mod engine;
+pub mod pipeline;
 pub mod types;
 pub mod vos;
 
@@ -26,6 +27,7 @@ pub use cluster::{
     EngineCluster, EngineHealth, PoolMap, PoolMember, RebuildStats, ReplicaSet, MAX_RF,
 };
 pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
+pub use pipeline::OpRing;
 pub use types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, KeyBytes, ObjClass, ObjectId,
     INLINE_KEY,

@@ -1,0 +1,512 @@
+//! The client op pipeline: an explicit submission/completion ring.
+//!
+//! The serial client ([`DaosClient::update`] / [`DaosClient::fetch`]) runs
+//! each op's phases synchronously, so a job core is occupied for the whole
+//! `client_per_op` cost per op and nothing overlaps the completion path.
+//! The [`OpRing`] splits every op into the two halves real RDMA clients
+//! have:
+//!
+//! * **submission** — epoch allocation, route resolution, the client-CPU
+//!   submission fraction, payload staging and the descriptor exchange, one
+//!   *leg* per replica. All of this happens at [`OpRing::submit`] time, so
+//!   up to `depth` ops can be in flight before any completion is reaped.
+//! * **completion** — engine execution of each staged leg, the response
+//!   push/SEND, and the client-CPU completion fraction (EQ poll / CQ reap)
+//!   charged as retire latency. Completions are reaped out of order and
+//!   retire in completion order; results are still reported in submission
+//!   order so strided callers can stitch.
+//!
+//! **Resource gating.** The ring never holds more than `depth` ops: a
+//! submit into a full ring first retires the earliest-completing in-flight
+//! op (its staging slot frees at retire). Within those bounds, contention
+//! is entirely emergent from the virtual-time bookings the legs make — the
+//! job core serializes submission fractions, each channel's serialized
+//! stage orders descriptors, and engine xstreams queue leg execution.
+//!
+//! **Determinism.** Epochs are allocated at *submission*, in submission
+//! order, from the cluster-wide counter — never at leg execution — so the
+//! version an update commits at is independent of how deep the ring runs
+//! or in which order completions are reaped. That is the invariant that
+//! makes a forced-serial drain ([`DaosClient::set_force_serial_pipeline`])
+//! bit-identical to the historical path and lets
+//! `tests/pipeline_equivalence.rs` hold QD-N runs to it.
+//!
+//! **Failover.** A leg staged before an engine kill and executed after it
+//! re-arms instead of failing the op: a fetch leg re-routes through the
+//! current pool map (a degraded read) and re-stages its descriptor; a
+//! replicated update simply drops the dead replica's leg and commits on
+//! the survivors, exactly what the post-kill route would have produced.
+
+use bytes::Bytes;
+use ros2_fabric::Fabric;
+use ros2_sim::{SimDuration, SimTime};
+
+use crate::client::{ClientOp, ClientOpResult, DaosClient};
+use crate::cluster::EngineCluster;
+use crate::engine::ValueKind;
+use crate::types::{AKey, DKey, DaosError, Epoch, ObjectId};
+
+/// One staged replica leg of an in-flight update.
+struct UpdateLeg {
+    /// Engine slot the leg was staged to.
+    eng: usize,
+    /// Instant the payload is resident server-side.
+    staged: SimTime,
+    /// The server-side payload handle the leg's pull produced.
+    payload: Bytes,
+}
+
+/// The phase-specific body of an in-flight op.
+enum Body {
+    /// An update with its per-replica staged legs.
+    Update {
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        legs: Vec<UpdateLeg>,
+    },
+    /// A fetch staged to its leader engine.
+    Fetch {
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+        /// Leader the descriptor went to.
+        eng: usize,
+        /// Instant the request reached the server.
+        req_at: SimTime,
+    },
+}
+
+/// An op that has been submitted (staged) but not yet executed.
+struct Inflight {
+    /// Submission-order slot in the results vector.
+    slot: usize,
+    /// Instant the op was submitted (orders error retires).
+    submitted: SimTime,
+    /// Client-CPU completion fraction charged as latency at retire.
+    completion: SimDuration,
+    body: Body,
+}
+
+/// An executed op waiting to retire in completion order.
+struct Executed {
+    /// Client-visible completion instant (sort key; ties break on slot).
+    done: SimTime,
+    slot: usize,
+    result: ClientOpResult,
+}
+
+/// A submission/completion ring over one client job. See the module docs
+/// for the phase/state model; drive it with [`OpRing::submit`] +
+/// [`OpRing::drain`], or through the one-call wrapper
+/// [`DaosClient::execute_pipelined`].
+pub struct OpRing {
+    job: usize,
+    depth: usize,
+    /// Staged, not yet executed, in submission order.
+    inflight: Vec<Inflight>,
+    /// Executed, not yet retired.
+    executed: Vec<Executed>,
+    /// Final results, indexed by submission slot.
+    results: Vec<Option<ClientOpResult>>,
+    /// Slots in the order they retired (the completion-order contract).
+    retire_log: Vec<usize>,
+    /// Fetch legs re-armed onto a surviving replica after a kill.
+    leg_rearms: u64,
+}
+
+impl OpRing {
+    /// An empty ring for `job` admitting up to `depth` in-flight ops.
+    pub fn new(job: usize, depth: usize) -> Self {
+        OpRing {
+            job,
+            depth: depth.max(1),
+            inflight: Vec::new(),
+            executed: Vec::new(),
+            results: Vec::new(),
+            retire_log: Vec::new(),
+            leg_rearms: 0,
+        }
+    }
+
+    /// Configured queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Ops submitted but not yet retired (staged or awaiting retire).
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len() + self.executed.len()
+    }
+
+    /// Slots in retire order — completion-ordered, ties in submission
+    /// order. Complete only after [`Self::drain`].
+    pub fn retire_log(&self) -> &[usize] {
+        &self.retire_log
+    }
+
+    /// Fetch legs that re-armed onto a survivor after an engine kill.
+    pub fn leg_rearms(&self) -> u64 {
+        self.leg_rearms
+    }
+
+    /// Submits one op: allocates its epoch, resolves its route and books
+    /// its staging legs. If the ring is full, the earliest-completing
+    /// in-flight op retires first to free a slot. Submission-time failures
+    /// (oversized I/O, no healthy replica) occupy their slot as immediate
+    /// error retires. Under the client's forced-serial mode the op instead
+    /// runs start-to-finish on the legacy serial cost path.
+    pub fn submit(
+        &mut self,
+        client: &mut DaosClient,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        op: ClientOp,
+    ) {
+        let slot = self.results.len();
+        self.results.push(None);
+
+        if client.force_serial_pipeline() {
+            // The equivalence baseline: today's path, bit for bit.
+            let result = match op {
+                ClientOp::Update {
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    data,
+                } => ClientOpResult::Update(
+                    client.update(fabric, cluster, now, self.job, oid, dkey, akey, kind, data),
+                ),
+                ClientOp::Fetch {
+                    oid,
+                    dkey,
+                    akey,
+                    kind,
+                    epoch,
+                    len,
+                } => ClientOpResult::Fetch(client.fetch(
+                    fabric, cluster, now, self.job, oid, dkey, akey, kind, epoch, len,
+                )),
+            };
+            self.results[slot] = Some(result);
+            self.retire_log.push(slot);
+            return;
+        }
+
+        while self.in_flight() >= self.depth {
+            self.complete_one(client, fabric, cluster);
+        }
+
+        client.bump_ops(1);
+        if let Err(e) = client.check_cluster(cluster) {
+            self.retire_error(slot, now, &op, e);
+            return;
+        }
+        match op {
+            ClientOp::Update {
+                oid,
+                dkey,
+                akey,
+                kind,
+                data,
+            } => {
+                if data.len() as u64 > client.job_buf_len(self.job) {
+                    let e = DaosError::Transport("staging buffer too small".into());
+                    self.results[slot] = Some(ClientOpResult::Update(Err(e)));
+                    self.retire_log.push(slot);
+                    return;
+                }
+                let set = cluster.route_update(&oid);
+                if set.is_empty() {
+                    let e = DaosError::Transport("no healthy replica".into());
+                    self.results[slot] = Some(ClientOpResult::Update(Err(e)));
+                    self.retire_log.push(slot);
+                    return;
+                }
+                let epoch = match cluster.next_epoch(client.container()) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        self.results[slot] = Some(ClientOpResult::Update(Err(e)));
+                        self.retire_log.push(slot);
+                        return;
+                    }
+                };
+                let mut legs = Vec::with_capacity(set.len());
+                let mut completion = SimDuration::ZERO;
+                for eng in set.iter() {
+                    let (t_cpu, comp) = client.client_cpu_split(now, self.job);
+                    completion = comp;
+                    match client.stage_update_from(fabric, t_cpu, self.job, eng, data.clone()) {
+                        Ok((staged, payload)) => legs.push(UpdateLeg {
+                            eng,
+                            staged,
+                            payload,
+                        }),
+                        Err(e) => {
+                            self.results[slot] = Some(ClientOpResult::Update(Err(e)));
+                            self.retire_log.push(slot);
+                            return;
+                        }
+                    }
+                }
+                self.inflight.push(Inflight {
+                    slot,
+                    submitted: now,
+                    completion,
+                    body: Body::Update {
+                        oid,
+                        dkey,
+                        akey,
+                        kind,
+                        epoch,
+                        legs,
+                    },
+                });
+            }
+            ClientOp::Fetch {
+                oid,
+                dkey,
+                akey,
+                kind,
+                epoch,
+                len,
+            } => {
+                if len > client.job_buf_len(self.job) {
+                    let e = DaosError::Transport("staging buffer too small".into());
+                    self.results[slot] = Some(ClientOpResult::Fetch(Err(e)));
+                    self.retire_log.push(slot);
+                    return;
+                }
+                let Some(eng) = cluster.route_fetch(&oid).leader() else {
+                    let e = DaosError::Transport("no healthy replica".into());
+                    self.results[slot] = Some(ClientOpResult::Fetch(Err(e)));
+                    self.retire_log.push(slot);
+                    return;
+                };
+                let (t_cpu, completion) = client.client_cpu_split(now, self.job);
+                match client.stage_fetch_from(fabric, t_cpu, self.job, eng) {
+                    Ok(req_at) => self.inflight.push(Inflight {
+                        slot,
+                        submitted: now,
+                        completion,
+                        body: Body::Fetch {
+                            oid,
+                            dkey,
+                            akey,
+                            kind,
+                            epoch,
+                            len,
+                            eng,
+                            req_at,
+                        },
+                    }),
+                    Err(e) => {
+                        self.results[slot] = Some(ClientOpResult::Fetch(Err(e)));
+                        self.retire_log.push(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a submission-time cluster error in the op's own slot.
+    fn retire_error(&mut self, slot: usize, _now: SimTime, op: &ClientOp, e: DaosError) {
+        self.results[slot] = Some(match op {
+            ClientOp::Update { .. } => ClientOpResult::Update(Err(e)),
+            ClientOp::Fetch { .. } => ClientOpResult::Fetch(Err(e)),
+        });
+        self.retire_log.push(slot);
+    }
+
+    /// Executes every staged op's engine/finish legs (in submission order,
+    /// which is what keeps the drain deterministic) and queues them for
+    /// completion-order retirement.
+    fn poll(&mut self, client: &mut DaosClient, fabric: &mut Fabric, cluster: &mut EngineCluster) {
+        let staged = std::mem::take(&mut self.inflight);
+        for op in staged {
+            let executed = self.execute_op(client, fabric, cluster, op);
+            self.executed.push(executed);
+        }
+    }
+
+    /// Retires exactly one op — the earliest-completing one — executing
+    /// staged legs first if nothing is awaiting retirement.
+    fn complete_one(
+        &mut self,
+        client: &mut DaosClient,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+    ) {
+        if self.executed.is_empty() {
+            self.poll(client, fabric, cluster);
+        }
+        if let Some(best) = self
+            .executed
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.done, e.slot))
+            .map(|(i, _)| i)
+        {
+            let e = self.executed.remove(best);
+            self.results[e.slot] = Some(e.result);
+            self.retire_log.push(e.slot);
+        }
+    }
+
+    /// Executes one op's engine and finish legs, re-arming or dropping
+    /// legs whose engine died since staging.
+    fn execute_op(
+        &mut self,
+        client: &mut DaosClient,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        op: Inflight,
+    ) -> Executed {
+        let job = self.job;
+        match op.body {
+            Body::Update {
+                oid,
+                dkey,
+                akey,
+                kind,
+                epoch,
+                legs,
+            } => {
+                let mut done: Option<SimTime> = None;
+                let mut err: Option<DaosError> = None;
+                for leg in legs {
+                    if !cluster.is_up(leg.eng) {
+                        // The replica died after staging: its staged bytes
+                        // died with it; the survivors carry the commit.
+                        continue;
+                    }
+                    let persisted = cluster.engine_mut(leg.eng).update(
+                        leg.staged,
+                        client.container(),
+                        oid,
+                        dkey.clone(),
+                        akey.clone(),
+                        kind,
+                        epoch,
+                        leg.payload,
+                    );
+                    match persisted.and_then(|p| client.finish_update(fabric, job, leg.eng, p)) {
+                        Ok(acked) => done = Some(done.map_or(acked, |d| d.max(acked))),
+                        Err(e) => err = err.or(Some(e)),
+                    }
+                }
+                let result = ClientOpResult::Update(match (err, done) {
+                    (Some(e), _) => Err(e),
+                    (None, Some(d)) => Ok(d + op.completion),
+                    (None, None) => Err(DaosError::Transport("no healthy replica".into())),
+                });
+                Executed {
+                    done: result_instant(&result, op.submitted),
+                    slot: op.slot,
+                    result,
+                }
+            }
+            Body::Fetch {
+                oid,
+                dkey,
+                akey,
+                kind,
+                epoch,
+                len,
+                mut eng,
+                mut req_at,
+            } => {
+                if !cluster.is_up(eng) {
+                    // Leader died between staging and execution: re-arm the
+                    // leg onto the current route (a degraded read) instead
+                    // of failing the op.
+                    match cluster.route_fetch(&oid).leader() {
+                        Some(new_eng) => {
+                            let (t_cpu, _) = client.client_cpu_split(op.submitted, job);
+                            match client.stage_fetch_from(fabric, t_cpu, job, new_eng) {
+                                Ok(at) => {
+                                    self.leg_rearms += 1;
+                                    eng = new_eng;
+                                    req_at = at;
+                                }
+                                Err(e) => {
+                                    let result = ClientOpResult::Fetch(Err(e));
+                                    return Executed {
+                                        done: op.submitted,
+                                        slot: op.slot,
+                                        result,
+                                    };
+                                }
+                            }
+                        }
+                        None => {
+                            let e = DaosError::Transport("no healthy replica".into());
+                            return Executed {
+                                done: op.submitted,
+                                slot: op.slot,
+                                result: ClientOpResult::Fetch(Err(e)),
+                            };
+                        }
+                    }
+                }
+                let fetched = cluster.engine_mut(eng).fetch(
+                    req_at,
+                    client.container(),
+                    oid,
+                    &dkey,
+                    &akey,
+                    kind,
+                    epoch,
+                    len,
+                );
+                let result = ClientOpResult::Fetch(fetched.and_then(|(data, ready)| {
+                    client
+                        .finish_fetch(fabric, job, eng, data, ready, len)
+                        .map(|(bytes, at)| (bytes, at + op.completion))
+                }));
+                Executed {
+                    done: result_instant(&result, op.submitted),
+                    slot: op.slot,
+                    result,
+                }
+            }
+        }
+    }
+
+    /// Executes everything still staged, retires everything in completion
+    /// order, and returns the results in submission order.
+    pub fn drain(
+        &mut self,
+        client: &mut DaosClient,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+    ) -> Vec<ClientOpResult> {
+        self.poll(client, fabric, cluster);
+        self.executed.sort_by_key(|e| (e.done, e.slot));
+        for e in self.executed.drain(..) {
+            self.results[e.slot] = Some(e.result);
+            self.retire_log.push(e.slot);
+        }
+        std::mem::take(&mut self.results)
+            .into_iter()
+            .map(|r| r.expect("every submitted op retires"))
+            .collect()
+    }
+}
+
+/// The completion instant a result retires at (errors sort at their
+/// submission instant — they consumed no completion-side resources).
+fn result_instant(result: &ClientOpResult, fallback: SimTime) -> SimTime {
+    match result {
+        ClientOpResult::Update(Ok(at)) => *at,
+        ClientOpResult::Fetch(Ok((_, at))) => *at,
+        _ => fallback,
+    }
+}

@@ -255,6 +255,16 @@ pub struct DaosCostModel {
     /// its pre-offload behaviour, whose CRC work lives engine-side — so
     /// the asymmetry is deliberate and conservative against the DPU.
     pub crc_ps_per_byte: u64,
+    /// Fraction of `client_per_op` that is *completion-side* work (EQ
+    /// poll, CQ reap, callback dispatch). The serial client pays the whole
+    /// cost synchronously per op; the pipelined client ([`OpRing`]) books
+    /// only the submission fraction `1 - client_completion_frac` on the
+    /// job core and charges the completion fraction as retire latency —
+    /// batched CQ reaping amortizes the core occupancy across in-flight
+    /// ops, which is exactly how real libdaos EQ polling scales with QD.
+    ///
+    /// [`OpRing`]: crate::pipeline::OpRing
+    pub client_completion_frac: f64,
 }
 
 impl DaosCostModel {
@@ -268,6 +278,7 @@ impl DaosCostModel {
             scm_threshold: 4096,
             dpu_client_overhead: 1.35,
             crc_ps_per_byte: 62,
+            client_completion_frac: 0.35,
         }
     }
 }
@@ -376,5 +387,6 @@ mod tests {
         let m = DaosCostModel::default_model();
         assert!(m.client_per_op > m.server_per_rpc);
         assert_eq!(m.scm_threshold, 4096);
+        assert!(m.client_completion_frac > 0.0 && m.client_completion_frac < 1.0);
     }
 }

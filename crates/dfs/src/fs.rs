@@ -155,6 +155,15 @@ pub struct Dfs {
     next_ino: u64,
     root: ObjectId,
     mounted: bool,
+    /// When set, data-path ops (file reads/writes) go through the client's
+    /// submission/completion ring ([`ObjectClient::execute_pipelined`])
+    /// instead of the serial `update`/`fetch` and barriered
+    /// `execute_batch` paths. Functionally identical — epochs are still
+    /// allocated in submission order — but the client books only the
+    /// submission share of its per-op CPU on the job core, so consecutive
+    /// calls overlap the completion share. Off by default: classic worlds
+    /// keep today's bit-exact cost accounting.
+    data_pipeline: bool,
     /// Namespace (metadata) operations performed.
     pub meta_ops: u64,
     /// Data operations performed.
@@ -191,6 +200,7 @@ impl Dfs {
                 next_ino: ROOT_INO + 1,
                 root,
                 mounted: true,
+                data_pipeline: false,
                 meta_ops: 1,
                 data_ops: 0,
             },
@@ -227,6 +237,7 @@ impl Dfs {
                 next_ino: 1 << 32,
                 root,
                 mounted: true,
+                data_pipeline: false,
                 meta_ops: 1,
                 data_ops: 0,
             },
@@ -254,6 +265,18 @@ impl Dfs {
     /// Whether the namespace is mounted.
     pub fn is_mounted(&self) -> bool {
         self.mounted
+    }
+
+    /// Routes data-path I/O through the client's submission/completion
+    /// ring (see the `data_pipeline` field). Metadata ops stay serial —
+    /// they are ordering-sensitive and a rounding error of the data path.
+    pub fn set_data_pipeline(&mut self, on: bool) {
+        self.data_pipeline = on;
+    }
+
+    /// Whether data-path ops ride the pipelined ring.
+    pub fn data_pipeline(&self) -> bool {
+        self.data_pipeline
     }
 
     fn read_entry(
@@ -444,7 +467,7 @@ impl Dfs {
         if len == 0 {
             // Nothing to transfer: no RPC, no epoch, no extent record (the
             // size update below still runs, as it always has).
-        } else if single_chunk {
+        } else if single_chunk && !self.data_pipeline {
             // The common case (FIO block sizes never exceed the chunk):
             // one update, no batch bookkeeping.
             let at = s.client.update(
@@ -462,8 +485,10 @@ impl Dfs {
             )?;
             t_done = t_done.max(at);
         } else {
-            // Striped write: one batched fan-out across the chunks'
-            // shards instead of a serial round-trip per chunk.
+            // Striped write: one fan-out across the chunks' shards instead
+            // of a serial round-trip per chunk. Pipelined mode submits the
+            // whole stripe set to the op ring at depth = stripes — phases
+            // overlap as resources free up, no barrier between stages.
             let mut ops = Vec::new();
             while pos < len {
                 let abs = offset + pos;
@@ -479,7 +504,13 @@ impl Dfs {
                 });
                 pos += take;
             }
-            for r in s.client.execute_batch(s.fabric, s.cluster, now, job, ops) {
+            let results = if self.data_pipeline {
+                s.client
+                    .execute_pipelined(s.fabric, s.cluster, now, job, ops)
+            } else {
+                s.client.execute_batch(s.fabric, s.cluster, now, job, ops)
+            };
+            for r in results {
                 t_done = t_done.max(r.into_update()?);
             }
         }
@@ -524,6 +555,23 @@ impl Dfs {
         if offset / self.chunk_size == (offset + len - 1) / self.chunk_size {
             let chunk = offset / self.chunk_size;
             let in_chunk = offset % self.chunk_size;
+            // Pipelined mode still takes the zero-copy single-fetch path —
+            // the ring returns the engine's payload without reassembly.
+            if self.data_pipeline {
+                let op = ClientOp::Fetch {
+                    oid: file.oid,
+                    dkey: DKey::from_u64(chunk),
+                    akey: data_akey(),
+                    kind: ValueKind::Array { offset: in_chunk },
+                    epoch: Epoch::LATEST,
+                    len,
+                };
+                let mut results =
+                    s.client
+                        .execute_pipelined(s.fabric, s.cluster, now, job, vec![op]);
+                let (piece, at) = results.remove(0).into_fetch()?;
+                return Ok((piece, at));
+            }
             let (piece, at) = s.client.fetch(
                 s.fabric,
                 s.cluster,
@@ -559,7 +607,13 @@ impl Dfs {
         }
         let mut out = bytes::BytesMut::with_capacity(len as usize);
         let mut t_done = now;
-        for r in s.client.execute_batch(s.fabric, s.cluster, now, job, ops) {
+        let results = if self.data_pipeline {
+            s.client
+                .execute_pipelined(s.fabric, s.cluster, now, job, ops)
+        } else {
+            s.client.execute_batch(s.fabric, s.cluster, now, job, ops)
+        };
+        for r in results {
             let (piece, at) = r.into_fetch()?;
             out.extend_from_slice(&piece);
             t_done = t_done.max(at);

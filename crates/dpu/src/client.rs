@@ -33,7 +33,7 @@ use bytes::Bytes;
 use ros2_ctl::{ControlChannel, ControlError, ControlModel, ControlRequest, ControlResponse};
 use ros2_daos::{
     whole_batch_error, ClientOp, ClientOpResult, DaosClient, DaosCostModel, DaosError,
-    EngineCluster, Epoch, ObjectClient, ObjectId,
+    EngineCluster, Epoch, ObjectClient, ObjectId, OpRing,
 };
 use ros2_daos::{AKey, DKey, ValueKind};
 use ros2_fabric::Fabric;
@@ -333,6 +333,15 @@ impl DpuClient {
         total
     }
 
+    /// Forces every lane's pipelined path through the serial drain (see
+    /// [`DaosClient::set_force_serial_pipeline`]) — the equivalence oracle
+    /// for the offloaded arm.
+    pub fn set_force_serial_pipeline(&mut self, on: bool) {
+        for lane in &mut self.lanes {
+            lane.daos.set_force_serial_pipeline(on);
+        }
+    }
+
     /// Resets lane core timing, QoS buckets, and offload counters to t=0
     /// (between preconditioning and a measured run).
     pub fn reset_timing(&mut self) {
@@ -594,6 +603,83 @@ impl ObjectClient for DpuClient {
         let results = self.lanes[lane]
             .daos
             .execute_batch(fabric, cluster, start, local, ops);
+        results
+            .into_iter()
+            .map(|r| match r {
+                ClientOpResult::Update(Ok(done)) => {
+                    ClientOpResult::Update(self.host_poll(done, lane, 1))
+                }
+                ClientOpResult::Fetch(Ok((data, ready))) => {
+                    let bytes = data.len() as u64;
+                    ClientOpResult::Fetch(
+                        self.finish_fetch(ready, lane, bytes).map(|at| (data, at)),
+                    )
+                }
+                err => err,
+            })
+            .collect()
+    }
+
+    fn execute_pipelined(
+        &mut self,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        job: usize,
+        ops: Vec<ClientOp>,
+    ) -> Vec<ClientOpResult> {
+        let (lane, local) = self.job_map[job];
+        let n = ops.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let total_bytes: u64 = ops
+            .iter()
+            .map(|op| match op {
+                ClientOp::Update { data, .. } => data.len() as u64,
+                ClientOp::Fetch { len, .. } => *len,
+            })
+            .sum();
+        // One doorbell ring announces the whole queue, exactly like the
+        // batch path — the host-side cost does not grow with depth.
+        let submitted = match self.host_submit(now, lane, n as u32, total_bytes) {
+            Ok(t) => t,
+            Err(e) => return whole_batch_error(&ops, e),
+        };
+        // Per-op admission with NO barrier: each op enters the ring at its
+        // own grant-plus-preamble instant, so an op throttled by the token
+        // bucket delays only itself while earlier grants are already in
+        // flight on the lane's data plane.
+        let mut starts = Vec::with_capacity(n);
+        let mut latest = submitted;
+        for op in &ops {
+            let (bytes, is_update) = match op {
+                ClientOp::Update { data, .. } => (data.len() as u64, true),
+                ClientOp::Fetch { len, .. } => (*len, false),
+            };
+            let granted = match self.admit(submitted, lane, bytes) {
+                Ok(t) => t,
+                Err(e) => return whole_batch_error(&ops, e),
+            };
+            let mut t = granted + self.agent.inline_cost(bytes);
+            if is_update {
+                t += self.crc_cost(bytes);
+            }
+            latest = latest.max(t);
+            starts.push(t);
+        }
+        // The whole ring runs against the registration checked here; check
+        // at the latest start (most conservative) with the full-queue span.
+        let span = Self::span_bound(n as u64, total_bytes);
+        if let Err(e) = self.ensure_rkey(fabric, lane, local, latest, span) {
+            return whole_batch_error(&ops, e);
+        }
+        self.stats.ops_offloaded += n as u64;
+        let mut ring = OpRing::new(local, n);
+        for (op, t) in ops.into_iter().zip(starts) {
+            ring.submit(&mut self.lanes[lane].daos, fabric, cluster, t, op);
+        }
+        let results = ring.drain(&mut self.lanes[lane].daos, fabric, cluster);
         results
             .into_iter()
             .map(|r| match r {

@@ -205,6 +205,113 @@ fn dpu_client_refresh_outruns_the_race() {
     );
 }
 
+// ------------------------------------------- QD > 1 lane interleaving ----
+
+/// An offloaded world for driving `execute_pipelined` directly: one
+/// engine, one lane, one job.
+fn offloaded_world(
+    qos: QosLimits,
+    rkey_scope: SimDuration,
+) -> (Fabric, ros2_daos::EngineCluster, DpuClient) {
+    use ros2_daos::{DaosCostModel, DaosEngine, EngineCluster};
+    use ros2_nvme::{DataMode, NvmeArray};
+    use ros2_spdk::BdevLayer;
+    let mut fabric = dpu_world();
+    let bdevs = BdevLayer::new(NvmeArray::new(
+        ros2_hw::NvmeModel::enterprise_1600(),
+        1,
+        DataMode::Stored,
+    ));
+    let mut engine = DaosEngine::new(
+        "pool0",
+        bdevs,
+        256 << 20,
+        DaosCostModel::default_model(),
+        CoreClass::HostX86,
+    );
+    engine.cont_create("c").unwrap();
+    let cluster = EngineCluster::single(engine);
+    let agent = DpuAgent::new(NodeId(0), 30 << 30, ros2_dpu::default_control(3));
+    let client = DpuClient::connect(
+        &mut fabric,
+        NodeId(0),
+        NodeId(1),
+        "c",
+        1,
+        4 << 20,
+        MemoryDomain::DpuDram,
+        DaosCostModel::default_model(),
+        agent,
+        vec![DpuTenantSpec {
+            name: "t".into(),
+            qos,
+            rkey_scope,
+        }],
+        7,
+    )
+    .unwrap();
+    (fabric, cluster, client)
+}
+
+fn update_ops(n: u64, len: usize) -> Vec<ros2_daos::ClientOp> {
+    use ros2_daos::{AKey, ClientOp, DKey, ObjClass, ObjectId, ValueKind};
+    (0..n)
+        .map(|i| ClientOp::Update {
+            oid: ObjectId::new(ObjClass::Sx, 1),
+            dkey: DKey::from_u64(i),
+            akey: AKey::from_str("data"),
+            kind: ValueKind::Array { offset: 0 },
+            data: Bytes::from(vec![(i % 250) as u8 + 1; len]),
+        })
+        .collect()
+}
+
+/// The rkey race at QD > 1, resolved the safe way: a queue whose span
+/// crosses the refresh margin forces a re-registration *before* the ring
+/// starts pulling, so deep in-flight work never trips the NIC.
+#[test]
+fn pipelined_queue_forces_refresh_before_the_pull() {
+    use ros2_daos::ObjectClient;
+    let (mut fabric, mut cluster, mut client) =
+        offloaded_world(QosLimits::unlimited(), SimDuration::from_millis(100));
+    // First queue, well inside the scope: no refresh needed.
+    for r in client.execute_pipelined(
+        &mut fabric,
+        &mut cluster,
+        SimTime::ZERO,
+        0,
+        update_ops(8, 1 << 20),
+    ) {
+        r.into_update().unwrap();
+    }
+    assert_eq!(
+        client.dpu_stats().rkey_refreshes,
+        0,
+        "a queue comfortably inside the scope must not refresh"
+    );
+    // Second queue at 60 ms: 60 ms + 50 ms margin + the queue's own span
+    // crosses the 100 ms deadline, so the lane must re-register before
+    // any leg starts.
+    for r in client.execute_pipelined(
+        &mut fabric,
+        &mut cluster,
+        SimTime::from_millis(60),
+        0,
+        update_ops(8, 1 << 20),
+    ) {
+        r.into_update().unwrap();
+    }
+    assert!(
+        client.dpu_stats().rkey_refreshes >= 1,
+        "a queue spanning the margin must refresh first"
+    );
+    assert_eq!(
+        fabric.node(NodeId(0)).rdma.violations().total(),
+        0,
+        "no in-flight pull may outlive its rkey at QD > 1"
+    );
+}
+
 // --------------------------------------------------------- property ------
 
 proptest! {
@@ -268,5 +375,67 @@ proptest! {
         }
         let ctx = tm.tenant("p").unwrap();
         prop_assert_eq!(ctx.admitted.0, grants.len() as u64);
+    }
+
+    /// The same over-grant bound driven through the *pipelined* offload
+    /// path at QD = queue length: interleaved admission must still pace
+    /// every byte. Completion instants upper-bound grant instants, so if
+    /// the whole queue's bytes exceed `rate × t_end + burst`, some grant
+    /// bypassed the bucket. Also pins the exact byte accounting.
+    #[test]
+    fn pipelined_admission_never_exceeds_limits(
+        bytes_per_sec in 1_000_000u64..200_000_000,
+        ops in prop::collection::vec(4_096usize..262_144, 2..12),
+    ) {
+        use ros2_daos::ObjectClient;
+        let burst = 1u64 << 20;
+        let (mut fabric, mut cluster, mut client) = offloaded_world(
+            QosLimits {
+                ops_per_sec: 1_000_000,
+                bytes_per_sec,
+                burst: (1 << 10, burst),
+            },
+            SimDuration::from_secs(30),
+        );
+        let client_ops: Vec<ros2_daos::ClientOp> = {
+            use ros2_daos::{AKey, ClientOp, DKey, ObjClass, ObjectId, ValueKind};
+            ops.iter()
+                .enumerate()
+                .map(|(i, &len)| ClientOp::Update {
+                    oid: ObjectId::new(ObjClass::Sx, 1),
+                    dkey: DKey::from_u64(i as u64),
+                    akey: AKey::from_str("data"),
+                    kind: ValueKind::Array { offset: 0 },
+                    data: Bytes::from(vec![(i % 250) as u8 + 1; len]),
+                })
+                .collect()
+        };
+        let total: u64 = ops.iter().map(|&l| l as u64).sum();
+        let results = client.execute_pipelined(
+            &mut fabric,
+            &mut cluster,
+            SimTime::ZERO,
+            0,
+            client_ops,
+        );
+        let mut t_end = SimTime::ZERO;
+        for r in results {
+            t_end = t_end.max(r.into_update().expect("pipelined update failed"));
+        }
+        // Window [0, t_end] over-grant bound, one byte of rounding slack
+        // per op.
+        let allowance = burst as u128
+            + (t_end.as_nanos() as u128 * bytes_per_sec as u128).div_ceil(1_000_000_000)
+            + ops.len() as u128;
+        prop_assert!(
+            (total as u128) <= allowance,
+            "QD={} queue moved {total} B by {t_end}, allowance {allowance} B \
+             (rate {bytes_per_sec} B/s, burst {burst} B)",
+            ops.len()
+        );
+        let s = client.dpu_stats();
+        prop_assert_eq!(s.bytes_admitted, total);
+        prop_assert_eq!(s.host_submits, 1);
+        prop_assert_eq!(s.host_polls, ops.len() as u64);
     }
 }

@@ -80,6 +80,8 @@ struct Conn {
     /// QPs backing this connection on each node (RDMA transport).
     qp_a: Option<QpId>,
     qp_b: Option<QpId>,
+    /// For a sub-channel: the root connection whose QPs it borrows.
+    parent: Option<ConnId>,
     ops: u64,
 }
 
@@ -273,6 +275,44 @@ impl Fabric {
             ser_ba: ServerPool::new(1),
             qp_a,
             qp_b,
+            parent: None,
+            ops: 0,
+        });
+        Ok(id)
+    }
+
+    /// Opens a *sub-channel* of an existing connection: an independent
+    /// ordering domain (its own serialized per-socket stages) that borrows
+    /// the parent's QPs instead of creating new ones. This is how a client
+    /// node keeps per-(node, peer) connection state O(peers) while still
+    /// giving each job its own head-of-line-blocking-free channel — the
+    /// verbs analogue of multiplexing many sockets over one RC QP pair.
+    ///
+    /// Timing is identical to a dedicated connection: QP creation books no
+    /// virtual time, and every runtime stage a sub-channel touches (its ser
+    /// stages, the node pipes/pools) is either private or already shared.
+    pub fn open_subchannel(&mut self, parent: ConnId) -> Result<ConnId, FabricError> {
+        let root = {
+            let c = self
+                .conns
+                .get(parent.0 as usize)
+                .ok_or(FabricError::BadConn)?;
+            // Chains collapse to the root so qps() resolves in one hop.
+            c.parent.unwrap_or(parent)
+        };
+        let (a, b) = {
+            let c = &self.conns[root.0 as usize];
+            (c.a, c.b)
+        };
+        let id = ConnId(self.conns.len() as u32);
+        self.conns.push(Conn {
+            a,
+            b,
+            ser_ab: ServerPool::new(1),
+            ser_ba: ServerPool::new(1),
+            qp_a: None,
+            qp_b: None,
+            parent: Some(root),
             ops: 0,
         });
         Ok(id)
@@ -291,11 +331,19 @@ impl Fabric {
     }
 
     /// The QP pair `(src_qp, dst_qp)` for `conn` in `dir` (RDMA only).
+    /// Sub-channels resolve to their root connection's QPs.
     pub fn qps(&self, conn: ConnId, dir: Dir) -> Result<(QpId, QpId), FabricError> {
         let c = self
             .conns
             .get(conn.0 as usize)
             .ok_or(FabricError::BadConn)?;
+        let c = match c.parent {
+            Some(root) => self
+                .conns
+                .get(root.0 as usize)
+                .ok_or(FabricError::BadConn)?,
+            None => c,
+        };
         match (c.qp_a, c.qp_b, dir) {
             (Some(qa), Some(qb), Dir::AtoB) => Ok((qa, qb)),
             (Some(qa), Some(qb), Dir::BtoA) => Ok((qb, qa)),
@@ -927,6 +975,43 @@ mod tests {
                 .at
         };
         assert!(mk(32) > mk(2), "contention must slow DPU RX");
+    }
+
+    #[test]
+    fn subchannels_share_qps_but_count_ops_separately() {
+        let (mut f, conn, rkey, addr) = rdma_pair();
+        let qp_before = f.node(NodeId(0)).rdma.qp_count();
+        let sub = f.open_subchannel(conn).unwrap();
+        // No new QP state was created on either side.
+        assert_eq!(f.node(NodeId(0)).rdma.qp_count(), qp_before);
+        assert_eq!(
+            f.qps(sub, Dir::AtoB).unwrap(),
+            f.qps(conn, Dir::AtoB).unwrap()
+        );
+        assert_eq!(
+            f.endpoints(sub, Dir::BtoA).unwrap(),
+            f.endpoints(conn, Dir::BtoA).unwrap()
+        );
+        // One-sided ops work through the sub-channel via the root's QPs.
+        let d = f
+            .rdma_write(
+                SimTime::ZERO,
+                sub,
+                Dir::AtoB,
+                rkey,
+                addr,
+                Bytes::from_static(b"sub"),
+            )
+            .unwrap();
+        assert!(d.at > SimTime::ZERO);
+        assert_eq!(f.conn_ops(sub), 1);
+        assert_eq!(f.conn_ops(conn), 0);
+        // A sub-channel of a sub-channel collapses to the same root.
+        let sub2 = f.open_subchannel(sub).unwrap();
+        assert_eq!(
+            f.qps(sub2, Dir::AtoB).unwrap(),
+            f.qps(conn, Dir::AtoB).unwrap()
+        );
     }
 
     #[test]

@@ -434,6 +434,14 @@ impl DfsFioWorld {
         self.client.reset_timing();
     }
 
+    /// Routes data I/O through the client's submission/completion ring —
+    /// the `iodepth > 1` configuration the `fig_qd` sweep measures. Off
+    /// (the default) keeps the serial client path bit-identical to the
+    /// legacy sweeps.
+    pub fn set_pipelined(&mut self, on: bool) {
+        self.dfs.set_data_pipeline(on);
+    }
+
     /// The preconditioned file handles (one per job).
     pub fn file(&self, job: usize) -> &DfsObj {
         &self.files[job]

@@ -303,6 +303,13 @@ impl RdmaDevice {
         self.qps.get(&qp).map(|q| q.state)
     }
 
+    /// Number of QPs currently allocated on this device. RC connection
+    /// state is the scarce on-NIC resource (ICM cache), so clients are
+    /// expected to keep this O(peers), not O(jobs × peers).
+    pub fn qp_count(&self) -> usize {
+        self.qps.len()
+    }
+
     /// The QP's protection domain.
     pub fn qp_pd(&self, qp: QpId) -> Option<PdId> {
         self.qps.get(&qp).map(|q| q.pd)

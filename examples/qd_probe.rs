@@ -1,0 +1,50 @@
+//! Dev probe: QD scaling of the client with the op ring off (serial) and
+//! on (pipelined), host + DPU arms.
+use ros2_dpu::DpuTenantSpec;
+use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
+use ros2_hw::{ClientPlacement, Transport};
+use ros2_nvme::DataMode;
+use ros2_sim::SimDuration;
+
+fn main() {
+    let region: u64 = 16 << 20;
+    for pipelined in [false, true] {
+        println!("--- pipelined = {pipelined} ---");
+        for bs in [4096u64, 1 << 20] {
+            for qd in [1usize, 2, 4, 8, 16, 32] {
+                let spec = JobSpec::new(RwMode::RandRead, bs, 1)
+                    .iodepth(qd)
+                    .region(region)
+                    .windows(SimDuration::from_millis(50), SimDuration::from_millis(150));
+                let mut host = DfsFioWorld::new(
+                    Transport::Rdma,
+                    ClientPlacement::Host,
+                    1,
+                    1,
+                    region,
+                    DataMode::Null,
+                );
+                host.set_pipelined(pipelined);
+                let h = run_fio(&mut host, &spec);
+                let mut dpu = DfsFioWorld::offloaded(
+                    Transport::Rdma,
+                    1,
+                    1,
+                    region,
+                    DataMode::Null,
+                    vec![DpuTenantSpec::unlimited("fio")],
+                );
+                dpu.set_pipelined(pipelined);
+                let d = run_fio(&mut dpu, &spec);
+                println!(
+                    "bs={:>7} qd={:>2}  host {:>8.1} MiB/s  dpu {:>8.1} MiB/s  ratio {:.3}",
+                    bs,
+                    qd,
+                    h.gib_per_sec() * 1024.0,
+                    d.gib_per_sec() * 1024.0,
+                    d.gib_per_sec() / h.gib_per_sec().max(1e-12)
+                );
+            }
+        }
+    }
+}
