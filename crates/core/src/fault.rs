@@ -1,0 +1,110 @@
+//! Fault-injection plans for the pipelined client's recovery ladder.
+//!
+//! A [`FaultPlan`] is a declarative chaos schedule: which engines die and
+//! when (in client-op counts, so the kill lands mid-flight regardless of
+//! the workload's timing), which connections silently eat traffic, how
+//! slow a "slow" engine is, and — the heart of the map race — how long a
+//! RAS membership event takes to *reach* each client stack. Everything in
+//! the plan is deterministic: the same plan against the same workload
+//! replays bit-identically, which is what lets the chaos property suite
+//! compare whole runs for equality.
+//!
+//! The empty plan ([`FaultPlan::none`], also `Default`) is the pinned
+//! baseline: with no faults scheduled, every client's cached map equals
+//! the live map, no fence ever fires, and all pre-existing results are
+//! bit-identical to the fault-oblivious code.
+
+use ros2_sim::SimDuration;
+
+/// One scheduled engine kill, triggered by client progress rather than
+/// wall-clock: the kill fires when the client stack has issued
+/// `after_client_ops` data-plane ops, so it lands between submissions of
+/// a pipelined queue ("mid-flight") deterministically.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledKill {
+    /// Fire once the client's op counter reaches this value.
+    pub after_client_ops: u64,
+    /// The engine slot to kill.
+    pub slot: usize,
+}
+
+/// One slow-engine injection: `slot` still answers every request, just
+/// `extra` later — the "engine slow" arm of the timeout classifier.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EngineStall {
+    /// The slot to slow down.
+    pub slot: usize,
+    /// Extra service latency added to every completion.
+    pub extra: SimDuration,
+}
+
+/// A deterministic chaos schedule threaded through `Ros2System` and the
+/// cluster FIO world.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// How long a RAS membership event takes to reach the client stack
+    /// after the kill commits. Zero means delivery at the kill instant
+    /// (still applied only when the client next polls its mailbox — the
+    /// push is asynchronous even when it is fast).
+    pub ras_delay: SimDuration,
+    /// Engine kills, fired by client-op progress. Kills fire in order;
+    /// because only one unrebuilt failure may be outstanding, a second
+    /// kill before a rebuild is a plan error surfaced at fire time.
+    pub kills: Vec<ScheduledKill>,
+    /// Connections to black-hole from launch: the engine stays Up in the
+    /// map but requests to it vanish, detectable only by deadline expiry.
+    pub blackholes: Vec<usize>,
+    /// Slow engines, applied from launch.
+    pub stalls: Vec<EngineStall>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no kills, no black holes, no stalls, immediate RAS
+    /// delivery. Behaviour under this plan is pinned bit-identical to the
+    /// fault-oblivious system.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.ras_delay == SimDuration::ZERO
+            && self.kills.is_empty()
+            && self.blackholes.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Convenience: a single mid-flight kill of `slot` after
+    /// `after_client_ops` ops, with RAS delivery delayed by `ras_delay`.
+    pub fn kill_after(slot: usize, after_client_ops: u64, ras_delay: SimDuration) -> Self {
+        FaultPlan {
+            ras_delay,
+            kills: vec![ScheduledKill {
+                after_client_ops,
+                slot,
+            }],
+            ..FaultPlan::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(FaultPlan::default().is_empty());
+        let plan = FaultPlan::kill_after(1, 4, SimDuration::from_micros(500));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.kills.len(), 1);
+        assert_eq!(plan.kills[0].slot, 1);
+        // Delay alone is an injection too: it changes when deliveries land.
+        let delay_only = FaultPlan {
+            ras_delay: SimDuration::from_micros(1),
+            ..FaultPlan::default()
+        };
+        assert!(!delay_only.is_empty());
+    }
+}

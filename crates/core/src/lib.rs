@@ -23,8 +23,10 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod system;
 
+pub use fault::{EngineStall, FaultPlan, ScheduledKill};
 pub use system::{
     ClientStack, ClusterConfig, Ros2Config, Ros2Error, Ros2System, SystemMetrics, Timed,
     CLIENT_NODE, STORAGE_NODE,

@@ -19,7 +19,8 @@ use bytes::Bytes;
 use ros2_ctl::{ControlError, ControlRequest, ControlResponse};
 use ros2_daos::{
     AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, DaosError,
-    EngineCluster, Epoch, ObjectClient, ObjectId, RebuildStats, ValueKind,
+    EngineCluster, Epoch, MapSnapshot, ObjectClient, ObjectId, RebuildStats, RetryPolicy,
+    RetryStats, ValueKind,
 };
 use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
 use ros2_dpu::{
@@ -31,6 +32,8 @@ use ros2_hw::{ClientPlacement, ClusterTopology, CoreClass, Transport};
 use ros2_nvme::DataMode;
 use ros2_sim::{ResourceStats, SimDuration, SimTime};
 use ros2_verbs::{MemoryDomain, NodeId, PdId};
+
+use crate::fault::FaultPlan;
 
 /// The deployment's scale-out shape: how many DAOS engines (one per
 /// storage node behind the shared switch) and how many replicas each
@@ -192,6 +195,47 @@ impl ClientStack {
         }
     }
 
+    /// Delivers a RAS map snapshot to the stack's cached map(s) at `at` —
+    /// under DPU placement the offloaded lanes all hear the delivery.
+    pub fn deliver_map(&mut self, at: SimTime, snap: MapSnapshot) {
+        match self {
+            ClientStack::Host { client, .. } => client.deliver_map(at, snap),
+            ClientStack::Dpu(c) => c.deliver_map(at, snap),
+        }
+    }
+
+    /// Installs `snap` immediately (the authoritative `MapQuery` reply).
+    pub fn sync_map(&mut self, snap: MapSnapshot) {
+        match self {
+            ClientStack::Host { client, .. } => client.sync_map(snap),
+            ClientStack::Dpu(c) => c.sync_map(snap),
+        }
+    }
+
+    /// Recovery-ladder counters across the stack (all DPU lanes merged).
+    pub fn retry_stats(&self) -> RetryStats {
+        match self {
+            ClientStack::Host { client, .. } => client.retry_stats(),
+            ClientStack::Dpu(c) => c.retry_stats(),
+        }
+    }
+
+    /// Sets the recovery-ladder policy on every client in the stack.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        match self {
+            ClientStack::Host { client, .. } => client.set_retry_policy(policy),
+            ClientStack::Dpu(c) => c.set_retry_policy(policy),
+        }
+    }
+
+    /// Earliest instant an op completed on a retry attempt.
+    pub fn first_successful_retry(&self) -> Option<SimTime> {
+        match self {
+            ClientStack::Host { client, .. } => client.first_successful_retry(),
+            ClientStack::Dpu(c) => c.first_successful_retry(),
+        }
+    }
+
     /// The DPU agent (control termination, DRAM pool, inline services).
     pub fn agent(&self) -> &DpuAgent {
         match self {
@@ -326,6 +370,9 @@ pub struct Ros2System {
     pub dfs: Dfs,
     session: u64,
     clock: SimTime,
+    faults: FaultPlan,
+    /// Index of the next unfired entry in `faults.kills`.
+    next_kill: usize,
 }
 
 impl Ros2System {
@@ -496,6 +543,8 @@ impl Ros2System {
             dfs,
             session,
             clock,
+            faults: FaultPlan::none(),
+            next_kill: 0,
         })
     }
 
@@ -538,9 +587,93 @@ impl Ros2System {
             },
             |_, _| ControlResponse::Ok,
         );
+        // The new map is *delivered* to the client stack's cache after the
+        // plan's RAS delay — until the delivery lands (and is polled), the
+        // pipelined client keeps routing by the stale revision and relies
+        // on engine fencing plus the retry ladder to recover.
+        let snap = self.cluster.snapshot_map();
+        self.client.deliver_map(t + self.faults.ras_delay, snap);
         res.map_err(Ros2Error::Control)?;
         self.tick(t);
         Ok(version)
+    }
+
+    /// Installs a fault plan: black holes and stalls apply immediately;
+    /// kills arm against the client-op counter and fire from inside
+    /// [`Self::write`]/[`Self::read`] once the threshold is crossed, so a
+    /// scheduled kill lands mid-workload without the caller orchestrating
+    /// it. RAS deliveries triggered by those kills (and by explicit
+    /// [`Self::kill_engine`] calls) reach the client stack `ras_delay`
+    /// late.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for &slot in &plan.blackholes {
+            self.cluster.set_blackhole(slot, true);
+        }
+        for stall in &plan.stalls {
+            self.cluster.set_stall(stall.slot, stall.extra);
+        }
+        self.faults = plan;
+        self.next_kill = 0;
+    }
+
+    /// The installed fault plan (empty by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Fires any armed kills whose client-op threshold has been crossed.
+    fn fire_due_kills(&mut self) -> Result<(), Ros2Error> {
+        while self.next_kill < self.faults.kills.len() {
+            let kill = self.faults.kills[self.next_kill];
+            if self.client.ops() < kill.after_client_ops {
+                break;
+            }
+            self.next_kill += 1;
+            self.kill_engine(kill.slot)?;
+        }
+        Ok(())
+    }
+
+    /// An explicit `MapQuery` control round-trip: the client stack asks
+    /// the control plane for the current pool map and installs the reply
+    /// authoritatively (no delivery delay — the caller is blocked on the
+    /// answer). Returns the fetched revision.
+    pub fn map_query(&mut self) -> Result<u64, Ros2Error> {
+        let snap = self.cluster.snapshot_map();
+        let version = snap.version();
+        let healths: Vec<u8> = snap
+            .map()
+            .members()
+            .iter()
+            .map(|m| u8::from(m.health == ros2_daos::EngineHealth::Up))
+            .collect();
+        let pending = snap.pending_dead().map(|s| s as u32).unwrap_or(u32::MAX);
+        let now = self.clock;
+        let session = self.session;
+        let (t, res) = self.client.agent_mut().host_call(
+            now,
+            Some(session),
+            ControlRequest::MapQuery,
+            move |_, _| ControlResponse::MapUpdate {
+                version,
+                healths: Bytes::from(healths.clone()),
+                pending_dead: pending,
+            },
+        );
+        res.map_err(Ros2Error::Control)?;
+        self.client.sync_map(snap);
+        self.tick(t);
+        Ok(version)
+    }
+
+    /// Recovery-ladder counters across the whole client stack.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.client.retry_stats()
+    }
+
+    /// Total stale-map fences observed across the cluster's engines.
+    pub fn fences(&self) -> u64 {
+        self.cluster.fences()
     }
 
     /// Online rebuild of the pending engine failure: surviving replicas
@@ -663,6 +796,7 @@ impl Ros2System {
         };
         let t = self.dfs.write(&mut s, start, job, file, offset, data)?;
         self.tick(t);
+        self.fire_due_kills()?;
         Ok(Timed {
             value: (),
             latency: t.saturating_since(now),
@@ -700,6 +834,7 @@ impl Ros2System {
             ClientStack::Dpu(_) => t,
         };
         self.tick(t);
+        self.fire_due_kills()?;
         Ok(Timed {
             value: data,
             latency: t.saturating_since(now),
@@ -818,6 +953,7 @@ impl Ros2System {
             control_calls: self.client.agent().control_calls.get(),
             inline_bytes: self.client.agent().serviced_bytes.get(),
             violations: self.fabric.node(CLIENT_NODE).rdma.violations().total(),
+            retry: self.client.retry_stats(),
         }
     }
 }
@@ -856,4 +992,6 @@ pub struct SystemMetrics {
     pub inline_bytes: u64,
     /// Security violations observed at the client NIC.
     pub violations: u64,
+    /// Recovery-ladder counters across the client stack.
+    pub retry: RetryStats,
 }

@@ -21,14 +21,21 @@ pub struct ControlModel {
     pub rtt: SimDuration,
     /// Serialization cost per payload byte (ps/B), both directions.
     pub ps_per_byte: u64,
+    /// How long a caller waits for a reply before declaring the peer
+    /// wedged and giving up with [`ControlError::Timeout`] — a call
+    /// against a stalled endpoint costs exactly this long, never forever.
+    pub deadline: SimDuration,
 }
 
 impl ControlModel {
-    /// Default gRPC-over-management-network calibration (~150 µs RTT).
+    /// Default gRPC-over-management-network calibration (~150 µs RTT),
+    /// with a generous 25 ms deadline (management traffic crosses a
+    /// kernel TCP stack with real scheduling jitter).
     pub fn grpc_default() -> Self {
         ControlModel {
             rtt: SimDuration::from_micros(150),
             ps_per_byte: 900,
+            deadline: SimDuration::from_millis(25),
         }
     }
 
@@ -36,11 +43,14 @@ impl ControlModel {
     /// pays per offloaded data-plane op. Unlike the management gRPC channel
     /// it crosses only the PCIe link between the host CPU and the
     /// BlueField-3 (shared queue pair + doorbell write, completion polled
-    /// from host-visible memory), so the round trip is ~2 µs, not ~150 µs.
+    /// from host-visible memory), so the round trip is ~2 µs, not ~150 µs —
+    /// and a 200 µs deadline bounds how long a host poll can spin on a
+    /// wedged lane.
     pub fn host_doorbell() -> Self {
         ControlModel {
             rtt: SimDuration::from_micros(2),
             ps_per_byte: 120,
+            deadline: SimDuration::from_micros(200),
         }
     }
 }
@@ -54,6 +64,10 @@ pub enum ControlError {
     AuthFailed,
     /// The session was closed.
     SessionClosed,
+    /// No reply arrived within [`ControlModel::deadline`] — the peer (or
+    /// its lane) is wedged. The caller observes a bounded wait, never an
+    /// infinite spin.
+    Timeout,
 }
 
 /// One live session's state.
@@ -78,6 +92,9 @@ pub struct ControlChannel {
     /// A registry of acceptable tenant credentials (tenant → digest).
     credentials: HashMap<String, Bytes>,
     calls_total: u64,
+    /// Fault injection: sessions whose servicing endpoint is wedged —
+    /// calls against them never get a reply and fail at the deadline.
+    stalled: std::collections::HashSet<u64>,
 }
 
 impl ControlChannel {
@@ -89,7 +106,24 @@ impl ControlChannel {
             rng,
             credentials: HashMap::new(),
             calls_total: 0,
+            stalled: std::collections::HashSet::new(),
         }
+    }
+
+    /// Fault injection: wedges (or revives) the endpoint servicing
+    /// `token`'s calls. While wedged, every call on the session burns the
+    /// model deadline and returns [`ControlError::Timeout`].
+    pub fn set_stalled(&mut self, token: u64, on: bool) {
+        if on {
+            self.stalled.insert(token);
+        } else {
+            self.stalled.remove(&token);
+        }
+    }
+
+    /// Whether `token`'s servicing endpoint is currently wedged.
+    pub fn is_stalled(&self, token: u64) -> bool {
+        self.stalled.contains(&token)
     }
 
     /// Registers a tenant credential (provisioning).
@@ -173,6 +207,15 @@ impl ControlChannel {
         F: FnOnce(&str, &ControlRequest) -> ControlResponse,
     {
         let encoded = req.encode();
+        if let Some(token) = session {
+            if self.stalled.contains(&token) {
+                // The request went out but the wedged peer never answers:
+                // the caller eats exactly one deadline, not an infinite
+                // spin, and sees a typed timeout.
+                self.calls_total += 1;
+                return (now + self.model.deadline, Err(ControlError::Timeout));
+            }
+        }
         match self.admit(session, &req) {
             Err(e) => {
                 let resp = ControlResponse::Error {
@@ -281,6 +324,26 @@ mod tests {
             |_, _| ControlResponse::Ok,
         );
         assert_eq!(res.unwrap_err(), ControlError::SessionClosed);
+    }
+
+    #[test]
+    fn stalled_session_times_out_at_the_deadline() {
+        let mut c = channel();
+        let (_, res) = c.call(SimTime::ZERO, None, hello(), |_, _| ControlResponse::Ok);
+        let token = res.unwrap().0;
+        c.set_stalled(token, true);
+        let t0 = SimTime::from_micros(10);
+        let (done, res) = c.call(t0, Some(token), ControlRequest::IoPoll, |_, _| {
+            panic!("a wedged endpoint must never service the call")
+        });
+        assert_eq!(res.unwrap_err(), ControlError::Timeout);
+        assert_eq!(done, t0 + ControlModel::grpc_default().deadline);
+        // Reviving the endpoint restores normal service.
+        c.set_stalled(token, false);
+        let (_, res) = c.call(t0, Some(token), ControlRequest::IoPoll, |_, _| {
+            ControlResponse::IoDone { ops: 0, retries: 0 }
+        });
+        assert!(res.is_ok());
     }
 
     #[test]

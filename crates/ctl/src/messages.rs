@@ -98,6 +98,11 @@ pub enum ControlRequest {
         /// The bumped pool-map revision.
         map_version: u64,
     },
+    /// Explicit pool-map pull: a client whose request was fenced with a
+    /// stale-map error (or whose RAS stream is lagging) asks the control
+    /// plane for the authoritative current map. Answered with
+    /// [`ControlResponse::MapUpdate`].
+    MapQuery,
 }
 
 /// Control-plane responses.
@@ -134,6 +139,23 @@ pub enum ControlResponse {
     IoDone {
         /// I/Os reaped by this call.
         ops: u32,
+        /// Recovery-ladder re-stages the DPU performed on the host's
+        /// behalf while completing those I/Os (surfaced so the host can
+        /// account retry behavior without owning the data plane).
+        retries: u32,
+    },
+    /// The authoritative pool map, answering [`ControlRequest::MapQuery`]
+    /// (and carried by asynchronously delivered RAS pushes): the revision,
+    /// one health byte per slot (1 = up), and the slot of an unrebuilt
+    /// kill (`u32::MAX` = none) so the receiver can reconstruct degraded
+    /// routing exactly.
+    MapUpdate {
+        /// The map revision.
+        version: u64,
+        /// Per-slot health, one byte per pool-map slot (1 = up).
+        healths: Bytes,
+        /// Slot of an unrebuilt kill, or `u32::MAX` for none.
+        pending_dead: u32,
     },
 }
 
@@ -181,6 +203,9 @@ impl ControlRequest {
             } => {
                 w.u8(10).u32(*engine).u64(*map_version);
             }
+            ControlRequest::MapQuery => {
+                w.u8(11);
+            }
         }
         w.finish()
     }
@@ -217,6 +242,7 @@ impl ControlRequest {
                 engine: r.u32()?,
                 map_version: r.u64()?,
             },
+            11 => ControlRequest::MapQuery,
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -251,8 +277,15 @@ impl ControlResponse {
             ControlResponse::Error { reason } => {
                 w.u8(6).string(reason);
             }
-            ControlResponse::IoDone { ops } => {
-                w.u8(7).u32(*ops);
+            ControlResponse::IoDone { ops, retries } => {
+                w.u8(7).u32(*ops).u32(*retries);
+            }
+            ControlResponse::MapUpdate {
+                version,
+                healths,
+                pending_dead,
+            } => {
+                w.u8(8).u64(*version).blob(healths).u32(*pending_dead);
             }
         }
         w.finish()
@@ -280,7 +313,15 @@ impl ControlResponse {
             6 => ControlResponse::Error {
                 reason: r.string()?,
             },
-            7 => ControlResponse::IoDone { ops: r.u32()? },
+            7 => ControlResponse::IoDone {
+                ops: r.u32()?,
+                retries: r.u32()?,
+            },
+            8 => ControlResponse::MapUpdate {
+                version: r.u64()?,
+                healths: r.blob()?,
+                pending_dead: r.u32()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -334,6 +375,7 @@ mod tests {
             engine: 3,
             map_version: 17,
         });
+        round_trip_req(ControlRequest::MapQuery);
     }
 
     #[test]
@@ -358,7 +400,15 @@ mod tests {
         round_trip_resp(ControlResponse::Error {
             reason: "no such pool".into(),
         });
-        round_trip_resp(ControlResponse::IoDone { ops: 32 });
+        round_trip_resp(ControlResponse::IoDone {
+            ops: 32,
+            retries: 2,
+        });
+        round_trip_resp(ControlResponse::MapUpdate {
+            version: 3,
+            healths: Bytes::from_static(&[1, 0, 1, 1]),
+            pending_dead: 1,
+        });
     }
 
     #[test]

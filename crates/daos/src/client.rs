@@ -30,8 +30,9 @@ use ros2_hw::{CoreClass, Transport};
 use ros2_sim::{ResourceStats, ServerPool, SimDuration, SimTime};
 use ros2_verbs::{AccessFlags, Expiry, MemAddr, MemoryDomain, MrId, NodeId, PdId, RKey};
 
-use crate::cluster::EngineCluster;
+use crate::cluster::{EngineCluster, MapSnapshot};
 use crate::engine::{TargetOp, TargetOpResult, ValueKind};
+use crate::pipeline::{RetryPolicy, RetryStats};
 use crate::types::{AKey, DKey, DaosCostModel, DaosError, Epoch, ObjectId};
 
 /// RPC descriptor size on the wire (OBJ_UPDATE/OBJ_FETCH header).
@@ -86,6 +87,23 @@ pub struct DaosClient {
     ///
     /// [`OpRing`]: crate::pipeline::OpRing
     force_serial_pipeline: bool,
+    /// The client's cached pool-map snapshot — the *only* routing source
+    /// for the pipelined ring, so membership changes genuinely race
+    /// in-flight ops. `None` until first use (bootstrapped from the
+    /// cluster, modeling the `PoolConnect` handshake's map download).
+    map_cache: Option<MapSnapshot>,
+    /// An asynchronously *delivered* RAS map push that has not arrived
+    /// yet: `(delivery instant, snapshot)`. Applied by
+    /// [`Self::poll_map`] once the clock passes the instant — the
+    /// delivery delay is a fault-injectable parameter, not zero.
+    pending_map: Option<(SimTime, MapSnapshot)>,
+    /// Recovery-ladder counters for the pipelined ring.
+    pub(crate) retry: RetryStats,
+    /// Deadlines / backoff / budget for the ring's recovery ladder.
+    retry_policy: RetryPolicy,
+    /// The instant the first re-staged leg completed successfully —
+    /// time-to-first-successful-retry, the headline chaos metric.
+    first_retry_ok: Option<SimTime>,
 }
 
 impl DaosClient {
@@ -266,6 +284,11 @@ impl DaosClient {
             transport,
             ops: 0,
             force_serial_pipeline: false,
+            map_cache: None,
+            pending_map: None,
+            retry: RetryStats::default(),
+            retry_policy: RetryPolicy::default(),
+            first_retry_ok: None,
         })
     }
 
@@ -282,6 +305,102 @@ impl DaosClient {
     /// Whether the forced-serial pipeline drain is active.
     pub fn force_serial_pipeline(&self) -> bool {
         self.force_serial_pipeline
+    }
+
+    /// Installs a map snapshot into the cache if it is newer than what the
+    /// client holds (out-of-order deliveries are ignored). A pending
+    /// delayed delivery superseded by this snapshot is dropped.
+    pub fn sync_map(&mut self, snap: MapSnapshot) {
+        let newer = self
+            .map_cache
+            .as_ref()
+            .is_none_or(|c| snap.version() > c.version());
+        if newer {
+            if let Some((_, p)) = &self.pending_map {
+                if p.version() <= snap.version() {
+                    self.pending_map = None;
+                }
+            }
+            self.map_cache = Some(snap);
+        }
+    }
+
+    /// Schedules an asynchronous RAS map delivery: `snap` becomes visible
+    /// to the client only once the clock reaches `at` (see
+    /// [`Self::poll_map`]). If a delivery is already pending the newer
+    /// snapshot wins — RAS streams are cumulative, the last revision
+    /// subsumes the rest.
+    pub fn deliver_map(&mut self, at: SimTime, snap: MapSnapshot) {
+        match &self.pending_map {
+            Some((_, p)) if p.version() >= snap.version() => {}
+            _ => self.pending_map = Some((at, snap)),
+        }
+    }
+
+    /// Applies any due delayed delivery and bootstraps the cache on first
+    /// use (the `PoolConnect` handshake downloads the then-current map).
+    /// Called by the ring at every submission instant.
+    pub(crate) fn poll_map(&mut self, now: SimTime, cluster: &EngineCluster) {
+        if let Some((at, _)) = &self.pending_map {
+            if now >= *at {
+                let (_, snap) = self.pending_map.take().expect("pending delivery");
+                self.sync_map(snap);
+            }
+        }
+        if self.map_cache.is_none() {
+            self.map_cache = Some(cluster.snapshot_map());
+        }
+    }
+
+    /// The cached snapshot. Panics if [`Self::poll_map`] has never run —
+    /// the ring always polls before routing.
+    pub(crate) fn cached_map(&self) -> &MapSnapshot {
+        self.map_cache.as_ref().expect("map cache bootstrapped")
+    }
+
+    /// The cached map revision, if a snapshot has been installed.
+    pub fn cache_version(&self) -> Option<u64> {
+        self.map_cache.as_ref().map(|c| c.version())
+    }
+
+    /// The recovery ladder's reactive refresh — the `MapQuery` control
+    /// round-trip. Always returns the authoritative current state and
+    /// cancels any pending delayed delivery (it can only be older).
+    pub(crate) fn refresh_map(&mut self, cluster: &EngineCluster) {
+        self.retry.map_refreshes += 1;
+        self.pending_map = None;
+        self.map_cache = Some(cluster.snapshot_map());
+    }
+
+    /// Recovery-ladder counters accumulated by the pipelined ring.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry
+    }
+
+    /// Replaces the ring's recovery-ladder policy (deadline, backoff
+    /// bounds, retry budget, refresh RTT).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// The active recovery-ladder policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry_policy
+    }
+
+    /// The instant the first re-staged leg completed successfully, if any
+    /// retry has succeeded — time-to-first-successful-retry.
+    pub fn first_successful_retry(&self) -> Option<SimTime> {
+        self.first_retry_ok
+    }
+
+    /// Records a successful retry completion (the ring reports the
+    /// earliest one).
+    pub(crate) fn note_retry_success(&mut self, at: SimTime) {
+        self.first_retry_ok = Some(match self.first_retry_ok {
+            Some(t) => t.min(at),
+            None => at,
+        });
     }
 
     /// The node this client runs on.

@@ -35,7 +35,7 @@
 use std::collections::HashMap;
 
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
-use ros2_sim::SimTime;
+use ros2_sim::{SimDuration, SimTime};
 use ros2_verbs::{NodeId, PdId};
 
 use crate::engine::DaosEngine;
@@ -67,7 +67,7 @@ pub struct PoolMember {
 /// The versioned cluster membership map. Pure placement state — the live
 /// engines themselves live in [`EngineCluster`] — so the property suite
 /// can drive maps through arbitrary transitions without building storage.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PoolMap {
     version: u64,
     members: Vec<PoolMember>,
@@ -205,6 +205,15 @@ impl PoolMap {
         self.members.len() - 1
     }
 
+    /// Bumps the revision without a membership change — the
+    /// rebuild-complete transition. Routing changes at that instant (the
+    /// pre-kill-survivor override ends and the HRW backfill member joins
+    /// the set), so clients holding the pre-rebuild revision must be
+    /// fenced into a refresh like any other map race.
+    pub fn note_rebuilt(&mut self) {
+        self.version += 1;
+    }
+
     /// Marks `slot` down. Returns the new revision; `Err` if the slot is
     /// unknown or already down.
     pub fn kill(&mut self, slot: usize) -> Result<u64, DaosError> {
@@ -267,6 +276,73 @@ impl PoolMap {
     }
 }
 
+/// The one routing rule, shared verbatim by the live cluster and every
+/// client-side cached snapshot: while a kill awaits rebuild, affected
+/// objects route to the pre-kill *survivors* (the members guaranteed to
+/// hold the data); otherwise placement is the plain HRW replica set.
+/// Returns the set plus whether the object has lost redundancy (a
+/// degraded route).
+fn route_in(
+    map: &PoolMap,
+    pending_dead: Option<usize>,
+    rf: usize,
+    oid: &ObjectId,
+) -> (ReplicaSet, bool) {
+    if let Some(dead) = pending_dead {
+        let pre = map.replica_set_with(oid, rf, Some(dead));
+        if pre.contains(dead) {
+            return (pre.without(dead), true);
+        }
+    }
+    (map.replica_set(oid, rf), false)
+}
+
+/// A client-side copy of the routing state: the versioned [`PoolMap`]
+/// plus the pending-kill marker and the pool's replication factor.
+///
+/// Every client stack caches one of these and resolves routes from it —
+/// *not* from the live map — so a membership change genuinely races
+/// in-flight I/O. The cache is refreshed only by an explicit
+/// `MapQuery` control round-trip or an asynchronously *delivered* RAS
+/// event (delivery delay is a fault-injectable parameter, not zero);
+/// engines fence requests stamped with an older revision
+/// ([`DaosError::StaleMap`]) so a stale client can never act on a
+/// misroute silently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapSnapshot {
+    map: PoolMap,
+    pending_dead: Option<usize>,
+    rf: usize,
+}
+
+impl MapSnapshot {
+    /// The snapshot's map revision.
+    pub fn version(&self) -> u64 {
+        self.map.version()
+    }
+
+    /// The snapshotted membership map.
+    pub fn map(&self) -> &PoolMap {
+        &self.map
+    }
+
+    /// The unrebuilt kill this snapshot routes around, if any.
+    pub fn pending_dead(&self) -> Option<usize> {
+        self.pending_dead
+    }
+
+    /// The object's routing set under this snapshot plus whether the
+    /// route is degraded — the same pure rule the live cluster applies.
+    pub fn route(&self, oid: &ObjectId) -> (ReplicaSet, bool) {
+        route_in(&self.map, self.pending_dead, self.rf, oid)
+    }
+
+    /// The replica set an update fans out to under this snapshot.
+    pub fn route_update(&self, oid: &ObjectId) -> ReplicaSet {
+        self.route(oid).0
+    }
+}
+
 /// Counters for the redundancy machinery, reported alongside the
 /// `ResourceStats` / `DataPlaneStats` / `DpuStats` families.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -310,6 +386,13 @@ pub struct EngineCluster {
     /// Lazily-opened storage-node-to-storage-node rebuild connections.
     rebuild_conns: HashMap<(usize, usize), ConnId>,
     rebuild_pds: HashMap<u32, PdId>,
+    /// Fault injection: a black-holed slot is alive in the map but its
+    /// connection silently eats traffic — clients only discover it by
+    /// deadline expiry, never by an error reply.
+    blackholed: Vec<bool>,
+    /// Fault injection: per-slot added service latency (a slow engine).
+    /// Unlike a blackhole the op still completes — just late.
+    stalls: Vec<SimDuration>,
 }
 
 fn map_fabric(e: FabricError) -> DaosError {
@@ -326,7 +409,8 @@ impl EngineCluster {
             (1..=MAX_RF).contains(&replication_factor),
             "replication factor must be in 1..={MAX_RF}"
         );
-        EngineCluster {
+        let n = engines.len();
+        let mut cluster = EngineCluster {
             engines,
             map: PoolMap::new(nodes),
             rf: replication_factor,
@@ -334,6 +418,22 @@ impl EngineCluster {
             stats: RebuildStats::default(),
             rebuild_conns: HashMap::new(),
             rebuild_pds: HashMap::new(),
+            blackholed: vec![false; n],
+            stalls: vec![SimDuration::ZERO; n],
+        };
+        cluster.push_map_to_engines();
+        cluster
+    }
+
+    /// Hands every engine the authoritative map (plus its own slot and the
+    /// pool RF) so it can fence stale-stamped and misrouted requests.
+    /// Engines learn map revisions only through this push — exactly at
+    /// membership-change instants, never lazily.
+    fn push_map_to_engines(&mut self) {
+        let map = self.map.clone();
+        let rf = self.rf;
+        for (slot, e) in self.engines.iter_mut().enumerate() {
+            e.observe_map(&map, slot, rf);
         }
     }
 
@@ -472,13 +572,32 @@ impl EngineCluster {
     /// members guaranteed to hold the data — and the HRW backfill member
     /// joins the set only once [`Self::rebuild`] has re-replicated onto it.
     fn route(&self, oid: &ObjectId) -> (ReplicaSet, bool) {
-        if let Some(dead) = self.pending_dead {
-            let pre = self.map.replica_set_with(oid, self.rf, Some(dead));
-            if pre.contains(dead) {
-                return (pre.without(dead), true);
-            }
+        route_in(&self.map, self.pending_dead, self.rf, oid)
+    }
+
+    /// A client-cacheable copy of the current routing state. This is the
+    /// payload of a `MapQuery` reply and of a RAS delivery: once handed
+    /// out it never changes, so a client holding it genuinely races later
+    /// membership changes.
+    pub fn snapshot_map(&self) -> MapSnapshot {
+        MapSnapshot {
+            map: self.map.clone(),
+            pending_dead: self.pending_dead,
+            rf: self.rf,
         }
-        (self.map.replica_set(oid, self.rf), false)
+    }
+
+    /// Routes a fetch through a client's cached `snap` instead of the live
+    /// map, with the same degraded-read accounting as
+    /// [`Self::route_fetch`]: the cluster still observes the read (the
+    /// engines serve it), it just resolved the route from the client's
+    /// possibly-stale view.
+    pub fn route_fetch_snapshot(&mut self, snap: &MapSnapshot, oid: &ObjectId) -> ReplicaSet {
+        let (set, degraded) = snap.route(oid);
+        if degraded {
+            self.stats.degraded_fetches += 1;
+        }
+        set
     }
 
     /// The replica set an update must fan out to (every healthy member).
@@ -511,7 +630,43 @@ impl EngineCluster {
         }
         let version = self.map.kill(slot)?;
         self.pending_dead = Some(slot);
+        self.push_map_to_engines();
         Ok(version)
+    }
+
+    /// Fault injection: black-holes (or restores) the connection to
+    /// `slot`. The engine stays Up in the map — requests to it just
+    /// vanish, which clients can only detect by deadline expiry.
+    pub fn set_blackhole(&mut self, slot: usize, on: bool) {
+        self.blackholed[slot] = on;
+    }
+
+    /// Whether the connection to `slot` is black-holed.
+    pub fn blackholed(&self, slot: usize) -> bool {
+        self.blackholed[slot]
+    }
+
+    /// Whether a request sent to `slot` would get any reply at all:
+    /// the engine is up *and* its connection is not black-holed.
+    pub fn is_reachable(&self, slot: usize) -> bool {
+        self.is_up(slot) && !self.blackholed[slot]
+    }
+
+    /// Fault injection: adds `extra` service latency to every op `slot`
+    /// completes (a slow engine — completes late rather than never).
+    pub fn set_stall(&mut self, slot: usize, extra: SimDuration) {
+        self.stalls[slot] = extra;
+    }
+
+    /// The injected slow-engine stall for `slot` (zero when healthy).
+    pub fn stall(&self, slot: usize) -> SimDuration {
+        self.stalls[slot]
+    }
+
+    /// Total stale-map fences across engines (requests rejected with
+    /// [`DaosError::StaleMap`] rather than served).
+    pub fn fences(&self) -> u64 {
+        self.engines.iter().map(|e| e.fences()).sum()
     }
 
     /// Test/validation hook: forces serial batch execution on every engine
@@ -606,6 +761,13 @@ impl EngineCluster {
             }
         }
         self.pending_dead = None;
+        // Rebuild completion changes routing (the pre-kill-survivor
+        // override ends; the HRW backfill member joins the set) without a
+        // membership edit, so it gets its own revision bump and push —
+        // clients still holding the degraded-window map must be fenced
+        // into a refresh.
+        self.map.note_rebuilt();
+        self.push_map_to_engines();
         Ok(t_done)
     }
 

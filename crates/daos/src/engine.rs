@@ -20,6 +20,7 @@ use ros2_hw::{checksum_cost, CoreClass, LBA_SIZE};
 use ros2_sim::{ResourceStats, ServerPool, SimTime};
 use ros2_spdk::{BdevLayer, ShardBdev};
 
+use crate::cluster::PoolMap;
 use crate::types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, ObjClass, ObjectId,
 };
@@ -197,6 +198,17 @@ pub struct DaosEngine {
     /// shard walk so equivalence tests and A/B perf measurement can compare
     /// against the parallel fan-out.
     force_serial_batch: bool,
+    /// The newest map revision the control plane has pushed to this
+    /// engine (0 = never observed — fencing disabled, the pre-cluster
+    /// direct-drive shape).
+    map_version: u64,
+    /// The pushed map itself plus this engine's slot and the pool RF —
+    /// what the placement fence re-resolves routes against.
+    map_view: Option<(PoolMap, usize, usize)>,
+    /// Requests rejected with [`DaosError::StaleMap`] (stale stamp or
+    /// misrouted update). Fenced requests are *not* counted in
+    /// [`Self::rpcs`] — they never reach a target.
+    fences: u64,
 }
 
 /// One shard's slice of a batch fan-out: its VOS target, xstream pool,
@@ -236,6 +248,9 @@ impl DaosEngine {
             containers: HashMap::new(),
             rpcs: 0,
             force_serial_batch: false,
+            map_version: 0,
+            map_view: None,
+            fences: 0,
         }
     }
 
@@ -316,6 +331,42 @@ impl DaosEngine {
     /// Total RPCs processed.
     pub fn rpcs(&self) -> u64 {
         self.rpcs
+    }
+
+    /// Control-plane map push: the engine learns the authoritative map,
+    /// its own slot in it, and the pool RF. Monotonic — an older push
+    /// (out-of-order delivery) is ignored.
+    pub fn observe_map(&mut self, map: &PoolMap, slot: usize, rf: usize) {
+        if map.version() > self.map_version {
+            self.map_version = map.version();
+            self.map_view = Some((map.clone(), slot, rf));
+        }
+    }
+
+    /// The newest map revision this engine has been pushed (0 = never).
+    pub fn map_version(&self) -> u64 {
+        self.map_version
+    }
+
+    /// Requests this engine fenced with [`DaosError::StaleMap`].
+    pub fn fences(&self) -> u64 {
+        self.fences
+    }
+
+    /// The revision fence: a request stamped with an older map revision
+    /// than the engine has observed is rejected before it touches any
+    /// target — the client must refresh and re-resolve its route. A stamp
+    /// *newer* than the engine's view passes (the client can only have
+    /// gotten it from the control plane, so the route is at least as
+    /// fresh as the engine's own knowledge).
+    fn fence_version(&mut self, stamp: u64) -> Result<(), DaosError> {
+        if self.map_version > 0 && stamp < self.map_version {
+            self.fences += 1;
+            return Err(DaosError::StaleMap {
+                current: self.map_version,
+            });
+        }
+        Ok(())
     }
 
     /// Merged VOS stats across targets.
@@ -405,6 +456,58 @@ impl DaosEngine {
             op,
         )
         .into_fetch()
+    }
+
+    /// [`Self::update`] behind the map fence: the RPC descriptor carries
+    /// the client's cached `map_version` stamp, and the engine rejects it
+    /// when the stamp is stale — *and also* when the current map no longer
+    /// places this object on this engine (so no write ever lands on an
+    /// evicted replica, even if the client's stamp happens to be current).
+    /// Fenced requests don't count as RPCs and touch no target state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn update_versioned(
+        &mut self,
+        stamp: u64,
+        now: SimTime,
+        cont: &str,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        data: Bytes,
+    ) -> Result<SimTime, DaosError> {
+        self.fence_version(stamp)?;
+        if let Some((map, slot, rf)) = &self.map_view {
+            if !map.replica_set(&oid, *rf).contains(*slot) {
+                self.fences += 1;
+                return Err(DaosError::StaleMap {
+                    current: self.map_version,
+                });
+            }
+        }
+        self.update(now, cont, oid, dkey, akey, kind, epoch, data)
+    }
+
+    /// [`Self::fetch`] behind the revision fence. Reads are not placement-
+    /// fenced: during a degraded window the pre-kill survivors legitimately
+    /// serve objects the post-rebuild map will move off them, so only the
+    /// revision check applies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_versioned(
+        &mut self,
+        stamp: u64,
+        now: SimTime,
+        cont: &str,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime), DaosError> {
+        self.fence_version(stamp)?;
+        self.fetch(now, cont, oid, dkey, akey, kind, epoch, len)
     }
 
     /// Executes a batch of independent ops in one fan-out: ops are
@@ -861,5 +964,181 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, DaosError::ChecksumMismatch);
+    }
+
+    /// A 4-node map for the fencing tests, plus an oid placed on the
+    /// given slot under RF=1 and one placed elsewhere.
+    fn fence_fixture(slot: usize) -> (PoolMap, ObjectId, ObjectId) {
+        let map = PoolMap::new((1..=4).map(ros2_verbs::NodeId).collect());
+        let placed = (0..256u64)
+            .map(|i| ObjectId::new(ObjClass::S1, i))
+            .find(|o| map.replica_set(o, 1).leader() == Some(slot))
+            .expect("some oid lands on the slot");
+        let elsewhere = (0..256u64)
+            .map(|i| ObjectId::new(ObjClass::S1, i))
+            .find(|o| map.replica_set(o, 1).leader() != Some(slot))
+            .expect("some oid lands elsewhere");
+        (map, placed, elsewhere)
+    }
+
+    #[test]
+    fn stale_stamp_is_fenced_before_any_work() {
+        let mut e = engine(1);
+        let (mut map, placed, _) = fence_fixture(0);
+        e.observe_map(&map, 0, 1);
+        assert_eq!(e.map_version(), 1);
+        map.kill(3).unwrap();
+        e.observe_map(&map, 0, 1);
+        assert_eq!(e.map_version(), 2);
+
+        let epoch = e.next_epoch("cont0").unwrap();
+        let err = e
+            .update_versioned(
+                1, // the pre-kill revision
+                SimTime::ZERO,
+                "cont0",
+                placed,
+                DKey::from_u64(0),
+                AKey::from_str("a"),
+                ValueKind::Single,
+                epoch,
+                Bytes::from_static(b"x"),
+            )
+            .unwrap_err();
+        assert_eq!(err, DaosError::StaleMap { current: 2 });
+        let err = e
+            .fetch_versioned(
+                1,
+                SimTime::ZERO,
+                "cont0",
+                placed,
+                &DKey::from_u64(0),
+                &AKey::from_str("a"),
+                ValueKind::Single,
+                Epoch::LATEST,
+                1,
+            )
+            .unwrap_err();
+        assert_eq!(err, DaosError::StaleMap { current: 2 });
+        // Fenced requests never reach a target: they are not RPCs and the
+        // VOS saw nothing.
+        assert_eq!(e.rpcs(), 0);
+        assert_eq!(e.fences(), 2);
+        assert_eq!(e.vos_stats().sv_updates, 0);
+
+        // The current stamp passes the fence and does the work.
+        e.update_versioned(
+            2,
+            SimTime::ZERO,
+            "cont0",
+            placed,
+            DKey::from_u64(0),
+            AKey::from_str("a"),
+            ValueKind::Single,
+            epoch,
+            Bytes::from_static(b"x"),
+        )
+        .unwrap();
+        assert_eq!(e.rpcs(), 1);
+    }
+
+    #[test]
+    fn update_to_evicted_replica_is_fenced_even_with_current_stamp() {
+        let mut e = engine(1);
+        let (map, placed, elsewhere) = fence_fixture(0);
+        e.observe_map(&map, 0, 1);
+        let epoch = e.next_epoch("cont0").unwrap();
+        // The current map places `elsewhere` on a different slot: even a
+        // perfectly fresh stamp must not let the write land here.
+        let err = e
+            .update_versioned(
+                map.version(),
+                SimTime::ZERO,
+                "cont0",
+                elsewhere,
+                DKey::from_u64(0),
+                AKey::from_str("a"),
+                ValueKind::Single,
+                epoch,
+                Bytes::from_static(b"x"),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DaosError::StaleMap {
+                current: map.version()
+            }
+        );
+        assert_eq!(e.fences(), 1);
+        assert_eq!(e.rpcs(), 0);
+        // …while a correctly placed object writes fine, and reads of a
+        // misplaced object are NOT placement-fenced (degraded windows
+        // legitimately read from members the next map will rotate out).
+        e.update_versioned(
+            map.version(),
+            SimTime::ZERO,
+            "cont0",
+            placed,
+            DKey::from_u64(0),
+            AKey::from_str("a"),
+            ValueKind::Single,
+            epoch,
+            Bytes::from_static(b"x"),
+        )
+        .unwrap();
+        assert_eq!(e.rpcs(), 1);
+    }
+
+    #[test]
+    fn stamps_newer_than_the_engine_view_pass() {
+        let mut e = engine(1);
+        let (map, placed, _) = fence_fixture(0);
+        e.observe_map(&map, 0, 1);
+        let epoch = e.next_epoch("cont0").unwrap();
+        // A client can only have gotten a newer stamp from the control
+        // plane; the engine's own push just hasn't arrived yet.
+        e.update_versioned(
+            map.version() + 5,
+            SimTime::ZERO,
+            "cont0",
+            placed,
+            DKey::from_u64(0),
+            AKey::from_str("a"),
+            ValueKind::Single,
+            epoch,
+            Bytes::from_static(b"x"),
+        )
+        .unwrap();
+        // And an out-of-order (older) push does not regress the view.
+        let old = PoolMap::new((1..=4).map(ros2_verbs::NodeId).collect());
+        let v = e.map_version();
+        let mut newer = old.clone();
+        newer.kill(1).unwrap();
+        e.observe_map(&newer, 0, 1);
+        assert!(e.map_version() > v);
+        e.observe_map(&old, 0, 1);
+        assert_eq!(e.map_version(), newer.version(), "older push ignored");
+    }
+
+    #[test]
+    fn unobserved_engines_never_fence() {
+        // The pre-cluster direct-drive shape: no map was ever pushed, so
+        // versioned entry points behave exactly like the unversioned ones.
+        let mut e = engine(1);
+        let epoch = e.next_epoch("cont0").unwrap();
+        e.update_versioned(
+            0,
+            SimTime::ZERO,
+            "cont0",
+            ObjectId::new(ObjClass::S1, 1),
+            DKey::from_u64(0),
+            AKey::from_str("a"),
+            ValueKind::Single,
+            epoch,
+            Bytes::from_static(b"x"),
+        )
+        .unwrap();
+        assert_eq!(e.fences(), 0);
+        assert_eq!(e.rpcs(), 1);
     }
 }

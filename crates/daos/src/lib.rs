@@ -24,10 +24,10 @@ pub mod vos;
 pub use checksum::{crc32c, crc32c_append, Checksum};
 pub use client::{whole_batch_error, ClientOp, ClientOpResult, DaosClient, ObjectClient};
 pub use cluster::{
-    EngineCluster, EngineHealth, PoolMap, PoolMember, RebuildStats, ReplicaSet, MAX_RF,
+    EngineCluster, EngineHealth, MapSnapshot, PoolMap, PoolMember, RebuildStats, ReplicaSet, MAX_RF,
 };
 pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
-pub use pipeline::OpRing;
+pub use pipeline::{OpRing, RetryPolicy, RetryStats};
 pub use types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, KeyBytes, ObjClass, ObjectId,
     INLINE_KEY,

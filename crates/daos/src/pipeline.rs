@@ -31,11 +31,31 @@
 //! bit-identical to the historical path and lets
 //! `tests/pipeline_equivalence.rs` hold QD-N runs to it.
 //!
-//! **Failover.** A leg staged before an engine kill and executed after it
-//! re-arms instead of failing the op: a fetch leg re-routes through the
-//! current pool map (a degraded read) and re-stages its descriptor; a
-//! replicated update simply drops the dead replica's leg and commits on
-//! the survivors, exactly what the post-kill route would have produced.
+//! **Failover: the recovery ladder.** Routing is resolved from the
+//! *client's cached* pool-map snapshot (see
+//! [`crate::cluster::MapSnapshot`]), not the live map, and every staged
+//! leg carries the cache's `map_version` stamp — so a membership change
+//! genuinely races in-flight ops. A leg that goes wrong at execution
+//! climbs a bounded ladder:
+//!
+//! 1. **detect** — a dead or black-holed connection is only discovered by
+//!    per-leg deadline expiry ([`RetryPolicy::leg_deadline`], counted in
+//!    [`RetryStats::timeouts`]); a stale-stamped leg that reaches a live
+//!    engine is rejected immediately with [`DaosError::StaleMap`]
+//!    (counted in [`RetryStats::fenced`]); a slow engine
+//!    (`EngineCluster::set_stall`) completes late — past the deadline it
+//!    is *counted* as a timeout but the reply is still accepted.
+//! 2. **refresh** — the client pulls the authoritative map (`MapQuery`,
+//!    [`RetryPolicy::refresh_rtt`]) and re-resolves the route from the
+//!    fresh snapshot.
+//! 3. **re-stage** — the leg re-stages with exponential backoff
+//!    ([`RetryPolicy::backoff`]) under a bounded budget
+//!    ([`RetryPolicy::budget`]); fetches prefer a different surviving
+//!    replica (a degraded read), update legs whose engine left the
+//!    refreshed placement are dropped (the survivors carry the commit —
+//!    exactly what the post-kill route would have produced).
+//! 4. **exhaust** — a leg that burns its whole budget fails cleanly with
+//!    a typed error ([`RetryStats::exhausted`]); nothing ever hangs.
 
 use bytes::Bytes;
 use ros2_fabric::Fabric;
@@ -45,6 +65,86 @@ use crate::client::{ClientOp, ClientOpResult, DaosClient};
 use crate::cluster::EngineCluster;
 use crate::engine::ValueKind;
 use crate::types::{AKey, DKey, DaosError, Epoch, ObjectId};
+
+/// Deadlines, backoff bounds and the retry budget for the ring's
+/// recovery ladder. Every parameter is virtual-time, so a chaos schedule
+/// replays bit-identically.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long a leg waits for any reply before its connection is
+    /// declared dead (the timeout rung of the ladder).
+    pub leg_deadline: SimDuration,
+    /// First-retry backoff; attempt `n` waits `base << (n-1)`, capped.
+    pub backoff_base: SimDuration,
+    /// Upper bound on a single backoff wait.
+    pub backoff_cap: SimDuration,
+    /// Maximum re-stages per leg before the op fails cleanly.
+    pub budget: u32,
+    /// Cost of the reactive `MapQuery` refresh round-trip, charged on the
+    /// failure path only (healthy ops never pay it).
+    pub refresh_rtt: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    /// 1 ms leg deadline (≫ any healthy op latency in the calibrated
+    /// models), 20 µs base backoff doubling to a 1 ms cap, 3 retries,
+    /// and the gRPC-class 150 µs control RTT for the map refresh.
+    fn default() -> Self {
+        RetryPolicy {
+            leg_deadline: SimDuration::from_millis(1),
+            backoff_base: SimDuration::from_micros(20),
+            backoff_cap: SimDuration::from_millis(1),
+            budget: 3,
+            refresh_rtt: SimDuration::from_micros(150),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The exponential backoff before retry `attempt` (1-based):
+    /// `base * 2^(attempt-1)`, saturating, capped at `backoff_cap`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(63);
+        let ns = self
+            .backoff_base
+            .as_nanos()
+            .checked_shl(shift)
+            .unwrap_or(u64::MAX);
+        SimDuration::from_nanos(ns).min(self.backoff_cap)
+    }
+}
+
+/// Recovery-ladder counters, reported alongside `ResourceStats` wherever
+/// clients report (host stacks, DPU lanes, fio worlds) so host-vs-DPU
+/// retry behavior is A/B-comparable.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Leg deadlines that expired (dead/black-holed conns, plus slow
+    /// engines whose reply landed past the deadline).
+    pub timeouts: u64,
+    /// `ErrStaleMap` fence replies observed.
+    pub fenced: u64,
+    /// Legs re-staged by the ladder.
+    pub retries: u64,
+    /// Exponential-backoff waits taken before re-staging.
+    pub backoff_waits: u64,
+    /// Reactive `MapQuery` refreshes issued by the ladder.
+    pub map_refreshes: u64,
+    /// Ops that burned their whole retry budget and failed cleanly.
+    pub exhausted: u64,
+}
+
+impl RetryStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: RetryStats) {
+        self.timeouts += other.timeouts;
+        self.fenced += other.fenced;
+        self.retries += other.retries;
+        self.backoff_waits += other.backoff_waits;
+        self.map_refreshes += other.map_refreshes;
+        self.exhausted += other.exhausted;
+    }
+}
 
 /// One staged replica leg of an in-flight update.
 struct UpdateLeg {
@@ -65,6 +165,8 @@ enum Body {
         akey: AKey,
         kind: ValueKind,
         epoch: Epoch,
+        /// The cached `map_version` stamped into every leg's descriptor.
+        stamp: u64,
         legs: Vec<UpdateLeg>,
     },
     /// A fetch staged to its leader engine.
@@ -79,6 +181,8 @@ enum Body {
         eng: usize,
         /// Instant the request reached the server.
         req_at: SimTime,
+        /// The cached `map_version` stamped into the descriptor.
+        stamp: u64,
     },
 }
 
@@ -209,6 +313,11 @@ impl OpRing {
             self.retire_error(slot, now, &op, e);
             return;
         }
+        // Apply any due delayed RAS delivery, then route from the cached
+        // snapshot — the live map is never consulted here, so a
+        // membership change after this instant genuinely races the op.
+        client.poll_map(now, cluster);
+        let stamp = client.cached_map().version();
         match op {
             ClientOp::Update {
                 oid,
@@ -223,7 +332,7 @@ impl OpRing {
                     self.retire_log.push(slot);
                     return;
                 }
-                let set = cluster.route_update(&oid);
+                let set = client.cached_map().route_update(&oid);
                 if set.is_empty() {
                     let e = DaosError::Transport("no healthy replica".into());
                     self.results[slot] = Some(ClientOpResult::Update(Err(e)));
@@ -266,6 +375,7 @@ impl OpRing {
                         akey,
                         kind,
                         epoch,
+                        stamp,
                         legs,
                     },
                 });
@@ -284,7 +394,10 @@ impl OpRing {
                     self.retire_log.push(slot);
                     return;
                 }
-                let Some(eng) = cluster.route_fetch(&oid).leader() else {
+                let Some(eng) = cluster
+                    .route_fetch_snapshot(client.cached_map(), &oid)
+                    .leader()
+                else {
                     let e = DaosError::Transport("no healthy replica".into());
                     self.results[slot] = Some(ClientOpResult::Fetch(Err(e)));
                     self.retire_log.push(slot);
@@ -305,6 +418,7 @@ impl OpRing {
                             len,
                             eng,
                             req_at,
+                            stamp,
                         },
                     }),
                     Err(e) => {
@@ -360,8 +474,9 @@ impl OpRing {
         }
     }
 
-    /// Executes one op's engine and finish legs, re-arming or dropping
-    /// legs whose engine died since staging.
+    /// Executes one op's engine and finish legs, climbing the recovery
+    /// ladder (timeout / fence → refresh → re-stage with backoff) for any
+    /// leg that goes wrong.
     fn execute_op(
         &mut self,
         client: &mut DaosClient,
@@ -377,28 +492,19 @@ impl OpRing {
                 akey,
                 kind,
                 epoch,
+                stamp,
                 legs,
             } => {
                 let mut done: Option<SimTime> = None;
                 let mut err: Option<DaosError> = None;
                 for leg in legs {
-                    if !cluster.is_up(leg.eng) {
-                        // The replica died after staging: its staged bytes
-                        // died with it; the survivors carry the commit.
-                        continue;
-                    }
-                    let persisted = cluster.engine_mut(leg.eng).update(
-                        leg.staged,
-                        client.container(),
-                        oid,
-                        dkey.clone(),
-                        akey.clone(),
-                        kind,
-                        epoch,
-                        leg.payload,
-                    );
-                    match persisted.and_then(|p| client.finish_update(fabric, job, leg.eng, p)) {
-                        Ok(acked) => done = Some(done.map_or(acked, |d| d.max(acked))),
+                    match self.run_update_leg(
+                        client, fabric, cluster, leg, stamp, oid, &dkey, &akey, kind, epoch,
+                    ) {
+                        Ok(Some(acked)) => done = Some(done.map_or(acked, |d| d.max(acked))),
+                        // The replica left the placement (kill or fence):
+                        // its leg drops and the survivors carry the commit.
+                        Ok(None) => {}
                         Err(e) => err = err.or(Some(e)),
                     }
                 }
@@ -422,61 +528,187 @@ impl OpRing {
                 len,
                 mut eng,
                 mut req_at,
+                mut stamp,
             } => {
-                if !cluster.is_up(eng) {
-                    // Leader died between staging and execution: re-arm the
-                    // leg onto the current route (a degraded read) instead
-                    // of failing the op.
-                    match cluster.route_fetch(&oid).leader() {
-                        Some(new_eng) => {
-                            let (t_cpu, _) = client.client_cpu_split(op.submitted, job);
-                            match client.stage_fetch_from(fabric, t_cpu, job, new_eng) {
-                                Ok(at) => {
-                                    self.leg_rearms += 1;
-                                    eng = new_eng;
-                                    req_at = at;
+                let mut attempt: u32 = 0;
+                let result = loop {
+                    let policy = client.retry_policy();
+                    // Classify the leg's fate at this engine.
+                    let detect = if !cluster.is_reachable(eng) {
+                        // Dead engine or black-holed conn: no reply ever
+                        // comes; the client learns by deadline expiry.
+                        client.retry.timeouts += 1;
+                        req_at + policy.leg_deadline
+                    } else {
+                        match cluster.engine_mut(eng).fetch_versioned(
+                            stamp,
+                            req_at,
+                            client.container(),
+                            oid,
+                            &dkey,
+                            &akey,
+                            kind,
+                            epoch,
+                            len,
+                        ) {
+                            Ok((data, ready)) => {
+                                // A slow engine completes late; past the
+                                // deadline that *counts* as a timeout but
+                                // the reply still lands (no re-execution).
+                                let stall = cluster.stall(eng);
+                                if stall >= policy.leg_deadline {
+                                    client.retry.timeouts += 1;
                                 }
-                                Err(e) => {
-                                    let result = ClientOpResult::Fetch(Err(e));
-                                    return Executed {
-                                        done: op.submitted,
-                                        slot: op.slot,
-                                        result,
-                                    };
+                                let r = client
+                                    .finish_fetch(fabric, job, eng, data, ready + stall, len)
+                                    .map(|(bytes, at)| (bytes, at + op.completion));
+                                if attempt > 0 {
+                                    if let Ok((_, at)) = &r {
+                                        client.note_retry_success(*at);
+                                    }
                                 }
+                                break ClientOpResult::Fetch(r);
                             }
+                            Err(DaosError::StaleMap { .. }) => {
+                                // The fence reply is immediate — the
+                                // engine rejected before doing any work.
+                                client.retry.fenced += 1;
+                                req_at
+                            }
+                            Err(e) => break ClientOpResult::Fetch(Err(e)),
                         }
-                        None => {
-                            let e = DaosError::Transport("no healthy replica".into());
-                            return Executed {
-                                done: op.submitted,
-                                slot: op.slot,
-                                result: ClientOpResult::Fetch(Err(e)),
-                            };
-                        }
+                    };
+                    // The retry rungs: budget, refresh, backoff, re-stage.
+                    attempt += 1;
+                    if attempt > policy.budget {
+                        client.retry.exhausted += 1;
+                        break ClientOpResult::Fetch(Err(DaosError::Transport(format!(
+                            "retry budget exhausted after {attempt} attempts"
+                        ))));
                     }
-                }
-                let fetched = cluster.engine_mut(eng).fetch(
-                    req_at,
-                    client.container(),
-                    oid,
-                    &dkey,
-                    &akey,
-                    kind,
-                    epoch,
-                    len,
-                );
-                let result = ClientOpResult::Fetch(fetched.and_then(|(data, ready)| {
-                    client
-                        .finish_fetch(fabric, job, eng, data, ready, len)
-                        .map(|(bytes, at)| (bytes, at + op.completion))
-                }));
+                    client.refresh_map(cluster);
+                    client.retry.backoff_waits += 1;
+                    let t_retry = detect + policy.refresh_rtt + policy.backoff(attempt);
+                    let set = cluster.route_fetch_snapshot(client.cached_map(), &oid);
+                    // Prefer a *different* replica than the one that just
+                    // failed (a degraded read when the route is short).
+                    let Some(next) = set.iter().find(|&s| s != eng).or_else(|| set.leader()) else {
+                        break ClientOpResult::Fetch(Err(DaosError::Transport(
+                            "no healthy replica".into(),
+                        )));
+                    };
+                    stamp = client.cached_map().version();
+                    let (t_cpu, _) = client.client_cpu_split(t_retry, job);
+                    match client.stage_fetch_from(fabric, t_cpu, job, next) {
+                        Ok(at) => {
+                            client.retry.retries += 1;
+                            self.leg_rearms += 1;
+                            eng = next;
+                            req_at = at;
+                        }
+                        Err(e) => break ClientOpResult::Fetch(Err(e)),
+                    }
+                };
                 Executed {
                     done: result_instant(&result, op.submitted),
                     slot: op.slot,
                     result,
                 }
             }
+        }
+    }
+
+    /// Runs one update leg up the recovery ladder. `Ok(Some(acked))` is a
+    /// replica ack; `Ok(None)` means the leg dropped because its engine
+    /// left the placement (killed, or fenced off by a newer map) and the
+    /// surviving legs carry the commit; `Err` is a real failure.
+    #[allow(clippy::too_many_arguments)]
+    fn run_update_leg(
+        &mut self,
+        client: &mut DaosClient,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        leg: UpdateLeg,
+        mut stamp: u64,
+        oid: ObjectId,
+        dkey: &DKey,
+        akey: &AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+    ) -> Result<Option<SimTime>, DaosError> {
+        let job = self.job;
+        let UpdateLeg {
+            eng,
+            mut staged,
+            mut payload,
+        } = leg;
+        let mut attempt: u32 = 0;
+        loop {
+            let policy = client.retry_policy();
+            let detect = if !cluster.is_up(eng) {
+                // The replica died after staging: its staged bytes died
+                // with it; the survivors carry the commit. (The post-kill
+                // map never places the object here, so no retry.)
+                return Ok(None);
+            } else if cluster.blackholed(eng) {
+                // Alive in the map but the conn eats traffic: deadline.
+                client.retry.timeouts += 1;
+                staged + policy.leg_deadline
+            } else {
+                match cluster.engine_mut(eng).update_versioned(
+                    stamp,
+                    staged,
+                    client.container(),
+                    oid,
+                    dkey.clone(),
+                    akey.clone(),
+                    kind,
+                    epoch,
+                    payload.clone(),
+                ) {
+                    Ok(persisted) => {
+                        let stall = cluster.stall(eng);
+                        if stall >= policy.leg_deadline {
+                            client.retry.timeouts += 1;
+                        }
+                        let acked = client.finish_update(fabric, job, eng, persisted + stall)?;
+                        if attempt > 0 {
+                            client.note_retry_success(acked);
+                        }
+                        return Ok(Some(acked));
+                    }
+                    Err(DaosError::StaleMap { .. }) => {
+                        client.retry.fenced += 1;
+                        staged
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            attempt += 1;
+            if attempt > policy.budget {
+                client.retry.exhausted += 1;
+                return Err(DaosError::Transport(format!(
+                    "retry budget exhausted after {attempt} attempts"
+                )));
+            }
+            client.refresh_map(cluster);
+            // If the refreshed map no longer places the object on this
+            // replica, the write must NOT land here — drop the leg and
+            // let the survivors carry the commit.
+            if !client.cached_map().route_update(&oid).contains(eng) {
+                return Ok(None);
+            }
+            client.retry.backoff_waits += 1;
+            let t_retry = detect + policy.refresh_rtt + policy.backoff(attempt);
+            stamp = client.cached_map().version();
+            let (t_cpu, _) = client.client_cpu_split(t_retry, job);
+            let data = std::mem::take(&mut payload);
+            let (new_staged, new_payload) =
+                client.stage_update_from(fabric, t_cpu, job, eng, data)?;
+            client.retry.retries += 1;
+            self.leg_rearms += 1;
+            staged = new_staged;
+            payload = new_payload;
         }
     }
 

@@ -300,6 +300,15 @@ pub enum DaosError {
     Media(String),
     /// Fabric/transport error.
     Transport(String),
+    /// The request carried a stale pool-map revision — or was addressed to
+    /// a slot the current map no longer places the object on — and the
+    /// engine *fenced* it instead of serving a possibly-misrouted op.
+    /// Carries the engine's current revision so the client can tell how
+    /// far behind its cached map is before refreshing.
+    StaleMap {
+        /// The fencing engine's current pool-map revision.
+        current: u64,
+    },
 }
 
 #[cfg(test)]

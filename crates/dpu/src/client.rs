@@ -33,7 +33,7 @@ use bytes::Bytes;
 use ros2_ctl::{ControlChannel, ControlError, ControlModel, ControlRequest, ControlResponse};
 use ros2_daos::{
     whole_batch_error, ClientOp, ClientOpResult, DaosClient, DaosCostModel, DaosError,
-    EngineCluster, Epoch, ObjectClient, ObjectId, OpRing,
+    EngineCluster, Epoch, MapSnapshot, ObjectClient, ObjectId, OpRing, RetryPolicy, RetryStats,
 };
 use ros2_daos::{AKey, DKey, ValueKind};
 use ros2_fabric::Fabric;
@@ -89,6 +89,10 @@ pub struct DpuStats {
     pub rkey_refreshes: u64,
     /// Bytes checksummed on the DPU (update CRCs + fetch verifies).
     pub crc_bytes: u64,
+    /// Recovery-ladder counters accumulated by the lanes' pipelined
+    /// clients — the DPU retries *on the DPU*; the host only sees the
+    /// totals ride back on `IoDone`.
+    pub retry: RetryStats,
 }
 
 impl DpuStats {
@@ -103,6 +107,7 @@ impl DpuStats {
         self.throttle_wait += other.throttle_wait;
         self.rkey_refreshes += other.rkey_refreshes;
         self.crc_bytes += other.crc_bytes;
+        self.retry.merge(other.retry);
     }
 }
 
@@ -319,9 +324,63 @@ impl DpuClient {
         &mut self.tenants
     }
 
-    /// Offload-path counters.
+    /// Offload-path counters, with the lanes' recovery-ladder counters
+    /// folded in (retries run on the DPU, inside each lane's inner
+    /// client; the host-visible stats carry the totals).
     pub fn dpu_stats(&self) -> DpuStats {
-        self.stats
+        let mut s = self.stats;
+        s.retry = self.retry_stats();
+        s
+    }
+
+    /// Aggregate recovery-ladder counters across every tenant lane.
+    pub fn retry_stats(&self) -> RetryStats {
+        let mut total = RetryStats::default();
+        for lane in &self.lanes {
+            total.merge(lane.daos.retry_stats());
+        }
+        total
+    }
+
+    /// Fault injection: wedges (or revives) `lane`'s doorbell servicing —
+    /// a host submit or poll against a wedged lane burns the doorbell
+    /// deadline and returns a typed timeout instead of spinning forever.
+    pub fn wedge_lane(&mut self, lane: usize, on: bool) {
+        let session = self.lanes[lane].session;
+        self.io.set_stalled(session, on);
+    }
+
+    /// Delivers a RAS map snapshot to every tenant lane's cached map at
+    /// `at` — the DPU terminates the RAS stream, so all lanes hear the
+    /// same delivery at the same (possibly fault-delayed) instant.
+    pub fn deliver_map(&mut self, at: SimTime, snap: MapSnapshot) {
+        for lane in &mut self.lanes {
+            lane.daos.deliver_map(at, snap.clone());
+        }
+    }
+
+    /// Installs `snap` in every lane's cache immediately (the `MapQuery`
+    /// reply path — authoritative, no delivery delay).
+    pub fn sync_map(&mut self, snap: MapSnapshot) {
+        for lane in &mut self.lanes {
+            lane.daos.sync_map(snap.clone());
+        }
+    }
+
+    /// Sets the recovery-ladder policy on every tenant lane.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        for lane in &mut self.lanes {
+            lane.daos.set_retry_policy(policy);
+        }
+    }
+
+    /// Earliest instant any lane completed an op on a retry attempt
+    /// (time-to-first-successful-retry across the whole offloaded client).
+    pub fn first_successful_retry(&self) -> Option<SimTime> {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.daos.first_successful_retry())
+            .min()
     }
 
     /// Aggregate booking counters over every lane's client cores.
@@ -367,7 +426,7 @@ impl DpuClient {
             now,
             Some(session),
             ControlRequest::IoSubmit { ops, bytes },
-            |_, _| ControlResponse::IoDone { ops: 0 },
+            |_, _| ControlResponse::IoDone { ops: 0, retries: 0 },
         );
         res.map_err(map_control)?;
         self.stats.handoff_wait += at.saturating_since(now);
@@ -379,10 +438,18 @@ impl DpuClient {
     fn host_poll(&mut self, done: SimTime, lane: usize, ops: u32) -> Result<SimTime, DaosError> {
         self.stats.host_polls += 1;
         let session = self.lanes[lane].session;
+        // The completion rides the lane's cumulative retry count back to
+        // the host — retry behavior stays observable without the host
+        // owning any data-plane state.
+        let retries = self.lanes[lane]
+            .daos
+            .retry_stats()
+            .retries
+            .min(u32::MAX as u64) as u32;
         let (at, res) = self
             .io
             .call(done, Some(session), ControlRequest::IoPoll, |_, _| {
-                ControlResponse::IoDone { ops }
+                ControlResponse::IoDone { ops, retries }
             });
         res.map_err(map_control)?;
         self.stats.handoff_wait += at.saturating_since(done);
@@ -978,6 +1045,46 @@ mod tests {
             .unwrap();
         assert_eq!(&back[..], b"meta");
         assert_eq!(c.dpu_stats().rkey_refreshes, 0, "no MRs on TCP");
+    }
+
+    #[test]
+    fn wedged_lane_times_out_instead_of_spinning() {
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
+        let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("t")], 1).unwrap();
+        c.wedge_lane(0, true);
+        let oid = ObjectId::new(ObjClass::Sx, 6);
+        let err = c
+            .update(
+                &mut fabric,
+                &mut cluster,
+                SimTime::ZERO,
+                0,
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                Bytes::from(vec![5u8; 4 << 10]),
+            )
+            .unwrap_err();
+        assert!(
+            format!("{err:?}").contains("Timeout"),
+            "a wedged lane must fail with a typed timeout, got {err:?}"
+        );
+        // The bounded wait is the doorbell deadline, not forever: reviving
+        // the lane restores service and the op completes.
+        c.wedge_lane(0, false);
+        c.update(
+            &mut fabric,
+            &mut cluster,
+            SimTime::ZERO,
+            0,
+            oid,
+            DKey::from_u64(0),
+            AKey::from_str("data"),
+            ValueKind::Array { offset: 0 },
+            Bytes::from(vec![5u8; 4 << 10]),
+        )
+        .unwrap();
     }
 
     #[test]

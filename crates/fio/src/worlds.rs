@@ -9,7 +9,11 @@
 //! [`Workload`] for the closed-loop driver.
 
 use bytes::Bytes;
-use ros2_daos::{DaosClient, DaosCostModel, DaosEngine, EngineCluster, ObjectClient, RebuildStats};
+use ros2_core::FaultPlan;
+use ros2_daos::{
+    DaosClient, DaosCostModel, DaosEngine, EngineCluster, MapSnapshot, ObjectClient, RebuildStats,
+    RetryPolicy, RetryStats,
+};
 use ros2_dfs::{Dfs, DfsObj, DfsSession};
 use ros2_dpu::{default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec};
 use ros2_fabric::{Fabric, NodeSpec};
@@ -228,6 +232,39 @@ impl FioClient {
         match self {
             FioClient::Classic(_) => None,
             FioClient::Offloaded(c) => Some(c),
+        }
+    }
+
+    /// Delivers a RAS map snapshot to the client's cached map at `at`
+    /// (every tenant lane, when offloaded).
+    pub fn deliver_map(&mut self, at: SimTime, snap: MapSnapshot) {
+        match self {
+            FioClient::Classic(c) => c.deliver_map(at, snap),
+            FioClient::Offloaded(c) => c.deliver_map(at, snap),
+        }
+    }
+
+    /// Recovery-ladder counters (all DPU lanes merged, when offloaded).
+    pub fn retry_stats(&self) -> RetryStats {
+        match self {
+            FioClient::Classic(c) => c.retry_stats(),
+            FioClient::Offloaded(c) => c.retry_stats(),
+        }
+    }
+
+    /// Sets the recovery-ladder policy on the client(s).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        match self {
+            FioClient::Classic(c) => c.set_retry_policy(policy),
+            FioClient::Offloaded(c) => c.set_retry_policy(policy),
+        }
+    }
+
+    /// Earliest instant an op completed on a retry attempt.
+    pub fn first_successful_retry(&self) -> Option<SimTime> {
+        match self {
+            FioClient::Classic(c) => c.first_successful_retry(),
+            FioClient::Offloaded(c) => c.first_successful_retry(),
         }
     }
 }
@@ -458,6 +495,11 @@ impl DfsFioWorld {
 pub struct ClusterFioWorld {
     /// The assembled world (same layout as [`DfsFioWorld`], N engines).
     pub world: DfsFioWorld,
+    /// The installed chaos schedule (empty by default — bit-identical to
+    /// the fault-oblivious world).
+    faults: FaultPlan,
+    /// Index of the next unfired entry in `faults.kills`.
+    next_kill: usize,
 }
 
 impl ClusterFioWorld {
@@ -514,24 +556,144 @@ impl ClusterFioWorld {
                 jobs,
                 region,
             ),
+            faults: FaultPlan::none(),
+            next_kill: 0,
         }
+    }
+
+    /// [`Self::new`] with the whole DAOS client offloaded to the DPU: the
+    /// same N-engine replicated cluster, but every op crosses the host
+    /// doorbell and runs on the BlueField-3 — including the recovery
+    /// ladder, so host-vs-DPU retry behaviour is A/B-comparable on
+    /// identical chaos schedules.
+    #[allow(clippy::too_many_arguments)]
+    pub fn offloaded(
+        transport: Transport,
+        engines: usize,
+        replication_factor: usize,
+        ssds: usize,
+        jobs: usize,
+        region: u64,
+        mode: DataMode,
+        tenants: Vec<DpuTenantSpec>,
+    ) -> Self {
+        let topology = ClusterTopology {
+            placement: ClientPlacement::Dpu,
+            storage_nodes: engines,
+        };
+        let mut fabric = Fabric::for_topology(transport, &topology, 0xd0e5);
+        for node in 0..topology.node_count() {
+            fabric.set_flow_hint(NodeId(node as u32), jobs);
+        }
+        let storage_nodes: Vec<NodeId> = (0..engines)
+            .map(|i| NodeId(topology.storage_node(i) as u32))
+            .collect();
+        let mut cluster = EngineCluster::assemble(
+            storage_nodes.clone(),
+            replication_factor,
+            ssds,
+            mode,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        cluster.cont_create("posix").unwrap();
+        let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(0xd0e5));
+        let client = DpuClient::connect_cluster(
+            &mut fabric,
+            NodeId(0),
+            &storage_nodes,
+            "posix",
+            jobs,
+            4 << 20,
+            MemoryDomain::DpuDram,
+            DaosCostModel::default_model(),
+            agent,
+            tenants,
+            0xd0e5,
+        )
+        .expect("offloaded cluster client connects");
+        ClusterFioWorld {
+            world: DfsFioWorld::precondition(
+                fabric,
+                cluster,
+                FioClient::Offloaded(client),
+                jobs,
+                region,
+            ),
+            faults: FaultPlan::none(),
+            next_kill: 0,
+        }
+    }
+
+    /// Installs a chaos schedule: black holes and stalls apply
+    /// immediately, kills arm against the client-op counter and fire
+    /// between ops of the measured run, and every RAS delivery the kills
+    /// trigger reaches the client `ras_delay` late.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for &slot in &plan.blackholes {
+            self.world.cluster.set_blackhole(slot, true);
+        }
+        for stall in &plan.stalls {
+            self.world.cluster.set_stall(stall.slot, stall.extra);
+        }
+        self.faults = plan;
+        self.next_kill = 0;
     }
 
     /// Kills engine `slot` (pool-map revision bump; subsequent fetches of
     /// affected objects are served degraded). Returns the new revision.
+    /// The new map is handed to the client as an already-landed delivery
+    /// (applied at its next map poll) — use a fault plan's scheduled
+    /// kills to model delayed RAS propagation.
     pub fn kill_engine(&mut self, slot: usize) -> Result<u64, String> {
-        self.world
+        let version = self
+            .world
             .cluster
             .kill_engine(slot)
-            .map_err(|e| format!("{e:?}"))
+            .map_err(|e| format!("{e:?}"))?;
+        let snap = self.world.cluster.snapshot_map();
+        self.world.client.deliver_map(SimTime::ZERO, snap);
+        Ok(version)
+    }
+
+    /// Fires any armed kills whose client-op threshold has been crossed,
+    /// delivering the RAS map update `ras_delay` after the kill instant.
+    fn fire_due_kills(&mut self, now: SimTime) -> Result<(), String> {
+        while self.next_kill < self.faults.kills.len() {
+            let kill = self.faults.kills[self.next_kill];
+            if self.world.client.ops() < kill.after_client_ops {
+                break;
+            }
+            self.next_kill += 1;
+            self.world
+                .cluster
+                .kill_engine(kill.slot)
+                .map_err(|e| format!("{e:?}"))?;
+            let snap = self.world.cluster.snapshot_map();
+            self.world
+                .client
+                .deliver_map(now + self.faults.ras_delay, snap);
+        }
+        Ok(())
     }
 
     /// Runs the online rebuild at `now`; returns its completion instant.
+    /// Rebuild completion is itself a map event (the revision bumps as
+    /// the pre-kill-survivor routing override ends), so the new map is
+    /// delivered to the client at the completion instant plus the plan's
+    /// RAS delay.
     pub fn rebuild(&mut self, now: SimTime) -> Result<SimTime, String> {
-        self.world
+        let t = self
+            .world
             .cluster
             .rebuild(&mut self.world.fabric, now)
-            .map_err(|e| format!("{e:?}"))
+            .map_err(|e| format!("{e:?}"))?;
+        let snap = self.world.cluster.snapshot_map();
+        self.world
+            .client
+            .deliver_map(t + self.faults.ras_delay, snap);
+        Ok(t)
     }
 
     /// Redundancy counters (degraded reads served, rebuild movement).
@@ -548,10 +710,32 @@ impl ClusterFioWorld {
     pub fn reset_timing(&mut self) {
         self.world.reset_timing();
     }
+
+    /// Recovery-ladder counters across the client stack (host client or
+    /// all DPU lanes) — one table row per arm in the A/B reports.
+    pub fn retry_stats(&self) -> RetryStats {
+        self.world.client.retry_stats()
+    }
+
+    /// Sets the recovery-ladder policy on the client(s).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.world.client.set_retry_policy(policy);
+    }
+
+    /// Earliest instant an op completed on a retry attempt.
+    pub fn first_successful_retry(&self) -> Option<SimTime> {
+        self.world.client.first_successful_retry()
+    }
+
+    /// Total stale-map fences observed across the cluster's engines.
+    pub fn fences(&self) -> u64 {
+        self.world.cluster.fences()
+    }
 }
 
 impl Workload for ClusterFioWorld {
     fn issue(&mut self, now: SimTime, job: usize, op: &FioOp) -> Result<SimTime, String> {
+        self.fire_due_kills(now)?;
         self.world.issue(now, job, op)
     }
 }
