@@ -486,10 +486,10 @@ fn qos_contended_cell() -> (u64, u64, u64, f64) {
     let capped_ctx = client.tenants().tenant("capped").unwrap();
     let greedy_ctx = client.tenants().tenant("greedy").unwrap();
     (
-        capped_ctx.admitted.1,
-        greedy_ctx.admitted.1,
-        capped_ctx.throttled,
-        capped_ctx.throttle_wait.as_secs_f64() * 1e3,
+        capped_ctx.qos.admitted.1,
+        greedy_ctx.qos.admitted.1,
+        capped_ctx.qos.throttled,
+        capped_ctx.qos.throttle_wait.as_secs_f64() * 1e3,
     )
 }
 

@@ -28,6 +28,23 @@ pub struct ScheduledKill {
     pub slot: usize,
 }
 
+/// One scheduled bit-rot injection, keyed by client progress like
+/// [`ScheduledKill`]: when the client's op counter reaches
+/// `after_client_ops`, one stored extent on engine `slot` is silently
+/// corrupted in place — recorded checksums stay intact, so only a
+/// media-vs-recorded CRC cross-check (the scrub pass) can see it. The
+/// victim object is `object_index` into the engine's sorted object list
+/// (mod its length), making the choice deterministic for any workload.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledCorruption {
+    /// Fire once the client's op counter reaches this value.
+    pub after_client_ops: u64,
+    /// The engine slot whose replica rots.
+    pub slot: usize,
+    /// Index into the engine's sorted object list (taken mod its length).
+    pub object_index: usize,
+}
+
 /// One slow-engine injection: `slot` still answers every request, just
 /// `extra` later — the "engine slow" arm of the timeout classifier.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -56,6 +73,10 @@ pub struct FaultPlan {
     pub blackholes: Vec<usize>,
     /// Slow engines, applied from launch.
     pub stalls: Vec<EngineStall>,
+    /// Bit-rot injections, fired by client-op progress in order. Unlike
+    /// kills these may overlap freely: corruption is silent and the scrub
+    /// service is responsible for finding every instance.
+    pub bitrot: Vec<ScheduledCorruption>,
 }
 
 impl FaultPlan {
@@ -72,6 +93,7 @@ impl FaultPlan {
             && self.kills.is_empty()
             && self.blackholes.is_empty()
             && self.stalls.is_empty()
+            && self.bitrot.is_empty()
     }
 
     /// Convenience: a single mid-flight kill of `slot` after
@@ -106,5 +128,15 @@ mod tests {
             ..FaultPlan::default()
         };
         assert!(!delay_only.is_empty());
+        // So is silent corruption, even though no client ever fails on it.
+        let rot_only = FaultPlan {
+            bitrot: vec![ScheduledCorruption {
+                after_client_ops: 8,
+                slot: 2,
+                object_index: 0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(!rot_only.is_empty());
     }
 }

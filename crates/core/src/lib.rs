@@ -26,7 +26,7 @@
 pub mod fault;
 pub mod system;
 
-pub use fault::{EngineStall, FaultPlan, ScheduledKill};
+pub use fault::{EngineStall, FaultPlan, ScheduledCorruption, ScheduledKill};
 pub use system::{
     ClientStack, ClusterConfig, Ros2Config, Ros2Error, Ros2System, SystemMetrics, Timed,
     CLIENT_NODE, STORAGE_NODE,
@@ -141,7 +141,7 @@ mod tests {
                 .unwrap();
         }
         let t = sys.tenants().tenant(&sys.config.tenant).unwrap();
-        assert!(t.throttled > 0, "rate limiter must have engaged");
+        assert!(t.qos.throttled > 0, "rate limiter must have engaged");
     }
 
     #[test]

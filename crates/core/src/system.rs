@@ -18,9 +18,9 @@
 use bytes::Bytes;
 use ros2_ctl::{ControlError, ControlRequest, ControlResponse};
 use ros2_daos::{
-    AKey, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine, DaosError,
-    EngineCluster, Epoch, MapSnapshot, ObjectClient, ObjectId, RebuildStats, RetryPolicy,
-    RetryStats, ValueKind,
+    AKey, BgService, ClientOp, ClientOpResult, DKey, DaosClient, DaosCostModel, DaosEngine,
+    DaosError, EngineCluster, Epoch, MapSnapshot, ObjectClient, ObjectId, RebuildStats,
+    RetryPolicy, RetryStats, ScrubOutcome, ScrubStats, ValueKind,
 };
 use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
 use ros2_dpu::{
@@ -33,7 +33,7 @@ use ros2_nvme::DataMode;
 use ros2_sim::{ResourceStats, SimDuration, SimTime};
 use ros2_verbs::{MemoryDomain, NodeId, PdId};
 
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, ScheduledCorruption};
 
 /// The deployment's scale-out shape: how many DAOS engines (one per
 /// storage node behind the shared switch) and how many replicas each
@@ -373,6 +373,8 @@ pub struct Ros2System {
     faults: FaultPlan,
     /// Index of the next unfired entry in `faults.kills`.
     next_kill: usize,
+    /// Index of the next unfired entry in `faults.bitrot`.
+    next_bitrot: usize,
 }
 
 impl Ros2System {
@@ -545,6 +547,7 @@ impl Ros2System {
             clock,
             faults: FaultPlan::none(),
             next_kill: 0,
+            next_bitrot: 0,
         })
     }
 
@@ -614,6 +617,7 @@ impl Ros2System {
         }
         self.faults = plan;
         self.next_kill = 0;
+        self.next_bitrot = 0;
     }
 
     /// The installed fault plan (empty by default).
@@ -621,7 +625,8 @@ impl Ros2System {
         &self.faults
     }
 
-    /// Fires any armed kills whose client-op threshold has been crossed.
+    /// Fires any armed kills and bit-rot injections whose client-op
+    /// threshold has been crossed.
     fn fire_due_kills(&mut self) -> Result<(), Ros2Error> {
         while self.next_kill < self.faults.kills.len() {
             let kill = self.faults.kills[self.next_kill];
@@ -631,7 +636,32 @@ impl Ros2System {
             self.next_kill += 1;
             self.kill_engine(kill.slot)?;
         }
+        while self.next_bitrot < self.faults.bitrot.len() {
+            let rot = self.faults.bitrot[self.next_bitrot];
+            if self.client.ops() < rot.after_client_ops {
+                break;
+            }
+            self.next_bitrot += 1;
+            self.fire_bitrot(rot);
+        }
         Ok(())
+    }
+
+    /// Silently corrupts one stored extent on the scheduled slot: the
+    /// victim object is picked deterministically from the engine's sorted
+    /// object list. No event is raised and no client ever fails — only
+    /// the scrub service can see it.
+    fn fire_bitrot(&mut self, rot: ScheduledCorruption) {
+        let engine = self.cluster.engine_mut(rot.slot);
+        let oids = engine.list_objects();
+        // Walk forward from the drawn index to the next object with
+        // array payload — metadata objects have nothing to rot.
+        for k in 0..oids.len() {
+            let oid = oids[(rot.object_index + k) % oids.len()];
+            if engine.corrupt_object(oid) {
+                return;
+            }
+        }
     }
 
     /// An explicit `MapQuery` control round-trip: the client stack asks
@@ -696,6 +726,75 @@ impl Ros2System {
     /// Redundancy counters: degraded reads served, rebuild movement.
     pub fn rebuild_stats(&self) -> RebuildStats {
         self.cluster.rebuild_stats()
+    }
+
+    /// Sets a background service's pacing budget (rebuild, aggregation,
+    /// or scrub). Unlimited by default — bit-identical to unpaced.
+    pub fn set_service_budget(&mut self, service: BgService, limits: QosLimits) {
+        self.cluster.set_service_budget(service, limits);
+    }
+
+    /// Scrub/aggregation counters, throttle waits included.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.cluster.scrub_stats()
+    }
+
+    /// Coordinated epoch aggregation of the mounted container: every up
+    /// replica aggregates at the same cluster-safe boundary (see
+    /// `EngineCluster::aggregate_cluster`), then the boundary is reported
+    /// on the control plane. Call with the pipeline drained — the serial
+    /// file API never leaves epochs in flight. Returns the boundary used.
+    pub fn aggregate(&mut self) -> Result<Timed<Epoch>, Ros2Error> {
+        let now = self.clock;
+        let (boundary, t) = self
+            .cluster
+            .aggregate_cluster(now, "posix", None)
+            .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+        let session = self.session;
+        let (t2, res) = self.client.agent_mut().host_call(
+            t,
+            Some(session),
+            ControlRequest::AggregationReport {
+                container: "posix".into(),
+                boundary: boundary.0,
+            },
+            |_, _| ControlResponse::Ok,
+        );
+        res.map_err(Ros2Error::Control)?;
+        self.tick(t2);
+        Ok(Timed {
+            value: boundary,
+            latency: t2.saturating_since(now),
+        })
+    }
+
+    /// One replica-scrub pass: cross-checks every object's replicas
+    /// against their recorded checksums (combine-only when clean),
+    /// repairs rotten replicas from a healthy copy over the rebuild
+    /// fabric path, and raises a RAS-style `ScrubReport` control event
+    /// with the pass's findings.
+    pub fn scrub(&mut self) -> Result<Timed<ScrubOutcome>, Ros2Error> {
+        let now = self.clock;
+        let (outcome, t) = self
+            .cluster
+            .scrub(&mut self.fabric, now)
+            .map_err(|e| Ros2Error::Config(format!("{e:?}")))?;
+        let session = self.session;
+        let (t2, res) = self.client.agent_mut().host_call(
+            t,
+            Some(session),
+            ControlRequest::ScrubReport {
+                found: outcome.mismatches_found,
+                repaired: outcome.mismatches_repaired,
+            },
+            |_, _| ControlResponse::Ok,
+        );
+        res.map_err(Ros2Error::Control)?;
+        self.tick(t2);
+        Ok(Timed {
+            value: outcome,
+            latency: t2.saturating_since(now),
+        })
     }
 
     /// The current virtual instant.
@@ -954,6 +1053,7 @@ impl Ros2System {
             inline_bytes: self.client.agent().serviced_bytes.get(),
             violations: self.fabric.node(CLIENT_NODE).rdma.violations().total(),
             retry: self.client.retry_stats(),
+            scrub: self.cluster.scrub_stats(),
         }
     }
 }
@@ -994,4 +1094,7 @@ pub struct SystemMetrics {
     pub violations: u64,
     /// Recovery-ladder counters across the client stack.
     pub retry: RetryStats,
+    /// Background-service counters (scrub passes, repair volume,
+    /// per-service throttle waits).
+    pub scrub: ScrubStats,
 }

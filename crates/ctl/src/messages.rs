@@ -103,6 +103,24 @@ pub enum ControlRequest {
     /// plane for the authoritative current map. Answered with
     /// [`ControlResponse::MapUpdate`].
     MapQuery,
+    /// Background-service report: a coordinated aggregation pass ran for
+    /// `container` at epoch `boundary` on every up replica (so their
+    /// stores are byte-comparable below it).
+    AggregationReport {
+        /// The aggregated container.
+        container: String,
+        /// The cluster-safe boundary every replica aggregated at.
+        boundary: u64,
+    },
+    /// Background-service report: a scrub pass finished. A RAS-style
+    /// control event — `found > repaired` means corruption is standing
+    /// (no healthy replica to repair from) and operators must act.
+    ScrubReport {
+        /// Replica-object mismatches detected this pass.
+        found: u64,
+        /// Mismatches repaired from a healthy replica this pass.
+        repaired: u64,
+    },
 }
 
 /// Control-plane responses.
@@ -206,6 +224,15 @@ impl ControlRequest {
             ControlRequest::MapQuery => {
                 w.u8(11);
             }
+            ControlRequest::AggregationReport {
+                container,
+                boundary,
+            } => {
+                w.u8(12).string(container).u64(*boundary);
+            }
+            ControlRequest::ScrubReport { found, repaired } => {
+                w.u8(13).u64(*found).u64(*repaired);
+            }
         }
         w.finish()
     }
@@ -243,6 +270,14 @@ impl ControlRequest {
                 map_version: r.u64()?,
             },
             11 => ControlRequest::MapQuery,
+            12 => ControlRequest::AggregationReport {
+                container: r.string()?,
+                boundary: r.u64()?,
+            },
+            13 => ControlRequest::ScrubReport {
+                found: r.u64()?,
+                repaired: r.u64()?,
+            },
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -376,6 +411,14 @@ mod tests {
             map_version: 17,
         });
         round_trip_req(ControlRequest::MapQuery);
+        round_trip_req(ControlRequest::AggregationReport {
+            container: "posix-cont".into(),
+            boundary: 4242,
+        });
+        round_trip_req(ControlRequest::ScrubReport {
+            found: 3,
+            repaired: 2,
+        });
     }
 
     #[test]

@@ -31,16 +31,25 @@
 //! healthy engine allocates ([`DaosEngine::next_epoch`]) and every other
 //! healthy engine observes ([`DaosEngine::observe_epoch`]), so a failover
 //! leader continues the same monotonic sequence.
+//!
+//! **Background services** (PR 8) ride behind a [`ServiceScheduler`]: three
+//! per-service [`QosLane`]s — the same bucket-pair admission mechanism the
+//! DPU tenant manager shapes foreground tenants with — pace rebuild
+//! streaming, coordinated epoch aggregation, and replica scrub so recovery
+//! traffic cannot starve foreground I/O. Lanes default to unlimited, whose
+//! grants land exactly at `now`, so unbudgeted behaviour stays
+//! bit-identical to the unpaced code. See `DESIGN.md` §13 for the safe
+//! aggregation-boundary rule and the scrub/repair epoch discipline.
 
 use std::collections::HashMap;
 
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
-use ros2_sim::{SimDuration, SimTime};
+use ros2_sim::{QosLane, QosLimits, SimDuration, SimTime};
 use ros2_verbs::{NodeId, PdId};
 
 use crate::engine::DaosEngine;
 use crate::types::{DKey, DaosError, Epoch, ObjectId};
-use crate::vos::VosStats;
+use crate::vos::{ScrubCheck, VosStats};
 
 /// Largest supported replication factor (fits the inline
 /// [`ReplicaSet`]; the paper's deployments use 2–3).
@@ -373,6 +382,151 @@ impl RebuildStats {
     }
 }
 
+/// The three background services the cluster paces independently.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BgService {
+    /// Post-kill re-replication streaming.
+    Rebuild,
+    /// Coordinated epoch-boundary aggregation.
+    Aggregation,
+    /// Replica scrub (CRC cross-check + bit-rot repair).
+    Scrub,
+}
+
+/// Per-service paced admission: one [`QosLane`] per background service,
+/// sharing the token-bucket mechanism with the DPU tenant manager. All
+/// lanes start unlimited — an unlimited lane's grants land exactly at
+/// `now`, pinning unbudgeted services bit-identical to the unpaced code.
+#[derive(Debug)]
+pub struct ServiceScheduler {
+    rebuild: QosLane,
+    aggregation: QosLane,
+    scrub: QosLane,
+}
+
+impl ServiceScheduler {
+    fn new() -> Self {
+        ServiceScheduler {
+            rebuild: QosLane::new(QosLimits::unlimited()),
+            aggregation: QosLane::new(QosLimits::unlimited()),
+            scrub: QosLane::new(QosLimits::unlimited()),
+        }
+    }
+
+    /// The lane pacing `service` (budget, admission counters).
+    pub fn lane(&self, service: BgService) -> &QosLane {
+        match service {
+            BgService::Rebuild => &self.rebuild,
+            BgService::Aggregation => &self.aggregation,
+            BgService::Scrub => &self.scrub,
+        }
+    }
+
+    fn lane_mut(&mut self, service: BgService) -> &mut QosLane {
+        match service {
+            BgService::Rebuild => &mut self.rebuild,
+            BgService::Aggregation => &mut self.aggregation,
+            BgService::Scrub => &mut self.scrub,
+        }
+    }
+
+    /// Replaces a service's budget with fresh buckets (full at t=0).
+    pub fn set_budget(&mut self, service: BgService, limits: QosLimits) {
+        *self.lane_mut(service) = QosLane::new(limits);
+    }
+
+    fn reset_timing(&mut self) {
+        self.rebuild.reset_timing();
+        self.aggregation.reset_timing();
+        self.scrub.reset_timing();
+    }
+}
+
+/// Counters for the scrub/aggregation services, reported alongside
+/// [`RebuildStats`]. Throttle waits are read out of the service lanes when
+/// the stats are sampled.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Cluster scrub passes completed.
+    pub scrub_passes: u64,
+    /// Coordinated aggregation passes completed.
+    pub aggregation_passes: u64,
+    /// Objects cross-checked across their replica sets.
+    pub objects_checked: u64,
+    /// Per-replica object checks performed.
+    pub replicas_checked: u64,
+    /// Checksum chunks compared (combine-only on the clean path).
+    pub chunks_compared: u64,
+    /// Stored bytes verified by combining cached chunk CRCs.
+    pub combine_bytes: u64,
+    /// Payload bytes actually rescanned (CRC-cache misses; ~0 when clean
+    /// caches are warm).
+    pub scanned_bytes: u64,
+    /// Replica-object mismatches detected (bit-rot or divergent record
+    /// sets).
+    pub mismatches_found: u64,
+    /// Mismatches repaired from a healthy replica.
+    pub mismatches_repaired: u64,
+    /// Records streamed by scrub repair.
+    pub repair_records: u64,
+    /// Payload bytes streamed by scrub repair.
+    pub repair_bytes: u64,
+    /// Cumulative delay the rebuild lane imposed.
+    pub rebuild_throttle_wait: SimDuration,
+    /// Cumulative delay the aggregation lane imposed.
+    pub aggregation_throttle_wait: SimDuration,
+    /// Cumulative delay the scrub lane imposed.
+    pub scrub_throttle_wait: SimDuration,
+}
+
+impl ScrubStats {
+    /// Folds another counter set into this one (exhaustive by
+    /// destructuring, so a new field cannot be silently dropped).
+    pub fn merge(&mut self, other: ScrubStats) {
+        let ScrubStats {
+            scrub_passes,
+            aggregation_passes,
+            objects_checked,
+            replicas_checked,
+            chunks_compared,
+            combine_bytes,
+            scanned_bytes,
+            mismatches_found,
+            mismatches_repaired,
+            repair_records,
+            repair_bytes,
+            rebuild_throttle_wait,
+            aggregation_throttle_wait,
+            scrub_throttle_wait,
+        } = other;
+        self.scrub_passes += scrub_passes;
+        self.aggregation_passes += aggregation_passes;
+        self.objects_checked += objects_checked;
+        self.replicas_checked += replicas_checked;
+        self.chunks_compared += chunks_compared;
+        self.combine_bytes += combine_bytes;
+        self.scanned_bytes += scanned_bytes;
+        self.mismatches_found += mismatches_found;
+        self.mismatches_repaired += mismatches_repaired;
+        self.repair_records += repair_records;
+        self.repair_bytes += repair_bytes;
+        self.rebuild_throttle_wait += rebuild_throttle_wait;
+        self.aggregation_throttle_wait += aggregation_throttle_wait;
+        self.scrub_throttle_wait += scrub_throttle_wait;
+    }
+}
+
+/// Result of one cluster scrub pass.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubOutcome {
+    /// Objects whose replica sets were cross-checked.
+    pub objects_checked: u64,
+    /// Replica-object mismatches detected this pass.
+    pub mismatches_found: u64,
+    /// Mismatches repaired from a healthy replica this pass.
+    pub mismatches_repaired: u64,
+}
+
 /// The N engines of a deployment behind one routing layer. See the module
 /// docs for the placement/degraded/rebuild semantics.
 pub struct EngineCluster {
@@ -393,6 +547,11 @@ pub struct EngineCluster {
     /// Fault injection: per-slot added service latency (a slow engine).
     /// Unlike a blackhole the op still completes — just late.
     stalls: Vec<SimDuration>,
+    /// Paced lanes for the background services (rebuild, aggregation,
+    /// scrub).
+    services: ServiceScheduler,
+    /// Scrub/aggregation counters (throttle waits sampled from the lanes).
+    sstats: ScrubStats,
 }
 
 fn map_fabric(e: FabricError) -> DaosError {
@@ -420,6 +579,8 @@ impl EngineCluster {
             rebuild_pds: HashMap::new(),
             blackholed: vec![false; n],
             stalls: vec![SimDuration::ZERO; n],
+            services: ServiceScheduler::new(),
+            sstats: ScrubStats::default(),
         };
         cluster.push_map_to_engines();
         cluster
@@ -500,6 +661,27 @@ impl EngineCluster {
     /// Redundancy counters (degraded reads served, rebuild movement).
     pub fn rebuild_stats(&self) -> RebuildStats {
         self.stats
+    }
+
+    /// Scrub/aggregation counters, with per-service throttle waits
+    /// sampled from the lanes at call time.
+    pub fn scrub_stats(&self) -> ScrubStats {
+        let mut out = self.sstats;
+        out.rebuild_throttle_wait = self.services.rebuild.throttle_wait;
+        out.aggregation_throttle_wait = self.services.aggregation.throttle_wait;
+        out.scrub_throttle_wait = self.services.scrub.throttle_wait;
+        out
+    }
+
+    /// Sets a background service's pacing budget (fresh buckets, full at
+    /// t=0). Services default to unlimited — bit-identical to unpaced.
+    pub fn set_service_budget(&mut self, service: BgService, limits: QosLimits) {
+        self.services.set_budget(service, limits);
+    }
+
+    /// A background service's lane (budget and admission counters).
+    pub fn service_lane(&self, service: BgService) -> &QosLane {
+        self.services.lane(service)
     }
 
     /// Immutable engine access by slot.
@@ -701,12 +883,15 @@ impl EngineCluster {
     }
 
     /// Online rebuild of the pending kill: for every object that lost a
-    /// replica, the first surviving replica exports the records, streams
-    /// the payload bytes over the fabric to the deterministic HRW backfill
-    /// engine (wire time booked on both storage nodes' ports — data-plane
-    /// rates), and the backfill imports them through the normal VOS update
-    /// path (fresh media placement, fresh checksums). Returns the instant
-    /// the last import persisted. A no-op when nothing is pending.
+    /// replica, the first surviving replica exports the records **once**,
+    /// streams the payload bytes over the fabric to the deterministic HRW
+    /// backfill engine (wire time booked on both storage nodes' ports —
+    /// data-plane rates), and the backfill imports them through the normal
+    /// VOS update path (fresh media placement, fresh checksums). Each
+    /// record's send is admitted through the rebuild [`QosLane`], so a
+    /// GiB/s budget throttles recovery below foreground rates; the default
+    /// unlimited lane grants at `now` and changes nothing. Returns the
+    /// instant the last import persisted. A no-op when nothing is pending.
     pub fn rebuild(&mut self, fabric: &mut Fabric, now: SimTime) -> Result<SimTime, DaosError> {
         // `pending_dead` is cleared only after the whole pass succeeds: a
         // mid-rebuild error leaves degraded routing in place and the next
@@ -735,13 +920,20 @@ impl EngineCluster {
                 // RF = 1 and the only copy died: nothing to restore from.
                 continue;
             };
-            let mut moved_any = false;
-            for dst in post.iter().filter(|&s| !pre.contains(s)) {
-                let (records, t_read) = self.engines[src].export_object(now, oid)?;
+            let dsts: Vec<usize> = post.iter().filter(|&s| !pre.contains(s)).collect();
+            if dsts.is_empty() {
+                continue;
+            }
+            // One export per oid regardless of backfill fan-out — the seed
+            // re-read (and re-charged media time for) the source object
+            // once per destination.
+            let (records, t_read) = self.engines[src].export_object(now, oid)?;
+            for dst in dsts {
                 let conn = self.rebuild_conn(fabric, src, dst)?;
                 let mut t = t_read;
                 let mut bytes = 0u64;
                 for rec in &records {
+                    t = self.services.rebuild.admit(t, rec.data.len() as u64);
                     if !rec.data.is_empty() {
                         let d = fabric
                             .send(t, conn, Dir::AtoB, rec.data.clone())
@@ -754,11 +946,8 @@ impl EngineCluster {
                 t_done = t_done.max(t_imported);
                 self.stats.records_moved += records.len() as u64;
                 self.stats.bytes_moved += bytes;
-                moved_any = true;
             }
-            if moved_any {
-                self.stats.objects_moved += 1;
-            }
+            self.stats.objects_moved += 1;
         }
         self.pending_dead = None;
         // Rebuild completion changes routing (the pre-kill-survivor
@@ -774,6 +963,162 @@ impl EngineCluster {
     /// Whether a kill is awaiting rebuild.
     pub fn rebuild_pending(&self) -> bool {
         self.pending_dead.is_some()
+    }
+
+    /// Coordinated epoch aggregation for `cont`: picks the highest
+    /// boundary that is safe on **every** up engine and runs
+    /// [`DaosEngine::aggregate`] on all of them at that same boundary, so
+    /// replicas reclaim exactly the same shadowed records and their
+    /// stores stay byte-comparable — the precondition replica scrub
+    /// cross-checks.
+    ///
+    /// The safe-boundary rule: the minimum over up engines of the
+    /// container's epoch counter (nothing above an engine's view is
+    /// aggregated before it has observed the epoch), capped by the oldest
+    /// retained snapshot (snapshot reads resolve "newest ≤ snapshot",
+    /// which aggregation at the snapshot boundary preserves), capped by
+    /// `inflight_floor - 1` when the caller has epochs still in flight
+    /// (a pipelined ring that has not drained). Engines that have never
+    /// seen the container are skipped; if none has, there is nothing to
+    /// aggregate.
+    ///
+    /// Each engine's pass is admitted through the aggregation lane (one
+    /// op per engine); returns the boundary used and the grant instant of
+    /// the last pass.
+    pub fn aggregate_cluster(
+        &mut self,
+        now: SimTime,
+        cont: &str,
+        inflight_floor: Option<Epoch>,
+    ) -> Result<(Epoch, SimTime), DaosError> {
+        let mut boundary = u64::MAX;
+        let mut seen = false;
+        for s in 0..self.engines.len() {
+            if !self.is_up(s) {
+                continue;
+            }
+            if let Some(meta) = self.engines[s].container_meta(cont) {
+                seen = true;
+                boundary = boundary.min(meta.epoch_counter);
+                if let Some(&snap) = meta.snapshots.iter().min() {
+                    boundary = boundary.min(snap);
+                }
+            }
+        }
+        if !seen {
+            return Err(DaosError::NoSuchEntity);
+        }
+        if let Some(floor) = inflight_floor {
+            boundary = boundary.min(floor.0.saturating_sub(1));
+        }
+        let mut t = now;
+        for s in 0..self.engines.len() {
+            if !self.is_up(s) {
+                continue;
+            }
+            t = self.services.aggregation.admit(t, 1);
+            self.engines[s].aggregate(Epoch(boundary));
+        }
+        self.sstats.aggregation_passes += 1;
+        Ok((Epoch(boundary), t))
+    }
+
+    /// One replica-scrub pass: every object's replica set is
+    /// self-verified (each replica's recorded checksums combined against
+    /// its media stores' cached chunk CRCs — bit-rot rewrites media bytes
+    /// behind the index and invalidates those caches, so it cannot hide)
+    /// and cross-checked by record-set fingerprint. A replica that fails
+    /// either check is repaired from the first self-clean replica in
+    /// route order: punch the bad copy, stream the reference's records
+    /// over the rebuild fabric path, and re-import them **at their
+    /// original epochs** through the normal update path (fresh placement,
+    /// fresh checksums) — so the repaired replica resolves the same
+    /// version overlay, byte-for-byte. Verification and repair streaming
+    /// are admitted through the scrub lane. With no healthy reference
+    /// (RF = 1, or every replica rotten) the mismatch is detected but
+    /// left unrepaired for the caller's RAS event.
+    pub fn scrub(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+    ) -> Result<(ScrubOutcome, SimTime), DaosError> {
+        let mut oids: Vec<ObjectId> = Vec::new();
+        for s in 0..self.engines.len() {
+            if self.is_up(s) {
+                oids.extend(self.engines[s].list_objects());
+            }
+        }
+        oids.sort();
+        oids.dedup();
+        let scanned_before = self.data_plane_stats().crc_bytes_scanned;
+        let mut outcome = ScrubOutcome::default();
+        let mut t_done = now;
+        for oid in oids {
+            let set = self.route(&oid).0;
+            if set.is_empty() {
+                continue;
+            }
+            outcome.objects_checked += 1;
+            self.sstats.objects_checked += 1;
+            // Per-replica self-verify, paced by verified volume.
+            let mut checks: Vec<(usize, ScrubCheck, u64)> = Vec::new();
+            let mut t = now;
+            for s in set.iter() {
+                let check = self.engines[s].scrub_object(oid);
+                t = self.services.scrub.admit(t, check.bytes);
+                self.sstats.replicas_checked += 1;
+                self.sstats.chunks_compared += check.chunks;
+                self.sstats.combine_bytes += check.bytes;
+                let fp = self.engines[s].object_fingerprint(oid);
+                checks.push((s, check, fp));
+            }
+            t_done = t_done.max(t);
+            // The reference replica: first self-clean copy in route order.
+            let reference = checks
+                .iter()
+                .find(|(_, c, _)| c.bad == 0)
+                .map(|&(s, _, fp)| (s, fp));
+            for &(slot, check, fp) in &checks {
+                let healthy = check.bad == 0 && reference.is_some_and(|(_, rfp)| fp == rfp);
+                if healthy {
+                    continue;
+                }
+                outcome.mismatches_found += 1;
+                self.sstats.mismatches_found += 1;
+                let Some((src, _)) = reference.filter(|&(src, _)| src != slot) else {
+                    continue;
+                };
+                // Repair: punch the rotten copy and re-stream the
+                // reference's record history at original epochs.
+                let (records, t_read) = self.engines[src].export_object(t_done, oid)?;
+                self.engines[slot].punch_object(oid);
+                let conn = self.rebuild_conn(fabric, src, slot)?;
+                let mut t = t_read;
+                let mut bytes = 0u64;
+                for rec in &records {
+                    t = self.services.scrub.admit(t, rec.data.len() as u64);
+                    if !rec.data.is_empty() {
+                        let d = fabric
+                            .send(t, conn, Dir::AtoB, rec.data.clone())
+                            .map_err(map_fabric)?;
+                        t = d.at;
+                    }
+                    bytes += rec.data.len() as u64;
+                }
+                let t_imported = self.engines[slot].import_records(t, oid, &records)?;
+                t_done = t_done.max(t_imported);
+                self.sstats.repair_records += records.len() as u64;
+                self.sstats.repair_bytes += bytes;
+                outcome.mismatches_repaired += 1;
+                self.sstats.mismatches_repaired += 1;
+            }
+        }
+        self.sstats.scrub_passes += 1;
+        self.sstats.scanned_bytes += self
+            .data_plane_stats()
+            .crc_bytes_scanned
+            .saturating_sub(scanned_before);
+        Ok((outcome, t_done))
     }
 
     /// Lists an object's dkeys from its routing leader.
@@ -843,11 +1188,13 @@ impl EngineCluster {
         total
     }
 
-    /// Resets every engine's timing to t=0 (contents untouched).
+    /// Resets every engine's timing to t=0 (contents untouched), and
+    /// rebuilds every service lane full at t=0 with counters zeroed.
     pub fn reset_timing(&mut self) {
         for e in &mut self.engines {
             e.reset_timing();
         }
+        self.services.reset_timing();
     }
 }
 

@@ -709,6 +709,54 @@ impl DaosEngine {
         self.targets[target].corrupt_newest_extent(&mut media, oid, dkey, akey)
     }
 
+    /// Fault-plan bit-rot: corrupts the engine's globally newest extent of
+    /// `oid` (max epoch across targets; target order breaks ties), without
+    /// the caller needing to know any keys. Returns false if the engine
+    /// holds no extents for the object.
+    pub fn corrupt_object(&mut self, oid: ObjectId) -> bool {
+        let mut best: Option<(usize, DKey, AKey, Epoch)> = None;
+        for (i, t) in self.targets.iter().enumerate() {
+            if let Some((d, a, e)) = t.newest_extent_key(oid) {
+                if best.as_ref().is_none_or(|(_, _, _, b)| e > *b) {
+                    best = Some((i, d, a, e));
+                }
+            }
+        }
+        let Some((target, dkey, akey, _)) = best else {
+            return false;
+        };
+        let mut media = self.bdevs.shard(target);
+        self.targets[target].corrupt_newest_extent(&mut media, oid, &dkey, &akey)
+    }
+
+    /// Scrub-verifies every record of `oid` across this engine's shards:
+    /// recorded checksums combined against the media stores' cached chunk
+    /// CRCs — near-zero payload scanning when the replica is clean.
+    pub fn scrub_object(&mut self, oid: ObjectId) -> crate::vos::ScrubCheck {
+        let mut check = crate::vos::ScrubCheck::default();
+        for target in 0..self.targets.len() {
+            let mut media = self.bdevs.shard(target);
+            check.merge(self.targets[target].scrub_object(&mut media, oid));
+        }
+        check
+    }
+
+    /// An order-insensitive fingerprint of `oid`'s logical record set on
+    /// this engine: per-target fingerprints folded in shard order. The
+    /// `(oid, dkey) -> shard` mapping is the same pure hash on every
+    /// engine, so replicas holding the same version history fingerprint
+    /// identically — without reading any payload bytes.
+    pub fn object_fingerprint(&self, oid: ObjectId) -> u64 {
+        self.targets.iter().fold(0xcbf2_9ce4_8422_2325, |h, t| {
+            (h ^ t.object_fingerprint(oid)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+
+    /// A container's epoch/snapshot metadata (aggregation coordination).
+    pub fn container_meta(&self, cont: &str) -> Option<&ContainerMeta> {
+        self.containers.get(cont)
+    }
+
     /// Resets xstream and device timing to t=0; contents are untouched.
     pub fn reset_timing(&mut self) {
         for x in &mut self.xstreams {

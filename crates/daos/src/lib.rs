@@ -24,7 +24,8 @@ pub mod vos;
 pub use checksum::{crc32c, crc32c_append, Checksum};
 pub use client::{whole_batch_error, ClientOp, ClientOpResult, DaosClient, ObjectClient};
 pub use cluster::{
-    EngineCluster, EngineHealth, MapSnapshot, PoolMap, PoolMember, RebuildStats, ReplicaSet, MAX_RF,
+    BgService, EngineCluster, EngineHealth, MapSnapshot, PoolMap, PoolMember, RebuildStats,
+    ReplicaSet, ScrubOutcome, ScrubStats, ServiceScheduler, MAX_RF,
 };
 pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
 pub use pipeline::{OpRing, RetryPolicy, RetryStats};
@@ -32,4 +33,4 @@ pub use types::{
     placement_hash, AKey, DKey, DaosCostModel, DaosError, Epoch, KeyBytes, ObjClass, ObjectId,
     INLINE_KEY,
 };
-pub use vos::{KeyPair, Location, RecordDump, VosStats, VosTarget};
+pub use vos::{KeyPair, Location, RecordDump, ScrubCheck, VosStats, VosTarget};

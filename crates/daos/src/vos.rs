@@ -162,6 +162,32 @@ pub struct RecordDump {
     pub data: Bytes,
 }
 
+/// Outcome of one object's scrub pass on one target: every record's
+/// media-side CRC cross-checked against its recorded checksums.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubCheck {
+    /// Records cross-checked (single values + array extents).
+    pub records: u64,
+    /// Checksum chunks compared (combine-only on the clean path).
+    pub chunks: u64,
+    /// Stored bytes those chunks cover — the volume verified without
+    /// being rescanned when the caches are warm.
+    pub bytes: u64,
+    /// Records whose media CRC disagreed with the recorded checksums —
+    /// bit-rot on this replica.
+    pub bad: u64,
+}
+
+impl ScrubCheck {
+    /// Folds another check into this one.
+    pub fn merge(&mut self, other: ScrubCheck) {
+        self.records += other.records;
+        self.chunks += other.chunks;
+        self.bytes += other.bytes;
+        self.bad += other.bad;
+    }
+}
+
 /// Aggregate VOS statistics for one target.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VosStats {
@@ -830,6 +856,130 @@ impl VosTarget {
             }
         }
         Ok((out, t_done))
+    }
+
+    /// Scrub-verifies every record of `oid`: the media store's (cached)
+    /// CRC over each record's full stored range against the combine of its
+    /// recorded checksums. Bit-rot rewrites media bytes behind the index's
+    /// back, invalidating the store's chunk-CRC cache for the touched
+    /// chunks, so the comparison catches it — while a fully clean pass
+    /// answers from caches and scans ~zero payload bytes.
+    pub fn scrub_object(&mut self, media: &mut ShardBdev<'_>, oid: ObjectId) -> ScrubCheck {
+        enum Expect {
+            Whole(u32),
+            Chunks(Arc<[Checksum]>),
+        }
+        let Some(obj) = self.objects.get(&oid) else {
+            return ScrubCheck::default();
+        };
+        let recs: Vec<(Location, u64, Expect)> = obj
+            .values()
+            .flat_map(|s| {
+                s.sv.iter()
+                    .map(|r| (r.location.clone(), r.len, Expect::Whole(r.checksum.0)))
+                    .chain(s.extents.iter().map(|r| {
+                        (
+                            r.location.clone(),
+                            r.stored_len,
+                            Expect::Chunks(r.checksums.clone()),
+                        )
+                    }))
+            })
+            .collect();
+        let mut check = ScrubCheck::default();
+        for (loc, len, expect) in recs {
+            check.records += 1;
+            check.bytes += len;
+            let expected = match &expect {
+                // Single values carry one whole-value CRC.
+                Expect::Whole(c) => {
+                    check.chunks += 1;
+                    Some(*c)
+                }
+                Expect::Chunks(cs) => {
+                    let n = len.div_ceil(CSUM_CHUNK);
+                    check.chunks += n;
+                    combine_recorded(cs, 0, n, len, &mut self.dp)
+                }
+            };
+            let actual = self.media_crc(media, &loc, 0, len).ok();
+            if expected.is_none() || expected != actual {
+                check.bad += 1;
+                self.stats.checksum_failures += 1;
+            }
+        }
+        check
+    }
+
+    /// An order-insensitive fingerprint of `oid`'s logical record set:
+    /// an FNV fold over the sorted `(dkey, akey, epoch, kind, len,
+    /// recorded CRCs)` descriptors. Replicas holding the same version
+    /// history — the state coordinated aggregation converges them to —
+    /// fingerprint identically without touching any payload bytes;
+    /// divergent record sets (a missed import, an unaggregated replica)
+    /// do not.
+    pub fn object_fingerprint(&self, oid: ObjectId) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        // (dkey, akey, epoch, extent offset or None for an SV, len,
+        // folded recorded CRCs) — one row per record.
+        type Desc<'a> = (&'a DKey, &'a AKey, Epoch, Option<u64>, u64, u64);
+        let Some(obj) = self.objects.get(&oid) else {
+            return OFFSET;
+        };
+        let mut descs: Vec<Desc<'_>> = Vec::new();
+        for (kp, store) in obj {
+            for r in &store.sv {
+                descs.push((
+                    &kp.dkey,
+                    &kp.akey,
+                    r.epoch,
+                    None,
+                    r.len,
+                    r.checksum.0 as u64,
+                ));
+            }
+            for r in &store.extents {
+                let crc_fold = r
+                    .checksums
+                    .iter()
+                    .fold(OFFSET, |h, c| (h ^ c.0 as u64).wrapping_mul(PRIME));
+                descs.push((&kp.dkey, &kp.akey, r.epoch, Some(r.offset), r.len, crc_fold));
+            }
+        }
+        descs.sort();
+        let mut h = OFFSET;
+        let fold_bytes = |h: &mut u64, bytes: &[u8]| {
+            for &b in bytes {
+                *h = (*h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        for (dkey, akey, epoch, offset, len, crc) in descs {
+            fold_bytes(&mut h, dkey.as_bytes());
+            fold_bytes(&mut h, akey.as_bytes());
+            fold_bytes(&mut h, &epoch.0.to_le_bytes());
+            fold_bytes(&mut h, &offset.map_or(u64::MAX, |o| o).to_le_bytes());
+            fold_bytes(&mut h, &[u8::from(offset.is_some())]);
+            fold_bytes(&mut h, &len.to_le_bytes());
+            fold_bytes(&mut h, &crc.to_le_bytes());
+        }
+        h
+    }
+
+    /// The `(dkey, akey)` owning this target's newest extent of `oid`, if
+    /// any — the deterministic victim for scheduled bit-rot injection
+    /// (max epoch; key order breaks ties).
+    pub fn newest_extent_key(&self, oid: ObjectId) -> Option<(DKey, AKey, Epoch)> {
+        let obj = self.objects.get(&oid)?;
+        let mut best: Option<(DKey, AKey, Epoch)> = None;
+        for (kp, store) in obj {
+            if let Some(e) = store.extents.iter().map(|r| r.epoch).max() {
+                if best.as_ref().is_none_or(|(_, _, b)| e > *b) {
+                    best = Some((kp.dkey.clone(), kp.akey.clone(), e));
+                }
+            }
+        }
+        best
     }
 
     /// Test hook: corrupts the newest extent's stored bytes so the next

@@ -912,7 +912,7 @@ mod tests {
         assert!(s.ops_throttled >= 3, "throttled {}", s.ops_throttled);
         assert!(s.throttle_wait > SimDuration::from_millis(300));
         let ctx = c.tenants().tenant("capped").unwrap();
-        assert_eq!(ctx.admitted.1, 4 << 20);
+        assert_eq!(ctx.qos.admitted.1, 4 << 20);
     }
 
     #[test]
@@ -982,8 +982,8 @@ mod tests {
             )
             .unwrap();
         }
-        assert_eq!(c.tenants().tenant("a").unwrap().admitted.0, 2);
-        assert_eq!(c.tenants().tenant("b").unwrap().admitted.0, 2);
+        assert_eq!(c.tenants().tenant("a").unwrap().qos.admitted.0, 2);
+        assert_eq!(c.tenants().tenant("b").unwrap().qos.admitted.0, 2);
     }
 
     #[test]

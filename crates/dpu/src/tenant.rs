@@ -6,62 +6,31 @@
 use std::collections::HashMap;
 
 use ros2_fabric::Fabric;
-use ros2_sim::{SimDuration, SimTime, TokenBucket};
+use ros2_sim::{QosLane, SimDuration, SimTime};
 use ros2_verbs::{Expiry, NodeId, PdId};
 
-/// A tenant's QoS allocation.
-#[derive(Copy, Clone, Debug)]
-pub struct QosLimits {
-    /// Operations per second.
-    pub ops_per_sec: u64,
-    /// Bytes per second.
-    pub bytes_per_sec: u64,
-    /// Burst sizes (ops, bytes).
-    pub burst: (u64, u64),
-}
-
-impl QosLimits {
-    /// An effectively unlimited allocation.
-    pub fn unlimited() -> Self {
-        QosLimits {
-            ops_per_sec: u64::MAX / 2,
-            bytes_per_sec: u64::MAX / 2,
-            burst: (1 << 20, 1 << 40),
-        }
-    }
-}
+// The bucket-pair admission mechanism was born here (PR 4) and now lives
+// in the simulation kernel so background services pace through the same
+// proven lane; re-exported to keep `ros2_dpu::QosLimits` paths working.
+pub use ros2_sim::QosLimits;
 
 /// One tenant's state on the DPU.
 #[derive(Debug)]
 pub struct TenantCtx {
     /// The tenant's protection domain on the DPU NIC.
     pub pd: PdId,
-    /// The allocation the buckets were built from (kept for resets and
-    /// observability).
-    pub limits: QosLimits,
-    ops_bucket: TokenBucket,
-    bytes_bucket: TokenBucket,
+    /// The tenant's paced admission lane (buckets + counters).
+    pub qos: QosLane,
     /// Default rkey validity window for this tenant's registrations.
     pub rkey_scope: SimDuration,
-    /// Admitted (ops, bytes).
-    pub admitted: (u64, u64),
-    /// Operations delayed by rate limiting.
-    pub throttled: u64,
-    /// Cumulative delay imposed by rate limiting.
-    pub throttle_wait: SimDuration,
 }
 
 impl TenantCtx {
     fn fresh(pd: PdId, limits: QosLimits, rkey_scope: SimDuration) -> Self {
         TenantCtx {
             pd,
-            limits,
-            ops_bucket: TokenBucket::new(limits.ops_per_sec, limits.burst.0),
-            bytes_bucket: TokenBucket::new(limits.bytes_per_sec, limits.burst.1),
+            qos: QosLane::new(limits),
             rkey_scope,
-            admitted: (0, 0),
-            throttled: 0,
-            throttle_wait: SimDuration::ZERO,
         }
     }
 }
@@ -107,16 +76,7 @@ impl TenantManager {
     /// proceed (later than `now` when rate-limited).
     pub fn admit(&mut self, now: SimTime, tenant: &str, bytes: u64) -> Option<SimTime> {
         let ctx = self.tenants.get_mut(tenant)?;
-        let t_ops = ctx.ops_bucket.acquire(now, 1);
-        let t_bytes = ctx.bytes_bucket.acquire(now, bytes.max(1));
-        let grant = t_ops.max(t_bytes);
-        ctx.admitted.0 += 1;
-        ctx.admitted.1 += bytes;
-        if grant > now {
-            ctx.throttled += 1;
-            ctx.throttle_wait += grant.saturating_since(now);
-        }
-        Some(grant)
+        Some(ctx.qos.admit(now, bytes))
     }
 
     /// Rebuilds every tenant's buckets full at t=0 and zeroes admission
@@ -124,7 +84,7 @@ impl TenantManager {
     /// and rkey scopes are untouched).
     pub fn reset_timing(&mut self) {
         for ctx in self.tenants.values_mut() {
-            *ctx = TenantCtx::fresh(ctx.pd, ctx.limits, ctx.rkey_scope);
+            ctx.qos.reset_timing();
         }
     }
 
@@ -210,8 +170,8 @@ mod tests {
             grant = tm.admit(SimTime::ZERO, "limited", 4096).unwrap();
         }
         assert!(grant >= SimTime::from_micros(900), "grant {grant}");
-        assert_eq!(tm.tenant("limited").unwrap().throttled, 1);
-        assert_eq!(tm.tenant("limited").unwrap().admitted.0, 11);
+        assert_eq!(tm.tenant("limited").unwrap().qos.throttled, 1);
+        assert_eq!(tm.tenant("limited").unwrap().qos.admitted.0, 11);
     }
 
     #[test]

@@ -56,8 +56,8 @@ fn token_bucket_refill_boundaries_are_exact() {
         "second grant {g2} must wait a full quantum after {g}"
     );
     let ctx = tm.tenant("t").unwrap();
-    assert_eq!(ctx.admitted, (3, 3 << 20));
-    assert_eq!(ctx.throttled, 2);
+    assert_eq!(ctx.qos.admitted, (3, 3 << 20));
+    assert_eq!(ctx.qos.throttled, 2);
 }
 
 /// The ops bucket binds independently of the bytes bucket: tiny ops at a
@@ -374,7 +374,7 @@ proptest! {
             }
         }
         let ctx = tm.tenant("p").unwrap();
-        prop_assert_eq!(ctx.admitted.0, grants.len() as u64);
+        prop_assert_eq!(ctx.qos.admitted.0, grants.len() as u64);
     }
 
     /// The same over-grant bound driven through the *pipelined* offload

@@ -11,8 +11,8 @@
 use bytes::Bytes;
 use ros2_core::FaultPlan;
 use ros2_daos::{
-    DaosClient, DaosCostModel, DaosEngine, EngineCluster, MapSnapshot, ObjectClient, RebuildStats,
-    RetryPolicy, RetryStats,
+    BgService, DaosClient, DaosCostModel, DaosEngine, EngineCluster, Epoch, MapSnapshot,
+    ObjectClient, RebuildStats, RetryPolicy, RetryStats, ScrubOutcome, ScrubStats,
 };
 use ros2_dfs::{Dfs, DfsObj, DfsSession};
 use ros2_dpu::{default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec};
@@ -23,7 +23,7 @@ use ros2_hw::{
 };
 use ros2_iouring::{IoRequest, IoUringEngine};
 use ros2_nvme::{DataMode, NvmeArray};
-use ros2_sim::{ResourceStats, SimTime};
+use ros2_sim::{QosLimits, ResourceStats, SimTime};
 use ros2_spdk::{BdevLayer, NvmfSession, NvmfStack};
 use ros2_verbs::{MemoryDomain, NodeId};
 
@@ -224,6 +224,16 @@ impl FioClient {
         match self {
             FioClient::Classic(_) => DpuStats::default(),
             FioClient::Offloaded(c) => c.dpu_stats(),
+        }
+    }
+
+    /// Forces the pipelined data path to drain each op serially (see
+    /// [`DaosClient::set_force_serial_pipeline`]) — the A/B replay oracle
+    /// for the chaos and recovery figures.
+    pub fn set_force_serial_pipeline(&mut self, on: bool) {
+        match self {
+            FioClient::Classic(c) => c.set_force_serial_pipeline(on),
+            FioClient::Offloaded(c) => c.set_force_serial_pipeline(on),
         }
     }
 
@@ -500,6 +510,8 @@ pub struct ClusterFioWorld {
     faults: FaultPlan,
     /// Index of the next unfired entry in `faults.kills`.
     next_kill: usize,
+    /// Index of the next unfired entry in `faults.bitrot`.
+    next_bitrot: usize,
 }
 
 impl ClusterFioWorld {
@@ -558,6 +570,7 @@ impl ClusterFioWorld {
             ),
             faults: FaultPlan::none(),
             next_kill: 0,
+            next_bitrot: 0,
         }
     }
 
@@ -623,6 +636,7 @@ impl ClusterFioWorld {
             ),
             faults: FaultPlan::none(),
             next_kill: 0,
+            next_bitrot: 0,
         }
     }
 
@@ -639,6 +653,7 @@ impl ClusterFioWorld {
         }
         self.faults = plan;
         self.next_kill = 0;
+        self.next_bitrot = 0;
     }
 
     /// Kills engine `slot` (pool-map revision bump; subsequent fetches of
@@ -674,6 +689,23 @@ impl ClusterFioWorld {
             self.world
                 .client
                 .deliver_map(now + self.faults.ras_delay, snap);
+        }
+        while self.next_bitrot < self.faults.bitrot.len() {
+            let rot = self.faults.bitrot[self.next_bitrot];
+            if self.world.client.ops() < rot.after_client_ops {
+                break;
+            }
+            self.next_bitrot += 1;
+            let engine = self.world.cluster.engine_mut(rot.slot);
+            let oids = engine.list_objects();
+            // Walk forward from the drawn index to the next object with
+            // array payload — metadata objects have nothing to rot.
+            for k in 0..oids.len() {
+                let oid = oids[(rot.object_index + k) % oids.len()];
+                if engine.corrupt_object(oid) {
+                    break;
+                }
+            }
         }
         Ok(())
     }
@@ -730,6 +762,37 @@ impl ClusterFioWorld {
     /// Total stale-map fences observed across the cluster's engines.
     pub fn fences(&self) -> u64 {
         self.world.cluster.fences()
+    }
+
+    /// Sets a background service's pacing budget (rebuild, aggregation,
+    /// or scrub lane). Unlimited by default — bit-identical to unpaced.
+    pub fn set_service_budget(&mut self, service: BgService, limits: QosLimits) {
+        self.world.cluster.set_service_budget(service, limits);
+    }
+
+    /// Coordinated epoch aggregation of the `posix` container at the
+    /// cluster-safe boundary; returns `(boundary, completion instant)`.
+    pub fn aggregate(&mut self, now: SimTime) -> Result<(Epoch, SimTime), String> {
+        self.world
+            .cluster
+            .aggregate_cluster(now, "posix", None)
+            .map_err(|e| format!("{e:?}"))
+    }
+
+    /// One replica-scrub pass: detects bit-rot via recorded-vs-media
+    /// checksum cross-checks and repairs rotten replicas from a healthy
+    /// copy over the rebuild fabric path.
+    pub fn scrub(&mut self, now: SimTime) -> Result<(ScrubOutcome, SimTime), String> {
+        self.world
+            .cluster
+            .scrub(&mut self.world.fabric, now)
+            .map_err(|e| format!("{e:?}"))
+    }
+
+    /// Background-service counters (scrub passes, repair volume,
+    /// per-service throttle waits).
+    pub fn scrub_stats(&self) -> ScrubStats {
+        self.world.cluster.scrub_stats()
     }
 }
 

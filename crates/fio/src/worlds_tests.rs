@@ -425,6 +425,7 @@ fn offloaded_qos_shapes_contended_tenants() {
             .tenants()
             .tenant(name)
             .unwrap()
+            .qos
             .admitted
             .1
     };
@@ -436,9 +437,12 @@ fn offloaded_qos_shapes_contended_tenants() {
         .tenants()
         .tenant("capped")
         .unwrap();
-    assert!(capped_ctx.throttled > 0, "the capped bucket must engage");
     assert!(
-        capped_ctx.throttle_wait > SimDuration::from_millis(100),
+        capped_ctx.qos.throttled > 0,
+        "the capped bucket must engage"
+    );
+    assert!(
+        capped_ctx.qos.throttle_wait > SimDuration::from_millis(100),
         "grants must queue behind the 64 MiB/s cap"
     );
     // Admissions over the 0.1 s virtual run are bounded by the cap plus

@@ -46,7 +46,9 @@ pub mod stats;
 pub mod time;
 
 pub use queue::EventQueue;
-pub use resources::{BandwidthServer, Grant, LatencyPipe, ResourceStats, ServerPool, TokenBucket};
+pub use resources::{
+    BandwidthServer, Grant, LatencyPipe, QosLane, QosLimits, ResourceStats, ServerPool, TokenBucket,
+};
 pub use rng::{SimRng, Zipf};
 pub use stats::{Counter, IoReport, LatencyHistogram, ThroughputMeter};
 pub use time::{SimDuration, SimTime};

@@ -568,6 +568,99 @@ impl TokenBucket {
     }
 }
 
+/// A QoS allocation: the rate/burst envelope a [`QosLane`] enforces.
+///
+/// Lifted from the DPU tenant manager (PR 4) into the simulation kernel so
+/// foreground tenants and background services (rebuild, aggregation, scrub)
+/// share one proven admission mechanism.
+#[derive(Copy, Clone, Debug)]
+pub struct QosLimits {
+    /// Operations per second.
+    pub ops_per_sec: u64,
+    /// Bytes per second.
+    pub bytes_per_sec: u64,
+    /// Burst sizes (ops, bytes).
+    pub burst: (u64, u64),
+}
+
+impl QosLimits {
+    /// An effectively unlimited allocation. An unlimited lane's grants
+    /// always land exactly at `now`, so wrapping a path in an unlimited
+    /// lane is bit-identical to not pacing it at all.
+    pub fn unlimited() -> Self {
+        QosLimits {
+            ops_per_sec: u64::MAX / 2,
+            bytes_per_sec: u64::MAX / 2,
+            burst: (1 << 20, 1 << 40),
+        }
+    }
+
+    /// A bytes-per-second budget with a one-second burst window and an
+    /// effectively unbounded op rate — the natural shape for streaming
+    /// background services paced by volume, not op count.
+    pub fn bytes_per_sec(bytes_per_sec: u64) -> Self {
+        QosLimits {
+            ops_per_sec: u64::MAX / 2,
+            bytes_per_sec,
+            burst: (1 << 20, bytes_per_sec.max(1)),
+        }
+    }
+}
+
+/// A paced admission lane: paired op/byte token buckets plus the
+/// accounting every caller previously duplicated. One I/O of `bytes` is
+/// admitted at the later of the two buckets' grants.
+#[derive(Clone, Debug)]
+pub struct QosLane {
+    /// The allocation the buckets were built from (kept for resets and
+    /// observability).
+    pub limits: QosLimits,
+    ops_bucket: TokenBucket,
+    bytes_bucket: TokenBucket,
+    /// Admitted (ops, bytes).
+    pub admitted: (u64, u64),
+    /// Operations delayed by rate limiting.
+    pub throttled: u64,
+    /// Cumulative delay imposed by rate limiting.
+    pub throttle_wait: SimDuration,
+}
+
+impl QosLane {
+    /// Creates a lane with full buckets at t=0.
+    pub fn new(limits: QosLimits) -> Self {
+        QosLane {
+            limits,
+            ops_bucket: TokenBucket::new(limits.ops_per_sec, limits.burst.0),
+            bytes_bucket: TokenBucket::new(limits.bytes_per_sec, limits.burst.1),
+            admitted: (0, 0),
+            throttled: 0,
+            throttle_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// Admits one I/O of `bytes`, returning the instant it may proceed
+    /// (later than `now` when rate-limited). Zero-byte ops are charged one
+    /// byte so the byte bucket's backlog ordering still applies.
+    pub fn admit(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let t_ops = self.ops_bucket.acquire(now, 1);
+        let t_bytes = self.bytes_bucket.acquire(now, bytes.max(1));
+        let grant = t_ops.max(t_bytes);
+        self.admitted.0 += 1;
+        self.admitted.1 += bytes;
+        if grant > now {
+            self.throttled += 1;
+            self.throttle_wait += grant.saturating_since(now);
+        }
+        grant
+    }
+
+    /// Rebuilds the buckets full at t=0 and zeroes the counters (between a
+    /// preconditioning phase and a measured run).
+    pub fn reset_timing(&mut self) {
+        *self = QosLane::new(self.limits);
+    }
+}
+
 /// A fixed propagation delay (switch hop, PCIe hop).
 #[derive(Copy, Clone, Debug)]
 pub struct LatencyPipe {
@@ -724,6 +817,37 @@ mod tests {
             assert!(g >= last, "grants must not reorder");
             last = g;
         }
+    }
+
+    #[test]
+    fn unlimited_lane_grants_exactly_at_now() {
+        // The bit-identity pin for unpaced services: an unlimited lane must
+        // never move a grant, so wrapping a path in one is a no-op in time.
+        let mut lane = QosLane::new(QosLimits::unlimited());
+        for i in 0..1000u64 {
+            let now = SimTime::from_micros(i);
+            assert_eq!(lane.admit(now, 1 << 20), now);
+        }
+        assert_eq!(lane.throttled, 0);
+        assert_eq!(lane.throttle_wait, SimDuration::ZERO);
+        assert_eq!(lane.admitted, (1000, 1000 << 20));
+    }
+
+    #[test]
+    fn lane_byte_budget_paces_a_stream() {
+        // 1 MiB/s with a 1 MiB burst: the first MiB is free, each further
+        // MiB queues a full second behind the backlog.
+        let mut lane = QosLane::new(QosLimits::bytes_per_sec(1 << 20));
+        assert_eq!(lane.admit(SimTime::ZERO, 1 << 20), SimTime::ZERO);
+        let g1 = lane.admit(SimTime::ZERO, 1 << 20);
+        let g2 = lane.admit(SimTime::ZERO, 1 << 20);
+        assert_eq!(g1, SimTime::from_secs(1));
+        assert_eq!(g2, SimTime::from_secs(2));
+        assert_eq!(lane.throttled, 2);
+        assert_eq!(lane.throttle_wait, SimDuration::from_secs(3));
+        lane.reset_timing();
+        assert_eq!(lane.admit(SimTime::ZERO, 1 << 20), SimTime::ZERO);
+        assert_eq!(lane.admitted, (1, 1 << 20));
     }
 
     #[test]

@@ -262,3 +262,79 @@ fn dpu_dram_exhaustion_fails_launch_cleanly() {
     });
     assert!(matches!(err, Err(ros2::core::Ros2Error::Config(_))));
 }
+
+#[test]
+fn scheduled_bitrot_is_scrubbed_and_repaired() {
+    use ros2::core::{ClusterConfig, FaultPlan, ScheduledCorruption};
+    let mut sys = Ros2System::launch(Ros2Config {
+        cluster: ClusterConfig {
+            engines: 4,
+            replication_factor: 2,
+        },
+        ..Ros2Config::default()
+    })
+    .unwrap();
+    sys.cluster.set_force_serial_batch(true);
+
+    let content = |i: usize| Bytes::from(vec![(i * 53 % 241) as u8 + 1; 2 << 20]);
+    let mut files = Vec::new();
+    for i in 0..4 {
+        let mut f = sys.create(&format!("/rot{i}")).unwrap().value;
+        sys.write(&mut f, 0, content(i)).unwrap();
+        files.push(f);
+    }
+
+    // Two silent corruptions keyed to the client-op counter, firing
+    // between ops of the second half of the workload.
+    let mut plan = FaultPlan::none();
+    let base = sys.metrics().client_ops;
+    plan.bitrot = vec![
+        ScheduledCorruption {
+            after_client_ops: base + 2,
+            slot: 0,
+            object_index: 0,
+        },
+        ScheduledCorruption {
+            after_client_ops: base + 5,
+            slot: 3,
+            object_index: 1,
+        },
+    ];
+    sys.set_fault_plan(plan);
+    for i in 4..8 {
+        let mut f = sys.create(&format!("/rot{i}")).unwrap().value;
+        sys.write(&mut f, 0, content(i)).unwrap();
+        files.push(f);
+    }
+
+    // The scrub service finds and repairs every rotten replica, and the
+    // pass lands on the control plane as a RAS-style ScrubReport.
+    let calls = sys.metrics().control_calls;
+    let outcome = sys.scrub().unwrap().value;
+    assert!(outcome.mismatches_found >= 1, "{outcome:?}");
+    assert_eq!(
+        outcome.mismatches_found, outcome.mismatches_repaired,
+        "every mismatch must be repaired: {outcome:?}"
+    );
+    assert_eq!(sys.metrics().control_calls, calls + 1);
+
+    // Epoch aggregation at the cluster-safe boundary is a control event
+    // too, and the follow-up scrub pass over the healed cluster is clean
+    // without scanning a single payload byte.
+    let boundary = sys.aggregate().unwrap().value;
+    assert!(boundary.0 > 0);
+    assert_eq!(sys.metrics().control_calls, calls + 2);
+    let scanned = sys.metrics().scrub.scanned_bytes;
+    let clean = sys.scrub().unwrap().value;
+    assert_eq!(clean.mismatches_found, 0, "{clean:?}");
+    let m = sys.metrics().scrub;
+    assert_eq!(m.scanned_bytes, scanned, "clean pass must be combine-only");
+    assert_eq!(m.scrub_passes, 2);
+    assert!(m.chunks_compared > 0 && m.combine_bytes > 0);
+
+    // No acked write was lost to the rot.
+    for (i, f) in files.iter().enumerate() {
+        let back = sys.read(f, 0, 2 << 20).expect("post-scrub read").value;
+        assert_eq!(back, content(i), "file {i} bytes after scrub repair");
+    }
+}

@@ -90,7 +90,14 @@ fn qos_cap_bounds_effective_bandwidth() {
         gibps <= cap * 1.25,
         "rate {gibps:.4} GiB/s must respect the {cap:.4} GiB/s cap (burst tolerance)"
     );
-    assert!(sys.tenants().tenant(&sys.config.tenant).unwrap().throttled > 0);
+    assert!(
+        sys.tenants()
+            .tenant(&sys.config.tenant)
+            .unwrap()
+            .qos
+            .throttled
+            > 0
+    );
 }
 
 #[test]
@@ -102,7 +109,11 @@ fn unlimited_tenant_is_never_throttled() {
             .unwrap();
     }
     assert_eq!(
-        sys.tenants().tenant(&sys.config.tenant).unwrap().throttled,
+        sys.tenants()
+            .tenant(&sys.config.tenant)
+            .unwrap()
+            .qos
+            .throttled,
         0
     );
 }
