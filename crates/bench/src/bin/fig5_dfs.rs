@@ -6,7 +6,7 @@
 
 use rayon::prelude::*;
 use ros2_bench::{print_table, spec};
-use ros2_fio::{run_fio, DfsFioWorld, RwMode};
+use ros2_fio::{run_fio, RwMode, WorldSpec};
 use ros2_hw::{ClientPlacement, Transport};
 use ros2_nvme::DataMode;
 
@@ -32,8 +32,13 @@ fn table(transport: Transport, bs: u64) -> Vec<Vec<String>> {
         .collect::<Vec<_>>()
         .into_par_iter()
         .map(|(cell, (placement, rw, ssds))| {
-            let mut world =
-                DfsFioWorld::new(transport, placement, ssds, JOBS, REGION, DataMode::Null);
+            let mut world = WorldSpec::single(placement)
+                .transport(transport)
+                .ssds(ssds)
+                .jobs(JOBS)
+                .region(REGION)
+                .mode(DataMode::Null)
+                .build_dfs();
             let report = run_fio(&mut world, &spec(rw, bs, JOBS, REGION));
             let text = if bs >= 1 << 20 {
                 format!("{:6.2}", report.gib_per_sec())

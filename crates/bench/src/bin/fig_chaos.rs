@@ -21,9 +21,7 @@
 use ros2_core::FaultPlan;
 use ros2_daos::RetryStats;
 use ros2_dpu::DpuTenantSpec;
-use ros2_fio::{run_fio, ClusterFioWorld, FioReport, JobSpec, RwMode};
-use ros2_hw::Transport;
-use ros2_nvme::DataMode;
+use ros2_fio::{run_fio, ClusterFioWorld, FioReport, JobSpec, RwMode, WorldSpec};
 use ros2_sim::SimDuration;
 
 const ENGINES: usize = 4;
@@ -45,30 +43,22 @@ fn chaos_spec() -> JobSpec {
 }
 
 fn host_world() -> ClusterFioWorld {
-    let mut w = ClusterFioWorld::new(
-        Transport::Rdma,
-        ENGINES,
-        RF,
-        1,
-        JOBS,
-        REGION,
-        DataMode::Stored,
-    );
+    let mut w = WorldSpec::cluster(ENGINES)
+        .replication(RF)
+        .jobs(JOBS)
+        .region(REGION)
+        .build();
     w.world.set_pipelined(true);
     w
 }
 
 fn dpu_world() -> ClusterFioWorld {
-    let mut w = ClusterFioWorld::offloaded(
-        Transport::Rdma,
-        ENGINES,
-        RF,
-        1,
-        JOBS,
-        REGION,
-        DataMode::Stored,
-        vec![DpuTenantSpec::unlimited("fio")],
-    );
+    let mut w = WorldSpec::cluster(ENGINES)
+        .replication(RF)
+        .jobs(JOBS)
+        .region(REGION)
+        .offload(vec![DpuTenantSpec::unlimited("fio")])
+        .build();
     w.world.set_pipelined(true);
     w
 }

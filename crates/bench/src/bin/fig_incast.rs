@@ -1,0 +1,262 @@
+//! Incast figure (PR 9): N clients fanning into one 4-engine cluster
+//! through the shared switch, recorded in `BENCH_PR9.json`.
+//!
+//! The clients axis sweeps 1 → 256. Each cell measures what the incast
+//! deployment shape actually does to the storage side:
+//!
+//! * **aggregate throughput** — grows with the client count until the
+//!   storage ports saturate, then flattens (never exceeds them): the
+//!   incast collapse is a fairness story, not a loss story, on a lossless
+//!   fabric;
+//! * **fairness** — symmetric clients must share the ports evenly; the
+//!   per-client op spread (max/min) is gated;
+//! * **connection pool** — the engines hold at most `POOL_CAPACITY`
+//!   resident sessions regardless of the client count. At ≤ capacity the
+//!   steady state is all hits; at 256 clients the pool thrashes by
+//!   design and the recorded hit rate quantifies the reconnect tax;
+//! * **kill cell** — 64 clients, RF 2, engine 1 dies mid-run and the new
+//!   map reaches every client as **one** pushed `MapPush` fan-out
+//!   (delayed RAS, per-client serialization gap), not 64 `MapQuery`
+//!   pulls. Zero failed ops, bounded retries.
+
+use ros2_bench::{legacy_sweep_ops, OPS_SIMULATED_PIN};
+use ros2_core::FaultPlan;
+use ros2_fio::{run_fio, Clients, IncastFioWorld, JobSpec, RwMode, WorldSpec};
+use ros2_nvme::DataMode;
+use ros2_sim::SimDuration;
+
+/// Clients axis of the sweep.
+const CLIENT_COUNTS: [usize; 4] = [1, 16, 64, 256];
+const ENGINES: usize = 4;
+const RF: usize = 2;
+const JOBS_PER_CLIENT: usize = 1;
+const REGION: u64 = 2 << 20;
+/// Engine-side resident-session bound: the 256-client cell oversubscribes
+/// it 4× on purpose.
+const POOL_CAPACITY: usize = 64;
+const KILL_CLIENTS: usize = 64;
+const KILL_AFTER_OPS: u64 = 140;
+const RAS_DELAY: SimDuration = SimDuration::from_millis(5);
+
+fn incast_world(clients: usize, mode: DataMode) -> IncastFioWorld {
+    WorldSpec::cluster(ENGINES)
+        .clients(Clients::host(clients))
+        .replication(RF)
+        .jobs(JOBS_PER_CLIENT)
+        .region(REGION)
+        .mode(mode)
+        .pool_capacity(POOL_CAPACITY)
+        .build_incast()
+}
+
+fn sweep_spec(total_jobs: usize) -> JobSpec {
+    JobSpec::new(RwMode::RandRead, 1 << 20, total_jobs)
+        .iodepth(2)
+        .region(REGION)
+        .windows(SimDuration::from_millis(2), SimDuration::from_millis(20))
+        .seed(9)
+}
+
+struct IncastCell {
+    clients: usize,
+    gib_s: f64,
+    failed: u64,
+    fairness: f64,
+    hit_rate: f64,
+    resident_peak: u64,
+    evictions: u64,
+    misses: u64,
+}
+
+fn sweep_cell(clients: usize) -> IncastCell {
+    let mut w = incast_world(clients, DataMode::Null);
+    let spec = sweep_spec(w.total_jobs());
+    let report = run_fio(&mut w, &spec);
+    let ops = w.per_client_ops();
+    let min = *ops.iter().min().unwrap() as f64;
+    let max = *ops.iter().max().unwrap() as f64;
+    let stats = w.conn_pool_stats();
+    IncastCell {
+        clients,
+        gib_s: report.gib_per_sec(),
+        failed: report.io.errors.get(),
+        fairness: max / min.max(1.0),
+        hit_rate: stats.hit_rate(),
+        resident_peak: stats.resident_peak,
+        evictions: stats.evictions,
+        misses: stats.misses,
+    }
+}
+
+struct KillCell {
+    gib_s: f64,
+    failed: u64,
+    fences: u64,
+    retries: u64,
+    exhausted: u64,
+    hit_rate: f64,
+    resident_peak: u64,
+}
+
+/// 64 clients, stored contents, engine 1 killed mid-run; the revision is
+/// distributed by the RAS push fan-out (pipelined path: the retry ladder
+/// needs the op ring).
+fn kill_cell() -> KillCell {
+    let mut w = incast_world(KILL_CLIENTS, DataMode::Stored);
+    w.set_pipelined(true);
+    let after = w.total_ops() + KILL_AFTER_OPS;
+    w.set_fault_plan(FaultPlan::kill_after(1, after, RAS_DELAY));
+    let spec = JobSpec::new(RwMode::RandWrite, 1 << 20, w.total_jobs())
+        .iodepth(2)
+        .region(REGION)
+        .windows(SimDuration::from_millis(2), SimDuration::from_millis(20))
+        .seed(13);
+    let report = run_fio(&mut w, &spec);
+    let retry = w.retry_stats();
+    let stats = w.conn_pool_stats();
+    KillCell {
+        gib_s: report.gib_per_sec(),
+        failed: report.io.errors.get(),
+        fences: w.fences(),
+        retries: retry.retries,
+        exhausted: retry.exhausted,
+        hit_rate: stats.hit_rate(),
+        resident_peak: stats.resident_peak,
+    }
+}
+
+fn main() {
+    println!(
+        "incast sweep: {CLIENT_COUNTS:?} clients x {JOBS_PER_CLIENT} job, {ENGINES} engines \
+         RF {RF}, pool capacity {POOL_CAPACITY}"
+    );
+    let cells: Vec<IncastCell> = CLIENT_COUNTS.iter().map(|&c| sweep_cell(c)).collect();
+    for cell in &cells {
+        println!(
+            "  {:>3} clients: {:6.2} GiB/s aggregate, fairness {:.2}x, pool hit rate {:.3}, \
+             resident peak {}, {} evictions",
+            cell.clients,
+            cell.gib_s,
+            cell.fairness,
+            cell.hit_rate,
+            cell.resident_peak,
+            cell.evictions,
+        );
+    }
+
+    let kill = kill_cell();
+    println!(
+        "kill cell ({KILL_CLIENTS} clients, RAS push): {:.2} GiB/s, {} failed, {} fences, \
+         {} retries, hit rate {:.3}",
+        kill.gib_s, kill.failed, kill.fences, kill.retries, kill.hit_rate,
+    );
+
+    println!("re-playing the legacy sweeps for the ops pin...");
+    let legacy_ops = legacy_sweep_ops();
+    println!("  legacy sweep ops: {legacy_ops} (pin {OPS_SIMULATED_PIN})");
+
+    // ---- gates (all virtual-time, deterministic) ----
+    for cell in &cells {
+        assert_eq!(
+            cell.failed, 0,
+            "{} clients: the incast sweep must not error",
+            cell.clients
+        );
+        assert!(
+            cell.fairness <= 2.0,
+            "{} clients: symmetric clients must share the ports fairly \
+             ({:.2}x spread)",
+            cell.clients,
+            cell.fairness
+        );
+        assert!(
+            cell.resident_peak <= POOL_CAPACITY as u64,
+            "{} clients: engine connection state must stay O(pool capacity)",
+            cell.clients
+        );
+        if cell.clients <= POOL_CAPACITY {
+            assert_eq!(
+                cell.misses, cell.clients as u64,
+                "{} clients fit the pool: exactly one cold handshake each",
+                cell.clients
+            );
+            assert_eq!(cell.evictions, 0, "{} clients must not evict", cell.clients);
+            assert!(
+                cell.hit_rate > 0.85,
+                "{} clients fit the pool: steady state must be hits \
+                 (got {:.3})",
+                cell.clients,
+                cell.hit_rate
+            );
+        } else {
+            assert!(
+                cell.evictions > 0,
+                "{} clients must oversubscribe the {POOL_CAPACITY}-slot pool",
+                cell.clients
+            );
+        }
+    }
+    assert!(
+        cells[1].gib_s > cells[0].gib_s * 1.5,
+        "16 clients must outrun 1 before the ports saturate: {:.2} vs {:.2} GiB/s",
+        cells[1].gib_s,
+        cells[0].gib_s
+    );
+    let peak = cells.iter().map(|c| c.gib_s).fold(0.0f64, f64::max);
+    assert!(
+        cells[3].gib_s > peak * 0.60,
+        "256 clients on a lossless fabric degrade gracefully, not collapse \
+         ({:.2} vs peak {:.2} GiB/s)",
+        cells[3].gib_s,
+        peak
+    );
+    assert_eq!(
+        kill.failed, 0,
+        "a kill under incast with the RAS push must lose zero ops"
+    );
+    assert!(
+        kill.fences >= 1,
+        "the pushed revision must fence at least once"
+    );
+    assert!(kill.retries >= 1, "recovery must ride the ladder");
+    assert_eq!(kill.exhausted, 0, "no op may exhaust its retry budget");
+    assert!(kill.resident_peak <= POOL_CAPACITY as u64);
+    assert_eq!(
+        legacy_ops, OPS_SIMULATED_PIN,
+        "the clients axis is opt-in: single-client sweeps must stay \
+         bit-identical"
+    );
+
+    let mut cells_json = String::from("[");
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            cells_json.push_str(", ");
+        }
+        cells_json.push_str(&format!(
+            "{{\"clients\": {}, \"gib_s\": {:.4}, \"fairness\": {:.4}, \
+             \"pool_hit_rate\": {:.4}, \"resident_peak\": {}, \"evictions\": {}}}",
+            cell.clients,
+            cell.gib_s,
+            cell.fairness,
+            cell.hit_rate,
+            cell.resident_peak,
+            cell.evictions,
+        ));
+    }
+    cells_json.push(']');
+
+    let json = format!(
+        "{{\n  \"incast\": {cells_json},\n  \
+         \"incast_pool_capacity\": {POOL_CAPACITY},\n  \
+         \"incast_kill_gib_s\": {:.4},\n  \
+         \"incast_kill_failed_ops\": {},\n  \
+         \"incast_kill_fences\": {},\n  \
+         \"incast_kill_retries\": {},\n  \
+         \"incast_kill_exhausted\": {},\n  \
+         \"incast_kill_pool_hit_rate\": {:.4},\n  \
+         \"ops_simulated\": {legacy_ops}\n}}\n",
+        kill.gib_s, kill.failed, kill.fences, kill.retries, kill.exhausted, kill.hit_rate,
+    );
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
+    println!("wrote BENCH_PR9.json");
+}

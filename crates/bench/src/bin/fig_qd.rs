@@ -26,8 +26,8 @@
 
 use ros2_bench::{legacy_sweep_ops, OPS_SIMULATED_PIN};
 use ros2_dpu::DpuTenantSpec;
-use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
-use ros2_hw::{ClientPlacement, Transport};
+use ros2_fio::{run_fio, JobSpec, RwMode, WorldSpec};
+use ros2_hw::ClientPlacement;
 use ros2_nvme::DataMode;
 use ros2_sim::SimDuration;
 
@@ -55,26 +55,21 @@ fn qd_spec(bs: u64, qd: usize) -> JobSpec {
 /// errors.
 fn qd_cell(bs: u64, qd: usize) -> (f64, f64) {
     let spec = qd_spec(bs, qd);
-    let mut host = DfsFioWorld::new(
-        Transport::Rdma,
-        ClientPlacement::Host,
-        1,
-        JOBS,
-        REGION,
-        DataMode::Null,
-    );
+    let mut host = WorldSpec::single(ClientPlacement::Host)
+        .jobs(JOBS)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .build_dfs();
     host.set_pipelined(true);
     let h = run_fio(&mut host, &spec);
     assert_eq!(h.io.errors.get(), 0, "host arm bs={bs} qd={qd} errored");
 
-    let mut dpu = DfsFioWorld::offloaded(
-        Transport::Rdma,
-        1,
-        JOBS,
-        REGION,
-        DataMode::Null,
-        vec![DpuTenantSpec::unlimited("fio")],
-    );
+    let mut dpu = WorldSpec::single(ClientPlacement::Dpu)
+        .jobs(JOBS)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .offload(vec![DpuTenantSpec::unlimited("fio")])
+        .build_dfs();
     dpu.set_pipelined(true);
     let d = run_fio(&mut dpu, &spec);
     assert_eq!(d.io.errors.get(), 0, "dpu arm bs={bs} qd={qd} errored");

@@ -26,9 +26,7 @@
 
 use ros2_core::{FaultPlan, ScheduledCorruption};
 use ros2_daos::BgService;
-use ros2_fio::{run_fio, ClusterFioWorld, FioReport, JobSpec, RwMode};
-use ros2_hw::Transport;
-use ros2_nvme::DataMode;
+use ros2_fio::{run_fio, ClusterFioWorld, FioReport, JobSpec, RwMode, WorldSpec};
 use ros2_sim::{QosLimits, SimDuration, SimTime};
 
 const ENGINES: usize = 4;
@@ -62,15 +60,11 @@ fn write_spec() -> JobSpec {
 }
 
 fn world() -> ClusterFioWorld {
-    let mut w = ClusterFioWorld::new(
-        Transport::Rdma,
-        ENGINES,
-        RF,
-        1,
-        JOBS,
-        REGION,
-        DataMode::Stored,
-    );
+    let mut w = WorldSpec::cluster(ENGINES)
+        .replication(RF)
+        .jobs(JOBS)
+        .region(REGION)
+        .build();
     w.world.set_pipelined(true);
     w
 }

@@ -18,8 +18,8 @@
 //!   rebuild restores RF with every CRC intact.
 
 use ros2_bench::{legacy_sweep_ops, OPS_SIMULATED_PIN};
-use ros2_fio::{run_fio, ClusterFioWorld, JobSpec, RwMode};
-use ros2_hw::{gbps, Transport};
+use ros2_fio::{run_fio, JobSpec, RwMode, WorldSpec};
+use ros2_hw::gbps;
 use ros2_nvme::DataMode;
 use ros2_sim::{SimDuration, SimTime};
 
@@ -38,8 +38,11 @@ fn scale_spec(rw: RwMode, bs: u64) -> JobSpec {
 /// One scale-sweep cell: `engines` storage nodes, RF 1, large sequential
 /// reads. Returns (GiB/s, failed ops).
 fn scale_cell(engines: usize) -> (f64, u64) {
-    let mut world =
-        ClusterFioWorld::new(Transport::Rdma, engines, 1, 1, JOBS, REGION, DataMode::Null);
+    let mut world = WorldSpec::cluster(engines)
+        .jobs(JOBS)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .build();
     let report = run_fio(&mut world, &scale_spec(RwMode::Read, 1 << 20));
     (report.gib_per_sec(), report.io.errors.get())
 }
@@ -57,7 +60,11 @@ struct ResilienceCell {
 }
 
 fn resilience_cell() -> ResilienceCell {
-    let mut world = ClusterFioWorld::new(Transport::Rdma, 4, 2, 1, 8, REGION, DataMode::Stored);
+    let mut world = WorldSpec::cluster(4)
+        .replication(2)
+        .jobs(8)
+        .region(REGION)
+        .build();
     let spec = JobSpec::new(RwMode::Read, 1 << 20, 8)
         .iodepth(2)
         .region(REGION)

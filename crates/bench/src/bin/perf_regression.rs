@@ -60,7 +60,7 @@ use ros2_daos::{
     AKey, DKey, DaosCostModel, DaosEngine, Epoch, ObjClass, ObjectId, TargetOp, ValueKind,
 };
 use ros2_dpu::{DpuTenantSpec, QosLimits};
-use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
+use ros2_fio::{run_fio, JobSpec, RwMode, WorldSpec};
 use ros2_hw::{ClientPlacement, CoreClass, NvmeModel, Transport};
 use ros2_nvme::{DataMode, NvmeArray};
 use ros2_sim::{BandwidthServer, ResourceStats, SimDuration, SimTime};
@@ -106,15 +106,13 @@ fn cell(
     force_per_segment: bool,
 ) -> CellResult {
     let t0 = Instant::now();
-    let mut world = DfsFioWorld::with_wire_mode(
-        transport,
-        placement,
-        1,
-        jobs,
-        REGION,
-        DataMode::Null,
-        force_per_segment,
-    );
+    let mut world = WorldSpec::single(placement)
+        .transport(transport)
+        .jobs(jobs)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .wire_per_segment(force_per_segment)
+        .build_dfs();
     let report = run_fio(&mut world, &spec(rw, bs, jobs, qd));
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     let wire = world.fabric.wire_traversal_stats();
@@ -416,23 +414,20 @@ fn host_vs_dpu_sweep() -> (Vec<DpuAbCell>, ros2_dpu::DpuStats) {
     for &transport in &[Transport::Rdma, Transport::Tcp] {
         for &rw in &[RwMode::Read, RwMode::Write] {
             for &bs in &[1u64 << 20, 4 << 10] {
-                let mut host_world = DfsFioWorld::new(
-                    transport,
-                    ClientPlacement::Host,
-                    1,
-                    AB_JOBS,
-                    AB_REGION,
-                    DataMode::Null,
-                );
+                let mut host_world = WorldSpec::single(ClientPlacement::Host)
+                    .transport(transport)
+                    .jobs(AB_JOBS)
+                    .region(AB_REGION)
+                    .mode(DataMode::Null)
+                    .build_dfs();
                 let host = run_fio(&mut host_world, &ab_spec(rw, bs));
-                let mut dpu_world = DfsFioWorld::offloaded(
-                    transport,
-                    1,
-                    AB_JOBS,
-                    AB_REGION,
-                    DataMode::Null,
-                    vec![DpuTenantSpec::unlimited("fio")],
-                );
+                let mut dpu_world = WorldSpec::single(ClientPlacement::Dpu)
+                    .transport(transport)
+                    .jobs(AB_JOBS)
+                    .region(AB_REGION)
+                    .mode(DataMode::Null)
+                    .offload(vec![DpuTenantSpec::unlimited("fio")])
+                    .build_dfs();
                 let dpu = run_fio(&mut dpu_world, &ab_spec(rw, bs));
                 let s = dpu_world.client.dpu_stats();
                 offload_totals.merge(s);
@@ -467,14 +462,12 @@ fn qos_contended_cell() -> (u64, u64, u64, f64) {
         },
         rkey_scope: SimDuration::from_secs(30),
     };
-    let mut w = DfsFioWorld::offloaded(
-        Transport::Rdma,
-        1,
-        4,
-        AB_REGION,
-        DataMode::Null,
-        vec![capped, DpuTenantSpec::unlimited("greedy")],
-    );
+    let mut w = WorldSpec::single(ClientPlacement::Dpu)
+        .jobs(4)
+        .region(AB_REGION)
+        .mode(DataMode::Null)
+        .offload(vec![capped, DpuTenantSpec::unlimited("greedy")])
+        .build_dfs();
     run_fio(
         &mut w,
         &JobSpec::new(RwMode::Write, 1 << 20, 4)

@@ -17,7 +17,7 @@
 
 #![warn(missing_docs)]
 
-use ros2_fio::{run_fio, DfsFioWorld, FioReport, JobSpec, RwMode};
+use ros2_fio::{run_fio, FioReport, JobSpec, RwMode, WorldSpec};
 use ros2_hw::{ClientPlacement, Transport};
 use ros2_nvme::DataMode;
 use ros2_sim::SimDuration;
@@ -73,7 +73,12 @@ pub fn legacy_sweep_ops() -> u64 {
     let mut total = 0u64;
     for plan in [legacy_cells(LEGACY_JOBS, 8), legacy_cells(1, 1)] {
         for (t, p, rw, bs, jobs, qd) in plan {
-            let mut world = DfsFioWorld::new(t, p, 1, jobs, LEGACY_REGION, DataMode::Null);
+            let mut world = WorldSpec::single(p)
+                .transport(t)
+                .jobs(jobs)
+                .region(LEGACY_REGION)
+                .mode(DataMode::Null)
+                .build_dfs();
             let report = run_fio(&mut world, &legacy_spec(rw, bs, jobs, qd));
             total += report.io.meter.ops();
         }

@@ -390,10 +390,7 @@ impl Ros2System {
                 ros2_daos::MAX_RF
             )));
         }
-        let topology = ClusterTopology {
-            placement: config.placement,
-            storage_nodes: n_engines,
-        };
+        let topology = ClusterTopology::one_client(config.placement, n_engines);
         let mut fabric = Fabric::for_topology(config.transport, &topology, config.seed);
         for node in 0..topology.node_count() {
             fabric.set_flow_hint(NodeId(node as u32), config.jobs);

@@ -121,6 +121,21 @@ pub enum ControlRequest {
         /// Mismatches repaired from a healthy replica this pass.
         repaired: u64,
     },
+    /// RAS **push** distribution of a pool-map revision: the control plane
+    /// encodes the new map once and fans the same wire bytes out to every
+    /// subscribed client (unlike [`ControlRequest::MapQuery`], which is a
+    /// per-client pull). Same payload as [`ControlResponse::MapUpdate`] —
+    /// revision, one health byte per slot, and the pending-kill slot — so
+    /// the receiver reconstructs degraded routing exactly; delivery
+    /// latency is per-subscriber and fault-injectable.
+    MapPush {
+        /// The map revision being distributed.
+        version: u64,
+        /// Per-slot health, one byte per pool-map slot (1 = up).
+        healths: Bytes,
+        /// Slot of an unrebuilt kill, or `u32::MAX` for none.
+        pending_dead: u32,
+    },
 }
 
 /// Control-plane responses.
@@ -233,6 +248,13 @@ impl ControlRequest {
             ControlRequest::ScrubReport { found, repaired } => {
                 w.u8(13).u64(*found).u64(*repaired);
             }
+            ControlRequest::MapPush {
+                version,
+                healths,
+                pending_dead,
+            } => {
+                w.u8(14).u64(*version).blob(healths).u32(*pending_dead);
+            }
         }
         w.finish()
     }
@@ -277,6 +299,11 @@ impl ControlRequest {
             13 => ControlRequest::ScrubReport {
                 found: r.u64()?,
                 repaired: r.u64()?,
+            },
+            14 => ControlRequest::MapPush {
+                version: r.u64()?,
+                healths: r.blob()?,
+                pending_dead: r.u32()?,
             },
             t => return Err(WireError::BadTag(t)),
         })
@@ -418,6 +445,11 @@ mod tests {
         round_trip_req(ControlRequest::ScrubReport {
             found: 3,
             repaired: 2,
+        });
+        round_trip_req(ControlRequest::MapPush {
+            version: 7,
+            healths: Bytes::from_static(&[1, 1, 0, 1]),
+            pending_dead: 2,
         });
     }
 

@@ -43,10 +43,13 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
+use ros2_ctl::ControlRequest;
 use ros2_fabric::{ConnId, Dir, Fabric, FabricError};
 use ros2_sim::{QosLane, QosLimits, SimDuration, SimTime};
 use ros2_verbs::{NodeId, PdId};
 
+use crate::conn_pool::{ConnPool, ConnPoolStats};
 use crate::engine::DaosEngine;
 use crate::types::{DKey, DaosError, Epoch, ObjectId};
 use crate::vos::{ScrubCheck, VosStats};
@@ -184,6 +187,29 @@ impl PoolMap {
     /// The members, by slot.
     pub fn members(&self) -> &[PoolMember] {
         &self.members
+    }
+
+    /// Reconstructs a map from its RAS-push wire form: the slot-aligned
+    /// node ids (the receiver already knows the pool's node layout), one
+    /// health byte per slot (1 = up), and the pushed revision. Inverse of
+    /// the encoding [`MapSnapshot::to_push`] produces.
+    pub fn from_wire(nodes: &[NodeId], healths: &[u8], version: u64) -> Self {
+        assert_eq!(nodes.len(), healths.len(), "one health byte per slot");
+        PoolMap {
+            version,
+            members: nodes
+                .iter()
+                .zip(healths)
+                .map(|(&node, &h)| PoolMember {
+                    node,
+                    health: if h == 1 {
+                        EngineHealth::Up
+                    } else {
+                        EngineHealth::Down
+                    },
+                })
+                .collect(),
+        }
     }
 
     /// Total member count (including down engines).
@@ -349,6 +375,42 @@ impl MapSnapshot {
     /// The replica set an update fans out to under this snapshot.
     pub fn route_update(&self, oid: &ObjectId) -> ReplicaSet {
         self.route(oid).0
+    }
+
+    /// Encodes this snapshot as the control-plane RAS push message: one
+    /// health byte per slot (1 = up), the map revision, and the pending
+    /// unrebuilt kill (`u32::MAX` = none). The control plane encodes this
+    /// **once** per membership change and fans the same frame out to every
+    /// subscribed client — the push analogue of a per-client `MapQuery`.
+    pub fn to_push(&self) -> ControlRequest {
+        ControlRequest::MapPush {
+            version: self.map.version(),
+            healths: Bytes::from(
+                self.map
+                    .members()
+                    .iter()
+                    .map(|m| u8::from(m.health == EngineHealth::Up))
+                    .collect::<Vec<u8>>(),
+            ),
+            pending_dead: self.pending_dead.map_or(u32::MAX, |s| s as u32),
+        }
+    }
+
+    /// Reconstructs a snapshot from the [`ControlRequest::MapPush`] wire
+    /// fields. The receiver supplies the slot-aligned node ids and the
+    /// pool RF (both fixed at pool-connect time and never pushed).
+    pub fn from_wire(
+        nodes: &[NodeId],
+        rf: usize,
+        version: u64,
+        healths: &[u8],
+        pending_dead: u32,
+    ) -> Self {
+        MapSnapshot {
+            map: PoolMap::from_wire(nodes, healths, version),
+            pending_dead: (pending_dead != u32::MAX).then_some(pending_dead as usize),
+            rf,
+        }
     }
 }
 
@@ -552,6 +614,10 @@ pub struct EngineCluster {
     services: ServiceScheduler,
     /// Scrub/aggregation counters (throttle waits sampled from the lanes).
     sstats: ScrubStats,
+    /// Engine-side per-client connection pool for multi-client (incast)
+    /// worlds. `None` — the default — bypasses admission entirely, keeping
+    /// every single-client world bit-identical to the pre-pool code.
+    conn_pool: Option<ConnPool>,
 }
 
 fn map_fabric(e: FabricError) -> DaosError {
@@ -581,6 +647,7 @@ impl EngineCluster {
             stalls: vec![SimDuration::ZERO; n],
             services: ServiceScheduler::new(),
             sstats: ScrubStats::default(),
+            conn_pool: None,
         };
         cluster.push_map_to_engines();
         cluster
@@ -767,6 +834,53 @@ impl EngineCluster {
             pending_dead: self.pending_dead,
             rf: self.rf,
         }
+    }
+
+    /// The current routing state as the RAS push wire message — encoded
+    /// once, deliverable to every subscribed client.
+    pub fn ras_push(&self) -> ControlRequest {
+        self.snapshot_map().to_push()
+    }
+
+    /// Turns on the engine-side connection pool: resident per-client
+    /// session state is bounded at `capacity` with LRU eviction and
+    /// `handshake` charged per (re)connect. Worlds that never call this
+    /// (every single-client world) stay bit-identical to the pre-pool
+    /// cluster.
+    pub fn enable_conn_pool(&mut self, capacity: usize, handshake: SimDuration) {
+        self.conn_pool = Some(ConnPool::new(capacity, handshake));
+    }
+
+    /// Admits one request from `client` through the connection pool:
+    /// returns the instant the request may proceed (`now` on a hit or when
+    /// no pool is configured, `now + handshake` when the client had to
+    /// (re)connect).
+    pub fn pool_admit(&mut self, client: NodeId, now: SimTime) -> SimTime {
+        match &mut self.conn_pool {
+            Some(pool) => pool.admit(client, now),
+            None => now,
+        }
+    }
+
+    /// The connection pool, if enabled.
+    pub fn conn_pool(&self) -> Option<&ConnPool> {
+        self.conn_pool.as_ref()
+    }
+
+    /// Connection-pool counters (all-zero when no pool is configured).
+    pub fn conn_pool_stats(&self) -> ConnPoolStats {
+        self.conn_pool
+            .as_ref()
+            .map(ConnPool::stats)
+            .unwrap_or_default()
+    }
+
+    /// Drops `client`'s resident session (fault injection). Returns
+    /// whether a session was actually dropped.
+    pub fn pool_kill_session(&mut self, client: NodeId) -> bool {
+        self.conn_pool
+            .as_mut()
+            .is_some_and(|p| p.kill_session(client))
     }
 
     /// Routes a fetch through a client's cached `snap` instead of the live
@@ -1266,6 +1380,48 @@ mod tests {
         assert_eq!(slot, 3);
         assert_eq!(m.version(), 3);
         assert_eq!(m.up_count(), 3);
+    }
+
+    #[test]
+    fn map_push_roundtrips_through_the_wire() {
+        let mut m = map(4);
+        m.kill(2).unwrap();
+        let snap = MapSnapshot {
+            map: m.clone(),
+            pending_dead: Some(2),
+            rf: 3,
+        };
+        let nodes: Vec<NodeId> = m.members().iter().map(|mem| mem.node).collect();
+        let frame = snap.to_push().encode();
+        match ControlRequest::decode(frame).unwrap() {
+            ControlRequest::MapPush {
+                version,
+                healths,
+                pending_dead,
+            } => {
+                let rebuilt = MapSnapshot::from_wire(&nodes, 3, version, &healths, pending_dead);
+                assert_eq!(rebuilt, snap);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // No pending kill encodes as the u32::MAX sentinel and survives.
+        let clean = MapSnapshot {
+            map: map(4),
+            pending_dead: None,
+            rf: 2,
+        };
+        match clean.to_push() {
+            ControlRequest::MapPush {
+                version,
+                healths,
+                pending_dead,
+            } => {
+                assert_eq!(pending_dead, u32::MAX);
+                let rebuilt = MapSnapshot::from_wire(&nodes, 2, version, &healths, pending_dead);
+                assert_eq!(rebuilt, clean);
+            }
+            other => panic!("wrong encode: {other:?}"),
+        }
     }
 
     #[test]

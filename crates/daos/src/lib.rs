@@ -16,6 +16,7 @@
 pub mod checksum;
 pub mod client;
 pub mod cluster;
+pub mod conn_pool;
 pub mod engine;
 pub mod pipeline;
 pub mod types;
@@ -27,6 +28,7 @@ pub use cluster::{
     BgService, EngineCluster, EngineHealth, MapSnapshot, PoolMap, PoolMember, RebuildStats,
     ReplicaSet, ScrubOutcome, ScrubStats, ServiceScheduler, MAX_RF,
 };
+pub use conn_pool::{ConnPool, ConnPoolStats};
 pub use engine::{ContainerMeta, DaosEngine, TargetOp, TargetOpResult, ValueKind};
 pub use pipeline::{OpRing, RetryPolicy, RetryStats};
 pub use types::{

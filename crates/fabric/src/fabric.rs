@@ -160,9 +160,10 @@ impl Fabric {
         }
     }
 
-    /// Builds the fabric for a whole deployment shape: the client node
-    /// (host or BlueField-3, per the topology's placement) plus one
-    /// canonical storage server per engine, all behind the shared switch.
+    /// Builds the fabric for a whole deployment shape: one client node per
+    /// topology entry (host or BlueField-3, per that client's placement)
+    /// plus one canonical storage server per engine, all behind the shared
+    /// switch.
     /// The single constructor every DFS world and the assembled system
     /// use — node specs come from their canonical sources
     /// ([`NodeSpec::host_client`], [`NodeSpec::bluefield3`],
@@ -172,12 +173,11 @@ impl Fabric {
         topology: &ros2_hw::ClusterTopology,
         seed: u64,
     ) -> Self {
-        let client = match topology.placement {
+        let mut specs = Vec::with_capacity(topology.node_count());
+        specs.extend(topology.clients.iter().map(|p| match p {
             ros2_hw::ClientPlacement::Host => NodeSpec::host_client(),
             ros2_hw::ClientPlacement::Dpu => NodeSpec::bluefield3(),
-        };
-        let mut specs = Vec::with_capacity(topology.node_count());
-        specs.push(client);
+        }));
         specs.extend((0..topology.storage_nodes).map(|_| NodeSpec::storage_server()));
         Fabric::new(transport, specs, seed)
     }

@@ -1,7 +1,7 @@
 //! Calibration probe: prints headline numbers for each figure shape.
 //! (Development aid; the polished harnesses live in `ros2-bench`.)
 
-use ros2_fio::{run_fio, DfsFioWorld, JobSpec, LocalFioWorld, RwMode, SpdkFioWorld};
+use ros2_fio::{run_fio, JobSpec, LocalFioWorld, RwMode, SpdkFioWorld, WorldSpec};
 use ros2_hw::{ClientPlacement, Transport};
 use ros2_nvme::DataMode;
 use ros2_sim::SimDuration;
@@ -73,28 +73,23 @@ fn main() {
             for ssds in [1usize, 4] {
                 for rw in RwMode::ALL {
                     let jobs = 16;
-                    let mut w = DfsFioWorld::new(
-                        transport,
-                        placement,
-                        ssds,
-                        jobs,
-                        256 << 20,
-                        DataMode::Null,
-                    );
+                    let dfs = || {
+                        WorldSpec::single(placement)
+                            .transport(transport)
+                            .ssds(ssds)
+                            .jobs(jobs)
+                            .region(256 << 20)
+                            .mode(DataMode::Null)
+                            .build_dfs()
+                    };
+                    let mut w = dfs();
                     let r1m = run_fio(
                         &mut w,
                         &JobSpec::new(rw, 1 << 20, jobs)
                             .region(256 << 20)
                             .windows(ramp, runtime),
                     );
-                    let mut w = DfsFioWorld::new(
-                        transport,
-                        placement,
-                        ssds,
-                        jobs,
-                        256 << 20,
-                        DataMode::Null,
-                    );
+                    let mut w = dfs();
                     let r4k = run_fio(
                         &mut w,
                         &JobSpec::new(rw, 4096, jobs)

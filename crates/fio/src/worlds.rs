@@ -11,21 +11,20 @@
 use bytes::Bytes;
 use ros2_core::FaultPlan;
 use ros2_daos::{
-    BgService, DaosClient, DaosCostModel, DaosEngine, EngineCluster, Epoch, MapSnapshot,
-    ObjectClient, RebuildStats, RetryPolicy, RetryStats, ScrubOutcome, ScrubStats,
+    BgService, DaosClient, EngineCluster, Epoch, MapSnapshot, ObjectClient, RebuildStats,
+    RetryPolicy, RetryStats, ScrubOutcome, ScrubStats,
 };
 use ros2_dfs::{Dfs, DfsObj, DfsSession};
-use ros2_dpu::{default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec};
+use ros2_dpu::{DpuClient, DpuStats};
 use ros2_fabric::{Fabric, NodeSpec};
 use ros2_hw::{
-    gbps, ClientPlacement, ClusterTopology, CoreClass, CpuComplement, HostPathModel, NicModel,
-    NvmeModel, Transport, LBA_SIZE,
+    gbps, CoreClass, CpuComplement, HostPathModel, NicModel, NvmeModel, Transport, LBA_SIZE,
 };
 use ros2_iouring::{IoRequest, IoUringEngine};
 use ros2_nvme::{DataMode, NvmeArray};
 use ros2_sim::{QosLimits, ResourceStats, SimTime};
 use ros2_spdk::{BdevLayer, NvmfSession, NvmfStack};
-use ros2_verbs::{MemoryDomain, NodeId};
+use ros2_verbs::NodeId;
 
 use crate::driver::{FioOp, Workload};
 
@@ -33,7 +32,7 @@ use crate::driver::{FioOp, Workload};
 /// (`ros2_buf::zero_bytes`): slicing is refcounted and free, and the
 /// checksum paths recognize pool slices as known-zero, answering their
 /// CRCs in closed form instead of scanning gigabytes of zeros.
-fn zeros(len: usize) -> Bytes {
+pub(crate) fn zeros(len: usize) -> Bytes {
     ros2_buf::zero_bytes(len)
 }
 
@@ -295,132 +294,11 @@ pub struct DfsFioWorld {
 }
 
 impl DfsFioWorld {
-    /// Builds the end-to-end testbed and preconditions one `region`-byte
-    /// file per job (so random reads hit real extents), then resets clocks.
-    pub fn new(
-        transport: Transport,
-        placement: ClientPlacement,
-        ssds: usize,
-        jobs: usize,
-        region: u64,
-        mode: DataMode,
-    ) -> Self {
-        Self::with_wire_mode(transport, placement, ssds, jobs, region, mode, false)
-    }
-
-    /// [`Self::new`] with the fabric's per-segment wire booking forced from
-    /// construction onward (so preconditioning is covered too). Used by the
-    /// `perf_regression` harness to A/B the batched fast path on whole
-    /// cells; simulated results are identical either way.
-    pub fn with_wire_mode(
-        transport: Transport,
-        placement: ClientPlacement,
-        ssds: usize,
-        jobs: usize,
-        region: u64,
-        mode: DataMode,
-        force_per_segment: bool,
-    ) -> Self {
-        let mut fabric =
-            Fabric::for_topology(transport, &ClusterTopology::single(placement), 0xd0e5);
-        fabric.set_force_per_segment(force_per_segment);
-        fabric.set_flow_hint(NodeId(0), jobs);
-        fabric.set_flow_hint(NodeId(1), jobs);
-
-        let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), ssds, mode));
-        let mut engine = DaosEngine::new(
-            "pool0",
-            bdevs,
-            2 << 30,
-            DaosCostModel::default_model(),
-            CoreClass::HostX86,
-        );
-        engine.cont_create("posix").unwrap();
-
-        let client = DaosClient::connect(
-            &mut fabric,
-            NodeId(0),
-            NodeId(1),
-            "fio",
-            "posix",
-            jobs,
-            4 << 20,
-            MemoryDomain::HostDram,
-            DaosCostModel::default_model(),
-        )
-        .expect("client connects");
-
-        Self::precondition(
-            fabric,
-            EngineCluster::single(engine),
-            FioClient::Classic(client),
-            jobs,
-            region,
-        )
-    }
-
-    /// The real offload deployment: the whole DAOS client runs on a
-    /// BlueField-3 as a [`DpuClient`] — host submit/poll handoff, per-tenant
-    /// QoS admission, scoped rkeys, DPU-side checksums — while the host
-    /// node in [`Self::new`]'s classic mode would have run it in-process.
-    /// Jobs are dealt round-robin across `tenants` (pass one unlimited
-    /// tenant for the single-tenant sweeps). With [`Transport::Tcp`] this
-    /// is the DPU-TCP-RX fallback world: same offload, no registered
-    /// memory, and the BlueField receive-path penalty live.
-    pub fn offloaded(
-        transport: Transport,
-        ssds: usize,
-        jobs: usize,
-        region: u64,
-        mode: DataMode,
-        tenants: Vec<DpuTenantSpec>,
-    ) -> Self {
-        let mut fabric = Fabric::for_topology(
-            transport,
-            &ClusterTopology::single(ClientPlacement::Dpu),
-            0xd0e5,
-        );
-        fabric.set_flow_hint(NodeId(0), jobs);
-        fabric.set_flow_hint(NodeId(1), jobs);
-
-        let bdevs = BdevLayer::new(NvmeArray::new(NvmeModel::enterprise_1600(), ssds, mode));
-        let mut engine = DaosEngine::new(
-            "pool0",
-            bdevs,
-            2 << 30,
-            DaosCostModel::default_model(),
-            CoreClass::HostX86,
-        );
-        engine.cont_create("posix").unwrap();
-
-        let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(0xd0e5));
-        let client = DpuClient::connect(
-            &mut fabric,
-            NodeId(0),
-            NodeId(1),
-            "posix",
-            jobs,
-            4 << 20,
-            MemoryDomain::DpuDram,
-            DaosCostModel::default_model(),
-            agent,
-            tenants,
-            0xd0e5,
-        )
-        .expect("DPU client connects");
-
-        Self::precondition(
-            fabric,
-            EngineCluster::single(engine),
-            FioClient::Offloaded(client),
-            jobs,
-            region,
-        )
-    }
-
     /// Formats the namespace, preconditions one `region`-byte file per job,
-    /// and resets all clocks for measurement.
-    fn precondition(
+    /// and resets all clocks for measurement. The assembly half lives in
+    /// [`crate::WorldSpec`] — every world is described there and built
+    /// through here.
+    pub(crate) fn precondition(
         mut fabric: Fabric,
         mut cluster: EngineCluster,
         mut client: FioClient,
@@ -515,125 +393,11 @@ pub struct ClusterFioWorld {
 }
 
 impl ClusterFioWorld {
-    /// Builds `engines` storage nodes (each with `ssds` drives) and a
-    /// host client replicating each object across `replication_factor`
-    /// engines, then preconditions one `region`-byte file per job.
-    pub fn new(
-        transport: Transport,
-        engines: usize,
-        replication_factor: usize,
-        ssds: usize,
-        jobs: usize,
-        region: u64,
-        mode: DataMode,
-    ) -> Self {
-        let topology = ClusterTopology {
-            placement: ClientPlacement::Host,
-            storage_nodes: engines,
-        };
-        let mut fabric = Fabric::for_topology(transport, &topology, 0xd0e5);
-        for node in 0..topology.node_count() {
-            fabric.set_flow_hint(NodeId(node as u32), jobs);
-        }
-        let storage_nodes: Vec<NodeId> = (0..engines)
-            .map(|i| NodeId(topology.storage_node(i) as u32))
-            .collect();
-        let mut cluster = EngineCluster::assemble(
-            storage_nodes.clone(),
-            replication_factor,
-            ssds,
-            mode,
-            2 << 30,
-            DaosCostModel::default_model(),
-            CoreClass::HostX86,
-        );
-        cluster.cont_create("posix").unwrap();
-        let client = DaosClient::connect_multi(
-            &mut fabric,
-            NodeId(0),
-            &storage_nodes,
-            "fio",
-            "posix",
-            jobs,
-            4 << 20,
-            MemoryDomain::HostDram,
-            DaosCostModel::default_model(),
-        )
-        .expect("cluster client connects");
+    /// Wraps a preconditioned world with an empty chaos schedule. The
+    /// assembly half lives in [`crate::WorldSpec::build`].
+    pub(crate) fn from_world(world: DfsFioWorld) -> Self {
         ClusterFioWorld {
-            world: DfsFioWorld::precondition(
-                fabric,
-                cluster,
-                FioClient::Classic(client),
-                jobs,
-                region,
-            ),
-            faults: FaultPlan::none(),
-            next_kill: 0,
-            next_bitrot: 0,
-        }
-    }
-
-    /// [`Self::new`] with the whole DAOS client offloaded to the DPU: the
-    /// same N-engine replicated cluster, but every op crosses the host
-    /// doorbell and runs on the BlueField-3 — including the recovery
-    /// ladder, so host-vs-DPU retry behaviour is A/B-comparable on
-    /// identical chaos schedules.
-    #[allow(clippy::too_many_arguments)]
-    pub fn offloaded(
-        transport: Transport,
-        engines: usize,
-        replication_factor: usize,
-        ssds: usize,
-        jobs: usize,
-        region: u64,
-        mode: DataMode,
-        tenants: Vec<DpuTenantSpec>,
-    ) -> Self {
-        let topology = ClusterTopology {
-            placement: ClientPlacement::Dpu,
-            storage_nodes: engines,
-        };
-        let mut fabric = Fabric::for_topology(transport, &topology, 0xd0e5);
-        for node in 0..topology.node_count() {
-            fabric.set_flow_hint(NodeId(node as u32), jobs);
-        }
-        let storage_nodes: Vec<NodeId> = (0..engines)
-            .map(|i| NodeId(topology.storage_node(i) as u32))
-            .collect();
-        let mut cluster = EngineCluster::assemble(
-            storage_nodes.clone(),
-            replication_factor,
-            ssds,
-            mode,
-            2 << 30,
-            DaosCostModel::default_model(),
-            CoreClass::HostX86,
-        );
-        cluster.cont_create("posix").unwrap();
-        let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(0xd0e5));
-        let client = DpuClient::connect_cluster(
-            &mut fabric,
-            NodeId(0),
-            &storage_nodes,
-            "posix",
-            jobs,
-            4 << 20,
-            MemoryDomain::DpuDram,
-            DaosCostModel::default_model(),
-            agent,
-            tenants,
-            0xd0e5,
-        )
-        .expect("offloaded cluster client connects");
-        ClusterFioWorld {
-            world: DfsFioWorld::precondition(
-                fabric,
-                cluster,
-                FioClient::Offloaded(client),
-                jobs,
-                region,
-            ),
+            world,
             faults: FaultPlan::none(),
             next_kill: 0,
             next_bitrot: 0,

@@ -6,7 +6,8 @@ use ros2_sim::{SimDuration, SimTime};
 
 use crate::driver::{run_fio, FioOp, Workload};
 use crate::spec::{JobSpec, RwMode};
-use crate::worlds::{ClusterFioWorld, DfsFioWorld, LocalFioWorld, SpdkFioWorld};
+use crate::worlds::{LocalFioWorld, SpdkFioWorld};
+use crate::worldspec::WorldSpec;
 
 fn quick(s: JobSpec) -> JobSpec {
     s.windows(SimDuration::from_millis(20), SimDuration::from_millis(80))
@@ -15,8 +16,11 @@ fn quick(s: JobSpec) -> JobSpec {
 #[test]
 fn cluster_world_engages_multiple_engines_and_outruns_one() {
     let run = |engines: usize| {
-        let mut w =
-            ClusterFioWorld::new(Transport::Rdma, engines, 1, 1, 8, 8 << 20, DataMode::Null);
+        let mut w = WorldSpec::cluster(engines)
+            .jobs(8)
+            .region(8 << 20)
+            .mode(DataMode::Null)
+            .build();
         let r = run_fio(
             &mut w,
             &quick(
@@ -45,7 +49,7 @@ fn cluster_world_engages_multiple_engines_and_outruns_one() {
 
 #[test]
 fn cluster_world_rf2_kill_serves_degraded_then_rebuilds() {
-    let mut w = ClusterFioWorld::new(Transport::Rdma, 3, 2, 1, 4, 4 << 20, DataMode::Stored);
+    let mut w = WorldSpec::cluster(3).replication(2).jobs(4).build();
     let spec = quick(
         JobSpec::new(RwMode::Read, 1 << 20, 4)
             .iodepth(2)
@@ -186,14 +190,10 @@ fn spdk_world_per_job_regions_do_not_overlap() {
 
 #[test]
 fn dfs_world_preconditions_real_extents() {
-    let mut w = DfsFioWorld::new(
-        Transport::Rdma,
-        ClientPlacement::Host,
-        1,
-        2,
-        8 << 20,
-        DataMode::Stored,
-    );
+    let mut w = WorldSpec::single(ClientPlacement::Host)
+        .jobs(2)
+        .region(8 << 20)
+        .build_dfs();
     assert_eq!(w.file(0).size, 8 << 20);
     assert_eq!(w.file(1).size, 8 << 20);
     // Measured random reads hit real (non-hole) extents: the engine's VOS
@@ -220,14 +220,10 @@ fn dfs_world_clock_reset_measures_from_zero() {
     // Preconditioning consumed seconds of virtual time; the first measured
     // op must still see an idle system (latency ~ the clean-path RTT, far
     // below a queued-behind-preconditioning value).
-    let mut w = DfsFioWorld::new(
-        Transport::Rdma,
-        ClientPlacement::Host,
-        1,
-        1,
-        32 << 20,
-        DataMode::Null,
-    );
+    let mut w = WorldSpec::single(ClientPlacement::Host)
+        .region(32 << 20)
+        .mode(DataMode::Null)
+        .build_dfs();
     let done = w
         .issue(
             SimTime::ZERO,
@@ -248,14 +244,12 @@ fn dfs_world_clock_reset_measures_from_zero() {
 #[test]
 fn dfs_world_runs_all_four_patterns() {
     for rw in RwMode::ALL {
-        let mut w = DfsFioWorld::new(
-            Transport::Tcp,
-            ClientPlacement::Host,
-            1,
-            2,
-            32 << 20,
-            DataMode::Null,
-        );
+        let mut w = WorldSpec::single(ClientPlacement::Host)
+            .transport(Transport::Tcp)
+            .jobs(2)
+            .region(32 << 20)
+            .mode(DataMode::Null)
+            .build_dfs();
         let r = run_fio(&mut w, &quick(JobSpec::new(rw, 4096, 2).region(32 << 20)));
         assert!(r.iops() > 1000.0, "{:?}: {}", rw, r.summary());
         assert_eq!(r.io.errors.get(), 0, "{rw:?}");
@@ -320,7 +314,12 @@ fn host_placement_results_are_pinned() {
         ),
     ];
     for (t, rw, bs, ops, gib_bits, bookings, hits, zc, copied) in pinned {
-        let mut w = DfsFioWorld::new(t, ClientPlacement::Host, 1, 2, 8 << 20, DataMode::Null);
+        let mut w = WorldSpec::single(ClientPlacement::Host)
+            .transport(t)
+            .jobs(2)
+            .region(8 << 20)
+            .mode(DataMode::Null)
+            .build_dfs();
         let spec = JobSpec::new(rw, bs, 2)
             .iodepth(4)
             .region(8 << 20)
@@ -351,14 +350,12 @@ fn host_placement_results_are_pinned() {
 #[test]
 fn offloaded_world_runs_the_full_dpu_pipeline() {
     use ros2_dpu::DpuTenantSpec;
-    let mut w = DfsFioWorld::offloaded(
-        Transport::Rdma,
-        1,
-        2,
-        8 << 20,
-        DataMode::Null,
-        vec![DpuTenantSpec::unlimited("fio")],
-    );
+    let mut w = WorldSpec::single(ClientPlacement::Dpu)
+        .jobs(2)
+        .region(8 << 20)
+        .mode(DataMode::Null)
+        .offload(vec![DpuTenantSpec::unlimited("fio")])
+        .build_dfs();
     let ops_before = w.client.ops(); // preconditioning ops (counter is cumulative)
     let r = run_fio(
         &mut w,
@@ -401,14 +398,12 @@ fn offloaded_qos_shapes_contended_tenants() {
         },
         rkey_scope: SimDuration::from_secs(30),
     };
-    let mut w = DfsFioWorld::offloaded(
-        Transport::Rdma,
-        1,
-        4,
-        8 << 20,
-        DataMode::Null,
-        vec![capped, DpuTenantSpec::unlimited("greedy")],
-    );
+    let mut w = WorldSpec::single(ClientPlacement::Dpu)
+        .jobs(4)
+        .region(8 << 20)
+        .mode(DataMode::Null)
+        .offload(vec![capped, DpuTenantSpec::unlimited("greedy")])
+        .build_dfs();
     let r = run_fio(
         &mut w,
         &quick(
@@ -467,14 +462,13 @@ fn offloaded_tcp_fallback_pays_the_dpu_rx_penalty() {
     // receive path (inline copies at ARM per-byte rates, the paper's "good
     // TX, weak RX") where RDMA pushes into registered DPU DRAM for free.
     let run = |transport| {
-        let mut w = DfsFioWorld::offloaded(
-            transport,
-            1,
-            2,
-            8 << 20,
-            DataMode::Null,
-            vec![DpuTenantSpec::unlimited("fio")],
-        );
+        let mut w = WorldSpec::single(ClientPlacement::Dpu)
+            .transport(transport)
+            .jobs(2)
+            .region(8 << 20)
+            .mode(DataMode::Null)
+            .offload(vec![DpuTenantSpec::unlimited("fio")])
+            .build_dfs();
         run_fio(
             &mut w,
             &quick(

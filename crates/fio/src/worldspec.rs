@@ -1,0 +1,466 @@
+//! The typed world builder: every DFS-family testbed is described by one
+//! [`WorldSpec`] and assembled by a terminal `build_*` call.
+//!
+//! The old positional constructors (`ClusterFioWorld::new` took seven
+//! bare arguments, `::offloaded` eight) made call sites unreadable and
+//! could not grow a clients axis without another argument. The spec is
+//! the single description of a world — transport, storage shape, client
+//! placement(s), fabric seed — with defaults matching the historical
+//! constructors exactly, so a spec that only names what a sweep varies
+//! replays bit-identically to the constructor call it replaced:
+//!
+//! ```
+//! use ros2_fio::{Clients, WorldSpec};
+//! use ros2_hw::ClientPlacement;
+//!
+//! // The classic two-node world (client on host cores):
+//! let world = WorldSpec::single(ClientPlacement::Host)
+//!     .ssds(2)
+//!     .jobs(2)
+//!     .region(8 << 20)
+//!     .build_dfs();
+//! drop(world);
+//!
+//! // A 4-engine replicated cluster with 16 host clients incasting on it:
+//! let incast = WorldSpec::cluster(4)
+//!     .replication(2)
+//!     .jobs(2)
+//!     .clients(Clients::host(16))
+//!     .pool_capacity(8)
+//!     .build_incast();
+//! drop(incast);
+//! ```
+
+use ros2_daos::{DaosClient, DaosCostModel, DaosEngine, EngineCluster};
+use ros2_dpu::{default_control, DpuAgent, DpuClient, DpuTenantSpec};
+use ros2_fabric::Fabric;
+use ros2_hw::{ClientPlacement, ClusterTopology, CoreClass, Transport};
+use ros2_nvme::DataMode;
+use ros2_spdk::BdevLayer;
+use ros2_verbs::{MemoryDomain, NodeId};
+
+use crate::incast::IncastFioWorld;
+use crate::worlds::{ClusterFioWorld, DfsFioWorld, FioClient};
+
+/// What runs the DAOS client stack on one client node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ClientKind {
+    /// In-process `libdaos` on host x86 cores — the classic mode.
+    Host,
+    /// In-process client charged at BlueField-3 Arm-core costs: the
+    /// historical "DPU placement" *cost-model* mode (the node spec and
+    /// core class change, the architecture does not).
+    DpuCostModel,
+    /// The real offload: the whole client runs on the BlueField-3 as a
+    /// [`DpuClient`] behind a host submit/poll doorbell pair.
+    Offloaded,
+}
+
+impl ClientKind {
+    /// The fabric node spec this kind of client needs.
+    pub fn placement(self) -> ClientPlacement {
+        match self {
+            ClientKind::Host => ClientPlacement::Host,
+            ClientKind::DpuCostModel | ClientKind::Offloaded => ClientPlacement::Dpu,
+        }
+    }
+}
+
+/// The clients axis of a [`WorldSpec`]: one [`ClientKind`] per client
+/// node, in fabric-node order (client `c` is fabric node `c`).
+#[derive(Clone, Debug)]
+pub struct Clients {
+    kinds: Vec<ClientKind>,
+}
+
+impl Clients {
+    /// `n` host-resident clients.
+    pub fn host(n: usize) -> Self {
+        Clients {
+            kinds: vec![ClientKind::Host; n],
+        }
+    }
+
+    /// `n` DPU-cost-model clients (BlueField node specs, in-process
+    /// clients charged at Arm-core costs).
+    pub fn dpu(n: usize) -> Self {
+        Clients {
+            kinds: vec![ClientKind::DpuCostModel; n],
+        }
+    }
+
+    /// A host/DPU mix: `hosts` host clients first, then `dpus`
+    /// DPU-cost-model clients.
+    pub fn mixed(hosts: usize, dpus: usize) -> Self {
+        let mut kinds = vec![ClientKind::Host; hosts];
+        kinds.extend(vec![ClientKind::DpuCostModel; dpus]);
+        Clients { kinds }
+    }
+
+    /// The per-client kinds, in node order.
+    pub fn kinds(&self) -> &[ClientKind] {
+        &self.kinds
+    }
+
+    /// Number of client nodes.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the axis is empty (rejected at build time).
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+/// The typed builder describing one DFS-family world. See the module
+/// docs; construct with [`WorldSpec::single`] or [`WorldSpec::cluster`],
+/// refine with the chainable setters, assemble with a `build_*` terminal.
+#[derive(Clone, Debug)]
+pub struct WorldSpec {
+    transport: Transport,
+    engines: usize,
+    clustered: bool,
+    replication: usize,
+    ssds: usize,
+    jobs: usize,
+    region: u64,
+    mode: DataMode,
+    seed: u64,
+    clients: Clients,
+    tenants: Vec<DpuTenantSpec>,
+    wire_per_segment: bool,
+    pool_capacity: Option<usize>,
+}
+
+impl WorldSpec {
+    /// The fabric seed every historical world hardcoded. Still the
+    /// default — override with [`Self::seed`].
+    pub const DEFAULT_SEED: u64 = 0xd0e5;
+
+    fn base(engines: usize, clustered: bool, clients: Clients) -> Self {
+        WorldSpec {
+            transport: Transport::Rdma,
+            engines,
+            clustered,
+            replication: 1,
+            ssds: 1,
+            jobs: 1,
+            region: 4 << 20,
+            mode: DataMode::Stored,
+            seed: Self::DEFAULT_SEED,
+            clients,
+            tenants: vec![DpuTenantSpec::unlimited("fio")],
+            wire_per_segment: false,
+            pool_capacity: None,
+        }
+    }
+
+    /// The classic two-node world: one client of `placement`, one storage
+    /// server. `ClientPlacement::Dpu` selects the historical cost-model
+    /// mode; use [`Self::offload`] for the real offloaded client.
+    /// Terminal: [`Self::build_dfs`].
+    pub fn single(placement: ClientPlacement) -> Self {
+        let kind = match placement {
+            ClientPlacement::Host => ClientKind::Host,
+            ClientPlacement::Dpu => ClientKind::DpuCostModel,
+        };
+        Self::base(1, false, Clients { kinds: vec![kind] })
+    }
+
+    /// An N-engine replicated cluster (one storage server per engine)
+    /// with, by default, one host client. Terminals: [`Self::build`]
+    /// (single client) or [`Self::build_incast`] (the clients axis).
+    pub fn cluster(engines: usize) -> Self {
+        Self::base(engines, true, Clients::host(1))
+    }
+
+    /// Data-plane transport (default RDMA).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Replication factor across engines (default 1).
+    pub fn replication(mut self, rf: usize) -> Self {
+        self.replication = rf;
+        self
+    }
+
+    /// NVMe drives per storage server (default 1).
+    pub fn ssds(mut self, ssds: usize) -> Self {
+        self.ssds = ssds;
+        self
+    }
+
+    /// FIO jobs **per client** (default 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Preconditioned bytes per job file (default 4 MiB).
+    pub fn region(mut self, region: u64) -> Self {
+        self.region = region;
+        self
+    }
+
+    /// Drive payload mode (default [`DataMode::Stored`]).
+    pub fn mode(mut self, mode: DataMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Fabric seed (default [`Self::DEFAULT_SEED`], the historical
+    /// hardcoded value). Offloaded clients derive their control-plane and
+    /// agent seeds from the same value.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The clients axis for incast worlds (default one host client).
+    pub fn clients(mut self, clients: Clients) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Runs the single client as the real DPU offload (a [`DpuClient`]
+    /// on a BlueField node) with `tenants` sharing its QoS admission.
+    pub fn offload(mut self, tenants: Vec<DpuTenantSpec>) -> Self {
+        self.clients = Clients {
+            kinds: vec![ClientKind::Offloaded],
+        };
+        self.tenants = tenants;
+        self
+    }
+
+    /// Forces per-segment wire booking from construction onward (the
+    /// `perf_regression` A/B switch; simulated results are identical).
+    pub fn wire_per_segment(mut self, on: bool) -> Self {
+        self.wire_per_segment = on;
+        self
+    }
+
+    /// Engine-side connection-pool capacity for incast worlds (default:
+    /// 64, clamped to the client count when smaller).
+    pub fn pool_capacity(mut self, capacity: usize) -> Self {
+        self.pool_capacity = Some(capacity);
+        self
+    }
+
+    // ------------------------------------------------------ accessors --
+
+    /// Jobs per client.
+    pub fn jobs_per_client(&self) -> usize {
+        self.jobs
+    }
+
+    /// The clients axis.
+    pub fn client_axis(&self) -> &Clients {
+        &self.clients
+    }
+
+    pub(crate) fn engines_value(&self) -> usize {
+        self.engines
+    }
+
+    pub(crate) fn replication_value(&self) -> usize {
+        self.replication
+    }
+
+    pub(crate) fn region_value(&self) -> u64 {
+        self.region
+    }
+
+    /// The pool capacity an incast build installs: the explicit setting,
+    /// else 64 clamped to the client count.
+    pub(crate) fn effective_pool_capacity(&self) -> usize {
+        self.pool_capacity
+            .unwrap_or_else(|| 64.min(self.clients.len().max(1)))
+    }
+
+    // ------------------------------------------------------ terminals --
+
+    /// Assembles the classic two-node [`DfsFioWorld`]. Panics if this
+    /// spec describes a cluster or more than one client.
+    pub fn build_dfs(self) -> DfsFioWorld {
+        assert!(
+            !self.clustered,
+            "a cluster spec builds with build()/build_incast()"
+        );
+        assert_eq!(self.clients.len(), 1, "a single world has one client");
+        let kind = self.clients.kinds[0];
+        let mut fabric = Fabric::for_topology(
+            self.transport,
+            &ClusterTopology::single(kind.placement()),
+            self.seed,
+        );
+        fabric.set_force_per_segment(self.wire_per_segment);
+        fabric.set_flow_hint(NodeId(0), self.jobs);
+        fabric.set_flow_hint(NodeId(1), self.jobs);
+
+        let bdevs = BdevLayer::new(ros2_nvme::NvmeArray::new(
+            ros2_hw::NvmeModel::enterprise_1600(),
+            self.ssds,
+            self.mode,
+        ));
+        let mut engine = DaosEngine::new(
+            "pool0",
+            bdevs,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        engine.cont_create("posix").unwrap();
+
+        let client = match kind {
+            ClientKind::Host | ClientKind::DpuCostModel => FioClient::Classic(
+                DaosClient::connect(
+                    &mut fabric,
+                    NodeId(0),
+                    NodeId(1),
+                    "fio",
+                    "posix",
+                    self.jobs,
+                    4 << 20,
+                    MemoryDomain::HostDram,
+                    DaosCostModel::default_model(),
+                )
+                .expect("client connects"),
+            ),
+            ClientKind::Offloaded => {
+                let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(self.seed));
+                FioClient::Offloaded(
+                    DpuClient::connect(
+                        &mut fabric,
+                        NodeId(0),
+                        NodeId(1),
+                        "posix",
+                        self.jobs,
+                        4 << 20,
+                        MemoryDomain::DpuDram,
+                        DaosCostModel::default_model(),
+                        agent,
+                        self.tenants,
+                        self.seed,
+                    )
+                    .expect("DPU client connects"),
+                )
+            }
+        };
+
+        DfsFioWorld::precondition(
+            fabric,
+            EngineCluster::single(engine),
+            client,
+            self.jobs,
+            self.region,
+        )
+    }
+
+    /// Assembles the N-engine [`ClusterFioWorld`] with its single client.
+    /// Panics if this spec is not a cluster or carries a clients axis —
+    /// multi-client specs build with [`Self::build_incast`].
+    pub fn build(self) -> ClusterFioWorld {
+        assert!(self.clustered, "a single spec builds with build_dfs()");
+        assert_eq!(
+            self.clients.len(),
+            1,
+            "a multi-client spec builds with build_incast()"
+        );
+        let kind = self.clients.kinds[0];
+        let topology = ClusterTopology::one_client(kind.placement(), self.engines);
+        let (mut fabric, cluster, storage_nodes) = self.fabric_and_cluster(&topology);
+        let client = match kind {
+            ClientKind::Host | ClientKind::DpuCostModel => FioClient::Classic(
+                DaosClient::connect_multi(
+                    &mut fabric,
+                    NodeId(0),
+                    &storage_nodes,
+                    "fio",
+                    "posix",
+                    self.jobs,
+                    4 << 20,
+                    MemoryDomain::HostDram,
+                    DaosCostModel::default_model(),
+                )
+                .expect("cluster client connects"),
+            ),
+            ClientKind::Offloaded => {
+                let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(self.seed));
+                FioClient::Offloaded(
+                    DpuClient::connect_cluster(
+                        &mut fabric,
+                        NodeId(0),
+                        &storage_nodes,
+                        "posix",
+                        self.jobs,
+                        4 << 20,
+                        MemoryDomain::DpuDram,
+                        DaosCostModel::default_model(),
+                        agent,
+                        self.tenants.clone(),
+                        self.seed,
+                    )
+                    .expect("offloaded cluster client connects"),
+                )
+            }
+        };
+        ClusterFioWorld::from_world(DfsFioWorld::precondition(
+            fabric,
+            cluster,
+            client,
+            self.jobs,
+            self.region,
+        ))
+    }
+
+    /// Assembles the multi-client incast world: one classic client per
+    /// entry of the clients axis fanning into the shared cluster, served
+    /// through the engine-side connection pool. Panics if this spec is
+    /// not a cluster, the axis is empty, or any client is `Offloaded`
+    /// (the incast path runs in-process clients; DPU entries use the
+    /// cost model).
+    pub fn build_incast(self) -> IncastFioWorld {
+        assert!(self.clustered, "incast worlds are cluster-shaped");
+        assert!(!self.clients.is_empty(), "incast needs at least one client");
+        assert!(
+            self.clients
+                .kinds()
+                .iter()
+                .all(|k| *k != ClientKind::Offloaded),
+            "incast clients are in-process (Host or DpuCostModel)"
+        );
+        IncastFioWorld::build(self)
+    }
+
+    /// Shared cluster assembly: fabric over `topology` with per-node flow
+    /// hints, the engine pool with its `posix` container created (before
+    /// any client connects, preserving the historical order), and the
+    /// storage node ids.
+    pub(crate) fn fabric_and_cluster(
+        &self,
+        topology: &ClusterTopology,
+    ) -> (Fabric, EngineCluster, Vec<NodeId>) {
+        let mut fabric = Fabric::for_topology(self.transport, topology, self.seed);
+        fabric.set_force_per_segment(self.wire_per_segment);
+        for node in 0..topology.node_count() {
+            fabric.set_flow_hint(NodeId(node as u32), self.jobs);
+        }
+        let storage_nodes: Vec<NodeId> = (0..self.engines)
+            .map(|i| NodeId(topology.storage_node(i) as u32))
+            .collect();
+        let mut cluster = EngineCluster::assemble(
+            storage_nodes.clone(),
+            self.replication,
+            self.ssds,
+            self.mode,
+            2 << 30,
+            DaosCostModel::default_model(),
+            CoreClass::HostX86,
+        );
+        cluster.cont_create("posix").unwrap();
+        (fabric, cluster, storage_nodes)
+    }
+}

@@ -1,0 +1,170 @@
+//! System tests for the multi-client incast world (PR 9): fairness on
+//! the shared storage ports, bounded engine-side connection state under
+//! pool pressure, and the RAS push fan-out surviving an engine kill with
+//! zero failed ops.
+
+use ros2_core::FaultPlan;
+use ros2_fio::{run_fio, Clients, FioReport, JobSpec, RwMode, WorldSpec};
+use ros2_sim::SimDuration;
+
+const REGION: u64 = 4 << 20;
+
+fn incast_spec(total_jobs: usize) -> JobSpec {
+    JobSpec::new(RwMode::RandRead, 1 << 20, total_jobs)
+        .iodepth(2)
+        .region(REGION)
+        .windows(SimDuration::from_millis(2), SimDuration::from_millis(20))
+        .seed(9)
+}
+
+fn write_spec(total_jobs: usize) -> JobSpec {
+    JobSpec::new(RwMode::RandWrite, 1 << 20, total_jobs)
+        .iodepth(2)
+        .region(REGION)
+        .windows(SimDuration::from_millis(2), SimDuration::from_millis(20))
+        .seed(13)
+}
+
+#[test]
+fn incast_world_runs_every_client_and_stays_fair() {
+    let mut w = WorldSpec::cluster(2)
+        .clients(Clients::host(8))
+        .jobs(2)
+        .region(REGION)
+        .build_incast();
+    assert_eq!(w.client_count(), 8);
+    assert_eq!(w.total_jobs(), 16);
+
+    let spec = incast_spec(w.total_jobs());
+    let report: FioReport = run_fio(&mut w, &spec);
+    assert_eq!(report.io.errors.get(), 0, "incast run must not error");
+    assert!(report.io.meter.ops() > 0);
+
+    // Fairness: every client makes progress, and no client starves —
+    // the per-client op spread stays within 2x on the symmetric plan.
+    let ops = w.per_client_ops();
+    let min = *ops.iter().min().unwrap();
+    let max = *ops.iter().max().unwrap();
+    assert!(min > 0, "every client must issue ops: {ops:?}");
+    assert!(
+        max <= 2 * min,
+        "symmetric clients must share the storage ports fairly: {ops:?}"
+    );
+}
+
+#[test]
+fn mixed_host_dpu_clients_share_one_cluster() {
+    let mut w = WorldSpec::cluster(2)
+        .clients(Clients::mixed(2, 2))
+        .jobs(1)
+        .region(REGION)
+        .build_incast();
+    let spec = incast_spec(w.total_jobs());
+    let report = run_fio(&mut w, &spec);
+    assert_eq!(report.io.errors.get(), 0);
+    assert!(w.per_client_ops().iter().all(|&o| o > 0));
+}
+
+#[test]
+fn pool_keeps_resident_state_bounded_under_thrash() {
+    // 8 clients through a 2-session pool: every admission round-robins
+    // the LRU set, so the pool must evict constantly yet never exceed
+    // its capacity — and the workload must not notice.
+    let mut w = WorldSpec::cluster(2)
+        .clients(Clients::host(8))
+        .jobs(1)
+        .region(REGION)
+        .pool_capacity(2)
+        .build_incast();
+    let spec = incast_spec(w.total_jobs());
+    let report = run_fio(&mut w, &spec);
+    assert_eq!(report.io.errors.get(), 0);
+
+    let stats = w.conn_pool_stats();
+    assert!(stats.resident_peak <= 2, "pool overflowed: {stats:?}");
+    assert_eq!(stats.admits, stats.hits + stats.misses);
+    assert!(stats.evictions > 0, "8 clients must thrash a 2-slot pool");
+    assert!(stats.reconnects > 0, "evicted clients must re-handshake");
+    assert!(
+        stats.misses >= 8,
+        "every client pays at least its first handshake: {stats:?}"
+    );
+}
+
+#[test]
+fn pool_sized_to_the_client_count_converges_to_hits() {
+    let mut w = WorldSpec::cluster(2)
+        .clients(Clients::host(4))
+        .jobs(2)
+        .region(REGION)
+        .pool_capacity(4)
+        .build_incast();
+    let spec = incast_spec(w.total_jobs());
+    let report = run_fio(&mut w, &spec);
+    assert_eq!(report.io.errors.get(), 0);
+
+    let stats = w.conn_pool_stats();
+    assert!(stats.resident_peak <= 4);
+    assert_eq!(
+        stats.evictions, 0,
+        "a pool as large as the client set never evicts: {stats:?}"
+    );
+    assert_eq!(stats.misses, 4, "exactly one cold handshake per client");
+    assert!(
+        stats.hit_rate() > 0.95,
+        "steady state must be hits: {stats:?}"
+    );
+}
+
+#[test]
+fn engine_kill_with_ras_push_loses_no_ops() {
+    let mut w = WorldSpec::cluster(4)
+        .clients(Clients::host(8))
+        .replication(2)
+        .jobs(1)
+        .region(REGION)
+        .build_incast();
+    // Only the pipelined path carries the stale-map retry ladder.
+    w.set_pipelined(true);
+    let after = w.total_ops() + 48;
+    w.set_fault_plan(FaultPlan::kill_after(1, after, SimDuration::from_millis(1)));
+
+    let spec = write_spec(w.total_jobs());
+    let report = run_fio(&mut w, &spec);
+    assert_eq!(
+        report.io.errors.get(),
+        0,
+        "a kill under incast must complete with zero failed ops"
+    );
+    let retry = w.retry_stats();
+    assert!(
+        retry.retries >= 1,
+        "the delayed push must drive the ladder: {retry:?}"
+    );
+    assert_eq!(retry.exhausted, 0, "no op may exhaust its budget");
+    assert!(
+        w.fences() >= 1,
+        "clients racing the pushed revision must fence at least once"
+    );
+}
+
+#[test]
+fn incast_worlds_replay_bit_identically() {
+    let run = || {
+        let mut w = WorldSpec::cluster(2)
+            .clients(Clients::host(16))
+            .jobs(1)
+            .region(REGION)
+            .pool_capacity(4)
+            .build_incast();
+        let spec = incast_spec(w.total_jobs());
+        let r = run_fio(&mut w, &spec);
+        (
+            r.io.meter.ops(),
+            r.gib_per_sec().to_bits(),
+            w.per_client_ops(),
+            w.conn_pool_stats(),
+        )
+    };
+    assert_eq!(run(), run());
+}

@@ -109,18 +109,20 @@ pub enum ClientPlacement {
     Dpu,
 }
 
-/// The deployment's node layout: one client (host CPU or BlueField-3) plus
-/// N storage servers behind the shared 100 Gbps switch. This is the single
-/// source of cluster shape — `ros2_fabric::Fabric::for_topology` maps it
-/// onto canonical node specs, so assemblies never hand-build (or clone)
-/// per-node spec literals.
+/// The deployment's node layout: N clients (host CPU or BlueField-3, one
+/// placement each) plus M storage servers behind the shared 100 Gbps
+/// switch. This is the single source of cluster shape —
+/// `ros2_fabric::Fabric::for_topology` maps it onto canonical node specs,
+/// so assemblies never hand-build (or clone) per-node spec literals.
 ///
-/// Node-id convention: the client is node 0; storage server `i` (0-based
-/// engine slot) is node `i + 1`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+/// Node-id convention: client `c` is node `c`; storage server `i` (0-based
+/// engine slot) is node `clients.len() + i`. With one client this reduces
+/// to the historical layout (client at node 0, storage `i` at `i + 1`), so
+/// single-client worlds stay bit-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ClusterTopology {
-    /// Where the DAOS client runs.
-    pub placement: ClientPlacement,
+    /// Where each DAOS client runs, one entry per client node.
+    pub clients: Vec<ClientPlacement>,
     /// Number of storage servers (one DAOS engine each).
     pub storage_nodes: usize,
 }
@@ -129,20 +131,50 @@ impl ClusterTopology {
     /// The historical two-node world: one client, one storage server.
     pub fn single(placement: ClientPlacement) -> Self {
         ClusterTopology {
-            placement,
+            clients: vec![placement],
             storage_nodes: 1,
         }
     }
 
-    /// Total fabric nodes (client + storage servers).
+    /// One client of `placement` in front of `storage_nodes` servers —
+    /// the shape every pre-incast cluster world uses.
+    pub fn one_client(placement: ClientPlacement, storage_nodes: usize) -> Self {
+        ClusterTopology {
+            clients: vec![placement],
+            storage_nodes,
+        }
+    }
+
+    /// `clients` client nodes of uniform `placement` in front of
+    /// `storage_nodes` servers — the incast shape.
+    pub fn incast(placement: ClientPlacement, clients: usize, storage_nodes: usize) -> Self {
+        assert!(clients > 0, "a topology needs at least one client");
+        ClusterTopology {
+            clients: vec![placement; clients],
+            storage_nodes,
+        }
+    }
+
+    /// Number of client nodes.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The fabric node index of client `c` (identity, by convention).
+    pub fn client_node(&self, c: usize) -> usize {
+        assert!(c < self.clients.len(), "client {c} out of range");
+        c
+    }
+
+    /// Total fabric nodes (clients + storage servers).
     pub fn node_count(&self) -> usize {
-        1 + self.storage_nodes
+        self.clients.len() + self.storage_nodes
     }
 
     /// The fabric node index of storage server `slot`.
     pub fn storage_node(&self, slot: usize) -> usize {
         assert!(slot < self.storage_nodes, "slot {slot} out of range");
-        slot + 1
+        self.clients.len() + slot
     }
 }
 
@@ -230,6 +262,38 @@ mod tests {
         // DPU NIC is faster than host NIC, but the switch binds both.
         assert!(tb.dpu.nic.line_rate > tb.host.nic.line_rate);
         assert!(tb.switch.capacity < tb.host.nic.line_rate);
+    }
+
+    #[test]
+    fn single_client_topology_keeps_historical_node_ids() {
+        let t = ClusterTopology::one_client(ClientPlacement::Host, 4);
+        assert_eq!(t.client_count(), 1);
+        assert_eq!(t.client_node(0), 0);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.storage_node(0), 1);
+        assert_eq!(t.storage_node(3), 4);
+        assert_eq!(
+            t,
+            ClusterTopology {
+                clients: vec![ClientPlacement::Host],
+                storage_nodes: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn incast_topology_packs_clients_before_storage() {
+        let t = ClusterTopology::incast(ClientPlacement::Host, 16, 4);
+        assert_eq!(t.client_count(), 16);
+        assert_eq!(t.client_node(15), 15);
+        assert_eq!(t.storage_node(0), 16);
+        assert_eq!(t.node_count(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn incast_topology_rejects_zero_clients() {
+        ClusterTopology::incast(ClientPlacement::Host, 0, 1);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Dev probe: QD scaling of the client with the op ring off (serial) and
 //! on (pipelined), host + DPU arms.
 use ros2_dpu::DpuTenantSpec;
-use ros2_fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
-use ros2_hw::{ClientPlacement, Transport};
+use ros2_fio::{run_fio, JobSpec, RwMode, WorldSpec};
+use ros2_hw::ClientPlacement;
 use ros2_nvme::DataMode;
 use ros2_sim::SimDuration;
 
@@ -16,24 +16,17 @@ fn main() {
                     .iodepth(qd)
                     .region(region)
                     .windows(SimDuration::from_millis(50), SimDuration::from_millis(150));
-                let mut host = DfsFioWorld::new(
-                    Transport::Rdma,
-                    ClientPlacement::Host,
-                    1,
-                    1,
-                    region,
-                    DataMode::Null,
-                );
+                let mut host = WorldSpec::single(ClientPlacement::Host)
+                    .region(region)
+                    .mode(DataMode::Null)
+                    .build_dfs();
                 host.set_pipelined(pipelined);
                 let h = run_fio(&mut host, &spec);
-                let mut dpu = DfsFioWorld::offloaded(
-                    Transport::Rdma,
-                    1,
-                    1,
-                    region,
-                    DataMode::Null,
-                    vec![DpuTenantSpec::unlimited("fio")],
-                );
+                let mut dpu = WorldSpec::single(ClientPlacement::Dpu)
+                    .region(region)
+                    .mode(DataMode::Null)
+                    .offload(vec![DpuTenantSpec::unlimited("fio")])
+                    .build_dfs();
                 dpu.set_pipelined(pipelined);
                 let d = run_fio(&mut dpu, &spec);
                 println!(

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example transport_comparison`
 
 use rayon::prelude::*;
-use ros2::fio::{run_fio, DfsFioWorld, JobSpec, RwMode};
+use ros2::fio::{run_fio, JobSpec, RwMode, WorldSpec};
 use ros2::hw::{ClientPlacement, Transport};
 use ros2::nvme::DataMode;
 use ros2::sim::SimDuration;
@@ -25,8 +25,13 @@ fn main() {
         .par_iter()
         .map(|&(transport, placement)| {
             let run = |rw: RwMode, bs: u64| {
-                let mut world =
-                    DfsFioWorld::new(transport, placement, 4, jobs, region, DataMode::Null);
+                let mut world = WorldSpec::single(placement)
+                    .transport(transport)
+                    .ssds(4)
+                    .jobs(jobs)
+                    .region(region)
+                    .mode(DataMode::Null)
+                    .build_dfs();
                 let spec = JobSpec::new(rw, bs, jobs)
                     .region(region)
                     .windows(SimDuration::from_millis(100), SimDuration::from_millis(300));

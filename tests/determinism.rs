@@ -2,7 +2,7 @@
 //! the full stack — the property every calibration and regression test in
 //! this repository leans on.
 
-use ros2::fio::{run_fio, DfsFioWorld, JobSpec, LocalFioWorld, RwMode};
+use ros2::fio::{run_fio, JobSpec, LocalFioWorld, RwMode, WorldSpec};
 use ros2::hw::{ClientPlacement, Transport};
 use ros2::nvme::DataMode;
 use ros2::sim::SimDuration;
@@ -32,14 +32,13 @@ fn local_world_replays_identically() {
 #[test]
 fn dfs_world_replays_identically() {
     let run = || {
-        let mut w = DfsFioWorld::new(
-            Transport::Rdma,
-            ClientPlacement::Dpu,
-            2,
-            4,
-            64 << 20,
-            DataMode::Null,
-        );
+        let mut w = WorldSpec::single(ClientPlacement::Dpu)
+            .transport(Transport::Rdma)
+            .ssds(2)
+            .jobs(4)
+            .region(64 << 20)
+            .mode(DataMode::Null)
+            .build_dfs();
         let r = run_fio(
             &mut w,
             &short(

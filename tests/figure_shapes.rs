@@ -4,7 +4,7 @@
 //! the bench harnesses to keep test time reasonable; plateaus converge well
 //! within them.
 
-use ros2::fio::{run_fio, DfsFioWorld, JobSpec, LocalFioWorld, RwMode, SpdkFioWorld};
+use ros2::fio::{run_fio, JobSpec, LocalFioWorld, RwMode, SpdkFioWorld, WorldSpec};
 use ros2::hw::{ClientPlacement, Transport};
 use ros2::nvme::DataMode;
 use ros2::sim::SimDuration;
@@ -122,7 +122,13 @@ const JOBS: usize = 16;
 const REGION: u64 = 256 << 20;
 
 fn dfs(transport: Transport, placement: ClientPlacement, ssds: usize, rw: RwMode, bs: u64) -> f64 {
-    let mut w = DfsFioWorld::new(transport, placement, ssds, JOBS, REGION, DataMode::Null);
+    let mut w = WorldSpec::single(placement)
+        .transport(transport)
+        .ssds(ssds)
+        .jobs(JOBS)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .build_dfs();
     let r = run_fio(&mut w, &windows(JobSpec::new(rw, bs, JOBS).region(REGION)));
     if bs >= 1 << 20 {
         r.gib_per_sec()
