@@ -1,0 +1,291 @@
+//! DPU read-cache figure (PR 10): the small-I/O offload gap with and
+//! without the pool-map-aware read cache, recorded in `BENCH_PR10.json`.
+//!
+//! Two experiments:
+//!
+//! * **Headline A/B** — host vs DPU 4 KiB random reads on the two-node
+//!   world, serial (the BENCH_PR4 0.62× baseline shape) and pipelined at
+//!   QD 32 (the BENCH_PR6 0.55× saturated shape). Cache off reproduces
+//!   the cold gap; a 64 MiB carve over a 16 MiB working set must close
+//!   the warm ratio to ≥ `WARM_FLOOR`× host — repeat reads serve from
+//!   DPU DRAM with zero fabric bookings and zero booked ARM CRC.
+//! * **Incast sweep** — hit rate vs DRAM split vs client count: N real
+//!   offloaded clients (each with its own agent and carve) fanning into
+//!   one replicated cluster. The carve axis straddles the per-client
+//!   working set, so the small carve evicts (partial hit rate) and the
+//!   large carve converges toward full residency.
+//!
+//! Gates (all virtual-time, deterministic): warm ratios ≥ 0.90×, cold
+//! ratios inside the historical band (the cache must not perturb the
+//! cache-off path), sweep hit rates ordered by carve, zero failed ops,
+//! and the legacy cache-off sweeps still simulate exactly
+//! `OPS_SIMULATED_PIN` ops.
+
+use ros2_bench::{legacy_sweep_ops, OPS_SIMULATED_PIN};
+use ros2_dpu::DpuTenantSpec;
+use ros2_fio::{run_fio, Clients, JobSpec, RwMode, WorldSpec};
+use ros2_hw::ClientPlacement;
+use ros2_nvme::DataMode;
+use ros2_sim::SimDuration;
+
+const BS: u64 = 4096;
+const REGION: u64 = 16 << 20;
+const JOBS: usize = 1;
+/// Carve comfortably above the 16 MiB working set: the warm cells run at
+/// full residency after the ramp.
+const CARVE: u64 = 64 << 20;
+/// The acceptance floor on the warm DPU/host small-I/O ratio.
+const WARM_FLOOR: f64 = 0.90;
+/// Per-cell cold-ratio bands: the cache knob must not move the cache-off
+/// path. QD 1 pins the handoff-dominated ~0.84× shape fig_qd gates at
+/// > 0.80; QD 32 pins the saturated 0.55× shape from BENCH_PR6.
+const COLD_BAND_SERIAL: (f64, f64) = (0.75, 0.95);
+const COLD_BAND_QD32: (f64, f64) = (0.45, 0.70);
+/// Warm hit-rate floors: the serial cell streams the region barely twice
+/// inside its windows (partial residency); the QD 32 cell must converge
+/// to near-full residency.
+const HIT_FLOOR_SERIAL: f64 = 0.10;
+const HIT_FLOOR_QD32: f64 = 0.90;
+
+/// Incast sweep axes: client count × per-client carve (0 = cache off).
+const SWEEP_CLIENTS: [usize; 3] = [1, 2, 4];
+const SWEEP_CARVES: [u64; 3] = [0, 1 << 20, 16 << 20];
+const SWEEP_ENGINES: usize = 4;
+const SWEEP_RF: usize = 2;
+/// Per-client working set of the sweep — sized between the two non-zero
+/// carves so the 1 MiB carve must evict and the 16 MiB carve never does.
+const SWEEP_REGION: u64 = 8 << 20;
+
+fn ab_spec(qd: usize) -> JobSpec {
+    JobSpec::new(RwMode::RandRead, BS, JOBS)
+        .iodepth(qd)
+        .region(REGION)
+        .windows(SimDuration::from_millis(50), SimDuration::from_millis(150))
+}
+
+/// Host arm of one A/B cell.
+fn host_cell(qd: usize, pipelined: bool) -> f64 {
+    let mut w = WorldSpec::single(ClientPlacement::Host)
+        .jobs(JOBS)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .build_dfs();
+    w.set_pipelined(pipelined);
+    let r = run_fio(&mut w, &ab_spec(qd));
+    assert_eq!(r.io.errors.get(), 0, "host arm qd={qd} errored");
+    r.gib_per_sec()
+}
+
+/// DPU arm of one A/B cell: `(GiB/s, hit rate)`.
+fn dpu_cell(qd: usize, pipelined: bool, carve: Option<u64>) -> (f64, f64) {
+    let mut spec = WorldSpec::single(ClientPlacement::Dpu)
+        .jobs(JOBS)
+        .region(REGION)
+        .mode(DataMode::Null)
+        .offload(vec![DpuTenantSpec::unlimited("fio")]);
+    if let Some(bytes) = carve {
+        spec = spec.dpu_cache(bytes);
+    }
+    let mut w = spec.build_dfs();
+    w.set_pipelined(pipelined);
+    let r = run_fio(&mut w, &ab_spec(qd));
+    assert_eq!(r.io.errors.get(), 0, "dpu arm qd={qd} errored");
+    let stats = w.client.cache_stats();
+    if carve.is_none() {
+        assert_eq!(
+            stats,
+            Default::default(),
+            "the cache-off arm must book nothing"
+        );
+    }
+    (r.gib_per_sec(), stats.hit_rate())
+}
+
+struct SweepCell {
+    clients: usize,
+    carve: u64,
+    gib_s: f64,
+    hit_rate: f64,
+    hits: u64,
+    evictions: u64,
+}
+
+/// One incast sweep cell: `clients` offloaded DPU clients, each carving
+/// `carve` bytes (0 = cache off), re-reading 16 KiB blocks.
+fn sweep_cell(clients: usize, carve: u64) -> SweepCell {
+    let mut spec = WorldSpec::cluster(SWEEP_ENGINES)
+        .replication(SWEEP_RF)
+        .clients(Clients::offloaded(clients))
+        .jobs(1)
+        .region(SWEEP_REGION)
+        .mode(DataMode::Null);
+    if carve > 0 {
+        spec = spec.dpu_cache(carve);
+    }
+    let mut w = spec.build_incast();
+    let job_spec = JobSpec::new(RwMode::RandRead, 16 << 10, w.total_jobs())
+        .iodepth(2)
+        .region(SWEEP_REGION)
+        .windows(SimDuration::from_millis(5), SimDuration::from_millis(25))
+        .seed(9);
+    let r = run_fio(&mut w, &job_spec);
+    assert_eq!(
+        r.io.errors.get(),
+        0,
+        "sweep cell clients={clients} carve={carve} errored"
+    );
+    let s = w.cache_stats();
+    SweepCell {
+        clients,
+        carve,
+        gib_s: r.gib_per_sec(),
+        hit_rate: s.hit_rate(),
+        hits: s.hits,
+        evictions: s.evictions,
+    }
+}
+
+fn main() {
+    println!("DPU read-cache A/B: {BS} B RandRead, region {REGION} B, carve {CARVE} B");
+
+    // ---- headline A/B: serial (PR 4 shape) and QD 32 (PR 6 shape) ----
+    let mut ab = Vec::new();
+    for &(qd, pipelined, label) in &[(1usize, false, "serial"), (32usize, true, "qd32")] {
+        let host = host_cell(qd, pipelined);
+        let (cold, cold_hr) = dpu_cell(qd, pipelined, None);
+        let (warm, warm_hr) = dpu_cell(qd, pipelined, Some(CARVE));
+        let (cold_ratio, warm_ratio) = (cold / host.max(1e-12), warm / host.max(1e-12));
+        println!(
+            "  {label:>6}: host {:>8.1} MiB/s  cold {:>8.1} ({cold_ratio:.3}x)  \
+             warm {:>8.1} ({warm_ratio:.3}x, hit rate {warm_hr:.3})",
+            host * 1024.0,
+            cold * 1024.0,
+            warm * 1024.0,
+        );
+        assert_eq!(cold_hr, 0.0, "{label}: the cold arm must not hit");
+        ab.push((label, qd, host, cold, warm, cold_ratio, warm_ratio, warm_hr));
+    }
+
+    // ---- incast sweep: hit rate vs carve vs client count ----
+    println!("incast sweep: clients {SWEEP_CLIENTS:?} x carve {SWEEP_CARVES:?} B");
+    let mut sweep = Vec::new();
+    for &clients in &SWEEP_CLIENTS {
+        for &carve in &SWEEP_CARVES {
+            let cell = sweep_cell(clients, carve);
+            println!(
+                "  clients={clients} carve={carve:>9}  {:>8.1} MiB/s  \
+                 hit rate {:.3}  hits {:>6}  evictions {:>5}",
+                cell.gib_s * 1024.0,
+                cell.hit_rate,
+                cell.hits,
+                cell.evictions
+            );
+            sweep.push(cell);
+        }
+    }
+
+    println!("re-playing the legacy sweeps (cache off) for the ops pin...");
+    let legacy_ops = legacy_sweep_ops();
+    println!("  legacy sweep ops: {legacy_ops} (pin {OPS_SIMULATED_PIN})");
+
+    // ---- gates ----
+    for &(label, _, _, _, _, cold_ratio, warm_ratio, warm_hr) in &ab {
+        let (band, hit_floor) = if label == "serial" {
+            (COLD_BAND_SERIAL, HIT_FLOOR_SERIAL)
+        } else {
+            (COLD_BAND_QD32, HIT_FLOOR_QD32)
+        };
+        assert!(
+            cold_ratio > band.0 && cold_ratio < band.1,
+            "{label}: cold DPU/host ratio {cold_ratio:.3} left the historical \
+             band {band:?} — the cache knob perturbed the cache-off path"
+        );
+        assert!(
+            warm_ratio >= WARM_FLOOR,
+            "{label}: warm DPU/host ratio {warm_ratio:.3} misses the \
+             {WARM_FLOOR} floor — the cache is not closing the small-I/O gap"
+        );
+        assert!(
+            warm_hr > hit_floor,
+            "{label}: warm hit rate {warm_hr:.3} under the {hit_floor} floor"
+        );
+    }
+    for &clients in &SWEEP_CLIENTS {
+        let rate = |carve: u64| {
+            sweep
+                .iter()
+                .find(|c| c.clients == clients && c.carve == carve)
+                .unwrap()
+                .hit_rate
+        };
+        assert_eq!(
+            rate(0),
+            0.0,
+            "clients={clients}: the cache-off cell must not hit"
+        );
+        assert!(
+            rate(16 << 20) > rate(1 << 20) && rate(1 << 20) > 0.0,
+            "clients={clients}: hit rate must grow with the carve \
+             (1 MiB {:.3} vs 16 MiB {:.3})",
+            rate(1 << 20),
+            rate(16 << 20)
+        );
+        let evicting = sweep
+            .iter()
+            .find(|c| c.clients == clients && c.carve == 1 << 20)
+            .unwrap();
+        assert!(
+            evicting.evictions > 0,
+            "clients={clients}: a carve below the working set must evict"
+        );
+    }
+    assert_eq!(
+        legacy_ops, OPS_SIMULATED_PIN,
+        "the cache is opt-in: the legacy sweeps must stay bit-identical"
+    );
+
+    // ---- BENCH_PR10.json ----
+    let mut ab_json = String::from("[");
+    for (i, &(label, qd, host, cold, warm, cold_ratio, warm_ratio, warm_hr)) in
+        ab.iter().enumerate()
+    {
+        if i > 0 {
+            ab_json.push_str(", ");
+        }
+        ab_json.push_str(&format!(
+            "{{\"cell\": \"{label}\", \"qd\": {qd}, \"host_gib_s\": {host:.4}, \
+             \"dpu_cold_gib_s\": {cold:.4}, \"dpu_warm_gib_s\": {warm:.4}, \
+             \"cold_ratio\": {cold_ratio:.4}, \"warm_ratio\": {warm_ratio:.4}, \
+             \"warm_hit_rate\": {warm_hr:.4}}}"
+        ));
+    }
+    ab_json.push(']');
+
+    let mut sweep_json = String::from("[");
+    for (i, c) in sweep.iter().enumerate() {
+        if i > 0 {
+            sweep_json.push_str(", ");
+        }
+        sweep_json.push_str(&format!(
+            "{{\"clients\": {}, \"carve\": {}, \"gib_s\": {:.4}, \
+             \"hit_rate\": {:.4}, \"hits\": {}, \"evictions\": {}}}",
+            c.clients, c.carve, c.gib_s, c.hit_rate, c.hits, c.evictions
+        ));
+    }
+    sweep_json.push(']');
+
+    let (serial, qd32) = (&ab[0], &ab[1]);
+    let json = format!(
+        "{{\n  \"cache_ab\": {ab_json},\n  \
+         \"cache_incast_sweep\": {sweep_json},\n  \
+         \"cold_ratio_serial\": {:.4},\n  \
+         \"warm_ratio_serial\": {:.4},\n  \
+         \"cold_ratio_qd32\": {:.4},\n  \
+         \"warm_ratio_qd32\": {:.4},\n  \
+         \"cache_failed_ops\": 0,\n  \
+         \"ops_simulated\": {legacy_ops}\n}}\n",
+        serial.5, serial.6, qd32.5, qd32.6
+    );
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+    println!("wrote BENCH_PR10.json");
+}

@@ -24,8 +24,8 @@ use ros2_daos::{
 };
 use ros2_dfs::{Dfs, DfsError, DfsObj, DfsSession, FileStat};
 use ros2_dpu::{
-    default_control, DpuAgent, DpuClient, DpuStats, DpuTenantSpec, InlineService, QosLimits,
-    TenantManager,
+    default_control, DpuAgent, DpuCacheStats, DpuClient, DpuStats, DpuTenantSpec, InlineService,
+    QosLimits, TenantManager,
 };
 use ros2_fabric::Fabric;
 use ros2_hw::{ClientPlacement, ClusterTopology, CoreClass, Transport};
@@ -85,6 +85,11 @@ pub struct Ros2Config {
     pub buffer_len: u64,
     /// Tenant QoS.
     pub qos: QosLimits,
+    /// DPU read-cache carve in bytes (`None` = disabled, the default —
+    /// every pinned baseline runs cache-off). Requires
+    /// `ClientPlacement::Dpu`; the carve comes out of the agent's staging
+    /// DRAM pool.
+    pub dpu_cache: Option<u64>,
     /// Scenario seed.
     pub seed: u64,
 }
@@ -104,6 +109,7 @@ impl Default for Ros2Config {
             buffer_domain: MemoryDomain::DpuDram,
             buffer_len: 4 << 20,
             qos: QosLimits::unlimited(),
+            dpu_cache: None,
             seed: 0x40552,
         }
     }
@@ -192,6 +198,23 @@ impl ClientStack {
         match self {
             ClientStack::Host { .. } => DpuStats::default(),
             ClientStack::Dpu(c) => c.dpu_stats(),
+        }
+    }
+
+    /// DPU read-cache counters (all zeros under host placement or with
+    /// the cache disabled).
+    pub fn cache_stats(&self) -> DpuCacheStats {
+        match self {
+            ClientStack::Host { .. } => DpuCacheStats::default(),
+            ClientStack::Dpu(c) => c.cache_stats(),
+        }
+    }
+
+    /// Copy-discipline accounting for cache hits served out of DPU DRAM.
+    pub fn cache_data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        match self {
+            ClientStack::Host { .. } => ros2_buf::DataPlaneStats::default(),
+            ClientStack::Dpu(c) => c.cache_data_plane_stats(),
         }
     }
 
@@ -472,6 +495,11 @@ impl Ros2System {
         // enforced on every byte.
         let mut client = match config.placement {
             ClientPlacement::Host => {
+                if config.dpu_cache.is_some() {
+                    return Err(Ros2Error::Config(
+                        "dpu_cache requires ClientPlacement::Dpu".into(),
+                    ));
+                }
                 let mut tenants = TenantManager::new(CLIENT_NODE);
                 tenants.register(
                     &mut fabric,
@@ -501,7 +529,7 @@ impl Ros2System {
                 }
             }
             ClientPlacement::Dpu => {
-                let dpu = DpuClient::connect_cluster(
+                let mut dpu = DpuClient::connect_cluster(
                     &mut fabric,
                     CLIENT_NODE,
                     &storage_nodes,
@@ -519,6 +547,10 @@ impl Ros2System {
                     config.seed,
                 )
                 .map_err(|e| Ros2Error::Config(e.to_string()))?;
+                if let Some(bytes) = config.dpu_cache {
+                    dpu.enable_read_cache(bytes)
+                        .map_err(|e| Ros2Error::Config(e.to_string()))?;
+                }
                 ClientStack::Dpu(dpu)
             }
         };
@@ -996,6 +1028,7 @@ impl Ros2System {
     pub fn data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
         let mut total = self.fabric.data_plane_stats();
         total.merge(self.cluster.data_plane_stats());
+        total.merge(self.client.cache_data_plane_stats());
         total
     }
 
@@ -1040,6 +1073,11 @@ impl Ros2System {
         self.client.dpu_stats()
     }
 
+    /// DPU read-cache counters (zero while the cache is disabled).
+    pub fn cache_stats(&self) -> DpuCacheStats {
+        self.client.cache_stats()
+    }
+
     /// Gathers activity counters from every layer.
     pub fn metrics(&self) -> SystemMetrics {
         SystemMetrics {
@@ -1051,6 +1089,7 @@ impl Ros2System {
             violations: self.fabric.node(CLIENT_NODE).rdma.violations().total(),
             retry: self.client.retry_stats(),
             scrub: self.cluster.scrub_stats(),
+            cache: self.client.cache_stats(),
         }
     }
 }
@@ -1094,4 +1133,7 @@ pub struct SystemMetrics {
     /// Background-service counters (scrub passes, repair volume,
     /// per-service throttle waits).
     pub scrub: ScrubStats,
+    /// DPU read-cache counters (all zeros unless the cache is enabled
+    /// under DPU placement).
+    pub cache: DpuCacheStats,
 }

@@ -69,6 +69,24 @@ struct ClientJob {
     mr: Option<MrId>,
 }
 
+/// Provenance of one completed fetch, surfaced by
+/// [`DaosClient::fetch_with_meta`]: which engine served the read, whether
+/// the route was degraded (a replica is down and unrebuilt), and the map
+/// revision / container commit-epoch horizon observed at completion.
+/// A read cache fills only from `degraded == false` completions and
+/// stamps entries with `{map_version, commit_epoch}`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FetchMeta {
+    /// Engine slot that served the fetch.
+    pub eng: usize,
+    /// Whether the replica set had lost a member to an unrebuilt kill.
+    pub degraded: bool,
+    /// Pool-map revision the route resolved under.
+    pub map_version: u64,
+    /// The container's committed-epoch high-water mark at completion.
+    pub commit_epoch: Epoch,
+}
+
 /// A connected DAOS client bound to one container.
 pub struct DaosClient {
     node: NodeId,
@@ -356,6 +374,25 @@ impl DaosClient {
     /// the ring always polls before routing.
     pub(crate) fn cached_map(&self) -> &MapSnapshot {
         self.map_cache.as_ref().expect("map cache bootstrapped")
+    }
+
+    /// The submission-instant routing view a read-cache probe needs:
+    /// applies any due delayed RAS delivery (bootstrapping the cached map
+    /// on first use, exactly as a ring submission would), then resolves
+    /// `oid` against the **cached** snapshot. Returns the leader slot (if
+    /// any healthy replica exists), whether the route is degraded, and
+    /// the cached map revision. Pure with respect to cluster accounting —
+    /// no degraded-fetch counter moves until an actual fetch routes.
+    pub fn probe_route(
+        &mut self,
+        now: SimTime,
+        cluster: &EngineCluster,
+        oid: &ObjectId,
+    ) -> (Option<usize>, bool, u64) {
+        self.poll_map(now, cluster);
+        let snap = self.cached_map();
+        let (set, degraded) = snap.route(oid);
+        (set.leader(), degraded, snap.version())
     }
 
     /// The cached map revision, if a snapshot has been installed.
@@ -762,20 +799,51 @@ impl DaosClient {
         epoch: Epoch,
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
+        self.fetch_with_meta(fabric, cluster, now, job, oid, dkey, akey, kind, epoch, len)
+            .map(|(data, at, _)| (data, at))
+    }
+
+    /// [`Self::fetch`] plus the completion's provenance ([`FetchMeta`]):
+    /// which engine served it, whether the route was degraded, and the
+    /// map revision / commit-epoch horizon stamped on the reply. Callers
+    /// that maintain a read cache (the DPU lane) need exactly this to
+    /// decide whether the completion is safe to fill from. Booking and
+    /// accounting are identical to [`Self::fetch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch_with_meta(
+        &mut self,
+        fabric: &mut Fabric,
+        cluster: &mut EngineCluster,
+        now: SimTime,
+        job: usize,
+        oid: ObjectId,
+        dkey: DKey,
+        akey: AKey,
+        kind: ValueKind,
+        epoch: Epoch,
+        len: u64,
+    ) -> Result<(Bytes, SimTime, FetchMeta), DaosError> {
         self.ops += 1;
         self.check_cluster(cluster)?;
         if len > self.jobs[job].buf_len {
             return Err(DaosError::Transport("staging buffer too small".into()));
         }
-        let eng = cluster
-            .route_fetch(&oid)
+        let (set, degraded) = cluster.route_fetch_meta(&oid);
+        let eng = set
             .leader()
             .ok_or_else(|| DaosError::Transport("no healthy replica".into()))?;
         let req_at = self.stage_fetch(fabric, now, job, eng)?;
         let (data, ready) = cluster
             .engine_mut(eng)
             .fetch(req_at, &self.cont, oid, &dkey, &akey, kind, epoch, len)?;
+        let meta = FetchMeta {
+            eng,
+            degraded,
+            map_version: cluster.map().version(),
+            commit_epoch: cluster.container_epoch(&self.cont),
+        };
         self.finish_fetch(fabric, job, eng, data, ready, len)
+            .map(|(data, at)| (data, at, meta))
     }
 
     /// Submits a whole queue's worth of independent ops from `job` as one

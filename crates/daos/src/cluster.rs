@@ -815,6 +815,20 @@ impl EngineCluster {
         self.engines[first].snapshot(cont)
     }
 
+    /// The container's current committed-epoch high-water mark, read from
+    /// the epoch-allocating engine **without** allocating. This is the
+    /// stamp a fetch completion carries back to the caller (clients learn
+    /// the commit horizon from every completion and from aggregation
+    /// reports), and the value the DPU read cache compares against to
+    /// detect writes it did not issue itself. `Epoch(0)` for a container
+    /// no healthy engine knows.
+    pub fn container_epoch(&self, cont: &str) -> Epoch {
+        self.first_up()
+            .and_then(|s| self.engines[s].container_meta(cont))
+            .map(|m| Epoch(m.epoch_counter))
+            .unwrap_or(Epoch(0))
+    }
+
     /// The object's current routing set and whether it is degraded (the
     /// set lost a member to a not-yet-rebuilt kill). While a rebuild is
     /// pending, affected objects route to the pre-kill *survivors* — the
@@ -889,11 +903,22 @@ impl EngineCluster {
     /// engines serve it), it just resolved the route from the client's
     /// possibly-stale view.
     pub fn route_fetch_snapshot(&mut self, snap: &MapSnapshot, oid: &ObjectId) -> ReplicaSet {
+        self.route_fetch_snapshot_meta(snap, oid).0
+    }
+
+    /// [`Self::route_fetch_snapshot`] plus the degraded flag, for callers
+    /// that maintain a read cache: only leader-path (non-degraded) fetch
+    /// completions are safe to fill from. Accounting is identical.
+    pub fn route_fetch_snapshot_meta(
+        &mut self,
+        snap: &MapSnapshot,
+        oid: &ObjectId,
+    ) -> (ReplicaSet, bool) {
         let (set, degraded) = snap.route(oid);
         if degraded {
             self.stats.degraded_fetches += 1;
         }
-        set
+        (set, degraded)
     }
 
     /// The replica set an update must fan out to (every healthy member).
@@ -906,11 +931,25 @@ impl EngineCluster {
     /// degraded-mode read (redundancy is short, whichever member died; if
     /// the dead member was the leader, the read also fails over).
     pub fn route_fetch(&mut self, oid: &ObjectId) -> ReplicaSet {
+        self.route_fetch_meta(oid).0
+    }
+
+    /// A side-effect-free preview of the live-map route for `oid`: the
+    /// replica set and degraded flag **without** counting a fetch. Cache
+    /// probes use this to validate an entry against the current route
+    /// before deciding whether any fetch happens at all.
+    pub fn route_preview(&self, oid: &ObjectId) -> (ReplicaSet, bool) {
+        self.route(oid)
+    }
+
+    /// [`Self::route_fetch`] plus the degraded flag (see
+    /// [`Self::route_fetch_snapshot_meta`]). Accounting is identical.
+    pub fn route_fetch_meta(&mut self, oid: &ObjectId) -> (ReplicaSet, bool) {
         let (set, degraded) = self.route(oid);
         if degraded {
             self.stats.degraded_fetches += 1;
         }
-        set
+        (set, degraded)
     }
 
     /// Marks `slot` down and bumps the map revision (the RAS event the

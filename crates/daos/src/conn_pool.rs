@@ -20,13 +20,15 @@
 //!   cost again, counted separately so sweeps can tell cold connects from
 //!   thrash.
 //!
-//! Determinism: LRU order is tracked with a monotonic use-tick and ties
-//! cannot occur (ticks are unique), so eviction choice is a pure function
-//! of the admission history. The resident set is a plain vector scanned
+//! Determinism: LRU order is tracked by the shared
+//! [`ros2_sim::DetLru`] — a monotonic use-tick where ties cannot occur
+//! (ticks are unique), so eviction choice is a pure function of the
+//! admission history. The resident set is a plain vector scanned
 //! linearly — capacities are small by design, and iteration order is
-//! deterministic, unlike a hash map's.
+//! deterministic, unlike a hash map's. The DPU read cache
+//! (`ros2_dpu::ReadCache`) reuses the same tracker.
 
-use ros2_sim::{SimDuration, SimTime};
+use ros2_sim::{DetLru, SimDuration, SimTime};
 use ros2_verbs::NodeId;
 
 /// Counters the pool accumulates; sampled by benches and property tests.
@@ -58,23 +60,15 @@ impl ConnPoolStats {
     }
 }
 
-/// One resident client session.
-#[derive(Copy, Clone, Debug)]
-struct Resident {
-    client: NodeId,
-    last_used: u64,
-}
-
 /// The LRU pool itself. See the module docs for semantics.
 #[derive(Debug)]
 pub struct ConnPool {
     capacity: usize,
     handshake: SimDuration,
-    resident: Vec<Resident>,
+    resident: DetLru<NodeId, ()>,
     /// Clients that have ever held a session — distinguishes first
     /// connects from reconnects after eviction.
     ever_connected: Vec<NodeId>,
-    tick: u64,
     stats: ConnPoolStats,
 }
 
@@ -90,9 +84,8 @@ impl ConnPool {
         ConnPool {
             capacity,
             handshake,
-            resident: Vec::with_capacity(capacity),
+            resident: DetLru::new(),
             ever_connected: Vec::new(),
-            tick: 0,
             stats: ConnPoolStats::default(),
         }
     }
@@ -109,7 +102,7 @@ impl ConnPool {
 
     /// Whether `client` currently holds a resident session.
     pub fn is_resident(&self, client: NodeId) -> bool {
-        self.resident.iter().any(|r| r.client == client)
+        self.resident.contains(&client)
     }
 
     /// Accumulated counters.
@@ -122,10 +115,9 @@ impl ConnPool {
     /// client had to (re)connect. LRU-evicts a resident session if the
     /// pool is full.
     pub fn admit(&mut self, client: NodeId, now: SimTime) -> SimTime {
-        self.tick += 1;
+        self.resident.advance();
         self.stats.admits += 1;
-        if let Some(r) = self.resident.iter_mut().find(|r| r.client == client) {
-            r.last_used = self.tick;
+        if self.resident.touch(&client).is_some() {
             self.stats.hits += 1;
             return now;
         }
@@ -136,20 +128,10 @@ impl ConnPool {
             self.ever_connected.push(client);
         }
         if self.resident.len() == self.capacity {
-            let lru = self
-                .resident
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, r)| r.last_used)
-                .map(|(i, _)| i)
-                .expect("full pool has a resident");
-            self.resident.swap_remove(lru);
+            self.resident.evict_lru().expect("full pool has a resident");
             self.stats.evictions += 1;
         }
-        self.resident.push(Resident {
-            client,
-            last_used: self.tick,
-        });
+        self.resident.insert(client, ());
         self.stats.resident_peak = self.stats.resident_peak.max(self.resident.len() as u64);
         now + self.handshake
     }
@@ -158,9 +140,7 @@ impl ConnPool {
     /// fault injection for the property suite). The client's next admit
     /// re-handshakes; acked data is untouched.
     pub fn kill_session(&mut self, client: NodeId) -> bool {
-        let before = self.resident.len();
-        self.resident.retain(|r| r.client != client);
-        self.resident.len() != before
+        self.resident.remove(&client).is_some()
     }
 }
 

@@ -23,7 +23,9 @@ pub mod types;
 pub mod vos;
 
 pub use checksum::{crc32c, crc32c_append, Checksum};
-pub use client::{whole_batch_error, ClientOp, ClientOpResult, DaosClient, ObjectClient};
+pub use client::{
+    whole_batch_error, ClientOp, ClientOpResult, DaosClient, FetchMeta, ObjectClient,
+};
 pub use cluster::{
     BgService, EngineCluster, EngineHealth, MapSnapshot, PoolMap, PoolMember, RebuildStats,
     ReplicaSet, ScrubOutcome, ScrubStats, ServiceScheduler, MAX_RF,

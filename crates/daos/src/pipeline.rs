@@ -183,6 +183,9 @@ enum Body {
         req_at: SimTime,
         /// The cached `map_version` stamped into the descriptor.
         stamp: u64,
+        /// Whether the submission-time route was non-degraded (leader
+        /// path) — a retry or failover clears the fill eligibility.
+        clean: bool,
     },
 }
 
@@ -222,6 +225,10 @@ pub struct OpRing {
     retire_log: Vec<usize>,
     /// Fetch legs re-armed onto a surviving replica after a kill.
     leg_rearms: u64,
+    /// Per-slot leader-path provenance: true iff the slot is a fetch that
+    /// completed on its first attempt over a non-degraded route — the only
+    /// completions a read cache may fill from.
+    fill_ok: Vec<bool>,
 }
 
 impl OpRing {
@@ -235,6 +242,7 @@ impl OpRing {
             results: Vec::new(),
             retire_log: Vec::new(),
             leg_rearms: 0,
+            fill_ok: Vec::new(),
         }
     }
 
@@ -259,6 +267,16 @@ impl OpRing {
         self.leg_rearms
     }
 
+    /// Per-slot leader-path provenance, aligned with the drained results:
+    /// `true` iff that slot is a fetch that completed successfully on its
+    /// **first** attempt over a **non-degraded** route. Anything touched
+    /// by the retry ladder, a failover replica, or a degraded route reads
+    /// correct bytes but is not a safe read-cache fill (the leader may
+    /// have moved). Complete only after [`Self::drain`].
+    pub fn fill_ok(&self) -> &[bool] {
+        &self.fill_ok
+    }
+
     /// Submits one op: allocates its epoch, resolves its route and books
     /// its staging legs. If the ring is full, the earliest-completing
     /// in-flight op retires first to free a slot. Submission-time failures
@@ -275,6 +293,7 @@ impl OpRing {
     ) {
         let slot = self.results.len();
         self.results.push(None);
+        self.fill_ok.push(false);
 
         if client.force_serial_pipeline() {
             // The equivalence baseline: today's path, bit for bit.
@@ -295,9 +314,15 @@ impl OpRing {
                     kind,
                     epoch,
                     len,
-                } => ClientOpResult::Fetch(client.fetch(
-                    fabric, cluster, now, self.job, oid, dkey, akey, kind, epoch, len,
-                )),
+                } => {
+                    let r = client.fetch_with_meta(
+                        fabric, cluster, now, self.job, oid, dkey, akey, kind, epoch, len,
+                    );
+                    if let Ok((_, _, meta)) = &r {
+                        self.fill_ok[slot] = !meta.degraded;
+                    }
+                    ClientOpResult::Fetch(r.map(|(data, at, _)| (data, at)))
+                }
             };
             self.results[slot] = Some(result);
             self.retire_log.push(slot);
@@ -394,10 +419,8 @@ impl OpRing {
                     self.retire_log.push(slot);
                     return;
                 }
-                let Some(eng) = cluster
-                    .route_fetch_snapshot(client.cached_map(), &oid)
-                    .leader()
-                else {
+                let (set, degraded) = cluster.route_fetch_snapshot_meta(client.cached_map(), &oid);
+                let Some(eng) = set.leader() else {
                     let e = DaosError::Transport("no healthy replica".into());
                     self.results[slot] = Some(ClientOpResult::Fetch(Err(e)));
                     self.retire_log.push(slot);
@@ -419,6 +442,7 @@ impl OpRing {
                             eng,
                             req_at,
                             stamp,
+                            clean: !degraded,
                         },
                     }),
                     Err(e) => {
@@ -529,6 +553,7 @@ impl OpRing {
                 mut eng,
                 mut req_at,
                 mut stamp,
+                clean,
             } => {
                 let mut attempt: u32 = 0;
                 let result = loop {
@@ -567,6 +592,7 @@ impl OpRing {
                                         client.note_retry_success(*at);
                                     }
                                 }
+                                self.fill_ok[op.slot] = clean && attempt == 0 && r.is_ok();
                                 break ClientOpResult::Fetch(r);
                             }
                             Err(DaosError::StaleMap { .. }) => {

@@ -31,6 +31,10 @@ pub struct DpuAgent {
     pub control: ControlChannel,
     dram_budget: u64,
     dram_used: u64,
+    /// Slice of `dram_used` carved out for the read cache (the rest is
+    /// staging). One knob splits one physical pool — cache capacity always
+    /// trades directly against staging headroom.
+    cache_reserved: u64,
     service: InlineService,
     /// Payload bytes passed through inline services.
     pub serviced_bytes: Counter,
@@ -51,6 +55,7 @@ impl DpuAgent {
             control,
             dram_budget,
             dram_used: 0,
+            cache_reserved: 0,
             service: InlineService::None,
             serviced_bytes: Counter::new(),
             control_calls: Counter::new(),
@@ -96,9 +101,38 @@ impl DpuAgent {
         self.dram_used = self.dram_used.saturating_sub(bytes);
     }
 
-    /// Staging DRAM in use.
+    /// Carves `bytes` of the DRAM pool out for the read cache — the
+    /// staging/cache split knob. Fails like [`Self::reserve_dram`] when
+    /// the budget cannot cover it; the carve shrinks staging headroom
+    /// one-for-one.
+    pub fn reserve_cache(&mut self, bytes: u64) -> Result<(), DpuError> {
+        self.reserve_dram(bytes)?;
+        self.cache_reserved += bytes;
+        Ok(())
+    }
+
+    /// Returns the whole cache carve to the staging pool; reports how many
+    /// bytes were released.
+    pub fn release_cache(&mut self) -> u64 {
+        let bytes = self.cache_reserved;
+        self.cache_reserved = 0;
+        self.release_dram(bytes);
+        bytes
+    }
+
+    /// DRAM in use (staging reservations plus the cache carve).
     pub fn dram_used(&self) -> u64 {
         self.dram_used
+    }
+
+    /// The slice of [`Self::dram_used`] held by the read cache.
+    pub fn cache_reserved(&self) -> u64 {
+        self.cache_reserved
+    }
+
+    /// The slice of [`Self::dram_used`] held by staging buffers.
+    pub fn staging_used(&self) -> u64 {
+        self.dram_used - self.cache_reserved
     }
 
     /// The additional latency the inline service adds to `bytes` of
@@ -175,6 +209,22 @@ mod tests {
         assert_eq!(a.over_releases.get(), 1);
         // The full budget is usable again afterwards.
         assert!(a.reserve_dram(30 << 30).is_ok());
+    }
+
+    #[test]
+    fn cache_carve_trades_against_staging() {
+        let mut a = agent();
+        a.reserve_dram(10 << 30).unwrap();
+        a.reserve_cache(4 << 30).unwrap();
+        assert_eq!(a.dram_used(), 14 << 30);
+        assert_eq!(a.cache_reserved(), 4 << 30);
+        assert_eq!(a.staging_used(), 10 << 30);
+        // The carve shrinks staging headroom one-for-one.
+        assert!(a.reserve_dram(17 << 30).is_err());
+        assert_eq!(a.release_cache(), 4 << 30);
+        assert_eq!(a.cache_reserved(), 0);
+        assert!(a.reserve_dram(17 << 30).is_ok());
+        assert_eq!(a.over_releases.get(), 0, "carve and release balance");
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! The pool-map-aware DPU read cache: closing the small-I/O offload gap.
+//!
+//! The offload A/B sweeps show the DPU arm trailing the host arm on small
+//! reads — every 4–64 KiB fetch pays the full fabric round trip plus the
+//! ARM-core CRC verify, and at those sizes the fixed costs dominate. The
+//! BlueField-3 carries 30 GiB of DRAM next to the ARM complex; this module
+//! carves a slice of it into a chunk-granular read cache so a repeated
+//! small read is served at DPU-DRAM rates with **zero fabric bookings and
+//! zero ARM checksum work**.
+//!
+//! Correctness before speed — a cache in a storage path must never serve
+//! stale bytes. Three mechanisms, all deterministic:
+//!
+//! * **Epoch stamping.** Every entry records the container's commit epoch
+//!   at fill time. Any committed write anywhere in the container advances
+//!   that epoch, so a probe whose current epoch differs from the stamp
+//!   refuses the entry (and drops it). The container epoch is the same
+//!   counter the engines' transactional VOS already maintains — the cache
+//!   adds no new ordering authority.
+//! * **Map stamping.** Entries also record the pool-map revision their
+//!   fill routed under. A probe under a different revision invalidates:
+//!   after a kill/rebuild the cache refuses to answer for placements it
+//!   learned under the old map (belt-and-suspenders — committed data never
+//!   changes identity across rebuilds, but the stamp keeps the cache's
+//!   validity argument local). [`ReadCache::note_map`] applies the same
+//!   rule eagerly when a `MapPush`/`MapQuery` snapshot lands.
+//! * **Write-through punching.** A local update punches the written chunk
+//!   out of the cache before the write is issued, so the window where the
+//!   entry is stale never exists on the writing client.
+//!
+//! Fills come only from **leader-path** fetch completions: a fetch that
+//! was retried, rerouted, or served degraded does not populate the cache
+//! (its bytes are correct, but its provenance is the recovery ladder — the
+//! cache only learns from the boring case).
+//!
+//! Eviction is the shared deterministic tick-LRU ([`ros2_sim::DetLru`], the
+//! same tracker as the engine-side connection pool), bounded by resident
+//! **bytes** rather than entry count. Replay is bit-identical because the
+//! tick is the only ordering input.
+
+use bytes::Bytes;
+use ros2_buf::DataPlaneStats;
+use ros2_daos::{crc32c, AKey, DKey, Epoch, ObjectId, ValueKind};
+use ros2_hw::per_byte;
+use ros2_sim::{DetLru, SimDuration};
+
+/// DPU DRAM streaming-read cost: ~62 GB/s effective (DDR5 next to the ARM
+/// complex, shared with the data-plane staging traffic). A 16 KiB hit
+/// costs ~0.26 µs here versus tens of µs for the fabric round trip.
+const DRAM_READ_PS_PER_BYTE: u64 = 16;
+
+/// Fixed per-hit lookup cost on the ARM complex (index walk + descriptor
+/// fixup) — keeps a 1-byte hit from being modelled as free.
+const LOOKUP_COST: SimDuration = SimDuration::from_nanos(300);
+
+/// Sentinel offset stamped on [`ValueKind::Single`] records, which have no
+/// byte offset. Array extents at this offset cannot exist (no extent ends
+/// past `u64::MAX`), so the sentinel can never collide.
+const SINGLE_OFFSET: u64 = u64::MAX;
+
+/// One cached chunk's identity: the full dkey/akey address plus the byte
+/// range. Reads at a different offset or length are different entries —
+/// the cache is chunk-granular, not extent-merging, because the DFS layer
+/// above already issues aligned chunk reads.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheKey {
+    /// Object the chunk belongs to.
+    pub oid: ObjectId,
+    /// Distribution key.
+    pub dkey: DKey,
+    /// Attribute key.
+    pub akey: AKey,
+    /// Byte offset ([`SINGLE_OFFSET`] for single-value records).
+    pub offset: u64,
+    /// Read length in bytes.
+    pub len: u64,
+}
+
+impl CacheKey {
+    /// The key for a fetch of `len` bytes at `kind`'s position.
+    pub fn new(oid: ObjectId, dkey: DKey, akey: AKey, kind: ValueKind, len: u64) -> Self {
+        let offset = match kind {
+            ValueKind::Single => SINGLE_OFFSET,
+            ValueKind::Array { offset } => offset,
+        };
+        CacheKey {
+            oid,
+            dkey,
+            akey,
+            offset,
+            len,
+        }
+    }
+
+    /// Whether this entry covers the record addressed by `(oid, dkey,
+    /// akey)` — any offset, any length. The write-through punch is
+    /// record-wide because an array update at one offset can change CRC
+    /// chunk boundaries the cache does not track.
+    fn covers(&self, oid: &ObjectId, dkey: &DKey, akey: &AKey) -> bool {
+        self.oid == *oid && self.dkey == *dkey && self.akey == *akey
+    }
+}
+
+/// One resident chunk: the payload (a refcounted handle — serving a hit is
+/// zero-copy), its fill-time CRC, and the validity stamps.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    data: Bytes,
+    /// CRC32C recorded at fill (the fetch path already verified these
+    /// bytes end-to-end; no ARM work is booked for it). Re-checked on hit
+    /// in debug builds — a corruption tripwire, not a modelled cost.
+    crc: u32,
+    /// Pool-map revision the fill routed under.
+    map_version: u64,
+    /// Container commit epoch at fill time.
+    commit_epoch: Epoch,
+}
+
+/// Counters the cache accumulates; reported through `DpuStats` and the
+/// benchmark JSON.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DpuCacheStats {
+    /// Probes answered from DPU DRAM (no fabric, no ARM CRC).
+    pub hits: u64,
+    /// Probes that fell through to the fabric path.
+    pub misses: u64,
+    /// Leader-path completions admitted into the cache.
+    pub fills: u64,
+    /// Entries dropped by a validity check (stale epoch or map revision)
+    /// or a write-through punch.
+    pub invalidations: u64,
+    /// Entries displaced by the byte-budget LRU.
+    pub evictions: u64,
+    /// Payload bytes served from cache.
+    pub bytes_served: u64,
+    /// Payload bytes admitted by fills.
+    pub bytes_filled: u64,
+}
+
+impl DpuCacheStats {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: DpuCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.fills += other.fills;
+        self.invalidations += other.invalidations;
+        self.evictions += other.evictions;
+        self.bytes_served += other.bytes_served;
+        self.bytes_filled += other.bytes_filled;
+    }
+
+    /// Fraction of probes served from cache.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / probes as f64
+    }
+}
+
+/// The read cache itself. One instance per tenant lane — tenants never
+/// share cached bytes, mirroring the dedicated-PD isolation of the data
+/// plane. See the module docs for the validity rules.
+#[derive(Debug)]
+pub struct ReadCache {
+    /// Resident-byte budget (carved from the agent's DRAM pool).
+    capacity: u64,
+    /// Bytes currently resident (≤ capacity always).
+    resident: u64,
+    entries: DetLru<CacheKey, CacheEntry>,
+    stats: DpuCacheStats,
+    /// Hit traffic is zero-copy by construction (refcounted handles out of
+    /// DPU DRAM); accounted here so system-level copy-discipline reports
+    /// see cache traffic alongside the fabric's.
+    dp: DataPlaneStats,
+}
+
+impl ReadCache {
+    /// A cache bounded at `capacity` resident bytes.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "a cache needs a byte budget");
+        ReadCache {
+            capacity,
+            resident: 0,
+            entries: DetLru::new(),
+            stats: DpuCacheStats::default(),
+            dp: DataPlaneStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> DpuCacheStats {
+        self.stats
+    }
+
+    /// Copy-discipline accounting for served hits.
+    pub fn data_plane_stats(&self) -> DataPlaneStats {
+        self.dp
+    }
+
+    /// The DPU-DRAM service latency for a hit of `bytes`.
+    pub fn service_cost(bytes: u64) -> SimDuration {
+        LOOKUP_COST + per_byte(bytes, DRAM_READ_PS_PER_BYTE)
+    }
+
+    /// Probes for `key` under the prober's current pool-map revision and
+    /// container commit epoch. A valid entry is served (zero-copy handle);
+    /// an entry with a stale stamp is dropped and the probe misses.
+    pub fn probe(&mut self, key: &CacheKey, map_version: u64, epoch: Epoch) -> Option<Bytes> {
+        self.entries.advance();
+        let valid = match self.entries.get(key) {
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+            Some(e) => e.map_version == map_version && e.commit_epoch == epoch,
+        };
+        if !valid {
+            let e = self.entries.remove(key).expect("entry was just found");
+            self.resident -= e.data.len() as u64;
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        let e = self.entries.touch(key).expect("entry was just found");
+        debug_assert_eq!(crc32c(&e.data), e.crc, "resident chunk corrupted");
+        let data = e.data.clone();
+        self.stats.hits += 1;
+        self.stats.bytes_served += data.len() as u64;
+        self.dp.bytes_zero_copy += data.len() as u64;
+        Some(data)
+    }
+
+    /// Admits a leader-path fetch completion. A chunk larger than the
+    /// whole budget is refused; otherwise the LRU evicts until the chunk
+    /// fits. Refilling a resident key replaces it (fresher stamps).
+    pub fn fill(&mut self, key: CacheKey, data: Bytes, map_version: u64, epoch: Epoch) {
+        let len = data.len() as u64;
+        if len > self.capacity {
+            return;
+        }
+        self.entries.advance();
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident -= old.data.len() as u64;
+        }
+        while self.resident + len > self.capacity {
+            let (_, e) = self
+                .entries
+                .evict_lru()
+                .expect("over-budget cache is non-empty");
+            self.resident -= e.data.len() as u64;
+            self.stats.evictions += 1;
+        }
+        let crc = crc32c(&data);
+        self.resident += len;
+        self.stats.fills += 1;
+        self.stats.bytes_filled += len;
+        self.entries.insert(
+            key,
+            CacheEntry {
+                data,
+                crc,
+                map_version,
+                commit_epoch: epoch,
+            },
+        );
+    }
+
+    /// Write-through punch: drops every entry covering `(oid, dkey,
+    /// akey)`. Called before a local update is issued, so the stale window
+    /// never exists on the writing client.
+    pub fn punch(&mut self, oid: &ObjectId, dkey: &DKey, akey: &AKey) -> usize {
+        let mut bytes = 0u64;
+        let dropped = self.entries.retain(|k, e| {
+            let hit = k.covers(oid, dkey, akey);
+            if hit {
+                bytes += e.data.len() as u64;
+            }
+            !hit
+        });
+        self.resident -= bytes;
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+
+    /// A pool-map snapshot at `version` just landed: eagerly drops every
+    /// entry stamped with a different revision (the probe-time check would
+    /// refuse them anyway; dropping now keeps the byte budget honest).
+    pub fn note_map(&mut self, version: u64) {
+        let mut bytes = 0u64;
+        let dropped = self.entries.retain(|_, e| {
+            let stale = e.map_version != version;
+            if stale {
+                bytes += e.data.len() as u64;
+            }
+            !stale
+        });
+        self.resident -= bytes;
+        self.stats.invalidations += dropped as u64;
+    }
+
+    /// Drops every entry (the byte budget stays reserved).
+    pub fn clear(&mut self) {
+        self.stats.invalidations += self.entries.len() as u64;
+        self.entries.clear();
+        self.resident = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64, len: u64) -> CacheKey {
+        CacheKey::new(
+            ObjectId::new(ros2_daos::ObjClass::Sx, 1),
+            DKey::from_u64(i),
+            AKey::from_str("data"),
+            ValueKind::Array { offset: 0 },
+            len,
+        )
+    }
+
+    fn chunk(b: u8, len: usize) -> Bytes {
+        Bytes::from(vec![b; len])
+    }
+
+    #[test]
+    fn fill_then_probe_serves_the_same_handle() {
+        let mut c = ReadCache::new(1 << 20);
+        let data = chunk(7, 4096);
+        c.fill(key(0, 4096), data.clone(), 3, Epoch(5));
+        let hit = c.probe(&key(0, 4096), 3, Epoch(5)).unwrap();
+        assert_eq!(hit, data);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 0, 1));
+        assert_eq!(s.bytes_served, 4096);
+        assert_eq!(c.data_plane_stats().bytes_zero_copy, 4096);
+    }
+
+    #[test]
+    fn stale_epoch_and_stale_map_both_invalidate() {
+        let mut c = ReadCache::new(1 << 20);
+        c.fill(key(0, 64), chunk(1, 64), 3, Epoch(5));
+        assert!(c.probe(&key(0, 64), 3, Epoch(6)).is_none(), "epoch moved");
+        c.fill(key(1, 64), chunk(2, 64), 3, Epoch(6));
+        assert!(c.probe(&key(1, 64), 4, Epoch(6)).is_none(), "map moved");
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.resident_bytes(), 0, "stale entries are dropped");
+    }
+
+    #[test]
+    fn punch_drops_every_offset_of_the_record() {
+        let mut c = ReadCache::new(1 << 20);
+        let oid = ObjectId::new(ros2_daos::ObjClass::Sx, 1);
+        let dk = DKey::from_u64(0);
+        let ak = AKey::from_str("data");
+        for off in [0u64, 4096] {
+            c.fill(
+                CacheKey::new(
+                    oid,
+                    dk.clone(),
+                    ak.clone(),
+                    ValueKind::Array { offset: off },
+                    64,
+                ),
+                chunk(3, 64),
+                1,
+                Epoch(1),
+            );
+        }
+        c.fill(key(9, 64), chunk(4, 64), 1, Epoch(1));
+        assert_eq!(c.punch(&oid, &dk, &ak), 2);
+        assert_eq!(c.len(), 1, "unrelated record survives");
+        assert_eq!(c.resident_bytes(), 64);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        let mut c = ReadCache::new(256);
+        c.fill(key(0, 128), chunk(0, 128), 1, Epoch(1));
+        c.fill(key(1, 128), chunk(1, 128), 1, Epoch(1));
+        // Touch 0 so 1 is the LRU, then overflow.
+        assert!(c.probe(&key(0, 128), 1, Epoch(1)).is_some());
+        c.fill(key(2, 128), chunk(2, 128), 1, Epoch(1));
+        assert!(c.probe(&key(1, 128), 1, Epoch(1)).is_none(), "LRU evicted");
+        assert!(c.probe(&key(0, 128), 1, Epoch(1)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.resident_bytes() <= c.capacity());
+    }
+
+    #[test]
+    fn oversized_chunk_is_refused_and_note_map_sweeps() {
+        let mut c = ReadCache::new(256);
+        c.fill(key(0, 512), chunk(0, 512), 1, Epoch(1));
+        assert_eq!(c.len(), 0, "chunk larger than the budget is refused");
+        c.fill(key(1, 64), chunk(1, 64), 1, Epoch(1));
+        c.fill(key(2, 64), chunk(2, 64), 2, Epoch(1));
+        c.note_map(2);
+        assert_eq!(c.len(), 1, "old-revision entries swept");
+        assert_eq!(c.resident_bytes(), 64);
+        assert!(c.probe(&key(2, 64), 2, Epoch(1)).is_some());
+    }
+
+    #[test]
+    fn single_values_use_the_sentinel_offset() {
+        let k = CacheKey::new(
+            ObjectId::new(ros2_daos::ObjClass::S1, 2),
+            DKey::from_str("k"),
+            AKey::from_str("v"),
+            ValueKind::Single,
+            4,
+        );
+        assert_eq!(k.offset, SINGLE_OFFSET);
+        let arr = CacheKey::new(
+            k.oid,
+            k.dkey.clone(),
+            k.akey.clone(),
+            ValueKind::Array { offset: 0 },
+            4,
+        );
+        assert_ne!(k, arr);
+    }
+}

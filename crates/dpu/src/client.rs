@@ -42,6 +42,7 @@ use ros2_sim::{ResourceStats, SimDuration, SimRng, SimTime};
 use ros2_verbs::{Expiry, MemoryDomain, NodeId, PdId};
 
 use crate::agent::DpuAgent;
+use crate::cache::{CacheKey, DpuCacheStats, ReadCache};
 use crate::error::DpuError;
 use crate::tenant::{QosLimits, TenantManager};
 
@@ -93,6 +94,9 @@ pub struct DpuStats {
     /// clients — the DPU retries *on the DPU*; the host only sees the
     /// totals ride back on `IoDone`.
     pub retry: RetryStats,
+    /// Read-cache counters accumulated by the lanes' caches (all zeros
+    /// while the cache is disabled — the default).
+    pub cache: DpuCacheStats,
 }
 
 impl DpuStats {
@@ -108,6 +112,7 @@ impl DpuStats {
         self.rkey_refreshes += other.rkey_refreshes;
         self.crc_bytes += other.crc_bytes;
         self.retry.merge(other.retry);
+        self.cache.merge(other.cache);
     }
 }
 
@@ -123,6 +128,10 @@ struct TenantLane {
     rkey_deadline: Vec<SimTime>,
     /// Doorbell-channel session for this tenant.
     session: u64,
+    /// This tenant's slice of the DPU read cache ([`ReadCache`]), when
+    /// enabled. Per-lane, never shared — cached bytes stay inside the
+    /// tenant's isolation boundary like its PD and staging buffers.
+    cache: Option<ReadCache>,
 }
 
 /// Refresh a registration when it has less than this long left to live at
@@ -262,6 +271,7 @@ impl DpuClient {
                 rkey_scope: spec.rkey_scope,
                 rkey_deadline,
                 session,
+                cache: None,
             });
         }
         let job_map = (0..jobs).map(|j| (j % n_tenants, j / n_tenants)).collect();
@@ -330,7 +340,87 @@ impl DpuClient {
     pub fn dpu_stats(&self) -> DpuStats {
         let mut s = self.stats;
         s.retry = self.retry_stats();
+        s.cache = self.cache_stats();
         s
+    }
+
+    /// Enables the DPU read cache: carves `total_bytes` out of the agent's
+    /// DRAM pool (shrinking staging headroom one-for-one) and splits it
+    /// evenly across the tenant lanes. Re-enabling with a new size
+    /// releases the old carve first; entries never survive a resize.
+    pub fn enable_read_cache(&mut self, total_bytes: u64) -> Result<(), DpuError> {
+        self.disable_read_cache();
+        let per_lane = total_bytes / self.lanes.len() as u64;
+        if per_lane == 0 {
+            return Err(DpuError::DramExhausted {
+                requested: total_bytes,
+                free: 0,
+            });
+        }
+        self.agent
+            .reserve_cache(per_lane * self.lanes.len() as u64)?;
+        for lane in &mut self.lanes {
+            lane.cache = Some(ReadCache::new(per_lane));
+        }
+        Ok(())
+    }
+
+    /// Disables the read cache and returns its DRAM carve to the staging
+    /// pool. Counters the dropped caches accumulated are folded into the
+    /// client's stats so [`Self::dpu_stats`] stays monotonic across an
+    /// enable/disable cycle.
+    pub fn disable_read_cache(&mut self) {
+        let was_on = self.lanes.iter().any(|l| l.cache.is_some());
+        for lane in &mut self.lanes {
+            if let Some(cache) = lane.cache.take() {
+                self.stats.cache.merge(cache.stats());
+            }
+        }
+        if was_on {
+            self.agent.release_cache();
+        }
+    }
+
+    /// Whether the read cache is enabled.
+    pub fn read_cache_enabled(&self) -> bool {
+        self.lanes.iter().any(|l| l.cache.is_some())
+    }
+
+    /// Aggregate read-cache counters across the lanes (plus counters
+    /// carried over from previously disabled caches).
+    pub fn cache_stats(&self) -> DpuCacheStats {
+        let mut total = self.stats.cache;
+        for lane in &self.lanes {
+            if let Some(cache) = &lane.cache {
+                total.merge(cache.stats());
+            }
+        }
+        total
+    }
+
+    /// Live cache occupancy: `(resident_bytes, capacity)` summed across
+    /// the lane slices. Resident never exceeds capacity — the invariant
+    /// the coherence property suite checks after every queue.
+    pub fn cache_usage(&self) -> (u64, u64) {
+        self.lanes
+            .iter()
+            .filter_map(|l| l.cache.as_ref())
+            .fold((0, 0), |(r, c), cache| {
+                (r + cache.resident_bytes(), c + cache.capacity())
+            })
+    }
+
+    /// Copy-discipline accounting for cache hits (zero-copy handles out of
+    /// DPU DRAM), mergeable with the fabric's and engines'
+    /// `DataPlaneStats`.
+    pub fn cache_data_plane_stats(&self) -> ros2_buf::DataPlaneStats {
+        let mut total = ros2_buf::DataPlaneStats::default();
+        for lane in &self.lanes {
+            if let Some(cache) = &lane.cache {
+                total.merge(cache.data_plane_stats());
+            }
+        }
+        total
     }
 
     /// Aggregate recovery-ladder counters across every tenant lane.
@@ -356,6 +446,12 @@ impl DpuClient {
     pub fn deliver_map(&mut self, at: SimTime, snap: MapSnapshot) {
         for lane in &mut self.lanes {
             lane.daos.deliver_map(at, snap.clone());
+            if let Some(cache) = lane.cache.as_mut() {
+                // Conservative: sweep as soon as the push is *scheduled*,
+                // not when it lands — the cache may only ever under-serve,
+                // never serve across a revision it has heard about.
+                cache.note_map(snap.version());
+            }
         }
     }
 
@@ -364,6 +460,9 @@ impl DpuClient {
     pub fn sync_map(&mut self, snap: MapSnapshot) {
         for lane in &mut self.lanes {
             lane.daos.sync_map(snap.clone());
+            if let Some(cache) = lane.cache.as_mut() {
+                cache.note_map(snap.version());
+            }
         }
     }
 
@@ -588,6 +687,11 @@ impl ObjectClient for DpuClient {
     ) -> Result<SimTime, DaosError> {
         let bytes = data.len() as u64;
         let (lane, local, start) = self.offload_start(fabric, now, job, bytes, true)?;
+        // Write-through punch before the write is issued: the window where
+        // a cached chunk could shadow this update never exists.
+        if let Some(cache) = self.lanes[lane].cache.as_mut() {
+            cache.punch(&oid, &dkey, &akey);
+        }
         let done = self.lanes[lane]
             .daos
             .update(fabric, cluster, start, local, oid, dkey, akey, kind, data)?;
@@ -608,10 +712,41 @@ impl ObjectClient for DpuClient {
         len: u64,
     ) -> Result<(Bytes, SimTime), DaosError> {
         let (lane, local, start) = self.offload_start(fabric, now, job, len, false)?;
-        let (data, ready) = self.lanes[lane].daos.fetch(
+        // Probe the lane's cache slice. Only latest-epoch reads
+        // participate — snapshot reads address history the cache does not
+        // version. A hit serves from DPU DRAM: no fabric bookings, no ARM
+        // CRC verify, no inline service — just the DRAM stream and the
+        // host poll.
+        let mut fill_key = None;
+        if epoch == Epoch::LATEST && self.lanes[lane].cache.is_some() {
+            let map_version = cluster.map().version();
+            let commit = cluster.container_epoch(self.lanes[lane].daos.container());
+            let key = CacheKey::new(oid, dkey.clone(), akey.clone(), kind, len);
+            let hit = self.lanes[lane]
+                .cache
+                .as_mut()
+                .expect("checked is_some")
+                .probe(&key, map_version, commit);
+            if let Some(data) = hit {
+                let ready = start + ReadCache::service_cost(data.len() as u64);
+                let at = self.host_poll(ready, lane, 1)?;
+                return Ok((data, at));
+            }
+            fill_key = Some(key);
+        }
+        let (data, ready, meta) = self.lanes[lane].daos.fetch_with_meta(
             fabric, cluster, start, local, oid, dkey, akey, kind, epoch, len,
         )?;
         let at = self.finish_fetch(ready, lane, data.len() as u64)?;
+        // Fill only from the boring case: leader route, healthy map. The
+        // recovery ladder's completions are correct but bypass the cache.
+        if let (Some(key), false) = (fill_key, meta.degraded) {
+            self.lanes[lane]
+                .cache
+                .as_mut()
+                .expect("fill_key implies a cache")
+                .fill(key, data.clone(), meta.map_version, meta.commit_epoch);
+        }
         Ok((data, at))
     }
 
@@ -667,12 +802,42 @@ impl ObjectClient for DpuClient {
             return whole_batch_error(&ops, e);
         }
         self.stats.ops_offloaded += n as u64;
+        // Cache interaction, before anything executes: punch every record
+        // the batch writes (write-through), then probe the remaining
+        // latest-epoch fetches. A fetch of a record this same batch writes
+        // never probes — the engine's execution order decides its bytes.
+        // The batch path probes but does not fill (fills are the pipelined
+        // and serial paths' job, where leader-route provenance is cheap to
+        // establish per op).
+        let mut hits: Vec<Option<Bytes>> = vec![None; n];
+        if self.lanes[lane].cache.is_some() {
+            let written = punch_batch_writes(self.lanes[lane].cache.as_mut().unwrap(), &ops);
+            let map_version = cluster.map().version();
+            let commit = cluster.container_epoch(self.lanes[lane].daos.container());
+            for (i, op) in ops.iter().enumerate() {
+                if let Some(key) = probeable_key(op, &written) {
+                    hits[i] = self.lanes[lane]
+                        .cache
+                        .as_mut()
+                        .expect("checked is_some")
+                        .probe(&key, map_version, commit);
+                }
+            }
+        }
+        let mut inner_idx = Vec::with_capacity(n);
+        let mut inner_ops = Vec::with_capacity(n);
+        for (i, op) in ops.into_iter().enumerate() {
+            if hits[i].is_none() {
+                inner_idx.push(i);
+                inner_ops.push(op);
+            }
+        }
         let results = self.lanes[lane]
             .daos
-            .execute_batch(fabric, cluster, start, local, ops);
-        results
-            .into_iter()
-            .map(|r| match r {
+            .execute_batch(fabric, cluster, start, local, inner_ops);
+        let mut out: Vec<Option<ClientOpResult>> = (0..n).map(|_| None).collect();
+        for (slot, r) in results.into_iter().enumerate() {
+            out[inner_idx[slot]] = Some(match r {
                 ClientOpResult::Update(Ok(done)) => {
                     ClientOpResult::Update(self.host_poll(done, lane, 1))
                 }
@@ -683,7 +848,18 @@ impl ObjectClient for DpuClient {
                     )
                 }
                 err => err,
-            })
+            });
+        }
+        for (i, hit) in hits.into_iter().enumerate() {
+            if let Some(data) = hit {
+                let ready = start + ReadCache::service_cost(data.len() as u64);
+                out[i] = Some(ClientOpResult::Fetch(
+                    self.host_poll(ready, lane, 1).map(|at| (data, at)),
+                ));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot is a hit or an inner result"))
             .collect()
     }
 
@@ -742,14 +918,67 @@ impl ObjectClient for DpuClient {
             return whole_batch_error(&ops, e);
         }
         self.stats.ops_offloaded += n as u64;
-        let mut ring = OpRing::new(local, n);
-        for (op, t) in ops.into_iter().zip(starts) {
+        // Cache interaction before anything enters the ring: punch every
+        // record this call writes, then probe the remaining latest-epoch
+        // fetches against the lane's cached map revision (the same map the
+        // ring routes by). Hits never enter the ring at all — no staging
+        // legs, no fabric bookings. Misses remember their key so the drain
+        // can fill from leader-path completions.
+        let mut hits: Vec<Option<Bytes>> = vec![None; n];
+        let mut fill_keys: Vec<Option<(CacheKey, u64)>> = vec![None; n];
+        if self.lanes[lane].cache.is_some() {
+            let written = punch_batch_writes(self.lanes[lane].cache.as_mut().unwrap(), &ops);
+            for (i, op) in ops.iter().enumerate() {
+                let Some(key) = probeable_key(op, &written) else {
+                    continue;
+                };
+                let (_, _, version) = self.lanes[lane]
+                    .daos
+                    .probe_route(submitted, cluster, &key.oid);
+                let commit = cluster.container_epoch(self.lanes[lane].daos.container());
+                let hit = self.lanes[lane]
+                    .cache
+                    .as_mut()
+                    .expect("checked is_some")
+                    .probe(&key, version, commit);
+                if hit.is_none() {
+                    fill_keys[i] = Some((key, version));
+                }
+                hits[i] = hit;
+            }
+        }
+        let mut ring_idx = Vec::with_capacity(n);
+        let mut ring_ops = Vec::with_capacity(n);
+        for (i, (op, t)) in ops.into_iter().zip(starts.iter().copied()).enumerate() {
+            if hits[i].is_none() {
+                ring_idx.push(i);
+                ring_ops.push((op, t));
+            }
+        }
+        let mut ring = OpRing::new(local, ring_idx.len());
+        for (op, t) in ring_ops {
             ring.submit(&mut self.lanes[lane].daos, fabric, cluster, t, op);
         }
         let results = ring.drain(&mut self.lanes[lane].daos, fabric, cluster);
-        results
-            .into_iter()
-            .map(|r| match r {
+        // Fills are stamped with the commit epoch the drain left behind.
+        // That is safe precisely because records this call writes never
+        // fill (suppressed above): for every filled chunk, its record's
+        // bytes at this epoch are what the fetch read.
+        let commit_now = cluster.container_epoch(self.lanes[lane].daos.container());
+        let fill_ok = ring.fill_ok().to_vec();
+        let mut out: Vec<Option<ClientOpResult>> = (0..n).map(|_| None).collect();
+        for (slot, r) in results.into_iter().enumerate() {
+            let i = ring_idx[slot];
+            if let (true, Some((key, version))) = (fill_ok[slot], fill_keys[i].take()) {
+                if let ClientOpResult::Fetch(Ok((data, _))) = &r {
+                    self.lanes[lane]
+                        .cache
+                        .as_mut()
+                        .expect("fill key implies a cache")
+                        .fill(key, data.clone(), version, commit_now);
+                }
+            }
+            out[i] = Some(match r {
                 ClientOpResult::Update(Ok(done)) => {
                     ClientOpResult::Update(self.host_poll(done, lane, 1))
                 }
@@ -760,13 +989,71 @@ impl ObjectClient for DpuClient {
                     )
                 }
                 err => err,
-            })
+            });
+        }
+        for (i, hit) in hits.into_iter().enumerate() {
+            if let Some(data) = hit {
+                let ready = starts[i] + ReadCache::service_cost(data.len() as u64);
+                out[i] = Some(ClientOpResult::Fetch(
+                    self.host_poll(ready, lane, 1).map(|at| (data, at)),
+                ));
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every slot is a hit or a ring result"))
             .collect()
     }
 
     fn ops(&self) -> u64 {
-        self.lanes.iter().map(|l| l.daos.ops()).sum()
+        // Hits never reach the inner clients, but they are completed I/Os
+        // the application issued — count them alongside.
+        self.lanes.iter().map(|l| l.daos.ops()).sum::<u64>() + self.cache_stats().hits
     }
+}
+
+/// Punches every record `ops` writes out of `cache` (write-through) and
+/// returns the written key set: fetches of those records inside the same
+/// call must neither probe nor fill, because the call's own execution
+/// order — not the cache — decides their bytes.
+fn punch_batch_writes(cache: &mut ReadCache, ops: &[ClientOp]) -> Vec<(ObjectId, DKey, AKey)> {
+    let mut written = Vec::new();
+    for op in ops {
+        if let ClientOp::Update {
+            oid, dkey, akey, ..
+        } = op
+        {
+            cache.punch(oid, dkey, akey);
+            written.push((*oid, dkey.clone(), akey.clone()));
+        }
+    }
+    written
+}
+
+/// The cache key for `op` when it is allowed to probe: a latest-epoch
+/// fetch of a record the surrounding call does not write. Snapshot-epoch
+/// reads address history the cache does not version, so they bypass it.
+fn probeable_key(op: &ClientOp, written: &[(ObjectId, DKey, AKey)]) -> Option<CacheKey> {
+    let ClientOp::Fetch {
+        oid,
+        dkey,
+        akey,
+        kind,
+        epoch,
+        len,
+    } = op
+    else {
+        return None;
+    };
+    if *epoch != Epoch::LATEST {
+        return None;
+    }
+    if written
+        .iter()
+        .any(|(o, d, a)| o == oid && d == dkey && a == akey)
+    {
+        return None;
+    }
+    Some(CacheKey::new(*oid, dkey.clone(), akey.clone(), *kind, *len))
 }
 
 #[cfg(test)]
@@ -1085,6 +1372,147 @@ mod tests {
             Bytes::from(vec![5u8; 4 << 10]),
         )
         .unwrap();
+    }
+
+    #[test]
+    fn read_cache_turns_repeat_reads_into_dram_hits() {
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
+        let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("llm")], 1).unwrap();
+        c.enable_read_cache(64 << 20).unwrap();
+        assert_eq!(c.agent().cache_reserved(), 64 << 20);
+        let oid = ObjectId::new(ObjClass::Sx, 20);
+        let data = Bytes::from(vec![0x5au8; 16 << 10]);
+        let done = c
+            .update(
+                &mut fabric,
+                &mut cluster,
+                SimTime::ZERO,
+                0,
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                data.clone(),
+            )
+            .unwrap();
+        let fetch = |c: &mut DpuClient, fabric: &mut Fabric, cluster: &mut EngineCluster, at| {
+            c.fetch(
+                fabric,
+                cluster,
+                at,
+                0,
+                oid,
+                DKey::from_u64(0),
+                AKey::from_str("data"),
+                ValueKind::Array { offset: 0 },
+                Epoch::LATEST,
+                16 << 10,
+            )
+            .unwrap()
+        };
+        let (cold, t1) = fetch(&mut c, &mut fabric, &mut cluster, done);
+        let crc_after_miss = c.dpu_stats().crc_bytes;
+        let (warm, t2) = fetch(&mut c, &mut fabric, &mut cluster, t1);
+        assert_eq!(cold, data);
+        assert_eq!(warm, data);
+        let s = c.cache_stats();
+        assert_eq!((s.hits, s.misses, s.fills), (1, 1, 1));
+        assert_eq!(s.bytes_served, 16 << 10);
+        assert_eq!(
+            c.dpu_stats().crc_bytes,
+            crc_after_miss,
+            "a hit books zero ARM CRC"
+        );
+        assert!(
+            t2.saturating_since(t1) < t1.saturating_since(done),
+            "warm read must beat the cold read: warm {:?} cold {:?}",
+            t2.saturating_since(t1),
+            t1.saturating_since(done)
+        );
+        assert_eq!(c.cache_data_plane_stats().bytes_zero_copy, 16 << 10);
+        assert_eq!(c.ops(), 3, "the hit still counts as a completed op");
+    }
+
+    #[test]
+    fn local_write_punches_the_cached_chunk() {
+        let (mut fabric, mut cluster) = world(Transport::Rdma);
+        let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("llm")], 1).unwrap();
+        c.enable_read_cache(8 << 20).unwrap();
+        let oid = ObjectId::new(ObjClass::Sx, 21);
+        let dk = DKey::from_u64(0);
+        let ak = AKey::from_str("data");
+        let kind = ValueKind::Array { offset: 0 };
+        let mut t = SimTime::ZERO;
+        let write = |c: &mut DpuClient, fabric: &mut Fabric, cluster: &mut EngineCluster, t, b| {
+            c.update(
+                fabric,
+                cluster,
+                t,
+                0,
+                oid,
+                dk.clone(),
+                ak.clone(),
+                kind,
+                Bytes::from(vec![b; 4 << 10]),
+            )
+            .unwrap()
+        };
+        t = write(&mut c, &mut fabric, &mut cluster, t, 1);
+        let (first, t1) = c
+            .fetch(
+                &mut fabric,
+                &mut cluster,
+                t,
+                0,
+                oid,
+                dk.clone(),
+                ak.clone(),
+                kind,
+                Epoch::LATEST,
+                4 << 10,
+            )
+            .unwrap();
+        assert_eq!(first[0], 1);
+        // Overwrite: the punch must beat any cached copy.
+        t = write(&mut c, &mut fabric, &mut cluster, t1, 2);
+        let (second, _) = c
+            .fetch(
+                &mut fabric,
+                &mut cluster,
+                t,
+                0,
+                oid,
+                dk.clone(),
+                ak.clone(),
+                kind,
+                Epoch::LATEST,
+                4 << 10,
+            )
+            .unwrap();
+        assert_eq!(second[0], 2, "cache must never shadow a local write");
+        let s = c.cache_stats();
+        assert_eq!(s.hits, 0);
+        assert!(s.invalidations >= 1, "the punch is counted");
+    }
+
+    #[test]
+    fn cache_enable_disable_balances_the_dram_carve() {
+        let (mut fabric, _) = world(Transport::Rdma);
+        let mut c = connect(&mut fabric, vec![DpuTenantSpec::unlimited("llm")], 2).unwrap();
+        let staging = c.agent().dram_used();
+        c.enable_read_cache(1 << 30).unwrap();
+        assert_eq!(c.agent().dram_used(), staging + (1 << 30));
+        assert!(c.read_cache_enabled());
+        // Resizing releases the old carve before taking the new one.
+        c.enable_read_cache(2 << 30).unwrap();
+        assert_eq!(c.agent().dram_used(), staging + (2 << 30));
+        c.disable_read_cache();
+        assert!(!c.read_cache_enabled());
+        assert_eq!(c.agent().dram_used(), staging, "carve fully returned");
+        assert_eq!(c.agent().over_releases.get(), 0);
+        // A carve bigger than the pool is refused and leaves no residue.
+        assert!(c.enable_read_cache(64 << 30).is_err());
+        assert_eq!(c.agent().dram_used(), staging);
     }
 
     #[test]

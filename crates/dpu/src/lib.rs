@@ -16,11 +16,13 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod tenant;
 
 pub use agent::{default_control, DpuAgent, InlineService};
+pub use cache::{CacheKey, DpuCacheStats, ReadCache};
 pub use client::{DpuClient, DpuStats, DpuTenantSpec};
 pub use error::DpuError;
 pub use tenant::{QosLimits, TenantCtx, TenantManager};

@@ -1,0 +1,533 @@
+//! Coherence properties for the pool-map-aware DPU read cache.
+//!
+//! The cache is only allowed to exist because of one theorem: **a cached
+//! fetch never returns different bytes than the authoritative uncached
+//! fetch would have**, under any interleaving of local writes, engine
+//! kills, delayed map pushes, queue depths, and capacity pressure. This
+//! suite drives random schedules at that theorem three ways:
+//!
+//! 1. **Twin-world equivalence** — the same schedule runs in a cached and
+//!    an uncached world; every fetch must return identical bytes, and the
+//!    final per-key state must agree.
+//! 2. **In-world authority check** — after the schedule, every key is read
+//!    once through the warm cache and once more after `disable_read_cache`
+//!    tears it down; the two reads must match byte-for-byte.
+//! 3. **Bit-identical replay** — the cached run repeated from scratch
+//!    reproduces the same bytes, instants, and cache counters.
+//!
+//! Alongside the property, the unit suite pins each invalidation trigger
+//! in isolation: write-through punch (including same-call suppression),
+//! map-revision change, commit-epoch advance, the degraded-read fill
+//! bypass, and the DRAM carve balancing across enable/disable cycles.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use ros2_daos::{
+    AKey, ClientOp, ClientOpResult, DKey, DaosCostModel, DaosEngine, EngineCluster, Epoch,
+    ObjClass, ObjectClient, ObjectId, RetryPolicy, ValueKind,
+};
+use ros2_dpu::{default_control, DpuAgent, DpuCacheStats, DpuClient, DpuTenantSpec};
+use ros2_fabric::{Fabric, NodeSpec};
+use ros2_hw::{gbps, CoreClass, CpuComplement, NicModel, NvmeModel, Transport};
+use ros2_nvme::{DataMode, NvmeArray};
+use ros2_sim::{SimDuration, SimTime};
+use ros2_spdk::BdevLayer;
+use ros2_verbs::{MemoryDomain, NodeId};
+
+const ENGINES: usize = 4;
+const KEYS: u64 = 6;
+const LEN: usize = 8 << 10;
+const HOT: u64 = 11;
+
+fn engine() -> DaosEngine {
+    let bdevs = BdevLayer::new(NvmeArray::new(
+        NvmeModel::enterprise_1600(),
+        2,
+        DataMode::Stored,
+    ));
+    let mut e = DaosEngine::new(
+        "pool0",
+        bdevs,
+        256 << 20,
+        DaosCostModel::default_model(),
+        CoreClass::HostX86,
+    );
+    e.cont_create("c").unwrap();
+    e
+}
+
+fn storage(name: &str) -> NodeSpec {
+    NodeSpec {
+        name: name.into(),
+        cpu: CpuComplement {
+            class: CoreClass::HostX86,
+            cores: 48,
+        },
+        nic: NicModel::connectx6(),
+        port_rate: gbps(100),
+        mem_budget: 8 << 30,
+        dpu_tcp_rx: None,
+    }
+}
+
+/// A 4-engine RF=2 cluster fronted by one offloaded client on a
+/// BlueField-3; `cache` carves that many bytes for the read cache.
+fn world(cache: Option<u64>) -> (Fabric, EngineCluster, DpuClient) {
+    let mut specs = vec![NodeSpec::bluefield3()];
+    let mut servers = Vec::new();
+    for i in 0..ENGINES {
+        specs.push(storage(&format!("storage{i}")));
+        servers.push(NodeId(1 + i as u32));
+    }
+    let mut fabric = Fabric::new(Transport::Rdma, specs, 29);
+    let cluster = EngineCluster::new((0..ENGINES).map(|_| engine()).collect(), servers.clone(), 2);
+    let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(3));
+    let mut client = DpuClient::connect_cluster(
+        &mut fabric,
+        NodeId(0),
+        &servers,
+        "c",
+        1,
+        4 << 20,
+        MemoryDomain::DpuDram,
+        DaosCostModel::default_model(),
+        agent,
+        vec![DpuTenantSpec::unlimited("t")],
+        7,
+    )
+    .unwrap();
+    // The ladder must always outlast a delayed map push — op failures
+    // would make the equivalence vacuous at the failed indices.
+    client.set_retry_policy(RetryPolicy {
+        budget: 10,
+        ..RetryPolicy::default()
+    });
+    if let Some(bytes) = cache {
+        client.enable_read_cache(bytes).unwrap();
+    }
+    (fabric, cluster, client)
+}
+
+fn oid() -> ObjectId {
+    ObjectId::new(ObjClass::Sx, HOT)
+}
+
+fn akey() -> AKey {
+    AKey::from_str("data")
+}
+
+fn kind() -> ValueKind {
+    ValueKind::Array { offset: 0 }
+}
+
+/// Seeds every key with a distinct payload; returns the instant after the
+/// last ack.
+fn seed(f: &mut Fabric, cl: &mut EngineCluster, c: &mut DpuClient) -> SimTime {
+    let mut t = SimTime::ZERO;
+    for k in 0..KEYS {
+        t = c
+            .update(
+                f,
+                cl,
+                t,
+                0,
+                oid(),
+                DKey::from_u64(k),
+                akey(),
+                kind(),
+                Bytes::from(vec![k as u8 + 1; LEN]),
+            )
+            .unwrap();
+    }
+    t
+}
+
+fn fetch_serial(
+    f: &mut Fabric,
+    cl: &mut EngineCluster,
+    c: &mut DpuClient,
+    t: SimTime,
+    k: u64,
+) -> (Bytes, SimTime) {
+    c.fetch(
+        f,
+        cl,
+        t,
+        0,
+        oid(),
+        DKey::from_u64(k),
+        akey(),
+        kind(),
+        Epoch::LATEST,
+        LEN as u64,
+    )
+    .unwrap()
+}
+
+// ----------------------------------------------------------- property ----
+
+/// One randomly drawn coherence schedule: a flat op tape chunked into
+/// pipelined queues of depth `qd`, with at most one mid-tape kill whose
+/// map push arrives `map_delay` late.
+#[derive(Clone, Debug)]
+struct Schedule {
+    qd: usize,
+    capacity: u64,
+    /// `(is_write, key)` per op; writes carry a fresh sequence payload.
+    tape: Vec<(bool, u64)>,
+    kill_chunk: Option<usize>,
+    kill_leader: bool,
+    map_delay: SimDuration,
+}
+
+fn schedules() -> impl Strategy<Value = Schedule> {
+    (
+        1usize..9,
+        // Small enough that eviction pressure is real (each entry is
+        // 8 KiB), large enough that hits happen.
+        prop_oneof![Just(16u64 << 10), Just(64 << 10), Just(1 << 20)],
+        prop::collection::vec((0u8..10, 0u64..KEYS), 8..40),
+        // 0..8 = kill before that chunk; 8 = no kill on this schedule.
+        0usize..9,
+        any::<bool>(),
+        0u64..2_000,
+    )
+        .prop_map(
+            |(qd, capacity, codes, kill_chunk, kill_leader, delay_us)| Schedule {
+                qd,
+                capacity,
+                // ~30 % writes keeps commit epochs moving without starving
+                // the hit path.
+                tape: codes.into_iter().map(|(w, k)| (w < 3, k)).collect(),
+                kill_chunk: (kill_chunk < 8).then_some(kill_chunk),
+                kill_leader,
+                map_delay: SimDuration::from_micros(delay_us),
+            },
+        )
+}
+
+/// Everything one run produces that the equivalence/replay assertions
+/// compare.
+#[derive(Clone, Debug, PartialEq)]
+struct RunOut {
+    /// Bytes of every fetch on the tape, in tape order.
+    fetched: Vec<Bytes>,
+    /// Completion instants (compared only for replay, not across worlds —
+    /// hits legitimately complete earlier than misses).
+    times: Vec<SimTime>,
+    /// Per-key bytes read back after the tape (warm path).
+    finals: Vec<Bytes>,
+    /// Per-key bytes read back after `disable_read_cache` — the in-world
+    /// authority.
+    authority: Vec<Bytes>,
+    stats: DpuCacheStats,
+    ops: u64,
+}
+
+fn run(s: &Schedule, cached: bool) -> RunOut {
+    let (mut f, mut cl, mut c) = world(cached.then_some(s.capacity));
+    let t = seed(&mut f, &mut cl, &mut c);
+    let set = cl.route_update(&oid());
+    let victim = if s.kill_leader {
+        set.leader().unwrap()
+    } else {
+        set.iter().nth(1).unwrap()
+    };
+
+    let mut now = t + SimDuration::from_millis(1);
+    let mut seq = 0u64;
+    let mut fetched = Vec::new();
+    let mut times = Vec::new();
+    for (ci, chunk) in s.tape.chunks(s.qd.max(1)).enumerate() {
+        if s.kill_chunk == Some(ci) {
+            cl.kill_engine(victim).unwrap();
+            c.deliver_map(now + s.map_delay, cl.snapshot_map());
+        }
+        let ops: Vec<ClientOp> = chunk
+            .iter()
+            .map(|&(is_write, k)| {
+                if is_write {
+                    seq += 1;
+                    ClientOp::Update {
+                        oid: oid(),
+                        dkey: DKey::from_u64(k),
+                        akey: akey(),
+                        kind: kind(),
+                        data: Bytes::from(vec![(seq % 250) as u8 + 1; LEN]),
+                    }
+                } else {
+                    ClientOp::Fetch {
+                        oid: oid(),
+                        dkey: DKey::from_u64(k),
+                        akey: akey(),
+                        kind: kind(),
+                        epoch: Epoch::LATEST,
+                        len: LEN as u64,
+                    }
+                }
+            })
+            .collect();
+        for (i, r) in c
+            .execute_pipelined(&mut f, &mut cl, now, 0, ops)
+            .into_iter()
+            .enumerate()
+        {
+            match r {
+                ClientOpResult::Update(Ok(at)) => now = now.max(at),
+                ClientOpResult::Fetch(Ok((b, at))) => {
+                    now = now.max(at);
+                    fetched.push(b);
+                    times.push(at);
+                }
+                other => panic!("chunk {ci} op {i} failed under the ladder: {other:?}"),
+            }
+        }
+        // Capacity invariant: the byte budget binds after every queue.
+        let (resident, capacity) = c.cache_usage();
+        assert!(
+            resident <= capacity,
+            "resident {resident} B exceeds the {capacity} B carve after chunk {ci}"
+        );
+        now += SimDuration::from_micros(10);
+    }
+
+    // Warm read of every key, then the in-world authority: tear the cache
+    // down and read again, straight from the engines.
+    let mut finals = Vec::new();
+    for k in 0..KEYS {
+        let (b, at) = fetch_serial(&mut f, &mut cl, &mut c, now, k);
+        now = now.max(at);
+        finals.push(b);
+    }
+    let stats = c.cache_stats();
+    let ops = c.ops();
+    c.disable_read_cache();
+    let mut authority = Vec::new();
+    for k in 0..KEYS {
+        let (b, at) = fetch_serial(&mut f, &mut cl, &mut c, now, k);
+        now = now.max(at);
+        authority.push(b);
+    }
+    RunOut {
+        fetched,
+        times,
+        finals,
+        authority,
+        stats,
+        ops,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The theorem, on random schedules: cached and uncached worlds return
+    /// identical bytes for every fetch; within the cached world the warm
+    /// reads match the post-teardown authoritative reads; and the cached
+    /// run replays bit-identically.
+    #[test]
+    fn cached_fetches_never_diverge_from_authority(sched in schedules()) {
+        let cached = run(&sched, true);
+        let plain = run(&sched, false);
+
+        // Twin-world equivalence (functional bytes only — timings differ
+        // by design: hits complete at DRAM rates).
+        prop_assert_eq!(&cached.fetched, &plain.fetched,
+            "a cached fetch diverged from the uncached world");
+        prop_assert_eq!(&cached.finals, &plain.finals,
+            "post-schedule state diverged between the worlds");
+
+        // In-world authority: warm reads vs the engines after teardown.
+        prop_assert_eq!(&cached.finals, &cached.authority,
+            "a warm read diverged from the post-teardown authoritative read");
+
+        // The uncached world's cache counters must be all-zero — the off
+        // path books nothing.
+        prop_assert_eq!(plain.stats, DpuCacheStats::default());
+
+        // Bit-identical replay, counters and instants included.
+        let again = run(&sched, true);
+        prop_assert_eq!(&cached, &again, "cached replay diverged");
+    }
+}
+
+// ------------------------------------------------------- unit triggers ---
+
+/// Trigger 1 — write-through punch: a local update drops every cached
+/// chunk of the record before the write is issued, and a fetch inside the
+/// *same* pipelined call neither probes nor fills for a record that call
+/// writes.
+#[test]
+fn same_call_writes_suppress_probe_and_fill() {
+    let (mut f, mut cl, mut c) = world(Some(1 << 20));
+    let t = seed(&mut f, &mut cl, &mut c);
+    // Warm key 0 so the punch has something to drop.
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    assert_eq!(c.cache_stats().fills, 1);
+
+    // One call that writes key 0 and fetches it back: the write punches
+    // the warm entry, and the fetch is excluded from both probe and fill.
+    let ops = vec![
+        ClientOp::Update {
+            oid: oid(),
+            dkey: DKey::from_u64(0),
+            akey: akey(),
+            kind: kind(),
+            data: Bytes::from(vec![99u8; LEN]),
+        },
+        ClientOp::Fetch {
+            oid: oid(),
+            dkey: DKey::from_u64(0),
+            akey: akey(),
+            kind: kind(),
+            epoch: Epoch::LATEST,
+            len: LEN as u64,
+        },
+    ];
+    let mut now = t + SimDuration::from_millis(1);
+    for r in c.execute_pipelined(&mut f, &mut cl, now, 0, ops) {
+        if let ClientOpResult::Fetch(Ok((_, at))) | ClientOpResult::Update(Ok(at)) = r {
+            now = now.max(at);
+        } else {
+            panic!("mixed call failed");
+        }
+    }
+    let s = c.cache_stats();
+    assert_eq!(
+        s.fills, 1,
+        "a fetch of a same-call-written record must not fill"
+    );
+    assert_eq!(s.hits, 0, "…nor probe");
+    assert!(s.invalidations >= 1, "the punch must drop the warm entry");
+
+    // The authority settles it: miss → fill → hit, all returning the new
+    // bytes.
+    let (first, t2) = fetch_serial(&mut f, &mut cl, &mut c, now, 0);
+    let (second, _) = fetch_serial(&mut f, &mut cl, &mut c, t2, 0);
+    assert_eq!(first, second);
+    assert!(first.iter().all(|&b| b == 99));
+    assert_eq!(c.cache_stats().hits, 1);
+}
+
+/// Trigger 2 — map-revision change: a kill anywhere in the pool bumps the
+/// map version; the RAS push sweeps the cache even when the object's own
+/// route never moved.
+#[test]
+fn map_push_invalidates_resident_chunks() {
+    let (mut f, mut cl, mut c) = world(Some(1 << 20));
+    let t = seed(&mut f, &mut cl, &mut c);
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    assert_eq!((c.cache_stats().fills, c.cache_stats().hits), (1, 1));
+
+    // Kill an engine *outside* the hot object's replica set: the route is
+    // untouched and not degraded, but the map revision moved.
+    let members: Vec<usize> = cl.route_update(&oid()).iter().collect();
+    let outsider = (0..ENGINES).find(|s| !members.contains(s)).unwrap();
+    cl.kill_engine(outsider).unwrap();
+    c.sync_map(cl.snapshot_map());
+    let s = c.cache_stats();
+    assert!(
+        s.invalidations >= 1,
+        "the push must sweep stale-map entries"
+    );
+
+    // The next fetch misses, refills under the new revision, then hits.
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let (_, _) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let s = c.cache_stats();
+    assert_eq!(s.fills, 2, "a clean route refills under the new map");
+    assert_eq!(s.hits, 2);
+}
+
+/// Trigger 3 — commit-epoch advance: a write to a *different* record moves
+/// the container epoch, which conservatively invalidates every resident
+/// chunk (no cross-key shadowing, ever).
+#[test]
+fn epoch_advance_invalidates_without_a_touch() {
+    let (mut f, mut cl, mut c) = world(Some(1 << 20));
+    let t = seed(&mut f, &mut cl, &mut c);
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    assert_eq!((c.cache_stats().fills, c.cache_stats().hits), (1, 1));
+
+    // Write key 1 — key 0's entry is never touched by the punch, but its
+    // commit-epoch stamp is now stale.
+    let t = c
+        .update(
+            &mut f,
+            &mut cl,
+            t,
+            0,
+            oid(),
+            DKey::from_u64(1),
+            akey(),
+            kind(),
+            Bytes::from(vec![42u8; LEN]),
+        )
+        .unwrap();
+    let (b, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    assert!(b.iter().all(|&x| x == 1), "key 0's bytes are unchanged");
+    let s = c.cache_stats();
+    assert_eq!(s.hits, 1, "the stale-epoch probe must not hit");
+    assert!(s.invalidations >= 1, "…and must drop the stale entry");
+    assert_eq!(s.fills, 2, "the miss refills at the advanced epoch");
+    let (_, _) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    assert_eq!(c.cache_stats().hits, 2, "the refilled entry serves again");
+}
+
+/// Degraded reads bypass the fill path entirely: while the hot object's
+/// set is short a member, fetches serve from survivors but never populate
+/// the cache; fills resume once the rebuild restores redundancy.
+#[test]
+fn degraded_reads_never_fill() {
+    let (mut f, mut cl, mut c) = world(Some(1 << 20));
+    let t = seed(&mut f, &mut cl, &mut c);
+    let leader = cl.route_update(&oid()).leader().unwrap();
+    cl.kill_engine(leader).unwrap();
+    c.sync_map(cl.snapshot_map());
+
+    let t = t + SimDuration::from_millis(1);
+    let (b1, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let (b2, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    assert_eq!(b1, b2);
+    assert!(b1.iter().all(|&x| x == 1));
+    let s = c.cache_stats();
+    assert_eq!(s.fills, 0, "a degraded route must never fill");
+    assert_eq!(s.hits, 0);
+    assert_eq!(s.misses, 2);
+    assert!(cl.rebuild_stats().degraded_fetches >= 1);
+
+    // Rebuild restores redundancy; the next push re-arms the fill path.
+    let t = cl.rebuild(&mut f, t).unwrap();
+    c.sync_map(cl.snapshot_map());
+    let (_, t) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let (_, _) = fetch_serial(&mut f, &mut cl, &mut c, t, 0);
+    let s = c.cache_stats();
+    assert_eq!(s.fills, 1, "a healthy route fills again after rebuild");
+    assert_eq!(s.hits, 1);
+}
+
+/// The DRAM carve balances across arbitrarily many enable/resize/disable
+/// cycles: staging headroom returns to baseline, the agent never
+/// over-releases, and no carve residue accumulates.
+#[test]
+fn cache_carve_balances_across_cycles() {
+    let (mut f, mut cl, mut c) = world(None);
+    let _ = seed(&mut f, &mut cl, &mut c);
+    let baseline = c.agent().dram_used();
+    assert_eq!(c.agent().cache_reserved(), 0);
+    for i in 1..=6u64 {
+        c.enable_read_cache(i * (64 << 20)).unwrap();
+        assert_eq!(c.agent().cache_reserved(), i * (64 << 20));
+        assert_eq!(c.agent().staging_used(), baseline);
+        c.disable_read_cache();
+        assert_eq!(c.agent().dram_used(), baseline, "cycle {i} leaked carve");
+        assert_eq!(c.agent().cache_reserved(), 0);
+    }
+    assert_eq!(c.agent().over_releases.get(), 0);
+    // A carve that cannot fit fails cleanly with no residue.
+    assert!(c.enable_read_cache(64 << 30).is_err());
+    assert_eq!(c.agent().dram_used(), baseline);
+    assert_eq!(c.agent().cache_reserved(), 0);
+}

@@ -31,9 +31,11 @@ use ros2_hw::ClusterTopology;
 use ros2_sim::{ResourceStats, SimDuration, SimTime};
 use ros2_verbs::{MemoryDomain, NodeId};
 
+use ros2_dpu::{default_control, DpuAgent, DpuCacheStats, DpuClient};
+
 use crate::driver::{FioOp, Workload};
 use crate::worlds::FioClient;
-use crate::worldspec::WorldSpec;
+use crate::worldspec::{ClientKind, WorldSpec};
 
 /// The assembled incast testbed. Build with
 /// [`WorldSpec::build_incast`]; drive with [`crate::run_fio`] over
@@ -86,9 +88,12 @@ impl IncastFioWorld {
             fabric.set_flow_hint(node, jobs * n_clients);
         }
 
-        let mut clients: Vec<FioClient> = (0..n_clients)
-            .map(|c| {
-                FioClient::Classic(
+        let kinds = spec.client_axis().kinds().to_vec();
+        let mut clients: Vec<FioClient> = kinds
+            .iter()
+            .enumerate()
+            .map(|(c, kind)| match kind {
+                ClientKind::Host | ClientKind::DpuCostModel => FioClient::Classic(
                     DaosClient::connect_multi(
                         &mut fabric,
                         NodeId(c as u32),
@@ -101,7 +106,34 @@ impl IncastFioWorld {
                         DaosCostModel::default_model(),
                     )
                     .expect("incast client connects"),
-                )
+                ),
+                ClientKind::Offloaded => {
+                    // One agent per BlueField node; seeds diverge per
+                    // client so control-plane jitter is not lockstepped.
+                    let agent = DpuAgent::new(
+                        NodeId(c as u32),
+                        30 << 30,
+                        default_control(spec.seed_value() ^ c as u64),
+                    );
+                    let mut dpu = DpuClient::connect_cluster(
+                        &mut fabric,
+                        NodeId(c as u32),
+                        &storage_nodes,
+                        "posix",
+                        jobs,
+                        4 << 20,
+                        MemoryDomain::DpuDram,
+                        DaosCostModel::default_model(),
+                        agent,
+                        spec.tenants_value().to_vec(),
+                        spec.seed_value() ^ c as u64,
+                    )
+                    .expect("incast DPU client connects");
+                    if let Some(bytes) = spec.dpu_cache_value() {
+                        dpu.enable_read_cache(bytes).expect("cache carve fits DRAM");
+                    }
+                    FioClient::Offloaded(dpu)
+                }
             })
             .collect();
 
@@ -194,6 +226,16 @@ impl IncastFioWorld {
     /// Total data-plane ops across all clients.
     pub fn total_ops(&self) -> u64 {
         self.clients.iter().map(|c| c.ops()).sum()
+    }
+
+    /// Read-cache counters merged across every offloaded client (all
+    /// zeros when the axis is classic or the cache is off).
+    pub fn cache_stats(&self) -> DpuCacheStats {
+        let mut out = DpuCacheStats::default();
+        for c in &self.clients {
+            out.merge(c.cache_stats());
+        }
+        out
     }
 
     /// Connection-pool counters.

@@ -15,7 +15,7 @@ use ros2_daos::{
     RetryPolicy, RetryStats, ScrubOutcome, ScrubStats,
 };
 use ros2_dfs::{Dfs, DfsObj, DfsSession};
-use ros2_dpu::{DpuClient, DpuStats};
+use ros2_dpu::{DpuCacheStats, DpuClient, DpuStats};
 use ros2_fabric::{Fabric, NodeSpec};
 use ros2_hw::{
     gbps, CoreClass, CpuComplement, HostPathModel, NicModel, NvmeModel, Transport, LBA_SIZE,
@@ -241,6 +241,24 @@ impl FioClient {
         match self {
             FioClient::Classic(_) => None,
             FioClient::Offloaded(c) => Some(c),
+        }
+    }
+
+    /// Mutable access to the offloaded client (cache enable/disable
+    /// between sweep cells).
+    pub fn offloaded_mut(&mut self) -> Option<&mut DpuClient> {
+        match self {
+            FioClient::Classic(_) => None,
+            FioClient::Offloaded(c) => Some(c),
+        }
+    }
+
+    /// DPU read-cache counters (all zeros for classic clients or with the
+    /// cache disabled).
+    pub fn cache_stats(&self) -> DpuCacheStats {
+        match self {
+            FioClient::Classic(_) => DpuCacheStats::default(),
+            FioClient::Offloaded(c) => c.cache_stats(),
         }
     }
 

@@ -384,6 +384,54 @@ fn offloaded_world_runs_the_full_dpu_pipeline() {
 }
 
 #[test]
+fn dpu_cache_warms_repeat_reads_and_returns_its_carve() {
+    use ros2_dpu::DpuTenantSpec;
+    // Same offloaded world twice — cache off vs a 256 MiB carve — on a
+    // small-block randread that re-reads a 2 MiB region: the warm cell
+    // must show real hits and must not run slower.
+    let run = |cache: Option<u64>| {
+        let mut spec = WorldSpec::single(ClientPlacement::Dpu)
+            .jobs(2)
+            .region(2 << 20)
+            .mode(DataMode::Null)
+            .offload(vec![DpuTenantSpec::unlimited("fio")]);
+        if let Some(bytes) = cache {
+            spec = spec.dpu_cache(bytes);
+        }
+        let mut w = spec.build_dfs();
+        let r = run_fio(
+            &mut w,
+            &quick(
+                JobSpec::new(RwMode::RandRead, 16 << 10, 2)
+                    .iodepth(4)
+                    .region(2 << 20),
+            ),
+        );
+        assert_eq!(r.io.errors.get(), 0);
+        let stats = w.client.cache_stats();
+        let carve = w
+            .client
+            .offloaded()
+            .map(|c| c.agent().cache_reserved())
+            .unwrap_or(0);
+        (r.gib_per_sec(), stats, carve)
+    };
+    let (cold, off_stats, off_carve) = run(None);
+    let (warm, on_stats, on_carve) = run(Some(256 << 20));
+    assert_eq!(off_stats, Default::default(), "cache off books nothing");
+    assert_eq!(off_carve, 0);
+    assert_eq!(on_carve, 256 << 20, "the carve is visible at the agent");
+    assert!(
+        on_stats.hits > 0 && on_stats.fills > 0,
+        "warm cell must hit: {on_stats:?}"
+    );
+    assert!(
+        warm >= cold,
+        "the cache may never slow reads down ({warm:.2} vs {cold:.2} GiB/s)"
+    );
+}
+
+#[test]
 fn offloaded_qos_shapes_contended_tenants() {
     use ros2_dpu::{DpuTenantSpec, QosLimits};
     // Two tenants share the DPU, two jobs each: "capped" at 64 MiB/s,

@@ -89,6 +89,15 @@ impl Clients {
         }
     }
 
+    /// `n` real offloaded clients — one [`DpuClient`] per BlueField node,
+    /// each with its own agent, QoS admission, and (optionally) read
+    /// cache. The incast axis for DPU-side experiments.
+    pub fn offloaded(n: usize) -> Self {
+        Clients {
+            kinds: vec![ClientKind::Offloaded; n],
+        }
+    }
+
     /// A host/DPU mix: `hosts` host clients first, then `dpus`
     /// DPU-cost-model clients.
     pub fn mixed(hosts: usize, dpus: usize) -> Self {
@@ -131,6 +140,7 @@ pub struct WorldSpec {
     tenants: Vec<DpuTenantSpec>,
     wire_per_segment: bool,
     pool_capacity: Option<usize>,
+    dpu_cache: Option<u64>,
 }
 
 impl WorldSpec {
@@ -153,6 +163,7 @@ impl WorldSpec {
             tenants: vec![DpuTenantSpec::unlimited("fio")],
             wire_per_segment: false,
             pool_capacity: None,
+            dpu_cache: None,
         }
     }
 
@@ -235,6 +246,16 @@ impl WorldSpec {
         self
     }
 
+    /// Enables the DPU read cache on the offloaded client: `bytes` of the
+    /// agent's DRAM pool are carved away from staging and split across the
+    /// tenant lanes (default: disabled — every pinned baseline runs
+    /// cache-off). Only meaningful with [`Self::offload`]; the build
+    /// terminals reject it on in-process clients.
+    pub fn dpu_cache(mut self, bytes: u64) -> Self {
+        self.dpu_cache = Some(bytes);
+        self
+    }
+
     /// Forces per-segment wire booking from construction onward (the
     /// `perf_regression` A/B switch; simulated results are identical).
     pub fn wire_per_segment(mut self, on: bool) -> Self {
@@ -273,6 +294,18 @@ impl WorldSpec {
         self.region
     }
 
+    pub(crate) fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    pub(crate) fn tenants_value(&self) -> &[DpuTenantSpec] {
+        &self.tenants
+    }
+
+    pub(crate) fn dpu_cache_value(&self) -> Option<u64> {
+        self.dpu_cache
+    }
+
     /// The pool capacity an incast build installs: the explicit setting,
     /// else 64 clamped to the client count.
     pub(crate) fn effective_pool_capacity(&self) -> usize {
@@ -291,6 +324,10 @@ impl WorldSpec {
         );
         assert_eq!(self.clients.len(), 1, "a single world has one client");
         let kind = self.clients.kinds[0];
+        assert!(
+            self.dpu_cache.is_none() || kind == ClientKind::Offloaded,
+            "dpu_cache() requires offload()"
+        );
         let mut fabric = Fabric::for_topology(
             self.transport,
             &ClusterTopology::single(kind.placement()),
@@ -331,22 +368,24 @@ impl WorldSpec {
             ),
             ClientKind::Offloaded => {
                 let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(self.seed));
-                FioClient::Offloaded(
-                    DpuClient::connect(
-                        &mut fabric,
-                        NodeId(0),
-                        NodeId(1),
-                        "posix",
-                        self.jobs,
-                        4 << 20,
-                        MemoryDomain::DpuDram,
-                        DaosCostModel::default_model(),
-                        agent,
-                        self.tenants,
-                        self.seed,
-                    )
-                    .expect("DPU client connects"),
+                let mut dpu = DpuClient::connect(
+                    &mut fabric,
+                    NodeId(0),
+                    NodeId(1),
+                    "posix",
+                    self.jobs,
+                    4 << 20,
+                    MemoryDomain::DpuDram,
+                    DaosCostModel::default_model(),
+                    agent,
+                    self.tenants,
+                    self.seed,
                 )
+                .expect("DPU client connects");
+                if let Some(bytes) = self.dpu_cache {
+                    dpu.enable_read_cache(bytes).expect("cache carve fits DRAM");
+                }
+                FioClient::Offloaded(dpu)
             }
         };
 
@@ -370,6 +409,10 @@ impl WorldSpec {
             "a multi-client spec builds with build_incast()"
         );
         let kind = self.clients.kinds[0];
+        assert!(
+            self.dpu_cache.is_none() || kind == ClientKind::Offloaded,
+            "dpu_cache() requires offload()"
+        );
         let topology = ClusterTopology::one_client(kind.placement(), self.engines);
         let (mut fabric, cluster, storage_nodes) = self.fabric_and_cluster(&topology);
         let client = match kind {
@@ -389,22 +432,24 @@ impl WorldSpec {
             ),
             ClientKind::Offloaded => {
                 let agent = DpuAgent::new(NodeId(0), 30 << 30, default_control(self.seed));
-                FioClient::Offloaded(
-                    DpuClient::connect_cluster(
-                        &mut fabric,
-                        NodeId(0),
-                        &storage_nodes,
-                        "posix",
-                        self.jobs,
-                        4 << 20,
-                        MemoryDomain::DpuDram,
-                        DaosCostModel::default_model(),
-                        agent,
-                        self.tenants.clone(),
-                        self.seed,
-                    )
-                    .expect("offloaded cluster client connects"),
+                let mut dpu = DpuClient::connect_cluster(
+                    &mut fabric,
+                    NodeId(0),
+                    &storage_nodes,
+                    "posix",
+                    self.jobs,
+                    4 << 20,
+                    MemoryDomain::DpuDram,
+                    DaosCostModel::default_model(),
+                    agent,
+                    self.tenants.clone(),
+                    self.seed,
                 )
+                .expect("offloaded cluster client connects");
+                if let Some(bytes) = self.dpu_cache {
+                    dpu.enable_read_cache(bytes).expect("cache carve fits DRAM");
+                }
+                FioClient::Offloaded(dpu)
             }
         };
         ClusterFioWorld::from_world(DfsFioWorld::precondition(
@@ -416,21 +461,20 @@ impl WorldSpec {
         ))
     }
 
-    /// Assembles the multi-client incast world: one classic client per
+    /// Assembles the multi-client incast world: one client stack per
     /// entry of the clients axis fanning into the shared cluster, served
-    /// through the engine-side connection pool. Panics if this spec is
-    /// not a cluster, the axis is empty, or any client is `Offloaded`
-    /// (the incast path runs in-process clients; DPU entries use the
-    /// cost model).
+    /// through the engine-side connection pool. `Host` and `DpuCostModel`
+    /// entries run in-process clients; `Offloaded` entries run a real
+    /// [`DpuClient`] per BlueField node (with its own agent and, if
+    /// [`Self::dpu_cache`] is set, its own read-cache carve). Panics if
+    /// this spec is not a cluster, the axis is empty, or a cache carve is
+    /// requested without any offloaded client.
     pub fn build_incast(self) -> IncastFioWorld {
         assert!(self.clustered, "incast worlds are cluster-shaped");
         assert!(!self.clients.is_empty(), "incast needs at least one client");
         assert!(
-            self.clients
-                .kinds()
-                .iter()
-                .all(|k| *k != ClientKind::Offloaded),
-            "incast clients are in-process (Host or DpuCostModel)"
+            self.dpu_cache.is_none() || self.clients.kinds().contains(&ClientKind::Offloaded),
+            "dpu_cache() requires offloaded clients (Clients::offloaded)"
         );
         IncastFioWorld::build(self)
     }

@@ -168,3 +168,47 @@ fn incast_worlds_replay_bit_identically() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn offloaded_incast_clients_warm_their_own_caches() {
+    // Three real DPU clients, each with its own 64 MiB read-cache carve,
+    // re-reading small blocks from a shared replicated cluster: every
+    // client must make progress, every cache must fill and hit, and the
+    // RAS push after a kill must sweep all of them without a failed op.
+    let mut w = WorldSpec::cluster(3)
+        .replication(2)
+        .clients(Clients::offloaded(3))
+        .jobs(1)
+        .region(REGION)
+        .dpu_cache(64 << 20)
+        .build_incast();
+    assert_eq!(w.client_count(), 3);
+
+    let spec = JobSpec::new(RwMode::RandRead, 16 << 10, w.total_jobs())
+        .iodepth(2)
+        .region(REGION)
+        .windows(SimDuration::from_millis(2), SimDuration::from_millis(20))
+        .seed(9);
+    let report = run_fio(&mut w, &spec);
+    assert_eq!(report.io.errors.get(), 0, "offloaded incast must not error");
+    assert!(w.per_client_ops().iter().all(|&o| o > 0));
+    let s = w.cache_stats();
+    assert!(s.fills > 0 && s.hits > 0, "caches must warm: {s:?}");
+
+    // A kill bumps the map revision; the push fan-out must invalidate
+    // every client's resident entries.
+    let before = w.cache_stats().invalidations;
+    w.kill_engine(ros2_sim::SimTime::ZERO, 0).unwrap();
+    let spec2 = JobSpec::new(RwMode::RandRead, 16 << 10, w.total_jobs())
+        .iodepth(2)
+        .region(REGION)
+        .windows(SimDuration::from_millis(2), SimDuration::from_millis(20))
+        .seed(11);
+    let report2 = run_fio(&mut w, &spec2);
+    assert_eq!(report2.io.errors.get(), 0, "post-kill reads must not error");
+    assert!(
+        w.cache_stats().invalidations > before,
+        "the RAS push must sweep stale-map entries: {:?}",
+        w.cache_stats()
+    );
+}

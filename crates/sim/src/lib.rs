@@ -39,12 +39,14 @@
 
 #![warn(missing_docs)]
 
+pub mod lru;
 pub mod queue;
 pub mod resources;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use lru::DetLru;
 pub use queue::EventQueue;
 pub use resources::{
     BandwidthServer, Grant, LatencyPipe, QosLane, QosLimits, ResourceStats, ServerPool, TokenBucket,

@@ -1,0 +1,193 @@
+//! A deterministic least-recently-used tracker.
+//!
+//! Recency is a monotonic **use tick**, advanced explicitly by the owner
+//! once per admission, so eviction choice is a pure function of the
+//! operation history — never of wall clock, hash order, or allocation
+//! addresses. The entry set is a plain vector scanned linearly:
+//! capacities are small by design (resident sessions, cached chunks) and
+//! vector iteration order is deterministic, unlike a hash map's.
+//!
+//! Two structures share this idiom: the engine-side connection pool
+//! (`ros2_daos::ConnPool`) and the DPU read cache
+//! (`ros2_dpu::ReadCache`). Both replay bit-identically because the tick
+//! is the only ordering input, and ticks are unique so LRU ties cannot
+//! occur.
+
+/// One tracked entry: a key, its payload, and the tick of its last use.
+#[derive(Debug, Clone)]
+struct LruEntry<K, V> {
+    key: K,
+    value: V,
+    last_used: u64,
+}
+
+/// A deterministic tick-LRU over a flat vector. See the module docs.
+///
+/// The owner drives the clock: call [`DetLru::advance`] exactly once per
+/// admission, then [`DetLru::touch`] / [`DetLru::insert`] stamp entries
+/// with the current tick. Eviction ([`DetLru::evict_lru`]) removes the
+/// minimum-tick entry with `swap_remove`, which is order-safe because
+/// ticks are unique.
+#[derive(Debug, Clone)]
+pub struct DetLru<K, V> {
+    entries: Vec<LruEntry<K, V>>,
+    tick: u64,
+}
+
+impl<K, V> Default for DetLru<K, V> {
+    fn default() -> Self {
+        DetLru {
+            entries: Vec::new(),
+            tick: 0,
+        }
+    }
+}
+
+impl<K: PartialEq, V> DetLru<K, V> {
+    /// An empty tracker at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current use tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Advances the use tick by one and returns it. Call once per
+    /// admission, before [`Self::touch`] or [`Self::insert`].
+    pub fn advance(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Marks `key` used at the current tick; returns its value on a hit.
+    pub fn touch(&mut self, key: &K) -> Option<&mut V> {
+        let tick = self.tick;
+        self.entries.iter_mut().find(|e| e.key == *key).map(|e| {
+            e.last_used = tick;
+            &mut e.value
+        })
+    }
+
+    /// Read-only lookup without a recency update.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries
+            .iter()
+            .find(|e| e.key == *key)
+            .map(|e| &e.value)
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.iter().any(|e| e.key == *key)
+    }
+
+    /// Inserts `key` stamped with the current tick. The caller evicts
+    /// first if a capacity bound applies; inserting a key that is already
+    /// tracked is a logic error (checked in debug builds).
+    pub fn insert(&mut self, key: K, value: V) {
+        debug_assert!(!self.contains(&key), "insert of an already-tracked key");
+        self.entries.push(LruEntry {
+            key,
+            value,
+            last_used: self.tick,
+        });
+    }
+
+    /// Removes and returns the least-recently-used entry, if any. The
+    /// minimum-tick choice is unique (ticks never tie), so the
+    /// `swap_remove` reordering cannot change any later eviction.
+    pub fn evict_lru(&mut self) -> Option<(K, V)> {
+        let lru = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(i, _)| i)?;
+        let e = self.entries.swap_remove(lru);
+        Some((e.key, e.value))
+    }
+
+    /// Removes `key` and returns its value, if tracked. Order-preserving
+    /// (`retain`), mirroring the connection pool's session kill.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.entries.iter().position(|e| e.key == *key)?;
+        Some(self.entries.remove(i).value)
+    }
+
+    /// Keeps only entries for which `f` returns true; returns how many
+    /// were dropped. Iteration order (and thus the surviving order) is
+    /// deterministic.
+    pub fn retain<F: FnMut(&K, &V) -> bool>(&mut self, mut f: F) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| f(&e.key, &e.value));
+        before - self.entries.len()
+    }
+
+    /// Iterates `(key, value)` pairs in (deterministic) slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|e| (&e.key, &e.value))
+    }
+
+    /// Drops every entry; the tick keeps counting.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn touch_order_drives_eviction() {
+        let mut l: DetLru<u32, &str> = DetLru::new();
+        l.advance();
+        l.insert(1, "a");
+        l.advance();
+        l.insert(2, "b");
+        // Touch 1 so 2 becomes the LRU.
+        l.advance();
+        assert!(l.touch(&1).is_some());
+        assert_eq!(l.evict_lru(), Some((2, "b")));
+        assert_eq!(l.evict_lru(), Some((1, "a")));
+        assert_eq!(l.evict_lru(), None);
+    }
+
+    #[test]
+    fn remove_and_retain_are_order_preserving() {
+        let mut l: DetLru<u32, u32> = DetLru::new();
+        for k in 0..4 {
+            l.advance();
+            l.insert(k, k * 10);
+        }
+        assert_eq!(l.remove(&1), Some(10));
+        assert_eq!(l.remove(&1), None);
+        let dropped = l.retain(|&k, _| k != 3);
+        assert_eq!(dropped, 1);
+        let keys: Vec<u32> = l.iter().map(|(&k, _)| k).collect();
+        assert_eq!(keys, [0, 2]);
+    }
+
+    #[test]
+    fn ticks_are_unique_and_monotonic() {
+        let mut l: DetLru<u8, ()> = DetLru::new();
+        assert_eq!(l.advance(), 1);
+        assert_eq!(l.advance(), 2);
+        l.insert(7, ());
+        assert_eq!(l.tick(), 2);
+        l.clear();
+        assert_eq!(l.advance(), 3, "clear never rewinds the tick");
+    }
+}
